@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Extension experiment — bandwidth sensitivity.
+ *
+ * The paper's footnote 4 converts transfer volumes to bandwidth at a
+ * target frame rate. The flip side: at a *fixed* DRAM bandwidth, the
+ * baseline's makespan degrades as soon as the channel cannot hide its
+ * 20x larger traffic under compute, while the fused design stays
+ * compute-bound down to very narrow channels. Swept here on a shrunk
+ * VGG-style stack (full functional execution at each point).
+ */
+
+#include <cstdio>
+
+#include "accel/baseline_accel.hh"
+#include "accel/fused_accel.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+using namespace flcnn;
+
+int
+main()
+{
+    std::printf("== Extension: makespan vs DRAM bandwidth (shrunk "
+                "VGG-style stack) ==\n\n");
+    Network net("bw", Shape{3, 56, 56});
+    net.addConvBlock("c1", 16, 3, 1, 1);
+    net.addConvBlock("c2", 16, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c3", 32, 3, 1, 1);
+    const int last = net.numLayers() - 1;
+
+    Rng wrng(71);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(72);
+    input.fillRandom(irng);
+
+    BaselineConfig bcfg = optimizeBaseline(net, 640);
+    bcfg.tr = bcfg.tc = 8;
+    FusedPipelineConfig fcfg = balanceFusedPipeline(net, 0, last, 700);
+
+    Table t({"DRAM B/cycle", "baseline makespan", "fused makespan",
+             "fused/baseline"});
+    for (double bpc : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0}) {
+        DramModel dram(bpc, 30);
+        BaselineAccelerator base(net, weights, bcfg, dram);
+        AccelStats bs;
+        Tensor bout = base.run(input, &bs);
+        FusedAccelerator fused(net, weights, 0, last, fcfg, dram);
+        AccelStats fs;
+        Tensor fout = fused.run(input, &fs);
+        if (!tensorsEqual(bout, fout)) {
+            std::printf("FUNCTIONAL MISMATCH at %.1f B/cycle\n", bpc);
+            return 1;
+        }
+        t.addRow({fmtF(bpc, 1), formatCount(bs.makespanCycles),
+                  formatCount(fs.makespanCycles),
+                  fmtF(static_cast<double>(fs.makespanCycles) /
+                           static_cast<double>(bs.makespanCycles),
+                       2)});
+    }
+    t.print();
+    std::printf("\nthe fused design's makespan is nearly "
+                "bandwidth-invariant (its traffic is the\nimage in and "
+                "the result out); the baseline becomes memory-bound as "
+                "the channel\nnarrows — the regime the paper's 95%% "
+                "traffic reduction targets.\n");
+    return 0;
+}

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * Experiment E8 — Section VI-C: "our experiments with a C++
+ * implementation of layer fusion for the first two layers of AlexNet
+ * achieves more than 2x speedup as compared to the layer-by-layer
+ * approach running on a desktop CPU."
+ *
+ * The layer-by-layer path materializes every intermediate feature map
+ * in memory; the fused (line-buffered) path keeps intermediates inside
+ * a few rows of cache-resident buffers. Google-benchmark timings at
+ * reduced spatial scales are followed by a single full-scale (227x227)
+ * comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <functional>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+using namespace flcnn;
+
+namespace {
+
+/** AlexNet's first two conv layers at a reduced input scale (the
+ *  conv/pool/pad parameters are the real ones). */
+Network
+alexTwo(int hw)
+{
+    Network net("alex2", Shape{3, hw, hw});
+    net.add(LayerSpec::conv("conv1", 96, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::padding("conv2_pad", 2));
+    net.add(LayerSpec::conv("conv2", 256, 5, 1, 2));
+    net.add(LayerSpec::relu("relu2"));
+    return net;
+}
+
+struct Setup
+{
+    Network net;
+    NetworkWeights weights;
+    Tensor input;
+
+    explicit Setup(int hw) : net(alexTwo(hw)), weights(net, rngA()),
+                             input(net.inputShape())
+    {
+        Rng r(99);
+        input.fillRandom(r);
+    }
+
+    static Rng &
+    rngA()
+    {
+        static Rng r(42);
+        return r;
+    }
+};
+
+void
+BM_LayerByLayer(benchmark::State &state)
+{
+    Setup s(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        Tensor out = runRange(s.net, s.weights, s.input, 0,
+                              s.net.numLayers() - 1);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+void
+BM_FusedLineBuffer(benchmark::State &state)
+{
+    Setup s(static_cast<int>(state.range(0)));
+    LineBufferExecutor exec(s.net, s.weights, 0, s.net.numLayers() - 1,
+                            static_cast<int>(state.range(1)));
+    for (auto _ : state) {
+        Tensor out = exec.run(s.input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+BENCHMARK(BM_LayerByLayer)->Arg(59)->Arg(115)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_FusedLineBuffer)
+    ->Args({59, 1})
+    ->Args({59, 8})
+    ->Args({115, 1})
+    ->Args({115, 8})
+    ->Unit(benchmark::kMillisecond);
+
+double
+timeOnce(const std::function<Tensor()> &fn, Tensor *out)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    *out = fn();
+    auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::printf("== Section VI-C: CPU layer-fusion speedup, AlexNet "
+                "first two conv layers ==\n\n");
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+
+    // Full-scale single-shot comparison (227 x 227 input), sweeping
+    // the row-block size that amortizes per-row weight re-streaming.
+    Setup s(227);
+    Tensor a, b;
+    double best_ref = 1e30;
+    for (int rep = 0; rep < 3; rep++) {
+        best_ref = std::min(
+            best_ref, timeOnce(
+                          [&] {
+                              return runRange(s.net, s.weights, s.input,
+                                              0, s.net.numLayers() - 1);
+                          },
+                          &a));
+    }
+    int64_t planes = 0;
+    for (int i = 0; i + 1 < s.net.numLayers(); i++)
+        planes += s.net.outShape(i).bytes();
+
+    std::printf("\nfull scale (227x227), best of 3:\n");
+    Table t({"executor", "seconds", "speedup", "working set"});
+    t.addRow({"layer-by-layer", fmtF(best_ref, 2), "1.00x",
+              std::to_string(planes / 1024) + " KB of planes"});
+    bool match = true;
+    for (int block : {1, 4, 8, 16}) {
+        LineBufferExecutor exec(s.net, s.weights, 0,
+                                s.net.numLayers() - 1, block);
+        double best_fused = 1e30;
+        for (int rep = 0; rep < 3; rep++) {
+            best_fused = std::min(
+                best_fused,
+                timeOnce([&] { return exec.run(s.input); }, &b));
+        }
+        match = match && tensorsEqual(a, b);
+        t.addRow({"fused, row block " + std::to_string(block),
+                  fmtF(best_fused, 2),
+                  fmtF(best_ref / best_fused, 2) + "x",
+                  std::to_string(exec.bufferBytes() / 1024) +
+                      " KB of line buffers"});
+    }
+    t.print();
+    std::printf("\npaper claims >2x on a 2016 desktop; outputs %s.\n"
+                "See EXPERIMENTS.md (E8): scalar convolution is "
+                "compute-bound, so on a large-\nLLC host the win is "
+                "bounded; row blocking removes the fused schedule's\n"
+                "weight-restreaming penalty.\n",
+                match ? "bit-identical" : "MISMATCHED");
+    return match ? 0 : 1;
+}

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Extension experiment — energy consequences of layer fusion.
+ *
+ * The paper motivates fusion by the bandwidth *and energy* cost of
+ * off-chip transfers (Section II-B). This bench quantifies it with a
+ * first-order Horowitz-style model: DRAM bytes cost ~130x more than
+ * on-chip bytes, so removing 95% of the DRAM traffic removes most of
+ * the memory energy while the reuse model's arithmetic (and hence
+ * compute energy) is unchanged.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "model/baseline.hh"
+#include "model/energy.hh"
+#include "model/storage.hh"
+#include "model/transfer.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+namespace {
+
+void
+report(const char *name, const Network &net, int dsp_budget)
+{
+    const int last = net.stages().back().last;
+    OpCount ops = rangeOpCount(net, 0, last);
+
+    // Baseline: tiled accelerator traffic; every DRAM byte also passes
+    // through an on-chip buffer once.
+    BaselineConfig bcfg = optimizeBaseline(net, dsp_budget);
+    bcfg.tr = bcfg.tc = 16;
+    BaselineCost base = evaluateBaseline(net, bcfg);
+    EnergyBreakdown be =
+        estimateEnergy(base.totalBytes, base.totalBytes, ops);
+
+    // Fused: endpoint planes over DRAM; intermediates through SRAM
+    // (each intermediate plane written and read once on chip).
+    int64_t fused_dram = net.inShape(0).bytes() +
+                         net.outShape(last).bytes() +
+                         net.weightBytesInRange(0, last);
+    int64_t onchip = fused_dram;
+    for (int i = 0; i < last; i++)
+        onchip += 2 * net.outShape(i).bytes();
+    EnergyBreakdown fe = estimateEnergy(fused_dram, onchip, ops);
+
+    std::printf("-- %s --\n", name);
+    Table t({"component", "fused mJ", "baseline mJ"});
+    t.addRow({"DRAM", fmtF(fe.dramPj * 1e-9, 2),
+              fmtF(be.dramPj * 1e-9, 2)});
+    t.addRow({"on-chip SRAM", fmtF(fe.sramPj * 1e-9, 2),
+              fmtF(be.sramPj * 1e-9, 2)});
+    t.addRow({"arithmetic", fmtF(fe.computePj * 1e-9, 2),
+              fmtF(be.computePj * 1e-9, 2)});
+    t.addRow({"total", fmtF(fe.totalMj(), 2), fmtF(be.totalMj(), 2)});
+    t.print();
+    std::printf("memory-energy reduction: %.1fx; total: %.2fx\n\n",
+                be.dramPj / fe.dramPj, be.total() / fe.total());
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Extension: per-image energy, fused vs baseline "
+                "(first-order model) ==\n\n");
+    report("VGGNet-E first five convs", vggEPrefix(5), 2880);
+    report("AlexNet first two convs", alexnetFusedPrefix(), 2240);
+    report("GoogLeNet stem", googlenetStem(), 2880);
+    std::printf("coefficients: DRAM 162.5 pJ/B, SRAM 1.25 pJ/B, MAC "
+                "2.3 pJ (45nm-class;\nratios are the result, not the "
+                "absolute joules — see model/energy.hh)\n");
+    return 0;
+}

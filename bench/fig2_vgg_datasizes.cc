@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Experiment E1 — Figure 2: input, output, and weight sizes for the
+ * convolutional stages of VGGNet-E (pooling merged into the preceding
+ * convolution, exactly as the paper's figure does).
+ *
+ * Paper reference points: conv1 reads 0.6 MB of input and 7 KB of
+ * weights and produces 12.3 MB of output; feature maps dominate the
+ * first ~8 stages, weights dominate beyond.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+int
+main()
+{
+    std::printf("== Figure 2: VGGNet-E per-stage data sizes (MB) ==\n");
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+
+    Table t({"stage", "layer", "input MB", "output MB", "weights MB",
+             "fmap/total"});
+    int stage_no = 0;
+    for (const auto &s : sizes) {
+        stage_no++;
+        double in = toMiB(s.inputBytes);
+        double out = toMiB(s.outputBytes);
+        double w = toMiB(s.weightBytes);
+        double share = (in + out) / (in + out + w);
+        t.addRow({fmtI(stage_no), s.name, fmtF(in, 2), fmtF(out, 2),
+                  fmtF(w, 2), fmtF(share, 2)});
+    }
+    t.print();
+
+    int64_t fm = 0, w = 0;
+    for (const auto &s : sizes) {
+        fm += s.inputBytes + s.outputBytes;
+        w += s.weightBytes;
+    }
+    std::printf("\nfeature-map share of all conv-layer data: %.1f%% "
+                "(paper: over 50%% for VGG)\n",
+                100.0 * static_cast<double>(fm) /
+                    static_cast<double>(fm + w));
+
+    std::printf("\n== Same analysis for AlexNet ==\n");
+    Network alex = alexnet();
+    auto asz = figure2Sizes(alex);
+    Table ta({"stage", "layer", "input MB", "output MB", "weights MB"});
+    int no = 0;
+    for (const auto &s : asz) {
+        no++;
+        ta.addRow({fmtI(no), s.name, fmtF(toMiB(s.inputBytes), 2),
+                   fmtF(toMiB(s.outputBytes), 2),
+                   fmtF(toMiB(s.weightBytes), 2)});
+    }
+    ta.print();
+    int64_t afm = 0, aw = 0;
+    for (const auto &s : asz) {
+        afm += s.inputBytes + s.outputBytes;
+        aw += s.weightBytes;
+    }
+    std::printf("\nfeature-map share for AlexNet: %.1f%% (paper: ~25%%)\n",
+                100.0 * static_cast<double>(afm) /
+                    static_cast<double>(afm + aw));
+    return 0;
+}

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Extension experiment — the full VGGNet-E design space.
+ *
+ * The paper sweeps the first five conv stages (64 partitions) and notes
+ * its Torch tool explores "even the large VGGNet-E network ... in just
+ * a few minutes on a single CPU core". Here we sweep ALL 21 conv/pool
+ * stages of VGG-19 — 2^20 = 1,048,576 partitions — with the
+ * closed-form storage model, with and without on-chip weight residency
+ * in the cost, and time it.
+ */
+
+#include <chrono>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "common/units.hh"
+#include "model/pareto.hh"
+#include "model/storage.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+namespace {
+
+struct SweepResult
+{
+    std::vector<DesignPoint> front;
+    double seconds = 0.0;
+    int64_t points = 0;
+};
+
+SweepResult
+sweep(const Network &net, bool with_weights)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    const int stages = static_cast<int>(net.stages().size());
+
+    // Precompute per-(first,last) group costs once: 21*22/2 = 231
+    // entries, so the million-partition sweep is pure table lookups.
+    std::vector<std::vector<int64_t>> gcost(
+        static_cast<size_t>(stages)),
+        gxfer(static_cast<size_t>(stages));
+    for (int a = 0; a < stages; a++) {
+        gcost[static_cast<size_t>(a)].resize(
+            static_cast<size_t>(stages));
+        gxfer[static_cast<size_t>(a)].resize(
+            static_cast<size_t>(stages));
+        for (int b = a; b < stages; b++) {
+            StageGroup g{a, b};
+            int64_t storage = groupReuseStorageBytes(net, g, false);
+            if (with_weights && g.size() > 1) {
+                int fl, ll;
+                groupLayerRange(net, g, fl, ll);
+                storage += net.weightBytesInRange(fl, ll);
+            }
+            gcost[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+                storage;
+            gxfer[static_cast<size_t>(a)][static_cast<size_t>(b)] =
+                groupTransferBytes(net, g);
+        }
+    }
+
+    std::vector<DesignPoint> pts;
+    int64_t count = 0;
+    forEachPartition(stages, [&](const Partition &p) {
+        count++;
+        DesignPoint d;
+        for (const StageGroup &g : p) {
+            d.storageBytes +=
+                gcost[static_cast<size_t>(g.firstStage)]
+                     [static_cast<size_t>(g.lastStage)];
+            d.transferBytes +=
+                gxfer[static_cast<size_t>(g.firstStage)]
+                     [static_cast<size_t>(g.lastStage)];
+        }
+        d.partition = p;
+        pts.push_back(std::move(d));
+    });
+    SweepResult res;
+    res.front = paretoFront(std::move(pts));
+    res.points = count;
+    res.seconds = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+    return res;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Extension: full VGGNet-E design space (all 21 "
+                "stages) ==\n\n");
+    Network net = vggE();
+    std::printf("network: %s, %zu fusable stages, %lld partitions\n\n",
+                net.name().c_str(), net.stages().size(),
+                static_cast<long long>(countPartitions(
+                    static_cast<int>(net.stages().size()))));
+
+    SweepResult plain = sweep(net, false);
+    std::printf("reuse-buffer cost only: %lld partitions in %.1f s, "
+                "%zu Pareto-optimal\n",
+                static_cast<long long>(plain.points), plain.seconds,
+                plain.front.size());
+    Table t({"partition (first rows)", "storage", "transfer"});
+    size_t shown = 0;
+    for (const auto &p : plain.front) {
+        if (shown++ >= 10) {
+            t.addRow({"...", "...", "..."});
+            break;
+        }
+        t.addRow({partitionStr(p.partition),
+                  formatBytes(p.storageBytes),
+                  formatBytes(p.transferBytes)});
+    }
+    t.print();
+    std::printf("\nfull fusion of all 21 stages: %s storage for %s "
+                "transferred\n(the paper's Section III-C: ~1.4 MB to "
+                "fuse everything)\n\n",
+                formatBytes(plain.front.back().storageBytes).c_str(),
+                formatBytes(plain.front.back().transferBytes).c_str());
+
+    SweepResult weighted = sweep(net, true);
+    const DesignPoint *pick = nullptr;
+    for (const auto &p : weighted.front) {
+        if (p.storageBytes <= 2 * 1024 * 1024)
+            pick = &p;
+    }
+    std::printf("with on-chip weights priced in (%lld partitions in "
+                "%.1f s):\n",
+                static_cast<long long>(weighted.points),
+                weighted.seconds);
+    if (pick) {
+        std::printf("  best design under a 2 MB budget: %s -> %s "
+                    "transferred\n  (fuses the early feature-map-heavy "
+                    "stages, leaves the weight-heavy tail\n   "
+                    "layer-by-layer — the paper's guidance, derived "
+                    "from the full space)\n",
+                    partitionStr(pick->partition).c_str(),
+                    formatBytes(pick->transferBytes).c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks for the library's hot paths:
+ * pyramid-plan construction, whole-space exploration, the balance
+ * search, and the three fused executors. These are regression guards
+ * for the tooling itself (the paper's "explored in just a few minutes"
+ * claim is about this code path), not paper experiments.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "fusion/fused_executor.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "fusion/recompute_executor.hh"
+#include "model/balance.hh"
+#include "model/explorer.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+namespace {
+
+void
+BM_TilePlanConstruction(benchmark::State &state)
+{
+    Network net = vggEPrefix(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        TilePlan plan(net, 0, net.numLayers() - 1);
+        benchmark::DoNotOptimize(plan.reuseBufferBytes());
+    }
+}
+BENCHMARK(BM_TilePlanConstruction)->Arg(2)->Arg(5)->Arg(8);
+
+void
+BM_ExploreFusionSpace(benchmark::State &state)
+{
+    Network net = vggEPrefix(static_cast<int>(state.range(0)));
+    ExploreOptions opt;
+    opt.exactStorage = (state.range(1) != 0);
+    for (auto _ : state) {
+        auto res = exploreFusionSpace(net, opt);
+        benchmark::DoNotOptimize(res.front.size());
+    }
+}
+BENCHMARK(BM_ExploreFusionSpace)
+    ->Args({5, 1})
+    ->Args({5, 0})
+    ->Args({8, 0})
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_BalanceFusedPipeline(benchmark::State &state)
+{
+    Network net = vggEPrefix(5);
+    for (auto _ : state) {
+        auto cfg = balanceFusedPipeline(net, 0, net.numLayers() - 1,
+                                        static_cast<int>(state.range(0)));
+        benchmark::DoNotOptimize(cfg.totalDsp);
+    }
+}
+BENCHMARK(BM_BalanceFusedPipeline)->Arg(500)->Arg(2987);
+
+void
+BM_OptimizeBaseline(benchmark::State &state)
+{
+    Network net = vggEPrefix(5);
+    for (auto _ : state) {
+        BaselineConfig cfg = optimizeBaseline(net, 2880);
+        benchmark::DoNotOptimize(cfg.tm);
+    }
+}
+BENCHMARK(BM_OptimizeBaseline);
+
+struct ExecFixture
+{
+    Network net;
+    NetworkWeights weights;
+    Tensor input;
+
+    ExecFixture()
+        : net(makeNet()), weights(net, rng()), input(net.inputShape())
+    {
+        Rng r(3);
+        input.fillRandom(r);
+    }
+
+    static Network
+    makeNet()
+    {
+        Network n("micro", Shape{3, 32, 32});
+        n.addConvBlock("c1", 8, 3, 1, 1);
+        n.addMaxPool("p1", 2, 2);
+        n.addConvBlock("c2", 8, 3, 1, 1);
+        return n;
+    }
+
+    static Rng &
+    rng()
+    {
+        static Rng r(2);
+        return r;
+    }
+};
+
+void
+BM_ReferenceExecutor(benchmark::State &state)
+{
+    ExecFixture f;
+    for (auto _ : state) {
+        Tensor out = runRange(f.net, f.weights, f.input, 0,
+                              f.net.numLayers() - 1);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_ReferenceExecutor)->Unit(benchmark::kMillisecond);
+
+void
+BM_FusedPyramidExecutor(benchmark::State &state)
+{
+    ExecFixture f;
+    FusedExecutor exec(f.net, f.weights,
+                       TilePlan(f.net, 0, f.net.numLayers() - 1));
+    for (auto _ : state) {
+        Tensor out = exec.run(f.input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_FusedPyramidExecutor)->Unit(benchmark::kMillisecond);
+
+void
+BM_LineBufferExecutorMicro(benchmark::State &state)
+{
+    ExecFixture f;
+    LineBufferExecutor exec(f.net, f.weights, 0, f.net.numLayers() - 1,
+                            static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        Tensor out = exec.run(f.input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_LineBufferExecutorMicro)
+    ->Arg(1)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_RecomputeExecutorMicro(benchmark::State &state)
+{
+    ExecFixture f;
+    RecomputeExecutor exec(f.net, f.weights,
+                           TilePlan(f.net, 0, f.net.numLayers() - 1));
+    for (auto _ : state) {
+        Tensor out = exec.run(f.input);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+BENCHMARK(BM_RecomputeExecutorMicro)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

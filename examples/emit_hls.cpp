@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Emit the specialized HLS accelerator source for a fused design — the
+ * paper's Section IV artifact. The generated file is host-compilable
+ * (HLS pragmas are no-ops for g++/clang) and, with
+ * -DFLCNN_HLS_TESTBENCH, gains a file-driven main() so the accelerator
+ * can be validated against the library.
+ *
+ * Usage:
+ *   emit_hls [alexnet | vgg <num_convs> | googlenet] [out.cc]
+ */
+
+#include <cstdio>
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/logging.hh"
+#include "hls/emitter.hh"
+#include "model/balance.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+int
+main(int argc, char **argv)
+{
+    std::string which = "alexnet";
+    int convs = 5;
+    std::string out_path;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "alexnet") == 0) {
+            which = "alexnet";
+        } else if (std::strcmp(argv[a], "googlenet") == 0) {
+            which = "googlenet";
+        } else if (std::strcmp(argv[a], "vgg") == 0) {
+            which = "vgg";
+            if (a + 1 < argc && argv[a + 1][0] != '-')
+                convs = std::atoi(argv[++a]);
+        } else if (out_path.empty()) {
+            out_path = argv[a];
+        } else {
+            fatal("unknown argument '%s'", argv[a]);
+        }
+    }
+
+    Network net = which == "alexnet" ? alexnetFusedPrefix()
+                  : which == "vgg"   ? vggEPrefix(convs)
+                                     : googlenetStem();
+    const int last = net.stages().back().last;
+    int budget = which == "alexnet" ? 2401 : 2987;
+    FusedPipelineConfig cfg = balanceFusedPipeline(net, 0, last, budget);
+
+    HlsEmitOptions opt;
+    opt.topName = which + "_fused_top";
+    std::string src = emitFusedHls(net, 0, last, cfg.unrolls, opt);
+
+    if (out_path.empty())
+        out_path = which + "_fused_accel.cc";
+    std::ofstream(out_path) << src;
+    std::printf("wrote %s (%zu lines) for %s, fused layers 0..%d\n",
+                out_path.c_str(),
+                static_cast<size_t>(
+                    std::count(src.begin(), src.end(), '\n')),
+                net.name().c_str(), last);
+    std::printf("unrolls:");
+    for (const auto &u : cfg.unrolls)
+        std::printf(" %s(Tm=%d,Tn=%d)", net.layer(u.layerIdx).name.c_str(),
+                    u.tm, u.tn);
+    std::printf("\n\nvalidate it on your host:\n");
+    std::printf("  c++ -O2 -std=c++17 -DFLCNN_HLS_TESTBENCH %s -o accel\n",
+                out_path.c_str());
+    std::printf("  ./accel input.bin weights.bin output.bin\n");
+    std::printf("(serialize input/weights with packWeightsForHls; the "
+                "hls tests do this automatically)\n");
+    return 0;
+}

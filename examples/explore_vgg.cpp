@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Design-space explorer (the paper's Section V tool): enumerate every
+ * way to partition a network's stages into fused pyramids and print
+ * the storage/transfer trade-off with its Pareto front.
+ *
+ * Usage:
+ *   explore_vgg [alexnet | vgg <num_convs> | googlenet] [--all-points]
+ *
+ * Defaults to the paper's VGGNet-E five-conv prefix.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "model/explorer.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+using namespace flcnn;
+
+int
+main(int argc, char **argv)
+{
+    bool all_points = false;
+    std::string which = "vgg";
+    int convs = 5;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--all-points") == 0) {
+            all_points = true;
+        } else if (std::strcmp(argv[a], "alexnet") == 0) {
+            which = "alexnet";
+        } else if (std::strcmp(argv[a], "googlenet") == 0) {
+            which = "googlenet";
+        } else if (std::strcmp(argv[a], "vgg") == 0) {
+            which = "vgg";
+            if (a + 1 < argc && argv[a + 1][0] != '-')
+                convs = std::atoi(argv[++a]);
+        } else {
+            fatal("unknown argument '%s'", argv[a]);
+        }
+    }
+
+    Network net = which == "alexnet" ? alexnet()
+                  : which == "googlenet" ? googlenetStem()
+                                         : vggEPrefix(convs);
+    std::printf("exploring %s: %zu fusable stages, %lld partitions\n\n",
+                net.name().c_str(), net.stages().size(),
+                static_cast<long long>(countPartitions(
+                    static_cast<int>(net.stages().size()))));
+
+    ExploreOptions opt;
+    opt.withRecompute = true;
+    auto res = exploreFusionSpace(net, opt);
+
+    Table t({"partition", "storage KB", "transfer MB",
+             "recompute-alt extra ops", "pareto"});
+    for (const auto &p : res.points) {
+        bool on_front = false;
+        for (const auto &f : res.front) {
+            if (f.partition == p.partition) {
+                on_front = true;
+                break;
+            }
+        }
+        if (!all_points && !on_front)
+            continue;
+        t.addRow({partitionStr(p.partition),
+                  fmtF(toKiB(p.storageBytes), 1),
+                  fmtF(toMiB(p.transferBytes), 2),
+                  formatScaled(static_cast<double>(p.extraOps)),
+                  on_front ? "*" : ""});
+    }
+    t.print();
+
+    std::printf("\nlayer-by-layer: %s; best fusion: %s "
+                "(%.1fx less DRAM traffic)\n",
+                formatBytes(layerByLayerTransferBytes(net)).c_str(),
+                formatBytes(res.minTransfer().transferBytes).c_str(),
+                static_cast<double>(layerByLayerTransferBytes(net)) /
+                    static_cast<double>(res.minTransfer().transferBytes));
+    if (!all_points)
+        std::printf("(showing Pareto-optimal rows; --all-points for "
+                    "the full scatter)\n");
+    return 0;
+}

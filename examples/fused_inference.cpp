@@ -1,0 +1,110 @@
+/**
+ * @file
+ * End-to-end fused inference: run a synthetic image through the
+ * fused-layer accelerator model and the baseline accelerator model,
+ * verify bit-identical outputs, and report what each design costs.
+ *
+ * Usage:
+ *   fused_inference [alexnet | vgg <num_convs>] [--fps N]
+ *
+ * Defaults to the paper's headline configuration (VGG-E, 5 convs).
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "accel/baseline_accel.hh"
+#include "sim/throughput.hh"
+#include "accel/fused_accel.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/units.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+using namespace flcnn;
+
+int
+main(int argc, char **argv)
+{
+    std::string which = "vgg";
+    int convs = 5;
+    double fps = 50.0;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "alexnet") == 0) {
+            which = "alexnet";
+        } else if (std::strcmp(argv[a], "vgg") == 0) {
+            which = "vgg";
+            if (a + 1 < argc && argv[a + 1][0] != '-')
+                convs = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--fps") == 0 && a + 1 < argc) {
+            fps = std::atof(argv[++a]);
+        } else {
+            fatal("unknown argument '%s'", argv[a]);
+        }
+    }
+
+    Network net =
+        which == "alexnet" ? alexnetFusedPrefix() : vggEPrefix(convs);
+    const int last = net.stages().back().last;
+    std::printf("network: %s (fusing layers 0..%d)\n", net.name().c_str(),
+                last);
+
+    Rng rng(7);
+    NetworkWeights weights(net, rng);
+    Tensor image(net.inputShape());
+    image.fillRandom(rng);
+
+    // Size both designs like the paper's Virtex-7 budgets.
+    int dsp_budget = which == "alexnet" ? 2240 : 2880;
+    BaselineConfig bcfg = optimizeBaseline(net, dsp_budget);
+    bcfg.tr = bcfg.tc = 16;
+    BaselineAccelerator baseline(net, weights, bcfg);
+    AccelStats bs;
+    Tensor bout = baseline.run(image, &bs);
+
+    FusedPipelineConfig fcfg =
+        balanceFusedPipeline(net, 0, last, dsp_budget + 110);
+    FusedAccelerator fused(net, weights, 0, last, fcfg);
+    AccelStats fs;
+    Tensor fout = fused.run(image, &fs);
+
+    CompareResult cmp = compareTensors(bout, fout);
+    std::printf("outputs: %s\n\n", cmp.str().c_str());
+
+    Table t({"metric", "fused", "baseline"});
+    t.addRow({"DRAM read", formatBytes(fs.dramReadBytes),
+              formatBytes(bs.dramReadBytes)});
+    t.addRow({"DRAM written", formatBytes(fs.dramWriteBytes),
+              formatBytes(bs.dramWriteBytes)});
+    t.addRow({"compute cycles", formatCount(fs.computeCycles),
+              formatCount(bs.computeCycles)});
+    t.addRow({"makespan cycles", formatCount(fs.makespanCycles),
+              formatCount(bs.makespanCycles)});
+    t.addRow({"DSP48E1", fmtI(fs.dsp), fmtI(bs.dsp)});
+    t.addRow({"BRAM18K", fmtI(fs.bram), fmtI(bs.bram)});
+    t.addRow({"on-chip buffers", formatBytes(fs.bufferBytes),
+              formatBytes(bs.bufferBytes)});
+    t.print();
+
+    // Footnote 4 of the paper: transfer volume -> bandwidth at a
+    // target frame rate.
+    std::printf("\nDRAM bandwidth needed at %.0f images/s: fused "
+                "%.2f GB/s, baseline %.2f GB/s\n",
+                fps,
+                DramModel::requiredBandwidth(fs.totalDramBytes(), fps) /
+                    1e9,
+                DramModel::requiredBandwidth(bs.totalDramBytes(), fps) /
+                    1e9);
+
+    // Steady-state throughput of the fused pipeline at a Virtex-7
+    // class 100 MHz clock.
+    Throughput tp = analyzeThroughput(fused.schedule(), 100e6,
+                                      fs.totalDramBytes());
+    std::printf("fused pipeline at 100 MHz: %.1f images/s steady "
+                "state (%.1f ms latency),\nsustained DRAM %.2f GB/s\n",
+                tp.imagesPerSecond, tp.latencySeconds * 1e3,
+                tp.dramBytesPerSecond / 1e9);
+    return cmp.match ? 0 : 1;
+}

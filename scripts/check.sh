@@ -1,0 +1,10 @@
+#!/bin/sh
+# Full repository check: configure, build, test, and run every bench.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/*; do
+    [ -x "$b" ] && [ -f "$b" ] && "$b"
+done
+echo "ALL CHECKS PASSED"

@@ -1,0 +1,221 @@
+#include "accel/baseline_accel.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "model/resource.hh"
+#include "nn/reference.hh"
+#include "sim/double_buffer.hh"
+
+namespace flcnn {
+
+BaselineAccelerator::BaselineAccelerator(const Network &network,
+                                         const NetworkWeights &w,
+                                         BaselineConfig config,
+                                         DramModel dram_model)
+    : net(network), weights(w), cfg(config), dram(dram_model)
+{
+    FLCNN_ASSERT(cfg.tm >= 1 && cfg.tn >= 1,
+                 "unroll factors must be positive");
+}
+
+Tensor
+BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
+                                  bool *merged_pool)
+{
+    const Stage &st = net.stages()[static_cast<size_t>(stage_idx)];
+    const LayerSpec &conv = net.layer(st.windowed);
+    const FilterBank &fb = weights.bank(net.convSlot(st.windowed));
+
+    // Apply any leading Pad layers on the fly (no DRAM traffic: the
+    // zeros are synthesized on chip, but tile *extents* are counted in
+    // padded coordinates, matching the analytic model).
+    Tensor padded = in;
+    for (int i = st.first; i < st.windowed; i++) {
+        if (net.layer(i).kind == LayerKind::Pad)
+            padded = runLayer(net.layer(i), padded, nullptr, nullptr,
+                              nullptr);
+    }
+
+    const Shape &ishape = padded.shape();
+    Shape oshape = conv.outShape(ishape);
+    Tensor out(oshape);
+
+    bool has_relu = false;
+    for (int i = st.windowed + 1; i <= st.last; i++)
+        has_relu |= (net.layer(i).kind == LayerKind::ReLU);
+
+    const int k = conv.kernel, s = conv.stride;
+    const int m_per_group = conv.outChannels / conv.groups;
+    const int n_per_group = ishape.c / conv.groups;
+    const int tr = cfg.tr > 0 ? std::min(cfg.tr, oshape.h) : oshape.h;
+    const int tc = cfg.tc > 0 ? std::min(cfg.tc, oshape.w) : oshape.w;
+
+    std::vector<TilePhases> phases;
+    Tensor in_tile(std::max(1, cfg.tn),
+                   static_cast<int>(windowSpan(tr, k, s)),
+                   static_cast<int>(windowSpan(tc, k, s)));
+
+    for (int row = 0; row < oshape.h; row += tr) {
+        const int trr = std::min(tr, oshape.h - row);
+        const int in_h = static_cast<int>(windowSpan(trr, k, s));
+        for (int col = 0; col < oshape.w; col += tc) {
+            const int tcc = std::min(tc, oshape.w - col);
+            const int in_w = static_cast<int>(windowSpan(tcc, k, s));
+            for (int g = 0; g < conv.groups; g++) {
+                const int n_base = g * n_per_group;
+                for (int m0 = 0; m0 < m_per_group; m0 += cfg.tm) {
+                    const int tmm =
+                        std::min(cfg.tm, m_per_group - m0);
+                    TilePhases ph;
+
+                    // Bias-initialize the output tile (Listing 1's
+                    // "if (n == 0) out = bias").
+                    for (int dm = 0; dm < tmm; dm++) {
+                        int m = g * m_per_group + m0 + dm;
+                        for (int r = 0; r < trr; r++)
+                            for (int c = 0; c < tcc; c++)
+                                out(m, row + r, col + c) = fb.bias(m);
+                    }
+
+                    for (int n0 = 0; n0 < n_per_group; n0 += cfg.tn) {
+                        const int tnn =
+                            std::min(cfg.tn, n_per_group - n0);
+
+                        // Load the input tile (counted in padded
+                        // coordinates, like the analytic model).
+                        for (int dn = 0; dn < tnn; dn++)
+                            for (int y = 0; y < in_h; y++)
+                                for (int x = 0; x < in_w; x++)
+                                    in_tile(dn, y, x) = padded(
+                                        n_base + n0 + dn,
+                                        row * s + y, col * s + x);
+                        int64_t load_bytes =
+                            static_cast<int64_t>(tnn) * in_h * in_w * 4;
+                        cur.dramReadBytes += load_bytes;
+                        ph.load += dram.transferCycles(load_bytes);
+
+                        // Accumulate: canonical (n, i, j) order per
+                        // output point, so results match the reference
+                        // bit-exactly.
+                        for (int dm = 0; dm < tmm; dm++) {
+                            int m = g * m_per_group + m0 + dm;
+                            for (int r = 0; r < trr; r++) {
+                                for (int c = 0; c < tcc; c++) {
+                                    float acc = out(m, row + r, col + c);
+                                    for (int dn = 0; dn < tnn; dn++) {
+                                        for (int i = 0; i < k; i++) {
+                                            for (int j = 0; j < k; j++) {
+                                                acc += fb.w(m, n0 + dn,
+                                                            i, j) *
+                                                       in_tile(dn,
+                                                               r * s + i,
+                                                               c * s + j);
+                                            }
+                                        }
+                                    }
+                                    out(m, row + r, col + c) = acc;
+                                }
+                            }
+                        }
+                        // The engine occupies Tm x Tn lanes for the full
+                        // tile regardless of ragged edges (ceil model).
+                        ph.compute +=
+                            static_cast<int64_t>(trr) * tcc * k * k;
+                    }
+
+                    if (has_relu) {
+                        for (int dm = 0; dm < tmm; dm++) {
+                            int m = g * m_per_group + m0 + dm;
+                            for (int r = 0; r < trr; r++)
+                                for (int c = 0; c < tcc; c++)
+                                    out(m, row + r, col + c) = std::max(
+                                        0.0f, out(m, row + r, col + c));
+                        }
+                    }
+                    phases.push_back(ph);
+                }
+            }
+        }
+    }
+
+    // Weights stream in once per stage.
+    int64_t w_bytes = net.weightBytesInRange(st.first, st.last);
+    cur.dramReadBytes += w_bytes;
+
+    // Merge an immediately-following pooling stage on chip.
+    Tensor result = std::move(out);
+    *merged_pool = false;
+    if (stage_idx + 1 < static_cast<int>(net.stages().size())) {
+        const Stage &nx =
+            net.stages()[static_cast<size_t>(stage_idx) + 1];
+        if (net.layer(nx.windowed).kind == LayerKind::Pool) {
+            for (int i = nx.first; i <= nx.last; i++) {
+                result = runLayer(net.layer(i), result, nullptr, nullptr,
+                                  nullptr);
+            }
+            *merged_pool = true;
+        }
+    }
+
+    // Store the (pooled) outputs; attribute store time to tiles
+    // proportionally for the overlap model.
+    int64_t out_bytes = result.shape().bytes();
+    cur.dramWriteBytes += out_bytes;
+    if (!phases.empty()) {
+        int64_t per_tile = out_bytes / static_cast<int64_t>(phases.size());
+        for (TilePhases &ph : phases)
+            ph.store = dram.transferCycles(per_tile);
+    }
+
+    for (const TilePhases &ph : phases)
+        cur.computeCycles += ph.compute;
+    cur.makespanCycles += doubleBufferedMakespan(phases);
+    return result;
+}
+
+Tensor
+BaselineAccelerator::run(const Tensor &input, AccelStats *stats)
+{
+    FLCNN_ASSERT(!net.stages().empty(), "network has no fusable stages");
+    FLCNN_ASSERT(input.shape() == net.inputShape(),
+                 "input shape mismatch");
+    cur = AccelStats{};
+
+    Tensor data = input;
+    const int nstages = static_cast<int>(net.stages().size());
+    for (int s = 0; s < nstages; s++) {
+        const Stage &st = net.stages()[static_cast<size_t>(s)];
+        const LayerSpec &w = net.layer(st.windowed);
+        if (w.kind == LayerKind::Conv) {
+            bool merged = false;
+            data = runConvStage(s, data, &merged);
+            if (merged)
+                s++;  // the pool stage was consumed on chip
+        } else {
+            // A pooling stage with no producing convolution before it:
+            // stream the plane through (read + pooled write).
+            cur.dramReadBytes += data.shape().bytes();
+            for (int i = st.first; i <= st.last; i++) {
+                data = runLayer(net.layer(i), data, nullptr, nullptr,
+                                nullptr);
+            }
+            cur.dramWriteBytes += data.shape().bytes();
+        }
+    }
+
+    ResourceUsage res = baselineResources(net, cfg);
+    cur.dsp = res.dsp;
+    cur.bram = res.bram;
+    cur.lut = res.lut;
+    cur.ff = res.ff;
+    cur.bufferBytes = res.bufferBytes;
+
+    if (stats)
+        *stats = cur;
+    return data;
+}
+
+} // namespace flcnn

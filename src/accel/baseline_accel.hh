@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Executable model of the baseline tiled accelerator (Listings 1-2,
+ * Figure 5): the conventional layer-by-layer design layer fusion is
+ * measured against.
+ *
+ * The accelerator runs each convolution stage to completion with the
+ * Listing-1 loop structure — output-channel tiles (Tm) outer, input-
+ * channel tiles (Tn) inner, spatial Tr x Tc tiles, bias-initialized
+ * accumulation, fused ReLU — loading input tiles into an on-chip
+ * buffer (and re-loading them once per output-channel tile group, the
+ * loop order's cost), then writing outputs back to DRAM with any
+ * following pooling stage applied on chip. Every DRAM byte and compute
+ * cycle is *measured* by the run, so the analytic models in
+ * model/baseline.hh can be validated against it.
+ */
+
+#ifndef FLCNN_ACCEL_BASELINE_ACCEL_HH
+#define FLCNN_ACCEL_BASELINE_ACCEL_HH
+
+#include "accel/stats.hh"
+#include "model/baseline.hh"
+#include "nn/network.hh"
+#include "nn/weights.hh"
+#include "sim/dram.hh"
+
+namespace flcnn {
+
+/** Executable baseline (layer-by-layer, tiled) accelerator. */
+class BaselineAccelerator
+{
+  public:
+    /**
+     * @param cfg unroll and tile configuration; tr/tc of 0 mean
+     *            whole-plane spatial tiles.
+     */
+    BaselineAccelerator(const Network &net, const NetworkWeights &weights,
+                        BaselineConfig cfg, DramModel dram = DramModel());
+
+    /** Evaluate the network's fusable prefix on @p input; the result is
+     *  bit-identical to the layer-by-layer reference. */
+    Tensor run(const Tensor &input, AccelStats *stats = nullptr);
+
+    const BaselineConfig &config() const { return cfg; }
+
+  private:
+    /** Run one conv stage (with trailing pool merged) from @p in. */
+    Tensor runConvStage(int stage_idx, const Tensor &in, bool *merged_pool);
+
+    const Network &net;
+    const NetworkWeights &weights;
+    BaselineConfig cfg;
+    DramModel dram;
+    AccelStats cur;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_ACCEL_BASELINE_ACCEL_HH

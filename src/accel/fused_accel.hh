@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Executable model of the fused-layer accelerator (Listing 3 +
+ * Figure 6): per-layer compute modules chained through reuse buffers
+ * and pipelined across pyramids.
+ *
+ * Functional behaviour and DRAM traffic come from the FusedExecutor
+ * (bit-exact, reuse model); timing comes from scheduling the per-
+ * pyramid per-stage cycle counts — a Load stage, one stage per fused
+ * layer (convolutions cost ceil(M/Tm)*ceil(N/Tn)*fresh*K^2 with the
+ * balanced unrolls; pooling costs its fresh window work; padding and
+ * ReLU are absorbed), and a Store stage — through the Figure 6
+ * pyramid pipeline.
+ */
+
+#ifndef FLCNN_ACCEL_FUSED_ACCEL_HH
+#define FLCNN_ACCEL_FUSED_ACCEL_HH
+
+#include "accel/stats.hh"
+#include "fusion/fused_executor.hh"
+#include "model/balance.hh"
+#include "sim/dram.hh"
+#include "sim/pipeline.hh"
+
+namespace flcnn {
+
+/** Executable fused-layer accelerator for one fusion group. */
+class FusedAccelerator
+{
+  public:
+    FusedAccelerator(const Network &net, const NetworkWeights &weights,
+                     int first_layer, int last_layer,
+                     FusedPipelineConfig pipeline_cfg,
+                     DramModel dram = DramModel());
+
+    /** Evaluate the fused group; bit-identical to the reference. */
+    Tensor run(const Tensor &input, AccelStats *stats = nullptr);
+
+    /** The Figure 6 schedule of the last run (load + layers + store). */
+    const PipelineSchedule &schedule() const;
+
+    /** Cycles stage @p li (fused-layer index) spends on pyramid (r,c). */
+    int64_t stageCycles(int li, int r, int c) const;
+
+    const FusedPipelineConfig &pipelineConfig() const { return pcfg; }
+    const TilePlan &plan() const { return exec.plan(); }
+
+  private:
+    const Network &net;
+    FusedPipelineConfig pcfg;
+    DramModel dram;
+    FusedExecutor exec;
+    int first, last;
+    PipelineSchedule sched{0, 1};
+    bool hasSchedule = false;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_ACCEL_FUSED_ACCEL_HH

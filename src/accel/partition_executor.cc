@@ -1,0 +1,56 @@
+#include "accel/partition_executor.hh"
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+PartitionExecutor::PartitionExecutor(const Network &network,
+                                     const NetworkWeights &weights,
+                                     Partition partition, int tip)
+    : net(network), part(std::move(partition))
+{
+    std::string err = validatePartition(
+        part, static_cast<int>(net.stages().size()));
+    if (!err.empty())
+        fatal("invalid partition: %s", err.c_str());
+
+    execs.reserve(part.size());
+    for (const StageGroup &g : part) {
+        int first_layer, last_layer;
+        groupLayerRange(net, g, first_layer, last_layer);
+        execs.emplace_back(net, weights,
+                           TilePlan(net, first_layer, last_layer, tip,
+                                    tip));
+    }
+}
+
+Tensor
+PartitionExecutor::run(const Tensor &input, PartitionRunStats *stats)
+{
+    PartitionRunStats cur;
+    Tensor data = input;
+    for (FusedExecutor &exec : execs) {
+        FusedRunStats gs;
+        data = exec.run(data, &gs);
+        cur.dramReadBytes += gs.loadedBytes;
+        cur.dramWriteBytes += gs.storedBytes;
+        cur.reuseBytes += gs.reuseBytes;
+        cur.workingBytes += gs.workingBytes;
+        cur.ops += gs.ops;
+        cur.groups.push_back(gs);
+    }
+    if (stats)
+        *stats = cur;
+    return data;
+}
+
+int64_t
+PartitionExecutor::reuseBufferBytes() const
+{
+    int64_t bytes = 0;
+    for (const FusedExecutor &exec : execs)
+        bytes += exec.plan().reuseBufferBytes();
+    return bytes;
+}
+
+} // namespace flcnn

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * PartitionExecutor: evaluate a whole fusion partition (the paper's
+ * Figure 4 multi-pyramid organization) end to end.
+ *
+ * Each stage group becomes one fused pyramid evaluated with the reuse
+ * model; between groups the intermediate feature maps travel through
+ * "DRAM" (counted). A partition of all-singleton groups degenerates to
+ * conventional layer-by-layer evaluation; the single full-fusion group
+ * is the paper's point-C design. The measured inter-group traffic
+ * equals the analytic partitionTransferBytes() model exactly, which
+ * the test suite asserts (DESIGN.md invariant 3 at partition scope).
+ */
+
+#ifndef FLCNN_ACCEL_PARTITION_EXECUTOR_HH
+#define FLCNN_ACCEL_PARTITION_EXECUTOR_HH
+
+#include <vector>
+
+#include "fusion/fused_executor.hh"
+#include "model/partition.hh"
+#include "nn/weights.hh"
+
+namespace flcnn {
+
+/** Statistics from one partitioned run. */
+struct PartitionRunStats
+{
+    int64_t dramReadBytes = 0;   //!< all group inputs read
+    int64_t dramWriteBytes = 0;  //!< all group outputs written
+    int64_t reuseBytes = 0;      //!< sum of groups' reuse buffers
+    int64_t workingBytes = 0;    //!< sum of groups' working buffers
+    OpCount ops;
+    std::vector<FusedRunStats> groups;  //!< per-group detail
+
+    int64_t
+    totalDramBytes() const
+    {
+        return dramReadBytes + dramWriteBytes;
+    }
+};
+
+/** Executes a partition of a network's fusable stages. */
+class PartitionExecutor
+{
+  public:
+    /**
+     * @param partition groups over net.stages(); validated fatally.
+     * @param tip       pyramid tip size used for every group.
+     */
+    PartitionExecutor(const Network &net, const NetworkWeights &weights,
+                      Partition partition, int tip = 1);
+
+    /** Evaluate all groups in order on @p input. */
+    Tensor run(const Tensor &input, PartitionRunStats *stats = nullptr);
+
+    int numGroups() const { return static_cast<int>(execs.size()); }
+    const Partition &partition() const { return part; }
+
+    /** Total reuse-buffer bytes across groups (the Figure 7 x-axis,
+     *  under the executor's include-first-input convention). */
+    int64_t reuseBufferBytes() const;
+
+  private:
+    const Network &net;
+    Partition part;
+    std::vector<FusedExecutor> execs;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_ACCEL_PARTITION_EXECUTOR_HH

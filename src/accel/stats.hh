@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Statistics reported by the executable accelerator models.
+ */
+
+#ifndef FLCNN_ACCEL_STATS_HH
+#define FLCNN_ACCEL_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace flcnn {
+
+/** Measured behaviour of one accelerator run on one image. */
+struct AccelStats
+{
+    int64_t computeCycles = 0;    //!< compute-engine busy cycles
+    int64_t makespanCycles = 0;   //!< end-to-end schedule length
+    int64_t dramReadBytes = 0;    //!< feature maps + weights read
+    int64_t dramWriteBytes = 0;   //!< feature maps written
+    int dsp = 0;                  //!< DSP48E1 slices (model)
+    int bram = 0;                 //!< 18Kb BRAMs (model)
+    int lut = 0;                  //!< LUTs (first-order model)
+    int ff = 0;                   //!< flip-flops (first-order model)
+    int64_t bufferBytes = 0;      //!< raw on-chip buffer capacity
+
+    int64_t
+    totalDramBytes() const
+    {
+        return dramReadBytes + dramWriteBytes;
+    }
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_ACCEL_STATS_HH

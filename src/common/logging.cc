@@ -1,0 +1,97 @@
+#include "common/logging.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace flcnn {
+
+namespace {
+
+LogLevel gLogLevel = LogLevel::Inform;
+
+} // namespace
+
+LogLevel
+logLevel()
+{
+    return gLogLevel;
+}
+
+LogLevel
+setLogLevel(LogLevel level)
+{
+    LogLevel prev = gLogLevel;
+    gLogLevel = level;
+    return prev;
+}
+
+namespace detail {
+
+void
+emit(const char *tag, const std::string &msg)
+{
+    std::fprintf(stderr, "%s: %s\n", tag, msg.c_str());
+}
+
+std::string
+vformat(const char *fmt, va_list ap)
+{
+    va_list ap_copy;
+    va_copy(ap_copy, ap);
+    int needed = std::vsnprintf(nullptr, 0, fmt, ap_copy);
+    va_end(ap_copy);
+    if (needed < 0)
+        return std::string(fmt);
+
+    std::vector<char> buf(static_cast<size_t>(needed) + 1);
+    std::vsnprintf(buf.data(), buf.size(), fmt, ap);
+    return std::string(buf.data(), static_cast<size_t>(needed));
+}
+
+} // namespace detail
+
+void
+inform(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Inform)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("info", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    if (gLogLevel < LogLevel::Warn)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("warn", detail::vformat(fmt, ap));
+    va_end(ap);
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("fatal", detail::vformat(fmt, ap));
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    detail::emit("panic", detail::vformat(fmt, ap));
+    va_end(ap);
+    std::abort();
+}
+
+} // namespace flcnn

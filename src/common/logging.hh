@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Status-message and error-termination helpers in the spirit of gem5's
+ * base/logging.hh.
+ *
+ * Two error paths are provided:
+ *  - fatal(): the situation is the *user's* fault (bad configuration,
+ *    invalid arguments); prints a message and exits with code 1.
+ *  - panic(): the situation should never happen regardless of user input
+ *    (a library bug); prints a message and aborts.
+ *
+ * Non-terminating channels:
+ *  - inform(): normal status messages.
+ *  - warn():   something works, but possibly not as well as it should.
+ */
+
+#ifndef FLCNN_COMMON_LOGGING_HH
+#define FLCNN_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace flcnn {
+
+/** Verbosity levels for the message channels. */
+enum class LogLevel { Quiet = 0, Warn = 1, Inform = 2 };
+
+/** Get the current global log level. */
+LogLevel logLevel();
+
+/** Set the current global log level; returns the previous level. */
+LogLevel setLogLevel(LogLevel level);
+
+namespace detail {
+
+/** Emit a tagged message to stderr. */
+void emit(const char *tag, const std::string &msg);
+
+/** printf-style formatting into a std::string. */
+std::string vformat(const char *fmt, va_list ap);
+
+} // namespace detail
+
+/** Print an informational message (suppressed below LogLevel::Inform). */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print a warning message (suppressed below LogLevel::Warn). */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of a user-caused error (bad configuration or
+ * arguments). Exits the process with status 1.
+ */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Terminate because of an internal library bug. Aborts the process so a
+ * core dump or debugger can capture the state.
+ */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/**
+ * Assert a library invariant; on failure, panic with the provided
+ * context message. Unlike assert(), this is always enabled.
+ */
+#define FLCNN_ASSERT(cond, msg)                                          \
+    do {                                                                 \
+        if (!(cond)) {                                                   \
+            ::flcnn::panic("assertion '%s' failed at %s:%d: %s", #cond,  \
+                           __FILE__, __LINE__, static_cast<const char *>(msg)); \
+        }                                                                \
+    } while (0)
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_LOGGING_HH

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Small integer-math helpers used throughout the library.
+ */
+
+#ifndef FLCNN_COMMON_MATHUTIL_HH
+#define FLCNN_COMMON_MATHUTIL_HH
+
+#include <cstdint>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+/** Integer ceiling division: ceil(a / b) for non-negative a, positive b. */
+constexpr int64_t
+ceilDiv(int64_t a, int64_t b)
+{
+    return (a + b - 1) / b;
+}
+
+/** Round @p a up to the nearest multiple of @p b. */
+constexpr int64_t
+alignUp(int64_t a, int64_t b)
+{
+    return ceilDiv(a, b) * b;
+}
+
+/** Clamp @p v into the inclusive range [lo, hi]. */
+constexpr int64_t
+clampI64(int64_t v, int64_t lo, int64_t hi)
+{
+    return v < lo ? lo : (v > hi ? hi : v);
+}
+
+/**
+ * Number of sliding-window output positions for a window of size @p k
+ * moved with stride @p s over an extent of @p n (the standard
+ * (n - k) / s + 1 formula). Returns 0 when the window does not fit.
+ */
+constexpr int64_t
+slidingOutputs(int64_t n, int64_t k, int64_t s)
+{
+    return n < k ? 0 : (n - k) / s + 1;
+}
+
+/**
+ * Inverse of slidingOutputs: extent of input covered by @p d consecutive
+ * window positions (the paper's pyramid recursion D' = S*D + K - S).
+ */
+constexpr int64_t
+windowSpan(int64_t d, int64_t k, int64_t s)
+{
+    return d <= 0 ? 0 : s * d + k - s;
+}
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_MATHUTIL_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Arithmetic-operation counters.
+ *
+ * The paper's recompute-vs-reuse analysis (Section III-C) is phrased in
+ * "multiplications and additions"; executors in this library optionally
+ * report their work through an OpCount so the analytic models can be
+ * validated against what the functional code actually performed.
+ */
+
+#ifndef FLCNN_COMMON_OPCOUNT_HH
+#define FLCNN_COMMON_OPCOUNT_HH
+
+#include <cstdint>
+
+namespace flcnn {
+
+/** Tally of arithmetic work performed by an executor. */
+struct OpCount
+{
+    int64_t mults = 0;      //!< multiplications
+    int64_t adds = 0;       //!< additions (incl. bias adds)
+    int64_t compares = 0;   //!< comparisons (pooling, ReLU)
+
+    /** Total multiplications + additions, the paper's metric. */
+    int64_t multAdds() const { return mults + adds; }
+
+    /** Grand total of all counted operations. */
+    int64_t total() const { return mults + adds + compares; }
+
+    OpCount &
+    operator+=(const OpCount &o)
+    {
+        mults += o.mults;
+        adds += o.adds;
+        compares += o.compares;
+        return *this;
+    }
+
+    friend OpCount
+    operator+(OpCount a, const OpCount &b)
+    {
+        a += b;
+        return a;
+    }
+
+    friend OpCount
+    operator-(const OpCount &a, const OpCount &b)
+    {
+        return OpCount{a.mults - b.mults, a.adds - b.adds,
+                       a.compares - b.compares};
+    }
+
+    friend bool
+    operator==(const OpCount &a, const OpCount &b)
+    {
+        return a.mults == b.mults && a.adds == b.adds &&
+               a.compares == b.compares;
+    }
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_OPCOUNT_HH

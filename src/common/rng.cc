@@ -1,0 +1,5 @@
+#include "common/rng.hh"
+
+// Rng is header-only; this translation unit exists so the component has a
+// linkable archive member and the header is compiled standalone at least
+// once (include-hygiene check).

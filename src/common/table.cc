@@ -1,0 +1,74 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+Table::Table(std::vector<std::string> headers) : header(std::move(headers))
+{
+    FLCNN_ASSERT(!header.empty(), "table must have at least one column");
+}
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    FLCNN_ASSERT(cells.size() == header.size(),
+                 "row arity must match header arity");
+    body.push_back(std::move(cells));
+}
+
+std::string
+Table::render() const
+{
+    std::vector<size_t> width(header.size());
+    for (size_t c = 0; c < header.size(); c++)
+        width[c] = header[c].size();
+    for (const auto &row : body)
+        for (size_t c = 0; c < row.size(); c++)
+            width[c] = std::max(width[c], row[c].size());
+
+    auto render_row = [&](const std::vector<std::string> &row) {
+        std::string line = "|";
+        for (size_t c = 0; c < row.size(); c++) {
+            line += " " + row[c] +
+                    std::string(width[c] - row[c].size(), ' ') + " |";
+        }
+        return line + "\n";
+    };
+
+    std::string rule = "|";
+    for (size_t c = 0; c < header.size(); c++)
+        rule += std::string(width[c] + 2, '-') + "|";
+    rule += "\n";
+
+    std::string out = render_row(header) + rule;
+    for (const auto &row : body)
+        out += render_row(row);
+    return out;
+}
+
+void
+Table::print(std::FILE *out) const
+{
+    std::string s = render();
+    std::fwrite(s.data(), 1, s.size(), out);
+}
+
+std::string
+fmtF(double v, int prec)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+    return buf;
+}
+
+std::string
+fmtI(int64_t v)
+{
+    return std::to_string(v);
+}
+
+} // namespace flcnn

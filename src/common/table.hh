@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Minimal fixed-width ASCII table printer used by the benchmark harness
+ * and examples to render paper-style tables and figure series.
+ */
+
+#ifndef FLCNN_COMMON_TABLE_HH
+#define FLCNN_COMMON_TABLE_HH
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace flcnn {
+
+/**
+ * A simple left/right aligned table. Columns are sized to fit the widest
+ * cell. The first added row is treated as the header.
+ */
+class Table
+{
+  public:
+    /** Construct with column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Append a data row; must match the header arity. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Render to a string (ASCII, pipe-separated, ruled header). */
+    std::string render() const;
+
+    /** Render to a FILE stream (stdout by default). */
+    void print(std::FILE *out = stdout) const;
+
+    /** Number of data rows currently held. */
+    size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> header;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** Shorthand: format a double with @p prec decimals. */
+std::string fmtF(double v, int prec = 2);
+
+/** Shorthand: format an integer. */
+std::string fmtI(int64_t v);
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_TABLE_HH

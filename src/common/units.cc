@@ -1,0 +1,74 @@
+#include "common/units.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flcnn {
+
+std::string
+formatBytes(int64_t bytes)
+{
+    char buf[64];
+    double b = static_cast<double>(bytes);
+    if (bytes < oneKiB) {
+        std::snprintf(buf, sizeof(buf), "%lld B",
+                      static_cast<long long>(bytes));
+    } else if (bytes < oneMiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f KB", b / oneKiB);
+    } else if (b < 1024.0 * oneMiB) {
+        std::snprintf(buf, sizeof(buf), "%.2f MB", b / oneMiB);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.2f GB", b / (1024.0 * oneMiB));
+    }
+    return buf;
+}
+
+std::string
+formatCount(int64_t count)
+{
+    std::string raw = std::to_string(count < 0 ? -count : count);
+    std::string out;
+    int digits = 0;
+    for (auto it = raw.rbegin(); it != raw.rend(); ++it) {
+        if (digits != 0 && digits % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        digits++;
+    }
+    if (count < 0)
+        out.push_back('-');
+    return std::string(out.rbegin(), out.rend());
+}
+
+std::string
+formatScaled(double count)
+{
+    char buf[64];
+    double a = std::fabs(count);
+    if (a >= 1e12) {
+        std::snprintf(buf, sizeof(buf), "%.2f T", count / 1e12);
+    } else if (a >= 1e9) {
+        std::snprintf(buf, sizeof(buf), "%.2f B", count / 1e9);
+    } else if (a >= 1e6) {
+        std::snprintf(buf, sizeof(buf), "%.2f M", count / 1e6);
+    } else if (a >= 1e3) {
+        std::snprintf(buf, sizeof(buf), "%.2f K", count / 1e3);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%.0f", count);
+    }
+    return buf;
+}
+
+double
+toKiB(int64_t bytes)
+{
+    return static_cast<double>(bytes) / oneKiB;
+}
+
+double
+toMiB(int64_t bytes)
+{
+    return static_cast<double>(bytes) / oneMiB;
+}
+
+} // namespace flcnn

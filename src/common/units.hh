@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Byte-size and count formatting helpers.
+ *
+ * The paper reports storage in binary units (KB = KiB, MB = MiB) with
+ * single-precision (4-byte) elements; the helpers here follow that
+ * convention so printed results are directly comparable.
+ */
+
+#ifndef FLCNN_COMMON_UNITS_HH
+#define FLCNN_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+
+namespace flcnn {
+
+/** Bytes per single-precision element, as used by the paper. */
+constexpr int64_t bytesPerWord = 4;
+
+/** Bytes in one KiB / MiB. */
+constexpr int64_t oneKiB = 1024;
+constexpr int64_t oneMiB = 1024 * 1024;
+
+/** Format @p bytes as a human-readable string, e.g. "362.1 KB". */
+std::string formatBytes(int64_t bytes);
+
+/** Format @p count with thousands separators, e.g. "1,234,567". */
+std::string formatCount(int64_t count);
+
+/** Format @p count as a scaled string, e.g. "678.2 M" or "470.1 B". */
+std::string formatScaled(double count);
+
+/** Bytes expressed in KiB as a double. */
+double toKiB(int64_t bytes);
+
+/** Bytes expressed in MiB as a double. */
+double toMiB(int64_t bytes);
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_UNITS_HH

@@ -1,0 +1,73 @@
+#include "fusion/calcparams.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace flcnn {
+
+CalcParamsConfig
+deriveCalcParams(const Network &net, int first_layer, int last_layer)
+{
+    CalcParamsConfig cfg;
+    int64_t d = 1;
+    int64_t stride = 1;
+    for (int i = last_layer; i >= first_layer; i--) {
+        const LayerSpec &spec = net.layer(i);
+        FLCNN_ASSERT(spec.fusable(), "range has a non-fusable layer");
+        if (!spec.windowed())
+            continue;
+        d = windowSpan(d, spec.kernel, spec.stride);
+        stride *= spec.stride;
+    }
+    cfg.x = cfg.y = static_cast<int>(d);
+    cfg.sx = cfg.sy = static_cast<int>(stride);
+    return cfg;
+}
+
+IterationParams
+calcParams(const Network &net, int first_layer, int last_layer,
+           const CalcParamsConfig &cfg, int row, int col)
+{
+    IterationParams it;
+    bool first_windowed = true;
+    int prev_out_w = 0, prev_out_h = 0;
+    for (int i = first_layer; i <= last_layer; i++) {
+        const LayerSpec &spec = net.layer(i);
+        if (!spec.windowed())
+            continue;
+        const int k = spec.kernel, s = spec.stride;
+
+        LayerParams lp;
+        if (first_windowed) {
+            // Layer 1: load coordinates and dimensions straight from
+            // the paper's formulas (the load re-reads the K-S overlap
+            // from DRAM; our executor's layer-1 reuse buffers avoid
+            // that re-read but cover the same tile).
+            it.rowt =
+                row > 0 ? cfg.y + (row - 1) * cfg.sy - (k - s) : 0;
+            it.colt =
+                col > 0 ? cfg.x + (col - 1) * cfg.sx - (k - s) : 0;
+            lp.inW = col == 0 ? cfg.x : cfg.sx + k - s;
+            lp.inH = row == 0 ? cfg.y : cfg.sy + k - s;
+        } else {
+            // Layer n > 1: the reuse module prepends K-S carried
+            // columns/rows to the producer's fresh output (none on the
+            // first pyramid of a row/column, where everything is
+            // fresh).
+            lp.inW = prev_out_w + (col == 0 ? 0 : k - s);
+            lp.inH = prev_out_h + (row == 0 ? 0 : k - s);
+        }
+        FLCNN_ASSERT(lp.inW >= k && lp.inH >= k,
+                     "calcparams produced a tile smaller than the window");
+        lp.outW = (lp.inW - k) / s + 1;
+        lp.outH = (lp.inH - k) / s + 1;
+        prev_out_w = lp.outW;
+        prev_out_h = lp.outH;
+        first_windowed = false;
+        it.layers.push_back(lp);
+    }
+    FLCNN_ASSERT(!it.layers.empty(), "range has no windowed layers");
+    return it;
+}
+
+} // namespace flcnn

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The paper's calcparams formulas (Section IV-B), transcribed verbatim.
+ *
+ * The fused accelerator's control logic is configured at design time
+ * with X, Y (pyramid base width/height) and Sx, Sy (stride between
+ * adjacent pyramids); at each (row, col) iteration it derives the
+ * DRAM-load coordinates and every layer's computation dimensions:
+ *
+ *   rowt = Y + (row-1)*Sy - (K-S)   if row > 0, else 0
+ *   colt = X + (col-1)*Sx - (K-S)   if col > 0, else 0
+ *
+ *   inW_n = X                       if n = 1 and col = 0
+ *         = Sx + K - S              if n = 1 and col > 0
+ *         = outW_{n-1} + K - S      if n > 1
+ *   (inH_n analogously with Y / Sy / row)
+ *
+ *   outW_n = (inW_n - K) / S + 1
+ *   outH_n = (inH_n - K) / S + 1
+ *
+ * These formulas describe *interior* pyramids on clip-free geometry;
+ * the TilePlan generalizes them to ragged edges, padding clip, and
+ * per-layer stalls. The test suite asserts that on interior pyramids
+ * the TilePlan's compute spans agree with calcparams exactly —
+ * validating our span machinery against the paper's own arithmetic.
+ */
+
+#ifndef FLCNN_FUSION_CALCPARAMS_HH
+#define FLCNN_FUSION_CALCPARAMS_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Design-time configuration of the fused accelerator's control. */
+struct CalcParamsConfig
+{
+    int x = 0;   //!< pyramid base width (first-tile columns at layer 1)
+    int y = 0;   //!< pyramid base height
+    int sx = 0;  //!< horizontal stride between adjacent pyramid bases
+    int sy = 0;  //!< vertical stride between pyramid rows
+};
+
+/** Per-iteration values calcparams produces for one fused layer. */
+struct LayerParams
+{
+    int inW = 0, inH = 0;    //!< computation input dims this iteration
+    int outW = 0, outH = 0;  //!< computation output dims
+};
+
+/** Per-iteration values for the whole fused stack. */
+struct IterationParams
+{
+    int rowt = 0, colt = 0;          //!< DRAM load coordinates (layer 1)
+    std::vector<LayerParams> layers;  //!< one entry per *windowed* layer
+};
+
+/**
+ * Derive the design-time configuration for fusing the windowed layers
+ * of [first, last] in @p net with a 1x1 output tip: X and Y from the
+ * paper's backward recursion D' = S*D + K - S, Sx and Sy as the
+ * product of the fused strides.
+ */
+CalcParamsConfig deriveCalcParams(const Network &net, int first_layer,
+                                  int last_layer);
+
+/**
+ * The paper's calcparams evaluation for pyramid (row, col): load
+ * coordinates and each windowed layer's computation dimensions
+ * (pooling layers use their window/stride in the same formulas;
+ * padding and pointwise layers are companions and have no entry).
+ */
+IterationParams calcParams(const Network &net, int first_layer,
+                           int last_layer, const CalcParamsConfig &cfg,
+                           int row, int col);
+
+} // namespace flcnn
+
+#endif // FLCNN_FUSION_CALCPARAMS_HH

@@ -1,0 +1,545 @@
+#include "fusion/fused_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+FusedExecutor::FusedExecutor(const Network &network,
+                             const NetworkWeights &w, TilePlan plan)
+    : net(network), weights(w), tplan(std::move(plan))
+{
+    int n = tplan.numFusedLayers();
+    states.resize(static_cast<size_t>(n));
+    for (int li = 0; li < n; li++) {
+        const LayerGeom &g = tplan.geom(li);
+        const LayerSpec &spec = net.layer(g.layerIdx);
+        LayerState &st = states[static_cast<size_t>(li)];
+
+        if (g.windowed) {
+            st.tile = Tensor(g.inPlane.c, std::max(1, g.maxTileH),
+                             std::max(1, g.maxTileW));
+            if (g.overlapX > 0)
+                st.bl = Tensor(g.inPlane.c, std::max(1, g.maxTileH),
+                               g.overlapX);
+            if (g.overlapY > 0)
+                st.bt = Tensor(g.inPlane.c, g.overlapY, g.inPlane.w);
+        }
+
+        bool owns_fresh = g.windowed || spec.kind == LayerKind::Pad ||
+                          li == 0;
+        if (owns_fresh) {
+            st.fresh = Tensor(g.outPlane.c, std::max(1, g.maxFreshOutH),
+                              std::max(1, g.maxFreshOutW));
+            st.freshOwner = li;
+        }
+    }
+}
+
+void
+FusedExecutor::copyRect(const Tensor &src, Span src_y, Span src_x,
+                        Tensor &dst, Span dst_y, Span dst_x, Span rect_y,
+                        Span rect_x)
+{
+    if (rect_y.empty() || rect_x.empty())
+        return;
+    FLCNN_ASSERT(src.shape().c == dst.shape().c,
+                 "rect copy across differing channel counts");
+    for (int ch = 0; ch < src.shape().c; ch++) {
+        for (int gy = rect_y.begin; gy < rect_y.end; gy++) {
+            for (int gx = rect_x.begin; gx < rect_x.end; gx++) {
+                dst(ch, gy - dst_y.begin, gx - dst_x.begin) =
+                    src(ch, gy - src_y.begin, gx - src_x.begin);
+            }
+        }
+    }
+}
+
+FusedExecutor::LayerState &
+FusedExecutor::producerState(int li)
+{
+    FLCNN_ASSERT(li > 0, "the first fused layer has no producer");
+    LayerState &prev = states[static_cast<size_t>(li - 1)];
+    FLCNN_ASSERT(prev.freshOwner >= 0, "producer owns no fresh buffer");
+    return states[static_cast<size_t>(prev.freshOwner)];
+}
+
+void
+FusedExecutor::assembleTile(int li, int r, int c)
+{
+    const LayerGeom &g = tplan.geom(li);
+    LayerState &st = states[static_cast<size_t>(li)];
+
+    Span ty = g.inY[static_cast<size_t>(r)];
+    Span tx = g.inX[static_cast<size_t>(c)];
+    Span fy = g.freshInY(r);
+    Span fx = g.freshInX(c);
+    st.tileY = ty;
+    st.tileX = tx;
+
+    // Top strip [ty.begin, fy.begin) x full tile width, from BT.
+    Span top{ty.begin, fy.begin};
+    if (!top.empty()) {
+        FLCNN_ASSERT(st.bt.elems() > 0, "top overlap without a BT buffer");
+        FLCNN_ASSERT(tx.begin >= st.btWatermark,
+                     "BT read raced ahead of the safe-write watermark");
+        FLCNN_ASSERT(top.begin >= st.btBaseOld,
+                     "BT read below the retained strip");
+        copyRect(st.bt, Span{st.btBaseOld, st.btBaseOld}, Span{0, 0},
+                 st.tile, ty, tx, top, tx);
+    }
+
+    // Left strip [fy.begin, ty.end) x [tx.begin, fx.begin), from BL.
+    Span left{tx.begin, fx.begin};
+    Span body{fy.begin, ty.end};
+    if (!left.empty() && !body.empty()) {
+        FLCNN_ASSERT(st.bl.elems() > 0, "left overlap without a BL buffer");
+        copyRect(st.bl, st.blY, st.blX, st.tile, ty, tx, body, left);
+    }
+
+    // Fresh corner [fy.begin, ty.end) x [fx.begin, tx.end).
+    if (!fy.empty() && !fx.empty()) {
+        if (li == 0) {
+            copyRect(*groupInput, Span{0, 0}, Span{0, 0}, st.tile, ty, tx,
+                     fy, fx);
+            curStats.loadedBytes += static_cast<int64_t>(fy.width()) *
+                                    fx.width() * g.inPlane.c * 4;
+            if (traceSink) {
+                for (int ch = 0; ch < g.inPlane.c; ch++)
+                    for (int gy = fy.begin; gy < fy.end; gy++)
+                        trace(false,
+                              traceInputBase +
+                                  static_cast<uint64_t>(groupInput->idx(
+                                      ch, gy, fx.begin)) * 4,
+                              static_cast<int64_t>(fx.width()) * 4);
+            }
+        } else {
+            // The producer delivers the full-span diff; the tile only
+            // needs the part inside the compute span (they differ only
+            // in degenerate K < S geometries).
+            LayerState &prod = producerState(li);
+            FLCNN_ASSERT(prod.freshY.begin <= fy.begin &&
+                             prod.freshY.end >= fy.end &&
+                             prod.freshX.begin <= fx.begin &&
+                             prod.freshX.end >= fx.end,
+                         "producer fresh rect does not cover consumer");
+            copyRect(prod.fresh, prod.freshY, prod.freshX, st.tile, ty, tx,
+                     fy, fx);
+        }
+    }
+}
+
+void
+FusedExecutor::saveReuse(int li, int r, int c)
+{
+    const LayerGeom &g = tplan.geom(li);
+    LayerState &st = states[static_cast<size_t>(li)];
+    Span ty = g.inY[static_cast<size_t>(r)];
+    Span tx = g.inX[static_cast<size_t>(c)];
+
+    // BL: columns the next *active* pyramid in this row re-reads.
+    int next_bx = g.nextBeginX[static_cast<size_t>(c)];
+    if (next_bx >= 0 && g.overlapX > 0) {
+        Span keep{std::max(next_bx, tx.begin), tx.end};
+        if (!keep.empty()) {
+            st.blY = ty;
+            st.blX = keep;
+            copyRect(st.tile, ty, tx, st.bl, ty, keep, ty, keep);
+        } else {
+            st.blX = Span{0, 0};
+        }
+    }
+
+    // BT: bottom rows for the next active pyramid row, written only up
+    // to the next active pyramid's left edge (safe-write; see file
+    // comment).
+    if (g.nextBeginY[static_cast<size_t>(r)] >= 0 && g.overlapY > 0) {
+        Span keep_rows{std::max(st.btBaseNew, ty.begin), ty.end};
+        int write_end =
+            (next_bx >= 0) ? std::min(next_bx, tx.end) : tx.end;
+        Span write_cols{std::max(tx.begin, st.btWatermark), write_end};
+        if (!keep_rows.empty() && !write_cols.empty()) {
+            copyRect(st.tile, ty, tx, st.bt,
+                     Span{st.btBaseNew, st.btBaseNew}, Span{0, 0},
+                     keep_rows, write_cols);
+        }
+        st.btWatermark = std::max(st.btWatermark, write_cols.end);
+    }
+}
+
+void
+FusedExecutor::computeWindowed(int li, int r, int c)
+{
+    const LayerGeom &g = tplan.geom(li);
+    const LayerSpec &spec = net.layer(g.layerIdx);
+    LayerState &st = states[static_cast<size_t>(li)];
+
+    Span oy = g.freshOutY(r);
+    Span ox = g.freshOutX(c);
+    st.freshY = oy;
+    st.freshX = ox;
+    if (oy.empty() || ox.empty())
+        return;
+
+    const int s = spec.stride;
+    if (spec.kind == LayerKind::Conv) {
+        const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
+        for (int m = 0; m < g.outPlane.c; m++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    st.fresh(m, gy - oy.begin, gx - ox.begin) = convPoint(
+                        st.tile, fb, m, gy * s - st.tileY.begin,
+                        gx * s - st.tileX.begin, spec.groups,
+                        spec.outChannels, &curStats.ops);
+                }
+            }
+        }
+    } else {
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    st.fresh(ch, gy - oy.begin, gx - ox.begin) = poolPoint(
+                        st.tile, ch, gy * s - st.tileY.begin,
+                        gx * s - st.tileX.begin, spec.kernel,
+                        spec.poolMode, &curStats.ops);
+                }
+            }
+        }
+    }
+
+    if (trackCoverage) {
+        for (int ch = 0; ch < g.outPlane.c; ch++)
+            for (int gy = oy.begin; gy < oy.end; gy++)
+                for (int gx = ox.begin; gx < ox.end; gx++)
+                    st.coverage[static_cast<size_t>(
+                        (static_cast<int64_t>(ch) * g.outPlane.h + gy) *
+                        g.outPlane.w + gx)]++;
+    }
+}
+
+void
+FusedExecutor::runPad(int li, int r, int c)
+{
+    const LayerGeom &g = tplan.geom(li);
+    const LayerSpec &spec = net.layer(g.layerIdx);
+    LayerState &st = states[static_cast<size_t>(li)];
+    const int p = spec.pad;
+
+    Span oy = g.freshOutY(r);
+    Span ox = g.freshOutX(c);
+    st.freshY = oy;
+    st.freshX = ox;
+    if (oy.empty() || ox.empty())
+        return;
+
+    const Tensor *src = nullptr;
+    Span src_y{0, 0}, src_x{0, 0};
+    if (li == 0) {
+        src = groupInput;
+        src_y = Span{0, g.inPlane.h};
+        src_x = Span{0, g.inPlane.w};
+    } else {
+        LayerState &prod = producerState(li);
+        src = &prod.fresh;
+        src_y = prod.freshY;
+        src_x = prod.freshX;
+    }
+
+    int64_t loaded = 0;
+    if (li == 0 && traceSink) {
+        // In-plane sources form one contiguous row segment per (ch, gy).
+        Span sxs{std::max(ox.begin - p, 0),
+                 std::min(ox.end - p, g.inPlane.w)};
+        for (int ch = 0; ch < g.outPlane.c && !sxs.empty(); ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                int sy = gy - p;
+                if (sy < 0 || sy >= g.inPlane.h)
+                    continue;
+                trace(false,
+                      traceInputBase +
+                          static_cast<uint64_t>(groupInput->idx(
+                              ch, sy, sxs.begin)) * 4,
+                      static_cast<int64_t>(sxs.width()) * 4);
+            }
+        }
+    }
+    for (int ch = 0; ch < g.outPlane.c; ch++) {
+        for (int gy = oy.begin; gy < oy.end; gy++) {
+            for (int gx = ox.begin; gx < ox.end; gx++) {
+                int sy = gy - p, sx = gx - p;
+                float v = 0.0f;
+                bool inside = sy >= 0 && sy < g.inPlane.h && sx >= 0 &&
+                              sx < g.inPlane.w;
+                if (inside) {
+                    if (li == 0) {
+                        v = (*src)(ch, sy, sx);
+                        loaded++;
+                    } else {
+                        FLCNN_ASSERT(sy >= src_y.begin && sy < src_y.end &&
+                                         sx >= src_x.begin &&
+                                         sx < src_x.end,
+                                     "pad source outside producer fresh");
+                        v = (*src)(ch, sy - src_y.begin,
+                                   sx - src_x.begin);
+                    }
+                }
+                st.fresh(ch, gy - oy.begin, gx - ox.begin) = v;
+            }
+        }
+    }
+    curStats.loadedBytes += loaded * 4;
+
+    if (trackCoverage) {
+        for (int ch = 0; ch < g.outPlane.c; ch++)
+            for (int gy = oy.begin; gy < oy.end; gy++)
+                for (int gx = ox.begin; gx < ox.end; gx++)
+                    st.coverage[static_cast<size_t>(
+                        (static_cast<int64_t>(ch) * g.outPlane.h + gy) *
+                        g.outPlane.w + gx)]++;
+    }
+}
+
+void
+FusedExecutor::runPointwise(int li, int r, int c)
+{
+    const LayerGeom &g = tplan.geom(li);
+    const LayerSpec &spec = net.layer(g.layerIdx);
+    LayerState &st = states[static_cast<size_t>(li)];
+
+    Span oy = g.freshOutY(r);
+    Span ox = g.freshOutX(c);
+
+    LayerState *owner;
+    if (li == 0) {
+        // A pointwise layer heading the group streams straight from DRAM.
+        owner = &st;
+        copyRect(*groupInput, Span{0, 0}, Span{0, 0}, st.fresh, oy, ox, oy,
+                 ox);
+        curStats.loadedBytes += static_cast<int64_t>(oy.width()) *
+                                ox.width() * g.inPlane.c * 4;
+        if (traceSink && !oy.empty() && !ox.empty()) {
+            for (int ch = 0; ch < g.inPlane.c; ch++)
+                for (int gy = oy.begin; gy < oy.end; gy++)
+                    trace(false,
+                          traceInputBase +
+                              static_cast<uint64_t>(groupInput->idx(
+                                  ch, gy, ox.begin)) * 4,
+                          static_cast<int64_t>(ox.width()) * 4);
+        }
+    } else {
+        LayerState &prod = producerState(li);
+        FLCNN_ASSERT(oy.empty() || ox.empty() ||
+                         (prod.freshY == oy && prod.freshX == ox),
+                     "pointwise fresh rect mismatch with producer");
+        owner = &prod;
+        st.freshOwner = prod.freshOwner;
+    }
+    st.freshY = oy;
+    st.freshX = ox;
+    if (oy.empty() || ox.empty())
+        return;
+
+    Tensor &buf = owner->fresh;
+    if (spec.kind == LayerKind::ReLU) {
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    float &v = buf(ch, gy - oy.begin, gx - ox.begin);
+                    v = std::max(0.0f, v);
+                }
+            }
+        }
+        curStats.ops.compares += static_cast<int64_t>(g.outPlane.c) *
+                                 oy.width() * ox.width();
+    } else {
+        // LRN: cross-channel at each point; use a channel scratch column
+        // so the in-place update does not corrupt neighbors.
+        const int half = spec.lrnSize / 2;
+        std::vector<float> col(static_cast<size_t>(g.outPlane.c));
+        for (int gy = oy.begin; gy < oy.end; gy++) {
+            for (int gx = ox.begin; gx < ox.end; gx++) {
+                for (int ch = 0; ch < g.outPlane.c; ch++)
+                    col[static_cast<size_t>(ch)] =
+                        buf(ch, gy - oy.begin, gx - ox.begin);
+                for (int ch = 0; ch < g.outPlane.c; ch++) {
+                    float sum = 0.0f;
+                    int lo = std::max(0, ch - half);
+                    int hi = std::min(g.outPlane.c - 1, ch + half);
+                    for (int j = lo; j <= hi; j++)
+                        sum += col[static_cast<size_t>(j)] *
+                               col[static_cast<size_t>(j)];
+                    float denom = std::pow(
+                        2.0f + static_cast<float>(spec.lrnAlpha) * sum,
+                        static_cast<float>(spec.lrnBeta));
+                    buf(ch, gy - oy.begin, gx - ox.begin) =
+                        col[static_cast<size_t>(ch)] / denom;
+                    curStats.ops.mults += (hi - lo + 1) + 2;
+                    curStats.ops.adds += (hi - lo + 1) + 1;
+                }
+            }
+        }
+    }
+}
+
+Tensor
+FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
+{
+    FLCNN_ASSERT(input.shape() == tplan.groupInput(),
+                 "input shape does not match the fusion plan");
+    Tensor output(tplan.groupOutput());
+    groupInput = &input;
+    groupOutput = &output;
+    curStats = FusedRunStats{};
+
+    const int n = tplan.numFusedLayers();
+    for (int li = 0; li < n; li++) {
+        LayerState &st = states[static_cast<size_t>(li)];
+        st.btBaseOld = 0;
+        st.btBaseNew = 0;
+        st.btWatermark = 0;
+        st.blX = Span{0, 0};
+        bool counts_coverage =
+            tplan.geom(li).windowed ||
+            net.layer(tplan.geom(li).layerIdx).kind == LayerKind::Pad;
+        if (trackCoverage && counts_coverage) {
+            st.coverage.assign(
+                static_cast<size_t>(tplan.geom(li).outPlane.elems()), 0);
+        } else {
+            st.coverage.clear();
+        }
+        // Pointwise owners are re-established every pyramid; reset the
+        // li == 0 special case.
+        if (!tplan.geom(li).windowed &&
+            net.layer(tplan.geom(li).layerIdx).pointwise() && li > 0) {
+            st.freshOwner = -1;
+        }
+    }
+
+    for (int r = 0; r < tplan.numPyramidRows(); r++) {
+        // Row bookkeeping (active rows only): the strip written during
+        // the previous active row becomes readable; a new strip (for the
+        // next active row) starts filling.
+        for (int li = 0; li < n; li++) {
+            const LayerGeom &g = tplan.geom(li);
+            LayerState &st = states[static_cast<size_t>(li)];
+            if (!g.windowed || g.overlapY <= 0 || !g.isActiveY(r))
+                continue;
+            st.btBaseOld = st.btBaseNew;
+            st.btBaseNew = g.nextBeginY[static_cast<size_t>(r)] >= 0
+                               ? g.nextBeginY[static_cast<size_t>(r)]
+                               : 0;
+            st.btWatermark = 0;
+        }
+
+        for (int c = 0; c < tplan.numPyramidCols(); c++) {
+            for (int li = 0; li < n; li++) {
+                const LayerGeom &g = tplan.geom(li);
+                const LayerSpec &spec = net.layer(g.layerIdx);
+                LayerState &st = states[static_cast<size_t>(li)];
+                if (!g.isActiveY(r) || !g.isActiveX(c)) {
+                    // Stalled pyramid: this layer computes nothing here
+                    // and its buffers carry over untouched. Publish an
+                    // empty fresh rect for downstream bookkeeping.
+                    Span ey = g.freshOutY(r), ex = g.freshOutX(c);
+                    st.freshY = Span{ey.end, ey.end};
+                    st.freshX = Span{ex.end, ex.end};
+                    if (!g.windowed && spec.pointwise() && li > 0) {
+                        st.freshOwner =
+                            states[static_cast<size_t>(li) - 1].freshOwner;
+                    }
+                    continue;
+                }
+                if (g.windowed) {
+                    assembleTile(li, r, c);
+                    saveReuse(li, r, c);
+                    computeWindowed(li, r, c);
+                } else if (spec.kind == LayerKind::Pad) {
+                    runPad(li, r, c);
+                } else {
+                    runPointwise(li, r, c);
+                }
+            }
+
+            // Retire the pyramid: store the tip to DRAM.
+            LayerState &tail = states[static_cast<size_t>(n - 1)];
+            LayerState &owner = states[static_cast<size_t>(
+                tail.freshOwner >= 0 ? tail.freshOwner : n - 1)];
+            Span oy = tail.freshY, ox = tail.freshX;
+            if (!oy.empty() && !ox.empty()) {
+                copyRect(owner.fresh, owner.freshY, owner.freshX, output,
+                         Span{0, 0}, Span{0, 0}, oy, ox);
+                curStats.storedBytes += static_cast<int64_t>(oy.width()) *
+                                        ox.width() *
+                                        output.shape().c * 4;
+                if (traceSink) {
+                    for (int ch = 0; ch < output.shape().c; ch++)
+                        for (int gy = oy.begin; gy < oy.end; gy++)
+                            trace(true,
+                                  traceOutputBase +
+                                      static_cast<uint64_t>(output.idx(
+                                          ch, gy, ox.begin)) * 4,
+                                  static_cast<int64_t>(ox.width()) * 4);
+                }
+            }
+            curStats.pyramids++;
+        }
+    }
+
+    curStats.reuseBytes = tplan.reuseBufferBytes();
+    curStats.workingBytes = tplan.workingBufferBytes();
+
+    if (trackCoverage) {
+        coverageMsg.clear();
+        for (int li = 0; li < n; li++) {
+            const LayerState &st = states[static_cast<size_t>(li)];
+            if (st.coverage.empty())
+                continue;
+            int64_t over = 0, computed = 0;
+            for (uint8_t v : st.coverage) {
+                if (v > 1)
+                    over++;
+                if (v >= 1)
+                    computed++;
+            }
+            // The group-output completeness check applies to whichever
+            // layer owns the tail's fresh buffer (a pointwise tail
+            // aliases its producer and tallies nothing itself).
+            bool is_tail_owner =
+                states[static_cast<size_t>(n - 1)].freshOwner == li;
+            int64_t want = tplan.geom(li).outPlane.elems();
+            if (over > 0) {
+                char buf[128];
+                std::snprintf(buf, sizeof(buf),
+                              "layer %d recomputed %lld elements; ", li,
+                              static_cast<long long>(over));
+                coverageMsg += buf;
+            }
+            if (is_tail_owner && computed != want) {
+                char buf[128];
+                std::snprintf(
+                    buf, sizeof(buf),
+                    "output layer %d covered %lld of %lld elements; ", li,
+                    static_cast<long long>(computed),
+                    static_cast<long long>(want));
+                coverageMsg += buf;
+            }
+        }
+    }
+
+    groupInput = nullptr;
+    groupOutput = nullptr;
+    if (stats)
+        *stats = curStats;
+    return output;
+}
+
+std::string
+FusedExecutor::coverageReport() const
+{
+    return coverageMsg;
+}
+
+} // namespace flcnn

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * FusedExecutor: functional model of the fused-layer accelerator
+ * (Listings 3 and 4 of the paper) under the *reuse* strategy.
+ *
+ * The executor evaluates a fusion group pyramid-by-pyramid. For every
+ * windowed layer it keeps three on-chip buffers:
+ *
+ *  - tile: the layer's assembled input tile for the current pyramid;
+ *  - BL ("buffer left"): the tile columns that overlap the next pyramid
+ *    in the same row;
+ *  - BT ("buffer top"): a full-plane-width strip of rows that overlap
+ *    the next pyramid row.
+ *
+ * At each pyramid (row, col) the tile is assembled from BT (top strip),
+ *  BL (left strip) and the fresh data produced by the preceding fused
+ * layer in the same pyramid (or loaded from DRAM for the group's first
+ * layer); the layer then computes exactly the fresh region of its output
+ * that downstream layers have not seen. Every intermediate value is
+ * computed exactly once — the defining property of the reuse model —
+ * which the optional coverage tracker verifies.
+ *
+ * One deliberate deviation from the paper's Listing 4: the listing
+ * updates BT across its own full tile width each iteration, which would
+ * overwrite rows that pyramids later in the same row still need. This
+ * implementation writes BT only up to the next pyramid's left edge (the
+ * region no later pyramid in this row reads), resolving the hazard the
+ * pseudo-code elides.
+ */
+
+#ifndef FLCNN_FUSION_FUSED_EXECUTOR_HH
+#define FLCNN_FUSION_FUSED_EXECUTOR_HH
+
+#include <string>
+#include <vector>
+
+#include "common/opcount.hh"
+#include "fusion/plan.hh"
+#include "nn/reference.hh"
+#include "nn/weights.hh"
+#include "sim/trace.hh"
+
+namespace flcnn {
+
+/** Statistics from one fused run. */
+struct FusedRunStats
+{
+    int64_t loadedBytes = 0;   //!< DRAM bytes read (group input)
+    int64_t storedBytes = 0;   //!< DRAM bytes written (group output)
+    int64_t reuseBytes = 0;    //!< BL + BT capacity (the paper's cost)
+    int64_t workingBytes = 0;  //!< tile + fresh-output buffer capacity
+    int64_t pyramids = 0;      //!< number of pyramids evaluated
+    OpCount ops;               //!< arithmetic performed
+};
+
+/** Functional fused-layer (reuse model) executor for one fusion group. */
+class FusedExecutor
+{
+  public:
+    /**
+     * Prepare an executor for @p plan over @p net with @p weights. The
+     * referenced objects must outlive the executor.
+     */
+    FusedExecutor(const Network &net, const NetworkWeights &weights,
+                  TilePlan plan);
+
+    /** Evaluate the fusion group on @p input (the first fused layer's
+     *  full input plane). Returns the group output plane. */
+    Tensor run(const Tensor &input, FusedRunStats *stats = nullptr);
+
+    const TilePlan &plan() const { return tplan; }
+
+    /**
+     * Enable per-element coverage tracking (test instrumentation).
+     * After run(), coverageReport() returns an empty string when every
+     * produced element was computed exactly once and no element twice.
+     */
+    void setTrackCoverage(bool enable) { trackCoverage = enable; }
+    std::string coverageReport() const;
+
+    /** Stream every DRAM access of subsequent runs to @p sink
+     *  (group-input reads and group-output writes; see sim/trace.hh
+     *  for the address map). Pass nullptr to disable. */
+    void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
+
+  private:
+    /** Per-fused-layer mutable state. */
+    struct LayerState
+    {
+        // Assembly tile (windowed layers only).
+        Tensor tile;
+        Span tileY, tileX;   //!< global rect currently held in tile
+
+        // Reuse buffers (windowed layers with positive overlap).
+        Tensor bl;           //!< C x maxTileH x overlapX
+        Span blY, blX;       //!< global rect held in bl
+        Tensor bt;           //!< C x overlapY x planeW
+        int btBaseOld = 0;   //!< global first row of readable strip
+        int btBaseNew = 0;   //!< global first row of strip being written
+        int btWatermark = 0; //!< columns [0, watermark) hold new rows
+
+        // Fresh output of this layer for the current pyramid. Pointwise
+        // layers alias the producer's buffer (freshOwner picks whose).
+        Tensor fresh;
+        Span freshY, freshX; //!< global output rect held in fresh
+        int freshOwner = -1; //!< fused-layer index owning the buffer
+
+        // Coverage instrumentation (output plane of this layer).
+        std::vector<uint8_t> coverage;
+    };
+
+    void assembleTile(int li, int r, int c);
+    void saveReuse(int li, int r, int c);
+    void computeWindowed(int li, int r, int c);
+    void runPad(int li, int r, int c);
+    void runPointwise(int li, int r, int c);
+
+    /** Fresh buffer and rect of the producer feeding fused layer li. */
+    LayerState &producerState(int li);
+
+    /** Copy a global rect from src (with rect anchor) into dst. */
+    static void copyRect(const Tensor &src, Span src_y, Span src_x,
+                         Tensor &dst, Span dst_y, Span dst_x,
+                         Span rect_y, Span rect_x);
+
+    const Network &net;
+    const NetworkWeights &weights;
+    TilePlan tplan;
+    std::vector<LayerState> states;
+    const Tensor *groupInput = nullptr;
+    Tensor *groupOutput = nullptr;
+    FusedRunStats curStats;
+    bool trackCoverage = false;
+    std::string coverageMsg;
+    TraceSink traceSink;
+
+    /** Emit one traced access when a sink is installed. */
+    void
+    trace(bool write, uint64_t addr, int64_t bytes)
+    {
+        if (traceSink && bytes > 0)
+            traceSink(DramAccess{write, addr, bytes});
+    }
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_FUSION_FUSED_EXECUTOR_HH

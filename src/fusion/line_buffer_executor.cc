@@ -1,0 +1,276 @@
+#include "fusion/line_buffer_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+LineBufferExecutor::LineBufferExecutor(const Network &network,
+                                       const NetworkWeights &w,
+                                       int first_layer, int last_layer,
+                                       int row_block)
+    : net(network), weights(w), first(first_layer), last(last_layer),
+      rowBlock(row_block)
+{
+    FLCNN_ASSERT(first >= 0 && last < net.numLayers() && first <= last,
+                 "fusion range out of bounds");
+    FLCNN_ASSERT(rowBlock >= 1, "row block must be positive");
+    const int n = last - first + 1;
+    states.resize(static_cast<size_t>(n));
+    for (int li = 0; li < n; li++) {
+        const LayerSpec &spec = net.layer(first + li);
+        FLCNN_ASSERT(spec.fusable(), "range contains a non-fusable layer");
+        const Shape &in = net.inShape(first + li);
+        const Shape &out = net.outShape(first + li);
+        LayerState &st = states[static_cast<size_t>(li)];
+        if (spec.windowed()) {
+            st.ringRows =
+                (rowBlock - 1) * spec.stride + spec.kernel;
+            st.ring = Tensor(in.c, st.ringRows, in.w);
+            st.blockBuf.assign(static_cast<size_t>(rowBlock) * out.c *
+                                   out.w,
+                               0.0f);
+        }
+        st.rowBuf.assign(static_cast<size_t>(out.c) * out.w, 0.0f);
+    }
+}
+
+int64_t
+LineBufferExecutor::bufferBytes() const
+{
+    int64_t bytes = 0;
+    for (const auto &st : states) {
+        if (st.ringRows > 0)
+            bytes += st.ring.shape().bytes();
+    }
+    return bytes;
+}
+
+void
+LineBufferExecutor::drain(int li, Tensor &output)
+{
+    LayerState &st = states[static_cast<size_t>(li)];
+    const LayerSpec &spec = net.layer(first + li);
+    const Shape &in = net.inShape(first + li);
+    const Shape &out = net.outShape(first + li);
+    const int k = spec.kernel, s = spec.stride, cap = st.ringRows;
+    const int64_t row_elems = static_cast<int64_t>(out.c) * out.w;
+
+    for (;;) {
+        int max_by_input =
+            st.rowsIn >= k ? (st.rowsIn - k) / s + 1 : 0;
+        int avail = std::min(out.h, max_by_input) - st.nextOut;
+        if (avail <= 0)
+            break;
+        // Batch full blocks; flush a partial block only once this
+        // layer's input is complete (amortizes weight re-streaming;
+        // see the row_block constructor comment).
+        int batch;
+        if (avail >= rowBlock)
+            batch = rowBlock;
+        else if (st.rowsIn >= in.h)
+            batch = avail;
+        else
+            break;
+
+        const int oy0 = st.nextOut;
+        if (spec.kind == LayerKind::Conv) {
+            const FilterBank &fb =
+                weights.bank(net.convSlot(first + li));
+            const int n_per_group = fb.numChannels();
+            const int m_per_group = out.c / spec.groups;
+            for (int m = 0; m < out.c; m++) {
+                const int n_base = (m / m_per_group) * n_per_group;
+                for (int b = 0; b < batch; b++) {
+                    const int oy = oy0 + b;
+                    float *dst = st.blockBuf.data() +
+                                 static_cast<size_t>(b) * row_elems +
+                                 static_cast<size_t>(m) * out.w;
+                    for (int ox = 0; ox < out.w; ox++) {
+                        // Canonical summation order (bias, n, i, j) so
+                        // results are bit-identical to the reference.
+                        float acc = fb.bias(m);
+                        for (int n = 0; n < n_per_group; n++) {
+                            for (int i = 0; i < k; i++) {
+                                const int ry = (oy * s + i) % cap;
+                                const float *wrow = fb.wRow(m, n, i);
+                                const float *rrow = st.ring.rowPtr(
+                                    n_base + n, ry, ox * s);
+                                for (int j = 0; j < k; j++)
+                                    acc += wrow[j] * rrow[j];
+                            }
+                        }
+                        dst[ox] = acc;
+                    }
+                }
+            }
+            int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
+            curStats.ops.mults += taps * row_elems * batch;
+            curStats.ops.adds += taps * row_elems * batch;
+        } else {
+            for (int b = 0; b < batch; b++) {
+                const int oy = oy0 + b;
+                float *dst = st.blockBuf.data() +
+                             static_cast<size_t>(b) * row_elems;
+                for (int ch = 0; ch < out.c; ch++) {
+                    for (int ox = 0; ox < out.w; ox++) {
+                        float acc =
+                            (spec.poolMode == PoolMode::Max)
+                                ? st.ring(ch, (oy * s) % cap, ox * s)
+                                : 0.0f;
+                        for (int i = 0; i < k; i++) {
+                            const int ry = (oy * s + i) % cap;
+                            for (int j = 0; j < k; j++) {
+                                float v =
+                                    st.ring(ch, ry, ox * s + j);
+                                if (spec.poolMode == PoolMode::Max)
+                                    acc = std::max(acc, v);
+                                else
+                                    acc += v;
+                            }
+                        }
+                        if (spec.poolMode == PoolMode::Avg)
+                            acc /= static_cast<float>(k * k);
+                        dst[static_cast<size_t>(ch) * out.w + ox] = acc;
+                    }
+                }
+            }
+            int64_t win =
+                static_cast<int64_t>(k) * k * row_elems * batch;
+            if (spec.poolMode == PoolMode::Max)
+                curStats.ops.compares += win;
+            else
+                curStats.ops.adds += win;
+        }
+
+        st.nextOut += batch;
+        for (int b = 0; b < batch; b++) {
+            pushRow(li + 1, oy0 + b,
+                    st.blockBuf.data() +
+                        static_cast<size_t>(b) * row_elems,
+                    output);
+        }
+    }
+}
+
+void
+LineBufferExecutor::pushRow(int li, int y, const float *row_data,
+                            Tensor &output)
+{
+    const int n = last - first + 1;
+    if (li == n) {
+        const Shape &out = output.shape();
+        for (int ch = 0; ch < out.c; ch++)
+            for (int x = 0; x < out.w; x++)
+                output(ch, y, x) =
+                    row_data[static_cast<size_t>(ch) * out.w + x];
+        curStats.storedBytes += static_cast<int64_t>(out.c) * out.w * 4;
+        return;
+    }
+
+    LayerState &st = states[static_cast<size_t>(li)];
+    const LayerSpec &spec = net.layer(first + li);
+    const Shape &in = net.inShape(first + li);
+    const Shape &out = net.outShape(first + li);
+
+    switch (spec.kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool: {
+        const int slot = y % st.ringRows;
+        for (int ch = 0; ch < in.c; ch++)
+            for (int x = 0; x < in.w; x++)
+                st.ring(ch, slot, x) =
+                    row_data[static_cast<size_t>(ch) * in.w + x];
+        st.rowsIn = y + 1;
+        drain(li, output);
+        break;
+      }
+      case LayerKind::Pad: {
+        const int p = spec.pad;
+        auto emit_zero_row = [&](int oy) {
+            std::fill(st.rowBuf.begin(), st.rowBuf.end(), 0.0f);
+            pushRow(li + 1, oy, st.rowBuf.data(), output);
+        };
+        if (y == 0) {
+            for (int oy = 0; oy < p; oy++)
+                emit_zero_row(oy);
+        }
+        std::fill(st.rowBuf.begin(), st.rowBuf.end(), 0.0f);
+        for (int ch = 0; ch < in.c; ch++)
+            for (int x = 0; x < in.w; x++)
+                st.rowBuf[static_cast<size_t>(ch) * out.w + (x + p)] =
+                    row_data[static_cast<size_t>(ch) * in.w + x];
+        pushRow(li + 1, y + p, st.rowBuf.data(), output);
+        if (y == in.h - 1) {
+            for (int oy = in.h + p; oy < in.h + 2 * p; oy++)
+                emit_zero_row(oy);
+        }
+        break;
+      }
+      case LayerKind::ReLU: {
+        for (int64_t e = 0; e < static_cast<int64_t>(in.c) * in.w; e++)
+            st.rowBuf[static_cast<size_t>(e)] =
+                std::max(0.0f, row_data[static_cast<size_t>(e)]);
+        curStats.ops.compares += static_cast<int64_t>(in.c) * in.w;
+        pushRow(li + 1, y, st.rowBuf.data(), output);
+        break;
+      }
+      case LayerKind::LRN: {
+        const int half = spec.lrnSize / 2;
+        for (int x = 0; x < in.w; x++) {
+            for (int ch = 0; ch < in.c; ch++) {
+                float sum = 0.0f;
+                int lo = std::max(0, ch - half);
+                int hi = std::min(in.c - 1, ch + half);
+                for (int j = lo; j <= hi; j++) {
+                    float v = row_data[static_cast<size_t>(j) * in.w + x];
+                    sum += v * v;
+                }
+                float denom = std::pow(
+                    2.0f + static_cast<float>(spec.lrnAlpha) * sum,
+                    static_cast<float>(spec.lrnBeta));
+                st.rowBuf[static_cast<size_t>(ch) * in.w + x] =
+                    row_data[static_cast<size_t>(ch) * in.w + x] / denom;
+                curStats.ops.mults += (hi - lo + 1) + 2;
+                curStats.ops.adds += (hi - lo + 1) + 1;
+            }
+        }
+        pushRow(li + 1, y, st.rowBuf.data(), output);
+        break;
+      }
+      default:
+        panic("non-fusable layer in a line-buffer pipeline");
+    }
+}
+
+Tensor
+LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
+{
+    FLCNN_ASSERT(input.shape() == net.inShape(first),
+                 "input shape does not match the fused range");
+    Tensor output(net.outShape(last));
+    curStats = LineBufferStats{};
+    curStats.bufferBytes = bufferBytes();
+    for (auto &st : states) {
+        st.rowsIn = 0;
+        st.nextOut = 0;
+    }
+
+    const Shape &in = input.shape();
+    std::vector<float> row(static_cast<size_t>(in.c) * in.w);
+    for (int y = 0; y < in.h; y++) {
+        for (int ch = 0; ch < in.c; ch++)
+            for (int x = 0; x < in.w; x++)
+                row[static_cast<size_t>(ch) * in.w + x] = input(ch, y, x);
+        curStats.loadedBytes += static_cast<int64_t>(in.c) * in.w * 4;
+        pushRow(0, y, row.data(), output);
+    }
+
+    if (stats)
+        *stats = curStats;
+    return output;
+}
+
+} // namespace flcnn

@@ -1,0 +1,200 @@
+#include "fusion/recompute_executor.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+RecomputeExecutor::RecomputeExecutor(const Network &network,
+                                     const NetworkWeights &w, TilePlan plan)
+    : net(network), weights(w), tplan(std::move(plan))
+{
+    const int n = tplan.numFusedLayers();
+    tiles.reserve(static_cast<size_t>(n));
+    tileY.assign(static_cast<size_t>(n), Span{0, 0});
+    tileX.assign(static_cast<size_t>(n), Span{0, 0});
+    int64_t working = 0;
+    for (int li = 0; li < n; li++) {
+        const LayerGeom &g = tplan.geom(li);
+        // The output tile of layer li is the input tile of layer li+1;
+        // size it from the widest output span over all pyramids.
+        int max_h = 0, max_w = 0;
+        for (const Span &s : g.outY)
+            max_h = std::max(max_h, s.width());
+        for (const Span &s : g.outX)
+            max_w = std::max(max_w, s.width());
+        tiles.emplace_back(g.outPlane.c, std::max(1, max_h),
+                           std::max(1, max_w));
+        working += tiles.back().shape().bytes();
+    }
+    const LayerGeom &g0 = tplan.geom(0);
+    inTile = Tensor(g0.inPlane.c, std::max(1, g0.maxFullInH),
+                    std::max(1, g0.maxFullInW));
+    working += inTile.shape().bytes();
+    curStats.workingBytes = working;
+}
+
+void
+RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
+{
+    const LayerGeom &g = tplan.geom(li);
+    const LayerSpec &spec = net.layer(g.layerIdx);
+
+    Span oy = g.outY[static_cast<size_t>(r)];
+    Span ox = g.outX[static_cast<size_t>(c)];
+    tileY[static_cast<size_t>(li)] = oy;
+    tileX[static_cast<size_t>(li)] = ox;
+    Tensor &out = tiles[static_cast<size_t>(li)];
+    if (oy.empty() || ox.empty())
+        return;
+
+    // Source tile: the previous layer's output, or the freshly loaded
+    // input tile for the group's first layer.
+    const Tensor &src = (li == 0) ? inTile : tiles[static_cast<size_t>(li) - 1];
+    Span sy = (li == 0) ? inTileY : tileY[static_cast<size_t>(li) - 1];
+    Span sx = (li == 0) ? inTileX : tileX[static_cast<size_t>(li) - 1];
+    (void)input;
+
+    switch (spec.kind) {
+      case LayerKind::Conv: {
+        const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
+        for (int m = 0; m < g.outPlane.c; m++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    out(m, gy - oy.begin, gx - ox.begin) = convPoint(
+                        src, fb, m, gy * spec.stride - sy.begin,
+                        gx * spec.stride - sx.begin, spec.groups,
+                        spec.outChannels, &curStats.ops);
+                }
+            }
+        }
+        break;
+      }
+      case LayerKind::Pool:
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    out(ch, gy - oy.begin, gx - ox.begin) = poolPoint(
+                        src, ch, gy * spec.stride - sy.begin,
+                        gx * spec.stride - sx.begin, spec.kernel,
+                        spec.poolMode, &curStats.ops);
+                }
+            }
+        }
+        break;
+      case LayerKind::Pad:
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    int py = gy - spec.pad, px = gx - spec.pad;
+                    bool inside = py >= sy.begin && py < sy.end &&
+                                  px >= sx.begin && px < sx.end;
+                    out(ch, gy - oy.begin, gx - ox.begin) =
+                        inside ? src(ch, py - sy.begin, px - sx.begin)
+                               : 0.0f;
+                }
+            }
+        }
+        break;
+      case LayerKind::ReLU:
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            for (int gy = oy.begin; gy < oy.end; gy++) {
+                for (int gx = ox.begin; gx < ox.end; gx++) {
+                    out(ch, gy - oy.begin, gx - ox.begin) = std::max(
+                        0.0f,
+                        src(ch, gy - sy.begin, gx - sx.begin));
+                }
+            }
+        }
+        curStats.ops.compares +=
+            static_cast<int64_t>(g.outPlane.c) * oy.width() * ox.width();
+        break;
+      case LayerKind::LRN: {
+        const int half = spec.lrnSize / 2;
+        for (int gy = oy.begin; gy < oy.end; gy++) {
+            for (int gx = ox.begin; gx < ox.end; gx++) {
+                for (int ch = 0; ch < g.outPlane.c; ch++) {
+                    float sum = 0.0f;
+                    int lo = std::max(0, ch - half);
+                    int hi = std::min(g.outPlane.c - 1, ch + half);
+                    for (int j = lo; j <= hi; j++) {
+                        float v = src(j, gy - sy.begin, gx - sx.begin);
+                        sum += v * v;
+                    }
+                    float denom = std::pow(
+                        2.0f + static_cast<float>(spec.lrnAlpha) * sum,
+                        static_cast<float>(spec.lrnBeta));
+                    out(ch, gy - oy.begin, gx - ox.begin) =
+                        src(ch, gy - sy.begin, gx - sx.begin) / denom;
+                    curStats.ops.mults += (hi - lo + 1) + 2;
+                    curStats.ops.adds += (hi - lo + 1) + 1;
+                }
+            }
+        }
+        break;
+      }
+      default:
+        panic("non-fusable layer inside a recompute pyramid");
+    }
+}
+
+Tensor
+RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
+{
+    FLCNN_ASSERT(input.shape() == tplan.groupInput(),
+                 "input shape does not match the fusion plan");
+    Tensor output(tplan.groupOutput());
+    int64_t working = curStats.workingBytes;
+    curStats = RecomputeRunStats{};
+    curStats.workingBytes = working;
+
+    const LayerGeom &g0 = tplan.geom(0);
+    const int n = tplan.numFusedLayers();
+
+    for (int r = 0; r < tplan.numPyramidRows(); r++) {
+        for (int c = 0; c < tplan.numPyramidCols(); c++) {
+            // Load the full base tile from DRAM (the recompute model
+            // re-reads the overlap between neighboring pyramids).
+            inTileY = g0.fullInY[static_cast<size_t>(r)];
+            inTileX = g0.fullInX[static_cast<size_t>(c)];
+            for (int ch = 0; ch < g0.inPlane.c; ch++) {
+                for (int gy = inTileY.begin; gy < inTileY.end; gy++) {
+                    for (int gx = inTileX.begin; gx < inTileX.end; gx++) {
+                        inTile(ch, gy - inTileY.begin,
+                               gx - inTileX.begin) = input(ch, gy, gx);
+                    }
+                }
+            }
+            curStats.loadedBytes += static_cast<int64_t>(g0.inPlane.c) *
+                                    inTileY.width() * inTileX.width() * 4;
+
+            for (int li = 0; li < n; li++)
+                computeLayer(li, r, c, input);
+
+            // Store the tip.
+            const LayerGeom &gl = tplan.geom(n - 1);
+            Span oy = gl.outY[static_cast<size_t>(r)];
+            Span ox = gl.outX[static_cast<size_t>(c)];
+            Tensor &tip = tiles[static_cast<size_t>(n) - 1];
+            for (int ch = 0; ch < gl.outPlane.c; ch++) {
+                for (int gy = oy.begin; gy < oy.end; gy++) {
+                    for (int gx = ox.begin; gx < ox.end; gx++) {
+                        output(ch, gy, gx) =
+                            tip(ch, gy - oy.begin, gx - ox.begin);
+                    }
+                }
+            }
+            curStats.storedBytes += static_cast<int64_t>(gl.outPlane.c) *
+                                    oy.width() * ox.width() * 4;
+            curStats.pyramids++;
+        }
+    }
+
+    if (stats)
+        *stats = curStats;
+    return output;
+}
+
+} // namespace flcnn

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * RecomputeExecutor: the paper's *recompute* strategy (Section III-C).
+ *
+ * Each pyramid is evaluated completely independently: every layer
+ * computes its entire input-tile-to-output-tile transformation from
+ * scratch, recomputing the intermediate values that overlap with
+ * neighboring pyramids instead of caching them. No reuse buffers exist;
+ * the cost is redundant arithmetic (and redundant re-loading of the
+ * overlapping first-layer input), which this executor measures so the
+ * analytic recompute model can be validated against it (DESIGN.md
+ * invariant 7).
+ */
+
+#ifndef FLCNN_FUSION_RECOMPUTE_EXECUTOR_HH
+#define FLCNN_FUSION_RECOMPUTE_EXECUTOR_HH
+
+#include "common/opcount.hh"
+#include "fusion/plan.hh"
+#include "nn/reference.hh"
+#include "nn/weights.hh"
+
+namespace flcnn {
+
+/** Statistics from one recompute-model run. */
+struct RecomputeRunStats
+{
+    int64_t loadedBytes = 0;   //!< DRAM bytes read (incl. re-reads)
+    int64_t storedBytes = 0;   //!< DRAM bytes written
+    int64_t workingBytes = 0;  //!< per-layer tile buffer capacity
+    int64_t pyramids = 0;
+    OpCount ops;               //!< includes all redundant recomputation
+};
+
+/** Functional fused-layer executor under the recompute strategy. */
+class RecomputeExecutor
+{
+  public:
+    RecomputeExecutor(const Network &net, const NetworkWeights &weights,
+                      TilePlan plan);
+
+    /** Evaluate the fusion group on @p input. */
+    Tensor run(const Tensor &input, RecomputeRunStats *stats = nullptr);
+
+    const TilePlan &plan() const { return tplan; }
+
+  private:
+    void computeLayer(int li, int r, int c, const Tensor &input);
+
+    const Network &net;
+    const NetworkWeights &weights;
+    TilePlan tplan;
+
+    /** tiles[li]: output tile of fused layer li for the current pyramid,
+     *  anchored at (outY[r].begin, outX[c].begin). tiles[-1] conceptually
+     *  is the loaded input tile, stored in inTile. */
+    std::vector<Tensor> tiles;
+    std::vector<Span> tileY, tileX;
+    Tensor inTile;
+    Span inTileY, inTileX;
+    RecomputeRunStats curStats;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_FUSION_RECOMPUTE_EXECUTOR_HH

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Half-open 1D spans and the per-layer span transfer functions that
+ * underlie the pyramid geometry.
+ *
+ * A fusion pyramid is fully described by the input span each layer needs
+ * along each spatial axis. Spans are derived backwards from the tip
+ * (Section III-B of the paper): a convolution or pooling layer consuming
+ * output span [a, b) needs input span [a*S, (b-1)*S + K); a padding layer
+ * shifts coordinates by -p and clips to the unpadded plane; pointwise
+ * layers pass spans through unchanged. The paper's scalar recursion
+ * D' = S*D + K - S is the width of the conv/pool case.
+ */
+
+#ifndef FLCNN_FUSION_SPAN_HH
+#define FLCNN_FUSION_SPAN_HH
+
+#include <algorithm>
+#include <cstdint>
+
+#include "nn/layer.hh"
+
+namespace flcnn {
+
+/** Half-open integer interval [begin, end). */
+struct Span
+{
+    int begin = 0;
+    int end = 0;
+
+    int width() const { return end > begin ? end - begin : 0; }
+    bool empty() const { return end <= begin; }
+
+    /**
+     * Intersect with [0, extent), normalizing an empty result to
+     * {end, end} so that span ends stay monotone under composition
+     * (fresh-data diffs depend on that).
+     */
+    Span
+    clip(int extent) const
+    {
+        Span s{std::max(begin, 0),
+               std::max(0, std::min(end, extent))};
+        if (s.begin > s.end)
+            s.begin = s.end;
+        return s;
+    }
+
+    friend bool
+    operator==(const Span &a, const Span &b)
+    {
+        return a.begin == b.begin && a.end == b.end;
+    }
+};
+
+/**
+ * The input span layer @p spec needs (along one spatial axis) to produce
+ * output span @p out, clipped to the layer's input extent @p in_extent.
+ */
+inline Span
+layerInSpan(const LayerSpec &spec, Span out, int in_extent)
+{
+    if (out.empty()) {
+        // Keep empty spans *positioned*: anchor at the transformed end
+        // so that the per-pyramid end sequence stays monotone and
+        // fresh-data diffs against the predecessor remain valid.
+        int e;
+        switch (spec.kind) {
+          case LayerKind::Conv:
+          case LayerKind::Pool:
+            e = (out.end - 1) * spec.stride + spec.kernel;
+            break;
+          case LayerKind::Pad:
+            e = out.end - spec.pad;
+            break;
+          default:
+            e = out.end;
+            break;
+        }
+        e = std::max(0, std::min(e, in_extent));
+        return Span{e, e};
+    }
+    Span in;
+    switch (spec.kind) {
+      case LayerKind::Conv:
+      case LayerKind::Pool:
+        in.begin = out.begin * spec.stride;
+        in.end = (out.end - 1) * spec.stride + spec.kernel;
+        break;
+      case LayerKind::Pad:
+        in.begin = out.begin - spec.pad;
+        in.end = out.end - spec.pad;
+        break;
+      case LayerKind::ReLU:
+      case LayerKind::LRN:
+        in = out;
+        break;
+      default:
+        // Non-fusable layers never appear inside a pyramid.
+        in = out;
+        break;
+    }
+    return in.clip(in_extent);
+}
+
+} // namespace flcnn
+
+#endif // FLCNN_FUSION_SPAN_HH

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * HLS template emitter (the paper's Section IV deliverable).
+ *
+ * The fused accelerator "is specialized for a specific CNN and
+ * hard-codes these values to achieve its efficiency benefits"; the
+ * paper ships its design as a Vivado-HLS C++ template driven by
+ * #pragma annotations. This emitter produces that artifact for any
+ * fusion configuration in this library: a self-contained C++ source
+ * file with
+ *
+ *  - all layer dimensions baked in as constexpr values,
+ *  - one specialized compute function per fused layer, its Tm/Tn
+ *    loops annotated with HLS UNROLL pragmas and the spatial loop with
+ *    PIPELINE II=1 (ignored by a host compiler, honored by HLS),
+ *  - K-row line buffers per windowed layer (the streaming equivalent
+ *    of Listing 4's BL/BT reuse buffers: intermediate data never
+ *    leaves the chip), and
+ *  - a dataflow top function that streams the image row by row.
+ *
+ * The emitted file is legal host C++: with FLCNN_HLS_TESTBENCH defined
+ * it gains a main() that reads input/weights from binary files and
+ * writes the output, so the generated accelerator can be compiled with
+ * any C++ compiler and checked bit-exactly against the library (the
+ * integration tests do exactly that).
+ */
+
+#ifndef FLCNN_HLS_EMITTER_HH
+#define FLCNN_HLS_EMITTER_HH
+
+#include <string>
+
+#include "model/resource.hh"
+#include "nn/network.hh"
+#include "nn/weights.hh"
+
+namespace flcnn {
+
+/** Options controlling emission. */
+struct HlsEmitOptions
+{
+    std::string topName = "fused_top";  //!< top-level function name
+    bool testbench = true;  //!< include the file-driven testbench main
+};
+
+/**
+ * Emit the specialized fused-layer accelerator source for layers
+ * [first, last] of @p net with per-conv unrolls @p unrolls (pass an
+ * empty vector for all-(1,1)). Returns the C++ source text.
+ */
+std::string emitFusedHls(const Network &net, int first_layer,
+                         int last_layer,
+                         const std::vector<LayerUnroll> &unrolls,
+                         const HlsEmitOptions &opt = {});
+
+/**
+ * Serialize the weights of the fused range in the order the emitted
+ * testbench expects (per conv layer: all filter weights in
+ * (m, n, i, j) order, then the biases).
+ */
+std::vector<float> packWeightsForHls(const Network &net,
+                                     const NetworkWeights &weights,
+                                     int first_layer, int last_layer);
+
+} // namespace flcnn
+
+#endif // FLCNN_HLS_EMITTER_HH

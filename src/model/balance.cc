@@ -1,0 +1,144 @@
+#include "model/balance.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "model/baseline.hh"
+
+namespace flcnn {
+
+int64_t
+fusedLayerCycles(const Network &net, int layer_idx, int tm, int tn)
+{
+    const LayerSpec &spec = net.layer(layer_idx);
+    FLCNN_ASSERT(spec.kind == LayerKind::Conv,
+                 "cycle model applies to convolutions");
+    const Shape &in = net.inShape(layer_idx);
+    const Shape &out = net.outShape(layer_idx);
+    // Grouped convolutions tile within each group.
+    return spec.groups * convCycles(spec.outChannels / spec.groups,
+                                    in.c / spec.groups, out.h, out.w,
+                                    spec.kernel, tm, tn);
+}
+
+int64_t
+FusedPipelineConfig::layerCycles(const Network &net, int layer_idx) const
+{
+    for (const LayerUnroll &u : unrolls) {
+        if (u.layerIdx == layer_idx)
+            return fusedLayerCycles(net, layer_idx, u.tm, u.tn);
+    }
+    panic("layer %d has no unroll in this pipeline config", layer_idx);
+}
+
+namespace {
+
+struct ConvDims
+{
+    int layerIdx;
+    int m, n;          //!< output channels, per-group input channels
+    int64_t baseWork;  //!< outH * outW * K^2
+};
+
+/** Cheapest (tm, tn) achieving cycles <= target, or dsp = INT32_MAX. */
+LayerUnroll
+cheapestUnrollFor(const ConvDims &d, int64_t target, int dsp_per_mac,
+                  int *dsp_out)
+{
+    LayerUnroll best{d.layerIdx, 0, 0};
+    int best_dsp = INT32_MAX;
+    for (int tn = 1; tn <= d.n; tn++) {
+        // cycles = ceil(m/tm) * ceil(n/tn) * baseWork <= target
+        int64_t per_group = ceilDiv(d.n, tn) * d.baseWork;
+        int64_t q = target / per_group;  // allowed ceil(m/tm)
+        if (q < 1)
+            continue;
+        int tm = static_cast<int>(ceilDiv(d.m, q));
+        tm = std::min(tm, d.m);
+        int dsp = tm * tn * dsp_per_mac;
+        if (dsp < best_dsp) {
+            best_dsp = dsp;
+            best.tm = tm;
+            best.tn = tn;
+        }
+    }
+    *dsp_out = best_dsp;
+    return best;
+}
+
+} // namespace
+
+FusedPipelineConfig
+balanceFusedPipeline(const Network &net, int first_layer, int last_layer,
+                     int dsp_budget, int dsp_per_mac)
+{
+    std::vector<ConvDims> convs;
+    int64_t t_max = 0, t_min = 0;
+    for (int i : net.convLayers()) {
+        if (i < first_layer || i > last_layer)
+            continue;
+        const LayerSpec &spec = net.layer(i);
+        const Shape &in = net.inShape(i);
+        const Shape &out = net.outShape(i);
+        ConvDims d;
+        d.layerIdx = i;
+        d.m = spec.outChannels / spec.groups;
+        d.n = in.c / spec.groups;
+        d.baseWork = static_cast<int64_t>(spec.groups) * out.h * out.w *
+                     spec.kernel * spec.kernel;
+        t_max = std::max(t_max,
+                         d.baseWork * static_cast<int64_t>(d.m) * d.n);
+        t_min = std::max(t_min, d.baseWork);
+        convs.push_back(d);
+    }
+    FLCNN_ASSERT(!convs.empty(), "fusion range has no convolutions");
+
+    auto feasible = [&](int64_t target,
+                        std::vector<LayerUnroll> *out) -> bool {
+        int64_t total_dsp = 0;
+        std::vector<LayerUnroll> picks;
+        for (const ConvDims &d : convs) {
+            int dsp;
+            LayerUnroll u = cheapestUnrollFor(d, target, dsp_per_mac,
+                                              &dsp);
+            if (dsp == INT32_MAX)
+                return false;
+            total_dsp += dsp;
+            picks.push_back(u);
+        }
+        if (total_dsp > dsp_budget)
+            return false;
+        if (out)
+            *out = std::move(picks);
+        return true;
+    };
+
+    if (!feasible(t_max, nullptr)) {
+        fatal("DSP budget %d cannot fit even minimal (1,1) unrolls for "
+              "%zu fused convolutions",
+              dsp_budget, convs.size());
+    }
+
+    int64_t lo = t_min, hi = t_max;
+    while (lo < hi) {
+        int64_t mid = lo + (hi - lo) / 2;
+        if (feasible(mid, nullptr))
+            hi = mid;
+        else
+            lo = mid + 1;
+    }
+
+    FusedPipelineConfig cfg;
+    bool ok = feasible(lo, &cfg.unrolls);
+    FLCNN_ASSERT(ok, "binary search converged on an infeasible target");
+    for (const LayerUnroll &u : cfg.unrolls) {
+        cfg.totalDsp += u.tm * u.tn * dsp_per_mac;
+        cfg.bottleneckCycles =
+            std::max(cfg.bottleneckCycles,
+                     fusedLayerCycles(net, u.layerIdx, u.tm, u.tn));
+    }
+    return cfg;
+}
+
+} // namespace flcnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Unroll balancing for the fused-layer pipeline (Section IV-B).
+ *
+ * The fused accelerator instantiates one compute module per fused
+ * convolution; pipeline throughput is set by the slowest stage, so the
+ * paper selects per-layer (Tm_i, Tn_i) that "minimize the cycle count
+ * difference across all layers" subject to the DSP constraint
+ *
+ *     sum_i Tm_i * Tn_i * (DSPadd + DSPmul)  <=  available DSPs.
+ *
+ * We solve this as a minimize-the-bottleneck problem: binary-search the
+ * target per-image cycle count T, and for each T pick the cheapest
+ * (Tm, Tn) per layer that achieves <= T; T is feasible when the DSP
+ * total fits the budget.
+ */
+
+#ifndef FLCNN_MODEL_BALANCE_HH
+#define FLCNN_MODEL_BALANCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/resource.hh"
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Balanced configuration of a fused pipeline. */
+struct FusedPipelineConfig
+{
+    std::vector<LayerUnroll> unrolls;  //!< one per conv layer in range
+    int64_t bottleneckCycles = 0;      //!< max per-layer per-image cycles
+    int totalDsp = 0;
+
+    /** Cycles of a specific conv layer under its chosen unroll. */
+    int64_t layerCycles(const Network &net, int layer_idx) const;
+};
+
+/**
+ * Balance the conv layers of [first, last] under @p dsp_budget.
+ * fatal()s when even (1, 1) unrolls exceed the budget.
+ */
+FusedPipelineConfig balanceFusedPipeline(const Network &net,
+                                         int first_layer, int last_layer,
+                                         int dsp_budget,
+                                         int dsp_per_mac = dspPerMac);
+
+/** Whole-image cycles of one conv layer with unroll (tm, tn). */
+int64_t fusedLayerCycles(const Network &net, int layer_idx, int tm,
+                         int tn);
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_BALANCE_HH

@@ -1,0 +1,143 @@
+#include "model/baseline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace flcnn {
+
+int64_t
+convCycles(int m, int n_per_group, int out_h, int out_w, int k, int tm,
+           int tn)
+{
+    return ceilDiv(m, tm) * ceilDiv(n_per_group, tn) *
+           static_cast<int64_t>(out_h) * out_w * k * k;
+}
+
+BaselineConfig
+optimizeBaseline(const Network &net, int dsp_budget, int dsp_per_mac)
+{
+    FLCNN_ASSERT(dsp_budget >= dsp_per_mac, "DSP budget too small");
+
+    // Collect conv layer dimensions.
+    struct Dims
+    {
+        int m, n, out_h, out_w, k;
+    };
+    std::vector<Dims> convs;
+    int max_m = 1, max_n = 1;
+    for (int i : net.convLayers()) {
+        const LayerSpec &spec = net.layer(i);
+        const Shape &in = net.inShape(i);
+        const Shape &out = net.outShape(i);
+        // Grouped convolutions tile within each group.
+        convs.push_back(Dims{spec.outChannels / spec.groups,
+                             in.c / spec.groups, out.h, out.w,
+                             spec.kernel});
+        max_m = std::max(max_m, spec.outChannels / spec.groups);
+        max_n = std::max(max_n, in.c / spec.groups);
+    }
+    FLCNN_ASSERT(!convs.empty(), "network has no convolution layers");
+
+    BaselineConfig best;
+    int64_t best_cycles = INT64_MAX;
+    int best_dsp = INT32_MAX;
+    int max_lanes = dsp_budget / dsp_per_mac;
+    for (int tm = 1; tm <= std::min(max_m, max_lanes); tm++) {
+        int tn_cap = std::min(max_n, max_lanes / tm);
+        for (int tn = 1; tn <= tn_cap; tn++) {
+            int64_t cycles = 0;
+            for (const Dims &d : convs)
+                cycles += convCycles(d.m, d.n, d.out_h, d.out_w, d.k, tm,
+                                     tn);
+            // (per-group cycles are identical across groups; the
+            // objective only needs relative ordering, and the group
+            // multiplier is constant per layer)
+            int dsp = tm * tn * dsp_per_mac;
+            if (cycles < best_cycles ||
+                (cycles == best_cycles && dsp < best_dsp)) {
+                best_cycles = cycles;
+                best_dsp = dsp;
+                best.tm = tm;
+                best.tn = tn;
+            }
+        }
+    }
+    return best;
+}
+
+namespace {
+
+/** Sum over tile strips of the (possibly clipped) input-tile extent. */
+int64_t
+haloedInputExtent(int out_extent, int in_extent, int k, int s,
+                  int out_tile)
+{
+    if (out_tile <= 0 || out_tile >= out_extent) {
+        // Whole-plane tiles: the plane is read without halo re-reads.
+        return std::min<int64_t>(windowSpan(out_extent, k, s), in_extent);
+    }
+    int64_t total = 0;
+    for (int t = 0; t < out_extent; t += out_tile) {
+        int rows = std::min(out_tile, out_extent - t);
+        total += std::min<int64_t>(windowSpan(rows, k, s),
+                                   in_extent - static_cast<int64_t>(t) * s);
+    }
+    return total;
+}
+
+} // namespace
+
+BaselineCost
+evaluateBaseline(const Network &net, const BaselineConfig &cfg)
+{
+    BaselineCost cost;
+    const auto &stages = net.stages();
+    for (size_t s = 0; s < stages.size(); s++) {
+        const Stage &st = stages[s];
+        const LayerSpec &w = net.layer(st.windowed);
+        if (w.kind != LayerKind::Conv)
+            continue;  // pooling merged into the producing convolution
+
+        const Shape &in = net.inShape(st.windowed);
+        const Shape &out = net.outShape(st.windowed);
+
+        BaselineStageCost sc;
+        sc.name = w.name;
+        // Output-channel tiles never straddle channel groups, so a
+        // grouped convolution runs groups * ceil((M/g)/Tm) tile groups.
+        int m_per_group = w.outChannels / w.groups;
+        sc.cycles = w.groups *
+                    convCycles(m_per_group, in.c / w.groups, out.h,
+                               out.w, w.kernel, cfg.tm, cfg.tn);
+
+        // Input: one trip over the (padded) plane per output-channel
+        // tile group (each group's trip touches only its own channels,
+        // so the per-plane multiplier is ceil((M/g)/Tm)), with halo
+        // re-reads between spatial tiles.
+        int64_t trips = ceilDiv(m_per_group, cfg.tm);
+        int64_t rows = haloedInputExtent(out.h, in.h, w.kernel, w.stride,
+                                         cfg.tr);
+        int64_t cols = haloedInputExtent(out.w, in.w, w.kernel, w.stride,
+                                         cfg.tc);
+        sc.inBytes = trips * rows * cols * in.c * 4;
+
+        // Output: written once, pooled when a pool stage follows.
+        int last = st.last;
+        if (s + 1 < stages.size()) {
+            const Stage &nx = stages[s + 1];
+            if (net.layer(nx.windowed).kind == LayerKind::Pool)
+                last = nx.last;
+        }
+        sc.outBytes = net.outShape(last).bytes();
+        sc.weightBytes = net.weightBytesInRange(st.first, st.last);
+
+        cost.totalCycles += sc.cycles;
+        cost.totalBytes += sc.inBytes + sc.outBytes + sc.weightBytes;
+        cost.stages.push_back(std::move(sc));
+    }
+    return cost;
+}
+
+} // namespace flcnn

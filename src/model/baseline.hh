@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Model of the baseline tiled CNN accelerator (Zhang et al. [19],
+ * Listings 1-2): the design layer fusion is compared against.
+ *
+ * Cycle model (the paper's Section IV-B formula):
+ *
+ *   Cycles_i = ceil(M_i/Tm) * ceil(N_i/Tn) * outW_i * outH_i * K_i^2
+ *
+ * A joint (Tm, Tn) is chosen to minimize total cycles across the conv
+ * layers under a DSP budget (the optimum for VGG-E's first five convs
+ * at the paper's 2880-DSP budget is (64, 9), reproducing the paper's
+ * 10,951k baseline cycles exactly).
+ *
+ * Transfer model: with the Listing-1 loop order (m outer, n inner), the
+ * input feature maps are re-read once per output-channel tile group
+ * (ceil(M/Tm) trips); tiles additionally re-read a K-S halo on each
+ * axis. Outputs are written once (pooling merged into the producing
+ * convolution, as the paper's comparison assumes); weights transfer
+ * once per layer.
+ */
+
+#ifndef FLCNN_MODEL_BASELINE_HH
+#define FLCNN_MODEL_BASELINE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Configuration of the baseline accelerator. */
+struct BaselineConfig
+{
+    int tm = 1;   //!< output-channel unroll (dot-product units)
+    int tn = 1;   //!< input-channel unroll (dot-product width)
+    int tr = 0;   //!< output tile rows (0 = whole plane)
+    int tc = 0;   //!< output tile cols (0 = whole plane)
+};
+
+/** Per-stage cost of running the baseline accelerator. */
+struct BaselineStageCost
+{
+    std::string name;
+    int64_t cycles = 0;
+    int64_t inBytes = 0;      //!< input reads incl. trips and halos
+    int64_t outBytes = 0;     //!< output writes (pooled when merged)
+    int64_t weightBytes = 0;  //!< weight reads
+};
+
+/** Totals over all stages. */
+struct BaselineCost
+{
+    std::vector<BaselineStageCost> stages;
+    int64_t totalCycles = 0;
+    int64_t totalBytes = 0;
+};
+
+/** Cycles for one convolution under the paper's formula. */
+int64_t convCycles(int m, int n_per_group, int out_h, int out_w, int k,
+                   int tm, int tn);
+
+/**
+ * Jointly optimize (Tm, Tn) over the conv layers of @p net to minimize
+ * total cycles under @p dsp_budget DSPs (dsp_per_mac DSPs per
+ * multiplier-accumulator lane; 5 for single-precision on Virtex-7).
+ * Ties prefer fewer DSPs.
+ */
+BaselineConfig optimizeBaseline(const Network &net, int dsp_budget,
+                                int dsp_per_mac = 5);
+
+/**
+ * Evaluate the baseline accelerator on @p net with @p cfg. Pooling
+ * stages are merged into their producing convolution (outputs written
+ * pooled; pooling itself contributes no cycles, matching the paper's
+ * conservative baseline assumptions).
+ */
+BaselineCost evaluateBaseline(const Network &net,
+                              const BaselineConfig &cfg);
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_BASELINE_HH

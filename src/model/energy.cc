@@ -1,0 +1,24 @@
+#include "model/energy.hh"
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+EnergyBreakdown
+estimateEnergy(int64_t dram_bytes, int64_t onchip_bytes,
+               const OpCount &ops, const EnergyModel &model)
+{
+    FLCNN_ASSERT(dram_bytes >= 0 && onchip_bytes >= 0,
+                 "byte counts must be non-negative");
+    EnergyBreakdown e;
+    e.dramPj = static_cast<double>(dram_bytes) * model.dramPjPerByte;
+    e.sramPj = static_cast<double>(onchip_bytes) * model.sramPjPerByte;
+    // The paper counts one addition per multiplication; a fused MAC is
+    // priced once per (mult, add) pair.
+    e.computePj =
+        static_cast<double>(ops.multAdds()) / 2.0 * model.macPjPerOp +
+        static_cast<double>(ops.compares) * model.cmpPjPerOp;
+    return e;
+}
+
+} // namespace flcnn

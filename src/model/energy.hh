@@ -1,0 +1,64 @@
+/**
+ * @file
+ * First-order energy model.
+ *
+ * The paper motivates layer fusion by the bandwidth *and energy* cost
+ * of shuttling feature maps through DRAM ("this transfer of feature
+ * map data to and from external memory is costly in terms of memory
+ * bandwidth and energy"). This model quantifies that: DRAM accesses
+ * cost two orders of magnitude more energy per byte than on-chip SRAM,
+ * so a design that eliminates 95% of the DRAM traffic saves nearly all
+ * of the memory energy while arithmetic energy stays constant (the
+ * reuse model performs identical arithmetic).
+ *
+ * Default coefficients are 40-45 nm-class figures commonly used in the
+ * accelerator literature (Horowitz, ISSCC'14 keynote): they are knobs,
+ * not measurements, and EXPERIMENTS.md treats the results as ratios.
+ */
+
+#ifndef FLCNN_MODEL_ENERGY_HH
+#define FLCNN_MODEL_ENERGY_HH
+
+#include <cstdint>
+
+#include "common/opcount.hh"
+
+namespace flcnn {
+
+/** Energy coefficients (picojoules). */
+struct EnergyModel
+{
+    double dramPjPerByte = 162.5;  //!< ~650 pJ per 32-bit DRAM access
+    double sramPjPerByte = 1.25;   //!< ~5 pJ per 32-bit on-chip access
+    double macPjPerOp = 2.3;       //!< fp32 multiply-add average
+    double cmpPjPerOp = 0.2;       //!< comparison (pool/ReLU)
+};
+
+/** Energy breakdown of one accelerator run (picojoules). */
+struct EnergyBreakdown
+{
+    double dramPj = 0.0;
+    double sramPj = 0.0;
+    double computePj = 0.0;
+
+    double total() const { return dramPj + sramPj + computePj; }
+
+    /** Total in millijoules, the natural unit at CNN scale. */
+    double totalMj() const { return total() * 1e-9; }
+};
+
+/**
+ * Estimate the energy of one inference.
+ *
+ * @param dram_bytes   bytes moved to/from DRAM
+ * @param onchip_bytes bytes moved through on-chip buffers (reuse
+ *                     buffers, tiles; count each logical access once)
+ * @param ops          arithmetic performed
+ */
+EnergyBreakdown estimateEnergy(int64_t dram_bytes, int64_t onchip_bytes,
+                               const OpCount &ops,
+                               const EnergyModel &model = {});
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_ENERGY_HH

@@ -1,0 +1,68 @@
+#include "model/explorer.hh"
+
+#include "common/logging.hh"
+#include "model/recompute.hh"
+#include "model/storage.hh"
+#include "model/transfer.hh"
+
+namespace flcnn {
+
+const DesignPoint &
+ExplorationResult::minStorage() const
+{
+    FLCNN_ASSERT(!front.empty(), "exploration produced no points");
+    return front.front();
+}
+
+const DesignPoint &
+ExplorationResult::minTransfer() const
+{
+    FLCNN_ASSERT(!front.empty(), "exploration produced no points");
+    return front.back();
+}
+
+const DesignPoint *
+ExplorationResult::bestUnderStorage(int64_t max_storage_bytes) const
+{
+    const DesignPoint *best = nullptr;
+    for (const DesignPoint &p : front) {
+        if (p.storageBytes <= max_storage_bytes)
+            best = &p;  // front is sorted by ascending storage
+    }
+    return best;
+}
+
+ExplorationResult
+exploreFusionSpace(const Network &net, const ExploreOptions &opt)
+{
+    const int stages = static_cast<int>(net.stages().size());
+    FLCNN_ASSERT(stages >= 1, "network has no fusable stages");
+
+    ExplorationResult res;
+    for (Partition &p : enumeratePartitions(stages)) {
+        DesignPoint d;
+        d.transferBytes = partitionTransferBytes(net, p);
+        d.storageBytes =
+            partitionReuseStorageBytes(net, p, opt.exactStorage);
+        if (opt.includeWeightStorage) {
+            for (const StageGroup &g : p) {
+                if (g.size() <= 1)
+                    continue;
+                int first_layer, last_layer;
+                groupLayerRange(net, g, first_layer, last_layer);
+                d.storageBytes +=
+                    net.weightBytesInRange(first_layer, last_layer);
+            }
+        }
+        if (opt.withRecompute) {
+            d.extraOps =
+                partitionPairwiseRecomputeExtraMultAdds(net, p);
+        }
+        d.partition = std::move(p);
+        res.points.push_back(std::move(d));
+    }
+    res.front = paretoFront(res.points);
+    return res;
+}
+
+} // namespace flcnn

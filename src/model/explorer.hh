@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Whole-design-space exploration (the paper's Section V tool): evaluate
+ * every partition of a network's fusable stages, producing the Figure 7
+ * scatter and its Pareto front.
+ */
+
+#ifndef FLCNN_MODEL_EXPLORER_HH
+#define FLCNN_MODEL_EXPLORER_HH
+
+#include <vector>
+
+#include "model/pareto.hh"
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Options for a design-space sweep. */
+struct ExploreOptions
+{
+    /** Use the exact TilePlan-based storage model (default) instead of
+     *  the closed-form estimate (faster for >20 stages). */
+    bool exactStorage = true;
+
+    /** Also price the recompute-model alternative per point. */
+    bool withRecompute = false;
+
+    /**
+     * Add on-chip weight residency to the storage cost of multi-stage
+     * groups. The fused accelerator keeps every fused layer's weights
+     * on chip (Section IV); for early layers this is negligible, but
+     * it is exactly why fusing the *late*, weight-heavy layers stops
+     * paying (the paper's motivation for targeting early layers).
+     */
+    bool includeWeightStorage = false;
+};
+
+/** A full exploration of one network. */
+struct ExplorationResult
+{
+    std::vector<DesignPoint> points;  //!< every partition, in cut order
+    std::vector<DesignPoint> front;   //!< Pareto-optimal subset
+
+    /** The point with minimum storage (the layer-by-layer extreme,
+     *  Figure 7 point A). */
+    const DesignPoint &minStorage() const;
+
+    /** The point with minimum transfer (full fusion, point C when it is
+     *  Pareto-optimal). */
+    const DesignPoint &minTransfer() const;
+
+    /** The front point with the best transfer under a storage budget
+     *  (how a designer picks point B); nullptr if none fits. */
+    const DesignPoint *bestUnderStorage(int64_t max_storage_bytes) const;
+};
+
+/** Evaluate all 2^(l-1) partitions of @p net's fusable stages. */
+ExplorationResult exploreFusionSpace(const Network &net,
+                                     const ExploreOptions &opt = {});
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_EXPLORER_HH

@@ -1,0 +1,28 @@
+#include "model/pareto.hh"
+
+#include <algorithm>
+
+namespace flcnn {
+
+std::vector<DesignPoint>
+paretoFront(std::vector<DesignPoint> points)
+{
+    std::sort(points.begin(), points.end(),
+              [](const DesignPoint &a, const DesignPoint &b) {
+                  if (a.storageBytes != b.storageBytes)
+                      return a.storageBytes < b.storageBytes;
+                  return a.transferBytes < b.transferBytes;
+              });
+
+    std::vector<DesignPoint> front;
+    int64_t best_transfer = INT64_MAX;
+    for (auto &p : points) {
+        if (p.transferBytes < best_transfer) {
+            best_transfer = p.transferBytes;
+            front.push_back(std::move(p));
+        }
+    }
+    return front;
+}
+
+} // namespace flcnn

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Pareto-frontier extraction for two-objective (minimize, minimize)
+ * design points — the solid line in the paper's Figure 7.
+ */
+
+#ifndef FLCNN_MODEL_PARETO_HH
+#define FLCNN_MODEL_PARETO_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/partition.hh"
+
+namespace flcnn {
+
+/** One evaluated fusion design (a point in Figure 7). */
+struct DesignPoint
+{
+    Partition partition;
+    int64_t storageBytes = 0;   //!< extra on-chip storage (x axis)
+    int64_t transferBytes = 0;  //!< off-chip transfer per image (y axis)
+    int64_t extraOps = 0;       //!< recompute-model alternative cost
+
+    /** True when this point dominates @p o (<= on both axes, < on one). */
+    bool
+    dominates(const DesignPoint &o) const
+    {
+        return storageBytes <= o.storageBytes &&
+               transferBytes <= o.transferBytes &&
+               (storageBytes < o.storageBytes ||
+                transferBytes < o.transferBytes);
+    }
+};
+
+/**
+ * Extract the Pareto-optimal subset (minimizing storage and transfer),
+ * sorted by ascending storage. Duplicate-coordinate points keep one
+ * representative.
+ */
+std::vector<DesignPoint> paretoFront(std::vector<DesignPoint> points);
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_PARETO_HH

@@ -1,0 +1,145 @@
+#include "model/recompute.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "nn/reference.hh"
+
+namespace flcnn {
+
+OpCount
+recomputeOpsForPlan(const Network &net, const TilePlan &plan)
+{
+    OpCount total;
+    for (int li = 0; li < plan.numFusedLayers(); li++) {
+        const LayerGeom &g = plan.geom(li);
+        const LayerSpec &spec = net.layer(g.layerIdx);
+
+        int64_t sum_h = 0, sum_w = 0;
+        for (const Span &s : g.outY)
+            sum_h += s.width();
+        for (const Span &s : g.outX)
+            sum_w += s.width();
+        int64_t spatial = sum_h * sum_w;
+
+        switch (spec.kind) {
+          case LayerKind::Conv: {
+            int64_t taps = static_cast<int64_t>(g.inPlane.c / spec.groups) *
+                           spec.kernel * spec.kernel;
+            int64_t points = spatial * g.outPlane.c;
+            total.mults += points * taps;
+            total.adds += points * taps;
+            break;
+          }
+          case LayerKind::Pool: {
+            int64_t win = static_cast<int64_t>(spec.kernel) * spec.kernel;
+            int64_t points = spatial * g.outPlane.c;
+            if (spec.poolMode == PoolMode::Max)
+                total.compares += points * win;
+            else
+                total.adds += points * win;
+            break;
+          }
+          case LayerKind::ReLU:
+            total.compares += spatial * g.outPlane.c;
+            break;
+          case LayerKind::Pad:
+            break;
+          case LayerKind::LRN: {
+            const int half = spec.lrnSize / 2;
+            for (int ch = 0; ch < g.outPlane.c; ch++) {
+                int lo = std::max(0, ch - half);
+                int hi = std::min(g.outPlane.c - 1, ch + half);
+                int64_t span = hi - lo + 1;
+                total.mults += spatial * (span + 2);
+                total.adds += spatial * (span + 1);
+            }
+            break;
+          }
+          default:
+            panic("non-fusable layer in a recompute query");
+        }
+    }
+    return total;
+}
+
+int64_t
+recomputeExtraMultAdds(const Network &net, int first_layer, int last_layer)
+{
+    TilePlan plan(net, first_layer, last_layer, 1, 1);
+    OpCount rec = recomputeOpsForPlan(net, plan);
+    OpCount ref = rangeOpCount(net, first_layer, last_layer);
+    return rec.multAdds() - ref.multAdds();
+}
+
+namespace {
+
+/** Per-point mult-add cost of the layer that produced plane values. */
+int64_t
+producerPointMultAdds(const Network &net, int layer_idx)
+{
+    const LayerSpec &spec = net.layer(layer_idx);
+    const Shape &in = net.inShape(layer_idx);
+    switch (spec.kind) {
+      case LayerKind::Conv:
+        return 2LL * (in.c / spec.groups) * spec.kernel * spec.kernel;
+      case LayerKind::LRN:
+        return 2LL * spec.lrnSize + 3;
+      default:
+        return 0;  // pool/relu/pad cost no mult-adds
+    }
+}
+
+} // namespace
+
+int64_t
+pairwiseRecomputeExtraMultAdds(const Network &net, int first_layer,
+                               int last_layer)
+{
+    int64_t extra = 0;
+    for (int w = first_layer; w <= last_layer; w++) {
+        const LayerSpec &spec = net.layer(w);
+        if (!spec.windowed())
+            continue;
+
+        // Walk back from w's input through companion layers to the
+        // nearest value-producing layer inside the group.
+        int p = w - 1;
+        while (p >= first_layer && (net.layer(p).kind == LayerKind::Pad ||
+                                    net.layer(p).pointwise())) {
+            if (net.layer(p).kind == LayerKind::LRN)
+                break;  // LRN produces new values; price it directly
+            p--;
+        }
+        if (p < first_layer)
+            continue;  // w consumes the group input (loaded, not computed)
+
+        int64_t cost = producerPointMultAdds(net, p);
+        if (cost == 0)
+            continue;
+        int64_t uses = ceilDiv(spec.kernel, spec.stride) *
+                       ceilDiv(spec.kernel, spec.stride);
+        int64_t points = net.outShape(p).elems();
+        extra += points * (uses - 1) * cost;
+    }
+    return extra;
+}
+
+int64_t
+partitionPairwiseRecomputeExtraMultAdds(const Network &net,
+                                        const Partition &p)
+{
+    int64_t extra = 0;
+    for (const StageGroup &g : p) {
+        if (g.size() <= 1)
+            continue;
+        int first_layer, last_layer;
+        groupLayerRange(net, g, first_layer, last_layer);
+        extra += pairwiseRecomputeExtraMultAdds(net, first_layer,
+                                                last_layer);
+    }
+    return extra;
+}
+
+} // namespace flcnn

@@ -1,0 +1,128 @@
+#include "model/resource.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "fusion/plan.hh"
+
+namespace flcnn {
+
+int
+dspForUnroll(int tm, int tn)
+{
+    return tm * tn * dspPerMac;
+}
+
+int
+bramsFor(int64_t bytes, int banks, bool double_buffered)
+{
+    if (bytes <= 0)
+        return 0;
+    banks = std::max(1, banks);
+    int64_t per_bank = ceilDiv(bytes, banks);
+    int64_t brams = banks * ceilDiv(per_bank, bramBytes);
+    return static_cast<int>(double_buffered ? 2 * brams : brams);
+}
+
+ResourceUsage
+baselineResources(const Network &net, const BaselineConfig &cfg)
+{
+    ResourceUsage use;
+    use.dsp = dspForUnroll(cfg.tm, cfg.tn);
+
+    // Size the shared buffers for the worst-case layer.
+    int64_t in_tile_bytes = 0, out_tile_bytes = 0, w_tile_bytes = 0;
+    for (int i : net.convLayers()) {
+        const LayerSpec &spec = net.layer(i);
+        const Shape &in = net.inShape(i);
+        const Shape &out = net.outShape(i);
+        int tr = cfg.tr > 0 ? std::min(cfg.tr, out.h) : out.h;
+        int tc = cfg.tc > 0 ? std::min(cfg.tc, out.w) : out.w;
+        int64_t in_h =
+            std::min<int64_t>(windowSpan(tr, spec.kernel, spec.stride),
+                              in.h);
+        int64_t in_w =
+            std::min<int64_t>(windowSpan(tc, spec.kernel, spec.stride),
+                              in.w);
+        in_tile_bytes =
+            std::max(in_tile_bytes, int64_t{cfg.tn} * in_h * in_w * 4);
+        out_tile_bytes =
+            std::max(out_tile_bytes, int64_t{cfg.tm} * tr * tc * 4);
+        w_tile_bytes = std::max(
+            w_tile_bytes,
+            int64_t{cfg.tm} * cfg.tn * spec.kernel * spec.kernel * 4);
+    }
+
+    use.bufferBytes =
+        2 * (in_tile_bytes + out_tile_bytes + w_tile_bytes);
+    use.bram = bramsFor(in_tile_bytes, cfg.tn, true) +
+               bramsFor(out_tile_bytes, cfg.tm, true) +
+               bramsFor(w_tile_bytes, cfg.tm * cfg.tn, true) +
+               poolingBrams;
+    use.lut = cfg.tm * cfg.tn * baselineLutPerLane;
+    use.ff = cfg.tm * cfg.tn * baselineFfPerLane;
+    return use;
+}
+
+ResourceUsage
+fusedResources(const Network &net, int first_layer, int last_layer,
+               const std::vector<LayerUnroll> &unrolls)
+{
+    ResourceUsage use;
+    TilePlan plan(net, first_layer, last_layer, 1, 1);
+
+    auto unroll_for = [&](int layer_idx) -> LayerUnroll {
+        for (const LayerUnroll &u : unrolls) {
+            if (u.layerIdx == layer_idx)
+                return u;
+        }
+        return LayerUnroll{layer_idx, 1, 1};
+    };
+
+    for (int li = 0; li < plan.numFusedLayers(); li++) {
+        const LayerGeom &g = plan.geom(li);
+        const LayerSpec &spec = net.layer(g.layerIdx);
+        if (!g.windowed)
+            continue;
+
+        LayerUnroll u = unroll_for(g.layerIdx);
+        if (spec.kind == LayerKind::Conv)
+            use.dsp += dspForUnroll(u.tm, u.tn);
+
+        // Assembly tile: read Tn channels in parallel. The group's
+        // first-layer input tile is double-buffered to overlap the DRAM
+        // load with computation (Listing 3's load()).
+        bool dbuf = (li == 0);
+        use.bram += bramsFor(g.tileBytes(), u.tn, dbuf);
+        use.bufferBytes += (dbuf ? 2 : 1) * g.tileBytes();
+
+        // Reuse buffers (single-buffered: read and written in place).
+        use.bram += bramsFor(g.blBytes() + g.btBytes(), u.tn, false);
+        use.bufferBytes += g.blBytes() + g.btBytes();
+
+        // Fresh-output staging, written by Tm lanes.
+        use.bram += bramsFor(g.freshOutBytes(), u.tm, false);
+        use.bufferBytes += g.freshOutBytes();
+    }
+
+    // The group's output is double-buffered for the DRAM store.
+    const LayerGeom &gl = plan.geom(plan.numFusedLayers() - 1);
+    use.bram += bramsFor(gl.freshOutBytes(), 1, false);
+    use.bufferBytes += gl.freshOutBytes();
+
+    // All weights of the fused layers live on chip.
+    int64_t w_bytes = net.weightBytesInRange(first_layer, last_layer);
+    int w_banks = 1;
+    for (const LayerUnroll &u : unrolls)
+        w_banks = std::max(w_banks, u.tm * u.tn);
+    use.bram += bramsFor(w_bytes, w_banks, false);
+    use.bufferBytes += w_bytes;
+
+    int lanes = use.dsp / dspPerMac;
+    use.lut = lanes * fusedLutPerLane;
+    use.ff = lanes * fusedFfPerLane;
+    return use;
+}
+
+} // namespace flcnn

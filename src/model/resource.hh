@@ -1,0 +1,91 @@
+/**
+ * @file
+ * FPGA resource model (Virtex-7 class, single precision).
+ *
+ * DSP: the paper's explicit formula — each multiplier-accumulator lane
+ * costs DSPmul + DSPadd = 3 + 2 = 5 DSP48E1 slices, and a design with
+ * per-layer unrolls (Tm_i, Tn_i) uses sum_i Tm_i*Tn_i*5.
+ *
+ * BRAM: buffers are banked for parallel access (a buffer read by Tn
+ * lanes per cycle needs Tn banks) and counted in 18 Kb BRAM units
+ * (2,304 bytes each), doubled where the design double-buffers. This is
+ * a first-order estimate of what Vivado HLS reports; EXPERIMENTS.md
+ * discusses the calibration against the paper's Tables I/II.
+ */
+
+#ifndef FLCNN_MODEL_RESOURCE_HH
+#define FLCNN_MODEL_RESOURCE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "model/baseline.hh"
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** DSP48E1 slices per single-precision multiplier / adder (paper). */
+constexpr int dspPerMul = 3;
+constexpr int dspPerAdd = 2;
+constexpr int dspPerMac = dspPerMul + dspPerAdd;
+
+/** Bytes per 18 Kb BRAM. */
+constexpr int64_t bramBytes = 18 * 1024 / 8;
+
+/** Extra BRAMs the paper charges the baseline for on-chip pooling. */
+constexpr int poolingBrams = 22;
+
+/** DSP slices for one compute module with unroll (tm, tn). */
+int dspForUnroll(int tm, int tn);
+
+/** BRAMs for @p bytes of storage split over @p banks parallel banks,
+ *  doubled when @p double_buffered. */
+int bramsFor(int64_t bytes, int banks, bool double_buffered);
+
+/** Per-layer unroll factors of a fused pipeline. */
+struct LayerUnroll
+{
+    int layerIdx = 0;  //!< network layer index (a convolution)
+    int tm = 1;
+    int tn = 1;
+};
+
+/**
+ * LUT/FF per multiplier-accumulator lane, calibrated to the paper's
+ * Table I (baseline: 186,251 LUT / 205,704 FF at 448 lanes; fused:
+ * 273,367 / 306,990 at ~480 lanes — the fused design's reuse modules
+ * and per-layer control cost ~40% more fabric per lane). First-order:
+ * they reproduce Table I by construction and extrapolate linearly.
+ */
+constexpr int baselineLutPerLane = 415;
+constexpr int baselineFfPerLane = 460;
+constexpr int fusedLutPerLane = 570;
+constexpr int fusedFfPerLane = 640;
+
+/** Resource usage summary. */
+struct ResourceUsage
+{
+    int dsp = 0;
+    int bram = 0;
+    int lut = 0;              //!< first-order fabric estimate
+    int ff = 0;
+    int64_t bufferBytes = 0;  //!< raw on-chip buffer capacity
+};
+
+/** Resources of the baseline accelerator (Figure 5 datapath). */
+ResourceUsage baselineResources(const Network &net,
+                                const BaselineConfig &cfg);
+
+/**
+ * Resources of a fused-layer accelerator for layers [first, last] with
+ * per-conv unrolls @p unrolls: per-layer compute modules, assembly
+ * tiles, reuse buffers, and all weights on chip (the paper stores the
+ * early layers' weights entirely on chip).
+ */
+ResourceUsage fusedResources(const Network &net, int first_layer,
+                             int last_layer,
+                             const std::vector<LayerUnroll> &unrolls);
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_RESOURCE_HH

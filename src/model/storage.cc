@@ -1,0 +1,108 @@
+#include "model/storage.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+#include "fusion/plan.hh"
+
+namespace flcnn {
+
+int64_t
+reuseStorageBytesExact(const Network &net, int first_layer,
+                       int last_layer, bool include_first_input)
+{
+    TilePlan plan(net, first_layer, last_layer, 1, 1);
+    int64_t bytes = 0;
+    bool first_windowed_seen = false;
+    for (int li = 0; li < plan.numFusedLayers(); li++) {
+        const LayerGeom &g = plan.geom(li);
+        if (!g.windowed)
+            continue;
+        if (!first_windowed_seen) {
+            first_windowed_seen = true;
+            if (!include_first_input)
+                continue;
+        }
+        bytes += g.blBytes() + g.btBytes();
+    }
+    return bytes;
+}
+
+int64_t
+reuseStorageBytesClosedForm(const Network &net, int first_layer,
+                            int last_layer, bool include_first_input)
+{
+    // Find the first windowed layer (its buffers may be excluded).
+    int first_windowed = -1;
+    for (int i = first_layer; i <= last_layer; i++) {
+        if (net.layer(i).windowed()) {
+            first_windowed = i;
+            break;
+        }
+    }
+    // Backward pass: track the first-tile height at each layer's input
+    // (the D of the paper's recursion), then price BL/BT per windowed
+    // layer.
+    int64_t bytes = 0;
+    int64_t d = 1;  // tip height
+    // Walk from the last layer to the first, collecting contributions.
+    // We need the tile height at each layer's *input*, so compute the
+    // running D as we pass each layer.
+    for (int i = last_layer; i >= first_layer; i--) {
+        const LayerSpec &spec = net.layer(i);
+        const Shape &in = net.inShape(i);
+        switch (spec.kind) {
+          case LayerKind::Conv:
+          case LayerKind::Pool: {
+            d = windowSpan(d, spec.kernel, spec.stride);
+            int64_t tile_h = std::min<int64_t>(d, in.h);
+            int overlap = spec.kernel - spec.stride;
+            if (overlap > 0 &&
+                (include_first_input || i != first_windowed)) {
+                int64_t bl = static_cast<int64_t>(in.c) * tile_h * overlap;
+                int64_t bt = static_cast<int64_t>(in.c) * overlap * in.w;
+                bytes += (bl + bt) * 4;
+            }
+            break;
+          }
+          case LayerKind::Pad:
+            d = std::min<int64_t>(d, in.h + 2 * spec.pad);
+            break;
+          case LayerKind::ReLU:
+          case LayerKind::LRN:
+            break;
+          default:
+            panic("non-fusable layer in a storage query");
+        }
+    }
+    return bytes;
+}
+
+int64_t
+groupReuseStorageBytes(const Network &net, const StageGroup &g, bool exact)
+{
+    if (g.size() <= 1) {
+        // A single stage evaluates layer-by-layer: no intermediate data
+        // is held between fused layers, so the extra storage is zero
+        // (Figure 7's x = 0 for the unfused design).
+        return 0;
+    }
+    int first_layer, last_layer;
+    groupLayerRange(net, g, first_layer, last_layer);
+    return exact ? reuseStorageBytesExact(net, first_layer, last_layer)
+                 : reuseStorageBytesClosedForm(net, first_layer,
+                                               last_layer);
+}
+
+int64_t
+partitionReuseStorageBytes(const Network &net, const Partition &p,
+                           bool exact)
+{
+    int64_t bytes = 0;
+    for (const StageGroup &g : p)
+        bytes += groupReuseStorageBytes(net, g, exact);
+    return bytes;
+}
+
+} // namespace flcnn

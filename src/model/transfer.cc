@@ -1,0 +1,65 @@
+#include "model/transfer.hh"
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+std::vector<StageDataSizes>
+figure2Sizes(const Network &net)
+{
+    std::vector<StageDataSizes> out;
+    const auto &stages = net.stages();
+    for (size_t s = 0; s < stages.size(); s++) {
+        const Stage &st = stages[s];
+        const LayerSpec &w = net.layer(st.windowed);
+        if (w.kind != LayerKind::Conv)
+            continue;  // pooling is merged into the preceding conv stage
+
+        StageDataSizes d;
+        d.name = w.name;
+        d.inputBytes = net.inShape(st.first).bytes();
+        // Merge an immediately-following pooling stage: its (smaller)
+        // output is what actually travels to DRAM.
+        int last = st.last;
+        if (s + 1 < stages.size()) {
+            const Stage &nx = stages[s + 1];
+            if (net.layer(nx.windowed).kind == LayerKind::Pool)
+                last = nx.last;
+        }
+        d.outputBytes = net.outShape(last).bytes();
+        d.weightBytes = net.weightBytesInRange(st.first, st.last);
+        out.push_back(std::move(d));
+    }
+    return out;
+}
+
+int64_t
+groupTransferBytes(const Network &net, const StageGroup &group)
+{
+    int first_layer, last_layer;
+    groupLayerRange(net, group, first_layer, last_layer);
+    return net.inShape(first_layer).bytes() +
+           net.outShape(last_layer).bytes();
+}
+
+int64_t
+partitionTransferBytes(const Network &net, const Partition &p)
+{
+    std::string err =
+        validatePartition(p, static_cast<int>(net.stages().size()));
+    if (!err.empty())
+        panic("invalid partition: %s", err.c_str());
+    int64_t bytes = 0;
+    for (const StageGroup &g : p)
+        bytes += groupTransferBytes(net, g);
+    return bytes;
+}
+
+int64_t
+layerByLayerTransferBytes(const Network &net)
+{
+    return partitionTransferBytes(
+        net, singletonPartition(static_cast<int>(net.stages().size())));
+}
+
+} // namespace flcnn

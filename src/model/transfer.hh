@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Off-chip transfer models.
+ *
+ * Two models appear in the paper:
+ *
+ *  1. The *exploration-tool* model (Figure 7): a fused group transfers
+ *     its input plane in and its output plane out, once each; a
+ *     layer-by-layer partition therefore transfers every intermediate
+ *     plane twice (write + read). This reproduces the paper's point A
+ *     (~86 MB for the VGG five-conv prefix) and point C (3.6 MB).
+ *
+ *  2. The *accelerator* model (Tables I/II baselines): the tiled
+ *     Zhang-style accelerator re-reads its input feature maps once per
+ *     output-channel tile group (ceil(M/Tm) trips, Listing 1/2 loop
+ *     order) and re-reads tile halos; that model lives in
+ *     model/baseline.hh.
+ *
+ * Figure 2's per-stage input/output/weight sizes are also produced
+ * here (pooling merged into the preceding convolution stage, as in the
+ * paper's figure).
+ */
+
+#ifndef FLCNN_MODEL_TRANSFER_HH
+#define FLCNN_MODEL_TRANSFER_HH
+
+#include <vector>
+
+#include "model/partition.hh"
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Per-stage data volumes for Figure 2 (pooling merged into the
+ *  preceding conv stage). */
+struct StageDataSizes
+{
+    std::string name;       //!< stage label (conv name)
+    int64_t inputBytes = 0;
+    int64_t outputBytes = 0;
+    int64_t weightBytes = 0;
+};
+
+/**
+ * Figure 2 data: one entry per convolution stage of @p net, with any
+ * immediately-following pooling merged (the output size is the pooled
+ * one) and padding/ReLU attributed to the stage.
+ */
+std::vector<StageDataSizes> figure2Sizes(const Network &net);
+
+/** Exploration-model DRAM transfer of one fused group: group input
+ *  plane + group output plane (weights excluded, as in Figure 7). */
+int64_t groupTransferBytes(const Network &net, const StageGroup &group);
+
+/** Exploration-model DRAM transfer of a whole partition. */
+int64_t partitionTransferBytes(const Network &net, const Partition &p);
+
+/** Transfer of the traditional layer-by-layer evaluation (the
+ *  all-singletons partition): Figure 7's zero-storage extreme. */
+int64_t layerByLayerTransferBytes(const Network &net);
+
+} // namespace flcnn
+
+#endif // FLCNN_MODEL_TRANSFER_HH

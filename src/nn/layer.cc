@@ -1,0 +1,186 @@
+#include "nn/layer.hh"
+
+#include <cstdio>
+
+#include "common/mathutil.hh"
+
+namespace flcnn {
+
+const char *
+layerKindName(LayerKind kind)
+{
+    switch (kind) {
+      case LayerKind::Conv: return "conv";
+      case LayerKind::Pool: return "pool";
+      case LayerKind::ReLU: return "relu";
+      case LayerKind::Pad: return "pad";
+      case LayerKind::LRN: return "lrn";
+      case LayerKind::FullyConnected: return "fc";
+    }
+    return "?";
+}
+
+LayerSpec
+LayerSpec::conv(std::string name, int m, int k, int s, int groups)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::Conv;
+    spec.name = std::move(name);
+    spec.outChannels = m;
+    spec.kernel = k;
+    spec.stride = s;
+    spec.groups = groups;
+    return spec;
+}
+
+LayerSpec
+LayerSpec::pool(std::string name, int k, int s, PoolMode mode)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::Pool;
+    spec.name = std::move(name);
+    spec.kernel = k;
+    spec.stride = s;
+    spec.poolMode = mode;
+    return spec;
+}
+
+LayerSpec
+LayerSpec::relu(std::string name)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::ReLU;
+    spec.name = std::move(name);
+    return spec;
+}
+
+LayerSpec
+LayerSpec::padding(std::string name, int p)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::Pad;
+    spec.name = std::move(name);
+    spec.pad = p;
+    return spec;
+}
+
+LayerSpec
+LayerSpec::lrn(std::string name)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::LRN;
+    spec.name = std::move(name);
+    return spec;
+}
+
+LayerSpec
+LayerSpec::fullyConnected(std::string name, int units)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::FullyConnected;
+    spec.name = std::move(name);
+    spec.outChannels = units;
+    return spec;
+}
+
+Shape
+LayerSpec::outShape(const Shape &in) const
+{
+    std::string err = validate(in);
+    if (!err.empty())
+        panic("layer '%s': %s", name.c_str(), err.c_str());
+
+    switch (kind) {
+      case LayerKind::Conv:
+        return Shape{outChannels,
+                     static_cast<int>(slidingOutputs(in.h, kernel, stride)),
+                     static_cast<int>(slidingOutputs(in.w, kernel, stride))};
+      case LayerKind::Pool:
+        return Shape{in.c,
+                     static_cast<int>(slidingOutputs(in.h, kernel, stride)),
+                     static_cast<int>(slidingOutputs(in.w, kernel, stride))};
+      case LayerKind::ReLU:
+      case LayerKind::LRN:
+        return in;
+      case LayerKind::Pad:
+        return Shape{in.c, in.h + 2 * pad, in.w + 2 * pad};
+      case LayerKind::FullyConnected:
+        return Shape{outChannels, 1, 1};
+    }
+    panic("unhandled layer kind");
+}
+
+std::string
+LayerSpec::validate(const Shape &in) const
+{
+    if (!in.valid())
+        return "input shape is invalid";
+
+    switch (kind) {
+      case LayerKind::Conv:
+        if (outChannels <= 0)
+            return "conv needs a positive number of filters";
+        if (kernel <= 0 || stride <= 0)
+            return "conv needs positive kernel and stride";
+        if (kernel > in.h || kernel > in.w)
+            return "conv kernel larger than its input";
+        if (groups <= 0 || in.c % groups != 0 || outChannels % groups != 0)
+            return "conv groups must divide both channel counts";
+        return "";
+      case LayerKind::Pool:
+        if (kernel <= 0 || stride <= 0)
+            return "pool needs positive kernel and stride";
+        if (kernel > in.h || kernel > in.w)
+            return "pool window larger than its input";
+        return "";
+      case LayerKind::Pad:
+        if (pad < 0)
+            return "pad must be non-negative";
+        return "";
+      case LayerKind::ReLU:
+      case LayerKind::LRN:
+        return "";
+      case LayerKind::FullyConnected:
+        if (outChannels <= 0)
+            return "fully connected needs positive output units";
+        return "";
+    }
+    return "unknown layer kind";
+}
+
+std::string
+LayerSpec::str() const
+{
+    char buf[160];
+    switch (kind) {
+      case LayerKind::Conv:
+        std::snprintf(buf, sizeof(buf), "%s: conv M=%d K=%d S=%d%s",
+                      name.c_str(), outChannels, kernel, stride,
+                      groups > 1 ? " (grouped)" : "");
+        break;
+      case LayerKind::Pool:
+        std::snprintf(buf, sizeof(buf), "%s: %spool K=%d S=%d", name.c_str(),
+                      poolMode == PoolMode::Max ? "max" : "avg", kernel,
+                      stride);
+        break;
+      case LayerKind::Pad:
+        std::snprintf(buf, sizeof(buf), "%s: pad %d", name.c_str(), pad);
+        break;
+      case LayerKind::ReLU:
+        std::snprintf(buf, sizeof(buf), "%s: relu", name.c_str());
+        break;
+      case LayerKind::LRN:
+        std::snprintf(buf, sizeof(buf), "%s: lrn size=%d", name.c_str(),
+                      lrnSize);
+        break;
+      case LayerKind::FullyConnected:
+        std::snprintf(buf, sizeof(buf), "%s: fc units=%d", name.c_str(),
+                      outChannels);
+        break;
+      default:
+        std::snprintf(buf, sizeof(buf), "%s: ?", name.c_str());
+    }
+    return buf;
+}
+
+} // namespace flcnn

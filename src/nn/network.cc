@@ -1,0 +1,165 @@
+#include "nn/network.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+Network::Network(std::string name, Shape input_shape)
+    : netName(std::move(name)), input(input_shape)
+{
+    FLCNN_ASSERT(input.valid(), "network input shape must be positive");
+    shapes.push_back(input);
+}
+
+Network &
+Network::add(LayerSpec spec)
+{
+    const Shape &in = shapes.back();
+    std::string err = spec.validate(in);
+    if (!err.empty()) {
+        fatal("network '%s', layer '%s' (#%zu): %s", netName.c_str(),
+              spec.name.c_str(), specs.size(), err.c_str());
+    }
+    Shape out = spec.outShape(in);
+    if (spec.kind == LayerKind::Conv)
+        convIdx.push_back(static_cast<int>(specs.size()));
+    specs.push_back(std::move(spec));
+    shapes.push_back(out);
+    rebuildStages();
+    return *this;
+}
+
+Network &
+Network::addConvBlock(const std::string &base, int m, int k, int s, int p,
+                      int groups)
+{
+    if (p > 0)
+        add(LayerSpec::padding(base + "_pad", p));
+    add(LayerSpec::conv(base, m, k, s, groups));
+    add(LayerSpec::relu(base + "_relu"));
+    return *this;
+}
+
+Network &
+Network::addMaxPool(const std::string &base, int k, int s)
+{
+    add(LayerSpec::pool(base, k, s, PoolMode::Max));
+    return *this;
+}
+
+const LayerSpec &
+Network::layer(int i) const
+{
+    FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
+    return specs[static_cast<size_t>(i)];
+}
+
+const Shape &
+Network::inShape(int i) const
+{
+    FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
+    return shapes[static_cast<size_t>(i)];
+}
+
+const Shape &
+Network::outShape(int i) const
+{
+    FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
+    return shapes[static_cast<size_t>(i) + 1];
+}
+
+const Shape &
+Network::outputShape() const
+{
+    return shapes.back();
+}
+
+int
+Network::convSlot(int layer_idx) const
+{
+    for (size_t s = 0; s < convIdx.size(); s++) {
+        if (convIdx[s] == layer_idx)
+            return static_cast<int>(s);
+    }
+    panic("layer %d of network '%s' is not a convolution", layer_idx,
+          netName.c_str());
+}
+
+void
+Network::rebuildStages()
+{
+    stageList.clear();
+    int pending_first = -1;  // start of an unattached Pad run
+    for (int i = 0; i < numLayers(); i++) {
+        const LayerSpec &spec = specs[static_cast<size_t>(i)];
+        if (!spec.fusable()) {
+            // Fusion applies only to the windowed prefix of the network;
+            // stop at the first non-fusable layer (e.g. FullyConnected).
+            break;
+        }
+        if (spec.kind == LayerKind::Pad) {
+            if (pending_first < 0)
+                pending_first = i;
+            continue;
+        }
+        if (spec.windowed()) {
+            Stage st;
+            st.first = pending_first >= 0 ? pending_first : i;
+            st.windowed = i;
+            st.last = i;
+            stageList.push_back(st);
+            pending_first = -1;
+            continue;
+        }
+        // Pointwise layer: attach to the preceding stage when one exists.
+        if (spec.pointwise() && !stageList.empty() &&
+            stageList.back().last == i - 1 && pending_first < 0) {
+            stageList.back().last = i;
+        }
+    }
+}
+
+int
+Network::stageOf(int layer_idx) const
+{
+    for (size_t s = 0; s < stageList.size(); s++) {
+        if (stageList[s].contains(layer_idx))
+            return static_cast<int>(s);
+    }
+    return -1;
+}
+
+int64_t
+Network::weightBytesInRange(int first_layer, int last_layer) const
+{
+    int64_t bytes = 0;
+    for (int i = first_layer; i <= last_layer && i < numLayers(); i++) {
+        const LayerSpec &spec = specs[static_cast<size_t>(i)];
+        if (spec.kind != LayerKind::Conv)
+            continue;
+        const Shape &in = inShape(i);
+        int n_per_group = in.c / spec.groups;
+        int64_t weights = static_cast<int64_t>(spec.outChannels) *
+                          n_per_group * spec.kernel * spec.kernel;
+        bytes += (weights + spec.outChannels) * 4;
+    }
+    return bytes;
+}
+
+std::string
+Network::str() const
+{
+    std::string out = netName + " (input " + input.str() + ")\n";
+    for (int i = 0; i < numLayers(); i++) {
+        char buf[200];
+        std::snprintf(buf, sizeof(buf), "  %2d. %-40s -> %s\n", i,
+                      specs[static_cast<size_t>(i)].str().c_str(),
+                      outShape(i).str().c_str());
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace flcnn

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Network container: an ordered list of layers with shape inference,
+ * validation, and extraction of the "fusable stages" that the paper's
+ * partitioning operates on.
+ *
+ * A *stage* is one windowed layer (convolution or pooling) together with
+ * its companion layers: any Pad layer(s) immediately before it and any
+ * pointwise layers (ReLU, LRN) immediately after it. The paper's
+ * partition space for a network with l stages is the 2^(l-1) ways of
+ * splitting the stage sequence into contiguous fused groups (Section V-B:
+ * AlexNet's 5 conv + 3 pool stages give 128 options; VGGNet-E's first
+ * 5 conv + 2 pool stages give 64).
+ */
+
+#ifndef FLCNN_NN_NETWORK_HH
+#define FLCNN_NN_NETWORK_HH
+
+#include <string>
+#include <vector>
+
+#include "nn/layer.hh"
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+/**
+ * One fusable stage: layer indices [first, last] into the network, with
+ * the index of the single windowed (conv/pool) layer inside the range.
+ */
+struct Stage
+{
+    int first = 0;     //!< first layer index (may be a Pad)
+    int last = 0;      //!< last layer index (may be a ReLU/LRN)
+    int windowed = 0;  //!< index of the Conv or Pool layer
+
+    bool
+    contains(int layer) const
+    {
+        return layer >= first && layer <= last;
+    }
+};
+
+/** A feed-forward network: named sequence of layers over an input shape. */
+class Network
+{
+  public:
+    /** Construct an empty network over the given input shape. */
+    Network(std::string name, Shape input);
+
+    /** Append a layer; fatal() on shape/parameter mismatch. */
+    Network &add(LayerSpec spec);
+
+    /** Convenience: append Pad(p) + Conv + ReLU as three layers. */
+    Network &addConvBlock(const std::string &base, int m, int k, int s,
+                          int p, int groups = 1);
+
+    /** Convenience: append a max-pool layer. */
+    Network &addMaxPool(const std::string &base, int k, int s);
+
+    const std::string &name() const { return netName; }
+    const Shape &inputShape() const { return input; }
+
+    int numLayers() const { return static_cast<int>(specs.size()); }
+    const LayerSpec &layer(int i) const;
+    const std::vector<LayerSpec> &layers() const { return specs; }
+
+    /** Input shape of layer @p i. */
+    const Shape &inShape(int i) const;
+
+    /** Output shape of layer @p i. */
+    const Shape &outShape(int i) const;
+
+    /** Output shape of the whole network. */
+    const Shape &outputShape() const;
+
+    /** Indices of convolution layers, in network order (weight slots). */
+    const std::vector<int> &convLayers() const { return convIdx; }
+
+    /** Weight slot (position in convLayers()) for conv layer index @p i;
+     *  panics if @p i is not a convolution. */
+    int convSlot(int layer_idx) const;
+
+    /**
+     * Fusable stages of the network prefix: stage extraction stops at the
+     * first layer that cannot participate in fusion (e.g. FullyConnected).
+     */
+    const std::vector<Stage> &stages() const { return stageList; }
+
+    /** Stage whose range contains layer @p i, or -1. */
+    int stageOf(int layer_idx) const;
+
+    /** Total bytes of conv weights (+biases) in layers [first, last]. */
+    int64_t weightBytesInRange(int first_layer, int last_layer) const;
+
+    /** Multi-line description of the network with per-layer shapes. */
+    std::string str() const;
+
+  private:
+    void rebuildStages();
+
+    std::string netName;
+    Shape input;
+    std::vector<LayerSpec> specs;
+    std::vector<Shape> shapes;     //!< shapes[i] = output of layer i-1
+    std::vector<int> convIdx;
+    std::vector<Stage> stageList;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_NETWORK_HH

@@ -1,0 +1,302 @@
+#include "nn/reference.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace flcnn {
+
+float
+convPoint(const Tensor &in, const FilterBank &fb, int m, int y0, int x0,
+          int groups, int total_m, OpCount *ops)
+{
+    const int n_per_group = fb.numChannels();
+    const int m_per_group = total_m / groups;
+    const int group = m / m_per_group;
+    const int n_base = group * n_per_group;
+    const int k = fb.kernel();
+
+    float acc = fb.bias(m);
+    for (int n = 0; n < n_per_group; n++) {
+        for (int i = 0; i < k; i++) {
+            // Row-contiguous accumulation (vectorizable): identical
+            // summation order to the naive triple loop.
+            const float *wrow = fb.wRow(m, n, i);
+            const float *irow = in.rowPtr(n_base + n, y0 + i, x0);
+            for (int j = 0; j < k; j++)
+                acc += wrow[j] * irow[j];
+        }
+    }
+    if (ops) {
+        int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
+        ops->mults += taps;
+        // The paper counts one addition per multiplication, with the
+        // layer's bias folded into the tally (Section III-C's "9N
+        // multiplications and additions (including the layer's bias)").
+        ops->adds += taps;
+    }
+    return acc;
+}
+
+float
+poolPoint(const Tensor &in, int c, int y0, int x0, int kernel,
+          PoolMode mode, OpCount *ops)
+{
+    float acc = (mode == PoolMode::Max) ? in(c, y0, x0) : 0.0f;
+    for (int i = 0; i < kernel; i++) {
+        for (int j = 0; j < kernel; j++) {
+            float v = in(c, y0 + i, x0 + j);
+            if (mode == PoolMode::Max)
+                acc = std::max(acc, v);
+            else
+                acc += v;
+        }
+    }
+    if (mode == PoolMode::Avg)
+        acc /= static_cast<float>(kernel * kernel);
+    if (ops) {
+        int64_t win = static_cast<int64_t>(kernel) * kernel;
+        if (mode == PoolMode::Max)
+            ops->compares += win;
+        else
+            ops->adds += win;
+    }
+    return acc;
+}
+
+namespace {
+
+Tensor
+runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
+        OpCount *ops)
+{
+    Shape out_shape = spec.outShape(in.shape());
+    Tensor out(out_shape);
+    for (int m = 0; m < out_shape.c; m++) {
+        for (int y = 0; y < out_shape.h; y++) {
+            for (int x = 0; x < out_shape.w; x++) {
+                out(m, y, x) = convPoint(in, fb, m, y * spec.stride,
+                                         x * spec.stride, spec.groups,
+                                         spec.outChannels, ops);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+runPool(const LayerSpec &spec, const Tensor &in, OpCount *ops)
+{
+    Shape out_shape = spec.outShape(in.shape());
+    Tensor out(out_shape);
+    for (int c = 0; c < out_shape.c; c++) {
+        for (int y = 0; y < out_shape.h; y++) {
+            for (int x = 0; x < out_shape.w; x++) {
+                out(c, y, x) = poolPoint(in, c, y * spec.stride,
+                                         x * spec.stride, spec.kernel,
+                                         spec.poolMode, ops);
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+runRelu(const Tensor &in, OpCount *ops)
+{
+    Tensor out(in.shape());
+    const Shape &s = in.shape();
+    for (int c = 0; c < s.c; c++)
+        for (int y = 0; y < s.h; y++)
+            for (int x = 0; x < s.w; x++)
+                out(c, y, x) = std::max(0.0f, in(c, y, x));
+    if (ops)
+        ops->compares += s.elems();
+    return out;
+}
+
+Tensor
+runPad(const LayerSpec &spec, const Tensor &in)
+{
+    const Shape &s = in.shape();
+    Tensor out(s.c, s.h + 2 * spec.pad, s.w + 2 * spec.pad);
+    for (int c = 0; c < s.c; c++)
+        for (int y = 0; y < s.h; y++)
+            for (int x = 0; x < s.w; x++)
+                out(c, y + spec.pad, x + spec.pad) = in(c, y, x);
+    return out;
+}
+
+Tensor
+runLrn(const LayerSpec &spec, const Tensor &in, OpCount *ops)
+{
+    const Shape &s = in.shape();
+    Tensor out(s);
+    const int half = spec.lrnSize / 2;
+    for (int c = 0; c < s.c; c++) {
+        for (int y = 0; y < s.h; y++) {
+            for (int x = 0; x < s.w; x++) {
+                float sum = 0.0f;
+                int lo = std::max(0, c - half);
+                int hi = std::min(s.c - 1, c + half);
+                for (int j = lo; j <= hi; j++) {
+                    float v = in(j, y, x);
+                    sum += v * v;
+                }
+                float denom = std::pow(
+                    2.0f + static_cast<float>(spec.lrnAlpha) * sum,
+                    static_cast<float>(spec.lrnBeta));
+                out(c, y, x) = in(c, y, x) / denom;
+                if (ops) {
+                    ops->mults += (hi - lo + 1) + 2;
+                    ops->adds += (hi - lo + 1) + 1;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Tensor
+runFc(const LayerSpec &spec, const Tensor &in, const DenseWeights &dw,
+      OpCount *ops)
+{
+    FLCNN_ASSERT(in.elems() == dw.inElems, "fc input size mismatch");
+    Tensor out(spec.outChannels, 1, 1);
+    const float *flat = in.data();
+    for (int u = 0; u < spec.outChannels; u++) {
+        float acc = dw.bias[static_cast<size_t>(u)];
+        const float *row = dw.w.data() +
+                           static_cast<size_t>(u) * dw.inElems;
+        for (int64_t e = 0; e < dw.inElems; e++)
+            acc += row[e] * flat[e];
+        out(u, 0, 0) = acc;
+    }
+    if (ops) {
+        ops->mults += spec.outChannels * dw.inElems;
+        ops->adds += spec.outChannels * dw.inElems;
+    }
+    return out;
+}
+
+} // namespace
+
+Tensor
+runLayer(const LayerSpec &spec, const Tensor &in, const FilterBank *bank,
+         const DenseWeights *dw, OpCount *ops)
+{
+    switch (spec.kind) {
+      case LayerKind::Conv:
+        FLCNN_ASSERT(bank != nullptr, "conv layer needs a filter bank");
+        return runConv(spec, in, *bank, ops);
+      case LayerKind::Pool:
+        return runPool(spec, in, ops);
+      case LayerKind::ReLU:
+        return runRelu(in, ops);
+      case LayerKind::Pad:
+        return runPad(spec, in);
+      case LayerKind::LRN:
+        return runLrn(spec, in, ops);
+      case LayerKind::FullyConnected:
+        FLCNN_ASSERT(dw != nullptr, "fc layer needs dense weights");
+        return runFc(spec, in, *dw, ops);
+    }
+    panic("unhandled layer kind");
+}
+
+Tensor
+runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
+         int first_layer, int last_layer, OpCount *ops)
+{
+    FLCNN_ASSERT(first_layer >= 0 && last_layer < net.numLayers() &&
+                     first_layer <= last_layer,
+                 "invalid layer range");
+    FLCNN_ASSERT(in.shape() == net.inShape(first_layer),
+                 "input shape does not match the first layer");
+
+    Tensor cur = in;
+    int fc_slot = 0;
+    for (int i = 0; i < first_layer; i++) {
+        if (net.layer(i).kind == LayerKind::FullyConnected)
+            fc_slot++;
+    }
+    for (int i = first_layer; i <= last_layer; i++) {
+        const LayerSpec &spec = net.layer(i);
+        const FilterBank *bank = nullptr;
+        const DenseWeights *dw = nullptr;
+        if (spec.kind == LayerKind::Conv)
+            bank = &weights.bank(net.convSlot(i));
+        if (spec.kind == LayerKind::FullyConnected)
+            dw = &weights.dense(fc_slot++);
+        cur = runLayer(spec, cur, bank, dw, ops);
+    }
+    return cur;
+}
+
+Tensor
+runNetwork(const Network &net, const NetworkWeights &weights,
+           const Tensor &in, OpCount *ops)
+{
+    return runRange(net, weights, in, 0, net.numLayers() - 1, ops);
+}
+
+OpCount
+layerOpCount(const LayerSpec &spec, const Shape &in)
+{
+    OpCount ops;
+    Shape out = spec.outShape(in);
+    switch (spec.kind) {
+      case LayerKind::Conv: {
+        int64_t taps = static_cast<int64_t>(in.c / spec.groups) *
+                       spec.kernel * spec.kernel;
+        int64_t points = out.elems();
+        ops.mults = points * taps;
+        ops.adds = points * taps;
+        break;
+      }
+      case LayerKind::Pool: {
+        int64_t win = static_cast<int64_t>(spec.kernel) * spec.kernel;
+        if (spec.poolMode == PoolMode::Max)
+            ops.compares = out.elems() * win;
+        else
+            ops.adds = out.elems() * win;
+        break;
+      }
+      case LayerKind::ReLU:
+        ops.compares = out.elems();
+        break;
+      case LayerKind::Pad:
+        break;
+      case LayerKind::LRN: {
+        // Interior points see the full window; edge channels see less.
+        const int half = spec.lrnSize / 2;
+        for (int c = 0; c < in.c; c++) {
+            int lo = std::max(0, c - half);
+            int hi = std::min(in.c - 1, c + half);
+            int64_t span = hi - lo + 1;
+            int64_t pts = static_cast<int64_t>(in.h) * in.w;
+            ops.mults += pts * (span + 2);
+            ops.adds += pts * (span + 1);
+        }
+        break;
+      }
+      case LayerKind::FullyConnected:
+        ops.mults = static_cast<int64_t>(spec.outChannels) * in.elems();
+        ops.adds = ops.mults;
+        break;
+    }
+    return ops;
+}
+
+OpCount
+rangeOpCount(const Network &net, int first_layer, int last_layer)
+{
+    OpCount total;
+    for (int i = first_layer; i <= last_layer; i++)
+        total += layerOpCount(net.layer(i), net.inShape(i));
+    return total;
+}
+
+} // namespace flcnn

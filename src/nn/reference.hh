@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Reference (layer-by-layer) executors.
+ *
+ * These produce the golden outputs all fused executors and accelerator
+ * models are verified against. The per-output-point helpers (convPoint,
+ * poolPoint) define the library's *canonical summation order* — bias
+ * first, then channels, then kernel rows, then kernel columns — and are
+ * shared with the fusion executors so that results compare bit-exactly
+ * (DESIGN.md invariant 1).
+ */
+
+#ifndef FLCNN_NN_REFERENCE_HH
+#define FLCNN_NN_REFERENCE_HH
+
+#include "common/opcount.hh"
+#include "nn/network.hh"
+#include "nn/weights.hh"
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+/**
+ * One convolution output value whose receptive field's top-left corner
+ * is at (y0, x0) of @p in, in canonical summation order. Callers with
+ * output coordinates pass y0 = y * stride (the reference executor), or
+ * tile-local offsets (the fused executors).
+ *
+ * @param in      the (already padded) input feature maps
+ * @param fb      filter bank (M x N/groups x K x K)
+ * @param groups  channel groups (1 = dense convolution)
+ * @param total_m total output channels (to derive the group of @p m)
+ * @param ops     optional operation tally
+ */
+float convPoint(const Tensor &in, const FilterBank &fb, int m, int y0,
+                int x0, int groups, int total_m, OpCount *ops);
+
+/** One pooling output value over the window with top-left (y0, x0). */
+float poolPoint(const Tensor &in, int c, int y0, int x0, int kernel,
+                PoolMode mode, OpCount *ops);
+
+/** Execute a single layer on @p in, producing a fresh output tensor.
+ *  @p bank must be non-null for Conv layers, @p dw for FC layers. */
+Tensor runLayer(const LayerSpec &spec, const Tensor &in,
+                const FilterBank *bank, const DenseWeights *dw,
+                OpCount *ops);
+
+/**
+ * Execute layers [first, last] of @p net on @p in, layer by layer,
+ * materializing every intermediate tensor (the conventional evaluation
+ * strategy the paper's baseline accelerator implements).
+ */
+Tensor runRange(const Network &net, const NetworkWeights &weights,
+                const Tensor &in, int first_layer, int last_layer,
+                OpCount *ops = nullptr);
+
+/** Execute the entire network. */
+Tensor runNetwork(const Network &net, const NetworkWeights &weights,
+                  const Tensor &in, OpCount *ops = nullptr);
+
+/**
+ * Analytic operation count for one layer given its input shape, matching
+ * what runLayer() tallies (used to validate the analytic models).
+ */
+OpCount layerOpCount(const LayerSpec &spec, const Shape &in);
+
+/** Analytic operation count for layers [first, last]. */
+OpCount rangeOpCount(const Network &net, int first_layer, int last_layer);
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_REFERENCE_HH

@@ -1,0 +1,93 @@
+#include "nn/weights.hh"
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+NetworkWeights::NetworkWeights(const Network &net)
+{
+    for (int layer_idx : net.convLayers()) {
+        const LayerSpec &spec = net.layer(layer_idx);
+        const Shape &in = net.inShape(layer_idx);
+        // Grouped convolutions see only in.c / groups channels per filter.
+        banks.emplace_back(spec.outChannels, in.c / spec.groups,
+                           spec.kernel);
+    }
+    for (int i = 0; i < net.numLayers(); i++) {
+        const LayerSpec &spec = net.layer(i);
+        if (spec.kind != LayerKind::FullyConnected)
+            continue;
+        DenseWeights dw;
+        dw.outUnits = spec.outChannels;
+        dw.inElems = net.inShape(i).elems();
+        dw.w.assign(static_cast<size_t>(dw.outUnits * dw.inElems), 0.0f);
+        dw.bias.assign(static_cast<size_t>(dw.outUnits), 0.0f);
+        fcs.push_back(std::move(dw));
+    }
+}
+
+NetworkWeights::NetworkWeights(const Network &net, Rng &rng)
+    : NetworkWeights(net)
+{
+    for (auto &bank : banks) {
+        // Scale weights down with fan-in so activations stay bounded in
+        // deep stacks (a Xavier-style heuristic; values are synthetic).
+        float scale = 1.0f / static_cast<float>(
+            bank.numChannels() * bank.kernel() * bank.kernel());
+        bank.fillRandom(rng, -2.0f * scale, 2.0f * scale);
+    }
+    for (auto &dw : fcs) {
+        float scale = 1.0f / static_cast<float>(dw.inElems);
+        for (auto &v : dw.w)
+            v = rng.uniformF(-2.0f * scale, 2.0f * scale);
+        for (auto &v : dw.bias)
+            v = rng.uniformF(-0.1f, 0.1f);
+    }
+}
+
+FilterBank &
+NetworkWeights::bank(int slot)
+{
+    FLCNN_ASSERT(slot >= 0 && slot < numBanks(), "bank slot out of range");
+    return banks[static_cast<size_t>(slot)];
+}
+
+const FilterBank &
+NetworkWeights::bank(int slot) const
+{
+    FLCNN_ASSERT(slot >= 0 && slot < numBanks(), "bank slot out of range");
+    return banks[static_cast<size_t>(slot)];
+}
+
+const FilterBank &
+NetworkWeights::bankForLayer(const Network &net, int layer_idx) const
+{
+    return bank(net.convSlot(layer_idx));
+}
+
+DenseWeights &
+NetworkWeights::dense(int slot)
+{
+    FLCNN_ASSERT(slot >= 0 && slot < numDense(), "dense slot out of range");
+    return fcs[static_cast<size_t>(slot)];
+}
+
+const DenseWeights &
+NetworkWeights::dense(int slot) const
+{
+    FLCNN_ASSERT(slot >= 0 && slot < numDense(), "dense slot out of range");
+    return fcs[static_cast<size_t>(slot)];
+}
+
+int64_t
+NetworkWeights::totalBytes() const
+{
+    int64_t bytes = 0;
+    for (const auto &bank : banks)
+        bytes += bank.bytes();
+    for (const auto &dw : fcs)
+        bytes += static_cast<int64_t>(dw.w.size() + dw.bias.size()) * 4;
+    return bytes;
+}
+
+} // namespace flcnn

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Weight storage for a network: one FilterBank per convolution layer and
+ * one dense matrix per fully connected layer.
+ *
+ * The paper's metrics are shape-dependent only, so weights here are
+ * synthetic (seeded pseudo-random); see DESIGN.md's substitution table.
+ */
+
+#ifndef FLCNN_NN_WEIGHTS_HH
+#define FLCNN_NN_WEIGHTS_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+/** Dense weights for one FullyConnected layer. */
+struct DenseWeights
+{
+    int outUnits = 0;
+    int64_t inElems = 0;
+    std::vector<float> w;     //!< outUnits x inElems, row-major
+    std::vector<float> bias;  //!< outUnits
+};
+
+/** All learned parameters of a network. */
+class NetworkWeights
+{
+  public:
+    /** Allocate zero weights matching @p net's conv and FC layers. */
+    explicit NetworkWeights(const Network &net);
+
+    /** Allocate and fill with seeded pseudo-random values. */
+    NetworkWeights(const Network &net, Rng &rng);
+
+    /** FilterBank for conv slot @p slot (position in net.convLayers()). */
+    FilterBank &bank(int slot);
+    const FilterBank &bank(int slot) const;
+
+    /** FilterBank for the convolution at network layer index @p layer. */
+    const FilterBank &bankForLayer(const Network &net, int layer_idx) const;
+
+    int numBanks() const { return static_cast<int>(banks.size()); }
+
+    /** Dense weights, indexed by FC order of appearance. */
+    DenseWeights &dense(int slot);
+    const DenseWeights &dense(int slot) const;
+    int numDense() const { return static_cast<int>(fcs.size()); }
+
+    /** Total parameter bytes (weights + biases, 4 B each). */
+    int64_t totalBytes() const;
+
+  private:
+    std::vector<FilterBank> banks;
+    std::vector<DenseWeights> fcs;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_WEIGHTS_HH

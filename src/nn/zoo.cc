@@ -1,0 +1,218 @@
+#include "nn/zoo.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+namespace {
+
+/** Append the AlexNet feature extractor to @p net. */
+void
+buildAlexnetFeatures(Network &net, const ZooOptions &opt)
+{
+    int g = opt.grouped ? 2 : 1;
+
+    net.add(LayerSpec::conv("conv1", 96, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    if (opt.includeLrn)
+        net.add(LayerSpec::lrn("lrn1"));
+    net.addMaxPool("pool1", 3, 2);
+
+    net.add(LayerSpec::padding("conv2_pad", 2));
+    net.add(LayerSpec::conv("conv2", 256, 5, 1, g));
+    net.add(LayerSpec::relu("relu2"));
+    if (opt.includeLrn)
+        net.add(LayerSpec::lrn("lrn2"));
+    net.addMaxPool("pool2", 3, 2);
+
+    net.addConvBlock("conv3", 384, 3, 1, 1);
+    net.add(LayerSpec::padding("conv4_pad", 1));
+    net.add(LayerSpec::conv("conv4", 384, 3, 1, g));
+    net.add(LayerSpec::relu("relu4"));
+    net.add(LayerSpec::padding("conv5_pad", 1));
+    net.add(LayerSpec::conv("conv5", 256, 3, 1, g));
+    net.add(LayerSpec::relu("relu5"));
+    net.addMaxPool("pool3", 3, 2);
+}
+
+} // namespace
+
+Network
+alexnet(const ZooOptions &opt)
+{
+    Network net("AlexNet", Shape{3, 227, 227});
+    buildAlexnetFeatures(net, opt);
+    if (opt.includeClassifier) {
+        net.add(LayerSpec::fullyConnected("fc6", 4096));
+        net.add(LayerSpec::relu("relu6"));
+        net.add(LayerSpec::fullyConnected("fc7", 4096));
+        net.add(LayerSpec::relu("relu7"));
+        net.add(LayerSpec::fullyConnected("fc8", 1000));
+    }
+    return net;
+}
+
+Network
+alexnetFusedPrefix(const ZooOptions &opt)
+{
+    int g = opt.grouped ? 2 : 1;
+    Network net("AlexNet-fused2", Shape{3, 227, 227});
+    net.add(LayerSpec::conv("conv1", 96, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::padding("conv2_pad", 2));
+    net.add(LayerSpec::conv("conv2", 256, 5, 1, g));
+    net.add(LayerSpec::relu("relu2"));
+    return net;
+}
+
+namespace {
+
+/** Per-block conv counts and widths for VGG-19. */
+struct VggBlock
+{
+    int convs;
+    int width;
+};
+
+constexpr VggBlock vggBlocks[] = {
+    {2, 64}, {2, 128}, {4, 256}, {4, 512}, {4, 512},
+};
+
+constexpr VggBlock vggDBlocks[] = {
+    {2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512},
+};
+
+/** Shared VGG-family builder. */
+Network
+buildVgg(const char *name, const VggBlock (&blocks)[5],
+         const ZooOptions &opt)
+{
+    Network net(name, Shape{3, 224, 224});
+    for (int b = 0; b < 5; b++) {
+        for (int c = 0; c < blocks[b].convs; c++) {
+            std::string lname =
+                "conv" + std::to_string(b + 1) + "_" + std::to_string(c + 1);
+            net.addConvBlock(lname, blocks[b].width, 3, 1, 1);
+        }
+        net.addMaxPool("pool" + std::to_string(b + 1), 2, 2);
+    }
+    if (opt.includeClassifier) {
+        net.add(LayerSpec::fullyConnected("fc6", 4096));
+        net.add(LayerSpec::relu("relu6"));
+        net.add(LayerSpec::fullyConnected("fc7", 4096));
+        net.add(LayerSpec::relu("relu7"));
+        net.add(LayerSpec::fullyConnected("fc8", 1000));
+    }
+    return net;
+}
+
+} // namespace
+
+Network
+vggE(const ZooOptions &opt)
+{
+    return buildVgg("VGGNet-E", vggBlocks, opt);
+}
+
+Network
+vggD(const ZooOptions &opt)
+{
+    return buildVgg("VGGNet-D", vggDBlocks, opt);
+}
+
+Network
+vggEPrefix(int num_convs)
+{
+    FLCNN_ASSERT(num_convs >= 1 && num_convs <= 16,
+                 "VGG-E has 16 convolution stages");
+    Network net("VGGNet-E-first" + std::to_string(num_convs),
+                Shape{3, 224, 224});
+    int emitted = 0;
+    for (int b = 0; b < 5 && emitted < num_convs; b++) {
+        for (int c = 0; c < vggBlocks[b].convs && emitted < num_convs; c++) {
+            std::string name =
+                "conv" + std::to_string(b + 1) + "_" + std::to_string(c + 1);
+            net.addConvBlock(name, vggBlocks[b].width, 3, 1, 1);
+            emitted++;
+        }
+        // Include the block's pool only if another conv follows it
+        // (the prefix ends on a convolution stage, as in the paper).
+        if (emitted < num_convs && b < 4)
+            net.addMaxPool("pool" + std::to_string(b + 1), 2, 2);
+    }
+    return net;
+}
+
+Network
+googlenetStem()
+{
+    Network net("GoogLeNet-stem", Shape{3, 224, 224});
+    net.add(LayerSpec::padding("conv1_pad", 3));
+    net.add(LayerSpec::conv("conv1", 64, 7, 2));
+    net.add(LayerSpec::relu("relu1"));
+    net.add(LayerSpec::padding("pool1_pad", 1));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::conv("conv2_reduce", 64, 1, 1));
+    net.add(LayerSpec::relu("relu2r"));
+    net.addConvBlock("conv2", 192, 3, 1, 1);
+    net.add(LayerSpec::padding("pool2_pad", 1));
+    net.addMaxPool("pool2", 3, 2);
+    return net;
+}
+
+Network
+tinyNet()
+{
+    // The two-layer example of the paper's Figure 3: N input maps,
+    // 3x3 kernels at stride 1 in both layers.
+    Network net("tiny", Shape{2, 7, 7});
+    net.add(LayerSpec::conv("layer1", 3, 3, 1));
+    net.add(LayerSpec::conv("layer2", 4, 3, 1));
+    return net;
+}
+
+Network
+randomFusableNet(Rng &rng, const RandomNetOptions &opt)
+{
+    Network net("random", Shape{rng.range(opt.minChannels, opt.maxChannels),
+                                opt.inputSize, opt.inputSize});
+    int stages = rng.range(opt.minStages, opt.maxStages);
+    for (int s = 0; s < stages; s++) {
+        Shape cur = net.outputShape();
+        // Keep the spatial extent large enough for one more window.
+        int space = std::min(cur.h, cur.w);
+        if (space < 2)
+            break;
+
+        bool make_pool = opt.allowPool && s > 0 && rng.chance(0.35);
+        if (make_pool) {
+            int k = rng.range(2, std::min(3, space));
+            int stride = rng.range(1, k);
+            PoolMode mode = (opt.allowAvgPool && rng.chance(0.3))
+                                ? PoolMode::Avg
+                                : PoolMode::Max;
+            net.add(LayerSpec::pool("pool" + std::to_string(s), k, stride,
+                                    mode));
+        } else {
+            int pad = (opt.allowPad && rng.chance(0.5)) ? rng.range(1, 2)
+                                                        : 0;
+            int k = rng.range(1, std::min(opt.maxKernel, space + 2 * pad));
+            int stride = opt.allowStride ? rng.range(1, 2) : 1;
+            int m = rng.range(opt.minChannels, opt.maxChannels);
+            if (pad > 0) {
+                net.add(LayerSpec::padding(
+                    "conv" + std::to_string(s) + "_pad", pad));
+            }
+            net.add(LayerSpec::conv("conv" + std::to_string(s), m, k,
+                                    stride));
+            if (rng.chance(0.7))
+                net.add(LayerSpec::relu("relu" + std::to_string(s)));
+        }
+    }
+    return net;
+}
+
+} // namespace flcnn

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Network zoo: the CNNs the paper evaluates (AlexNet and VGGNet-E),
+ * plus small synthetic networks for tests and examples.
+ *
+ * Shapes follow the original publications: AlexNet (Krizhevsky et al.,
+ * NIPS'12) with a 227x227x3 input, and VGGNet-E (VGG-19, Simonyan &
+ * Zisserman, ICLR'15) with a 224x224x3 input. As in the paper, padding
+ * and ReLU are explicit layers, LRN is omitted by default (Section VI-B
+ * omits it "to directly compare with [19]"), and the classifier
+ * (fully connected) tail is optional.
+ */
+
+#ifndef FLCNN_NN_ZOO_HH
+#define FLCNN_NN_ZOO_HH
+
+#include "common/rng.hh"
+#include "nn/network.hh"
+
+namespace flcnn {
+
+/** Options for zoo network construction. */
+struct ZooOptions
+{
+    bool includeLrn = false;         //!< AlexNet LRN layers
+    bool includeClassifier = false;  //!< FC tail
+    bool grouped = true;             //!< AlexNet's 2-way grouped convs
+};
+
+/** Full AlexNet (5 conv stages, 3 pools; optional LRN and FC tail). */
+Network alexnet(const ZooOptions &opt = {});
+
+/**
+ * AlexNet prefix covering the paper's fused design: conv1 + relu + pool1
+ * + pad + conv2 + relu ("two convolutional layers, two ReLU layers, two
+ * padding layers, and one pooling layer" — note conv1 itself takes the
+ * raw 227x227 input, so only conv2 carries an explicit Pad).
+ */
+Network alexnetFusedPrefix(const ZooOptions &opt = {});
+
+/** Full VGGNet-E / VGG-19 (16 conv stages, 5 pools; optional FC tail). */
+Network vggE(const ZooOptions &opt = {});
+
+/** VGGNet-D / VGG-16 (13 conv stages, 5 pools; optional FC tail). */
+Network vggD(const ZooOptions &opt = {});
+
+/**
+ * VGGNet-E prefix containing the first @p num_convs convolution stages
+ * and the pooling layers between them. num_convs = 5 is the paper's
+ * Table II / Figure 7(b) configuration (5 convs + 2 pools).
+ */
+Network vggEPrefix(int num_convs);
+
+/**
+ * The sequential stem of GoogLeNet (Szegedy et al., CVPR'15): 7x7/s2
+ * convolution, overlapping 3x3/s2 pools, and the 1x1 "reduce" that the
+ * paper cites as the trend enabling deeper networks. Exercises fusion
+ * across large-stride and kernel-1 layers.
+ */
+Network googlenetStem();
+
+/** A tiny 2-conv network used in the quickstart documentation. */
+Network tinyNet();
+
+/** Options for random network generation (property tests). */
+struct RandomNetOptions
+{
+    int minStages = 2;
+    int maxStages = 5;
+    int minChannels = 1;
+    int maxChannels = 6;
+    int inputSize = 24;          //!< input H = W
+    int maxKernel = 5;
+    bool allowStride = true;     //!< conv stride up to 2
+    bool allowPool = true;
+    bool allowPad = true;
+    bool allowAvgPool = true;
+};
+
+/** Generate a random fusable network (conv/pool/pad/relu stack). */
+Network randomFusableNet(Rng &rng, const RandomNetOptions &opt = {});
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_ZOO_HH

@@ -1,0 +1,46 @@
+#include "sim/double_buffer.hh"
+
+#include <algorithm>
+
+namespace flcnn {
+
+int64_t
+serializedMakespan(const std::vector<TilePhases> &tiles)
+{
+    int64_t total = 0;
+    for (const TilePhases &t : tiles)
+        total += t.load + t.compute + t.store;
+    return total;
+}
+
+int64_t
+doubleBufferedMakespan(const std::vector<TilePhases> &tiles)
+{
+    if (tiles.empty())
+        return 0;
+    const size_t n = tiles.size();
+    int64_t total = tiles.front().load;
+    for (size_t i = 0; i < n; i++) {
+        int64_t mem = 0;
+        if (i + 1 < n)
+            mem += tiles[i + 1].load;
+        if (i > 0)
+            mem += tiles[i - 1].store;
+        total += std::max(tiles[i].compute, mem);
+    }
+    total += tiles.back().store;
+    return total;
+}
+
+double
+overlapSavings(const std::vector<TilePhases> &tiles)
+{
+    int64_t serial = serializedMakespan(tiles);
+    if (serial == 0)
+        return 0.0;
+    int64_t overlapped = doubleBufferedMakespan(tiles);
+    return 1.0 - static_cast<double>(overlapped) /
+                     static_cast<double>(serial);
+}
+
+} // namespace flcnn

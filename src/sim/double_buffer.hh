@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Double-buffering overlap model.
+ *
+ * The baseline accelerator (Listing 2) provisions each on-chip memory
+ * twice so that the load of tile i+1 and the store of tile i-1 overlap
+ * with the compute of tile i. This model computes the steady-state
+ * schedule of a sequence of (load, compute, store) phase triples under
+ * that discipline and reports the resulting makespan, for comparing a
+ * perfectly-overlapped design against a serialized one.
+ */
+
+#ifndef FLCNN_SIM_DOUBLE_BUFFER_HH
+#define FLCNN_SIM_DOUBLE_BUFFER_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace flcnn {
+
+/** One tile's phase durations in cycles. */
+struct TilePhases
+{
+    int64_t load = 0;
+    int64_t compute = 0;
+    int64_t store = 0;
+};
+
+/** Makespan with no overlap: sum of every phase. */
+int64_t serializedMakespan(const std::vector<TilePhases> &tiles);
+
+/**
+ * Makespan with double buffering: compute of tile i overlaps the
+ * memory phases of its neighbors; the memory channel itself is shared
+ * (loads and stores serialize against each other). This is the classic
+ * ping-pong bound:
+ *
+ *   makespan = load_0 + sum_i max(compute_i, mem_i)
+ *              + store_{n-1}
+ *
+ * where mem_i = load_{i+1} + store_{i-1} is the channel work that must
+ * hide under compute_i.
+ */
+int64_t doubleBufferedMakespan(const std::vector<TilePhases> &tiles);
+
+/** Fraction of the serialized time saved by double buffering. */
+double overlapSavings(const std::vector<TilePhases> &tiles);
+
+} // namespace flcnn
+
+#endif // FLCNN_SIM_DOUBLE_BUFFER_HH

@@ -1,0 +1,32 @@
+#include "sim/dram.hh"
+
+#include "common/logging.hh"
+#include "common/mathutil.hh"
+
+namespace flcnn {
+
+DramModel::DramModel(double bytes_per_cycle, int64_t start_latency)
+    : bpc(bytes_per_cycle), startLatency(start_latency)
+{
+    FLCNN_ASSERT(bpc > 0.0, "bandwidth must be positive");
+    FLCNN_ASSERT(startLatency >= 0, "latency must be non-negative");
+}
+
+int64_t
+DramModel::transferCycles(int64_t bytes) const
+{
+    if (bytes <= 0)
+        return 0;
+    int64_t stream =
+        static_cast<int64_t>(static_cast<double>(bytes) / bpc + 0.999999);
+    return startLatency + stream;
+}
+
+double
+DramModel::requiredBandwidth(int64_t bytes_per_image,
+                             double images_per_second)
+{
+    return static_cast<double>(bytes_per_image) * images_per_second;
+}
+
+} // namespace flcnn

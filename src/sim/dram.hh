@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Off-chip memory model.
+ *
+ * The paper reports data *volumes* and notes they convert to bandwidth
+ * by multiplying by the target frame rate (its footnote 4). This model
+ * provides that conversion plus a simple burst-based transfer-time
+ * estimate so the pipeline simulator can price load/store stages.
+ */
+
+#ifndef FLCNN_SIM_DRAM_HH
+#define FLCNN_SIM_DRAM_HH
+
+#include <cstdint>
+
+namespace flcnn {
+
+/** A simple DRAM channel: fixed per-burst latency plus streaming
+ *  bandwidth. */
+class DramModel
+{
+  public:
+    /**
+     * @param bytes_per_cycle streaming bandwidth (e.g. a 64-bit DDR3
+     *        interface at the accelerator clock moves 8 B/cycle)
+     * @param start_latency   fixed cycles to open a transfer (row
+     *        activation, controller overhead)
+     */
+    explicit DramModel(double bytes_per_cycle = 8.0,
+                       int64_t start_latency = 30);
+
+    /** Cycles to transfer @p bytes (0 bytes costs 0). */
+    int64_t transferCycles(int64_t bytes) const;
+
+    /** Bandwidth (bytes/sec) needed to sustain @p bytes_per_image at
+     *  @p images_per_second — the paper's footnote-4 conversion. */
+    static double requiredBandwidth(int64_t bytes_per_image,
+                                    double images_per_second);
+
+    double bytesPerCycle() const { return bpc; }
+
+  private:
+    double bpc;
+    int64_t startLatency;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SIM_DRAM_HH

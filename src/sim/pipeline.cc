@@ -1,0 +1,149 @@
+#include "sim/pipeline.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+int64_t
+PipelineSchedule::stageBusy(int stage) const
+{
+    FLCNN_ASSERT(stage >= 0 && stage < nstages, "stage out of range");
+    return busy[static_cast<size_t>(stage)];
+}
+
+double
+PipelineSchedule::stageUtilization(int stage) const
+{
+    if (span == 0)
+        return 0.0;
+    return static_cast<double>(stageBusy(stage)) /
+           static_cast<double>(span);
+}
+
+const StageSlot &
+PipelineSchedule::slot(int64_t pyramid, int stage) const
+{
+    FLCNN_ASSERT(slotsKept(), "schedule was built without slots");
+    FLCNN_ASSERT(pyramid >= 0 && pyramid < npyr && stage >= 0 &&
+                     stage < nstages,
+                 "slot index out of range");
+    return slots[static_cast<size_t>(pyramid) *
+                     static_cast<size_t>(nstages) +
+                 static_cast<size_t>(stage)];
+}
+
+std::string
+PipelineSchedule::gantt(const std::vector<std::string> &stage_names,
+                        int width) const
+{
+    FLCNN_ASSERT(slotsKept(), "gantt requires kept slots");
+    FLCNN_ASSERT(static_cast<int>(stage_names.size()) == nstages,
+                 "one name per stage required");
+    if (span == 0)
+        return "(empty schedule)\n";
+
+    std::string out;
+    double scale = static_cast<double>(width) /
+                   static_cast<double>(span);
+    for (int s = 0; s < nstages; s++) {
+        char head[48];
+        std::snprintf(head, sizeof(head), "%-14s |",
+                      stage_names[static_cast<size_t>(s)].c_str());
+        std::string line(static_cast<size_t>(width), ' ');
+        for (int64_t p = 0; p < npyr; p++) {
+            const StageSlot &sl = slot(p, s);
+            if (sl.end == sl.start)
+                continue;
+            int a = static_cast<int>(static_cast<double>(sl.start) *
+                                     scale);
+            int b = std::max(
+                a + 1,
+                static_cast<int>(static_cast<double>(sl.end) * scale));
+            char glyph =
+                static_cast<char>('0' + static_cast<int>(p % 10));
+            for (int x = a; x < b && x < width; x++)
+                line[static_cast<size_t>(x)] = glyph;
+        }
+        out += head + line + "|\n";
+    }
+    return out;
+}
+
+PipelineSchedule
+schedulePyramidPipeline(int64_t pyramids, int stages,
+                        const std::function<int64_t(int64_t, int)> &cycles,
+                        bool keep_slots,
+                        const std::vector<int> &resources)
+{
+    FLCNN_ASSERT(pyramids >= 0 && stages >= 1, "invalid pipeline shape");
+    FLCNN_ASSERT(resources.empty() ||
+                     resources.size() == static_cast<size_t>(stages),
+                 "one resource id per stage required");
+    int max_res = -1;
+    for (int r : resources)
+        max_res = std::max(max_res, r);
+    // Per-resource busy timeline with gap filling: a later-traversed
+    // request may slot into an earlier idle window (a DMA channel with
+    // a request queue reorders loads ahead of stores), so traversal
+    // order does not artificially serialize the pipeline.
+    struct Interval
+    {
+        int64_t start, end;
+    };
+    std::vector<std::vector<Interval>> res_busy(
+        static_cast<size_t>(max_res + 1));
+    auto claim = [&](int res, int64_t earliest, int64_t dur) -> int64_t {
+        auto &tl = res_busy[static_cast<size_t>(res)];
+        int64_t t = earliest;
+        size_t pos = 0;
+        for (; pos < tl.size(); pos++) {
+            if (t + dur <= tl[pos].start)
+                break;  // fits in the gap before interval pos
+            t = std::max(t, tl[pos].end);
+        }
+        tl.insert(tl.begin() + static_cast<std::ptrdiff_t>(pos),
+                  Interval{t, t + dur});
+        return t;
+    };
+    PipelineSchedule sched(pyramids, stages);
+    sched.busy.assign(static_cast<size_t>(stages), 0);
+    if (keep_slots) {
+        sched.slots.assign(static_cast<size_t>(pyramids) *
+                               static_cast<size_t>(stages),
+                           StageSlot{});
+    }
+
+    // stage_free[s]: when stage s last finished (previous pyramid).
+    std::vector<int64_t> stage_free(static_cast<size_t>(stages), 0);
+    for (int64_t p = 0; p < pyramids; p++) {
+        int64_t prev_end = 0;  // end of stage s-1 for this pyramid
+        for (int s = 0; s < stages; s++) {
+            int64_t dur = cycles(p, s);
+            FLCNN_ASSERT(dur >= 0, "negative stage duration");
+            int64_t start =
+                std::max(prev_end, stage_free[static_cast<size_t>(s)]);
+            int res = resources.empty()
+                          ? -1
+                          : resources[static_cast<size_t>(s)];
+            if (res >= 0 && dur > 0)
+                start = claim(res, start, dur);
+            int64_t end = start + dur;
+            stage_free[static_cast<size_t>(s)] = end;
+            prev_end = end;
+            sched.busy[static_cast<size_t>(s)] += dur;
+            if (keep_slots) {
+                sched.slots[static_cast<size_t>(p) *
+                                static_cast<size_t>(stages) +
+                            static_cast<size_t>(s)] = StageSlot{start,
+                                                                end};
+            }
+            sched.span = std::max(sched.span, end);
+        }
+    }
+    return sched;
+}
+
+} // namespace flcnn

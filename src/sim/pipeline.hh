@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Pyramid pipeline scheduler (the paper's Figure 6).
+ *
+ * The fused accelerator overlaps the stages of consecutive pyramids:
+ * "starting processing for pyramid two as soon as pyramid one completes
+ * its first stage". Stage s of pyramid p starts when both
+ *   - stage s-1 of pyramid p (its producer), and
+ *   - stage s of pyramid p-1 (the stage's previous occupancy)
+ * have finished. The scheduler computes exact start/end times for every
+ * (pyramid, stage) cell and the resulting makespan, and can emit a
+ * Gantt timeline for inspection.
+ */
+
+#ifndef FLCNN_SIM_PIPELINE_HH
+#define FLCNN_SIM_PIPELINE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flcnn {
+
+/** One scheduled cell of the pipeline. */
+struct StageSlot
+{
+    int64_t start = 0;
+    int64_t end = 0;
+};
+
+/** Result of scheduling a pyramid pipeline. */
+class PipelineSchedule
+{
+  public:
+    PipelineSchedule(int64_t pyramids, int stages)
+        : npyr(pyramids), nstages(stages)
+    {
+    }
+
+    int64_t numPyramids() const { return npyr; }
+    int numStages() const { return nstages; }
+    int64_t makespan() const { return span; }
+
+    /** Sum over pyramids of the per-stage durations (stage busy time). */
+    int64_t stageBusy(int stage) const;
+
+    /** Utilization of a stage: busy / makespan. */
+    double stageUtilization(int stage) const;
+
+    /** The scheduled slot of (pyramid, stage); only retained when the
+     *  schedule was built with keep_slots. */
+    const StageSlot &slot(int64_t pyramid, int stage) const;
+    bool slotsKept() const { return !slots.empty(); }
+
+    /** ASCII Gantt chart (small schedules; requires kept slots). */
+    std::string gantt(const std::vector<std::string> &stage_names,
+                      int width = 72) const;
+
+  private:
+    friend PipelineSchedule schedulePyramidPipeline(
+        int64_t, int, const std::function<int64_t(int64_t, int)> &, bool,
+        const std::vector<int> &);
+
+    int64_t npyr;
+    int nstages;
+    int64_t span = 0;
+    std::vector<int64_t> busy;          //!< per stage
+    std::vector<StageSlot> slots;       //!< optional, pyramid-major
+};
+
+/**
+ * Schedule @p pyramids x @p stages with per-cell durations from
+ * @p cycles(pyramid, stage). Duration 0 cells pass through instantly.
+ *
+ * @param keep_slots retain every slot (memory P x S) for Gantt output.
+ * @param resources  optional stage -> exclusive-resource id (-1 for
+ *   none). Stages sharing a non-negative id serialize against each
+ *   other even across pyramids — e.g. a Load and a Store stage sharing
+ *   one DRAM channel. Greedy in traversal order (pyramid-major).
+ */
+PipelineSchedule schedulePyramidPipeline(
+    int64_t pyramids, int stages,
+    const std::function<int64_t(int64_t, int)> &cycles,
+    bool keep_slots = false, const std::vector<int> &resources = {});
+
+} // namespace flcnn
+
+#endif // FLCNN_SIM_PIPELINE_HH

@@ -1,0 +1,44 @@
+#include "sim/throughput.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+Throughput
+analyzeThroughput(const PipelineSchedule &sched, double clock_hz,
+                  int64_t dram_bytes_per_image)
+{
+    FLCNN_ASSERT(clock_hz > 0.0, "clock must be positive");
+    Throughput t;
+    int64_t bottleneck = 0;
+    for (int s = 0; s < sched.numStages(); s++)
+        bottleneck = std::max(bottleneck, sched.stageBusy(s));
+    if (bottleneck == 0)
+        return t;
+    t.initiationCycles = bottleneck;
+    t.imagesPerSecond = clock_hz / static_cast<double>(bottleneck);
+    t.latencySeconds =
+        static_cast<double>(sched.makespan()) / clock_hz;
+    t.dramBytesPerSecond = t.imagesPerSecond *
+                           static_cast<double>(dram_bytes_per_image);
+    return t;
+}
+
+int64_t
+streamedMakespan(const PipelineSchedule &sched, int64_t images)
+{
+    FLCNN_ASSERT(images >= 0, "image count must be non-negative");
+    if (images == 0)
+        return 0;
+    int64_t bottleneck = 0;
+    for (int s = 0; s < sched.numStages(); s++)
+        bottleneck = std::max(bottleneck, sched.stageBusy(s));
+    // Image i+1 enters each stage as soon as image i vacates it; in
+    // steady state one image retires per bottleneck interval, and the
+    // first image pays the full fill (its makespan).
+    return sched.makespan() + (images - 1) * bottleneck;
+}
+
+} // namespace flcnn

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Steady-state throughput analysis for pipelined accelerators.
+ *
+ * A single image's makespan includes the pipeline fill and drain; when
+ * images stream back to back (the deployment the paper's footnote-4
+ * bandwidth conversion assumes), the initiation interval of the
+ * pipeline is set by its busiest stage, so
+ *
+ *   images/second = clock_hz / max_stage_busy_cycles
+ *
+ * and the required DRAM bandwidth follows from bytes/image at that
+ * rate. This module packages those conversions plus an exact
+ * multi-image makespan (treating each image as a fresh run of the
+ * per-image schedule chained through every stage).
+ */
+
+#ifndef FLCNN_SIM_THROUGHPUT_HH
+#define FLCNN_SIM_THROUGHPUT_HH
+
+#include <cstdint>
+
+#include "sim/pipeline.hh"
+
+namespace flcnn {
+
+/** Throughput summary for a pipelined design. */
+struct Throughput
+{
+    double imagesPerSecond = 0.0;
+    double latencySeconds = 0.0;       //!< one image, fill included
+    double dramBytesPerSecond = 0.0;   //!< at the steady-state rate
+    int64_t initiationCycles = 0;      //!< steady-state cycles/image
+};
+
+/**
+ * Steady-state throughput of a schedule at @p clock_hz, with
+ * @p dram_bytes_per_image of off-chip traffic per image.
+ *
+ * The initiation interval is the busiest stage's total busy cycles
+ * (images cannot enter faster than the bottleneck empties); latency is
+ * the single-image makespan.
+ */
+Throughput analyzeThroughput(const PipelineSchedule &sched,
+                             double clock_hz,
+                             int64_t dram_bytes_per_image);
+
+/** Exact makespan of @p images back-to-back images, each an identical
+ *  copy of the per-image schedule (fill amortizes across images). */
+int64_t streamedMakespan(const PipelineSchedule &sched, int64_t images);
+
+} // namespace flcnn
+
+#endif // FLCNN_SIM_THROUGHPUT_HH

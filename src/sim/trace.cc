@@ -1,0 +1,42 @@
+#include "sim/trace.hh"
+
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+void
+TraceRecorder::record(const DramAccess &a)
+{
+    FLCNN_ASSERT(a.bytes > 0, "trace access must move bytes");
+    count++;
+    if (a.write)
+        wbytes += a.bytes;
+    else
+        rbytes += a.bytes;
+    if (keepLog)
+        entries.push_back(a);
+}
+
+std::string
+TraceRecorder::str(size_t max_lines) const
+{
+    std::string out;
+    size_t n = 0;
+    for (const DramAccess &a : entries) {
+        if (n++ >= max_lines) {
+            out += "...\n";
+            break;
+        }
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%c 0x%08llx %lld\n",
+                      a.write ? 'W' : 'R',
+                      static_cast<unsigned long long>(a.address),
+                      static_cast<long long>(a.bytes));
+        out += buf;
+    }
+    return out;
+}
+
+} // namespace flcnn

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * DRAM access tracing.
+ *
+ * The executable accelerators can emit a stream of off-chip accesses
+ * (direction, byte address, length) so their memory behaviour can be
+ * fed to external DRAM simulators or inspected directly. Addresses use
+ * a fixed synthetic map — input plane, output plane, and weights live
+ * in disjoint regions — with CHW row-major layout inside each region.
+ *
+ * The trace is a cross-check as well: the sum of traced bytes must
+ * equal the accelerator's counted DRAM traffic exactly, which the test
+ * suite asserts.
+ */
+
+#ifndef FLCNN_SIM_TRACE_HH
+#define FLCNN_SIM_TRACE_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace flcnn {
+
+/** Synthetic address map (byte addresses). */
+constexpr uint64_t traceInputBase = 0x00000000ull;
+constexpr uint64_t traceOutputBase = 0x40000000ull;
+constexpr uint64_t traceWeightBase = 0x80000000ull;
+
+/** One off-chip access. */
+struct DramAccess
+{
+    bool write = false;
+    uint64_t address = 0;
+    int64_t bytes = 0;
+};
+
+/** Consumer of a trace stream. */
+using TraceSink = std::function<void(const DramAccess &)>;
+
+/** Collects a trace: aggregate statistics plus (optionally) the log. */
+class TraceRecorder
+{
+  public:
+    /** @param keep_log retain every access (memory proportional to the
+     *  trace length); statistics are collected either way. */
+    explicit TraceRecorder(bool keep_log = true) : keepLog(keep_log) {}
+
+    /** A sink bound to this recorder (valid while it lives). */
+    TraceSink
+    sink()
+    {
+        return [this](const DramAccess &a) { record(a); };
+    }
+
+    void record(const DramAccess &a);
+
+    int64_t numAccesses() const { return count; }
+    int64_t readBytes() const { return rbytes; }
+    int64_t writeBytes() const { return wbytes; }
+    const std::vector<DramAccess> &log() const { return entries; }
+
+    /** Render as "R 0x00001000 256" lines (DRAMsim-style). */
+    std::string str(size_t max_lines = SIZE_MAX) const;
+
+  private:
+    bool keepLog;
+    int64_t count = 0;
+    int64_t rbytes = 0;
+    int64_t wbytes = 0;
+    std::vector<DramAccess> entries;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SIM_TRACE_HH

@@ -1,0 +1,83 @@
+#include "tensor/compare.hh"
+
+#include <cmath>
+#include <cstdio>
+
+namespace flcnn {
+
+std::string
+CompareResult::str() const
+{
+    char buf[160];
+    if (match) {
+        std::snprintf(buf, sizeof(buf),
+                      "match (maxAbs=%.3g maxRel=%.3g)", maxAbsDiff,
+                      maxRelDiff);
+    } else {
+        std::snprintf(buf, sizeof(buf),
+                      "%lld mismatches, first at (%d,%d,%d), "
+                      "maxAbs=%.3g maxRel=%.3g",
+                      static_cast<long long>(mismatches), firstC, firstY,
+                      firstX, maxAbsDiff, maxRelDiff);
+    }
+    return buf;
+}
+
+CompareResult
+compareTensors(const Tensor &a, const Tensor &b, double relTol,
+               double absTol)
+{
+    CompareResult res;
+    if (!(a.shape() == b.shape())) {
+        res.match = false;
+        res.mismatches = -1;
+        return res;
+    }
+
+    res.match = true;
+    const Shape &s = a.shape();
+    for (int c = 0; c < s.c; c++) {
+        for (int y = 0; y < s.h; y++) {
+            for (int x = 0; x < s.w; x++) {
+                double va = a(c, y, x);
+                double vb = b(c, y, x);
+                double diff = std::fabs(va - vb);
+                double mag = std::max(std::fabs(va), std::fabs(vb));
+                double rel = mag > 0.0 ? diff / mag : 0.0;
+                res.maxAbsDiff = std::max(res.maxAbsDiff, diff);
+                res.maxRelDiff = std::max(res.maxRelDiff, rel);
+
+                bool ok;
+                if (relTol == 0.0 && absTol == 0.0) {
+                    ok = (va == vb);
+                } else {
+                    ok = diff <= absTol || rel <= relTol;
+                }
+                if (!ok) {
+                    if (res.match) {
+                        res.firstC = c;
+                        res.firstY = y;
+                        res.firstX = x;
+                    }
+                    res.match = false;
+                    res.mismatches++;
+                }
+            }
+        }
+    }
+    return res;
+}
+
+bool
+tensorsEqual(const Tensor &a, const Tensor &b)
+{
+    return compareTensors(a, b).match;
+}
+
+bool
+tensorsClose(const Tensor &a, const Tensor &b, double relTol, double absTol)
+{
+    return compareTensors(a, b, relTol, absTol).match;
+}
+
+} // namespace flcnn

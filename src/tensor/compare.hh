@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Tensor comparison utilities for verification.
+ *
+ * Functional-equivalence checks between the layer-by-layer reference and
+ * the fused executors are central to this reproduction (DESIGN.md
+ * invariant 1). Executors that preserve per-output summation order are
+ * compared exactly; executors that reassociate sums use a relative
+ * tolerance.
+ */
+
+#ifndef FLCNN_TENSOR_COMPARE_HH
+#define FLCNN_TENSOR_COMPARE_HH
+
+#include <string>
+
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+/** Result of comparing two tensors. */
+struct CompareResult
+{
+    bool match = false;        //!< true when within tolerance everywhere
+    int64_t mismatches = 0;    //!< number of differing elements
+    double maxAbsDiff = 0.0;   //!< largest absolute difference
+    double maxRelDiff = 0.0;   //!< largest relative difference
+    int firstC = -1;           //!< first mismatching coordinate
+    int firstY = -1;
+    int firstX = -1;
+
+    /** Human-readable summary. */
+    std::string str() const;
+};
+
+/**
+ * Compare @p a and @p b element-wise.
+ *
+ * @param relTol relative tolerance; 0 requests exact (bitwise value)
+ *               equality.
+ * @param absTol absolute floor below which differences are ignored.
+ */
+CompareResult compareTensors(const Tensor &a, const Tensor &b,
+                             double relTol = 0.0, double absTol = 0.0);
+
+/** Convenience: exact equality. */
+bool tensorsEqual(const Tensor &a, const Tensor &b);
+
+/** Convenience: equality within a relative tolerance. */
+bool tensorsClose(const Tensor &a, const Tensor &b, double relTol = 1e-5,
+                  double absTol = 1e-6);
+
+} // namespace flcnn
+
+#endif // FLCNN_TENSOR_COMPARE_HH

@@ -1,0 +1,83 @@
+#include "tensor/tensor.hh"
+
+#include <cstdio>
+
+namespace flcnn {
+
+std::string
+Shape::str() const
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%dx%dx%d", c, h, w);
+    return buf;
+}
+
+Tensor::Tensor(Shape s) : shp(s)
+{
+    FLCNN_ASSERT(s.valid(), "tensor shape must be positive");
+    buf.assign(static_cast<size_t>(s.elems()), 0.0f);
+}
+
+Tensor::Tensor(int c, int h, int w) : Tensor(Shape{c, h, w}) {}
+
+float &
+Tensor::at(int c, int y, int x)
+{
+    if (!inBounds(c, y, x)) {
+        panic("tensor index (%d,%d,%d) out of bounds for shape %s",
+              c, y, x, shp.str().c_str());
+    }
+    return buf[idx(c, y, x)];
+}
+
+float
+Tensor::at(int c, int y, int x) const
+{
+    if (!inBounds(c, y, x)) {
+        panic("tensor index (%d,%d,%d) out of bounds for shape %s",
+              c, y, x, shp.str().c_str());
+    }
+    return buf[idx(c, y, x)];
+}
+
+void
+Tensor::fill(float v)
+{
+    for (auto &e : buf)
+        e = v;
+}
+
+void
+Tensor::fillRandom(Rng &rng, float lo, float hi)
+{
+    for (auto &e : buf)
+        e = rng.uniformF(lo, hi);
+}
+
+void
+Tensor::fillIota(float scale)
+{
+    // Keep values small so deep stacks of convolutions stay in a sane
+    // floating-point range while remaining index-dependent (placement
+    // bugs shift values and are caught by exact comparison).
+    for (size_t i = 0; i < buf.size(); i++)
+        buf[i] = scale * (static_cast<float>(i % 1009) - 504.0f) / 1009.0f;
+}
+
+FilterBank::FilterBank(int m, int n, int k) : m_(m), n_(n), k_(k)
+{
+    FLCNN_ASSERT(m > 0 && n > 0 && k > 0, "filter bank dims must be positive");
+    wbuf.assign(static_cast<size_t>(weightElems()), 0.0f);
+    bbuf.assign(static_cast<size_t>(m), 0.0f);
+}
+
+void
+FilterBank::fillRandom(Rng &rng, float lo, float hi)
+{
+    for (auto &e : wbuf)
+        e = rng.uniformF(lo, hi);
+    for (auto &e : bbuf)
+        e = rng.uniformF(lo, hi);
+}
+
+} // namespace flcnn

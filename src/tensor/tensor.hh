@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Dense single-image feature-map tensor in CHW layout.
+ *
+ * The paper evaluates accelerators one image at a time, so the core data
+ * structure is a C x H x W volume of single-precision values (a "set of C
+ * feature maps of H x W values" in the paper's terminology). Filter banks
+ * are stored as FilterBank (M x N x K x K plus M biases).
+ */
+
+#ifndef FLCNN_TENSOR_TENSOR_HH
+#define FLCNN_TENSOR_TENSOR_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+
+namespace flcnn {
+
+/** Shape of a CHW feature-map volume. */
+struct Shape
+{
+    int c = 0;  //!< number of channels (feature maps)
+    int h = 0;  //!< rows per feature map
+    int w = 0;  //!< columns per feature map
+
+    /** Total element count. */
+    int64_t
+    elems() const
+    {
+        return static_cast<int64_t>(c) * h * w;
+    }
+
+    /** Size in bytes at 4 bytes per element (single precision). */
+    int64_t bytes() const { return elems() * 4; }
+
+    /** True when all dimensions are positive. */
+    bool valid() const { return c > 0 && h > 0 && w > 0; }
+
+    friend bool
+    operator==(const Shape &a, const Shape &b)
+    {
+        return a.c == b.c && a.h == b.h && a.w == b.w;
+    }
+
+    /** Render as "CxHxW". */
+    std::string str() const;
+};
+
+/**
+ * Dense CHW tensor of floats.
+ *
+ * Indexing is bounds-checked through at(); the unchecked operator() is
+ * provided for inner loops. Data is zero-initialized on construction.
+ */
+class Tensor
+{
+  public:
+    /** Construct an empty (shapeless) tensor. */
+    Tensor() = default;
+
+    /** Construct a zero-filled tensor of the given shape. */
+    explicit Tensor(Shape s);
+
+    /** Construct a zero-filled tensor of c x h x w. */
+    Tensor(int c, int h, int w);
+
+    /** The tensor's shape. */
+    const Shape &shape() const { return shp; }
+
+    /** Total element count. */
+    int64_t elems() const { return shp.elems(); }
+
+    /** Unchecked element access (inner-loop use). */
+    float &
+    operator()(int c, int y, int x)
+    {
+        return buf[idx(c, y, x)];
+    }
+
+    float
+    operator()(int c, int y, int x) const
+    {
+        return buf[idx(c, y, x)];
+    }
+
+    /** Bounds-checked element access; panics on out-of-range. */
+    float &at(int c, int y, int x);
+    float at(int c, int y, int x) const;
+
+    /** True when (c, y, x) is inside the tensor. */
+    bool
+    inBounds(int c, int y, int x) const
+    {
+        return c >= 0 && c < shp.c && y >= 0 && y < shp.h &&
+               x >= 0 && x < shp.w;
+    }
+
+    /** Read with zero-padding semantics: out-of-range returns 0. */
+    float
+    atOrZero(int c, int y, int x) const
+    {
+        return inBounds(c, y, x) ? buf[idx(c, y, x)] : 0.0f;
+    }
+
+    /** Fill with a constant. */
+    void fill(float v);
+
+    /** Fill with seeded uniform values in [lo, hi). */
+    void fillRandom(Rng &rng, float lo = -1.0f, float hi = 1.0f);
+
+    /** Fill element i with a deterministic function of its index
+     *  (useful for making data-placement bugs visible in tests). */
+    void fillIota(float scale = 1.0f);
+
+    /** Raw storage access. */
+    float *data() { return buf.data(); }
+    const float *data() const { return buf.data(); }
+
+    /** Pointer to the row (c, y), starting at column x (unchecked). */
+    const float *
+    rowPtr(int c, int y, int x = 0) const
+    {
+        return buf.data() + idx(c, y, x);
+    }
+
+    /** Linear index for (c, y, x). */
+    int64_t
+    idx(int c, int y, int x) const
+    {
+        return (static_cast<int64_t>(c) * shp.h + y) * shp.w + x;
+    }
+
+  private:
+    Shape shp;
+    std::vector<float> buf;
+};
+
+/**
+ * One convolutional layer's weights: M filters of N x K x K values plus
+ * M bias values.
+ */
+class FilterBank
+{
+  public:
+    FilterBank() = default;
+
+    /** Construct a zero-filled bank of @p m filters of n x k x k. */
+    FilterBank(int m, int n, int k);
+
+    int numFilters() const { return m_; }
+    int numChannels() const { return n_; }
+    int kernel() const { return k_; }
+
+    /** Weight element (filter m, channel n, row i, col j); unchecked. */
+    float &
+    w(int m, int n, int i, int j)
+    {
+        return wbuf[idx(m, n, i, j)];
+    }
+
+    float
+    w(int m, int n, int i, int j) const
+    {
+        return wbuf[idx(m, n, i, j)];
+    }
+
+    /** Pointer to the kernel row (m, n, i) (unchecked). */
+    const float *
+    wRow(int m, int n, int i) const
+    {
+        return wbuf.data() + idx(m, n, i, 0);
+    }
+
+    /** Bias of filter @p m. */
+    float &bias(int m) { return bbuf[static_cast<size_t>(m)]; }
+    float bias(int m) const { return bbuf[static_cast<size_t>(m)]; }
+
+    /** Total weight elements (excluding biases). */
+    int64_t
+    weightElems() const
+    {
+        return static_cast<int64_t>(m_) * n_ * k_ * k_;
+    }
+
+    /** Bytes for weights + biases at 4 bytes per element. */
+    int64_t bytes() const { return (weightElems() + m_) * 4; }
+
+    /** Fill weights and biases with seeded uniform values. */
+    void fillRandom(Rng &rng, float lo = -0.5f, float hi = 0.5f);
+
+  private:
+    int64_t
+    idx(int m, int n, int i, int j) const
+    {
+        return ((static_cast<int64_t>(m) * n_ + n) * k_ + i) * k_ + j;
+    }
+
+    int m_ = 0, n_ = 0, k_ = 0;
+    std::vector<float> wbuf;
+    std::vector<float> bbuf;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_TENSOR_TENSOR_HH

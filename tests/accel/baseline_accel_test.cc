@@ -1,0 +1,162 @@
+/** @file Executable baseline accelerator: function + measured costs. */
+
+#include <gtest/gtest.h>
+
+#include "accel/baseline_accel.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+struct AccelRun
+{
+    Tensor out;
+    AccelStats stats;
+};
+
+AccelRun
+runBaseline(const Network &net, BaselineConfig cfg, uint64_t seed)
+{
+    Rng wrng(seed);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(seed ^ 0xfeed);
+    input.fillRandom(irng);
+
+    BaselineAccelerator accel(net, weights, cfg);
+    AccelRun r{Tensor{}, {}};
+    r.out = accel.run(input, &r.stats);
+
+    // Functional equivalence with the layer-by-layer reference over the
+    // fusable prefix.
+    int last = net.stages().back().last;
+    Tensor ref = runRange(net, weights, input, 0, last);
+    CompareResult cmp = compareTensors(ref, r.out);
+    EXPECT_TRUE(cmp.match) << net.name() << ": " << cmp.str();
+    return r;
+}
+
+TEST(BaselineAccel, MatchesReferenceSimple)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 8, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    runBaseline(net, BaselineConfig{4, 2, 4, 4}, 1);
+}
+
+TEST(BaselineAccel, MatchesReferenceWholePlaneTiles)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 8, 3, 1, 1);
+    runBaseline(net, BaselineConfig{8, 3, 0, 0}, 2);
+}
+
+TEST(BaselineAccel, MatchesReferenceRaggedTiles)
+{
+    // Tile sizes that do not divide the plane.
+    Network net("t", Shape{3, 19, 17});
+    net.add(LayerSpec::conv("c1", 5, 3, 2));
+    net.add(LayerSpec::relu("r1"));
+    runBaseline(net, BaselineConfig{2, 2, 3, 5}, 3);
+}
+
+TEST(BaselineAccel, MatchesReferenceGrouped)
+{
+    Network net("t", Shape{4, 14, 14});
+    net.add(LayerSpec::conv("c1", 6, 3, 1, 2));
+    net.add(LayerSpec::conv("c2", 4, 3, 1, 2));
+    runBaseline(net, BaselineConfig{2, 1, 4, 4}, 4);
+}
+
+TEST(BaselineAccel, MatchesReferenceUnrollsLargerThanLayer)
+{
+    Network net("t", Shape{2, 10, 10});
+    net.add(LayerSpec::conv("c1", 3, 3, 1));
+    runBaseline(net, BaselineConfig{64, 64, 0, 0}, 5);
+}
+
+TEST(BaselineAccel, PoolFirstNetwork)
+{
+    Network net("t", Shape{4, 16, 16});
+    net.add(LayerSpec::pool("p0", 2, 2));
+    net.add(LayerSpec::conv("c1", 4, 3, 1));
+    runBaseline(net, BaselineConfig{4, 4, 0, 0}, 6);
+}
+
+TEST(BaselineAccel, MeasuredTrafficMatchesAnalyticModel)
+{
+    // DESIGN.md invariant 3: measured DRAM bytes == analytic model.
+    Network net = vggEPrefix(2);
+    BaselineConfig cfg{16, 8, 16, 16};
+    AccelRun r = runBaseline(net, cfg, 7);
+    BaselineCost model = evaluateBaseline(net, cfg);
+    EXPECT_EQ(r.stats.totalDramBytes(), model.totalBytes);
+}
+
+TEST(BaselineAccel, MeasuredCyclesMatchAnalyticModel)
+{
+    Network net = vggEPrefix(2);
+    BaselineConfig cfg{16, 8, 16, 16};
+    AccelRun r = runBaseline(net, cfg, 8);
+    BaselineCost model = evaluateBaseline(net, cfg);
+    EXPECT_EQ(r.stats.computeCycles, model.totalCycles);
+}
+
+TEST(BaselineAccel, MeasuredMatchesModelOnAlexNetPrefix)
+{
+    Network net = alexnetFusedPrefix();
+    BaselineConfig cfg{64, 7, 0, 0};
+    AccelRun r = runBaseline(net, cfg, 9);
+    BaselineCost model = evaluateBaseline(net, cfg);
+    EXPECT_EQ(r.stats.totalDramBytes(), model.totalBytes);
+    EXPECT_EQ(r.stats.computeCycles, model.totalCycles);
+}
+
+TEST(BaselineAccel, MakespanAtLeastComputeAndAtMostSerial)
+{
+    Network net = vggEPrefix(1);
+    BaselineConfig cfg{16, 3, 16, 16};
+    AccelRun r = runBaseline(net, cfg, 10);
+    EXPECT_GE(r.stats.makespanCycles, r.stats.computeCycles);
+}
+
+TEST(BaselineAccel, SmallerTmMeansMoreInputTraffic)
+{
+    Network net = vggEPrefix(1);
+    AccelRun big = runBaseline(net, BaselineConfig{64, 3, 0, 0}, 11);
+    AccelRun small = runBaseline(net, BaselineConfig{16, 3, 0, 0}, 11);
+    EXPECT_GT(small.stats.dramReadBytes, big.stats.dramReadBytes);
+}
+
+TEST(BaselineAccel, ResourcesReported)
+{
+    Network net = vggEPrefix(1);
+    AccelRun r = runBaseline(net, BaselineConfig{16, 3, 16, 16}, 12);
+    EXPECT_EQ(r.stats.dsp, 16 * 3 * 5);
+    EXPECT_GT(r.stats.bram, 0);
+    EXPECT_GT(r.stats.bufferBytes, 0);
+}
+
+class BaselineAccelRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(BaselineAccelRandom, MatchesReferenceOnRandomNetworks)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    Rng rng(seed * 6151 + 11);
+    Network net = randomFusableNet(rng);
+    if (net.convLayers().empty())
+        GTEST_SKIP() << "no convolutions";
+    BaselineConfig cfg{rng.range(1, 8), rng.range(1, 4),
+                       rng.range(0, 6), rng.range(0, 6)};
+    runBaseline(net, cfg, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BaselineAccelRandom,
+                         ::testing::Range(0, 25));
+
+} // namespace
+} // namespace flcnn

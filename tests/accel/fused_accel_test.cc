@@ -1,0 +1,200 @@
+/** @file Executable fused accelerator: function, traffic, schedule. */
+
+#include <gtest/gtest.h>
+
+#include "accel/baseline_accel.hh"
+#include "accel/fused_accel.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+struct AccelRun
+{
+    Tensor out;
+    AccelStats stats;
+};
+
+AccelRun
+runFused(const Network &net, int dsp_budget, uint64_t seed)
+{
+    Rng wrng(seed);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(seed ^ 0xcafe);
+    input.fillRandom(irng);
+
+    int last = net.numLayers() - 1;
+    auto pcfg = balanceFusedPipeline(net, 0, last, dsp_budget);
+    FusedAccelerator accel(net, weights, 0, last, pcfg);
+    AccelRun r{Tensor{}, {}};
+    r.out = accel.run(input, &r.stats);
+
+    Tensor ref = runRange(net, weights, input, 0, last);
+    CompareResult cmp = compareTensors(ref, r.out);
+    EXPECT_TRUE(cmp.match) << net.name() << ": " << cmp.str();
+    return r;
+}
+
+TEST(FusedAccel, MatchesReferenceVggStyle)
+{
+    Network net("vgg-ish", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c3", 8, 3, 1, 1);
+    runFused(net, 300, 21);
+}
+
+TEST(FusedAccel, MatchesReferenceAlexNetStyle)
+{
+    Network net("alex-ish", Shape{3, 59, 59});
+    net.add(LayerSpec::conv("conv1", 8, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::padding("conv2_pad", 2));
+    net.add(LayerSpec::conv("conv2", 12, 5, 1, 2));
+    net.add(LayerSpec::relu("relu2"));
+    runFused(net, 400, 22);
+}
+
+TEST(FusedAccel, TrafficIsEndpointPlanesPlusWeights)
+{
+    Network net("t", Shape{3, 20, 20});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+    AccelRun r = runFused(net, 200, 23);
+    int64_t weights = net.weightBytesInRange(0, net.numLayers() - 1);
+    EXPECT_EQ(r.stats.dramReadBytes,
+              net.inputShape().bytes() + weights);
+    EXPECT_EQ(r.stats.dramWriteBytes, net.outputShape().bytes());
+}
+
+TEST(FusedAccel, TransfersFarLessThanBaseline)
+{
+    // The headline claim, on a shrunk VGG-style stack.
+    Network net("v", Shape{3, 40, 40});
+    net.addConvBlock("c1", 8, 3, 1, 1);
+    net.addConvBlock("c2", 8, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c3", 16, 3, 1, 1);
+
+    Rng wrng(24);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(25);
+    input.fillRandom(irng);
+
+    auto pcfg = balanceFusedPipeline(net, 0, net.numLayers() - 1, 300);
+    FusedAccelerator fused(net, weights, 0, net.numLayers() - 1, pcfg);
+    AccelStats fs;
+    Tensor fo = fused.run(input, &fs);
+
+    BaselineAccelerator base(net, weights, BaselineConfig{8, 3, 8, 8});
+    AccelStats bs;
+    Tensor bo = base.run(input, &bs);
+
+    EXPECT_TRUE(tensorsEqual(fo, bo));
+    EXPECT_LT(2 * fs.totalDramBytes(), bs.totalDramBytes());
+}
+
+TEST(FusedAccel, ScheduleInvariants)
+{
+    Network net("t", Shape{3, 18, 18});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 4, 3, 1, 1);
+    AccelRun r = runFused(net, 150, 26);
+    EXPECT_GE(r.stats.makespanCycles, r.stats.computeCycles /
+                                          (net.convLayers().size() + 0));
+    EXPECT_GT(r.stats.makespanCycles, 0);
+}
+
+TEST(FusedAccel, MakespanBoundedByStageBusySums)
+{
+    Network net("t", Shape{3, 18, 18});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 4, 3, 1, 1);
+
+    Rng wrng(27);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(28);
+    input.fillRandom(irng);
+
+    auto pcfg = balanceFusedPipeline(net, 0, net.numLayers() - 1, 150);
+    FusedAccelerator accel(net, weights, 0, net.numLayers() - 1, pcfg);
+    accel.run(input);
+
+    const PipelineSchedule &s = accel.schedule();
+    int64_t total_busy = 0;
+    for (int st = 0; st < s.numStages(); st++) {
+        EXPECT_LE(s.stageBusy(st), s.makespan());
+        total_busy += s.stageBusy(st);
+    }
+    EXPECT_LE(s.makespan(), total_busy + 1);
+    EXPECT_GE(s.makespan(),
+              total_busy / static_cast<int64_t>(s.numStages()));
+}
+
+TEST(FusedAccel, StageCyclesScaleWithUnroll)
+{
+    Network net("t", Shape{3, 18, 18});
+    net.add(LayerSpec::conv("c1", 8, 3, 1));
+
+    Rng wrng(29);
+    NetworkWeights weights(net, wrng);
+
+    FusedPipelineConfig small;
+    small.unrolls = {LayerUnroll{0, 1, 1}};
+    FusedPipelineConfig big;
+    big.unrolls = {LayerUnroll{0, 8, 3}};
+
+    FusedAccelerator a(net, weights, 0, 0, small);
+    FusedAccelerator b(net, weights, 0, 0, big);
+    EXPECT_GT(a.stageCycles(0, 1, 1), b.stageCycles(0, 1, 1));
+}
+
+TEST(FusedAccel, ComputeCyclesMatchBalancedModelTotals)
+{
+    // The sum over pyramids of a conv stage's fresh work equals the
+    // whole-image formula the balance model uses.
+    Network net("t", Shape{3, 20, 20});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));
+    net.add(LayerSpec::conv("c2", 6, 3, 1));
+
+    Rng wrng(30);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(31);
+    input.fillRandom(irng);
+
+    auto pcfg = balanceFusedPipeline(net, 0, 1, 100);
+    FusedAccelerator accel(net, weights, 0, 1, pcfg);
+    accel.run(input);
+
+    const PipelineSchedule &s = accel.schedule();
+    // Stage 1 = conv c1, stage 2 = conv c2 (stage 0 is the load).
+    EXPECT_EQ(s.stageBusy(1), pcfg.layerCycles(net, 0));
+    EXPECT_EQ(s.stageBusy(2), pcfg.layerCycles(net, 1));
+}
+
+class FusedAccelRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(FusedAccelRandom, MatchesReferenceOnRandomNetworks)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    Rng rng(seed * 911 + 17);
+    Network net = randomFusableNet(rng);
+    if (net.convLayers().empty())
+        GTEST_SKIP() << "no convolutions";
+    runFused(net, 2000, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FusedAccelRandom, ::testing::Range(0, 20));
+
+} // namespace
+} // namespace flcnn

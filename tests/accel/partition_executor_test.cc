@@ -1,0 +1,162 @@
+/**
+ * @file
+ * PartitionExecutor: Figure 4 multi-pyramid evaluation — functional
+ * equivalence and measured-vs-model traffic across whole partitions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "accel/partition_executor.hh"
+#include "model/transfer.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+Network
+smallVggish()
+{
+    Network net("pvgg", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c3", 6, 3, 1, 1);
+    return net;
+}
+
+void
+runPartition(const Network &net, const Partition &p, uint64_t seed,
+             PartitionRunStats *stats_out = nullptr)
+{
+    Rng wrng(seed);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(seed ^ 0xdead);
+    input.fillRandom(irng);
+
+    PartitionExecutor exec(net, weights, p);
+    PartitionRunStats stats;
+    Tensor out = exec.run(input, &stats);
+
+    Tensor ref = runRange(net, weights, input, 0,
+                          net.stages().back().last);
+    CompareResult cmp = compareTensors(ref, out);
+    EXPECT_TRUE(cmp.match)
+        << partitionStr(p) << ": " << cmp.str();
+    if (stats_out)
+        *stats_out = stats;
+}
+
+TEST(PartitionExecutor, EveryPartitionMatchesReference)
+{
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    for (const Partition &p : enumeratePartitions(stages))
+        runPartition(net, p, 51);
+}
+
+TEST(PartitionExecutor, MeasuredTrafficEqualsFigure7Model)
+{
+    // DESIGN.md invariant 3 at partition scope: on exactly-dividing
+    // geometry the measured DRAM traffic equals the exploration-tool
+    // transfer model for every partition.
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    for (const Partition &p : enumeratePartitions(stages)) {
+        PartitionRunStats stats;
+        runPartition(net, p, 52, &stats);
+        EXPECT_EQ(stats.totalDramBytes(), partitionTransferBytes(net, p))
+            << partitionStr(p);
+    }
+}
+
+TEST(PartitionExecutor, SingletonsMeanLayerByLayer)
+{
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    PartitionRunStats stats;
+    runPartition(net, singletonPartition(stages), 53, &stats);
+    EXPECT_EQ(stats.totalDramBytes(), layerByLayerTransferBytes(net));
+    EXPECT_EQ(stats.groups.size(), static_cast<size_t>(stages));
+}
+
+TEST(PartitionExecutor, FullFusionMovesOnlyEndpoints)
+{
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    PartitionRunStats stats;
+    runPartition(net, fullFusionPartition(stages), 54, &stats);
+    EXPECT_EQ(stats.dramReadBytes, net.inputShape().bytes());
+    EXPECT_EQ(stats.dramWriteBytes, net.outputShape().bytes());
+}
+
+TEST(PartitionExecutor, ArithmeticIsPartitionInvariant)
+{
+    // The reuse model computes the baseline arithmetic regardless of
+    // partitioning.
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    PartitionRunStats a, b;
+    runPartition(net, singletonPartition(stages), 55, &a);
+    runPartition(net, fullFusionPartition(stages), 55, &b);
+    EXPECT_EQ(a.ops.mults, b.ops.mults);
+    EXPECT_EQ(a.ops.adds, b.ops.adds);
+}
+
+TEST(PartitionExecutor, WiderTipsStayCorrect)
+{
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    Rng wrng(56);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(57);
+    input.fillRandom(irng);
+    Tensor ref = runRange(net, weights, input, 0,
+                          net.stages().back().last);
+    for (int tip : {2, 3, 5}) {
+        PartitionExecutor exec(net, weights,
+                               partitionFromSizes({2, 2}, stages), tip);
+        Tensor out = exec.run(input);
+        EXPECT_TRUE(tensorsEqual(ref, out)) << "tip " << tip;
+    }
+}
+
+TEST(PartitionExecutorDeath, InvalidPartitionIsFatal)
+{
+    Network net = smallVggish();
+    Rng rng(58);
+    NetworkWeights weights(net, rng);
+    Partition bad{StageGroup{0, 0}};
+    EXPECT_EXIT(PartitionExecutor(net, weights, bad),
+                ::testing::ExitedWithCode(1), "invalid partition");
+}
+
+class PartitionExecutorRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(PartitionExecutorRandom, RandomNetsRandomPartitions)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    Rng rng(seed * 433 + 7);
+    Network net = randomFusableNet(rng);
+    int stages = static_cast<int>(net.stages().size());
+    if (stages == 0)
+        GTEST_SKIP();
+    auto all = enumeratePartitions(stages);
+    const Partition &p =
+        all[static_cast<size_t>(rng.rangeI64(0,
+                                             static_cast<int64_t>(
+                                                 all.size()) -
+                                                 1))];
+    runPartition(net, p, seed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PartitionExecutorRandom,
+                         ::testing::Range(0, 20));
+
+} // namespace
+} // namespace flcnn

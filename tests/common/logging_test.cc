@@ -1,0 +1,53 @@
+/** @file Logging channel behavior. */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    LogLevel prev = setLogLevel(LogLevel::Quiet);
+    EXPECT_EQ(logLevel(), LogLevel::Quiet);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+    setLogLevel(prev);
+}
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    LogLevel prev = setLogLevel(LogLevel::Quiet);
+    inform("suppressed %d", 1);
+    warn("suppressed %s", "too");
+    setLogLevel(prev);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithStatusOne)
+{
+    EXPECT_EXIT(fatal("bad config value %d", 7),
+                ::testing::ExitedWithCode(1), "bad config value 7");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("internal invariant %s broke", "x"),
+                 "internal invariant x broke");
+}
+
+TEST(LoggingDeath, AssertMacroPanicsWithContext)
+{
+    auto boom = [] { FLCNN_ASSERT(1 == 2, "math still works"); };
+    EXPECT_DEATH(boom(), "math still works");
+}
+
+TEST(Logging, AssertMacroPassesQuietly)
+{
+    FLCNN_ASSERT(2 + 2 == 4, "unreachable");
+    SUCCEED();
+}
+
+} // namespace
+} // namespace flcnn

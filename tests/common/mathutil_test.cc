@@ -1,0 +1,68 @@
+/** @file Integer-math helper tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(MathUtil, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(0, 3), 0);
+    EXPECT_EQ(ceilDiv(1, 3), 1);
+    EXPECT_EQ(ceilDiv(3, 3), 1);
+    EXPECT_EQ(ceilDiv(4, 3), 2);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1000000007LL, 2), 500000004LL);
+}
+
+TEST(MathUtil, AlignUp)
+{
+    EXPECT_EQ(alignUp(0, 8), 0);
+    EXPECT_EQ(alignUp(1, 8), 8);
+    EXPECT_EQ(alignUp(8, 8), 8);
+    EXPECT_EQ(alignUp(9, 8), 16);
+}
+
+TEST(MathUtil, SlidingOutputs)
+{
+    // The standard convolution output-size formula.
+    EXPECT_EQ(slidingOutputs(7, 3, 1), 5);
+    EXPECT_EQ(slidingOutputs(7, 3, 2), 3);
+    EXPECT_EQ(slidingOutputs(227, 11, 4), 55);
+    EXPECT_EQ(slidingOutputs(2, 3, 1), 0);  // window does not fit
+    EXPECT_EQ(slidingOutputs(3, 3, 5), 1);
+}
+
+TEST(MathUtil, WindowSpanIsPaperRecursion)
+{
+    // D' = S*D + K - S, the pyramid recursion of Section III-B.
+    EXPECT_EQ(windowSpan(1, 3, 1), 3);
+    EXPECT_EQ(windowSpan(3, 3, 1), 5);
+    EXPECT_EQ(windowSpan(5, 3, 2), 11);
+    EXPECT_EQ(windowSpan(0, 3, 1), 0);
+}
+
+TEST(MathUtil, SpanAndOutputsAreInverse)
+{
+    for (int k = 1; k <= 7; k++) {
+        for (int s = 1; s <= 4; s++) {
+            for (int d = 1; d <= 9; d++) {
+                int64_t span = windowSpan(d, k, s);
+                EXPECT_EQ(slidingOutputs(span, k, s), d)
+                    << "k=" << k << " s=" << s << " d=" << d;
+            }
+        }
+    }
+}
+
+TEST(MathUtil, Clamp)
+{
+    EXPECT_EQ(clampI64(5, 0, 10), 5);
+    EXPECT_EQ(clampI64(-5, 0, 10), 0);
+    EXPECT_EQ(clampI64(15, 0, 10), 10);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,55 @@
+/** @file OpCount arithmetic-tally tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/opcount.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(OpCount, DefaultsToZero)
+{
+    OpCount c;
+    EXPECT_EQ(c.mults, 0);
+    EXPECT_EQ(c.adds, 0);
+    EXPECT_EQ(c.compares, 0);
+    EXPECT_EQ(c.multAdds(), 0);
+    EXPECT_EQ(c.total(), 0);
+}
+
+TEST(OpCount, Accumulation)
+{
+    OpCount a{10, 20, 5};
+    OpCount b{1, 2, 3};
+    a += b;
+    EXPECT_EQ(a.mults, 11);
+    EXPECT_EQ(a.adds, 22);
+    EXPECT_EQ(a.compares, 8);
+}
+
+TEST(OpCount, PlusAndMinus)
+{
+    OpCount a{10, 20, 5};
+    OpCount b{1, 2, 3};
+    OpCount sum = a + b;
+    EXPECT_EQ(sum.mults, 11);
+    OpCount diff = sum - b;
+    EXPECT_TRUE(diff == a);
+}
+
+TEST(OpCount, MultAddsIsThePaperMetric)
+{
+    OpCount c{100, 100, 999};
+    EXPECT_EQ(c.multAdds(), 200);  // compares excluded
+    EXPECT_EQ(c.total(), 1199);
+}
+
+TEST(OpCount, Equality)
+{
+    EXPECT_TRUE((OpCount{1, 2, 3}) == (OpCount{1, 2, 3}));
+    EXPECT_FALSE((OpCount{1, 2, 3}) == (OpCount{1, 2, 4}));
+    EXPECT_FALSE((OpCount{0, 2, 3}) == (OpCount{1, 2, 3}));
+}
+
+} // namespace
+} // namespace flcnn

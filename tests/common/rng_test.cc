@@ -1,0 +1,102 @@
+/** @file Deterministic RNG behavior. */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Rng, SameSeedSameStream)
+{
+    Rng a(123), b(123);
+    for (int i = 0; i < 100; i++)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; i++)
+        same += (a.next() == b.next());
+    EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; i++) {
+        double v = rng.uniform();
+        EXPECT_GE(v, 0.0);
+        EXPECT_LT(v, 1.0);
+    }
+}
+
+TEST(Rng, RangeIsInclusive)
+{
+    Rng rng(9);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 2000; i++) {
+        int v = rng.range(3, 5);
+        EXPECT_GE(v, 3);
+        EXPECT_LE(v, 5);
+        saw_lo |= (v == 3);
+        saw_hi |= (v == 5);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DegenerateRange)
+{
+    Rng rng(11);
+    EXPECT_EQ(rng.range(4, 4), 4);
+    EXPECT_EQ(rng.range(4, 3), 4);  // hi < lo collapses to lo
+}
+
+TEST(Rng, UniformFRespectsBounds)
+{
+    Rng rng(13);
+    for (int i = 0; i < 500; i++) {
+        float v = rng.uniformF(-2.5f, 1.5f);
+        EXPECT_GE(v, -2.5f);
+        EXPECT_LT(v, 1.5f);
+    }
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng rng(17);
+    for (int i = 0; i < 50; i++) {
+        EXPECT_FALSE(rng.chance(0.0));
+        EXPECT_TRUE(rng.chance(1.0));
+    }
+}
+
+TEST(Rng, ForkIsIndependentOfParentContinuation)
+{
+    Rng a(21);
+    Rng child = a.fork();
+    uint64_t c1 = child.next();
+    // Re-derive: same parent seed, same fork point, same child stream.
+    Rng b(21);
+    Rng child2 = b.fork();
+    EXPECT_EQ(child2.next(), c1);
+}
+
+TEST(Rng, RoughUniformity)
+{
+    Rng rng(23);
+    int buckets[10] = {};
+    const int n = 100000;
+    for (int i = 0; i < n; i++)
+        buckets[rng.range(0, 9)]++;
+    for (int b = 0; b < 10; b++) {
+        EXPECT_GT(buckets[b], n / 10 - n / 50);
+        EXPECT_LT(buckets[b], n / 10 + n / 50);
+    }
+}
+
+} // namespace
+} // namespace flcnn

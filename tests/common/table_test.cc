@@ -1,0 +1,46 @@
+/** @file ASCII table renderer tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/table.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows)
+{
+    Table t({"layer", "KB"});
+    t.addRow({"conv1", "688"});
+    t.addRow({"conv2", "962"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("| layer | KB  |"), std::string::npos);
+    EXPECT_NE(s.find("|-------|-----|"), std::string::npos);
+    EXPECT_NE(s.find("| conv1 | 688 |"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, ColumnsSizeToWidestCell)
+{
+    Table t({"a"});
+    t.addRow({"short"});
+    t.addRow({"much-longer-cell"});
+    std::string s = t.render();
+    EXPECT_NE(s.find("| much-longer-cell |"), std::string::npos);
+    EXPECT_NE(s.find("| short            |"), std::string::npos);
+}
+
+TEST(TableDeath, RowArityMismatchPanics)
+{
+    Table t({"a", "b"});
+    EXPECT_DEATH(t.addRow({"only-one"}), "arity");
+}
+
+TEST(Table, Formatters)
+{
+    EXPECT_EQ(fmtF(3.14159, 2), "3.14");
+    EXPECT_EQ(fmtF(2.0, 0), "2");
+    EXPECT_EQ(fmtI(-42), "-42");
+}
+
+} // namespace
+} // namespace flcnn

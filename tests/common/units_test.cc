@@ -1,0 +1,46 @@
+/** @file Byte/count formatting tests. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Units, FormatBytes)
+{
+    EXPECT_EQ(formatBytes(0), "0 B");
+    EXPECT_EQ(formatBytes(512), "512 B");
+    EXPECT_EQ(formatBytes(1024), "1.00 KB");
+    EXPECT_EQ(formatBytes(362 * 1024), "362.00 KB");
+    EXPECT_EQ(formatBytes(77 * 1024 * 1024), "77.00 MB");
+    EXPECT_EQ(formatBytes(3LL * 1024 * 1024 * 1024), "3.00 GB");
+}
+
+TEST(Units, FormatCount)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1,000");
+    EXPECT_EQ(formatCount(678000000), "678,000,000");
+    EXPECT_EQ(formatCount(-1234567), "-1,234,567");
+}
+
+TEST(Units, FormatScaled)
+{
+    EXPECT_EQ(formatScaled(42), "42");
+    EXPECT_EQ(formatScaled(1500), "1.50 K");
+    EXPECT_EQ(formatScaled(678e6), "678.00 M");
+    EXPECT_EQ(formatScaled(470e9), "470.00 B");
+    EXPECT_EQ(formatScaled(1.2e12), "1.20 T");
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(toKiB(2048), 2.0);
+    EXPECT_DOUBLE_EQ(toMiB(3 * oneMiB), 3.0);
+    EXPECT_EQ(bytesPerWord, 4);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The paper's calcparams formulas vs. our span machinery: on clip-free
+ * geometry (no padding, exactly dividing shapes) the TilePlan's
+ * compute spans must agree with Section IV-B's arithmetic at every
+ * pyramid — a cross-validation of the geometry core against the
+ * paper's own equations.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fusion/calcparams.hh"
+#include "fusion/plan.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+/** A pad-free stack whose shapes divide exactly. */
+Network
+cleanNet()
+{
+    Network net("clean", Shape{2, 38, 38});
+    net.add(LayerSpec::conv("c1", 3, 3, 1));  // 36
+    net.add(LayerSpec::relu("r1"));
+    net.add(LayerSpec::conv("c2", 4, 3, 1));  // 34
+    net.add(LayerSpec::pool("p1", 2, 2));     // 17
+    net.add(LayerSpec::conv("c3", 2, 3, 1));  // 15
+    return net;
+}
+
+TEST(CalcParams, DerivedConfigMatchesBackwardRecursion)
+{
+    Network net = cleanNet();
+    CalcParamsConfig cfg = deriveCalcParams(net, 0, net.numLayers() - 1);
+    // Backward: 1 ->(c3) 3 ->(p1) 6 ->(c2) 8 ->(c1) 10.
+    EXPECT_EQ(cfg.x, 10);
+    EXPECT_EQ(cfg.y, 10);
+    // Stride product: 1 * 2 * 1 * 1 = 2.
+    EXPECT_EQ(cfg.sx, 2);
+    EXPECT_EQ(cfg.sy, 2);
+}
+
+TEST(CalcParams, FirstPyramidComputesTheFullBase)
+{
+    Network net = cleanNet();
+    CalcParamsConfig cfg = deriveCalcParams(net, 0, net.numLayers() - 1);
+    IterationParams it =
+        calcParams(net, 0, net.numLayers() - 1, cfg, 0, 0);
+    EXPECT_EQ(it.rowt, 0);
+    EXPECT_EQ(it.colt, 0);
+    ASSERT_EQ(it.layers.size(), 4u);
+    EXPECT_EQ(it.layers[0].inW, 10);   // X
+    EXPECT_EQ(it.layers[0].outW, 8);
+    EXPECT_EQ(it.layers[1].inW, 8);
+    EXPECT_EQ(it.layers[1].outW, 6);
+    EXPECT_EQ(it.layers[2].inW, 6);    // pool
+    EXPECT_EQ(it.layers[2].outW, 3);
+    EXPECT_EQ(it.layers[3].inW, 3);
+    EXPECT_EQ(it.layers[3].outW, 1);   // the tip
+}
+
+TEST(CalcParams, InteriorPyramidsComputeSlivers)
+{
+    Network net = cleanNet();
+    CalcParamsConfig cfg = deriveCalcParams(net, 0, net.numLayers() - 1);
+    IterationParams it =
+        calcParams(net, 0, net.numLayers() - 1, cfg, 3, 3);
+    // Layer 1 loads an (Sx + K - S)-wide sliver.
+    EXPECT_EQ(it.layers[0].inW, 2 + 3 - 1);
+    EXPECT_EQ(it.layers[0].outW, 2);
+    // 2x2/s2 pool has no carried columns.
+    EXPECT_EQ(it.layers[2].inW, it.layers[1].outW);
+    // The tip is one pixel.
+    EXPECT_EQ(it.layers.back().outW, 1);
+    EXPECT_EQ(it.layers.back().outH, 1);
+    // Load coordinates step by Sx per column.
+    IterationParams it4 =
+        calcParams(net, 0, net.numLayers() - 1, cfg, 3, 4);
+    EXPECT_EQ(it4.colt - it.colt, cfg.sx);
+}
+
+TEST(CalcParams, AgreesWithTilePlanEverywhere)
+{
+    // The paper's formulas and the TilePlan's compute spans must agree
+    // at every pyramid of a clip-free fusion: same computation dims
+    // per windowed layer, and load coordinates offset by exactly the
+    // K-S overlap our layer-1 reuse buffers retain.
+    Network net = cleanNet();
+    const int last = net.numLayers() - 1;
+    CalcParamsConfig cfg = deriveCalcParams(net, 0, last);
+    TilePlan plan(net, 0, last, 1, 1);
+
+    int k1 = net.layer(0).kernel, s1 = net.layer(0).stride;
+    for (int r = 0; r < plan.numPyramidRows(); r++) {
+        for (int c = 0; c < plan.numPyramidCols(); c++) {
+            IterationParams it = calcParams(net, 0, last, cfg, r, c);
+            size_t wi = 0;
+            for (int li = 0; li < plan.numFusedLayers(); li++) {
+                const LayerGeom &g = plan.geom(li);
+                if (!g.windowed)
+                    continue;
+                const LayerParams &lp = it.layers[wi++];
+                EXPECT_EQ(lp.inW, g.inX[static_cast<size_t>(c)].width())
+                    << "layer " << li << " @(" << r << "," << c << ")";
+                EXPECT_EQ(lp.inH, g.inY[static_cast<size_t>(r)].width())
+                    << "layer " << li << " @(" << r << "," << c << ")";
+                EXPECT_EQ(lp.outW, g.freshOutX(c).width())
+                    << "layer " << li << " @(" << r << "," << c << ")";
+                EXPECT_EQ(lp.outH, g.freshOutY(r).width())
+                    << "layer " << li << " @(" << r << "," << c << ")";
+            }
+            // colt/rowt point at the fresh data minus the K-S overlap
+            // the paper's design re-reads from DRAM.
+            const LayerGeom &g0 = plan.geom(0);
+            if (c > 0) {
+                EXPECT_EQ(it.colt,
+                          g0.freshInX(c).begin - (k1 - s1));
+            }
+            if (r > 0) {
+                EXPECT_EQ(it.rowt,
+                          g0.freshInY(r).begin - (k1 - s1));
+            }
+        }
+    }
+}
+
+TEST(CalcParams, StridedFirstLayer)
+{
+    // AlexNet-style stride-4 head: Sx is the stride product.
+    Network net("str", Shape{3, 51, 51});
+    net.add(LayerSpec::conv("c1", 4, 11, 4));  // 11
+    net.add(LayerSpec::conv("c2", 3, 3, 1));   // 9
+    CalcParamsConfig cfg = deriveCalcParams(net, 0, 1);
+    EXPECT_EQ(cfg.sx, 4);
+    EXPECT_EQ(cfg.x, 4 * 3 + 11 - 4);  // 19
+    IterationParams mid = calcParams(net, 0, 1, cfg, 2, 2);
+    EXPECT_EQ(mid.layers[0].inW, 4 + 11 - 4);
+    EXPECT_EQ(mid.layers[0].outW, 1);
+
+    TilePlan plan(net, 0, 1, 1, 1);
+    EXPECT_EQ(plan.geom(0).inX[2].width(), mid.layers[0].inW);
+}
+
+TEST(CalcParamsDeath, NoWindowedLayersIsAnError)
+{
+    Network net("pw", Shape{2, 8, 8});
+    net.add(LayerSpec::relu("r"));
+    CalcParamsConfig cfg{4, 4, 1, 1};
+    EXPECT_DEATH(calcParams(net, 0, 0, cfg, 0, 0), "no windowed");
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * LineBufferExecutor: bit-exact equivalence with the reference and with
+ * the pyramid executor, plus line-buffer capacity accounting.
+ */
+
+#include <gtest/gtest.h>
+
+#include "fusion/fused_executor.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+void
+expectLineBufferMatches(const Network &net, int first, int last,
+                        uint64_t seed, int row_block = 1)
+{
+    Rng wrng(seed);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inShape(first));
+    Rng irng(seed ^ 0xbeef);
+    input.fillRandom(irng);
+
+    Tensor ref = runRange(net, weights, input, first, last);
+    LineBufferExecutor exec(net, weights, first, last, row_block);
+    LineBufferStats stats;
+    Tensor out = exec.run(input, &stats);
+
+    CompareResult cmp = compareTensors(ref, out);
+    EXPECT_TRUE(cmp.match)
+        << net.name() << " block " << row_block << ": " << cmp.str();
+    EXPECT_EQ(stats.loadedBytes, net.inShape(first).bytes());
+    EXPECT_EQ(stats.storedBytes, net.outShape(last).bytes());
+}
+
+TEST(LineBufferExecutor, TwoConv)
+{
+    expectLineBufferMatches(tinyNet(), 0, 1, 41);
+}
+
+TEST(LineBufferExecutor, PadConvReluPoolStack)
+{
+    Network net("stack", Shape{3, 22, 22});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 3, 2);
+    net.addConvBlock("c2", 5, 3, 1, 2);
+    expectLineBufferMatches(net, 0, net.numLayers() - 1, 42);
+}
+
+TEST(LineBufferExecutor, StridedAndGrouped)
+{
+    Network net("sg", Shape{4, 25, 25});
+    net.add(LayerSpec::conv("c1", 6, 5, 2, 2));
+    net.add(LayerSpec::relu("r1"));
+    net.add(LayerSpec::conv("c2", 4, 3, 1));
+    expectLineBufferMatches(net, 0, 2, 43);
+}
+
+TEST(LineBufferExecutor, LrnStage)
+{
+    Network net("lrn", Shape{6, 12, 12});
+    net.add(LayerSpec::conv("c1", 6, 3, 1));
+    net.add(LayerSpec::lrn("n1"));
+    net.add(LayerSpec::conv("c2", 3, 3, 1));
+    expectLineBufferMatches(net, 0, 2, 44);
+}
+
+TEST(LineBufferExecutor, AvgPool)
+{
+    Network net("avg", Shape{2, 15, 15});
+    net.add(LayerSpec::conv("c1", 3, 3, 1));
+    net.add(LayerSpec::pool("p1", 3, 2, PoolMode::Avg));
+    expectLineBufferMatches(net, 0, 1, 45);
+}
+
+TEST(LineBufferExecutor, BufferBytesAreKRowsPerWindowedLayer)
+{
+    Network net("bytes", Shape{3, 18, 18});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));  // ring 3 rows x 18 x 3ch
+    net.add(LayerSpec::pool("p1", 2, 2));     // ring 2 rows x 16 x 4ch
+    Rng rng(1);
+    NetworkWeights weights(net, rng);
+    LineBufferExecutor exec(net, weights, 0, 1);
+    int64_t expect = (3LL * 3 * 18 + 4LL * 2 * 16) * 4;
+    EXPECT_EQ(exec.bufferBytes(), expect);
+}
+
+TEST(LineBufferExecutor, AgreesWithPyramidExecutor)
+{
+    Network net("agree", Shape{3, 21, 21});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 3, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+
+    Rng wrng(46);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(47);
+    input.fillRandom(irng);
+
+    LineBufferExecutor lb(net, weights, 0, net.numLayers() - 1);
+    FusedExecutor py(net, weights,
+                     TilePlan(net, 0, net.numLayers() - 1, 1, 1));
+    Tensor a = lb.run(input);
+    Tensor b = py.run(input);
+    EXPECT_TRUE(tensorsEqual(a, b));
+}
+
+TEST(LineBufferExecutor, RowBlockingStaysExact)
+{
+    Network net("blk", Shape{3, 23, 23});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 3, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+    for (int block : {1, 2, 3, 4, 7, 32})
+        expectLineBufferMatches(net, 0, net.numLayers() - 1, 48, block);
+}
+
+TEST(LineBufferExecutor, RowBlockingStridedAndRagged)
+{
+    Network net("blkrag", Shape{2, 29, 25});
+    net.add(LayerSpec::conv("c1", 4, 5, 2));
+    net.add(LayerSpec::conv("c2", 3, 2, 1));
+    for (int block : {2, 3, 5})
+        expectLineBufferMatches(net, 0, 1, 49, block);
+}
+
+TEST(LineBufferExecutor, RowBlockingGrowsBuffers)
+{
+    Network net("blkbuf", Shape{3, 18, 18});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));
+    Rng rng(1);
+    NetworkWeights weights(net, rng);
+    LineBufferExecutor one(net, weights, 0, 0, 1);
+    LineBufferExecutor four(net, weights, 0, 0, 4);
+    // ring rows: K vs (B-1)*S + K.
+    EXPECT_EQ(one.bufferBytes(), 3LL * 3 * 18 * 4);
+    EXPECT_EQ(four.bufferBytes(), 3LL * 6 * 18 * 4);
+}
+
+class LineBufferRandom : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LineBufferRandom, MatchesReferenceOnRandomNetworks)
+{
+    const uint64_t seed = static_cast<uint64_t>(GetParam());
+    Rng rng(seed * 271 + 3);
+    Network net = randomFusableNet(rng);
+    int block = rng.range(1, 5);
+    expectLineBufferMatches(net, 0, net.numLayers() - 1, seed, block);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, LineBufferRandom, ::testing::Range(0, 30));
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * TilePlan geometry: the backward pyramid recursion, overlap widths,
+ * buffer sizing, and DRAM load accounting (DESIGN.md invariant 2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/mathutil.hh"
+#include "fusion/plan.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(TilePlan, PaperFigure3Geometry)
+{
+    // Figure 3: 7x7 inputs, two 3x3 stride-1 convolutions, 1x1 tip.
+    // The pyramid base is 5x5 and the intermediate region is 3x3.
+    Network net = tinyNet();
+    TilePlan plan(net, 0, 1, 1, 1);
+
+    ASSERT_EQ(plan.numFusedLayers(), 2);
+    const LayerGeom &l1 = plan.geom(0);
+    const LayerGeom &l2 = plan.geom(1);
+
+    EXPECT_EQ(l1.maxTileH, 5);
+    EXPECT_EQ(l1.maxTileW, 5);
+    EXPECT_EQ(l2.maxTileH, 3);
+    EXPECT_EQ(l2.maxTileW, 3);
+
+    // Final output is 3x3; one pyramid per output pixel.
+    EXPECT_EQ(plan.numPyramidRows(), 3);
+    EXPECT_EQ(plan.numPyramidCols(), 3);
+
+    // Both layers overlap by K - S = 2 between adjacent pyramids.
+    EXPECT_EQ(l1.overlapX, 2);
+    EXPECT_EQ(l1.overlapY, 2);
+    EXPECT_EQ(l2.overlapX, 2);
+    EXPECT_EQ(l2.overlapY, 2);
+}
+
+TEST(TilePlan, ScalarRecursionMatchesPaperFormula)
+{
+    // D' = S*D + K - S composed over an unpadded conv stack must equal
+    // the first-tile size when no clipping interferes.
+    Network net("stack", Shape{1, 120, 120});
+    net.add(LayerSpec::conv("a", 2, 5, 2));
+    net.add(LayerSpec::conv("b", 2, 3, 1));
+    net.add(LayerSpec::conv("c", 2, 4, 3));
+
+    TilePlan plan(net, 0, 2, 1, 1);
+    int64_t d = 1;
+    d = windowSpan(d, 4, 3);  // layer c
+    d = windowSpan(d, 3, 1);  // layer b
+    d = windowSpan(d, 5, 2);  // layer a
+    EXPECT_EQ(plan.geom(0).maxTileH, d);
+    EXPECT_EQ(plan.geom(0).maxTileW, d);
+}
+
+TEST(TilePlan, SpansArePlaneExact)
+{
+    // Union of output spans covers the full output plane; spans at each
+    // boundary stay inside the plane.
+    Network net("cover", Shape{2, 30, 30});
+    net.add(LayerSpec::padding("p", 1));
+    net.add(LayerSpec::conv("c1", 3, 3, 1));
+    net.add(LayerSpec::pool("pl", 2, 2));
+    net.add(LayerSpec::conv("c2", 2, 3, 1));
+    TilePlan plan(net, 0, 3, 2, 2);
+
+    for (int li = 0; li < plan.numFusedLayers(); li++) {
+        const LayerGeom &g = plan.geom(li);
+        for (const Span &s : g.inX) {
+            EXPECT_GE(s.begin, 0);
+            EXPECT_LE(s.end, g.inPlane.w);
+        }
+        for (const Span &s : g.inY) {
+            EXPECT_GE(s.begin, 0);
+            EXPECT_LE(s.end, g.inPlane.h);
+        }
+    }
+
+    // Tip spans tile the group output exactly.
+    const LayerGeom &gl = plan.geom(plan.numFusedLayers() - 1);
+    int covered = 0;
+    for (int c = 0; c < plan.numPyramidCols(); c++)
+        covered += gl.freshOutX(c).width();
+    EXPECT_EQ(covered, gl.outPlane.w);
+    covered = 0;
+    for (int r = 0; r < plan.numPyramidRows(); r++)
+        covered += gl.freshOutY(r).width();
+    EXPECT_EQ(covered, gl.outPlane.h);
+}
+
+TEST(TilePlan, PaddingClipsFullSpansAtBorders)
+{
+    // With a leading pad, pyramid 0's clipped receptive span is narrower
+    // than the interior ones; maxFullInW must reflect the interior
+    // width, while the compute spans shrink to the fresh sliver.
+    Network net("clip", Shape{1, 16, 16});
+    net.add(LayerSpec::padding("p", 1));
+    net.add(LayerSpec::conv("c", 1, 3, 1));
+    TilePlan plan(net, 0, 1, 1, 1);
+    const LayerGeom &pad = plan.geom(0);
+    EXPECT_EQ(pad.fullInX[0].width(), 2);  // clipped at the left border
+    EXPECT_EQ(pad.fullInX[1].width(), 3);  // interior receptive field
+    EXPECT_EQ(pad.maxFullInW, 3);
+    // Compute spans: the first pyramid produces its whole clipped span;
+    // interior pyramids produce a single fresh column.
+    EXPECT_EQ(pad.inX[0].width(), 2);
+    EXPECT_EQ(pad.inX[1].width(), 1);
+    // Fresh-in diffs partition the used input region.
+    int covered = 0;
+    for (int c = 0; c < plan.numPyramidCols(); c++)
+        covered += pad.freshInX(c).width();
+    EXPECT_EQ(covered, 16);
+}
+
+TEST(TilePlan, ReuseBytesMatchHandComputation)
+{
+    // Single 3x3/s1 conv over CxHxW: BL = C*tileH*(K-S)*4,
+    // BT = C*(K-S)*W*4.
+    Network net("one", Shape{4, 10, 10});
+    net.add(LayerSpec::conv("c", 2, 3, 1));
+    TilePlan plan(net, 0, 0, 1, 1);
+    const LayerGeom &g = plan.geom(0);
+    EXPECT_EQ(g.maxTileH, 3);
+    EXPECT_EQ(g.blBytes(), 4 * 3 * 2 * 4);
+    EXPECT_EQ(g.btBytes(), 4 * 2 * 10 * 4);
+    EXPECT_EQ(plan.reuseBufferBytes(), g.blBytes() + g.btBytes());
+}
+
+TEST(TilePlan, NoReuseBuffersWhenWindowsDoNotOverlap)
+{
+    // 2x2 stride-2 pooling: K - S = 0, so no BL/BT at that layer.
+    Network net("nopool", Shape{2, 12, 12});
+    net.add(LayerSpec::conv("c", 2, 3, 1));
+    net.add(LayerSpec::pool("p", 2, 2));
+    TilePlan plan(net, 0, 1, 1, 1);
+    EXPECT_GT(plan.geom(0).blBytes(), 0);
+    EXPECT_EQ(plan.geom(1).blBytes(), 0);
+    EXPECT_EQ(plan.geom(1).btBytes(), 0);
+}
+
+TEST(TilePlan, InputLoadedOnceEqualsUsedRegion)
+{
+    // Shapes that divide exactly: every input element is used, so the
+    // reuse model loads exactly the input plane.
+    Network net("exact", Shape{3, 12, 12});
+    net.add(LayerSpec::conv("c1", 2, 3, 1));
+    net.add(LayerSpec::conv("c2", 2, 3, 1));
+    TilePlan plan(net, 0, 1, 1, 1);
+    EXPECT_EQ(plan.inputBytesLoaded(), net.inputShape().bytes());
+}
+
+TEST(TilePlan, InputLoadSkipsUnusedTail)
+{
+    // Stride-3 kernel-2 conv on width 13: outputs cover 2+3*(o-1)..,
+    // leaving unused input columns that are never transferred.
+    Network net("tail", Shape{1, 13, 13});
+    net.add(LayerSpec::conv("c", 1, 2, 3));
+    TilePlan plan(net, 0, 0, 1, 1);
+    // outW = (13-2)/3+1 = 4 outputs; used columns 0..10 (11 of 13), and
+    // the stride gap columns ARE loaded only when a window covers them.
+    // Used columns per row: windows at x=0,3,6,9 each 2 wide -> 8 cols.
+    int64_t expect = 8LL * 8 * 1 * 4;  // cols * rows * channels * bytes
+    EXPECT_EQ(plan.inputBytesLoaded(), expect);
+}
+
+TEST(TilePlan, VggFirstFiveReuseStorageNearPaperValue)
+{
+    // The paper's point C: fusing VGG-E's first five convolution stages
+    // (+2 pools) needs ~362 KB of extra on-chip storage. Our BL+BT
+    // accounting should land in the same range.
+    Network net = vggEPrefix(5);
+    TilePlan plan(net, 0, net.numLayers() - 1, 1, 1);
+    double kib = static_cast<double>(plan.reuseBufferBytes()) / 1024.0;
+    EXPECT_GT(kib, 290.0);
+    EXPECT_LT(kib, 440.0);
+}
+
+TEST(TilePlan, VggFirstFiveTransfersMatchPaper)
+{
+    // Point C transfers only the input (0.57 MB) and the conv3_1 output
+    // (3.06 MB): 3.64 MB total.
+    Network net = vggEPrefix(5);
+    TilePlan plan(net, 0, net.numLayers() - 1, 1, 1);
+    int64_t total = plan.inputBytesLoaded() + plan.outputBytesStored();
+    double mib = static_cast<double>(total) / (1024.0 * 1024.0);
+    EXPECT_NEAR(mib, 3.64, 0.05);
+}
+
+TEST(TilePlan, RejectsNonFusableLayer)
+{
+    Network net("fc", Shape{2, 8, 8});
+    net.add(LayerSpec::conv("c", 2, 3, 1));
+    net.add(LayerSpec::fullyConnected("f", 10));
+    EXPECT_DEATH(TilePlan(net, 0, 1, 1, 1), "cannot be fused");
+}
+
+TEST(TilePlan, PyramidGridCountsRaggedTips)
+{
+    Network net("rag", Shape{1, 11, 11});
+    net.add(LayerSpec::conv("c", 1, 3, 1));  // out 9x9
+    TilePlan plan(net, 0, 0, 2, 4);
+    EXPECT_EQ(plan.numPyramidRows(), 5);  // ceil(9/2)
+    EXPECT_EQ(plan.numPyramidCols(), 3);  // ceil(9/4)
+    EXPECT_EQ(plan.numPyramids(), 15);
+}
+
+} // namespace
+} // namespace flcnn

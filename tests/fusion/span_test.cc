@@ -1,0 +1,111 @@
+/** @file Span algebra and per-layer span transfer functions. */
+
+#include <gtest/gtest.h>
+
+#include "fusion/span.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Span, BasicsAndClip)
+{
+    Span s{2, 5};
+    EXPECT_EQ(s.width(), 3);
+    EXPECT_FALSE(s.empty());
+    EXPECT_TRUE((Span{3, 3}).empty());
+    EXPECT_TRUE((Span{5, 2}).width() == 0);
+
+    EXPECT_EQ((Span{-2, 4}).clip(10), (Span{0, 4}));
+    EXPECT_EQ((Span{3, 12}).clip(10), (Span{3, 10}));
+    EXPECT_EQ((Span{-5, -1}).clip(10), (Span{0, 0}));
+}
+
+TEST(Span, ClipNormalizesInvertedSpans)
+{
+    // begin > end after clipping must collapse to a positioned empty
+    // span with a valid end (monotonicity of ends is load-bearing for
+    // the fresh-data diffs).
+    Span s{26, 25};
+    Span c = s.clip(25);
+    EXPECT_TRUE(c.empty());
+    EXPECT_EQ(c.begin, c.end);
+    EXPECT_LE(c.end, 25);
+    EXPECT_GE(c.end, 0);
+}
+
+TEST(Span, ConvTransfer)
+{
+    LayerSpec conv = LayerSpec::conv("c", 1, 3, 1);
+    EXPECT_EQ(layerInSpan(conv, Span{0, 1}, 100), (Span{0, 3}));
+    EXPECT_EQ(layerInSpan(conv, Span{4, 7}, 100), (Span{4, 9}));
+
+    LayerSpec strided = LayerSpec::conv("c", 1, 5, 2);
+    EXPECT_EQ(layerInSpan(strided, Span{3, 6}, 100), (Span{6, 15}));
+}
+
+TEST(Span, PoolTransferUsesSameRecursion)
+{
+    LayerSpec pool = LayerSpec::pool("p", 2, 2);
+    EXPECT_EQ(layerInSpan(pool, Span{0, 4}, 100), (Span{0, 8}));
+    EXPECT_EQ(layerInSpan(pool, Span{3, 5}, 100), (Span{6, 10}));
+}
+
+TEST(Span, PadTransferShiftsAndClips)
+{
+    LayerSpec pad = LayerSpec::padding("p", 2);
+    EXPECT_EQ(layerInSpan(pad, Span{0, 5}, 10), (Span{0, 3}));
+    EXPECT_EQ(layerInSpan(pad, Span{5, 9}, 10), (Span{3, 7}));
+    EXPECT_EQ(layerInSpan(pad, Span{10, 14}, 10), (Span{8, 10}));
+    // Fully inside the left border.
+    EXPECT_TRUE(layerInSpan(pad, Span{0, 2}, 10).empty());
+}
+
+TEST(Span, PointwiseIdentity)
+{
+    LayerSpec relu = LayerSpec::relu("r");
+    EXPECT_EQ(layerInSpan(relu, Span{3, 8}, 100), (Span{3, 8}));
+    LayerSpec lrn = LayerSpec::lrn("n");
+    EXPECT_EQ(layerInSpan(lrn, Span{3, 8}, 100), (Span{3, 8}));
+}
+
+TEST(Span, PaperRecursionWidth)
+{
+    // |in| = S*|out| + K - S for interior spans.
+    for (int k = 1; k <= 7; k++) {
+        for (int s = 1; s <= 3; s++) {
+            LayerSpec conv = LayerSpec::conv("c", 1, k, s);
+            for (int d = 1; d <= 6; d++) {
+                Span in = layerInSpan(conv, Span{2, 2 + d}, 10000);
+                EXPECT_EQ(in.width(), s * d + k - s);
+            }
+        }
+    }
+}
+
+TEST(Span, EmptySpanStaysPositioned)
+{
+    LayerSpec conv = LayerSpec::conv("c", 1, 3, 1);
+    Span in = layerInSpan(conv, Span{5, 5}, 100);
+    EXPECT_TRUE(in.empty());
+    // Anchored at the transformed end: (5-1)*1+3 = 7.
+    EXPECT_EQ(in.end, 7);
+}
+
+TEST(Span, MonotoneEndsPreserved)
+{
+    // Composing the transfer over a monotone out-span sequence yields
+    // monotone in-span ends — the invariant fresh diffs rely on.
+    LayerSpec conv = LayerSpec::conv("c", 1, 3, 2);
+    LayerSpec pad = LayerSpec::padding("p", 1);
+    int prev_end = -1;
+    for (int c = 0; c < 12; c++) {
+        Span out{c, c + 1};
+        Span mid = layerInSpan(conv, out, 40);
+        Span in = layerInSpan(pad, mid, 23);
+        EXPECT_GE(in.end, prev_end);
+        prev_end = in.end;
+    }
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * HLS emitter: structural checks on the generated source, and the key
+ * integration test — compile the emitted accelerator with the host
+ * compiler, run it on binary-serialized inputs/weights, and verify the
+ * output is bit-identical to the library's reference executor.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "hls/emitter.hh"
+#include "model/balance.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(HlsEmitter, SourceContainsHardCodedDimsAndPragmas)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    std::vector<LayerUnroll> unrolls{LayerUnroll{1, 4, 3}};
+    std::string src =
+        emitFusedHls(net, 0, net.numLayers() - 1, unrolls);
+
+    EXPECT_NE(src.find("kInC = 3"), std::string::npos);
+    EXPECT_NE(src.find("kInH = 16"), std::string::npos);
+    EXPECT_NE(src.find("#pragma HLS PIPELINE II=1"), std::string::npos);
+    EXPECT_NE(src.find("#pragma HLS UNROLL factor=4  // Tm"),
+              std::string::npos);
+    EXPECT_NE(src.find("#pragma HLS UNROLL factor=3  // Tn"),
+              std::string::npos);
+    EXPECT_NE(src.find("#pragma HLS DATAFLOW"), std::string::npos);
+    EXPECT_NE(src.find("ring_l"), std::string::npos);
+    EXPECT_NE(src.find("fused_top"), std::string::npos);
+}
+
+TEST(HlsEmitter, CustomTopNameAndNoTestbench)
+{
+    Network net("t", Shape{2, 8, 8});
+    net.add(LayerSpec::conv("c", 2, 3, 1));
+    HlsEmitOptions opt;
+    opt.topName = "my_accel";
+    opt.testbench = false;
+    std::string src = emitFusedHls(net, 0, 0, {}, opt);
+    EXPECT_NE(src.find("my_accel"), std::string::npos);
+    EXPECT_EQ(src.find("FLCNN_HLS_TESTBENCH"), std::string::npos);
+}
+
+TEST(HlsEmitter, WeightArenaOrderAndSize)
+{
+    Network net("t", Shape{2, 10, 10});
+    net.add(LayerSpec::conv("c1", 3, 3, 1));
+    net.add(LayerSpec::relu("r1"));
+    net.add(LayerSpec::conv("c2", 2, 3, 1));
+    Rng rng(5);
+    NetworkWeights w(net, rng);
+    auto arena = packWeightsForHls(net, w, 0, 2);
+    // c1: 3*2*9 weights + 3 biases; c2: 2*3*9 + 2.
+    ASSERT_EQ(arena.size(), static_cast<size_t>(3 * 2 * 9 + 3 +
+                                                2 * 3 * 9 + 2));
+    EXPECT_EQ(arena[0], w.bank(0).w(0, 0, 0, 0));
+    EXPECT_EQ(arena[3 * 2 * 9], w.bank(0).bias(0));
+}
+
+TEST(HlsEmitter, RejectsNonFusableLayers)
+{
+    Network net("t", Shape{2, 8, 8});
+    net.add(LayerSpec::conv("c", 2, 3, 1));
+    net.add(LayerSpec::fullyConnected("f", 4));
+    EXPECT_DEATH(emitFusedHls(net, 0, 1, {}), "non-fusable");
+}
+
+namespace {
+
+void
+writeFloats(const std::string &path, const float *data, size_t n)
+{
+    std::ofstream f(path, std::ios::binary);
+    ASSERT_TRUE(f.good()) << path;
+    f.write(reinterpret_cast<const char *>(data),
+            static_cast<std::streamsize>(n * sizeof(float)));
+}
+
+/** Emit, host-compile, run, and compare against the reference. */
+void
+roundTrip(const Network &net, uint64_t seed, const std::string &tag)
+{
+    const int last = net.numLayers() - 1;
+    Rng wrng(seed);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(seed ^ 0xf00d);
+    input.fillRandom(irng);
+    Tensor ref = runRange(net, weights, input, 0, last);
+
+    std::string dir = ::testing::TempDir() + "flcnn_hls_" + tag;
+    std::string mk = "mkdir -p '" + dir + "'";
+    ASSERT_EQ(std::system(mk.c_str()), 0);
+
+    std::string src = emitFusedHls(net, 0, last, {});
+    std::ofstream(dir + "/accel.cc") << src;
+
+    writeFloats(dir + "/input.bin", input.data(),
+                static_cast<size_t>(input.elems()));
+    auto arena = packWeightsForHls(net, weights, 0, last);
+    writeFloats(dir + "/weights.bin", arena.data(), arena.size());
+
+    std::string compile = "c++ -O2 -std=c++17 -DFLCNN_HLS_TESTBENCH '" +
+                          dir + "/accel.cc' -o '" + dir + "/accel' " +
+                          "2>'" + dir + "/compile.log'";
+    ASSERT_EQ(std::system(compile.c_str()), 0)
+        << "generated code failed to compile; see " << dir
+        << "/compile.log";
+
+    std::string run = "cd '" + dir + "' && ./accel";
+    ASSERT_EQ(std::system(run.c_str()), 0);
+
+    Tensor out(net.outShape(last));
+    std::ifstream f(dir + "/output.bin", std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.read(reinterpret_cast<char *>(out.data()),
+           static_cast<std::streamsize>(out.elems() * 4));
+    ASSERT_EQ(f.gcount(),
+              static_cast<std::streamsize>(out.elems() * 4));
+
+    CompareResult cmp = compareTensors(ref, out);
+    EXPECT_TRUE(cmp.match) << net.name() << ": " << cmp.str();
+}
+
+} // namespace
+
+TEST(HlsEmitterIntegration, TwoConvAccelRuns)
+{
+    Network net("hls2", Shape{3, 14, 14});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));
+    net.add(LayerSpec::relu("r1"));
+    net.add(LayerSpec::conv("c2", 3, 3, 1));
+    roundTrip(net, 11, "two_conv");
+}
+
+TEST(HlsEmitterIntegration, PadPoolStackRuns)
+{
+    Network net("hlspp", Shape{3, 18, 18});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+    roundTrip(net, 12, "pad_pool");
+}
+
+TEST(HlsEmitterIntegration, AlexNetStyleStridedGroupedRuns)
+{
+    Network net("hlsalex", Shape{3, 43, 43});
+    net.add(LayerSpec::conv("conv1", 8, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::padding("conv2_pad", 2));
+    net.add(LayerSpec::conv("conv2", 6, 5, 1, 2));
+    net.add(LayerSpec::relu("relu2"));
+    roundTrip(net, 13, "alex_style");
+}
+
+TEST(HlsEmitterIntegration, AvgPoolRuns)
+{
+    Network net("hlsavg", Shape{2, 12, 12});
+    net.add(LayerSpec::conv("c1", 3, 3, 1));
+    net.add(LayerSpec::pool("p1", 3, 2, PoolMode::Avg));
+    roundTrip(net, 14, "avg_pool");
+}
+
+} // namespace
+} // namespace flcnn

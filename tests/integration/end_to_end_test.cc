@@ -1,0 +1,225 @@
+/**
+ * @file
+ * Cross-module integration: the full designer workflow (explore → pick
+ * → execute → verify), cross-checks between independent execution
+ * paths (pyramid executor, line buffer, emitted HLS, tiled baseline),
+ * and zoo networks exercised end to end at reduced scale.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+
+#include "accel/baseline_accel.hh"
+#include "accel/fused_accel.hh"
+#include "accel/partition_executor.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "hls/emitter.hh"
+#include "model/explorer.hh"
+#include "model/transfer.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(EndToEnd, ExploreThenExecuteTheParetoFront)
+{
+    // Designer flow: sweep the space, then actually run every
+    // Pareto-optimal partition and confirm the model's transfer
+    // numbers are what the executors move.
+    Network net("e2e", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c3", 8, 3, 1, 1);
+
+    Rng wrng(81);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(82);
+    input.fillRandom(irng);
+    Tensor ref = runRange(net, weights, input, 0,
+                          net.stages().back().last);
+
+    auto res = exploreFusionSpace(net);
+    ASSERT_GE(res.front.size(), 2u);
+    for (const DesignPoint &p : res.front) {
+        PartitionExecutor exec(net, weights, p.partition);
+        PartitionRunStats stats;
+        Tensor out = exec.run(input, &stats);
+        EXPECT_TRUE(tensorsEqual(ref, out))
+            << partitionStr(p.partition);
+        EXPECT_EQ(stats.totalDramBytes(), p.transferBytes)
+            << partitionStr(p.partition);
+    }
+}
+
+TEST(EndToEnd, FourIndependentExecutionPathsAgree)
+{
+    // Reference, pyramid-fused, line-buffered, and tiled-baseline are
+    // four structurally different evaluations of the same network;
+    // all must agree bit-exactly.
+    Rng rng(83);
+    for (int trial = 0; trial < 8; trial++) {
+        Network net = randomFusableNet(rng);
+        if (net.convLayers().empty())
+            continue;
+        int last = net.numLayers() - 1;
+        Rng wrng(trial + 900);
+        NetworkWeights weights(net, wrng);
+        Tensor input(net.inputShape());
+        Rng irng(trial + 1900);
+        input.fillRandom(irng);
+
+        Tensor ref = runRange(net, weights, input, 0, last);
+        FusedExecutor fx(net, weights, TilePlan(net, 0, last));
+        LineBufferExecutor lb(net, weights, 0, last);
+        BaselineAccelerator base(net, weights,
+                                 BaselineConfig{2, 2, 5, 5});
+
+        EXPECT_TRUE(tensorsEqual(ref, fx.run(input))) << net.str();
+        EXPECT_TRUE(tensorsEqual(ref, lb.run(input))) << net.str();
+        // The baseline accelerator covers the fusable stage prefix.
+        int prefix_last = net.stages().back().last;
+        Tensor pref = runRange(net, weights, input, 0, prefix_last);
+        EXPECT_TRUE(tensorsEqual(pref, base.run(input))) << net.str();
+    }
+}
+
+TEST(EndToEnd, EmittedHlsAgreesWithFusedAccelerator)
+{
+    // The generated HLS source is a fifth, externally-compiled
+    // execution path.
+    Network net("e2ehls", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 5, 3, 1, 1);
+    const int last = net.numLayers() - 1;
+
+    Rng wrng(84);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(85);
+    input.fillRandom(irng);
+
+    FusedExecutor fx(net, weights, TilePlan(net, 0, last));
+    Tensor fused = fx.run(input);
+
+    std::string dir = ::testing::TempDir() + "flcnn_e2e_hls";
+    ASSERT_EQ(std::system(("mkdir -p '" + dir + "'").c_str()), 0);
+    std::ofstream(dir + "/accel.cc") << emitFusedHls(net, 0, last, {});
+    auto arena = packWeightsForHls(net, weights, 0, last);
+    {
+        std::ofstream f(dir + "/input.bin", std::ios::binary);
+        f.write(reinterpret_cast<const char *>(input.data()),
+                static_cast<std::streamsize>(input.elems() * 4));
+        std::ofstream g(dir + "/weights.bin", std::ios::binary);
+        g.write(reinterpret_cast<const char *>(arena.data()),
+                static_cast<std::streamsize>(arena.size() * 4));
+    }
+    ASSERT_EQ(std::system(("c++ -O2 -std=c++17 -DFLCNN_HLS_TESTBENCH '" +
+                           dir + "/accel.cc' -o '" + dir + "/accel'")
+                              .c_str()),
+              0);
+    ASSERT_EQ(std::system(("cd '" + dir + "' && ./accel").c_str()), 0);
+
+    Tensor out(net.outShape(last));
+    std::ifstream f(dir + "/output.bin", std::ios::binary);
+    f.read(reinterpret_cast<char *>(out.data()),
+           static_cast<std::streamsize>(out.elems() * 4));
+    ASSERT_EQ(f.gcount(), static_cast<std::streamsize>(out.elems() * 4));
+    EXPECT_TRUE(tensorsEqual(fused, out));
+}
+
+TEST(EndToEnd, GoogLeNetStemFusesCorrectly)
+{
+    // Large-stride 7x7 conv, overlapping pools, and a 1x1 reduce in
+    // one pyramid (reduced spatial scale to keep the test fast).
+    Network net("stem", Shape{3, 56, 56});
+    net.add(LayerSpec::padding("conv1_pad", 3));
+    net.add(LayerSpec::conv("conv1", 8, 7, 2));
+    net.add(LayerSpec::relu("relu1"));
+    net.add(LayerSpec::padding("pool1_pad", 1));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::conv("conv2_reduce", 8, 1, 1));
+    net.add(LayerSpec::relu("relu2r"));
+    net.addConvBlock("conv2", 12, 3, 1, 1);
+    const int last = net.numLayers() - 1;
+
+    Rng wrng(86);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(87);
+    input.fillRandom(irng);
+
+    Tensor ref = runRange(net, weights, input, 0, last);
+    FusedExecutor fx(net, weights, TilePlan(net, 0, last));
+    fx.setTrackCoverage(true);
+    Tensor out = fx.run(input);
+    EXPECT_TRUE(tensorsEqual(ref, out));
+    EXPECT_EQ(fx.coverageReport(), "");
+}
+
+TEST(EndToEnd, AlexNetWithLrnAndClassifierRuns)
+{
+    // The full zoo network including the layers fusion excludes; the
+    // reference must still evaluate it end to end (reduced width via
+    // the grouped option off to keep runtime sane is not possible for
+    // AlexNet's fixed input, so just check shapes through the FC tail
+    // on a a spatially-reduced clone).
+    Network net("alex-cls", Shape{3, 67, 67});
+    net.add(LayerSpec::conv("conv1", 8, 11, 4));
+    net.add(LayerSpec::relu("relu1"));
+    net.add(LayerSpec::lrn("lrn1"));
+    net.addMaxPool("pool1", 3, 2);
+    net.add(LayerSpec::fullyConnected("fc", 10));
+
+    Rng wrng(88);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(89);
+    input.fillRandom(irng);
+    Tensor out = runNetwork(net, weights, input);
+    EXPECT_EQ(out.shape(), (Shape{10, 1, 1}));
+
+    // The fusable prefix (everything before the FC) still fuses.
+    const auto &stages = net.stages();
+    ASSERT_EQ(stages.size(), 2u);
+    Tensor pref = runRange(net, weights, input, 0, stages.back().last);
+    FusedExecutor fx(net, weights,
+                     TilePlan(net, 0, stages.back().last));
+    EXPECT_TRUE(tensorsEqual(pref, fx.run(input)));
+}
+
+TEST(EndToEnd, AdvisorPickIsExecutable)
+{
+    // partition_advisor's logic: best front point under a budget must
+    // be runnable and meet its own numbers.
+    Network net("adv", Shape{3, 20, 20});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 8, 3, 1, 1);
+
+    auto res = exploreFusionSpace(net);
+    const DesignPoint *pick = res.bestUnderStorage(4 * 1024);
+    ASSERT_NE(pick, nullptr);
+
+    Rng wrng(90);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(91);
+    input.fillRandom(irng);
+    PartitionExecutor exec(net, weights, pick->partition);
+    PartitionRunStats stats;
+    Tensor out = exec.run(input, &stats);
+    Tensor ref = runRange(net, weights, input, 0,
+                          net.stages().back().last);
+    EXPECT_TRUE(tensorsEqual(ref, out));
+    EXPECT_EQ(stats.totalDramBytes(), pick->transferBytes);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,79 @@
+/** @file Energy model tests. */
+
+#include <gtest/gtest.h>
+
+#include "model/energy.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Energy, ZeroEverythingIsZero)
+{
+    EnergyBreakdown e = estimateEnergy(0, 0, OpCount{});
+    EXPECT_EQ(e.total(), 0.0);
+}
+
+TEST(Energy, DramDominatesSramPerByte)
+{
+    EnergyModel m;
+    EnergyBreakdown dram = estimateEnergy(1000, 0, OpCount{}, m);
+    EnergyBreakdown sram = estimateEnergy(0, 1000, OpCount{}, m);
+    EXPECT_GT(dram.total(), 50.0 * sram.total());
+}
+
+TEST(Energy, ComputePricing)
+{
+    EnergyModel m;
+    OpCount ops;
+    ops.mults = 100;
+    ops.adds = 100;
+    ops.compares = 10;
+    EnergyBreakdown e = estimateEnergy(0, 0, ops, m);
+    EXPECT_DOUBLE_EQ(e.computePj, 100.0 * m.macPjPerOp +
+                                      10.0 * m.cmpPjPerOp);
+}
+
+TEST(Energy, FusionSavesMemoryEnergyNotComputeEnergy)
+{
+    // The headline consequence: the fused design moves 3.64 MB instead
+    // of 77 MB with identical arithmetic -> DRAM energy drops ~21x,
+    // compute energy unchanged.
+    OpCount ops;
+    ops.mults = 5'600'000'000LL;
+    ops.adds = 5'600'000'000LL;
+    int64_t mb = 1024 * 1024;
+    EnergyBreakdown fused = estimateEnergy(
+        static_cast<int64_t>(3.64 * static_cast<double>(mb)), 50 * mb,
+        ops);
+    EnergyBreakdown base = estimateEnergy(
+        static_cast<int64_t>(77.0 * static_cast<double>(mb)), 50 * mb,
+        ops);
+    EXPECT_DOUBLE_EQ(fused.computePj, base.computePj);
+    EXPECT_GT(base.dramPj, 20.0 * fused.dramPj);
+    EXPECT_LT(fused.total(), base.total());
+}
+
+TEST(Energy, CustomCoefficients)
+{
+    EnergyModel m;
+    m.dramPjPerByte = 10.0;
+    m.sramPjPerByte = 1.0;
+    EnergyBreakdown e = estimateEnergy(100, 100, OpCount{}, m);
+    EXPECT_DOUBLE_EQ(e.dramPj, 1000.0);
+    EXPECT_DOUBLE_EQ(e.sramPj, 100.0);
+}
+
+TEST(Energy, MillijouleConversion)
+{
+    EnergyBreakdown e;
+    e.dramPj = 2e9;
+    EXPECT_DOUBLE_EQ(e.totalMj(), 2.0);
+}
+
+TEST(EnergyDeath, NegativeBytesPanic)
+{
+    EXPECT_DEATH(estimateEnergy(-1, 0, OpCount{}), "non-negative");
+}
+
+} // namespace
+} // namespace flcnn

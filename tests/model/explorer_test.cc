@@ -1,0 +1,180 @@
+/** @file Whole-space exploration (Figure 7). */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/explorer.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Explorer, VggPrefixSweepsAll64Points)
+{
+    Network net = vggEPrefix(5);
+    auto res = exploreFusionSpace(net);
+    EXPECT_EQ(res.points.size(), 64u);
+    EXPECT_GE(res.front.size(), 3u);
+    EXPECT_LE(res.front.size(), 64u);
+}
+
+TEST(Explorer, AlexNetSweepsAll128Points)
+{
+    Network net = alexnet();
+    auto res = exploreFusionSpace(net);
+    EXPECT_EQ(res.points.size(), 128u);
+}
+
+TEST(Explorer, VggFrontEndsAtPointC)
+{
+    // The minimum-transfer extreme is full fusion: 3.64 MB at ~362 KB.
+    Network net = vggEPrefix(5);
+    auto res = exploreFusionSpace(net);
+    const DesignPoint &c = res.minTransfer();
+    EXPECT_EQ(c.partition.size(), 1u);
+    EXPECT_NEAR(toMiB(c.transferBytes), 3.64, 0.02);
+    EXPECT_NEAR(toKiB(c.storageBytes), 362.0, 8.0);
+}
+
+TEST(Explorer, PointBIsOnTheFront)
+{
+    // 118 KB / 25 MB: the designer's mid-range trade-off.
+    Network net = vggEPrefix(5);
+    auto res = exploreFusionSpace(net);
+    const DesignPoint *b = res.bestUnderStorage(120 * 1024);
+    ASSERT_NE(b, nullptr);
+    EXPECT_NEAR(toKiB(b->storageBytes), 118.0, 5.0);
+    EXPECT_NEAR(toMiB(b->transferBytes), 25.0, 0.5);
+}
+
+TEST(Explorer, LayerByLayerPointAIn86MBRange)
+{
+    // Point A is the all-singleton partition at zero storage.
+    Network net = vggEPrefix(5);
+    auto res = exploreFusionSpace(net);
+    bool found = false;
+    for (const DesignPoint &p : res.points) {
+        if (p.partition.size() == 7) {
+            EXPECT_EQ(p.storageBytes, 0);
+            EXPECT_NEAR(toMiB(p.transferBytes), 86.3, 0.5);
+            found = true;
+        }
+    }
+    EXPECT_TRUE(found);
+}
+
+TEST(Explorer, FrontIsMutuallyNonDominating)
+{
+    Network net = alexnet();
+    auto res = exploreFusionSpace(net);
+    for (size_t a = 0; a < res.front.size(); a++)
+        for (size_t b = 0; b < res.front.size(); b++)
+            if (a != b)
+                EXPECT_FALSE(res.front[a].dominates(res.front[b]));
+}
+
+TEST(Explorer, EveryPointCoveredByFront)
+{
+    Network net = vggEPrefix(4);
+    auto res = exploreFusionSpace(net);
+    for (const DesignPoint &p : res.points) {
+        bool covered = false;
+        for (const DesignPoint &f : res.front) {
+            if (!p.dominates(f) &&
+                (f.dominates(p) ||
+                 (f.storageBytes == p.storageBytes &&
+                  f.transferBytes == p.transferBytes) ||
+                 &f == &p)) {
+                covered = true;
+                break;
+            }
+        }
+        // At minimum: no point may dominate a front member.
+        for (const DesignPoint &f : res.front)
+            EXPECT_FALSE(p.dominates(f));
+        (void)covered;
+    }
+}
+
+TEST(Explorer, ClosedFormSweepAgreesOnVgg)
+{
+    Network net = vggEPrefix(5);
+    ExploreOptions fast;
+    fast.exactStorage = false;
+    auto exact = exploreFusionSpace(net);
+    auto approx = exploreFusionSpace(net, fast);
+    ASSERT_EQ(exact.points.size(), approx.points.size());
+    for (size_t i = 0; i < exact.points.size(); i++) {
+        EXPECT_EQ(exact.points[i].transferBytes,
+                  approx.points[i].transferBytes);
+        double e = static_cast<double>(exact.points[i].storageBytes);
+        double a = static_cast<double>(approx.points[i].storageBytes);
+        if (e > 0)
+            EXPECT_NEAR(a / e, 1.0, 0.15) << i;
+    }
+}
+
+TEST(Explorer, RecomputeOptionPricesPoints)
+{
+    Network net = vggEPrefix(3);
+    ExploreOptions opt;
+    opt.withRecompute = true;
+    auto res = exploreFusionSpace(net, opt);
+    bool any_positive = false;
+    for (const DesignPoint &p : res.points)
+        any_positive |= (p.extraOps > 0);
+    EXPECT_TRUE(any_positive);
+}
+
+TEST(Explorer, WeightStorageShiftsTheFrontAwayFromDeepFusion)
+{
+    // With weight residency priced in, fusing weight-heavy deep stages
+    // costs megabytes of storage; the front's full-fusion extreme gets
+    // much more expensive while shallow points are barely affected.
+    Network net = vggEPrefix(8);
+    ExploreOptions plain;
+    plain.exactStorage = false;
+    ExploreOptions weighted = plain;
+    weighted.includeWeightStorage = true;
+
+    auto a = exploreFusionSpace(net, plain);
+    auto b = exploreFusionSpace(net, weighted);
+    ASSERT_EQ(a.points.size(), b.points.size());
+    for (size_t i = 0; i < a.points.size(); i++) {
+        EXPECT_GE(b.points[i].storageBytes, a.points[i].storageBytes);
+        EXPECT_EQ(b.points[i].transferBytes, a.points[i].transferBytes);
+    }
+    // Full fusion of 8 convs carries >5 MB of weights on chip.
+    int64_t delta = b.points[0].storageBytes - a.points[0].storageBytes;
+    EXPECT_GT(delta, 5LL * 1024 * 1024);
+    // Singleton partitions carry nothing extra.
+    EXPECT_EQ(a.points.back().storageBytes,
+              b.points.back().storageBytes);
+}
+
+TEST(Explorer, GoogLeNetStemExploresCleanly)
+{
+    Network net = googlenetStem();
+    auto res = exploreFusionSpace(net);
+    EXPECT_EQ(res.points.size(),
+              static_cast<size_t>(
+                  countPartitions(static_cast<int>(net.stages().size()))));
+    EXPECT_GE(res.front.size(), 2u);
+    // Full fusion still transfers the least.
+    EXPECT_EQ(res.minTransfer().partition.size(), 1u);
+}
+
+TEST(Explorer, TransferReductionIs24xOnVggPrefix)
+{
+    // "This design transfers only 3.6MB per image, a 24x reduction in
+    // DRAM traffic" (relative to the 86 MB layer-by-layer point).
+    Network net = vggEPrefix(5);
+    auto res = exploreFusionSpace(net);
+    double a = static_cast<double>(layerByLayerTransferBytes(net));
+    double c = static_cast<double>(res.minTransfer().transferBytes);
+    EXPECT_NEAR(a / c, 24.0, 1.0);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,95 @@
+/** @file Pareto-front extraction. */
+
+#include <gtest/gtest.h>
+
+#include "model/pareto.hh"
+
+namespace flcnn {
+namespace {
+
+DesignPoint
+pt(int64_t storage, int64_t transfer)
+{
+    DesignPoint p;
+    p.storageBytes = storage;
+    p.transferBytes = transfer;
+    return p;
+}
+
+TEST(Pareto, KeepsOnlyNonDominated)
+{
+    auto front = paretoFront({pt(0, 100), pt(10, 90), pt(20, 95),
+                              pt(30, 50), pt(40, 60)});
+    ASSERT_EQ(front.size(), 3u);
+    EXPECT_EQ(front[0].storageBytes, 0);
+    EXPECT_EQ(front[1].storageBytes, 10);
+    EXPECT_EQ(front[2].storageBytes, 30);
+}
+
+TEST(Pareto, SortedByStorage)
+{
+    auto front = paretoFront({pt(50, 10), pt(0, 100), pt(25, 40)});
+    for (size_t i = 1; i < front.size(); i++)
+        EXPECT_LT(front[i - 1].storageBytes, front[i].storageBytes);
+}
+
+TEST(Pareto, SinglePoint)
+{
+    auto front = paretoFront({pt(5, 5)});
+    ASSERT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, DuplicateCoordinatesKeepOne)
+{
+    auto front = paretoFront({pt(5, 5), pt(5, 5), pt(5, 5)});
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, EqualStorageKeepsBetterTransfer)
+{
+    auto front = paretoFront({pt(5, 9), pt(5, 4)});
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0].transferBytes, 4);
+}
+
+TEST(Pareto, FrontMembersDoNotDominateEachOther)
+{
+    std::vector<DesignPoint> pts;
+    for (int i = 0; i < 50; i++)
+        pts.push_back(pt((i * 37) % 101, (i * 53) % 97));
+    auto front = paretoFront(pts);
+    for (size_t a = 0; a < front.size(); a++)
+        for (size_t b = 0; b < front.size(); b++)
+            if (a != b)
+                EXPECT_FALSE(front[a].dominates(front[b]));
+}
+
+TEST(Pareto, EveryInputIsDominatedByOrOnTheFront)
+{
+    std::vector<DesignPoint> pts;
+    for (int i = 0; i < 64; i++)
+        pts.push_back(pt((i * 29) % 83, (i * 41) % 89));
+    auto front = paretoFront(pts);
+    for (const auto &p : pts) {
+        bool covered = false;
+        for (const auto &f : front) {
+            if (f.dominates(p) || (f.storageBytes == p.storageBytes &&
+                                   f.transferBytes == p.transferBytes)) {
+                covered = true;
+                break;
+            }
+        }
+        EXPECT_TRUE(covered);
+    }
+}
+
+TEST(Pareto, DominatesSemantics)
+{
+    EXPECT_TRUE(pt(1, 1).dominates(pt(2, 2)));
+    EXPECT_TRUE(pt(1, 2).dominates(pt(1, 3)));
+    EXPECT_FALSE(pt(1, 1).dominates(pt(1, 1)));  // equal: no domination
+    EXPECT_FALSE(pt(1, 3).dominates(pt(2, 2)));  // trade-off
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,90 @@
+/** @file FPGA resource model. */
+
+#include <gtest/gtest.h>
+
+#include "model/balance.hh"
+#include "model/resource.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Resource, DspFormulaMatchesPaper)
+{
+    // "Tm * Tn * (DSPadd + DSPmul)" with DSPadd = 2 and DSPmul = 3.
+    EXPECT_EQ(dspPerMac, 5);
+    EXPECT_EQ(dspForUnroll(64, 9), 2880);   // Table II baseline
+    EXPECT_EQ(dspForUnroll(64, 7), 2240);   // Table I baseline
+}
+
+TEST(Resource, BramCounting)
+{
+    // One 18Kb BRAM holds 2304 bytes.
+    EXPECT_EQ(bramsFor(1, 1, false), 1);
+    EXPECT_EQ(bramsFor(2304, 1, false), 1);
+    EXPECT_EQ(bramsFor(2305, 1, false), 2);
+    EXPECT_EQ(bramsFor(2304, 1, true), 2);    // double buffered
+    EXPECT_EQ(bramsFor(4608, 4, false), 4);   // banking rounds up
+    EXPECT_EQ(bramsFor(0, 4, false), 0);
+}
+
+TEST(Resource, BaselineBramScalesWithUnroll)
+{
+    Network net = vggEPrefix(5);
+    BaselineConfig small{16, 4, 16, 16};
+    BaselineConfig large{64, 9, 16, 16};
+    EXPECT_LT(baselineResources(net, small).bram,
+              baselineResources(net, large).bram);
+    EXPECT_LT(baselineResources(net, small).dsp,
+              baselineResources(net, large).dsp);
+}
+
+TEST(Resource, BaselineIncludesPoolingBrams)
+{
+    // The paper charges the baseline 22 BRAMs for on-chip pooling.
+    Network net("t", Shape{3, 16, 16});
+    net.add(LayerSpec::conv("c", 4, 3, 1));
+    BaselineConfig cfg{1, 1, 0, 0};
+    EXPECT_GE(baselineResources(net, cfg).bram, poolingBrams);
+}
+
+TEST(Resource, FusedNeedsMoreBramThanBaseline)
+{
+    // Table II: fused 2509 vs baseline 2085 BRAMs (+20%); the ordering
+    // must hold in our model at comparable DSP budgets.
+    Network net = vggEPrefix(5);
+    BaselineConfig bcfg{64, 9, 16, 16};
+    auto fcfg = balanceFusedPipeline(net, 0, net.numLayers() - 1, 2987);
+    ResourceUsage base = baselineResources(net, bcfg);
+    ResourceUsage fused =
+        fusedResources(net, 0, net.numLayers() - 1, fcfg.unrolls);
+    EXPECT_GT(fused.bram, base.bram);
+    EXPECT_GT(fused.bufferBytes, base.bufferBytes);
+}
+
+TEST(Resource, FusedDspSumsPerLayerUnrolls)
+{
+    Network net = vggEPrefix(2);
+    std::vector<LayerUnroll> unrolls;
+    for (int i : net.convLayers())
+        unrolls.push_back(LayerUnroll{i, 4, 3});
+    ResourceUsage use =
+        fusedResources(net, 0, net.numLayers() - 1, unrolls);
+    EXPECT_EQ(use.dsp, 2 * 4 * 3 * 5);
+}
+
+TEST(Resource, FusedBuffersIncludeReuseAndWeights)
+{
+    Network net = vggEPrefix(2);
+    std::vector<LayerUnroll> unrolls;
+    for (int i : net.convLayers())
+        unrolls.push_back(LayerUnroll{i, 1, 1});
+    ResourceUsage use =
+        fusedResources(net, 0, net.numLayers() - 1, unrolls);
+    int64_t weights =
+        net.weightBytesInRange(0, net.numLayers() - 1);
+    EXPECT_GT(use.bufferBytes, weights);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,129 @@
+/** @file Reuse-storage model: paper calibration and internal agreement. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/storage.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Storage, VggPointCMatchesPaper362KB)
+{
+    // Fusing the full five-conv prefix needs 362 KB in the paper.
+    Network net = vggEPrefix(5);
+    int64_t bytes = reuseStorageBytesExact(net, 0, net.numLayers() - 1);
+    EXPECT_NEAR(toKiB(bytes), 362.0, 8.0);
+}
+
+TEST(Storage, VggPointBMatchesPaper118KB)
+{
+    // Point B fuses (conv1_1, conv1_2, pool1) and (conv2_2, pool2);
+    // the storage is dominated by conv1_2's input strips.
+    Network net = vggEPrefix(5);
+    Partition p = partitionFromSizes({3, 1, 2, 1}, 7);
+    int64_t bytes = partitionReuseStorageBytes(net, p);
+    EXPECT_NEAR(toKiB(bytes), 118.0, 5.0);
+}
+
+TEST(Storage, SingleStageGroupsCostNothing)
+{
+    Network net = vggEPrefix(5);
+    Partition p = singletonPartition(7);
+    EXPECT_EQ(partitionReuseStorageBytes(net, p), 0);
+}
+
+TEST(Storage, PoolOnlyFusionIsFree)
+{
+    // Fusing a 2x2/s2 pool into the preceding conv adds no reuse
+    // storage (K - S = 0): "it saves bandwidth at virtually no cost".
+    Network net("cp", Shape{8, 32, 32});
+    net.add(LayerSpec::conv("c", 8, 3, 1));
+    net.add(LayerSpec::pool("p", 2, 2));
+    EXPECT_EQ(groupReuseStorageBytes(net, StageGroup{0, 1}), 0);
+}
+
+TEST(Storage, OverlappingPoolFusionIsNotFree)
+{
+    // AlexNet's 3x3/s2 pooling has K - S = 1 and does need a strip.
+    Network net("cp", Shape{8, 33, 33});
+    net.add(LayerSpec::conv("c", 8, 3, 1));
+    net.add(LayerSpec::pool("p", 3, 2));
+    EXPECT_GT(groupReuseStorageBytes(net, StageGroup{0, 1}), 0);
+}
+
+TEST(Storage, ClosedFormAgreesWithExactOnCleanGeometry)
+{
+    // No padding, exactly dividing shapes: both models identical.
+    Network net("clean", Shape{4, 30, 30});
+    net.add(LayerSpec::conv("c1", 6, 3, 1));
+    net.add(LayerSpec::conv("c2", 8, 3, 1));
+    net.add(LayerSpec::pool("p", 2, 2));
+    net.add(LayerSpec::conv("c3", 4, 3, 1));
+    int last = net.numLayers() - 1;
+    EXPECT_EQ(reuseStorageBytesExact(net, 0, last),
+              reuseStorageBytesClosedForm(net, 0, last));
+    EXPECT_EQ(reuseStorageBytesExact(net, 0, last, true),
+              reuseStorageBytesClosedForm(net, 0, last, true));
+}
+
+TEST(Storage, ClosedFormNearExactOnVgg)
+{
+    Network net = vggEPrefix(5);
+    int last = net.numLayers() - 1;
+    double exact = static_cast<double>(reuseStorageBytesExact(net, 0, last));
+    double cf = static_cast<double>(
+        reuseStorageBytesClosedForm(net, 0, last));
+    EXPECT_NEAR(cf / exact, 1.0, 0.05);
+}
+
+TEST(Storage, IncludingFirstInputBuffersCostsMore)
+{
+    Network net = vggEPrefix(5);
+    int last = net.numLayers() - 1;
+    EXPECT_GT(reuseStorageBytesExact(net, 0, last, true),
+              reuseStorageBytesExact(net, 0, last, false));
+}
+
+TEST(Storage, DeeperFusionCostsMore)
+{
+    // Storage grows monotonically as the fused prefix deepens.
+    Network net = vggEPrefix(5);
+    const auto &stages = net.stages();
+    int64_t prev = -1;
+    for (size_t s = 1; s < stages.size(); s++) {
+        int64_t bytes = reuseStorageBytesExact(
+            net, 0, stages[s].last);
+        EXPECT_GE(bytes, prev);
+        prev = bytes;
+    }
+}
+
+TEST(Storage, AlexNetFusedPrefixNearPaperValue)
+{
+    // Paper: 55.86 KB for AlexNet's first two conv layers. Our
+    // implementation-accurate accounting (full-width BT row strips at
+    // pool1's and conv2's inputs) gives ~75 KB; same order, documented
+    // in EXPERIMENTS.md.
+    Network net = alexnetFusedPrefix();
+    int64_t bytes = reuseStorageBytesExact(net, 0, net.numLayers() - 1);
+    EXPECT_GT(toKiB(bytes), 40.0);
+    EXPECT_LT(toKiB(bytes), 100.0);
+}
+
+TEST(Storage, VggAllStagesNearPaper1_4MB)
+{
+    // "storing the intermediate data for reuse requires only 1.4MB"
+    // (all conv+pool stages of VGGNet-E fused).
+    Network net = vggE();
+    int last_stage_layer = net.stages().back().last;
+    int64_t bytes =
+        reuseStorageBytesClosedForm(net, 0, last_stage_layer);
+    double mib = toMiB(bytes);
+    EXPECT_GT(mib, 1.0);
+    EXPECT_LT(mib, 2.7);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,157 @@
+/** @file Transfer models: Figure 2 sizes and Figure 7 group transfers. */
+
+#include <gtest/gtest.h>
+
+#include "common/units.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Figure2, VggFirstStageMatchesPaperNumbers)
+{
+    // Section II-B: "the first convolutional layer requires 0.6MB of
+    // input and 7KB of weights; it produces 12.3MB of output".
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+    ASSERT_EQ(sizes.size(), 16u);
+    EXPECT_EQ(sizes[0].name, "conv1_1");
+    EXPECT_NEAR(toMiB(sizes[0].inputBytes), 0.574, 0.01);
+    EXPECT_NEAR(toMiB(sizes[0].outputBytes), 12.25, 0.01);
+    EXPECT_NEAR(toKiB(sizes[0].weightBytes), 7.0, 0.3);
+}
+
+TEST(Figure2, SecondStageReadsFirstStageOutput)
+{
+    // "This 12.3MB is then used as the input of the following layer
+    // (along with 144KB of weights)" — conv1_2 with its pool merged.
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+    EXPECT_EQ(sizes[1].name, "conv1_2");
+    EXPECT_NEAR(toMiB(sizes[1].inputBytes), 12.25, 0.01);
+    EXPECT_NEAR(toKiB(sizes[1].weightBytes), 144.0, 2.0);
+    // Output merged with pool1: 64 x 112 x 112.
+    EXPECT_NEAR(toMiB(sizes[1].outputBytes), 3.06, 0.01);
+}
+
+TEST(Figure2, FeatureMapsShrinkWeightsGrowWithDepth)
+{
+    // Section II-B: early layers are feature-map dominated; late layers
+    // weight dominated.
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+    const auto &first = sizes.front();
+    const auto &last = sizes.back();
+    EXPECT_GT(first.inputBytes + first.outputBytes,
+              50 * first.weightBytes);
+    EXPECT_GT(last.weightBytes, last.inputBytes + last.outputBytes);
+}
+
+TEST(Figure2, CrossoverNearStageEight)
+{
+    // "In the first eight layers, the sum of the inputs and outputs is
+    // much higher than the weights; beyond that, the weights dominate."
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+    for (int i = 0; i < 8; i++) {
+        EXPECT_GT(sizes[static_cast<size_t>(i)].inputBytes +
+                      sizes[static_cast<size_t>(i)].outputBytes,
+                  sizes[static_cast<size_t>(i)].weightBytes)
+            << "stage " << i;
+    }
+    for (int i = 9; i < 16; i++) {
+        EXPECT_GT(sizes[static_cast<size_t>(i)].weightBytes,
+                  sizes[static_cast<size_t>(i)].inputBytes +
+                      sizes[static_cast<size_t>(i)].outputBytes)
+            << "stage " << i;
+    }
+}
+
+TEST(Transfer, LayerByLayerVggPrefixIsPointA)
+{
+    // Figure 7(b) point A: ~86 MB for the five-conv prefix evaluated
+    // layer by layer.
+    Network net = vggEPrefix(5);
+    EXPECT_NEAR(toMiB(layerByLayerTransferBytes(net)), 86.3, 0.5);
+}
+
+TEST(Transfer, FullFusionVggPrefixIsPointC)
+{
+    // Point C: 3.64 MB (input once + conv3_1 output once).
+    Network net = vggEPrefix(5);
+    Partition p = fullFusionPartition(7);
+    EXPECT_NEAR(toMiB(partitionTransferBytes(net, p)), 3.64, 0.02);
+}
+
+TEST(Transfer, FusionIsMonotoneNonIncreasing)
+{
+    // Merging two adjacent groups never increases transfer.
+    Network net = vggEPrefix(3);
+    int stages = static_cast<int>(net.stages().size());
+    for (auto &p : enumeratePartitions(stages)) {
+        if (p.size() < 2)
+            continue;
+        for (size_t g = 0; g + 1 < p.size(); g++) {
+            Partition merged;
+            for (size_t i = 0; i < p.size(); i++) {
+                if (i == g) {
+                    merged.push_back(StageGroup{p[i].firstStage,
+                                                p[i + 1].lastStage});
+                    i++;
+                } else {
+                    merged.push_back(p[i]);
+                }
+            }
+            EXPECT_LE(partitionTransferBytes(net, merged),
+                      partitionTransferBytes(net, p));
+        }
+    }
+}
+
+TEST(Transfer, GroupTransferIsEndpointPlanes)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    int64_t expect = net.inputShape().bytes() + net.outputShape().bytes();
+    EXPECT_EQ(groupTransferBytes(net, StageGroup{0, 1}), expect);
+}
+
+TEST(TransferDeath, InvalidPartitionPanics)
+{
+    Network net = vggEPrefix(2);
+    Partition bad{StageGroup{0, 0}};  // does not cover all stages
+    EXPECT_DEATH(partitionTransferBytes(net, bad), "invalid partition");
+}
+
+TEST(Figure2, AlexNetFeatureMapShareIsAQuarter)
+{
+    // Section II-B: ~25% of AlexNet conv-layer data is feature maps.
+    Network net = alexnet();
+    auto sizes = figure2Sizes(net);
+    int64_t fm = 0, w = 0;
+    for (const auto &s : sizes) {
+        fm += s.inputBytes + s.outputBytes;
+        w += s.weightBytes;
+    }
+    double share = static_cast<double>(fm) / static_cast<double>(fm + w);
+    EXPECT_GT(share, 0.15);
+    EXPECT_LT(share, 0.45);
+}
+
+TEST(Figure2, VggFeatureMapShareIsOverHalf)
+{
+    // "in VGG ... the feature map data increased to over 50%".
+    Network net = vggE();
+    auto sizes = figure2Sizes(net);
+    int64_t fm = 0, w = 0;
+    for (const auto &s : sizes) {
+        fm += s.inputBytes + s.outputBytes;
+        w += s.weightBytes;
+    }
+    EXPECT_GT(fm, w);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,97 @@
+/** @file LayerSpec construction, validation, and shape inference. */
+
+#include <gtest/gtest.h>
+
+#include "nn/layer.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(LayerSpec, ConvShapeInference)
+{
+    LayerSpec c = LayerSpec::conv("c", 96, 11, 4);
+    Shape out = c.outShape(Shape{3, 227, 227});
+    EXPECT_EQ(out, (Shape{96, 55, 55}));
+}
+
+TEST(LayerSpec, ConvShapeWithFloorDivision)
+{
+    LayerSpec c = LayerSpec::conv("c", 8, 3, 2);
+    EXPECT_EQ(c.outShape(Shape{1, 8, 8}), (Shape{8, 3, 3}));
+    EXPECT_EQ(c.outShape(Shape{1, 9, 9}), (Shape{8, 4, 4}));
+}
+
+TEST(LayerSpec, PoolShapeInference)
+{
+    LayerSpec p = LayerSpec::pool("p", 3, 2);
+    EXPECT_EQ(p.outShape(Shape{96, 55, 55}), (Shape{96, 27, 27}));
+    LayerSpec q = LayerSpec::pool("q", 2, 2);
+    EXPECT_EQ(q.outShape(Shape{64, 224, 224}), (Shape{64, 112, 112}));
+}
+
+TEST(LayerSpec, PadShapeInference)
+{
+    LayerSpec p = LayerSpec::padding("p", 2);
+    EXPECT_EQ(p.outShape(Shape{64, 27, 27}), (Shape{64, 31, 31}));
+}
+
+TEST(LayerSpec, PointwiseShapesPreserved)
+{
+    Shape s{16, 14, 14};
+    EXPECT_EQ(LayerSpec::relu("r").outShape(s), s);
+    EXPECT_EQ(LayerSpec::lrn("n").outShape(s), s);
+}
+
+TEST(LayerSpec, FullyConnectedFlattens)
+{
+    LayerSpec f = LayerSpec::fullyConnected("f", 4096);
+    EXPECT_EQ(f.outShape(Shape{256, 6, 6}), (Shape{4096, 1, 1}));
+}
+
+TEST(LayerSpec, ValidationCatchesBadParameters)
+{
+    EXPECT_NE(LayerSpec::conv("c", 0, 3, 1).validate(Shape{1, 8, 8}), "");
+    EXPECT_NE(LayerSpec::conv("c", 4, 9, 1).validate(Shape{1, 8, 8}), "");
+    EXPECT_NE(LayerSpec::conv("c", 4, 3, 0).validate(Shape{1, 8, 8}), "");
+    EXPECT_NE(LayerSpec::pool("p", 0, 1).validate(Shape{1, 8, 8}), "");
+    EXPECT_NE(LayerSpec::padding("p", -1).validate(Shape{1, 8, 8}), "");
+    EXPECT_EQ(LayerSpec::conv("c", 4, 3, 1).validate(Shape{1, 8, 8}), "");
+}
+
+TEST(LayerSpec, GroupValidation)
+{
+    // Groups must divide both input and output channels.
+    EXPECT_EQ(LayerSpec::conv("c", 4, 3, 1, 2).validate(Shape{4, 8, 8}),
+              "");
+    EXPECT_NE(LayerSpec::conv("c", 4, 3, 1, 3).validate(Shape{4, 8, 8}),
+              "");
+    EXPECT_NE(LayerSpec::conv("c", 5, 3, 1, 2).validate(Shape{4, 8, 8}),
+              "");
+}
+
+TEST(LayerSpec, KindPredicates)
+{
+    EXPECT_TRUE(LayerSpec::conv("c", 1, 1, 1).windowed());
+    EXPECT_TRUE(LayerSpec::pool("p", 2, 2).windowed());
+    EXPECT_FALSE(LayerSpec::relu("r").windowed());
+    EXPECT_TRUE(LayerSpec::relu("r").pointwise());
+    EXPECT_TRUE(LayerSpec::lrn("n").pointwise());
+    EXPECT_TRUE(LayerSpec::padding("p", 1).fusable());
+    EXPECT_FALSE(LayerSpec::fullyConnected("f", 10).fusable());
+}
+
+TEST(LayerSpec, KindNames)
+{
+    EXPECT_STREQ(layerKindName(LayerKind::Conv), "conv");
+    EXPECT_STREQ(layerKindName(LayerKind::Pool), "pool");
+    EXPECT_STREQ(layerKindName(LayerKind::FullyConnected), "fc");
+}
+
+TEST(LayerSpecDeath, OutShapeOnInvalidInputPanics)
+{
+    LayerSpec c = LayerSpec::conv("c", 4, 9, 1);
+    EXPECT_DEATH(c.outShape(Shape{1, 8, 8}), "kernel larger");
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,150 @@
+/** @file Network container: shape chaining, stages, weight accounting. */
+
+#include <gtest/gtest.h>
+
+#include "nn/network.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Network, ShapeChaining)
+{
+    Network net("t", Shape{3, 32, 32});
+    net.add(LayerSpec::conv("c1", 8, 5, 1));
+    net.add(LayerSpec::pool("p1", 2, 2));
+    EXPECT_EQ(net.inShape(0), (Shape{3, 32, 32}));
+    EXPECT_EQ(net.outShape(0), (Shape{8, 28, 28}));
+    EXPECT_EQ(net.inShape(1), (Shape{8, 28, 28}));
+    EXPECT_EQ(net.outputShape(), (Shape{8, 14, 14}));
+}
+
+TEST(Network, ConvBlockExpandsToPadConvRelu)
+{
+    Network net("t", Shape{3, 8, 8});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    ASSERT_EQ(net.numLayers(), 3);
+    EXPECT_EQ(net.layer(0).kind, LayerKind::Pad);
+    EXPECT_EQ(net.layer(1).kind, LayerKind::Conv);
+    EXPECT_EQ(net.layer(2).kind, LayerKind::ReLU);
+    EXPECT_EQ(net.outputShape(), (Shape{4, 8, 8}));
+}
+
+TEST(Network, ConvBlockWithoutPadOmitsPadLayer)
+{
+    Network net("t", Shape{3, 8, 8});
+    net.addConvBlock("c1", 4, 3, 1, 0);
+    ASSERT_EQ(net.numLayers(), 2);
+    EXPECT_EQ(net.layer(0).kind, LayerKind::Conv);
+}
+
+TEST(Network, StageExtractionGroupsCompanions)
+{
+    // pad+conv+relu forms one stage; pool its own stage.
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);   // layers 0,1,2
+    net.addMaxPool("p1", 2, 2);           // layer 3
+    net.addConvBlock("c2", 8, 3, 1, 1);   // layers 4,5,6
+
+    const auto &stages = net.stages();
+    ASSERT_EQ(stages.size(), 3u);
+    EXPECT_EQ(stages[0].first, 0);
+    EXPECT_EQ(stages[0].windowed, 1);
+    EXPECT_EQ(stages[0].last, 2);
+    EXPECT_EQ(stages[1].first, 3);
+    EXPECT_EQ(stages[1].last, 3);
+    EXPECT_EQ(stages[2].first, 4);
+    EXPECT_EQ(stages[2].windowed, 5);
+    EXPECT_EQ(stages[2].last, 6);
+}
+
+TEST(Network, StageOfMapsLayersToStages)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    EXPECT_EQ(net.stageOf(0), 0);
+    EXPECT_EQ(net.stageOf(2), 0);
+    EXPECT_EQ(net.stageOf(3), 1);
+}
+
+TEST(Network, StagesStopAtNonFusableLayer)
+{
+    Network net("t", Shape{3, 12, 12});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));
+    net.add(LayerSpec::fullyConnected("f", 10));
+    net.add(LayerSpec::relu("r"));
+    ASSERT_EQ(net.stages().size(), 1u);
+    EXPECT_EQ(net.stageOf(1), -1);
+}
+
+TEST(Network, AlexNetHasEightFusableStages)
+{
+    // Section V-B: "AlexNet has five convolutional layers and three
+    // pooling layers; there are 128 possible combinations" = 2^(8-1).
+    Network net = alexnet();
+    EXPECT_EQ(net.stages().size(), 8u);
+}
+
+TEST(Network, VggFirstFivePrefixHasSevenStages)
+{
+    // "For VGG, we consider fusing the first five convolutional layers
+    // and two pooling layers, giving 64 possible combinations" = 2^6.
+    Network net = vggEPrefix(5);
+    EXPECT_EQ(net.stages().size(), 7u);
+}
+
+TEST(Network, ConvSlots)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 8, 3, 1, 1);
+    ASSERT_EQ(net.convLayers().size(), 2u);
+    EXPECT_EQ(net.convSlot(net.convLayers()[0]), 0);
+    EXPECT_EQ(net.convSlot(net.convLayers()[1]), 1);
+}
+
+TEST(NetworkDeath, ConvSlotOnNonConvPanics)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.add(LayerSpec::pool("p", 2, 2));
+    EXPECT_DEATH(net.convSlot(0), "not a convolution");
+}
+
+TEST(Network, WeightBytesInRange)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));   // 4*3*9 w + 4 b
+    net.add(LayerSpec::pool("p1", 2, 2));
+    net.add(LayerSpec::conv("c2", 8, 3, 1));   // 8*4*9 w + 8 b
+    EXPECT_EQ(net.weightBytesInRange(0, 0), (4 * 3 * 9 + 4) * 4);
+    EXPECT_EQ(net.weightBytesInRange(0, 2),
+              (4 * 3 * 9 + 4 + 8 * 4 * 9 + 8) * 4);
+    EXPECT_EQ(net.weightBytesInRange(1, 1), 0);
+}
+
+TEST(Network, GroupedConvWeightBytes)
+{
+    Network net("t", Shape{4, 16, 16});
+    net.add(LayerSpec::conv("c1", 8, 3, 1, 2));  // 8 * (4/2) * 9 + 8
+    EXPECT_EQ(net.weightBytesInRange(0, 0), (8 * 2 * 9 + 8) * 4);
+}
+
+TEST(NetworkDeath, IncompatibleLayerIsFatal)
+{
+    Network net("t", Shape{3, 4, 4});
+    EXPECT_EXIT(net.add(LayerSpec::conv("c", 4, 9, 1)),
+                ::testing::ExitedWithCode(1), "kernel larger");
+}
+
+TEST(Network, DescriptionMentionsEveryLayer)
+{
+    Network net = tinyNet();
+    std::string s = net.str();
+    EXPECT_NE(s.find("layer1"), std::string::npos);
+    EXPECT_NE(s.find("layer2"), std::string::npos);
+}
+
+} // namespace
+} // namespace flcnn

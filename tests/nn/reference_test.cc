@@ -1,0 +1,235 @@
+/** @file Reference executor: hand-computed golden values and op counts. */
+
+#include <gtest/gtest.h>
+
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Reference, ConvIdentityKernel)
+{
+    // 1x1 kernel with weight 1 and zero bias copies the input channel.
+    Network net("id", Shape{1, 4, 4});
+    net.add(LayerSpec::conv("c", 1, 1, 1));
+    NetworkWeights w(net);
+    w.bank(0).w(0, 0, 0, 0) = 1.0f;
+
+    Tensor in(1, 4, 4);
+    in.fillIota();
+    Tensor out = runRange(net, w, in, 0, 0);
+    for (int y = 0; y < 4; y++)
+        for (int x = 0; x < 4; x++)
+            EXPECT_EQ(out(0, y, x), in(0, y, x));
+}
+
+TEST(Reference, ConvHandComputed3x3)
+{
+    // All-ones 3x3 kernel on an all-ones 2-channel input sums 18 values
+    // plus a bias of 0.5.
+    Network net("sum", Shape{2, 5, 5});
+    net.add(LayerSpec::conv("c", 1, 3, 1));
+    NetworkWeights w(net);
+    for (int n = 0; n < 2; n++)
+        for (int i = 0; i < 3; i++)
+            for (int j = 0; j < 3; j++)
+                w.bank(0).w(0, n, i, j) = 1.0f;
+    w.bank(0).bias(0) = 0.5f;
+
+    Tensor in(2, 5, 5);
+    in.fill(1.0f);
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_EQ(out.shape(), (Shape{1, 3, 3}));
+    for (int y = 0; y < 3; y++)
+        for (int x = 0; x < 3; x++)
+            EXPECT_FLOAT_EQ(out(0, y, x), 18.5f);
+}
+
+TEST(Reference, ConvStrideSelectsCorrectWindows)
+{
+    Network net("s", Shape{1, 5, 5});
+    net.add(LayerSpec::conv("c", 1, 1, 2));
+    NetworkWeights w(net);
+    w.bank(0).w(0, 0, 0, 0) = 1.0f;
+    Tensor in(1, 5, 5);
+    in.fillIota(10.0f);
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_EQ(out.shape(), (Shape{1, 3, 3}));
+    EXPECT_EQ(out(0, 1, 2), in(0, 2, 4));
+}
+
+TEST(Reference, GroupedConvSeesOnlyItsGroup)
+{
+    // Two groups: filters 0..1 read channel 0..0? No: in.c=2, groups=2,
+    // so filter group 0 reads channel 0 and group 1 reads channel 1.
+    Network net("g", Shape{2, 3, 3});
+    net.add(LayerSpec::conv("c", 2, 3, 1, 2));
+    NetworkWeights w(net);
+    for (int i = 0; i < 3; i++)
+        for (int j = 0; j < 3; j++) {
+            w.bank(0).w(0, 0, i, j) = 1.0f;
+            w.bank(0).w(1, 0, i, j) = 1.0f;
+        }
+    Tensor in(2, 3, 3);
+    for (int y = 0; y < 3; y++)
+        for (int x = 0; x < 3; x++) {
+            in(0, y, x) = 1.0f;
+            in(1, y, x) = 10.0f;
+        }
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 9.0f);    // sums channel 0 only
+    EXPECT_FLOAT_EQ(out(1, 0, 0), 90.0f);   // sums channel 1 only
+}
+
+TEST(Reference, MaxPoolPicksMaximum)
+{
+    Network net("p", Shape{1, 4, 4});
+    net.add(LayerSpec::pool("p", 2, 2));
+    NetworkWeights w(net);
+    Tensor in(1, 4, 4);
+    in(0, 0, 0) = -5.0f;
+    in(0, 0, 1) = 3.0f;
+    in(0, 1, 0) = 2.0f;
+    in(0, 1, 1) = -7.0f;
+    in(0, 2, 2) = -1.0f;
+    in(0, 2, 3) = -2.0f;
+    in(0, 3, 2) = -3.0f;
+    in(0, 3, 3) = -4.0f;
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 3.0f);
+    // All-negative window: max pooling must not clamp at zero.
+    EXPECT_FLOAT_EQ(out(0, 1, 1), -1.0f);
+}
+
+TEST(Reference, AvgPoolAverages)
+{
+    Network net("p", Shape{1, 2, 2});
+    net.add(LayerSpec::pool("p", 2, 2, PoolMode::Avg));
+    NetworkWeights w(net);
+    Tensor in(1, 2, 2);
+    in(0, 0, 0) = 1.0f;
+    in(0, 0, 1) = 2.0f;
+    in(0, 1, 0) = 3.0f;
+    in(0, 1, 1) = 6.0f;
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 3.0f);
+}
+
+TEST(Reference, ReluClampsNegatives)
+{
+    Network net("r", Shape{1, 1, 3});
+    net.add(LayerSpec::relu("r"));
+    NetworkWeights w(net);
+    Tensor in(1, 1, 3);
+    in(0, 0, 0) = -2.0f;
+    in(0, 0, 1) = 0.0f;
+    in(0, 0, 2) = 5.0f;
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_EQ(out(0, 0, 0), 0.0f);
+    EXPECT_EQ(out(0, 0, 1), 0.0f);
+    EXPECT_EQ(out(0, 0, 2), 5.0f);
+}
+
+TEST(Reference, PadSurroundsWithZeros)
+{
+    Network net("p", Shape{1, 2, 2});
+    net.add(LayerSpec::padding("p", 1));
+    NetworkWeights w(net);
+    Tensor in(1, 2, 2);
+    in.fill(4.0f);
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_EQ(out.shape(), (Shape{1, 4, 4}));
+    EXPECT_EQ(out(0, 0, 0), 0.0f);
+    EXPECT_EQ(out(0, 0, 3), 0.0f);
+    EXPECT_EQ(out(0, 3, 3), 0.0f);
+    EXPECT_EQ(out(0, 1, 1), 4.0f);
+    EXPECT_EQ(out(0, 2, 2), 4.0f);
+}
+
+TEST(Reference, FullyConnectedDotProduct)
+{
+    Network net("f", Shape{1, 1, 3});
+    net.add(LayerSpec::fullyConnected("f", 2));
+    NetworkWeights w(net);
+    DenseWeights &dw = w.dense(0);
+    dw.w = {1.0f, 2.0f, 3.0f, -1.0f, 0.0f, 1.0f};
+    dw.bias = {0.5f, -0.5f};
+    Tensor in(1, 1, 3);
+    in(0, 0, 0) = 1.0f;
+    in(0, 0, 1) = 1.0f;
+    in(0, 0, 2) = 2.0f;
+    Tensor out = runRange(net, w, in, 0, 0);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 0.5f + 1 + 2 + 6);
+    EXPECT_FLOAT_EQ(out(1, 0, 0), -0.5f - 1 + 0 + 2);
+}
+
+TEST(Reference, LrnPreservesSignAndShrinksMagnitude)
+{
+    Network net("n", Shape{8, 2, 2});
+    net.add(LayerSpec::lrn("n"));
+    NetworkWeights w(net);
+    Tensor in(8, 2, 2);
+    Rng rng(3);
+    in.fillRandom(rng, -2.0f, 2.0f);
+    Tensor out = runRange(net, w, in, 0, 0);
+    for (int c = 0; c < 8; c++) {
+        for (int y = 0; y < 2; y++) {
+            for (int x = 0; x < 2; x++) {
+                float a = in(c, y, x), b = out(c, y, x);
+                EXPECT_LE(std::abs(b), std::abs(a) + 1e-6f);
+                EXPECT_GE(a * b, 0.0f);
+            }
+        }
+    }
+}
+
+TEST(Reference, MeasuredOpsEqualAnalyticOps)
+{
+    // DESIGN.md invariant 7 groundwork: the analytic layerOpCount must
+    // match what the executor actually tallies.
+    Rng rng(99);
+    for (int trial = 0; trial < 10; trial++) {
+        Network net = randomFusableNet(rng);
+        Rng wrng(trial);
+        NetworkWeights w(net, wrng);
+        Tensor in(net.inputShape());
+        Rng irng(trial + 100);
+        in.fillRandom(irng);
+
+        OpCount measured;
+        runRange(net, w, in, 0, net.numLayers() - 1, &measured);
+        OpCount analytic = rangeOpCount(net, 0, net.numLayers() - 1);
+        EXPECT_EQ(measured, analytic) << net.str();
+    }
+}
+
+TEST(Reference, AlexNetConvOpCounts)
+{
+    // conv1 of AlexNet: 55*55*96 outputs, 11*11*3 taps each.
+    Network net = alexnet(ZooOptions{.grouped = false});
+    OpCount c1 = layerOpCount(net.layer(0), net.inShape(0));
+    EXPECT_EQ(c1.mults, 55LL * 55 * 96 * 121 * 3);
+    EXPECT_EQ(c1.adds, c1.mults);
+}
+
+TEST(Reference, GroupedConvHalvesOps)
+{
+    Network a("a", Shape{4, 8, 8});
+    a.add(LayerSpec::conv("c", 4, 3, 1, 1));
+    Network b("b", Shape{4, 8, 8});
+    b.add(LayerSpec::conv("c", 4, 3, 1, 2));
+    EXPECT_EQ(layerOpCount(a.layer(0), a.inShape(0)).mults,
+              2 * layerOpCount(b.layer(0), b.inShape(0)).mults);
+}
+
+TEST(ReferenceDeath, MissingWeightsPanics)
+{
+    LayerSpec c = LayerSpec::conv("c", 1, 1, 1);
+    Tensor in(1, 2, 2);
+    EXPECT_DEATH(runLayer(c, in, nullptr, nullptr, nullptr),
+                 "filter bank");
+}
+
+} // namespace
+} // namespace flcnn

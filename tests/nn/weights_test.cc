@@ -1,0 +1,105 @@
+/** @file NetworkWeights storage and initialization tests. */
+
+#include <gtest/gtest.h>
+
+#include "nn/weights.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(NetworkWeights, OneBankPerConvolution)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 8, 5, 1, 2);
+    NetworkWeights w(net);
+    ASSERT_EQ(w.numBanks(), 2);
+    EXPECT_EQ(w.bank(0).numFilters(), 4);
+    EXPECT_EQ(w.bank(0).numChannels(), 3);
+    EXPECT_EQ(w.bank(0).kernel(), 3);
+    EXPECT_EQ(w.bank(1).numFilters(), 8);
+    EXPECT_EQ(w.bank(1).numChannels(), 4);
+    EXPECT_EQ(w.bank(1).kernel(), 5);
+}
+
+TEST(NetworkWeights, GroupedConvBanksSeePerGroupChannels)
+{
+    Network net("g", Shape{4, 12, 12});
+    net.add(LayerSpec::conv("c", 8, 3, 1, 2));
+    NetworkWeights w(net);
+    EXPECT_EQ(w.bank(0).numChannels(), 2);  // 4 / groups
+}
+
+TEST(NetworkWeights, ZeroInitializedByDefault)
+{
+    Network net = tinyNet();
+    NetworkWeights w(net);
+    EXPECT_EQ(w.bank(0).w(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(w.bank(0).bias(0), 0.0f);
+}
+
+TEST(NetworkWeights, SeededInitIsDeterministic)
+{
+    Network net = tinyNet();
+    Rng a(7), b(7);
+    NetworkWeights wa(net, a), wb(net, b);
+    EXPECT_EQ(wa.bank(1).w(1, 2, 0, 1), wb.bank(1).w(1, 2, 0, 1));
+    EXPECT_EQ(wa.bank(0).bias(2), wb.bank(0).bias(2));
+}
+
+TEST(NetworkWeights, BankForLayerResolvesByNetworkIndex)
+{
+    Network net("t", Shape{3, 16, 16});
+    net.add(LayerSpec::conv("c1", 4, 3, 1));   // layer 0 -> slot 0
+    net.add(LayerSpec::relu("r"));
+    net.add(LayerSpec::conv("c2", 2, 3, 1));   // layer 2 -> slot 1
+    NetworkWeights w(net);
+    EXPECT_EQ(&w.bankForLayer(net, 0), &w.bank(0));
+    EXPECT_EQ(&w.bankForLayer(net, 2), &w.bank(1));
+}
+
+TEST(NetworkWeights, DenseSlotsForClassifier)
+{
+    Network net("fc", Shape{2, 4, 4});
+    net.add(LayerSpec::fullyConnected("fc1", 8));
+    net.add(LayerSpec::fullyConnected("fc2", 3));
+    NetworkWeights w(net);
+    ASSERT_EQ(w.numDense(), 2);
+    EXPECT_EQ(w.dense(0).outUnits, 8);
+    EXPECT_EQ(w.dense(0).inElems, 2 * 4 * 4);
+    EXPECT_EQ(w.dense(1).outUnits, 3);
+    EXPECT_EQ(w.dense(1).inElems, 8);
+}
+
+TEST(NetworkWeights, TotalBytesCountsEverything)
+{
+    Network net("t", Shape{2, 6, 6});
+    net.add(LayerSpec::conv("c", 3, 3, 1));       // 3*2*9 + 3 floats
+    net.add(LayerSpec::fullyConnected("f", 5));   // 5*(3*4*4) + 5
+    NetworkWeights w(net);
+    int64_t expect = (3 * 2 * 9 + 3) * 4 + (5 * 48 + 5) * 4;
+    EXPECT_EQ(w.totalBytes(), expect);
+}
+
+TEST(NetworkWeights, VggWeightBudgetMatchesLiterature)
+{
+    // VGG-19's conv weights are ~20M parameters (~76.4 MiB fp32).
+    Network net = vggE();
+    NetworkWeights w(net);
+    double mib = static_cast<double>(w.totalBytes()) / (1024.0 * 1024.0);
+    EXPECT_GT(mib, 74.0);
+    EXPECT_LT(mib, 80.0);
+}
+
+TEST(NetworkWeightsDeath, BadSlotPanics)
+{
+    Network net = tinyNet();
+    NetworkWeights w(net);
+    EXPECT_DEATH(w.bank(2), "slot");
+    EXPECT_DEATH(w.dense(0), "slot");
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,148 @@
+/** @file Zoo networks match their published shapes. */
+
+#include <gtest/gtest.h>
+
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Zoo, AlexNetShapes)
+{
+    Network net = alexnet();
+    // Feature-extractor output: 256 x 6 x 6.
+    EXPECT_EQ(net.outputShape(), (Shape{256, 6, 6}));
+    // conv1 output 96x55x55 (layer 0).
+    EXPECT_EQ(net.outShape(0), (Shape{96, 55, 55}));
+    ASSERT_EQ(net.convLayers().size(), 5u);
+}
+
+TEST(Zoo, AlexNetWithClassifier)
+{
+    Network net = alexnet(ZooOptions{.includeClassifier = true});
+    EXPECT_EQ(net.outputShape(), (Shape{1000, 1, 1}));
+}
+
+TEST(Zoo, AlexNetLrnOption)
+{
+    Network with = alexnet(ZooOptions{.includeLrn = true});
+    Network without = alexnet();
+    EXPECT_EQ(with.numLayers(), without.numLayers() + 2);
+}
+
+TEST(Zoo, AlexNetFusedPrefixShapes)
+{
+    // The paper's fused group ends at conv2's ReLU: 256 x 27 x 27.
+    Network net = alexnetFusedPrefix();
+    EXPECT_EQ(net.outputShape(), (Shape{256, 27, 27}));
+    // Two conv, two ReLU, one pad, one pool = 6 layers.
+    EXPECT_EQ(net.numLayers(), 6);
+}
+
+TEST(Zoo, VggEShapes)
+{
+    Network net = vggE();
+    ASSERT_EQ(net.convLayers().size(), 16u);
+    // Feature extractor output: 512 x 7 x 7.
+    EXPECT_EQ(net.outputShape(), (Shape{512, 7, 7}));
+    // conv1_1 output (after pad): 64 x 224 x 224.
+    EXPECT_EQ(net.outShape(1), (Shape{64, 224, 224}));
+}
+
+TEST(Zoo, VggEWithClassifier)
+{
+    Network net = vggE(ZooOptions{.includeClassifier = true});
+    EXPECT_EQ(net.outputShape(), (Shape{1000, 1, 1}));
+}
+
+TEST(Zoo, VggPrefixFiveConvs)
+{
+    Network net = vggEPrefix(5);
+    ASSERT_EQ(net.convLayers().size(), 5u);
+    // Output of conv3_1 (+ReLU): 256 x 56 x 56.
+    EXPECT_EQ(net.outputShape(), (Shape{256, 56, 56}));
+    // Exactly two pools inside the prefix.
+    int pools = 0;
+    for (int i = 0; i < net.numLayers(); i++)
+        pools += (net.layer(i).kind == LayerKind::Pool);
+    EXPECT_EQ(pools, 2);
+}
+
+TEST(Zoo, VggPrefixOneConv)
+{
+    Network net = vggEPrefix(1);
+    ASSERT_EQ(net.convLayers().size(), 1u);
+    EXPECT_EQ(net.outputShape(), (Shape{64, 224, 224}));
+}
+
+TEST(Zoo, VggPrefixSixteenIsFullFeatureExtractorSansLastPool)
+{
+    Network net = vggEPrefix(16);
+    ASSERT_EQ(net.convLayers().size(), 16u);
+    // Prefix ends on conv5_4's ReLU: 512 x 14 x 14.
+    EXPECT_EQ(net.outputShape(), (Shape{512, 14, 14}));
+}
+
+TEST(Zoo, VggDShapes)
+{
+    Network net = vggD();
+    ASSERT_EQ(net.convLayers().size(), 13u);
+    EXPECT_EQ(net.outputShape(), (Shape{512, 7, 7}));
+    Network cls = vggD(ZooOptions{.includeClassifier = true});
+    EXPECT_EQ(cls.outputShape(), (Shape{1000, 1, 1}));
+}
+
+TEST(Zoo, GoogLeNetStemShapes)
+{
+    Network net = googlenetStem();
+    // conv1: 64 x 112 x 112 after 7x7/s2 on padded 230.
+    EXPECT_EQ(net.outShape(1), (Shape{64, 112, 112}));
+    // Final pooled output: 192 x 28 x 28.
+    EXPECT_EQ(net.outputShape(), (Shape{192, 28, 28}));
+    // Contains a kernel-1 convolution.
+    bool has_k1 = false;
+    for (int i : net.convLayers())
+        has_k1 |= (net.layer(i).kernel == 1);
+    EXPECT_TRUE(has_k1);
+}
+
+TEST(Zoo, TinyNetMatchesFigure3)
+{
+    Network net = tinyNet();
+    EXPECT_EQ(net.inputShape().h, 7);
+    EXPECT_EQ(net.outputShape(), (Shape{4, 3, 3}));
+}
+
+TEST(Zoo, RandomNetsAreValidAndDeterministic)
+{
+    for (uint64_t seed = 0; seed < 30; seed++) {
+        Rng a(seed), b(seed);
+        Network n1 = randomFusableNet(a);
+        Network n2 = randomFusableNet(b);
+        EXPECT_GE(n1.numLayers(), 1);
+        EXPECT_EQ(n1.numLayers(), n2.numLayers());
+        EXPECT_TRUE(n1.outputShape() == n2.outputShape());
+        EXPECT_TRUE(n1.outputShape().valid());
+    }
+}
+
+TEST(Zoo, AlexNetFeatureMapDominanceInEarlyLayers)
+{
+    // Section II-B: in early layers the feature maps dominate the
+    // weights; deeper in, weights take over.
+    Network net = alexnet();
+    int first_conv = net.convLayers().front();
+    int last_conv = net.convLayers().back();
+    int64_t fm_first = net.inShape(first_conv).bytes() +
+                       net.outShape(first_conv).bytes();
+    int64_t w_first = net.weightBytesInRange(first_conv, first_conv);
+    EXPECT_GT(fm_first, 10 * w_first);
+
+    int64_t fm_last = net.inShape(last_conv).bytes() +
+                      net.outShape(last_conv).bytes();
+    int64_t w_last = net.weightBytesInRange(last_conv, last_conv);
+    EXPECT_GT(w_last, fm_last);
+}
+
+} // namespace
+} // namespace flcnn

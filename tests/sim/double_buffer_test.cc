@@ -1,0 +1,74 @@
+/** @file Double-buffering overlap model tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/double_buffer.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(DoubleBuffer, EmptySequence)
+{
+    EXPECT_EQ(serializedMakespan({}), 0);
+    EXPECT_EQ(doubleBufferedMakespan({}), 0);
+}
+
+TEST(DoubleBuffer, SingleTileHasNothingToOverlap)
+{
+    std::vector<TilePhases> t{{10, 50, 5}};
+    EXPECT_EQ(serializedMakespan(t), 65);
+    EXPECT_EQ(doubleBufferedMakespan(t), 65);
+}
+
+TEST(DoubleBuffer, ComputeBoundHidesMemory)
+{
+    // Compute dominates: memory fully hidden except the first load and
+    // last store.
+    std::vector<TilePhases> t(10, TilePhases{10, 100, 10});
+    EXPECT_EQ(serializedMakespan(t), 1200);
+    EXPECT_EQ(doubleBufferedMakespan(t), 10 + 10 * 100 + 10);
+}
+
+TEST(DoubleBuffer, MemoryBoundIsChannelLimited)
+{
+    // Memory dominates: compute hides under the channel.
+    std::vector<TilePhases> t(4, TilePhases{100, 10, 100});
+    // load0 + [max(10,100)] + [max(10,200)] + [max(10,200)] +
+    // [max(10,100)] + store3
+    EXPECT_EQ(doubleBufferedMakespan(t), 100 + 100 + 200 + 200 + 100 + 100);
+}
+
+TEST(DoubleBuffer, NeverWorseThanSerialized)
+{
+    for (int seed = 0; seed < 20; seed++) {
+        std::vector<TilePhases> t;
+        uint64_t x = static_cast<uint64_t>(seed) * 1099511628211ull + 3;
+        for (int i = 0; i < 12; i++) {
+            x = x * 6364136223846793005ull + 1442695040888963407ull;
+            t.push_back(TilePhases{static_cast<int64_t>(x % 50),
+                                   static_cast<int64_t>((x >> 8) % 80),
+                                   static_cast<int64_t>((x >> 16) % 50)});
+        }
+        EXPECT_LE(doubleBufferedMakespan(t), serializedMakespan(t));
+        // And never better than compute alone or memory alone.
+        int64_t compute = 0, mem = 0;
+        for (const auto &p : t) {
+            compute += p.compute;
+            mem += p.load + p.store;
+        }
+        EXPECT_GE(doubleBufferedMakespan(t), compute);
+        EXPECT_GE(doubleBufferedMakespan(t), mem);
+    }
+}
+
+TEST(DoubleBuffer, SavingsFractionInUnitRange)
+{
+    std::vector<TilePhases> t(8, TilePhases{20, 60, 20});
+    double s = overlapSavings(t);
+    EXPECT_GT(s, 0.0);
+    EXPECT_LT(s, 1.0);
+    EXPECT_EQ(overlapSavings({}), 0.0);
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,57 @@
+/** @file DRAM model tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/dram.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Dram, ZeroBytesIsFree)
+{
+    DramModel d;
+    EXPECT_EQ(d.transferCycles(0), 0);
+    EXPECT_EQ(d.transferCycles(-5), 0);
+}
+
+TEST(Dram, StreamingAtBandwidth)
+{
+    DramModel d(8.0, 0);
+    EXPECT_EQ(d.transferCycles(64), 8);
+    EXPECT_EQ(d.transferCycles(65), 9);  // partial beat rounds up
+}
+
+TEST(Dram, StartLatencyAdds)
+{
+    DramModel d(8.0, 30);
+    EXPECT_EQ(d.transferCycles(64), 38);
+    EXPECT_EQ(d.transferCycles(1), 31);
+}
+
+TEST(Dram, MonotoneInBytes)
+{
+    DramModel d;
+    int64_t prev = 0;
+    for (int64_t b = 1; b < 10000; b *= 3) {
+        int64_t c = d.transferCycles(b);
+        EXPECT_GE(c, prev);
+        prev = c;
+    }
+}
+
+TEST(Dram, RequiredBandwidthMatchesPaperFootnote)
+{
+    // "if an accelerator targets 50 images/second, and the graph shows
+    // an off-chip transfer of 100MB, this would require 5 GB/sec."
+    double bw = DramModel::requiredBandwidth(100LL * 1000 * 1000, 50.0);
+    EXPECT_DOUBLE_EQ(bw, 5e9);
+}
+
+TEST(DramDeath, InvalidParamsPanic)
+{
+    EXPECT_DEATH(DramModel(0.0, 0), "bandwidth");
+    EXPECT_DEATH(DramModel(8.0, -1), "latency");
+}
+
+} // namespace
+} // namespace flcnn

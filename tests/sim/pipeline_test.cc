@@ -1,0 +1,156 @@
+/** @file Pyramid pipeline scheduler tests (Figure 6 semantics). */
+
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Pipeline, SingleStageSerializes)
+{
+    auto sched = schedulePyramidPipeline(
+        5, 1, [](int64_t, int) { return int64_t{10}; });
+    EXPECT_EQ(sched.makespan(), 50);
+    EXPECT_EQ(sched.stageBusy(0), 50);
+    EXPECT_DOUBLE_EQ(sched.stageUtilization(0), 1.0);
+}
+
+TEST(Pipeline, UniformStagesClassicFormula)
+{
+    // P pyramids through S balanced stages of duration d:
+    // makespan = (P + S - 1) * d.
+    const int64_t P = 8;
+    const int S = 4;
+    const int64_t d = 7;
+    auto sched = schedulePyramidPipeline(
+        P, S, [&](int64_t, int) { return d; });
+    EXPECT_EQ(sched.makespan(), (P + S - 1) * d);
+}
+
+TEST(Pipeline, BottleneckStageDominates)
+{
+    // Stage 1 is 10x slower: makespan ~ P * 100 + fill.
+    auto sched = schedulePyramidPipeline(16, 3, [](int64_t, int s) {
+        return s == 1 ? int64_t{100} : int64_t{10};
+    });
+    EXPECT_EQ(sched.makespan(), 10 + 16 * 100 + 10);
+    EXPECT_GT(sched.stageUtilization(1), 0.95);
+    EXPECT_LT(sched.stageUtilization(0), 0.15);
+}
+
+TEST(Pipeline, DependenciesRespected)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 3, [](int64_t p, int s) { return (p + 1) * (s + 1); }, true);
+    for (int64_t p = 0; p < 4; p++) {
+        for (int s = 0; s < 3; s++) {
+            const StageSlot &sl = sched.slot(p, s);
+            EXPECT_EQ(sl.end - sl.start, (p + 1) * (s + 1));
+            if (s > 0)
+                EXPECT_GE(sl.start, sched.slot(p, s - 1).end);
+            if (p > 0)
+                EXPECT_GE(sl.start, sched.slot(p - 1, s).end);
+        }
+    }
+}
+
+TEST(Pipeline, ZeroDurationStagesPassThrough)
+{
+    auto sched = schedulePyramidPipeline(6, 3, [](int64_t, int s) {
+        return s == 1 ? int64_t{0} : int64_t{5};
+    });
+    // Stage 1 is free: behaves like a 2-stage pipeline.
+    EXPECT_EQ(sched.makespan(), (6 + 2 - 1) * 5);
+}
+
+TEST(Pipeline, MakespanLowerBounds)
+{
+    auto cyc = [](int64_t p, int s) { return (p * 13 + s * 7) % 23 + 1; };
+    auto sched = schedulePyramidPipeline(20, 5, cyc);
+    for (int s = 0; s < 5; s++)
+        EXPECT_GE(sched.makespan(), sched.stageBusy(s));
+    // Critical path of pyramid 0 plus pipeline drain of the last.
+    int64_t p0 = 0;
+    for (int s = 0; s < 5; s++)
+        p0 += cyc(0, s);
+    EXPECT_GE(sched.makespan(), p0);
+}
+
+TEST(Pipeline, FirstPyramidStartsEveryStageInOrder)
+{
+    auto sched = schedulePyramidPipeline(
+        3, 4, [](int64_t, int) { return int64_t{5}; }, true);
+    // Figure 6: pyramid 2 starts its first stage as soon as pyramid 1
+    // completes that stage.
+    EXPECT_EQ(sched.slot(1, 0).start, sched.slot(0, 0).end);
+    EXPECT_EQ(sched.slot(2, 0).start, sched.slot(1, 0).end);
+}
+
+TEST(Pipeline, GanttRendersOneLinePerStage)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    std::string g = sched.gantt({"load", "compute"});
+    EXPECT_NE(g.find("load"), std::string::npos);
+    EXPECT_NE(g.find("compute"), std::string::npos);
+    EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 2);
+}
+
+TEST(PipelineDeath, SlotAccessWithoutKeepPanics)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, false);
+    EXPECT_DEATH(sched.slot(0, 0), "without slots");
+}
+
+TEST(Pipeline, SharedResourceSerializes)
+{
+    // Two stages sharing one channel cannot overlap even across
+    // different pyramids.
+    std::vector<int> res{0, -1, 0};
+    auto sched = schedulePyramidPipeline(
+        4, 3, [](int64_t, int) { return int64_t{10}; }, true, res);
+    for (int64_t p = 0; p < 4; p++) {
+        for (int64_t q = 0; q < 4; q++) {
+            const StageSlot &a = sched.slot(p, 0);
+            const StageSlot &b = sched.slot(q, 2);
+            EXPECT_TRUE(a.end <= b.start || b.end <= a.start)
+                << "load " << p << " overlaps store " << q;
+        }
+    }
+    // Without the constraint the schedule is strictly shorter.
+    auto free_sched = schedulePyramidPipeline(
+        4, 3, [](int64_t, int) { return int64_t{10}; });
+    EXPECT_GT(sched.makespan(), free_sched.makespan());
+}
+
+TEST(Pipeline, ZeroDurationIgnoresResource)
+{
+    std::vector<int> res{0, 0};
+    auto sched = schedulePyramidPipeline(
+        3, 2, [](int64_t, int s) { return s == 0 ? int64_t{5}
+                                                 : int64_t{0}; },
+        false, res);
+    // The zero-duration stage never claims the channel.
+    EXPECT_EQ(sched.makespan(), 15);
+}
+
+TEST(PipelineDeath, ResourceArityChecked)
+{
+    std::vector<int> res{0};
+    EXPECT_DEATH(schedulePyramidPipeline(
+                     2, 3, [](int64_t, int) { return int64_t{1}; },
+                     false, res),
+                 "one resource id per stage");
+}
+
+TEST(Pipeline, EmptyPipeline)
+{
+    auto sched = schedulePyramidPipeline(
+        0, 3, [](int64_t, int) { return int64_t{3}; });
+    EXPECT_EQ(sched.makespan(), 0);
+}
+
+} // namespace
+} // namespace flcnn

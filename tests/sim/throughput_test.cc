@@ -1,0 +1,76 @@
+/** @file Steady-state throughput analysis tests. */
+
+#include <gtest/gtest.h>
+
+#include "sim/throughput.hh"
+
+namespace flcnn {
+namespace {
+
+PipelineSchedule
+uniformSched(int64_t pyramids, int stages, int64_t dur)
+{
+    return schedulePyramidPipeline(
+        pyramids, stages, [dur](int64_t, int) { return dur; });
+}
+
+TEST(Throughput, BottleneckSetsRate)
+{
+    auto sched = schedulePyramidPipeline(10, 3, [](int64_t, int s) {
+        return s == 1 ? int64_t{100} : int64_t{10};
+    });
+    Throughput t = analyzeThroughput(sched, 1e8, 1000);
+    EXPECT_EQ(t.initiationCycles, 10 * 100);
+    EXPECT_DOUBLE_EQ(t.imagesPerSecond, 1e8 / 1000.0);
+    EXPECT_DOUBLE_EQ(t.dramBytesPerSecond, t.imagesPerSecond * 1000.0);
+}
+
+TEST(Throughput, LatencyIsMakespanOverClock)
+{
+    auto sched = uniformSched(4, 2, 25);
+    Throughput t = analyzeThroughput(sched, 1e6, 0);
+    EXPECT_DOUBLE_EQ(t.latencySeconds,
+                     static_cast<double>(sched.makespan()) / 1e6);
+}
+
+TEST(Throughput, PaperFootnoteBandwidthExample)
+{
+    // "if an accelerator targets 50 images/second ... 100MB ... 5
+    // GB/sec": choose a clock so the rate is 50/s and check the
+    // bandwidth conversion.
+    auto sched = uniformSched(1, 1, 1000);  // bottleneck 1000 cycles
+    Throughput t =
+        analyzeThroughput(sched, 50.0 * 1000.0, 100LL * 1000 * 1000);
+    EXPECT_NEAR(t.imagesPerSecond, 50.0, 1e-9);
+    EXPECT_NEAR(t.dramBytesPerSecond, 5e9, 1e-3);
+}
+
+TEST(Throughput, EmptyScheduleIsZero)
+{
+    auto sched = uniformSched(0, 2, 10);
+    Throughput t = analyzeThroughput(sched, 1e8, 100);
+    EXPECT_EQ(t.imagesPerSecond, 0.0);
+    EXPECT_EQ(streamedMakespan(sched, 5), 0);
+}
+
+TEST(Throughput, StreamedMakespanAmortizesFill)
+{
+    auto sched = uniformSched(8, 4, 7);
+    int64_t one = streamedMakespan(sched, 1);
+    EXPECT_EQ(one, sched.makespan());
+    int64_t ten = streamedMakespan(sched, 10);
+    // Per-image steady-state cost is the bottleneck (8 * 7), well
+    // under the single-image makespan.
+    EXPECT_EQ(ten, one + 9 * 8 * 7);
+    EXPECT_LT(ten, 10 * one);
+}
+
+TEST(ThroughputDeath, BadInputs)
+{
+    auto sched = uniformSched(2, 2, 5);
+    EXPECT_DEATH(analyzeThroughput(sched, 0.0, 10), "clock");
+    EXPECT_DEATH(streamedMakespan(sched, -1), "non-negative");
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,76 @@
+/** @file Tensor comparison utilities. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Compare, IdenticalTensorsMatchExactly)
+{
+    Tensor a(2, 3, 3), b(2, 3, 3);
+    a.fillIota();
+    b.fillIota();
+    CompareResult r = compareTensors(a, b);
+    EXPECT_TRUE(r.match);
+    EXPECT_EQ(r.mismatches, 0);
+    EXPECT_EQ(r.maxAbsDiff, 0.0);
+}
+
+TEST(Compare, ShapeMismatchNeverMatches)
+{
+    Tensor a(1, 2, 2), b(1, 2, 3);
+    EXPECT_FALSE(compareTensors(a, b).match);
+}
+
+TEST(Compare, SingleMismatchLocated)
+{
+    Tensor a(2, 3, 3), b(2, 3, 3);
+    b(1, 2, 0) = 1e-3f;
+    CompareResult r = compareTensors(a, b);
+    EXPECT_FALSE(r.match);
+    EXPECT_EQ(r.mismatches, 1);
+    EXPECT_EQ(r.firstC, 1);
+    EXPECT_EQ(r.firstY, 2);
+    EXPECT_EQ(r.firstX, 0);
+    EXPECT_FLOAT_EQ(static_cast<float>(r.maxAbsDiff), 1e-3f);
+}
+
+TEST(Compare, RelativeToleranceAccepts)
+{
+    Tensor a(1, 1, 2), b(1, 1, 2);
+    a(0, 0, 0) = 1000.0f;
+    b(0, 0, 0) = 1000.001f;
+    a(0, 0, 1) = -5.0f;
+    b(0, 0, 1) = -5.0f;
+    EXPECT_FALSE(tensorsEqual(a, b));
+    EXPECT_TRUE(tensorsClose(a, b, 1e-5, 0.0));
+    EXPECT_FALSE(tensorsClose(a, b, 1e-9, 0.0));
+}
+
+TEST(Compare, AbsoluteFloorAccepts)
+{
+    Tensor a(1, 1, 1), b(1, 1, 1);
+    a(0, 0, 0) = 0.0f;
+    b(0, 0, 0) = 1e-9f;
+    EXPECT_TRUE(tensorsClose(a, b, 0.0, 1e-8));
+    EXPECT_FALSE(tensorsClose(a, b, 0.0, 1e-10));
+}
+
+TEST(Compare, ZeroTensorsMatch)
+{
+    Tensor a(3, 4, 4), b(3, 4, 4);
+    EXPECT_TRUE(tensorsEqual(a, b));
+}
+
+TEST(Compare, SummaryStringMentionsLocation)
+{
+    Tensor a(1, 2, 2), b(1, 2, 2);
+    b(0, 1, 1) = 2.0f;
+    CompareResult r = compareTensors(a, b);
+    EXPECT_NE(r.str().find("(0,1,1)"), std::string::npos);
+}
+
+} // namespace
+} // namespace flcnn

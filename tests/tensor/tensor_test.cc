@@ -1,0 +1,123 @@
+/** @file Tensor and FilterBank storage tests. */
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Shape, ElemsAndBytes)
+{
+    Shape s{3, 224, 224};
+    EXPECT_EQ(s.elems(), 3 * 224 * 224);
+    EXPECT_EQ(s.bytes(), 3 * 224 * 224 * 4);
+    EXPECT_EQ(s.str(), "3x224x224");
+    EXPECT_TRUE(s.valid());
+    EXPECT_FALSE((Shape{0, 1, 1}).valid());
+}
+
+TEST(Shape, Equality)
+{
+    EXPECT_TRUE((Shape{1, 2, 3}) == (Shape{1, 2, 3}));
+    EXPECT_FALSE((Shape{1, 2, 3}) == (Shape{1, 3, 2}));
+}
+
+TEST(Tensor, ZeroInitialized)
+{
+    Tensor t(2, 3, 4);
+    for (int c = 0; c < 2; c++)
+        for (int y = 0; y < 3; y++)
+            for (int x = 0; x < 4; x++)
+                EXPECT_EQ(t(c, y, x), 0.0f);
+}
+
+TEST(Tensor, IndexingIsRowMajorCHW)
+{
+    Tensor t(2, 3, 4);
+    t(1, 2, 3) = 5.0f;
+    EXPECT_EQ(t.data()[1 * 3 * 4 + 2 * 4 + 3], 5.0f);
+    EXPECT_EQ(t.idx(1, 2, 3), 1 * 12 + 2 * 4 + 3);
+}
+
+TEST(Tensor, AtOrZeroPads)
+{
+    Tensor t(1, 2, 2);
+    t(0, 0, 0) = 1.0f;
+    EXPECT_EQ(t.atOrZero(0, 0, 0), 1.0f);
+    EXPECT_EQ(t.atOrZero(0, -1, 0), 0.0f);
+    EXPECT_EQ(t.atOrZero(0, 0, 2), 0.0f);
+    EXPECT_EQ(t.atOrZero(1, 0, 0), 0.0f);
+}
+
+TEST(TensorDeath, BoundsCheckedAtPanics)
+{
+    Tensor t(1, 2, 2);
+    EXPECT_DEATH(t.at(0, 2, 0), "out of bounds");
+    EXPECT_DEATH(t.at(-1, 0, 0), "out of bounds");
+}
+
+TEST(TensorDeath, InvalidShapePanics)
+{
+    EXPECT_DEATH(Tensor(0, 1, 1), "positive");
+}
+
+TEST(Tensor, FillRandomIsSeeded)
+{
+    Rng r1(5), r2(5);
+    Tensor a(2, 4, 4), b(2, 4, 4);
+    a.fillRandom(r1);
+    b.fillRandom(r2);
+    for (int64_t i = 0; i < a.elems(); i++)
+        EXPECT_EQ(a.data()[i], b.data()[i]);
+}
+
+TEST(Tensor, FillIotaIsIndexDependent)
+{
+    Tensor t(1, 4, 4);
+    t.fillIota();
+    EXPECT_NE(t(0, 0, 0), t(0, 0, 1));
+    EXPECT_NE(t(0, 1, 0), t(0, 2, 0));
+}
+
+TEST(Tensor, FillConstant)
+{
+    Tensor t(2, 2, 2);
+    t.fill(7.5f);
+    for (int64_t i = 0; i < t.elems(); i++)
+        EXPECT_EQ(t.data()[i], 7.5f);
+}
+
+TEST(FilterBank, DimsAndBytes)
+{
+    FilterBank fb(8, 3, 5);
+    EXPECT_EQ(fb.numFilters(), 8);
+    EXPECT_EQ(fb.numChannels(), 3);
+    EXPECT_EQ(fb.kernel(), 5);
+    EXPECT_EQ(fb.weightElems(), 8 * 3 * 5 * 5);
+    EXPECT_EQ(fb.bytes(), (8 * 3 * 25 + 8) * 4);
+}
+
+TEST(FilterBank, WeightAndBiasStorage)
+{
+    FilterBank fb(2, 2, 3);
+    fb.w(1, 1, 2, 2) = 9.0f;
+    fb.bias(1) = -1.0f;
+    EXPECT_EQ(fb.w(1, 1, 2, 2), 9.0f);
+    EXPECT_EQ(fb.w(0, 0, 0, 0), 0.0f);
+    EXPECT_EQ(fb.bias(1), -1.0f);
+    EXPECT_EQ(fb.bias(0), 0.0f);
+}
+
+TEST(FilterBank, FillRandomIsSeeded)
+{
+    Rng r1(5), r2(5);
+    FilterBank a(2, 2, 3), b(2, 2, 3);
+    a.fillRandom(r1);
+    b.fillRandom(r2);
+    EXPECT_EQ(a.w(1, 1, 1, 1), b.w(1, 1, 1, 1));
+    EXPECT_EQ(a.bias(0), b.bias(0));
+}
+
+} // namespace
+} // namespace flcnn
