@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tmtn.dir/ablation_tmtn.cc.o"
+  "CMakeFiles/ablation_tmtn.dir/ablation_tmtn.cc.o.d"
+  "ablation_tmtn"
+  "ablation_tmtn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tmtn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bandwidth_sensitivity.dir/bandwidth_sensitivity.cc.o"
+  "CMakeFiles/bandwidth_sensitivity.dir/bandwidth_sensitivity.cc.o.d"
+  "bandwidth_sensitivity"
+  "bandwidth_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bandwidth_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

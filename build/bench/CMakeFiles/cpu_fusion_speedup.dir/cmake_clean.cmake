@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cpu_fusion_speedup.dir/cpu_fusion_speedup.cc.o"
+  "CMakeFiles/cpu_fusion_speedup.dir/cpu_fusion_speedup.cc.o.d"
+  "cpu_fusion_speedup"
+  "cpu_fusion_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cpu_fusion_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

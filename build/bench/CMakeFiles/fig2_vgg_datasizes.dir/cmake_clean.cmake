@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_vgg_datasizes.dir/fig2_vgg_datasizes.cc.o"
+  "CMakeFiles/fig2_vgg_datasizes.dir/fig2_vgg_datasizes.cc.o.d"
+  "fig2_vgg_datasizes"
+  "fig2_vgg_datasizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_vgg_datasizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_pipeline.dir/fig6_pipeline.cc.o"
+  "CMakeFiles/fig6_pipeline.dir/fig6_pipeline.cc.o.d"
+  "fig6_pipeline"
+  "fig6_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

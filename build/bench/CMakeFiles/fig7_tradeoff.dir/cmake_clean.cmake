@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tradeoff.dir/fig7_tradeoff.cc.o"
+  "CMakeFiles/fig7_tradeoff.dir/fig7_tradeoff.cc.o.d"
+  "fig7_tradeoff"
+  "fig7_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_vgg_sweep.dir/full_vgg_sweep.cc.o"
+  "CMakeFiles/full_vgg_sweep.dir/full_vgg_sweep.cc.o.d"
+  "full_vgg_sweep"
+  "full_vgg_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_vgg_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

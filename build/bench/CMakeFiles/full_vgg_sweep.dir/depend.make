@@ -1,0 +1,2 @@
+# Empty dependencies file for full_vgg_sweep.
+# This may be replaced when dependencies are built.

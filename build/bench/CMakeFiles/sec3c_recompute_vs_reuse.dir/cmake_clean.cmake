@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec3c_recompute_vs_reuse.dir/sec3c_recompute_vs_reuse.cc.o"
+  "CMakeFiles/sec3c_recompute_vs_reuse.dir/sec3c_recompute_vs_reuse.cc.o.d"
+  "sec3c_recompute_vs_reuse"
+  "sec3c_recompute_vs_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec3c_recompute_vs_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

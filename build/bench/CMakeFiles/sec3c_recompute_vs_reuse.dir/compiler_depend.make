@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sec3c_recompute_vs_reuse.
+# This may be replaced when dependencies are built.

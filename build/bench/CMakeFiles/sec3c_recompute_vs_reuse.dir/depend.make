@@ -1,0 +1,2 @@
+# Empty dependencies file for sec3c_recompute_vs_reuse.
+# This may be replaced when dependencies are built.

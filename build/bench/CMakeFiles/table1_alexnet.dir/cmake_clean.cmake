@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_alexnet.dir/table1_alexnet.cc.o"
+  "CMakeFiles/table1_alexnet.dir/table1_alexnet.cc.o.d"
+  "table1_alexnet"
+  "table1_alexnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_alexnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

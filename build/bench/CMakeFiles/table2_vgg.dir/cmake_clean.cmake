@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_vgg.dir/table2_vgg.cc.o"
+  "CMakeFiles/table2_vgg.dir/table2_vgg.cc.o.d"
+  "table2_vgg"
+  "table2_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

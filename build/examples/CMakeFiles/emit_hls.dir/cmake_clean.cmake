@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/emit_hls.dir/emit_hls.cpp.o"
+  "CMakeFiles/emit_hls.dir/emit_hls.cpp.o.d"
+  "emit_hls"
+  "emit_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emit_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_vgg.dir/explore_vgg.cpp.o"
+  "CMakeFiles/explore_vgg.dir/explore_vgg.cpp.o.d"
+  "explore_vgg"
+  "explore_vgg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_vgg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

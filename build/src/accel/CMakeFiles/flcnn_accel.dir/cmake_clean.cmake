@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_accel.dir/baseline_accel.cc.o"
+  "CMakeFiles/flcnn_accel.dir/baseline_accel.cc.o.d"
+  "CMakeFiles/flcnn_accel.dir/fused_accel.cc.o"
+  "CMakeFiles/flcnn_accel.dir/fused_accel.cc.o.d"
+  "CMakeFiles/flcnn_accel.dir/partition_executor.cc.o"
+  "CMakeFiles/flcnn_accel.dir/partition_executor.cc.o.d"
+  "libflcnn_accel.a"
+  "libflcnn_accel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_accel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_common.dir/logging.cc.o"
+  "CMakeFiles/flcnn_common.dir/logging.cc.o.d"
+  "CMakeFiles/flcnn_common.dir/rng.cc.o"
+  "CMakeFiles/flcnn_common.dir/rng.cc.o.d"
+  "CMakeFiles/flcnn_common.dir/table.cc.o"
+  "CMakeFiles/flcnn_common.dir/table.cc.o.d"
+  "CMakeFiles/flcnn_common.dir/units.cc.o"
+  "CMakeFiles/flcnn_common.dir/units.cc.o.d"
+  "libflcnn_common.a"
+  "libflcnn_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

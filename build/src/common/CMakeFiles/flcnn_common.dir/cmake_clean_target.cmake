@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libflcnn_common.a"
+)

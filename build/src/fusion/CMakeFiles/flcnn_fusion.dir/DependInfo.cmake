@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fusion/calcparams.cc" "src/fusion/CMakeFiles/flcnn_fusion.dir/calcparams.cc.o" "gcc" "src/fusion/CMakeFiles/flcnn_fusion.dir/calcparams.cc.o.d"
+  "/root/repo/src/fusion/fused_executor.cc" "src/fusion/CMakeFiles/flcnn_fusion.dir/fused_executor.cc.o" "gcc" "src/fusion/CMakeFiles/flcnn_fusion.dir/fused_executor.cc.o.d"
+  "/root/repo/src/fusion/line_buffer_executor.cc" "src/fusion/CMakeFiles/flcnn_fusion.dir/line_buffer_executor.cc.o" "gcc" "src/fusion/CMakeFiles/flcnn_fusion.dir/line_buffer_executor.cc.o.d"
+  "/root/repo/src/fusion/plan.cc" "src/fusion/CMakeFiles/flcnn_fusion.dir/plan.cc.o" "gcc" "src/fusion/CMakeFiles/flcnn_fusion.dir/plan.cc.o.d"
+  "/root/repo/src/fusion/recompute_executor.cc" "src/fusion/CMakeFiles/flcnn_fusion.dir/recompute_executor.cc.o" "gcc" "src/fusion/CMakeFiles/flcnn_fusion.dir/recompute_executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_fusion.dir/calcparams.cc.o"
+  "CMakeFiles/flcnn_fusion.dir/calcparams.cc.o.d"
+  "CMakeFiles/flcnn_fusion.dir/fused_executor.cc.o"
+  "CMakeFiles/flcnn_fusion.dir/fused_executor.cc.o.d"
+  "CMakeFiles/flcnn_fusion.dir/line_buffer_executor.cc.o"
+  "CMakeFiles/flcnn_fusion.dir/line_buffer_executor.cc.o.d"
+  "CMakeFiles/flcnn_fusion.dir/plan.cc.o"
+  "CMakeFiles/flcnn_fusion.dir/plan.cc.o.d"
+  "CMakeFiles/flcnn_fusion.dir/recompute_executor.cc.o"
+  "CMakeFiles/flcnn_fusion.dir/recompute_executor.cc.o.d"
+  "libflcnn_fusion.a"
+  "libflcnn_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

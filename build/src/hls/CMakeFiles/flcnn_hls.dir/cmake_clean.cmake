@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_hls.dir/emitter.cc.o"
+  "CMakeFiles/flcnn_hls.dir/emitter.cc.o.d"
+  "libflcnn_hls.a"
+  "libflcnn_hls.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_hls.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

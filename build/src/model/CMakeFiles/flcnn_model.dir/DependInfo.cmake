@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/balance.cc" "src/model/CMakeFiles/flcnn_model.dir/balance.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/balance.cc.o.d"
+  "/root/repo/src/model/baseline.cc" "src/model/CMakeFiles/flcnn_model.dir/baseline.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/baseline.cc.o.d"
+  "/root/repo/src/model/energy.cc" "src/model/CMakeFiles/flcnn_model.dir/energy.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/energy.cc.o.d"
+  "/root/repo/src/model/explorer.cc" "src/model/CMakeFiles/flcnn_model.dir/explorer.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/explorer.cc.o.d"
+  "/root/repo/src/model/pareto.cc" "src/model/CMakeFiles/flcnn_model.dir/pareto.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/pareto.cc.o.d"
+  "/root/repo/src/model/partition.cc" "src/model/CMakeFiles/flcnn_model.dir/partition.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/partition.cc.o.d"
+  "/root/repo/src/model/recompute.cc" "src/model/CMakeFiles/flcnn_model.dir/recompute.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/recompute.cc.o.d"
+  "/root/repo/src/model/resource.cc" "src/model/CMakeFiles/flcnn_model.dir/resource.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/resource.cc.o.d"
+  "/root/repo/src/model/storage.cc" "src/model/CMakeFiles/flcnn_model.dir/storage.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/storage.cc.o.d"
+  "/root/repo/src/model/transfer.cc" "src/model/CMakeFiles/flcnn_model.dir/transfer.cc.o" "gcc" "src/model/CMakeFiles/flcnn_model.dir/transfer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

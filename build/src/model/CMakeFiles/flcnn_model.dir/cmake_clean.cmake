@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_model.dir/balance.cc.o"
+  "CMakeFiles/flcnn_model.dir/balance.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/baseline.cc.o"
+  "CMakeFiles/flcnn_model.dir/baseline.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/energy.cc.o"
+  "CMakeFiles/flcnn_model.dir/energy.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/explorer.cc.o"
+  "CMakeFiles/flcnn_model.dir/explorer.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/pareto.cc.o"
+  "CMakeFiles/flcnn_model.dir/pareto.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/partition.cc.o"
+  "CMakeFiles/flcnn_model.dir/partition.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/recompute.cc.o"
+  "CMakeFiles/flcnn_model.dir/recompute.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/resource.cc.o"
+  "CMakeFiles/flcnn_model.dir/resource.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/storage.cc.o"
+  "CMakeFiles/flcnn_model.dir/storage.cc.o.d"
+  "CMakeFiles/flcnn_model.dir/transfer.cc.o"
+  "CMakeFiles/flcnn_model.dir/transfer.cc.o.d"
+  "libflcnn_model.a"
+  "libflcnn_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

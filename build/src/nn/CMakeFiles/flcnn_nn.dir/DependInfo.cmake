@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/layer.cc" "src/nn/CMakeFiles/flcnn_nn.dir/layer.cc.o" "gcc" "src/nn/CMakeFiles/flcnn_nn.dir/layer.cc.o.d"
+  "/root/repo/src/nn/network.cc" "src/nn/CMakeFiles/flcnn_nn.dir/network.cc.o" "gcc" "src/nn/CMakeFiles/flcnn_nn.dir/network.cc.o.d"
+  "/root/repo/src/nn/reference.cc" "src/nn/CMakeFiles/flcnn_nn.dir/reference.cc.o" "gcc" "src/nn/CMakeFiles/flcnn_nn.dir/reference.cc.o.d"
+  "/root/repo/src/nn/weights.cc" "src/nn/CMakeFiles/flcnn_nn.dir/weights.cc.o" "gcc" "src/nn/CMakeFiles/flcnn_nn.dir/weights.cc.o.d"
+  "/root/repo/src/nn/zoo.cc" "src/nn/CMakeFiles/flcnn_nn.dir/zoo.cc.o" "gcc" "src/nn/CMakeFiles/flcnn_nn.dir/zoo.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_nn.dir/layer.cc.o"
+  "CMakeFiles/flcnn_nn.dir/layer.cc.o.d"
+  "CMakeFiles/flcnn_nn.dir/network.cc.o"
+  "CMakeFiles/flcnn_nn.dir/network.cc.o.d"
+  "CMakeFiles/flcnn_nn.dir/reference.cc.o"
+  "CMakeFiles/flcnn_nn.dir/reference.cc.o.d"
+  "CMakeFiles/flcnn_nn.dir/weights.cc.o"
+  "CMakeFiles/flcnn_nn.dir/weights.cc.o.d"
+  "CMakeFiles/flcnn_nn.dir/zoo.cc.o"
+  "CMakeFiles/flcnn_nn.dir/zoo.cc.o.d"
+  "libflcnn_nn.a"
+  "libflcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/double_buffer.cc" "src/sim/CMakeFiles/flcnn_sim.dir/double_buffer.cc.o" "gcc" "src/sim/CMakeFiles/flcnn_sim.dir/double_buffer.cc.o.d"
+  "/root/repo/src/sim/dram.cc" "src/sim/CMakeFiles/flcnn_sim.dir/dram.cc.o" "gcc" "src/sim/CMakeFiles/flcnn_sim.dir/dram.cc.o.d"
+  "/root/repo/src/sim/pipeline.cc" "src/sim/CMakeFiles/flcnn_sim.dir/pipeline.cc.o" "gcc" "src/sim/CMakeFiles/flcnn_sim.dir/pipeline.cc.o.d"
+  "/root/repo/src/sim/throughput.cc" "src/sim/CMakeFiles/flcnn_sim.dir/throughput.cc.o" "gcc" "src/sim/CMakeFiles/flcnn_sim.dir/throughput.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "src/sim/CMakeFiles/flcnn_sim.dir/trace.cc.o" "gcc" "src/sim/CMakeFiles/flcnn_sim.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_sim.dir/double_buffer.cc.o"
+  "CMakeFiles/flcnn_sim.dir/double_buffer.cc.o.d"
+  "CMakeFiles/flcnn_sim.dir/dram.cc.o"
+  "CMakeFiles/flcnn_sim.dir/dram.cc.o.d"
+  "CMakeFiles/flcnn_sim.dir/pipeline.cc.o"
+  "CMakeFiles/flcnn_sim.dir/pipeline.cc.o.d"
+  "CMakeFiles/flcnn_sim.dir/throughput.cc.o"
+  "CMakeFiles/flcnn_sim.dir/throughput.cc.o.d"
+  "CMakeFiles/flcnn_sim.dir/trace.cc.o"
+  "CMakeFiles/flcnn_sim.dir/trace.cc.o.d"
+  "libflcnn_sim.a"
+  "libflcnn_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

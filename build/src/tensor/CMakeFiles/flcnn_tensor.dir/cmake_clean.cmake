@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flcnn_tensor.dir/compare.cc.o"
+  "CMakeFiles/flcnn_tensor.dir/compare.cc.o.d"
+  "CMakeFiles/flcnn_tensor.dir/tensor.cc.o"
+  "CMakeFiles/flcnn_tensor.dir/tensor.cc.o.d"
+  "libflcnn_tensor.a"
+  "libflcnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flcnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

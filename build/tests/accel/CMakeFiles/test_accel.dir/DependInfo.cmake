@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/accel/baseline_accel_test.cc" "tests/accel/CMakeFiles/test_accel.dir/baseline_accel_test.cc.o" "gcc" "tests/accel/CMakeFiles/test_accel.dir/baseline_accel_test.cc.o.d"
+  "/root/repo/tests/accel/fused_accel_test.cc" "tests/accel/CMakeFiles/test_accel.dir/fused_accel_test.cc.o" "gcc" "tests/accel/CMakeFiles/test_accel.dir/fused_accel_test.cc.o.d"
+  "/root/repo/tests/accel/partition_executor_test.cc" "tests/accel/CMakeFiles/test_accel.dir/partition_executor_test.cc.o" "gcc" "tests/accel/CMakeFiles/test_accel.dir/partition_executor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/flcnn_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/flcnn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

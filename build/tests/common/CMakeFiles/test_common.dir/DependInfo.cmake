@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/logging_test.cc" "tests/common/CMakeFiles/test_common.dir/logging_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/logging_test.cc.o.d"
+  "/root/repo/tests/common/mathutil_test.cc" "tests/common/CMakeFiles/test_common.dir/mathutil_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/mathutil_test.cc.o.d"
+  "/root/repo/tests/common/opcount_test.cc" "tests/common/CMakeFiles/test_common.dir/opcount_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/opcount_test.cc.o.d"
+  "/root/repo/tests/common/rng_test.cc" "tests/common/CMakeFiles/test_common.dir/rng_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/rng_test.cc.o.d"
+  "/root/repo/tests/common/table_test.cc" "tests/common/CMakeFiles/test_common.dir/table_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/table_test.cc.o.d"
+  "/root/repo/tests/common/units_test.cc" "tests/common/CMakeFiles/test_common.dir/units_test.cc.o" "gcc" "tests/common/CMakeFiles/test_common.dir/units_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

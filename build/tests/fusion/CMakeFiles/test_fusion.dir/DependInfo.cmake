@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fusion/calcparams_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/calcparams_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/calcparams_test.cc.o.d"
+  "/root/repo/tests/fusion/fused_executor_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/fused_executor_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/fused_executor_test.cc.o.d"
+  "/root/repo/tests/fusion/line_buffer_executor_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/line_buffer_executor_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/line_buffer_executor_test.cc.o.d"
+  "/root/repo/tests/fusion/plan_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/plan_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/plan_test.cc.o.d"
+  "/root/repo/tests/fusion/recompute_executor_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/recompute_executor_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/recompute_executor_test.cc.o.d"
+  "/root/repo/tests/fusion/span_test.cc" "tests/fusion/CMakeFiles/test_fusion.dir/span_test.cc.o" "gcc" "tests/fusion/CMakeFiles/test_fusion.dir/span_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fusion.dir/calcparams_test.cc.o"
+  "CMakeFiles/test_fusion.dir/calcparams_test.cc.o.d"
+  "CMakeFiles/test_fusion.dir/fused_executor_test.cc.o"
+  "CMakeFiles/test_fusion.dir/fused_executor_test.cc.o.d"
+  "CMakeFiles/test_fusion.dir/line_buffer_executor_test.cc.o"
+  "CMakeFiles/test_fusion.dir/line_buffer_executor_test.cc.o.d"
+  "CMakeFiles/test_fusion.dir/plan_test.cc.o"
+  "CMakeFiles/test_fusion.dir/plan_test.cc.o.d"
+  "CMakeFiles/test_fusion.dir/recompute_executor_test.cc.o"
+  "CMakeFiles/test_fusion.dir/recompute_executor_test.cc.o.d"
+  "CMakeFiles/test_fusion.dir/span_test.cc.o"
+  "CMakeFiles/test_fusion.dir/span_test.cc.o.d"
+  "test_fusion"
+  "test_fusion.pdb"
+  "test_fusion[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/end_to_end_test.cc" "tests/integration/CMakeFiles/test_integration.dir/end_to_end_test.cc.o" "gcc" "tests/integration/CMakeFiles/test_integration.dir/end_to_end_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/hls/CMakeFiles/flcnn_hls.dir/DependInfo.cmake"
+  "/root/repo/build/src/accel/CMakeFiles/flcnn_accel.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/flcnn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/model/balance_test.cc" "tests/model/CMakeFiles/test_model.dir/balance_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/balance_test.cc.o.d"
+  "/root/repo/tests/model/baseline_test.cc" "tests/model/CMakeFiles/test_model.dir/baseline_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/model/energy_test.cc" "tests/model/CMakeFiles/test_model.dir/energy_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/energy_test.cc.o.d"
+  "/root/repo/tests/model/explorer_test.cc" "tests/model/CMakeFiles/test_model.dir/explorer_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/explorer_test.cc.o.d"
+  "/root/repo/tests/model/pareto_test.cc" "tests/model/CMakeFiles/test_model.dir/pareto_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/pareto_test.cc.o.d"
+  "/root/repo/tests/model/partition_test.cc" "tests/model/CMakeFiles/test_model.dir/partition_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/partition_test.cc.o.d"
+  "/root/repo/tests/model/recompute_test.cc" "tests/model/CMakeFiles/test_model.dir/recompute_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/recompute_test.cc.o.d"
+  "/root/repo/tests/model/resource_test.cc" "tests/model/CMakeFiles/test_model.dir/resource_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/resource_test.cc.o.d"
+  "/root/repo/tests/model/storage_test.cc" "tests/model/CMakeFiles/test_model.dir/storage_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/storage_test.cc.o.d"
+  "/root/repo/tests/model/transfer_test.cc" "tests/model/CMakeFiles/test_model.dir/transfer_test.cc.o" "gcc" "tests/model/CMakeFiles/test_model.dir/transfer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fusion/CMakeFiles/flcnn_fusion.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/flcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/flcnn_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/flcnn_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/flcnn_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/flcnn_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

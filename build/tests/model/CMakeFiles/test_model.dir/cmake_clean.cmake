@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_model.dir/balance_test.cc.o"
+  "CMakeFiles/test_model.dir/balance_test.cc.o.d"
+  "CMakeFiles/test_model.dir/baseline_test.cc.o"
+  "CMakeFiles/test_model.dir/baseline_test.cc.o.d"
+  "CMakeFiles/test_model.dir/energy_test.cc.o"
+  "CMakeFiles/test_model.dir/energy_test.cc.o.d"
+  "CMakeFiles/test_model.dir/explorer_test.cc.o"
+  "CMakeFiles/test_model.dir/explorer_test.cc.o.d"
+  "CMakeFiles/test_model.dir/pareto_test.cc.o"
+  "CMakeFiles/test_model.dir/pareto_test.cc.o.d"
+  "CMakeFiles/test_model.dir/partition_test.cc.o"
+  "CMakeFiles/test_model.dir/partition_test.cc.o.d"
+  "CMakeFiles/test_model.dir/recompute_test.cc.o"
+  "CMakeFiles/test_model.dir/recompute_test.cc.o.d"
+  "CMakeFiles/test_model.dir/resource_test.cc.o"
+  "CMakeFiles/test_model.dir/resource_test.cc.o.d"
+  "CMakeFiles/test_model.dir/storage_test.cc.o"
+  "CMakeFiles/test_model.dir/storage_test.cc.o.d"
+  "CMakeFiles/test_model.dir/transfer_test.cc.o"
+  "CMakeFiles/test_model.dir/transfer_test.cc.o.d"
+  "test_model"
+  "test_model.pdb"
+  "test_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn.dir/layer_test.cc.o"
+  "CMakeFiles/test_nn.dir/layer_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/network_test.cc.o"
+  "CMakeFiles/test_nn.dir/network_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/reference_test.cc.o"
+  "CMakeFiles/test_nn.dir/reference_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/weights_test.cc.o"
+  "CMakeFiles/test_nn.dir/weights_test.cc.o.d"
+  "CMakeFiles/test_nn.dir/zoo_test.cc.o"
+  "CMakeFiles/test_nn.dir/zoo_test.cc.o.d"
+  "test_nn"
+  "test_nn.pdb"
+  "test_nn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
