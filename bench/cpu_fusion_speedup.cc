@@ -14,11 +14,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <chrono>
-#include <functional>
 #include <cstdio>
+#include <cstring>
+#include <functional>
+#include <vector>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "fusion/line_buffer_executor.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
@@ -104,13 +108,112 @@ timeOnce(const std::function<Tensor()> &fn, Tensor *out)
     return std::chrono::duration<double>(t1 - t0).count();
 }
 
+/** The VGG-E first-five-conv fused pyramid (the paper's Table II
+ *  configuration) at a configurable spatial scale. */
+Network
+vggFive(int hw)
+{
+    Network net("vggE-first5", Shape{3, hw, hw});
+    net.addConvBlock("conv1_1", 64, 3, 1, 1);
+    net.addConvBlock("conv1_2", 64, 3, 1, 1);
+    net.addMaxPool("pool1", 2, 2);
+    net.addConvBlock("conv2_1", 128, 3, 1, 1);
+    net.addConvBlock("conv2_2", 128, 3, 1, 1);
+    net.addMaxPool("pool2", 2, 2);
+    net.addConvBlock("conv3_1", 256, 3, 1, 1);
+    return net;
+}
+
+/** Sweep thread counts over the fused VGG-E pyramid and the
+ *  layer-by-layer reference; returns false on any output mismatch. */
+bool
+vggThreadSweep(int scale, int configured_threads)
+{
+    std::printf("\n== Threaded execution: VGG-E first five convolution "
+                "layers, %dx%d input ==\n",
+                scale, scale);
+    Network net = vggFive(scale);
+    Rng wrng(5);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(6);
+    input.fillRandom(irng);
+    const int last = net.numLayers() - 1;
+
+    std::vector<int> counts{1, 2, 4, 8};
+    if (std::find(counts.begin(), counts.end(), configured_threads) ==
+        counts.end())
+        counts.push_back(configured_threads);
+
+    Tensor ref;
+    double ref_1t = 0.0, fused_1t = 0.0;
+    bool match = true;
+    Table t({"executor", "threads", "seconds", "speedup vs 1 thread",
+             "max abs diff"});
+    for (int threads : counts) {
+        ThreadPool::setGlobalThreads(threads);
+
+        Tensor a;
+        double s_ref = timeOnce(
+            [&] { return runRange(net, weights, input, 0, last); }, &a);
+        if (threads == 1) {
+            ref = a;
+            ref_1t = s_ref;
+        }
+        CompareResult ra = compareTensors(ref, a);
+        match = match && ra.match;
+        t.addRow({"layer-by-layer", std::to_string(threads),
+                  fmtF(s_ref, 2), fmtF(ref_1t / s_ref, 2) + "x",
+                  fmtF(ra.maxAbsDiff, 1)});
+
+        LineBufferExecutor exec(net, weights, 0, last, 8);
+        Tensor b;
+        double s_fused =
+            timeOnce([&] { return exec.run(input); }, &b);
+        if (threads == 1)
+            fused_1t = s_fused;
+        CompareResult rb = compareTensors(ref, b);
+        match = match && rb.match;
+        t.addRow({"fused line-buffer", std::to_string(threads),
+                  fmtF(s_fused, 2), fmtF(fused_1t / s_fused, 2) + "x",
+                  fmtF(rb.maxAbsDiff, 1)});
+    }
+    t.print();
+    std::printf("outputs %s across all thread counts "
+                "(static-partition pool, canonical summation order)\n",
+                match ? "bit-identical" : "MISMATCHED");
+    ThreadPool::setGlobalThreads(configured_threads);
+    return match;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    // Strip our knobs before google-benchmark parses the rest.
+    int threads = 0;      // 0 = FLCNN_THREADS or hardware concurrency
+    int vgg_scale = 112;  // 224 reproduces the paper's full input
+    int keep = 1;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
+            threads = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--vgg-scale") == 0 &&
+                   a + 1 < argc) {
+            vgg_scale = std::atoi(argv[++a]);
+        } else {
+            argv[keep++] = argv[a];
+        }
+    }
+    argc = keep;
+    ThreadPool::setGlobalThreads(threads);
+    const int active = ThreadPool::global().numThreads();
+
     std::printf("== Section VI-C: CPU layer-fusion speedup, AlexNet "
-                "first two conv layers ==\n\n");
+                "first two conv layers ==\n");
+    std::printf("threads: %d (override with --threads N or "
+                "FLCNN_THREADS)\n\n",
+                active);
     benchmark::Initialize(&argc, argv);
     benchmark::RunSpecifiedBenchmarks();
     benchmark::Shutdown();
@@ -161,5 +264,7 @@ main(int argc, char **argv)
                 "bounded; row blocking removes the fused schedule's\n"
                 "weight-restreaming penalty.\n",
                 match ? "bit-identical" : "MISMATCHED");
-    return match ? 0 : 1;
+
+    bool vgg_match = vggThreadSweep(vgg_scale, active);
+    return match && vgg_match ? 0 : 1;
 }

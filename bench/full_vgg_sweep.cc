@@ -12,8 +12,10 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "model/pareto.hh"
 #include "model/storage.hh"
@@ -62,22 +64,31 @@ sweep(const Network &net, bool with_weights)
         }
     }
 
-    std::vector<DesignPoint> pts;
-    int64_t count = 0;
-    forEachPartition(stages, [&](const Partition &p) {
-        count++;
-        DesignPoint d;
-        for (const StageGroup &g : p) {
-            d.storageBytes +=
-                gcost[static_cast<size_t>(g.firstStage)]
-                     [static_cast<size_t>(g.lastStage)];
-            d.transferBytes +=
-                gxfer[static_cast<size_t>(g.firstStage)]
-                     [static_cast<size_t>(g.lastStage)];
-        }
-        d.partition = p;
-        pts.push_back(std::move(d));
-    });
+    // Partition the mask space into contiguous per-thread ranges; each
+    // point lands at its enumeration index, so the sweep is identical
+    // to a serial run at any thread count.
+    const int64_t count = countPartitions(stages);
+    std::vector<DesignPoint> pts(static_cast<size_t>(count));
+    parallelFor(
+        0, count,
+        [&](int64_t lo, int64_t hi) {
+            forEachPartitionRange(
+                stages, lo, hi,
+                [&](int64_t mask, const Partition &p) {
+                    DesignPoint d;
+                    for (const StageGroup &g : p) {
+                        d.storageBytes +=
+                            gcost[static_cast<size_t>(g.firstStage)]
+                                 [static_cast<size_t>(g.lastStage)];
+                        d.transferBytes +=
+                            gxfer[static_cast<size_t>(g.firstStage)]
+                                 [static_cast<size_t>(g.lastStage)];
+                    }
+                    d.partition = p;
+                    pts[static_cast<size_t>(mask)] = std::move(d);
+                });
+        },
+        /*grain=*/1024);
     SweepResult res;
     res.front = paretoFront(std::move(pts));
     res.points = count;
@@ -90,15 +101,24 @@ sweep(const Network &net, bool with_weights)
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    int threads = 0;  // 0 = FLCNN_THREADS or hardware concurrency
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+            threads = std::atoi(argv[++a]);
+    }
+    ThreadPool::setGlobalThreads(threads);
+
     std::printf("== Extension: full VGGNet-E design space (all 21 "
                 "stages) ==\n\n");
     Network net = vggE();
-    std::printf("network: %s, %zu fusable stages, %lld partitions\n\n",
+    std::printf("network: %s, %zu fusable stages, %lld partitions, "
+                "%d threads\n\n",
                 net.name().c_str(), net.stages().size(),
                 static_cast<long long>(countPartitions(
-                    static_cast<int>(net.stages().size()))));
+                    static_cast<int>(net.stages().size()))),
+                ThreadPool::global().numThreads());
 
     SweepResult plain = sweep(net, false);
     std::printf("reuse-buffer cost only: %lld partitions in %.1f s, "

@@ -5,9 +5,10 @@
  * verify bit-identical outputs, and report what each design costs.
  *
  * Usage:
- *   fused_inference [alexnet | vgg <num_convs>] [--fps N]
+ *   fused_inference [alexnet | vgg <num_convs>] [--fps N] [--threads N]
  *
- * Defaults to the paper's headline configuration (VGG-E, 5 convs).
+ * Defaults to the paper's headline configuration (VGG-E, 5 convs) and
+ * FLCNN_THREADS (or all hardware threads) for the host-side executors.
  */
 
 #include <cstdio>
@@ -19,6 +20,7 @@
 #include "accel/fused_accel.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "nn/zoo.hh"
 #include "tensor/compare.hh"
@@ -40,6 +42,9 @@ main(int argc, char **argv)
                 convs = std::atoi(argv[++a]);
         } else if (std::strcmp(argv[a], "--fps") == 0 && a + 1 < argc) {
             fps = std::atof(argv[++a]);
+        } else if (std::strcmp(argv[a], "--threads") == 0 &&
+                   a + 1 < argc) {
+            ThreadPool::setGlobalThreads(std::atoi(argv[++a]));
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }
@@ -48,8 +53,9 @@ main(int argc, char **argv)
     Network net =
         which == "alexnet" ? alexnetFusedPrefix() : vggEPrefix(convs);
     const int last = net.stages().back().last;
-    std::printf("network: %s (fusing layers 0..%d)\n", net.name().c_str(),
-                last);
+    std::printf("network: %s (fusing layers 0..%d, %d host threads)\n",
+                net.name().c_str(), last,
+                ThreadPool::global().numThreads());
 
     Rng rng(7);
     NetworkWeights weights(net, rng);

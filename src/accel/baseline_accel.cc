@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/thread_pool.hh"
 #include "model/resource.hh"
 #include "nn/reference.hh"
 #include "sim/double_buffer.hh"
@@ -99,27 +100,40 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
 
                         // Accumulate: canonical (n, i, j) order per
                         // output point, so results match the reference
-                        // bit-exactly.
-                        for (int dm = 0; dm < tmm; dm++) {
-                            int m = g * m_per_group + m0 + dm;
-                            for (int r = 0; r < trr; r++) {
-                                for (int c = 0; c < tcc; c++) {
-                                    float acc = out(m, row + r, col + c);
-                                    for (int dn = 0; dn < tnn; dn++) {
-                                        for (int i = 0; i < k; i++) {
-                                            for (int j = 0; j < k; j++) {
-                                                acc += fb.w(m, n0 + dn,
-                                                            i, j) *
-                                                       in_tile(dn,
-                                                               r * s + i,
-                                                               c * s + j);
+                        // bit-exactly. Each (dm, r) work item owns one
+                        // output row segment; the serial n0 loop above
+                        // is a barrier between input-channel blocks.
+                        parallelFor(
+                            0, static_cast<int64_t>(tmm) * trr,
+                            [&](int64_t wlo, int64_t whi) {
+                                for (int64_t w = wlo; w < whi; w++) {
+                                    const int dm =
+                                        static_cast<int>(w / trr);
+                                    const int r =
+                                        static_cast<int>(w % trr);
+                                    int m = g * m_per_group + m0 + dm;
+                                    for (int c = 0; c < tcc; c++) {
+                                        float acc =
+                                            out(m, row + r, col + c);
+                                        for (int dn = 0; dn < tnn;
+                                             dn++) {
+                                            for (int i = 0; i < k; i++) {
+                                                for (int j = 0; j < k;
+                                                     j++) {
+                                                    acc +=
+                                                        fb.w(m, n0 + dn,
+                                                             i, j) *
+                                                        in_tile(
+                                                            dn,
+                                                            r * s + i,
+                                                            c * s + j);
+                                                }
                                             }
                                         }
+                                        out(m, row + r, col + c) = acc;
                                     }
-                                    out(m, row + r, col + c) = acc;
                                 }
-                            }
-                        }
+                            });
                         // The engine occupies Tm x Tn lanes for the full
                         // tile regardless of ragged edges (ceil model).
                         ph.compute +=

@@ -19,6 +19,19 @@ ceilDiv(int64_t a, int64_t b)
     return (a + b - 1) / b;
 }
 
+/**
+ * ceil(a * b / c) for non-negative @p a, positive @p b and @p c, with a
+ * 128-bit intermediate product so large operands (e.g. multi-GB
+ * transfer sizes scaled by a rational bandwidth) neither overflow nor
+ * lose precision the way double arithmetic does above 2^52.
+ */
+constexpr int64_t
+ceilMulDiv(int64_t a, int64_t b, int64_t c)
+{
+    return static_cast<int64_t>(
+        (static_cast<__int128>(a) * b + c - 1) / c);
+}
+
 /** Round @p a up to the nearest multiple of @p b. */
 constexpr int64_t
 alignUp(int64_t a, int64_t b)

@@ -1,0 +1,166 @@
+#include "common/thread_pool.hh"
+
+#include <cstdlib>
+#include <memory>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+namespace {
+
+/** True while the current thread is executing a parallelFor chunk;
+ *  nested parallelFor calls run inline instead of re-entering the pool
+ *  (which would deadlock a worker waiting on itself). */
+thread_local bool in_parallel_region = false;
+
+/** Chunk t of [begin, end) among nchunks static chunks. */
+void
+chunkBounds(int64_t begin, int64_t end, int t, int nchunks, int64_t *lo,
+            int64_t *hi)
+{
+    const int64_t n = end - begin;
+    *lo = begin + n * t / nchunks;
+    *hi = begin + n * (t + 1) / nchunks;
+}
+
+std::unique_ptr<ThreadPool> global_pool;
+std::mutex global_mu;
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : nthreads(num_threads > 0 ? num_threads : defaultThreads())
+{
+    workers.reserve(static_cast<size_t>(nthreads - 1));
+    for (int t = 1; t < nthreads; t++)
+        workers.emplace_back([this, t] { workerLoop(t); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        stopping = true;
+    }
+    cvWork.notify_all();
+    for (std::thread &w : workers)
+        w.join();
+}
+
+void
+ThreadPool::runChunk(const RangeFn &body, int64_t begin, int64_t end,
+                     int tid, int nchunks)
+{
+    int64_t lo, hi;
+    chunkBounds(begin, end, tid, nchunks, &lo, &hi);
+    if (lo >= hi)
+        return;
+    const bool saved = in_parallel_region;
+    in_parallel_region = true;
+    body(lo, hi);
+    in_parallel_region = saved;
+}
+
+void
+ThreadPool::workerLoop(int tid)
+{
+    uint64_t seen = 0;
+    for (;;) {
+        const RangeFn *body;
+        int64_t begin, end;
+        int nchunks;
+        {
+            std::unique_lock<std::mutex> lk(mu);
+            cvWork.wait(lk, [&] {
+                return stopping || generation != seen;
+            });
+            if (stopping)
+                return;
+            seen = generation;
+            body = fn;
+            begin = jobBegin;
+            end = jobEnd;
+            nchunks = jobChunks;
+        }
+        if (tid < nchunks)
+            runChunk(*body, begin, end, tid, nchunks);
+        {
+            std::lock_guard<std::mutex> lk(mu);
+            pending--;
+        }
+        cvDone.notify_one();
+    }
+}
+
+void
+ThreadPool::parallelFor(int64_t begin, int64_t end, const RangeFn &body,
+                        int64_t grain)
+{
+    if (end <= begin)
+        return;
+    FLCNN_ASSERT(grain >= 1, "grain must be positive");
+    const int64_t n = end - begin;
+    // Deterministic width: enough threads that each chunk holds at
+    // least `grain` indices (a function of n only, never of timing).
+    int width = static_cast<int>(
+        std::min<int64_t>(nthreads, (n + grain - 1) / grain));
+    if (width <= 1 || in_parallel_region) {
+        const bool saved = in_parallel_region;
+        in_parallel_region = true;
+        body(begin, end);
+        in_parallel_region = saved;
+        return;
+    }
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        fn = &body;
+        jobBegin = begin;
+        jobEnd = end;
+        jobChunks = width;
+        pending = nthreads - 1;  // every worker acknowledges the job
+        generation++;
+    }
+    cvWork.notify_all();
+    runChunk(body, begin, end, 0, width);
+    std::unique_lock<std::mutex> lk(mu);
+    cvDone.wait(lk, [&] { return pending == 0; });
+    fn = nullptr;
+}
+
+int
+ThreadPool::defaultThreads()
+{
+    if (const char *env = std::getenv("FLCNN_THREADS")) {
+        int v = std::atoi(env);
+        if (v > 0)
+            return v;
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    std::lock_guard<std::mutex> lk(global_mu);
+    if (!global_pool)
+        global_pool = std::make_unique<ThreadPool>();
+    return *global_pool;
+}
+
+void
+ThreadPool::setGlobalThreads(int num_threads)
+{
+    std::lock_guard<std::mutex> lk(global_mu);
+    global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+void
+parallelFor(int64_t begin, int64_t end, const ThreadPool::RangeFn &fn,
+            int64_t grain)
+{
+    ThreadPool::global().parallelFor(begin, end, fn, grain);
+}
+
+} // namespace flcnn

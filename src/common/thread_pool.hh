@@ -1,0 +1,99 @@
+/**
+ * @file
+ * A deterministic, work-stealing-free thread pool.
+ *
+ * The host-side executors validate the paper's fused designs by running
+ * real arithmetic; parallelFor() lets them use every core without
+ * giving up bit-exactness. A range [begin, end) is split into one
+ * contiguous chunk per thread by *static* partitioning — the chunk
+ * boundaries depend only on the range and the thread count, never on
+ * timing — and each index is processed by exactly one thread. Callers
+ * that keep per-index work independent (every executor in this repo
+ * writes disjoint output elements and leaves the per-pixel summation
+ * order untouched) therefore produce outputs that are bit-identical to
+ * a serial run at every thread count.
+ *
+ * The thread count comes from, in order: an explicit constructor
+ * argument, the FLCNN_THREADS environment variable, and
+ * std::thread::hardware_concurrency().
+ */
+
+#ifndef FLCNN_COMMON_THREAD_POOL_HH
+#define FLCNN_COMMON_THREAD_POOL_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace flcnn {
+
+class ThreadPool
+{
+  public:
+    /** Body invoked once per non-empty chunk with [chunk_begin,
+     *  chunk_end). */
+    using RangeFn = std::function<void(int64_t, int64_t)>;
+
+    /** @param num_threads pool width; 0 means defaultThreads(). */
+    explicit ThreadPool(int num_threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    int numThreads() const { return nthreads; }
+
+    /**
+     * Run @p fn over [begin, end) split into numThreads() contiguous
+     * chunks (chunk t is [begin + n*t/T, begin + n*(t+1)/T)); the
+     * calling thread executes chunk 0 and blocks until every chunk is
+     * done. Ranges smaller than @p grain indices per thread use fewer
+     * threads (still deterministically); nested calls from inside a
+     * pool worker run inline to avoid deadlock.
+     */
+    void parallelFor(int64_t begin, int64_t end, const RangeFn &fn,
+                     int64_t grain = 1);
+
+    /** FLCNN_THREADS if set to a positive integer, else
+     *  hardware_concurrency() (at least 1). */
+    static int defaultThreads();
+
+    /** The process-wide pool used by the executors. Constructed on
+     *  first use with defaultThreads(). */
+    static ThreadPool &global();
+
+    /** Rebuild the global pool with @p num_threads (0 = default).
+     *  Call from the main thread before running executors; the bench
+     *  --threads knobs go through here. */
+    static void setGlobalThreads(int num_threads);
+
+  private:
+    void workerLoop(int tid);
+    void runChunk(const RangeFn &fn, int64_t begin, int64_t end, int tid,
+                  int nchunks);
+
+    int nthreads;
+    std::vector<std::thread> workers;
+
+    std::mutex mu;
+    std::condition_variable cvWork;
+    std::condition_variable cvDone;
+    const RangeFn *fn = nullptr;
+    int64_t jobBegin = 0;
+    int64_t jobEnd = 0;
+    int jobChunks = 0;     //!< threads participating in the current job
+    uint64_t generation = 0;
+    int pending = 0;
+    bool stopping = false;
+};
+
+/** parallelFor on the global pool (the executors' entry point). */
+void parallelFor(int64_t begin, int64_t end,
+                 const ThreadPool::RangeFn &fn, int64_t grain = 1);
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_THREAD_POOL_HH

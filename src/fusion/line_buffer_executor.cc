@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace flcnn {
 
@@ -81,62 +82,79 @@ LineBufferExecutor::drain(int li, Tensor &output)
                 weights.bank(net.convSlot(first + li));
             const int n_per_group = fb.numChannels();
             const int m_per_group = out.c / spec.groups;
-            for (int m = 0; m < out.c; m++) {
-                const int n_base = (m / m_per_group) * n_per_group;
-                for (int b = 0; b < batch; b++) {
-                    const int oy = oy0 + b;
-                    float *dst = st.blockBuf.data() +
-                                 static_cast<size_t>(b) * row_elems +
-                                 static_cast<size_t>(m) * out.w;
-                    for (int ox = 0; ox < out.w; ox++) {
-                        // Canonical summation order (bias, n, i, j) so
-                        // results are bit-identical to the reference.
-                        float acc = fb.bias(m);
-                        for (int n = 0; n < n_per_group; n++) {
-                            for (int i = 0; i < k; i++) {
-                                const int ry = (oy * s + i) % cap;
-                                const float *wrow = fb.wRow(m, n, i);
-                                const float *rrow = st.ring.rowPtr(
-                                    n_base + n, ry, ox * s);
-                                for (int j = 0; j < k; j++)
-                                    acc += wrow[j] * rrow[j];
+            // Each (m, b) pair owns a disjoint output row segment; the
+            // per-pixel summation order below is untouched, so the
+            // result is bit-identical at every thread count.
+            parallelFor(
+                0, static_cast<int64_t>(out.c) * batch,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t w = lo; w < hi; w++) {
+                        const int m = static_cast<int>(w / batch);
+                        const int b = static_cast<int>(w % batch);
+                        const int n_base =
+                            (m / m_per_group) * n_per_group;
+                        const int oy = oy0 + b;
+                        float *dst = st.blockBuf.data() +
+                                     static_cast<size_t>(b) * row_elems +
+                                     static_cast<size_t>(m) * out.w;
+                        for (int ox = 0; ox < out.w; ox++) {
+                            // Canonical summation order (bias, n, i, j)
+                            // so results are bit-identical to the
+                            // reference.
+                            float acc = fb.bias(m);
+                            for (int n = 0; n < n_per_group; n++) {
+                                for (int i = 0; i < k; i++) {
+                                    const int ry = (oy * s + i) % cap;
+                                    const float *wrow = fb.wRow(m, n, i);
+                                    const float *rrow = st.ring.rowPtr(
+                                        n_base + n, ry, ox * s);
+                                    for (int j = 0; j < k; j++)
+                                        acc += wrow[j] * rrow[j];
+                                }
                             }
+                            dst[ox] = acc;
                         }
-                        dst[ox] = acc;
                     }
-                }
-            }
+                });
             int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
             curStats.ops.mults += taps * row_elems * batch;
             curStats.ops.adds += taps * row_elems * batch;
         } else {
-            for (int b = 0; b < batch; b++) {
-                const int oy = oy0 + b;
-                float *dst = st.blockBuf.data() +
-                             static_cast<size_t>(b) * row_elems;
-                for (int ch = 0; ch < out.c; ch++) {
-                    for (int ox = 0; ox < out.w; ox++) {
-                        float acc =
-                            (spec.poolMode == PoolMode::Max)
-                                ? st.ring(ch, (oy * s) % cap, ox * s)
-                                : 0.0f;
-                        for (int i = 0; i < k; i++) {
-                            const int ry = (oy * s + i) % cap;
-                            for (int j = 0; j < k; j++) {
-                                float v =
-                                    st.ring(ch, ry, ox * s + j);
-                                if (spec.poolMode == PoolMode::Max)
-                                    acc = std::max(acc, v);
-                                else
-                                    acc += v;
+            // Disjoint (b, ch) output rows, window order untouched.
+            parallelFor(
+                0, static_cast<int64_t>(batch) * out.c,
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t w = lo; w < hi; w++) {
+                        const int b = static_cast<int>(w / out.c);
+                        const int ch = static_cast<int>(w % out.c);
+                        const int oy = oy0 + b;
+                        float *dst =
+                            st.blockBuf.data() +
+                            static_cast<size_t>(b) * row_elems +
+                            static_cast<size_t>(ch) * out.w;
+                        for (int ox = 0; ox < out.w; ox++) {
+                            float acc =
+                                (spec.poolMode == PoolMode::Max)
+                                    ? st.ring(ch, (oy * s) % cap, ox * s)
+                                    : 0.0f;
+                            for (int i = 0; i < k; i++) {
+                                const int ry = (oy * s + i) % cap;
+                                for (int j = 0; j < k; j++) {
+                                    float v =
+                                        st.ring(ch, ry, ox * s + j);
+                                    if (spec.poolMode == PoolMode::Max)
+                                        acc = std::max(acc, v);
+                                    else
+                                        acc += v;
+                                }
                             }
+                            if (spec.poolMode == PoolMode::Avg)
+                                acc /= static_cast<float>(k * k);
+                            dst[ox] = acc;
                         }
-                        if (spec.poolMode == PoolMode::Avg)
-                            acc /= static_cast<float>(k * k);
-                        dst[static_cast<size_t>(ch) * out.w + ox] = acc;
                     }
-                }
-            }
+                },
+                /*grain=*/2);
             int64_t win =
                 static_cast<int64_t>(k) * k * row_elems * batch;
             if (spec.poolMode == PoolMode::Max)

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 
 namespace flcnn {
 
@@ -60,32 +61,62 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
     switch (spec.kind) {
       case LayerKind::Conv: {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
-        for (int m = 0; m < g.outPlane.c; m++) {
-            for (int gy = oy.begin; gy < oy.end; gy++) {
-                for (int gx = ox.begin; gx < ox.end; gx++) {
-                    out(m, gy - oy.begin, gx - ox.begin) = convPoint(
-                        src, fb, m, gy * spec.stride - sy.begin,
-                        gx * spec.stride - sx.begin, spec.groups,
-                        spec.outChannels, &curStats.ops);
+        const int oh = oy.width();
+        // One (m, row) pair per work item; op counts are tallied
+        // analytically below so the parallel region stays race-free.
+        parallelFor(
+            0, static_cast<int64_t>(g.outPlane.c) * oh,
+            [&](int64_t wlo, int64_t whi) {
+                for (int64_t w = wlo; w < whi; w++) {
+                    const int m = static_cast<int>(w / oh);
+                    const int gy =
+                        oy.begin + static_cast<int>(w % oh);
+                    for (int gx = ox.begin; gx < ox.end; gx++) {
+                        out(m, gy - oy.begin, gx - ox.begin) = convPoint(
+                            src, fb, m, gy * spec.stride - sy.begin,
+                            gx * spec.stride - sx.begin, spec.groups,
+                            spec.outChannels, nullptr);
+                    }
                 }
-            }
-        }
+            });
+        int64_t taps = static_cast<int64_t>(fb.numChannels()) *
+                       spec.kernel * spec.kernel;
+        int64_t points =
+            static_cast<int64_t>(g.outPlane.c) * oh * ox.width();
+        curStats.ops.mults += taps * points;
+        curStats.ops.adds += taps * points;
         break;
       }
-      case LayerKind::Pool:
-        for (int ch = 0; ch < g.outPlane.c; ch++) {
-            for (int gy = oy.begin; gy < oy.end; gy++) {
-                for (int gx = ox.begin; gx < ox.end; gx++) {
-                    out(ch, gy - oy.begin, gx - ox.begin) = poolPoint(
-                        src, ch, gy * spec.stride - sy.begin,
-                        gx * spec.stride - sx.begin, spec.kernel,
-                        spec.poolMode, &curStats.ops);
+      case LayerKind::Pool: {
+        const int oh = oy.width();
+        parallelFor(
+            0, static_cast<int64_t>(g.outPlane.c) * oh,
+            [&](int64_t wlo, int64_t whi) {
+                for (int64_t w = wlo; w < whi; w++) {
+                    const int ch = static_cast<int>(w / oh);
+                    const int gy =
+                        oy.begin + static_cast<int>(w % oh);
+                    for (int gx = ox.begin; gx < ox.end; gx++) {
+                        out(ch, gy - oy.begin, gx - ox.begin) = poolPoint(
+                            src, ch, gy * spec.stride - sy.begin,
+                            gx * spec.stride - sx.begin, spec.kernel,
+                            spec.poolMode, nullptr);
+                    }
                 }
-            }
-        }
+            },
+            /*grain=*/2);
+        int64_t win = static_cast<int64_t>(spec.kernel) * spec.kernel;
+        int64_t points =
+            static_cast<int64_t>(g.outPlane.c) * oh * ox.width();
+        if (spec.poolMode == PoolMode::Max)
+            curStats.ops.compares += win * points;
+        else
+            curStats.ops.adds += win * points;
         break;
+      }
       case LayerKind::Pad:
-        for (int ch = 0; ch < g.outPlane.c; ch++) {
+        parallelFor(0, g.outPlane.c, [&](int64_t clo, int64_t chi) {
+        for (int ch = static_cast<int>(clo); ch < chi; ch++) {
             for (int gy = oy.begin; gy < oy.end; gy++) {
                 for (int gx = ox.begin; gx < ox.end; gx++) {
                     int py = gy - spec.pad, px = gx - spec.pad;
@@ -97,9 +128,11 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                 }
             }
         }
+        }, /*grain=*/2);
         break;
       case LayerKind::ReLU:
-        for (int ch = 0; ch < g.outPlane.c; ch++) {
+        parallelFor(0, g.outPlane.c, [&](int64_t clo, int64_t chi) {
+        for (int ch = static_cast<int>(clo); ch < chi; ch++) {
             for (int gy = oy.begin; gy < oy.end; gy++) {
                 for (int gx = ox.begin; gx < ox.end; gx++) {
                     out(ch, gy - oy.begin, gx - ox.begin) = std::max(
@@ -108,30 +141,49 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                 }
             }
         }
+        }, /*grain=*/2);
         curStats.ops.compares +=
             static_cast<int64_t>(g.outPlane.c) * oy.width() * ox.width();
         break;
       case LayerKind::LRN: {
         const int half = spec.lrnSize / 2;
-        for (int gy = oy.begin; gy < oy.end; gy++) {
-            for (int gx = ox.begin; gx < ox.end; gx++) {
-                for (int ch = 0; ch < g.outPlane.c; ch++) {
-                    float sum = 0.0f;
-                    int lo = std::max(0, ch - half);
-                    int hi = std::min(g.outPlane.c - 1, ch + half);
-                    for (int j = lo; j <= hi; j++) {
-                        float v = src(j, gy - sy.begin, gx - sx.begin);
-                        sum += v * v;
+        parallelFor(
+            oy.begin, oy.end,
+            [&](int64_t ylo, int64_t yhi) {
+                for (int gy = static_cast<int>(ylo); gy < yhi; gy++) {
+                    for (int gx = ox.begin; gx < ox.end; gx++) {
+                        for (int ch = 0; ch < g.outPlane.c; ch++) {
+                            float sum = 0.0f;
+                            int lo = std::max(0, ch - half);
+                            int hi =
+                                std::min(g.outPlane.c - 1, ch + half);
+                            for (int j = lo; j <= hi; j++) {
+                                float v = src(j, gy - sy.begin,
+                                              gx - sx.begin);
+                                sum += v * v;
+                            }
+                            float denom = std::pow(
+                                2.0f +
+                                    static_cast<float>(spec.lrnAlpha) *
+                                        sum,
+                                static_cast<float>(spec.lrnBeta));
+                            out(ch, gy - oy.begin, gx - ox.begin) =
+                                src(ch, gy - sy.begin, gx - sx.begin) /
+                                denom;
+                        }
                     }
-                    float denom = std::pow(
-                        2.0f + static_cast<float>(spec.lrnAlpha) * sum,
-                        static_cast<float>(spec.lrnBeta));
-                    out(ch, gy - oy.begin, gx - ox.begin) =
-                        src(ch, gy - sy.begin, gx - sx.begin) / denom;
-                    curStats.ops.mults += (hi - lo + 1) + 2;
-                    curStats.ops.adds += (hi - lo + 1) + 1;
                 }
-            }
+            },
+            /*grain=*/2);
+        // Same tally the per-point loop produced: the channel span is a
+        // function of ch alone.
+        for (int ch = 0; ch < g.outPlane.c; ch++) {
+            int lo = std::max(0, ch - half);
+            int hi = std::min(g.outPlane.c - 1, ch + half);
+            int64_t points =
+                static_cast<int64_t>(oy.width()) * ox.width();
+            curStats.ops.mults += ((hi - lo + 1) + 2) * points;
+            curStats.ops.adds += ((hi - lo + 1) + 1) * points;
         }
         break;
       }

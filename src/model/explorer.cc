@@ -1,6 +1,7 @@
 #include "model/explorer.hh"
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "model/recompute.hh"
 #include "model/storage.hh"
 #include "model/transfer.hh"
@@ -39,28 +40,39 @@ exploreFusionSpace(const Network &net, const ExploreOptions &opt)
     FLCNN_ASSERT(stages >= 1, "network has no fusable stages");
 
     ExplorationResult res;
-    for (Partition &p : enumeratePartitions(stages)) {
-        DesignPoint d;
-        d.transferBytes = partitionTransferBytes(net, p);
-        d.storageBytes =
-            partitionReuseStorageBytes(net, p, opt.exactStorage);
-        if (opt.includeWeightStorage) {
-            for (const StageGroup &g : p) {
-                if (g.size() <= 1)
-                    continue;
-                int first_layer, last_layer;
-                groupLayerRange(net, g, first_layer, last_layer);
-                d.storageBytes +=
-                    net.weightBytesInRange(first_layer, last_layer);
+    std::vector<Partition> parts = enumeratePartitions(stages);
+    res.points.resize(parts.size());
+    // Each of the 2^(l-1) partitions is priced independently; the
+    // points land at their enumeration index, so the result order (and
+    // every Pareto tie-break downstream) matches a serial sweep.
+    parallelFor(
+        0, static_cast<int64_t>(parts.size()),
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t i = lo; i < hi; i++) {
+                Partition &p = parts[static_cast<size_t>(i)];
+                DesignPoint d;
+                d.transferBytes = partitionTransferBytes(net, p);
+                d.storageBytes =
+                    partitionReuseStorageBytes(net, p, opt.exactStorage);
+                if (opt.includeWeightStorage) {
+                    for (const StageGroup &g : p) {
+                        if (g.size() <= 1)
+                            continue;
+                        int first_layer, last_layer;
+                        groupLayerRange(net, g, first_layer, last_layer);
+                        d.storageBytes += net.weightBytesInRange(
+                            first_layer, last_layer);
+                    }
+                }
+                if (opt.withRecompute) {
+                    d.extraOps =
+                        partitionPairwiseRecomputeExtraMultAdds(net, p);
+                }
+                d.partition = std::move(p);
+                res.points[static_cast<size_t>(i)] = std::move(d);
             }
-        }
-        if (opt.withRecompute) {
-            d.extraOps =
-                partitionPairwiseRecomputeExtraMultAdds(net, p);
-        }
-        d.partition = std::move(p);
-        res.points.push_back(std::move(d));
-    }
+        },
+        /*grain=*/4);
     res.front = paretoFront(res.points);
     return res;
 }

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/mathutil.hh"
+#include "common/thread_pool.hh"
 
 namespace flcnn {
 
@@ -74,14 +75,29 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
 {
     Shape out_shape = spec.outShape(in.shape());
     Tensor out(out_shape);
-    for (int m = 0; m < out_shape.c; m++) {
-        for (int y = 0; y < out_shape.h; y++) {
-            for (int x = 0; x < out_shape.w; x++) {
-                out(m, y, x) = convPoint(in, fb, m, y * spec.stride,
-                                         x * spec.stride, spec.groups,
-                                         spec.outChannels, ops);
+    // One (m, y) output row per work item: disjoint writes, and the
+    // per-point (bias, n, i, j) order inside convPoint is unchanged, so
+    // the result is bit-identical at every thread count. Op counts are
+    // tallied analytically to keep the parallel region race-free.
+    parallelFor(
+        0, static_cast<int64_t>(out_shape.c) * out_shape.h,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t w = lo; w < hi; w++) {
+                const int m = static_cast<int>(w / out_shape.h);
+                const int y = static_cast<int>(w % out_shape.h);
+                for (int x = 0; x < out_shape.w; x++) {
+                    out(m, y, x) = convPoint(in, fb, m, y * spec.stride,
+                                             x * spec.stride,
+                                             spec.groups,
+                                             spec.outChannels, nullptr);
+                }
             }
-        }
+        });
+    if (ops) {
+        int64_t taps = static_cast<int64_t>(fb.numChannels()) *
+                       fb.kernel() * fb.kernel();
+        ops->mults += taps * out_shape.elems();
+        ops->adds += taps * out_shape.elems();
     }
     return out;
 }
@@ -91,14 +107,27 @@ runPool(const LayerSpec &spec, const Tensor &in, OpCount *ops)
 {
     Shape out_shape = spec.outShape(in.shape());
     Tensor out(out_shape);
-    for (int c = 0; c < out_shape.c; c++) {
-        for (int y = 0; y < out_shape.h; y++) {
-            for (int x = 0; x < out_shape.w; x++) {
-                out(c, y, x) = poolPoint(in, c, y * spec.stride,
-                                         x * spec.stride, spec.kernel,
-                                         spec.poolMode, ops);
+    parallelFor(
+        0, static_cast<int64_t>(out_shape.c) * out_shape.h,
+        [&](int64_t lo, int64_t hi) {
+            for (int64_t w = lo; w < hi; w++) {
+                const int c = static_cast<int>(w / out_shape.h);
+                const int y = static_cast<int>(w % out_shape.h);
+                for (int x = 0; x < out_shape.w; x++) {
+                    out(c, y, x) = poolPoint(in, c, y * spec.stride,
+                                             x * spec.stride,
+                                             spec.kernel, spec.poolMode,
+                                             nullptr);
+                }
             }
-        }
+        },
+        /*grain=*/2);
+    if (ops) {
+        int64_t win = static_cast<int64_t>(spec.kernel) * spec.kernel;
+        if (spec.poolMode == PoolMode::Max)
+            ops->compares += win * out_shape.elems();
+        else
+            ops->adds += win * out_shape.elems();
     }
     return out;
 }
@@ -108,10 +137,15 @@ runRelu(const Tensor &in, OpCount *ops)
 {
     Tensor out(in.shape());
     const Shape &s = in.shape();
-    for (int c = 0; c < s.c; c++)
-        for (int y = 0; y < s.h; y++)
-            for (int x = 0; x < s.w; x++)
-                out(c, y, x) = std::max(0.0f, in(c, y, x));
+    parallelFor(
+        0, s.c,
+        [&](int64_t clo, int64_t chi) {
+            for (int c = static_cast<int>(clo); c < chi; c++)
+                for (int y = 0; y < s.h; y++)
+                    for (int x = 0; x < s.w; x++)
+                        out(c, y, x) = std::max(0.0f, in(c, y, x));
+        },
+        /*grain=*/4);
     if (ops)
         ops->compares += s.elems();
     return out;
@@ -135,25 +169,37 @@ runLrn(const LayerSpec &spec, const Tensor &in, OpCount *ops)
     const Shape &s = in.shape();
     Tensor out(s);
     const int half = spec.lrnSize / 2;
-    for (int c = 0; c < s.c; c++) {
-        for (int y = 0; y < s.h; y++) {
-            for (int x = 0; x < s.w; x++) {
-                float sum = 0.0f;
-                int lo = std::max(0, c - half);
-                int hi = std::min(s.c - 1, c + half);
-                for (int j = lo; j <= hi; j++) {
-                    float v = in(j, y, x);
-                    sum += v * v;
-                }
-                float denom = std::pow(
-                    2.0f + static_cast<float>(spec.lrnAlpha) * sum,
-                    static_cast<float>(spec.lrnBeta));
-                out(c, y, x) = in(c, y, x) / denom;
-                if (ops) {
-                    ops->mults += (hi - lo + 1) + 2;
-                    ops->adds += (hi - lo + 1) + 1;
+    parallelFor(
+        0, s.c,
+        [&](int64_t clo, int64_t chi) {
+            for (int c = static_cast<int>(clo); c < chi; c++) {
+                for (int y = 0; y < s.h; y++) {
+                    for (int x = 0; x < s.w; x++) {
+                        float sum = 0.0f;
+                        int lo = std::max(0, c - half);
+                        int hi = std::min(s.c - 1, c + half);
+                        for (int j = lo; j <= hi; j++) {
+                            float v = in(j, y, x);
+                            sum += v * v;
+                        }
+                        float denom = std::pow(
+                            2.0f +
+                                static_cast<float>(spec.lrnAlpha) * sum,
+                            static_cast<float>(spec.lrnBeta));
+                        out(c, y, x) = in(c, y, x) / denom;
+                    }
                 }
             }
+        },
+        /*grain=*/2);
+    if (ops) {
+        // The per-point tally depends only on the channel index.
+        for (int c = 0; c < s.c; c++) {
+            int lo = std::max(0, c - half);
+            int hi = std::min(s.c - 1, c + half);
+            int64_t pts = static_cast<int64_t>(s.h) * s.w;
+            ops->mults += ((hi - lo + 1) + 2) * pts;
+            ops->adds += ((hi - lo + 1) + 1) * pts;
         }
     }
     return out;
@@ -166,14 +212,16 @@ runFc(const LayerSpec &spec, const Tensor &in, const DenseWeights &dw,
     FLCNN_ASSERT(in.elems() == dw.inElems, "fc input size mismatch");
     Tensor out(spec.outChannels, 1, 1);
     const float *flat = in.data();
-    for (int u = 0; u < spec.outChannels; u++) {
-        float acc = dw.bias[static_cast<size_t>(u)];
-        const float *row = dw.w.data() +
-                           static_cast<size_t>(u) * dw.inElems;
-        for (int64_t e = 0; e < dw.inElems; e++)
-            acc += row[e] * flat[e];
-        out(u, 0, 0) = acc;
-    }
+    parallelFor(0, spec.outChannels, [&](int64_t ulo, int64_t uhi) {
+        for (int u = static_cast<int>(ulo); u < uhi; u++) {
+            float acc = dw.bias[static_cast<size_t>(u)];
+            const float *row = dw.w.data() +
+                               static_cast<size_t>(u) * dw.inElems;
+            for (int64_t e = 0; e < dw.inElems; e++)
+                acc += row[e] * flat[e];
+            out(u, 0, 0) = acc;
+        }
+    });
     if (ops) {
         ops->mults += spec.outChannels * dw.inElems;
         ops->adds += spec.outChannels * dw.inElems;

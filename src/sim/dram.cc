@@ -1,15 +1,32 @@
 #include "sim/dram.hh"
 
+#include <cmath>
+#include <numeric>
+
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 
 namespace flcnn {
+
+namespace {
+// Fixed-point denominator for converting the double bandwidth into a
+// rational: 2^20 resolves any realistic bytes-per-cycle figure, and
+// power-of-two denominators reduce fully for the common integral and
+// dyadic (e.g. 6.5 B/cycle) configurations.
+constexpr int64_t kBpcScale = int64_t{1} << 20;
+} // namespace
 
 DramModel::DramModel(double bytes_per_cycle, int64_t start_latency)
     : bpc(bytes_per_cycle), startLatency(start_latency)
 {
     FLCNN_ASSERT(bpc > 0.0, "bandwidth must be positive");
     FLCNN_ASSERT(startLatency >= 0, "latency must be non-negative");
+    bpcNum = static_cast<int64_t>(std::llround(bpc * kBpcScale));
+    FLCNN_ASSERT(bpcNum > 0, "bandwidth must be positive");
+    bpcDen = kBpcScale;
+    const int64_t g = std::gcd(bpcNum, bpcDen);
+    bpcNum /= g;
+    bpcDen /= g;
 }
 
 int64_t
@@ -17,9 +34,11 @@ DramModel::transferCycles(int64_t bytes) const
 {
     if (bytes <= 0)
         return 0;
-    int64_t stream =
-        static_cast<int64_t>(static_cast<double>(bytes) / bpc + 0.999999);
-    return startLatency + stream;
+    // ceil(bytes / (num/den)) = ceil(bytes * den / num), exactly: an
+    // exact multiple of the bandwidth costs exactly bytes/bpc cycles,
+    // and >4 GB transfers do not hit double's precision cliff (the old
+    // "+ 0.999999" ceiling was off by one in both situations).
+    return startLatency + ceilMulDiv(bytes, bpcDen, bpcNum);
 }
 
 double

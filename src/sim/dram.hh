@@ -42,6 +42,11 @@ class DramModel
   private:
     double bpc;
     int64_t startLatency;
+    // bpc as a reduced rational (bpcNum / bpcDen bytes per cycle), so
+    // transfer times are exact integer ceilings: correct for exact
+    // multiples and for transfers far beyond double's 2^52 precision.
+    int64_t bpcNum;
+    int64_t bpcDen;
 };
 
 } // namespace flcnn

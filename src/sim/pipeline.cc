@@ -131,7 +131,11 @@ schedulePyramidPipeline(int64_t pyramids, int stages,
             if (res >= 0 && dur > 0)
                 start = claim(res, start, dur);
             int64_t end = start + dur;
-            stage_free[static_cast<size_t>(s)] = end;
+            // Never let stage_free regress: claim() may gap-fill a
+            // resource slot, and a stage's pyramids must stay serial
+            // even if a future claim lands in an earlier idle window.
+            stage_free[static_cast<size_t>(s)] =
+                std::max(stage_free[static_cast<size_t>(s)], end);
             prev_end = end;
             sched.busy[static_cast<size_t>(s)] += dur;
             if (keep_slots) {

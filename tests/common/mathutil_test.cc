@@ -17,6 +17,19 @@ TEST(MathUtil, CeilDiv)
     EXPECT_EQ(ceilDiv(1000000007LL, 2), 500000004LL);
 }
 
+TEST(MathUtil, CeilMulDiv)
+{
+    EXPECT_EQ(ceilMulDiv(0, 3, 7), 0);
+    EXPECT_EQ(ceilMulDiv(7, 1, 7), 1);
+    EXPECT_EQ(ceilMulDiv(8, 1, 7), 2);
+    EXPECT_EQ(ceilMulDiv(10, 3, 4), 8);   // ceil(30/4)
+    EXPECT_EQ(ceilMulDiv(12, 3, 4), 9);   // exact
+    // The 128-bit intermediate survives products beyond int64.
+    const int64_t big = int64_t{1} << 61;
+    EXPECT_EQ(ceilMulDiv(big, 4, 2), big * 2);
+    EXPECT_EQ(ceilMulDiv(big + 1, 2, 2), big + 1);
+}
+
 TEST(MathUtil, AlignUp)
 {
     EXPECT_EQ(alignUp(0, 8), 0);

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hh"
 #include "fusion/fused_executor.hh"
 #include "fusion/line_buffer_executor.hh"
 #include "nn/reference.hh"
@@ -140,6 +141,93 @@ TEST(LineBufferExecutor, RowBlockingGrowsBuffers)
     // ring rows: K vs (B-1)*S + K.
     EXPECT_EQ(one.bufferBytes(), 3LL * 3 * 18 * 4);
     EXPECT_EQ(four.bufferBytes(), 3LL * 6 * 18 * 4);
+}
+
+/** RAII: run a scope at a fixed global thread count, then restore the
+ *  default so other tests are unaffected. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n) { ThreadPool::setGlobalThreads(n); }
+    ~ScopedThreads() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(LineBufferExecutor, DifferentialSweepBitExactAcrossThreadCounts)
+{
+    // The determinism contract of the thread pool, proven end to end:
+    // a Pad -> Conv -> ReLU -> LRN -> Pool chain over the full
+    // stride / kernel / row-block grid produces outputs bit-identical
+    // to the single-threaded reference at every thread count.
+    const int hw = ThreadPool::defaultThreads();
+    uint64_t seed = 0;
+    for (int stride : {1, 2, 4}) {
+        for (int kernel : {1, 3, 5, 7, 11}) {
+            for (int row_block : {1, 2, 3}) {
+                seed++;
+                Network net("diff" + std::to_string(seed),
+                            Shape{3, 46, 43});
+                net.add(LayerSpec::padding("pad", 1));
+                net.add(LayerSpec::conv("conv", 5, kernel, stride));
+                net.add(LayerSpec::relu("relu"));
+                net.add(LayerSpec::lrn("lrn"));
+                net.add(LayerSpec::pool("pool", 2, 2,
+                                        seed % 2 ? PoolMode::Max
+                                                 : PoolMode::Avg));
+
+                Rng wrng(seed * 7919 + 1);
+                NetworkWeights weights(net, wrng);
+                Tensor input(net.inputShape());
+                Rng irng(seed * 104729 + 2);
+                input.fillRandom(irng);
+
+                Tensor ref;
+                {
+                    ScopedThreads serial(1);
+                    ref = runRange(net, weights, input, 0,
+                                   net.numLayers() - 1);
+                }
+                for (int threads : {1, 2, 4, hw}) {
+                    ScopedThreads scope(threads);
+                    LineBufferExecutor exec(net, weights, 0,
+                                            net.numLayers() - 1,
+                                            row_block);
+                    Tensor out = exec.run(input);
+                    CompareResult cmp = compareTensors(ref, out);
+                    ASSERT_TRUE(cmp.match)
+                        << "stride=" << stride << " kernel=" << kernel
+                        << " rowBlock=" << row_block
+                        << " threads=" << threads << ": " << cmp.str();
+                }
+            }
+        }
+    }
+}
+
+TEST(LineBufferExecutor, ReferenceItselfIsThreadCountInvariant)
+{
+    // runRange is also parallelized; its output must not depend on the
+    // pool width either.
+    Network net("refinv", Shape{3, 30, 30});
+    net.addConvBlock("c1", 6, 3, 1, 1);
+    net.addMaxPool("p1", 3, 2);
+    net.addConvBlock("c2", 4, 5, 1, 2);
+    Rng wrng(77);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(78);
+    input.fillRandom(irng);
+
+    Tensor ref;
+    {
+        ScopedThreads serial(1);
+        ref = runRange(net, weights, input, 0, net.numLayers() - 1);
+    }
+    for (int threads : {2, 3, 8}) {
+        ScopedThreads scope(threads);
+        Tensor out = runRange(net, weights, input, 0,
+                              net.numLayers() - 1);
+        ASSERT_TRUE(tensorsEqual(ref, out)) << "threads=" << threads;
+    }
 }
 
 class LineBufferRandom : public ::testing::TestWithParam<int>

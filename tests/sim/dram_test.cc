@@ -39,6 +39,48 @@ TEST(Dram, MonotoneInBytes)
     }
 }
 
+TEST(Dram, ExactMultiplesCostExactCycles)
+{
+    // Integer ceiling: an exact multiple of the bandwidth must not pay
+    // a phantom extra cycle, at any size.
+    DramModel d(8.0, 0);
+    for (int64_t cycles : {int64_t{1}, int64_t{1000},
+                           int64_t{1} << 20, int64_t{1} << 40}) {
+        EXPECT_EQ(d.transferCycles(cycles * 8), cycles)
+            << "cycles=" << cycles;
+        EXPECT_EQ(d.transferCycles(cycles * 8 + 1), cycles + 1);
+    }
+}
+
+TEST(Dram, HugeTransfersAreExact)
+{
+    // The old double-based ceiling ("bytes / bpc + 0.999999") loses
+    // integer precision above 2^52 and rounds the +1 away. 8 PB at
+    // 1 B/cycle must cost exactly one cycle per byte.
+    DramModel unit(1.0, 0);
+    const int64_t big = (int64_t{1} << 53) + 1;
+    EXPECT_EQ(unit.transferCycles(big), big);
+
+    // > 4 GB at 8 B/cycle: still exact.
+    DramModel d(8.0, 0);
+    const int64_t five_gb = 5LL * 1024 * 1024 * 1024;
+    EXPECT_EQ(d.transferCycles(five_gb), five_gb / 8);
+    EXPECT_EQ(d.transferCycles(five_gb + 3), five_gb / 8 + 1);
+}
+
+TEST(Dram, FractionalBandwidth)
+{
+    DramModel d(6.5, 0);  // a dyadic rate reduces exactly (13/2)
+    EXPECT_EQ(d.transferCycles(13), 2);
+    EXPECT_EQ(d.transferCycles(14), 3);
+    EXPECT_EQ(d.transferCycles(6), 1);
+    EXPECT_EQ(d.transferCycles(7), 2);
+
+    DramModel slow(0.5, 0);
+    EXPECT_EQ(slow.transferCycles(1), 2);
+    EXPECT_EQ(slow.transferCycles(3), 6);
+}
+
 TEST(Dram, RequiredBandwidthMatchesPaperFootnote)
 {
     // "if an accelerator targets 50 images/second, and the graph shows
