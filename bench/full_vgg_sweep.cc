@@ -8,6 +8,11 @@
  * stages of VGG-19 — 2^20 = 1,048,576 partitions — with the
  * closed-form storage model, with and without on-chip weight residency
  * in the cost, and time it.
+ *
+ * The sweep itself is the library's: exploreFusionSpace prices each
+ * contiguous stage range once through the shared GroupCostCache (the
+ * per-(first,last) table this bench used to build privately) and
+ * streams the million partitions over per-thread mask ranges.
  */
 
 #include <chrono>
@@ -17,9 +22,7 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
-#include "model/pareto.hh"
-#include "model/storage.hh"
-#include "model/transfer.hh"
+#include "model/explorer.hh"
 #include "nn/zoo.hh"
 
 using namespace flcnn;
@@ -37,61 +40,13 @@ SweepResult
 sweep(const Network &net, bool with_weights)
 {
     auto t0 = std::chrono::steady_clock::now();
-    const int stages = static_cast<int>(net.stages().size());
-
-    // Precompute per-(first,last) group costs once: 21*22/2 = 231
-    // entries, so the million-partition sweep is pure table lookups.
-    std::vector<std::vector<int64_t>> gcost(
-        static_cast<size_t>(stages)),
-        gxfer(static_cast<size_t>(stages));
-    for (int a = 0; a < stages; a++) {
-        gcost[static_cast<size_t>(a)].resize(
-            static_cast<size_t>(stages));
-        gxfer[static_cast<size_t>(a)].resize(
-            static_cast<size_t>(stages));
-        for (int b = a; b < stages; b++) {
-            StageGroup g{a, b};
-            int64_t storage = groupReuseStorageBytes(net, g, false);
-            if (with_weights && g.size() > 1) {
-                int fl, ll;
-                groupLayerRange(net, g, fl, ll);
-                storage += net.weightBytesInRange(fl, ll);
-            }
-            gcost[static_cast<size_t>(a)][static_cast<size_t>(b)] =
-                storage;
-            gxfer[static_cast<size_t>(a)][static_cast<size_t>(b)] =
-                groupTransferBytes(net, g);
-        }
-    }
-
-    // Partition the mask space into contiguous per-thread ranges; each
-    // point lands at its enumeration index, so the sweep is identical
-    // to a serial run at any thread count.
-    const int64_t count = countPartitions(stages);
-    std::vector<DesignPoint> pts(static_cast<size_t>(count));
-    parallelFor(
-        0, count,
-        [&](int64_t lo, int64_t hi) {
-            forEachPartitionRange(
-                stages, lo, hi,
-                [&](int64_t mask, const Partition &p) {
-                    DesignPoint d;
-                    for (const StageGroup &g : p) {
-                        d.storageBytes +=
-                            gcost[static_cast<size_t>(g.firstStage)]
-                                 [static_cast<size_t>(g.lastStage)];
-                        d.transferBytes +=
-                            gxfer[static_cast<size_t>(g.firstStage)]
-                                 [static_cast<size_t>(g.lastStage)];
-                    }
-                    d.partition = p;
-                    pts[static_cast<size_t>(mask)] = std::move(d);
-                });
-        },
-        /*grain=*/1024);
+    ExploreOptions opt;
+    opt.exactStorage = false;  // closed form: 2^20 points in seconds
+    opt.includeWeightStorage = with_weights;
+    ExplorationResult ex = exploreFusionSpace(net, opt);
     SweepResult res;
-    res.front = paretoFront(std::move(pts));
-    res.points = count;
+    res.points = static_cast<int64_t>(ex.points.size());
+    res.front = std::move(ex.front);
     res.seconds = std::chrono::duration<double>(
                       std::chrono::steady_clock::now() - t0)
                       .count();

@@ -9,9 +9,12 @@
 
 #include <benchmark/benchmark.h>
 
+#include <vector>
+
 #include "fusion/fused_executor.hh"
 #include "fusion/line_buffer_executor.hh"
 #include "fusion/recompute_executor.hh"
+#include "kernels/conv_kernels.hh"
 #include "model/balance.hh"
 #include "model/explorer.hh"
 #include "nn/reference.hh"
@@ -20,6 +23,87 @@
 using namespace flcnn;
 
 namespace {
+
+/** One output row computed naively (convPoint per pixel) vs as one
+ *  register-tiled strip — the raw kernel speedup, per (K, stride). */
+struct StripFixture
+{
+    Tensor in;
+    FilterBank fb;
+    int stride;
+    int outW;
+
+    StripFixture(int k, int s, int out_w = 128)
+        : in(Shape{16, k, s * (out_w - 1) + k}), fb(1, 16, k), stride(s),
+          outW(out_w)
+    {
+        Rng irng(11);
+        in.fillRandom(irng);
+        Rng wrng(12);
+        fb.fillRandom(wrng);
+    }
+};
+
+void
+BM_ConvRowNaive(benchmark::State &state)
+{
+    StripFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    std::vector<float> dst(static_cast<size_t>(f.outW));
+    for (auto _ : state) {
+        for (int x = 0; x < f.outW; x++)
+            dst[static_cast<size_t>(x)] =
+                convPoint(f.in, f.fb, 0, 0, x * f.stride, 1, 1, nullptr);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW);
+}
+BENCHMARK(BM_ConvRowNaive)
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({5, 1})
+    ->Args({7, 2})
+    ->Args({11, 4});
+
+void
+BM_ConvRowStrip(benchmark::State &state)
+{
+    StripFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    const ConvKernel ks = resolveConvKernel(f.fb.kernel(), f.stride);
+    std::vector<float> dst(static_cast<size_t>(f.outW));
+    for (auto _ : state) {
+        convRowTensor(ks, dst.data(), f.outW, f.in, f.fb, 0, 0, 0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW);
+}
+BENCHMARK(BM_ConvRowStrip)
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({5, 1})
+    ->Args({7, 2})
+    ->Args({11, 4});
+
+void
+BM_ConvRowStripGeneric(benchmark::State &state)
+{
+    // The runtime-(K, stride) fallback, for sizes with no specialized
+    // variant — still strip-tiled, just without compile-time constants.
+    StripFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    ConvKernel ks = resolveConvKernel(f.fb.kernel(), f.stride);
+    ks.fn = nullptr;  // force the generic path
+    std::vector<float> dst(static_cast<size_t>(f.outW));
+    for (auto _ : state) {
+        convRowTensor(ks, dst.data(), f.outW, f.in, f.fb, 0, 0, 0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW);
+}
+BENCHMARK(BM_ConvRowStripGeneric)->Args({3, 1})->Args({5, 1});
 
 void
 BM_TilePlanConstruction(benchmark::State &state)
@@ -47,6 +131,9 @@ BENCHMARK(BM_ExploreFusionSpace)
     ->Args({5, 1})
     ->Args({5, 0})
     ->Args({8, 0})
+    ->Args({10, 0})  // 13 stages, 4096 partitions: the group-cost
+                     // cache case (one model eval per range, not per
+                     // partition)
     ->Unit(benchmark::kMillisecond);
 
 void

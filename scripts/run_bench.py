@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Performance harness: run the microbenchmarks and the paper benches,
+collect the numbers into one timestamped JSON file.
+
+Usage:
+    scripts/run_bench.py [--build-dir build] [--out BENCH_<date>.json]
+                         [--min-time 0.05] [--vgg-scale 56] [--quick]
+
+Runs, in order:
+  1. bench/micro_kernels via google-benchmark's JSON reporter (the
+     register-tiled conv strips, the explorer sweep, the executors);
+  2. the table-mode paper benches (table1_alexnet, table2_vgg) and
+     cpu_fusion_speedup with --benchmark_filter=NONE (its own E8 table
+     without re-running the gbench cases), capturing stdout + wall time.
+
+The output file records the git revision, host info, every
+google-benchmark result, and the raw tables, so before/after runs can
+be diffed (`BENCH_<date>.json` files are the PR-facing evidence for
+performance work; they are not committed by default).
+"""
+
+import argparse
+import datetime
+import json
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+
+def run(cmd, cwd=None, timeout=1800):
+    """Run a command, returning (stdout, wall_seconds)."""
+    start = time.monotonic()
+    proc = subprocess.run(cmd, cwd=cwd, capture_output=True, text=True,
+                          timeout=timeout)
+    wall = time.monotonic() - start
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stdout + proc.stderr)
+        raise RuntimeError(f"{cmd[0]} exited {proc.returncode}")
+    return proc.stdout, wall
+
+
+def git_rev(repo):
+    try:
+        out, _ = run(["git", "rev-parse", "--short", "HEAD"], cwd=repo)
+        dirty, _ = run(["git", "status", "--porcelain"], cwd=repo)
+        return out.strip() + ("-dirty" if dirty.strip() else "")
+    except Exception:
+        return "unknown"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", default="build",
+                        help="CMake build directory with built benches")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default BENCH_<date>.json)")
+    parser.add_argument("--min-time", type=float, default=0.05,
+                        help="google-benchmark --benchmark_min_time "
+                             "(seconds, as a double)")
+    parser.add_argument("--vgg-scale", type=int, default=56,
+                        help="cpu_fusion_speedup --vgg-scale (its VGG "
+                             "case's input size; 224 = paper scale)")
+    parser.add_argument("--quick", action="store_true",
+                        help="smoke mode: tiny min-time, skip the "
+                             "slower paper tables")
+    args = parser.parse_args()
+
+    repo = Path(__file__).resolve().parent.parent
+    build = (repo / args.build_dir).resolve()
+    bench_dir = build / "bench"
+    if not bench_dir.is_dir():
+        sys.exit(f"no benches in {bench_dir}; build the project first")
+
+    min_time = 0.01 if args.quick else args.min_time
+    report = {
+        "date": datetime.datetime.now().isoformat(timespec="seconds"),
+        "git": git_rev(repo),
+        "host": {
+            "machine": platform.machine(),
+            "system": platform.system(),
+            "python": platform.python_version(),
+        },
+        "args": {"min_time": min_time, "vgg_scale": args.vgg_scale,
+                 "quick": args.quick},
+        "benchmarks": [],
+        "tables": {},
+    }
+
+    # 1. google-benchmark microbenchmarks, JSON format.
+    micro = bench_dir / "micro_kernels"
+    print(f"running {micro.name} (min_time={min_time}s)...")
+    out, wall = run([str(micro), "--benchmark_format=json",
+                     f"--benchmark_min_time={min_time}"])
+    gbench = json.loads(out)
+    report["context"] = gbench.get("context", {})
+    report["benchmarks"] = gbench.get("benchmarks", [])
+    report["tables"]["micro_kernels_wall_s"] = round(wall, 3)
+    print(f"  {len(report['benchmarks'])} cases in {wall:.1f}s")
+
+    # 2. Paper benches in table mode (plain stdout tables).
+    paper = [("cpu_fusion_speedup",
+              [f"--vgg-scale={args.vgg_scale}",
+               "--benchmark_filter=NONE"])]
+    if not args.quick:
+        paper = [("table1_alexnet", []), ("table2_vgg", [])] + paper
+    for name, extra in paper:
+        exe = bench_dir / name
+        if not exe.exists():
+            print(f"  skipping {name}: not built")
+            continue
+        print(f"running {name}...")
+        out, wall = run([str(exe)] + extra)
+        report["tables"][name] = {"wall_s": round(wall, 3),
+                                  "stdout": out}
+        print(f"  done in {wall:.1f}s")
+
+    out_path = Path(args.out) if args.out else repo / (
+        "BENCH_" + datetime.date.today().isoformat() + ".json")
+    out_path.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {out_path}")
+
+
+if __name__ == "__main__":
+    main()

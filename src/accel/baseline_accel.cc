@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/thread_pool.hh"
+#include "kernels/conv_kernels.hh"
 #include "model/resource.hh"
 #include "nn/reference.hh"
 #include "sim/double_buffer.hh"
@@ -101,37 +102,33 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
                         // Accumulate: canonical (n, i, j) order per
                         // output point, so results match the reference
                         // bit-exactly. Each (dm, r) work item owns one
-                        // output row segment; the serial n0 loop above
-                        // is a barrier between input-channel blocks.
+                        // output row strip, accumulated in place on top
+                        // of the previous channel block's partial sums;
+                        // the serial n0 loop above is a barrier between
+                        // input-channel blocks.
+                        const ConvKernel ks = resolveConvKernel(k, s);
+                        FLCNN_ASSERT(
+                            k <= kMaxConvKernel,
+                            "conv kernel exceeds the strip row table");
+                        const Shape &tsh = in_tile.shape();
+                        const int64_t tile_ch_stride =
+                            static_cast<int64_t>(tsh.h) * tsh.w;
                         parallelFor(
                             0, static_cast<int64_t>(tmm) * trr,
                             [&](int64_t wlo, int64_t whi) {
+                                int64_t row_off[kMaxConvKernel];
                                 for (int64_t w = wlo; w < whi; w++) {
                                     const int dm =
                                         static_cast<int>(w / trr);
                                     const int r =
                                         static_cast<int>(w % trr);
                                     int m = g * m_per_group + m0 + dm;
-                                    for (int c = 0; c < tcc; c++) {
-                                        float acc =
-                                            out(m, row + r, col + c);
-                                        for (int dn = 0; dn < tnn;
-                                             dn++) {
-                                            for (int i = 0; i < k; i++) {
-                                                for (int j = 0; j < k;
-                                                     j++) {
-                                                    acc +=
-                                                        fb.w(m, n0 + dn,
-                                                             i, j) *
-                                                        in_tile(
-                                                            dn,
-                                                            r * s + i,
-                                                            c * s + j);
-                                                }
-                                            }
-                                        }
-                                        out(m, row + r, col + c) = acc;
-                                    }
+                                    linearRowOffsets(row_off, k,
+                                                     r * s, tsh.w);
+                                    ks.run(&out(m, row + r, col), tcc,
+                                           in_tile.rowPtr(0, 0, 0),
+                                           tile_ch_stride, row_off,
+                                           fb.wRow(m, n0, 0), tnn);
                                 }
                             });
                         // The engine occupies Tm x Tn lanes for the full

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "kernels/conv_kernels.hh"
 
 namespace flcnn {
 
@@ -187,16 +188,28 @@ FusedExecutor::computeWindowed(int li, int r, int c)
     const int s = spec.stride;
     if (spec.kind == LayerKind::Conv) {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
+        const int m_per_group = spec.outChannels / spec.groups;
+        const int n_per_group = fb.numChannels();
+        const ConvKernel ks = resolveConvKernel(fb.kernel(), s);
+        // Strip kernel per output row: per-pixel (bias, n, i, j) order
+        // is convPoint's, so the fused pyramid stays bit-identical to
+        // the reference. The op tally is analytic (convPoint tallied
+        // the same taps-per-pixel count).
         for (int m = 0; m < g.outPlane.c; m++) {
+            const int n_base = (m / m_per_group) * n_per_group;
             for (int gy = oy.begin; gy < oy.end; gy++) {
-                for (int gx = ox.begin; gx < ox.end; gx++) {
-                    st.fresh(m, gy - oy.begin, gx - ox.begin) = convPoint(
-                        st.tile, fb, m, gy * s - st.tileY.begin,
-                        gx * s - st.tileX.begin, spec.groups,
-                        spec.outChannels, &curStats.ops);
-                }
+                convRowTensor(ks, &st.fresh(m, gy - oy.begin, 0),
+                              ox.width(), st.tile, fb, m, n_base,
+                              gy * s - st.tileY.begin,
+                              ox.begin * s - st.tileX.begin);
             }
         }
+        int64_t taps = static_cast<int64_t>(n_per_group) * fb.kernel() *
+                       fb.kernel();
+        int64_t points = static_cast<int64_t>(g.outPlane.c) *
+                         oy.width() * ox.width();
+        curStats.ops.mults += taps * points;
+        curStats.ops.adds += taps * points;
     } else {
         for (int ch = 0; ch < g.outPlane.c; ch++) {
             for (int gy = oy.begin; gy < oy.end; gy++) {

@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "kernels/conv_kernels.hh"
 
 namespace flcnn {
 
@@ -82,38 +83,40 @@ LineBufferExecutor::drain(int li, Tensor &output)
                 weights.bank(net.convSlot(first + li));
             const int n_per_group = fb.numChannels();
             const int m_per_group = out.c / spec.groups;
+            const ConvKernel ks = resolveConvKernel(k, s);
+            FLCNN_ASSERT(k <= kMaxConvKernel,
+                         "conv kernel exceeds the strip row table");
+            const int64_t ring_ch_stride =
+                static_cast<int64_t>(cap) * in.w;
             // Each (m, b) pair owns a disjoint output row segment; the
-            // per-pixel summation order below is untouched, so the
-            // result is bit-identical at every thread count.
+            // strip kernel keeps the per-pixel (bias, n, i, j) order, so
+            // the result is bit-identical at every thread count. The
+            // ring's modular row mapping goes through the kernel's
+            // row-offset table.
             parallelFor(
                 0, static_cast<int64_t>(out.c) * batch,
                 [&](int64_t lo, int64_t hi) {
+                    int64_t row_off[kMaxConvKernel];
                     for (int64_t w = lo; w < hi; w++) {
                         const int m = static_cast<int>(w / batch);
                         const int b = static_cast<int>(w % batch);
                         const int n_base =
                             (m / m_per_group) * n_per_group;
                         const int oy = oy0 + b;
+                        for (int i = 0; i < k; i++) {
+                            row_off[i] =
+                                static_cast<int64_t>((oy * s + i) % cap) *
+                                in.w;
+                        }
                         float *dst = st.blockBuf.data() +
                                      static_cast<size_t>(b) * row_elems +
                                      static_cast<size_t>(m) * out.w;
-                        for (int ox = 0; ox < out.w; ox++) {
-                            // Canonical summation order (bias, n, i, j)
-                            // so results are bit-identical to the
-                            // reference.
-                            float acc = fb.bias(m);
-                            for (int n = 0; n < n_per_group; n++) {
-                                for (int i = 0; i < k; i++) {
-                                    const int ry = (oy * s + i) % cap;
-                                    const float *wrow = fb.wRow(m, n, i);
-                                    const float *rrow = st.ring.rowPtr(
-                                        n_base + n, ry, ox * s);
-                                    for (int j = 0; j < k; j++)
-                                        acc += wrow[j] * rrow[j];
-                                }
-                            }
-                            dst[ox] = acc;
-                        }
+                        const float bias = fb.bias(m);
+                        for (int ox = 0; ox < out.w; ox++)
+                            dst[ox] = bias;
+                        ks.run(dst, out.w, st.ring.rowPtr(n_base, 0, 0),
+                               ring_ch_stride, row_off, fb.wRow(m, 0, 0),
+                               n_per_group);
                     }
                 });
             int64_t taps = static_cast<int64_t>(n_per_group) * k * k;

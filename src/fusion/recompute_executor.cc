@@ -5,6 +5,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
+#include "kernels/conv_kernels.hh"
 
 namespace flcnn {
 
@@ -62,8 +63,12 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
       case LayerKind::Conv: {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
         const int oh = oy.width();
-        // One (m, row) pair per work item; op counts are tallied
-        // analytically below so the parallel region stays race-free.
+        const int m_per_group = spec.outChannels / spec.groups;
+        const int n_per_group = fb.numChannels();
+        const ConvKernel ks = resolveConvKernel(fb.kernel(), spec.stride);
+        // One (m, row) pair per work item, computed as one strip; op
+        // counts are tallied analytically below so the parallel region
+        // stays race-free.
         parallelFor(
             0, static_cast<int64_t>(g.outPlane.c) * oh,
             [&](int64_t wlo, int64_t whi) {
@@ -71,12 +76,11 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                     const int m = static_cast<int>(w / oh);
                     const int gy =
                         oy.begin + static_cast<int>(w % oh);
-                    for (int gx = ox.begin; gx < ox.end; gx++) {
-                        out(m, gy - oy.begin, gx - ox.begin) = convPoint(
-                            src, fb, m, gy * spec.stride - sy.begin,
-                            gx * spec.stride - sx.begin, spec.groups,
-                            spec.outChannels, nullptr);
-                    }
+                    const int n_base = (m / m_per_group) * n_per_group;
+                    convRowTensor(ks, &out(m, gy - oy.begin, 0),
+                                  ox.width(), src, fb, m, n_base,
+                                  gy * spec.stride - sy.begin,
+                                  ox.begin * spec.stride - sx.begin);
                 }
             });
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *

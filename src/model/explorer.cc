@@ -2,9 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
-#include "model/recompute.hh"
-#include "model/storage.hh"
-#include "model/transfer.hh"
+#include "model/group_cost.hh"
 
 namespace flcnn {
 
@@ -33,47 +31,101 @@ ExplorationResult::bestUnderStorage(int64_t max_storage_bytes) const
     return best;
 }
 
+namespace {
+
+/**
+ * Incremental sweep over a contiguous cut-mask range.
+ *
+ * Cut bit s separates stages s and s+1, so masks sharing their high
+ * bits form contiguous ranges and agree on every group above the
+ * lowest decided cut. Walking the bits from the highest down and
+ * carrying the cost sums of the groups completed so far makes each of
+ * the 2^(l-1) partitions O(1) amortized — the per-group table lookups
+ * happen once per tree edge, not once per leaf below it. All sums are
+ * integers and each leaf writes only its own mask's slot, so parallel
+ * [lo, hi) chunks reproduce the serial enumeration bit for bit.
+ */
+struct MaskTreeSweep
+{
+    const GroupCostCache &cache;
+    std::vector<DesignPoint> &points;
+    int64_t lo, hi;
+    // Groups completed on the current path, highest stage range first.
+    StageGroup done[32];
+    int num_done = 0;
+
+    void
+    emit(int64_t mask, int64_t storage, int64_t transfer, int64_t extra,
+         int open_end)
+    {
+        DesignPoint &d = points[static_cast<size_t>(mask)];
+        const GroupCostCache::Cell &c = cache.cell(0, open_end);
+        d.storageBytes = storage + c.storage;
+        d.transferBytes = transfer + c.transfer;
+        d.extraOps = extra + c.extra;
+        d.partition.resize(static_cast<size_t>(num_done) + 1);
+        d.partition[0] = StageGroup{0, open_end};
+        for (int i = 0; i < num_done; i++)  // reverse: lowest range first
+            d.partition[static_cast<size_t>(i) + 1] =
+                done[num_done - 1 - i];
+    }
+
+    void
+    walk(int bit, int64_t prefix, int64_t storage, int64_t transfer,
+         int64_t extra, int open_end)
+    {
+        if (bit < 0) {
+            if (prefix >= lo && prefix < hi)
+                emit(prefix, storage, transfer, extra, open_end);
+            return;
+        }
+        const int64_t span = int64_t{1} << bit;
+        if (prefix < hi && prefix + span > lo)  // bit clear: no cut
+            walk(bit - 1, prefix, storage, transfer, extra, open_end);
+        const int64_t p1 = prefix + span;  // bit set: cut after stage bit
+        if (p1 < hi && p1 + span > lo) {
+            const GroupCostCache::Cell &c = cache.cell(bit + 1, open_end);
+            done[num_done++] = StageGroup{bit + 1, open_end};
+            walk(bit - 1, p1, storage + c.storage, transfer + c.transfer,
+                 extra + c.extra, bit);
+            num_done--;
+        }
+    }
+};
+
+} // namespace
+
 ExplorationResult
 exploreFusionSpace(const Network &net, const ExploreOptions &opt)
 {
     const int stages = static_cast<int>(net.stages().size());
-    FLCNN_ASSERT(stages >= 1, "network has no fusable stages");
+    FLCNN_ASSERT(stages >= 1 && stages <= 30,
+                 "stage count out of sweepable range");
 
     ExplorationResult res;
-    std::vector<Partition> parts = enumeratePartitions(stages);
-    res.points.resize(parts.size());
-    // Each of the 2^(l-1) partitions is priced independently; the
-    // points land at their enumeration index, so the result order (and
-    // every Pareto tie-break downstream) matches a serial sweep.
+    // Price every contiguous stage range once — O(l^2) model
+    // evaluations — then sweep the 2^(l-1) partitions as table-lookup
+    // sums over the cut-mask tree. Each point lands at its enumeration
+    // (mask) index, so the result order — and every Pareto tie-break
+    // downstream — matches a serial sweep of enumeratePartitions at
+    // any thread count.
+    const GroupCostCache cache(
+        net, GroupCostOptions{opt.exactStorage, opt.includeWeightStorage,
+                              opt.withRecompute});
+    const int64_t count = countPartitions(stages);
+    res.points.resize(static_cast<size_t>(count));
     parallelFor(
-        0, static_cast<int64_t>(parts.size()),
+        0, count,
         [&](int64_t lo, int64_t hi) {
-            for (int64_t i = lo; i < hi; i++) {
-                Partition &p = parts[static_cast<size_t>(i)];
-                DesignPoint d;
-                d.transferBytes = partitionTransferBytes(net, p);
-                d.storageBytes =
-                    partitionReuseStorageBytes(net, p, opt.exactStorage);
-                if (opt.includeWeightStorage) {
-                    for (const StageGroup &g : p) {
-                        if (g.size() <= 1)
-                            continue;
-                        int first_layer, last_layer;
-                        groupLayerRange(net, g, first_layer, last_layer);
-                        d.storageBytes += net.weightBytesInRange(
-                            first_layer, last_layer);
-                    }
-                }
-                if (opt.withRecompute) {
-                    d.extraOps =
-                        partitionPairwiseRecomputeExtraMultAdds(net, p);
-                }
-                d.partition = std::move(p);
-                res.points[static_cast<size_t>(i)] = std::move(d);
-            }
+            MaskTreeSweep sweep{cache, res.points, lo, hi, {}, 0};
+            sweep.walk(stages - 2, 0, 0, 0, 0, stages - 1);
         },
-        /*grain=*/4);
-    res.front = paretoFront(res.points);
+        /*grain=*/512);
+    // Index-based front extraction: only the handful of surviving
+    // points get copied, not all 2^(l-1) (each of which carries a
+    // heap-allocated partition).
+    for (size_t i : paretoFrontIndices(res.points))
+        res.front.push_back(res.points[i]);
     return res;
 }
 

@@ -1,27 +1,114 @@
 #include "model/pareto.hh"
 
 #include <algorithm>
+#include <numeric>
 
 namespace flcnn {
+
+namespace {
+
+/** Coordinates pulled out of DesignPoint so the sort touches compact
+ *  24-byte keys instead of chasing partition-carrying structs. */
+struct ParetoKey
+{
+    int64_t storage;
+    int64_t transfer;
+    size_t index;
+
+    friend bool
+    operator<(const ParetoKey &a, const ParetoKey &b)
+    {
+        if (a.storage != b.storage)
+            return a.storage < b.storage;
+        if (a.transfer != b.transfer)
+            return a.transfer < b.transfer;
+        return a.index < b.index;
+    }
+};
+
+/**
+ * Drop keys that a strictly-lower-storage key already dominates, in
+ * O(n): bucket by storage (shift-based, no division), take each
+ * bucket's minimum transfer, then a prefix-min over lower buckets
+ * tells every key whether some cheaper-storage point matches or beats
+ * its transfer. Removed keys could never survive the sorted scan —
+ * their dominator precedes them and already lowered the running
+ * minimum — so the front is unchanged; only the sort gets smaller.
+ */
+void
+dropBucketDominated(std::vector<ParetoKey> &keys)
+{
+    constexpr int kBuckets = 256;
+    int64_t mn = INT64_MAX, mx = INT64_MIN;
+    for (const ParetoKey &k : keys) {
+        mn = std::min(mn, k.storage);
+        mx = std::max(mx, k.storage);
+    }
+    const int64_t range = mx - mn;
+    if (range <= 0)
+        return;  // all equal storage: nothing strictly lower exists
+    int shift = 0;
+    while ((range >> shift) >= kBuckets)
+        shift++;
+
+    int64_t bucket_min[kBuckets];
+    std::fill(bucket_min, bucket_min + kBuckets, INT64_MAX);
+    for (const ParetoKey &k : keys) {
+        const int b = static_cast<int>((k.storage - mn) >> shift);
+        bucket_min[b] = std::min(bucket_min[b], k.transfer);
+    }
+    int64_t below[kBuckets];  // min transfer over strictly lower buckets
+    int64_t running = INT64_MAX;
+    for (int b = 0; b < kBuckets; b++) {
+        below[b] = running;
+        running = std::min(running, bucket_min[b]);
+    }
+
+    size_t kept = 0;
+    for (const ParetoKey &k : keys) {
+        const int b = static_cast<int>((k.storage - mn) >> shift);
+        if (k.transfer < below[b])
+            keys[kept++] = k;
+    }
+    keys.resize(kept);
+}
+
+} // namespace
+
+std::vector<size_t>
+paretoFrontIndices(const std::vector<DesignPoint> &points)
+{
+    // The index tie-break pins which representative survives among
+    // equal-coordinate points (the by-value overload's unstable sort
+    // left it unspecified): the earliest in enumeration order.
+    std::vector<ParetoKey> order;
+    order.reserve(points.size());
+    for (size_t i = 0; i < points.size(); i++)
+        order.push_back(
+            ParetoKey{points[i].storageBytes, points[i].transferBytes, i});
+    if (order.size() >= 1024)
+        dropBucketDominated(order);
+    std::sort(order.begin(), order.end());
+
+    std::vector<size_t> front;
+    int64_t best_transfer = INT64_MAX;
+    for (const ParetoKey &k : order) {
+        if (k.transfer < best_transfer) {
+            best_transfer = k.transfer;
+            front.push_back(k.index);
+        }
+    }
+    return front;
+}
 
 std::vector<DesignPoint>
 paretoFront(std::vector<DesignPoint> points)
 {
-    std::sort(points.begin(), points.end(),
-              [](const DesignPoint &a, const DesignPoint &b) {
-                  if (a.storageBytes != b.storageBytes)
-                      return a.storageBytes < b.storageBytes;
-                  return a.transferBytes < b.transferBytes;
-              });
-
+    std::vector<size_t> idx = paretoFrontIndices(points);
     std::vector<DesignPoint> front;
-    int64_t best_transfer = INT64_MAX;
-    for (auto &p : points) {
-        if (p.transferBytes < best_transfer) {
-            best_transfer = p.transferBytes;
-            front.push_back(std::move(p));
-        }
-    }
+    front.reserve(idx.size());
+    for (size_t i : idx)
+        front.push_back(std::move(points[i]));
     return front;
 }
 

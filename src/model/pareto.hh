@@ -36,9 +36,18 @@ struct DesignPoint
 /**
  * Extract the Pareto-optimal subset (minimizing storage and transfer),
  * sorted by ascending storage. Duplicate-coordinate points keep one
- * representative.
+ * representative (the lowest-index one).
  */
 std::vector<DesignPoint> paretoFront(std::vector<DesignPoint> points);
+
+/**
+ * Indices (into @p points) of the Pareto-optimal subset, sorted by
+ * ascending storage; equal-coordinate candidates resolve to the lowest
+ * index. Lets large sweeps extract the front without copying every
+ * point's partition the way the by-value overload must.
+ */
+std::vector<size_t>
+paretoFrontIndices(const std::vector<DesignPoint> &points);
 
 } // namespace flcnn
 

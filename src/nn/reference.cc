@@ -6,6 +6,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "common/thread_pool.hh"
+#include "kernels/conv_kernels.hh"
 
 namespace flcnn {
 
@@ -75,22 +76,23 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
 {
     Shape out_shape = spec.outShape(in.shape());
     Tensor out(out_shape);
+    const int m_per_group = spec.outChannels / spec.groups;
+    const int n_per_group = fb.numChannels();
+    const ConvKernel ks = resolveConvKernel(fb.kernel(), spec.stride);
     // One (m, y) output row per work item: disjoint writes, and the
-    // per-point (bias, n, i, j) order inside convPoint is unchanged, so
-    // the result is bit-identical at every thread count. Op counts are
-    // tallied analytically to keep the parallel region race-free.
+    // per-pixel (bias, n, i, j) order inside the strip kernel matches
+    // convPoint exactly, so the result is bit-identical at every thread
+    // count. Op counts are tallied analytically to keep the parallel
+    // region race-free.
     parallelFor(
         0, static_cast<int64_t>(out_shape.c) * out_shape.h,
         [&](int64_t lo, int64_t hi) {
             for (int64_t w = lo; w < hi; w++) {
                 const int m = static_cast<int>(w / out_shape.h);
                 const int y = static_cast<int>(w % out_shape.h);
-                for (int x = 0; x < out_shape.w; x++) {
-                    out(m, y, x) = convPoint(in, fb, m, y * spec.stride,
-                                             x * spec.stride,
-                                             spec.groups,
-                                             spec.outChannels, nullptr);
-                }
+                const int n_base = (m / m_per_group) * n_per_group;
+                convRowTensor(ks, &out(m, y, 0), out_shape.w, in, fb, m,
+                              n_base, y * spec.stride, 0);
             }
         });
     if (ops) {

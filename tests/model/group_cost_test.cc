@@ -1,0 +1,145 @@
+/**
+ * @file
+ * GroupCostCache: every table cell equals a direct model evaluation,
+ * and the cached exploration sweep reproduces a brute-force
+ * per-partition pricing point for point.
+ */
+
+#include <gtest/gtest.h>
+
+#include "model/explorer.hh"
+#include "model/group_cost.hh"
+#include "model/recompute.hh"
+#include "model/storage.hh"
+#include "model/transfer.hh"
+#include "nn/zoo.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(GroupCostCache, CellsEqualDirectModelCalls)
+{
+    Network net = vggEPrefix(4);
+    const int stages = static_cast<int>(net.stages().size());
+    for (bool exact : {true, false}) {
+        GroupCostOptions opt;
+        opt.exactStorage = exact;
+        opt.withRecompute = true;
+        GroupCostCache cache(net, opt);
+        ASSERT_EQ(cache.numStages(), stages);
+        for (int a = 0; a < stages; a++) {
+            for (int b = a; b < stages; b++) {
+                const StageGroup g{a, b};
+                EXPECT_EQ(cache.storageBytes(a, b),
+                          groupReuseStorageBytes(net, g, exact))
+                    << a << ".." << b;
+                EXPECT_EQ(cache.transferBytes(a, b),
+                          groupTransferBytes(net, g))
+                    << a << ".." << b;
+                int64_t extra = 0;
+                if (g.size() > 1) {
+                    int fl, ll;
+                    groupLayerRange(net, g, fl, ll);
+                    extra = pairwiseRecomputeExtraMultAdds(net, fl, ll);
+                }
+                EXPECT_EQ(cache.extraOps(a, b), extra) << a << ".." << b;
+            }
+        }
+    }
+}
+
+TEST(GroupCostCache, WeightResidencyAddsOnlyToMultiStageGroups)
+{
+    Network net = vggEPrefix(4);
+    GroupCostOptions plain;
+    plain.exactStorage = false;
+    GroupCostOptions weighted = plain;
+    weighted.includeWeightStorage = true;
+    GroupCostCache a(net, plain), b(net, weighted);
+    for (int first = 0; first < a.numStages(); first++) {
+        for (int last = first; last < a.numStages(); last++) {
+            if (first == last) {
+                EXPECT_EQ(a.storageBytes(first, last),
+                          b.storageBytes(first, last));
+            } else {
+                int fl, ll;
+                groupLayerRange(net, StageGroup{first, last}, fl, ll);
+                EXPECT_EQ(b.storageBytes(first, last) -
+                              a.storageBytes(first, last),
+                          net.weightBytesInRange(fl, ll));
+            }
+        }
+    }
+}
+
+TEST(GroupCostCache, PricePartitionEqualsDirectPartitionModels)
+{
+    Network net = alexnet();
+    GroupCostOptions opt;
+    opt.withRecompute = true;
+    GroupCostCache cache(net, opt);
+    const int stages = cache.numStages();
+    for (const Partition &p : enumeratePartitions(stages)) {
+        DesignPoint d;
+        cache.price(p, d);
+        EXPECT_EQ(d.storageBytes,
+                  partitionReuseStorageBytes(net, p, true));
+        EXPECT_EQ(d.transferBytes, partitionTransferBytes(net, p));
+        EXPECT_EQ(d.extraOps,
+                  partitionPairwiseRecomputeExtraMultAdds(net, p));
+    }
+}
+
+TEST(GroupCostCache, ExplorerMatchesBruteForceSweep)
+{
+    // The cached, mask-tree explorer must reproduce the obvious
+    // implementation — enumerate every partition, price it with the
+    // models directly, take the Pareto front — in enumeration order.
+    Network net = vggEPrefix(5);
+    for (bool weights : {false, true}) {
+        ExploreOptions opt;
+        opt.exactStorage = false;
+        opt.includeWeightStorage = weights;
+        opt.withRecompute = true;
+        ExplorationResult res = exploreFusionSpace(net, opt);
+
+        const int stages = static_cast<int>(net.stages().size());
+        std::vector<Partition> all = enumeratePartitions(stages);
+        ASSERT_EQ(res.points.size(), all.size());
+        std::vector<DesignPoint> brute;
+        for (size_t i = 0; i < all.size(); i++) {
+            DesignPoint d;
+            d.partition = all[i];
+            d.storageBytes =
+                partitionReuseStorageBytes(net, all[i], false);
+            if (weights) {
+                for (const StageGroup &g : all[i]) {
+                    if (g.size() == 1)
+                        continue;
+                    int fl, ll;
+                    groupLayerRange(net, g, fl, ll);
+                    d.storageBytes += net.weightBytesInRange(fl, ll);
+                }
+            }
+            d.transferBytes = partitionTransferBytes(net, all[i]);
+            d.extraOps =
+                partitionPairwiseRecomputeExtraMultAdds(net, all[i]);
+            EXPECT_EQ(res.points[i].partition, all[i]) << i;
+            EXPECT_EQ(res.points[i].storageBytes, d.storageBytes) << i;
+            EXPECT_EQ(res.points[i].transferBytes, d.transferBytes) << i;
+            EXPECT_EQ(res.points[i].extraOps, d.extraOps) << i;
+            brute.push_back(std::move(d));
+        }
+
+        std::vector<DesignPoint> front = paretoFront(std::move(brute));
+        ASSERT_EQ(res.front.size(), front.size());
+        for (size_t i = 0; i < front.size(); i++) {
+            EXPECT_EQ(res.front[i].partition, front[i].partition) << i;
+            EXPECT_EQ(res.front[i].storageBytes, front[i].storageBytes);
+            EXPECT_EQ(res.front[i].transferBytes, front[i].transferBytes);
+        }
+    }
+}
+
+} // namespace
+} // namespace flcnn

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
+
 #include "model/pareto.hh"
 
 namespace flcnn {
@@ -89,6 +92,68 @@ TEST(Pareto, DominatesSemantics)
     EXPECT_TRUE(pt(1, 2).dominates(pt(1, 3)));
     EXPECT_FALSE(pt(1, 1).dominates(pt(1, 1)));  // equal: no domination
     EXPECT_FALSE(pt(1, 3).dominates(pt(2, 2)));  // trade-off
+}
+
+TEST(Pareto, IndicesAgreeWithByValueOverload)
+{
+    std::vector<DesignPoint> pts;
+    for (int i = 0; i < 200; i++)
+        pts.push_back(pt((i * 37) % 151, (i * 53) % 149));
+    auto front = paretoFront(pts);
+    auto idx = paretoFrontIndices(pts);
+    ASSERT_EQ(front.size(), idx.size());
+    for (size_t i = 0; i < idx.size(); i++) {
+        EXPECT_EQ(pts[idx[i]].storageBytes, front[i].storageBytes) << i;
+        EXPECT_EQ(pts[idx[i]].transferBytes, front[i].transferBytes) << i;
+    }
+}
+
+TEST(Pareto, IndicesPickLowestIndexAmongEqualCoordinates)
+{
+    auto idx = paretoFrontIndices({pt(7, 7), pt(5, 5), pt(5, 5)});
+    ASSERT_EQ(idx.size(), 1u);
+    EXPECT_EQ(idx[0], 1u);
+}
+
+TEST(Pareto, LargeInputPrefilterPreservesTheExactFront)
+{
+    // Past 1024 points paretoFrontIndices runs its bucket prefilter
+    // before sorting; the front must match a brute-force dominance
+    // scan exactly, including duplicate-coordinate representatives.
+    std::vector<DesignPoint> pts;
+    uint64_t state = 12345;
+    auto next = [&state]() {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        return static_cast<int64_t>(state >> 40);
+    };
+    for (int i = 0; i < 5000; i++)
+        pts.push_back(pt(next() % 100003, next() % 100019));
+    // A dense cluster of duplicates and near-duplicates.
+    for (int i = 0; i < 100; i++)
+        pts.push_back(pt(50, 50 + (i % 3)));
+
+    auto idx = paretoFrontIndices(pts);
+    ASSERT_FALSE(idx.empty());
+
+    // Brute force: a point is on the front iff nothing dominates it,
+    // taking the lowest index among coordinate duplicates.
+    std::vector<size_t> want;
+    for (size_t i = 0; i < pts.size(); i++) {
+        bool keep = true;
+        for (size_t j = 0; j < pts.size() && keep; j++) {
+            if (pts[j].dominates(pts[i]))
+                keep = false;
+            if (j < i && pts[j].storageBytes == pts[i].storageBytes &&
+                pts[j].transferBytes == pts[i].transferBytes)
+                keep = false;
+        }
+        if (keep)
+            want.push_back(i);
+    }
+    std::sort(want.begin(), want.end(), [&](size_t a, size_t b) {
+        return pts[a].storageBytes < pts[b].storageBytes;
+    });
+    EXPECT_EQ(idx, want);
 }
 
 } // namespace
