@@ -15,6 +15,7 @@
 #include "fusion/line_buffer_executor.hh"
 #include "fusion/recompute_executor.hh"
 #include "kernels/conv_kernels.hh"
+#include "kernels/weight_pack.hh"
 #include "model/balance.hh"
 #include "model/explorer.hh"
 #include "nn/reference.hh"
@@ -104,6 +105,97 @@ BM_ConvRowStripGeneric(benchmark::State &state)
     state.SetItemsProcessed(state.iterations() * f.outW);
 }
 BENCHMARK(BM_ConvRowStripGeneric)->Args({3, 1})->Args({5, 1});
+
+/** Like StripFixture but with a 4-filter bank, for the multi-filter
+ *  blocked kernels (one MR x strip register block per pass). */
+struct BlockFixture
+{
+    static constexpr int kFilters = 4;
+    Tensor in;
+    FilterBank fb;
+    int stride;
+    int outW;
+
+    BlockFixture(int k, int s, int out_w = 128)
+        : in(Shape{16, k, s * (out_w - 1) + k}), fb(kFilters, 16, k),
+          stride(s), outW(out_w)
+    {
+        Rng irng(11);
+        in.fillRandom(irng);
+        Rng wrng(12);
+        fb.fillRandom(wrng);
+    }
+};
+
+void
+BM_ConvRowBlocked(benchmark::State &state)
+{
+    // Four filters in one pass from a packed panel: every loaded input
+    // element is reused across the filter lanes (items = pixels x
+    // filters, so items/s is comparable with the single-filter strip).
+    BlockFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    const ConvBlockKernel bk =
+        resolveConvBlockKernel(f.fb.kernel(), f.stride);
+    const PackedWeights pw(f.fb);
+    std::vector<float> dst(
+        static_cast<size_t>(BlockFixture::kFilters) * f.outW);
+    for (auto _ : state) {
+        convBlockRowTensor(bk, pw, 0, dst.data(), f.outW, f.outW, f.in,
+                           0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW *
+                            BlockFixture::kFilters);
+}
+BENCHMARK(BM_ConvRowBlocked)
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({5, 1})
+    ->Args({7, 2})
+    ->Args({11, 4});
+
+void
+BM_ConvRowBlockedGeneric(benchmark::State &state)
+{
+    // The runtime-(K, stride) multi-filter fallback (also what
+    // FLCNN_SIMD=OFF builds run for specialized sizes' tails).
+    BlockFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    ConvBlockKernel bk = resolveConvBlockKernel(f.fb.kernel(), f.stride);
+    for (int mr = 0; mr <= kConvBlockLanes; mr++)
+        bk.fn[mr] = nullptr;  // force the generic path
+    const PackedWeights pw(f.fb);
+    std::vector<float> dst(
+        static_cast<size_t>(BlockFixture::kFilters) * f.outW);
+    for (auto _ : state) {
+        convBlockRowTensor(bk, pw, 0, dst.data(), f.outW, f.outW, f.in,
+                           0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW *
+                            BlockFixture::kFilters);
+}
+BENCHMARK(BM_ConvRowBlockedGeneric)->Args({3, 1})->Args({5, 1});
+
+void
+BM_WeightPack(benchmark::State &state)
+{
+    // One-time cost of repacking a VGG-sized bank into filter-
+    // interleaved panels (executors amortize this over a whole run).
+    const int m = static_cast<int>(state.range(0));
+    FilterBank fb(m, 64, 3);
+    Rng wrng(13);
+    fb.fillRandom(wrng);
+    for (auto _ : state) {
+        PackedWeights pw(fb);
+        benchmark::DoNotOptimize(pw.panel(0));
+    }
+    state.SetItemsProcessed(state.iterations() * fb.numFilters() *
+                            fb.numChannels() * fb.kernel() * fb.kernel());
+}
+BENCHMARK(BM_WeightPack)->Arg(64)->Arg(256);
 
 void
 BM_TilePlanConstruction(benchmark::State &state)

@@ -5,6 +5,7 @@ collect the numbers into one timestamped JSON file.
 Usage:
     scripts/run_bench.py [--build-dir build] [--out BENCH_<date>.json]
                          [--min-time 0.05] [--vgg-scale 56] [--quick]
+                         [--compare PREV.json] [--regression-pct 20]
 
 Runs, in order:
   1. bench/micro_kernels via google-benchmark's JSON reporter (the
@@ -17,6 +18,12 @@ The output file records the git revision, host info, every
 google-benchmark result, and the raw tables, so before/after runs can
 be diffed (`BENCH_<date>.json` files are the PR-facing evidence for
 performance work; they are not committed by default).
+
+With --compare PREV.json, the run is additionally diffed against a
+previous report: every google-benchmark case present in both files is
+printed as an old/new/speedup row, new and vanished cases are listed,
+and the script exits nonzero if any shared case regressed by more than
+--regression-pct percent (default 20) in real time.
 """
 
 import argparse
@@ -50,6 +57,68 @@ def git_rev(repo):
         return "unknown"
 
 
+def bench_times(report):
+    """Map benchmark name -> real_time in nanoseconds.
+
+    Aggregate rows (mean/median/stddev from --benchmark_repetitions)
+    are skipped so a plain run compares against a repeated one.
+    """
+    times = {}
+    for b in report.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        unit = b.get("time_unit", "ns")
+        scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
+        if scale is None or "real_time" not in b:
+            continue
+        times[b["name"]] = b["real_time"] * scale
+    return times
+
+
+def fmt_ns(ns):
+    for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
+        if ns >= div:
+            return f"{ns / div:.3g} {unit}"
+    return f"{ns:.3g} ns"
+
+
+def compare_reports(prev, cur, regression_pct):
+    """Print an old/new/speedup table; return names that regressed by
+    more than regression_pct percent in real time."""
+    old = bench_times(prev)
+    new = bench_times(cur)
+    shared = [n for n in new if n in old]
+    added = [n for n in new if n not in old]
+    gone = [n for n in old if n not in new]
+
+    print(f"\ncomparison vs {prev.get('git', '?')} "
+          f"({prev.get('date', '?')}), threshold {regression_pct}%:")
+    width = max((len(n) for n in shared), default=9)
+    print(f"  {'benchmark':<{width}}  {'old':>9}  {'new':>9}  speedup")
+    regressed = []
+    for name in shared:
+        ratio = old[name] / new[name] if new[name] > 0 else float("inf")
+        flag = ""
+        # new > old * (1 + pct/100) counts as a regression.
+        if ratio < 1.0 / (1.0 + regression_pct / 100.0):
+            flag = "  REGRESSION"
+            regressed.append(name)
+        print(f"  {name:<{width}}  {fmt_ns(old[name]):>9}  "
+              f"{fmt_ns(new[name]):>9}  {ratio:6.2f}x{flag}")
+    for name in added:
+        print(f"  {name:<{width}}  {'-':>9}  {fmt_ns(new[name]):>9}  "
+              f"   new")
+    for name in gone:
+        print(f"  {name:<{width}}  {fmt_ns(old[name]):>9}  {'-':>9}  "
+              f"   vanished")
+    if regressed:
+        print(f"{len(regressed)} benchmark(s) regressed by more than "
+              f"{regression_pct}%: {', '.join(regressed)}")
+    else:
+        print("no regressions beyond the threshold")
+    return regressed
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--build-dir", default="build",
@@ -65,7 +134,20 @@ def main():
     parser.add_argument("--quick", action="store_true",
                         help="smoke mode: tiny min-time, skip the "
                              "slower paper tables")
+    parser.add_argument("--compare", default=None, metavar="PREV.json",
+                        help="diff this run against a previous report "
+                             "and exit nonzero on regressions")
+    parser.add_argument("--regression-pct", type=float, default=20.0,
+                        help="regression threshold for --compare "
+                             "(percent slowdown in real time)")
     args = parser.parse_args()
+
+    prev = None
+    if args.compare:
+        prev_path = Path(args.compare)
+        if not prev_path.is_file():
+            sys.exit(f"no previous report at {prev_path}")
+        prev = json.loads(prev_path.read_text())
 
     repo = Path(__file__).resolve().parent.parent
     build = (repo / args.build_dir).resolve()
@@ -120,6 +202,11 @@ def main():
         "BENCH_" + datetime.date.today().isoformat() + ".json")
     out_path.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {out_path}")
+
+    if prev is not None:
+        regressed = compare_reports(prev, report, args.regression_pct)
+        if regressed:
+            sys.exit(1)
 
 
 if __name__ == "__main__":

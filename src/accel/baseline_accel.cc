@@ -52,6 +52,11 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
     const int k = conv.kernel, s = conv.stride;
     const int m_per_group = conv.outChannels / conv.groups;
     const int n_per_group = ishape.c / conv.groups;
+    // Filter-interleaved panels whose 4/2/1 lane ladder restarts at
+    // every Tm tile boundary, so a tile's blocks never straddle it.
+    const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+    const PackedWeights &pw =
+        packCache.get(st.windowed, fb, conv.groups, cfg.tm);
     const int tr = cfg.tr > 0 ? std::min(cfg.tr, oshape.h) : oshape.h;
     const int tc = cfg.tc > 0 ? std::min(cfg.tc, oshape.w) : oshape.w;
 
@@ -101,34 +106,48 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
 
                         // Accumulate: canonical (n, i, j) order per
                         // output point, so results match the reference
-                        // bit-exactly. Each (dm, r) work item owns one
-                        // output row strip, accumulated in place on top
-                        // of the previous channel block's partial sums;
-                        // the serial n0 loop above is a barrier between
-                        // input-channel blocks.
-                        const ConvKernel ks = resolveConvKernel(k, s);
+                        // bit-exactly. Each (filter-block, r) work item
+                        // owns an MR-row output strip, accumulated in
+                        // place on top of the previous channel block's
+                        // partial sums (no bias re-init here; the tile
+                        // preinit above supplied it); the serial n0
+                        // loop above is a barrier between input-channel
+                        // blocks. The packed panel's (n, i, j, lane)
+                        // layout keeps channel sub-range [n0, n0+tnn)
+                        // contiguous at offset n0*K*K*lanes.
                         FLCNN_ASSERT(
                             k <= kMaxConvKernel,
                             "conv kernel exceeds the strip row table");
                         const Shape &tsh = in_tile.shape();
                         const int64_t tile_ch_stride =
                             static_cast<int64_t>(tsh.h) * tsh.w;
+                        const int64_t out_plane =
+                            static_cast<int64_t>(oshape.h) * oshape.w;
+                        const int m_base = g * m_per_group + m0;
+                        const int bi0 = pw.blockOf(m_base);
+                        const int nb_tile =
+                            pw.blockOf(m_base + tmm - 1) - bi0 + 1;
                         parallelFor(
-                            0, static_cast<int64_t>(tmm) * trr,
+                            0, static_cast<int64_t>(nb_tile) * trr,
                             [&](int64_t wlo, int64_t whi) {
                                 int64_t row_off[kMaxConvKernel];
                                 for (int64_t w = wlo; w < whi; w++) {
-                                    const int dm =
-                                        static_cast<int>(w / trr);
+                                    const int bi =
+                                        bi0 + static_cast<int>(w / trr);
                                     const int r =
                                         static_cast<int>(w % trr);
-                                    int m = g * m_per_group + m0 + dm;
+                                    const PackedBlock &blk = pw.block(bi);
                                     linearRowOffsets(row_off, k,
                                                      r * s, tsh.w);
-                                    ks.run(&out(m, row + r, col), tcc,
+                                    bk.run(blk.lanes,
+                                           &out(blk.m0, row + r, col),
+                                           out_plane, tcc,
                                            in_tile.rowPtr(0, 0, 0),
                                            tile_ch_stride, row_off,
-                                           fb.wRow(m, n0, 0), tnn);
+                                           pw.panel(bi) +
+                                               static_cast<int64_t>(n0) *
+                                                   k * k * blk.lanes,
+                                           tnn);
                                 }
                             });
                         // The engine occupies Tm x Tn lanes for the full

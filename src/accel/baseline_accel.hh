@@ -19,6 +19,7 @@
 #define FLCNN_ACCEL_BASELINE_ACCEL_HH
 
 #include "accel/stats.hh"
+#include "kernels/weight_pack.hh"
 #include "model/baseline.hh"
 #include "nn/network.hh"
 #include "nn/weights.hh"
@@ -52,6 +53,7 @@ class BaselineAccelerator
     BaselineConfig cfg;
     DramModel dram;
     AccelStats cur;
+    WeightPackCache packCache;  //!< per-stage Tm-aligned packed banks
 };
 
 } // namespace flcnn

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common/logging.hh"
+#include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
 
 namespace flcnn {
@@ -188,22 +189,33 @@ FusedExecutor::computeWindowed(int li, int r, int c)
     const int s = spec.stride;
     if (spec.kind == LayerKind::Conv) {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
-        const int m_per_group = spec.outChannels / spec.groups;
         const int n_per_group = fb.numChannels();
-        const ConvKernel ks = resolveConvKernel(fb.kernel(), s);
-        // Strip kernel per output row: per-pixel (bias, n, i, j) order
-        // is convPoint's, so the fused pyramid stays bit-identical to
-        // the reference. The op tally is analytic (convPoint tallied
-        // the same taps-per-pixel count).
-        for (int m = 0; m < g.outPlane.c; m++) {
-            const int n_base = (m / m_per_group) * n_per_group;
-            for (int gy = oy.begin; gy < oy.end; gy++) {
-                convRowTensor(ks, &st.fresh(m, gy - oy.begin, 0),
-                              ox.width(), st.tile, fb, m, n_base,
-                              gy * s - st.tileY.begin,
-                              ox.begin * s - st.tileX.begin);
-            }
-        }
+        const ConvBlockKernel bk = resolveConvBlockKernel(fb.kernel(), s);
+        const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+        const int nb = pw.numBlocks();
+        const int64_t plane = static_cast<int64_t>(st.fresh.shape().h) *
+                              st.fresh.shape().w;
+        // One (filter-block, row) strip per work item: disjoint fresh
+        // writes across filter blocks and rows, and the blocked kernel
+        // keeps each (filter, pixel) accumulator private in convPoint's
+        // (bias, n, i, j) order, so the fused pyramid stays
+        // bit-identical to the reference at every thread count. The op
+        // tally is analytic to keep the parallel region race-free.
+        parallelFor(
+            0, static_cast<int64_t>(nb) * oy.width(),
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t w = lo; w < hi; w++) {
+                    const int bi = static_cast<int>(w / oy.width());
+                    const int gy =
+                        oy.begin + static_cast<int>(w % oy.width());
+                    convBlockRowTensor(
+                        bk, pw, bi,
+                        &st.fresh(pw.block(bi).m0, gy - oy.begin, 0),
+                        plane, ox.width(), st.tile,
+                        gy * s - st.tileY.begin,
+                        ox.begin * s - st.tileX.begin);
+                }
+            });
         int64_t taps = static_cast<int64_t>(n_per_group) * fb.kernel() *
                        fb.kernel();
         int64_t points = static_cast<int64_t>(g.outPlane.c) *
@@ -211,16 +223,33 @@ FusedExecutor::computeWindowed(int li, int r, int c)
         curStats.ops.mults += taps * points;
         curStats.ops.adds += taps * points;
     } else {
-        for (int ch = 0; ch < g.outPlane.c; ch++) {
-            for (int gy = oy.begin; gy < oy.end; gy++) {
-                for (int gx = ox.begin; gx < ox.end; gx++) {
-                    st.fresh(ch, gy - oy.begin, gx - ox.begin) = poolPoint(
-                        st.tile, ch, gy * s - st.tileY.begin,
-                        gx * s - st.tileX.begin, spec.kernel,
-                        spec.poolMode, &curStats.ops);
+        // Disjoint (ch, row) output strips; window order untouched.
+        // Pool ops are tallied analytically below (the per-point tally
+        // inside poolPoint would race across worker threads).
+        parallelFor(
+            0, static_cast<int64_t>(g.outPlane.c) * oy.width(),
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t w = lo; w < hi; w++) {
+                    const int ch = static_cast<int>(w / oy.width());
+                    const int gy =
+                        oy.begin + static_cast<int>(w % oy.width());
+                    for (int gx = ox.begin; gx < ox.end; gx++) {
+                        st.fresh(ch, gy - oy.begin, gx - ox.begin) =
+                            poolPoint(st.tile, ch,
+                                      gy * s - st.tileY.begin,
+                                      gx * s - st.tileX.begin,
+                                      spec.kernel, spec.poolMode,
+                                      nullptr);
+                    }
                 }
-            }
-        }
+            },
+            /*grain=*/2);
+        int64_t win = static_cast<int64_t>(spec.kernel) * spec.kernel *
+                      g.outPlane.c * oy.width() * ox.width();
+        if (spec.poolMode == PoolMode::Max)
+            curStats.ops.compares += win;
+        else
+            curStats.ops.adds += win;
     }
 
     if (trackCoverage) {

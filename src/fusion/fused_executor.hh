@@ -36,6 +36,7 @@
 
 #include "common/opcount.hh"
 #include "fusion/plan.hh"
+#include "kernels/weight_pack.hh"
 #include "nn/reference.hh"
 #include "nn/weights.hh"
 #include "sim/trace.hh"
@@ -130,6 +131,7 @@ class FusedExecutor
     const Tensor *groupInput = nullptr;
     Tensor *groupOutput = nullptr;
     FusedRunStats curStats;
+    WeightPackCache packCache;  //!< per-fused-layer packed conv banks
     bool trackCoverage = false;
     std::string coverageMsg;
     TraceSink traceSink;

@@ -82,26 +82,28 @@ LineBufferExecutor::drain(int li, Tensor &output)
             const FilterBank &fb =
                 weights.bank(net.convSlot(first + li));
             const int n_per_group = fb.numChannels();
-            const int m_per_group = out.c / spec.groups;
-            const ConvKernel ks = resolveConvKernel(k, s);
+            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+            const PackedWeights &pw =
+                packCache.get(li, fb, spec.groups);
+            const int nb = pw.numBlocks();
             FLCNN_ASSERT(k <= kMaxConvKernel,
                          "conv kernel exceeds the strip row table");
             const int64_t ring_ch_stride =
                 static_cast<int64_t>(cap) * in.w;
-            // Each (m, b) pair owns a disjoint output row segment; the
-            // strip kernel keeps the per-pixel (bias, n, i, j) order, so
-            // the result is bit-identical at every thread count. The
+            // Each (filter-block, b) pair owns a disjoint set of output
+            // row segments; the blocked kernel keeps every (filter,
+            // pixel) accumulator private in the (bias, n, i, j) order,
+            // so the result is bit-identical at every thread count. The
             // ring's modular row mapping goes through the kernel's
             // row-offset table.
             parallelFor(
-                0, static_cast<int64_t>(out.c) * batch,
+                0, static_cast<int64_t>(nb) * batch,
                 [&](int64_t lo, int64_t hi) {
                     int64_t row_off[kMaxConvKernel];
                     for (int64_t w = lo; w < hi; w++) {
-                        const int m = static_cast<int>(w / batch);
+                        const int bi = static_cast<int>(w / batch);
                         const int b = static_cast<int>(w % batch);
-                        const int n_base =
-                            (m / m_per_group) * n_per_group;
+                        const PackedBlock &blk = pw.block(bi);
                         const int oy = oy0 + b;
                         for (int i = 0; i < k; i++) {
                             row_off[i] =
@@ -110,12 +112,17 @@ LineBufferExecutor::drain(int li, Tensor &output)
                         }
                         float *dst = st.blockBuf.data() +
                                      static_cast<size_t>(b) * row_elems +
-                                     static_cast<size_t>(m) * out.w;
-                        const float bias = fb.bias(m);
-                        for (int ox = 0; ox < out.w; ox++)
-                            dst[ox] = bias;
-                        ks.run(dst, out.w, st.ring.rowPtr(n_base, 0, 0),
-                               ring_ch_stride, row_off, fb.wRow(m, 0, 0),
+                                     static_cast<size_t>(blk.m0) * out.w;
+                        for (int f = 0; f < blk.lanes; f++) {
+                            const float bias = pw.bias(blk.m0 + f);
+                            float *d = dst + static_cast<size_t>(f) *
+                                                 out.w;
+                            for (int ox = 0; ox < out.w; ox++)
+                                d[ox] = bias;
+                        }
+                        bk.run(blk.lanes, dst, out.w, out.w,
+                               st.ring.rowPtr(pw.nBase(bi), 0, 0),
+                               ring_ch_stride, row_off, pw.panel(bi),
                                n_per_group);
                     }
                 });
@@ -123,7 +130,12 @@ LineBufferExecutor::drain(int li, Tensor &output)
             curStats.ops.mults += taps * row_elems * batch;
             curStats.ops.adds += taps * row_elems * batch;
         } else {
-            // Disjoint (b, ch) output rows, window order untouched.
+            // Disjoint (b, ch) output rows. One pass over the output
+            // row per window tap (i, j), with the ring row pointer
+            // hoisted: every output element still folds its window in
+            // the canonical (i, j) order — the tap loops merely moved
+            // outside the vectorizable ox loop — so results stay
+            // bit-identical to poolPoint().
             parallelFor(
                 0, static_cast<int64_t>(batch) * out.c,
                 [&](int64_t lo, int64_t hi) {
@@ -135,25 +147,36 @@ LineBufferExecutor::drain(int li, Tensor &output)
                             st.blockBuf.data() +
                             static_cast<size_t>(b) * row_elems +
                             static_cast<size_t>(ch) * out.w;
-                        for (int ox = 0; ox < out.w; ox++) {
-                            float acc =
-                                (spec.poolMode == PoolMode::Max)
-                                    ? st.ring(ch, (oy * s) % cap, ox * s)
-                                    : 0.0f;
-                            for (int i = 0; i < k; i++) {
-                                const int ry = (oy * s + i) % cap;
-                                for (int j = 0; j < k; j++) {
-                                    float v =
-                                        st.ring(ch, ry, ox * s + j);
-                                    if (spec.poolMode == PoolMode::Max)
-                                        acc = std::max(acc, v);
-                                    else
-                                        acc += v;
+                        const bool is_max =
+                            spec.poolMode == PoolMode::Max;
+                        if (is_max) {
+                            const float *rp =
+                                st.ring.rowPtr(ch, (oy * s) % cap, 0);
+                            for (int ox = 0; ox < out.w; ox++)
+                                dst[ox] = rp[ox * s];
+                        } else {
+                            for (int ox = 0; ox < out.w; ox++)
+                                dst[ox] = 0.0f;
+                        }
+                        for (int i = 0; i < k; i++) {
+                            const float *rp = st.ring.rowPtr(
+                                ch, (oy * s + i) % cap, 0);
+                            for (int j = 0; j < k; j++) {
+                                if (is_max) {
+                                    for (int ox = 0; ox < out.w; ox++)
+                                        dst[ox] = std::max(
+                                            dst[ox], rp[ox * s + j]);
+                                } else {
+                                    for (int ox = 0; ox < out.w; ox++)
+                                        dst[ox] += rp[ox * s + j];
                                 }
                             }
-                            if (spec.poolMode == PoolMode::Avg)
-                                acc /= static_cast<float>(k * k);
-                            dst[ox] = acc;
+                        }
+                        if (spec.poolMode == PoolMode::Avg) {
+                            const float inv_n =
+                                static_cast<float>(k * k);
+                            for (int ox = 0; ox < out.w; ox++)
+                                dst[ox] /= inv_n;
                         }
                     }
                 },
@@ -183,10 +206,11 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
     const int n = last - first + 1;
     if (li == n) {
         const Shape &out = output.shape();
-        for (int ch = 0; ch < out.c; ch++)
-            for (int x = 0; x < out.w; x++)
-                output(ch, y, x) =
-                    row_data[static_cast<size_t>(ch) * out.w + x];
+        for (int ch = 0; ch < out.c; ch++) {
+            const float *src =
+                row_data + static_cast<size_t>(ch) * out.w;
+            std::copy(src, src + out.w, &output(ch, y, 0));
+        }
         curStats.storedBytes += static_cast<int64_t>(out.c) * out.w * 4;
         return;
     }
@@ -200,10 +224,11 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
       case LayerKind::Conv:
       case LayerKind::Pool: {
         const int slot = y % st.ringRows;
-        for (int ch = 0; ch < in.c; ch++)
-            for (int x = 0; x < in.w; x++)
-                st.ring(ch, slot, x) =
-                    row_data[static_cast<size_t>(ch) * in.w + x];
+        for (int ch = 0; ch < in.c; ch++) {
+            const float *src =
+                row_data + static_cast<size_t>(ch) * in.w;
+            std::copy(src, src + in.w, &st.ring(ch, slot, 0));
+        }
         st.rowsIn = y + 1;
         drain(li, output);
         break;
@@ -218,11 +243,17 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
             for (int oy = 0; oy < p; oy++)
                 emit_zero_row(oy);
         }
-        std::fill(st.rowBuf.begin(), st.rowBuf.end(), 0.0f);
-        for (int ch = 0; ch < in.c; ch++)
-            for (int x = 0; x < in.w; x++)
-                st.rowBuf[static_cast<size_t>(ch) * out.w + (x + p)] =
-                    row_data[static_cast<size_t>(ch) * in.w + x];
+        // No per-row refill: rowBuf starts zeroed, the interior is
+        // fully overwritten below, and nothing ever writes a nonzero
+        // value into the left/right pad columns — they stay zero
+        // across rows and runs.
+        for (int ch = 0; ch < in.c; ch++) {
+            const float *src =
+                row_data + static_cast<size_t>(ch) * in.w;
+            std::copy(src, src + in.w,
+                      st.rowBuf.data() +
+                          static_cast<size_t>(ch) * out.w + p);
+        }
         pushRow(li + 1, y + p, st.rowBuf.data(), output);
         if (y == in.h - 1) {
             for (int oy = in.h + p; oy < in.h + 2 * p; oy++)
@@ -282,9 +313,11 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
     const Shape &in = input.shape();
     std::vector<float> row(static_cast<size_t>(in.c) * in.w);
     for (int y = 0; y < in.h; y++) {
-        for (int ch = 0; ch < in.c; ch++)
-            for (int x = 0; x < in.w; x++)
-                row[static_cast<size_t>(ch) * in.w + x] = input(ch, y, x);
+        for (int ch = 0; ch < in.c; ch++) {
+            const float *src = input.rowPtr(ch, y, 0);
+            std::copy(src, src + in.w,
+                      row.data() + static_cast<size_t>(ch) * in.w);
+        }
         curStats.loadedBytes += static_cast<int64_t>(in.c) * in.w * 4;
         pushRow(0, y, row.data(), output);
     }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/opcount.hh"
+#include "kernels/weight_pack.hh"
 #include "nn/network.hh"
 #include "nn/weights.hh"
 #include "tensor/tensor.hh"
@@ -83,6 +84,7 @@ class LineBufferExecutor
     int rowBlock;
     std::vector<LayerState> states;
     LineBufferStats curStats;
+    WeightPackCache packCache;  //!< per-fused-layer packed conv banks
 };
 
 } // namespace flcnn

@@ -63,24 +63,28 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
       case LayerKind::Conv: {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
         const int oh = oy.width();
-        const int m_per_group = spec.outChannels / spec.groups;
-        const int n_per_group = fb.numChannels();
-        const ConvKernel ks = resolveConvKernel(fb.kernel(), spec.stride);
-        // One (m, row) pair per work item, computed as one strip; op
-        // counts are tallied analytically below so the parallel region
-        // stays race-free.
+        const ConvBlockKernel bk =
+            resolveConvBlockKernel(fb.kernel(), spec.stride);
+        const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+        const int nb = pw.numBlocks();
+        const int64_t plane = static_cast<int64_t>(out.shape().h) *
+                              out.shape().w;
+        // One (filter-block, row) strip per work item; the blocked
+        // kernel keeps each (filter, pixel) accumulator private in
+        // convPoint's (bias, n, i, j) order. Op counts are tallied
+        // analytically below so the parallel region stays race-free.
         parallelFor(
-            0, static_cast<int64_t>(g.outPlane.c) * oh,
+            0, static_cast<int64_t>(nb) * oh,
             [&](int64_t wlo, int64_t whi) {
                 for (int64_t w = wlo; w < whi; w++) {
-                    const int m = static_cast<int>(w / oh);
+                    const int bi = static_cast<int>(w / oh);
                     const int gy =
                         oy.begin + static_cast<int>(w % oh);
-                    const int n_base = (m / m_per_group) * n_per_group;
-                    convRowTensor(ks, &out(m, gy - oy.begin, 0),
-                                  ox.width(), src, fb, m, n_base,
-                                  gy * spec.stride - sy.begin,
-                                  ox.begin * spec.stride - sx.begin);
+                    convBlockRowTensor(
+                        bk, pw, bi,
+                        &out(pw.block(bi).m0, gy - oy.begin, 0), plane,
+                        ox.width(), src, gy * spec.stride - sy.begin,
+                        ox.begin * spec.stride - sx.begin);
                 }
             });
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *

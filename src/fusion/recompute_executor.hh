@@ -17,6 +17,7 @@
 
 #include "common/opcount.hh"
 #include "fusion/plan.hh"
+#include "kernels/weight_pack.hh"
 #include "nn/reference.hh"
 #include "nn/weights.hh"
 
@@ -59,6 +60,7 @@ class RecomputeExecutor
     Tensor inTile;
     Span inTileY, inTileX;
     RecomputeRunStats curStats;
+    WeightPackCache packCache;  //!< per-fused-layer packed conv banks
 };
 
 } // namespace flcnn

@@ -120,6 +120,92 @@ linearRowOffsets(int64_t *row_off, int k, int y0, int64_t row_stride,
         row_off[i] = (y0 + i) * row_stride + x0;
 }
 
+/** Widest filter block the multi-filter kernels compute per pass. */
+constexpr int kConvBlockLanes = 4;
+
+/**
+ * Signature of a multi-filter strip kernel. One pass computes an
+ * MR x count register block — MR adjacent filters ("lanes") by count
+ * horizontally adjacent pixels — so every loaded input element is
+ * reused MR times. For lane f and pixel t,
+ *
+ *   dst[f*dst_stride + t] +=
+ *       sum_n sum_i sum_j wp[((n*K + i)*K + j)*MR + f]
+ *                       * in[n*ch_stride + row_off[i] + t*SX + j]
+ *
+ * with each (f, t) accumulator private and fed in exactly the
+ * canonical (n, i, j) order — the blocking reuses loads, it never
+ * reassociates a single output's taps, so results are bit-identical
+ * to MR x count scalar convPoint() evaluations. Weights come from a
+ * filter-interleaved packed panel (see kernels/weight_pack.hh): the
+ * MR lane weights of each tap are contiguous. Callers preload every
+ * lane's dst row with the bias (fresh pixels) or the running partial
+ * sum (the baseline accelerator's channel-blocked loop).
+ *
+ * The lane count MR is baked into the function; resolve one variant
+ * per ladder width (4/2/1) through ConvBlockKernel.
+ */
+using ConvBlockStripFn = void (*)(float *dst, int64_t dst_stride,
+                                  int count, const float *in,
+                                  int64_t ch_stride,
+                                  const int64_t *row_off,
+                                  const float *wp, int n_count);
+
+/**
+ * Resolved multi-filter kernels for one (k, stride) pair: one strip
+ * function per lane width of the 4/2/1 filter-block ladder, falling
+ * back to the generic (runtime-K) path where no variant exists.
+ * Value type; resolve once per layer and reuse.
+ */
+struct ConvBlockKernel
+{
+    int k = 0;   //!< kernel size K
+    int sx = 1;  //!< input step between adjacent output pixels
+    ConvBlockStripFn fn[kConvBlockLanes + 1] = {};  //!< per lane count
+
+    bool specialized(int mr) const { return fn[mr] != nullptr; }
+
+    /** Run the @p mr-lane strip kernel (specialized or generic). */
+    void
+    run(int mr, float *dst, int64_t dst_stride, int count,
+        const float *in, int64_t ch_stride, const int64_t *row_off,
+        const float *wp, int n_count) const
+    {
+        FLCNN_ASSERT(mr >= 1 && mr <= kConvBlockLanes,
+                     "filter-block lane count out of range");
+        if (fn[mr])
+            fn[mr](dst, dst_stride, count, in, ch_stride, row_off, wp,
+                   n_count);
+        else
+            convBlockStripGeneric(mr, dst, dst_stride, count, in,
+                                  ch_stride, row_off, wp, n_count, k,
+                                  sx);
+    }
+
+    /** The generic (runtime-K/stride/lane) multi-filter path; exposed
+     *  so tests can differentially check every variant against it. */
+    static void convBlockStripGeneric(int mr, float *dst,
+                                      int64_t dst_stride, int count,
+                                      const float *in, int64_t ch_stride,
+                                      const int64_t *row_off,
+                                      const float *wp, int n_count,
+                                      int k, int sx);
+};
+
+/**
+ * Resolve the multi-filter kernels for a (kernel, stride) pair.
+ * Specialized variants cover the zoo's K in {1, 3, 5, 7, 11} x stride
+ * in {1, 2, 4} grid; when the build enables FLCNN_SIMD and the CPU
+ * supports AVX2, stride-1 table sizes dispatch to an explicit
+ * (FMA-free) vector path whose per-lane operation order is identical
+ * to the scalar kernel. Everything else gets the generic path.
+ */
+ConvBlockKernel resolveConvBlockKernel(int kernel, int stride);
+
+/** True when the explicit SIMD strip path is compiled in and the CPU
+ *  supports it at runtime (FLCNN_SIMD=ON build on an AVX2 host). */
+bool convSimdEnabled();
+
 /**
  * Convenience wrapper for the common Tensor + FilterBank call sites:
  * compute @p count output pixels of filter @p m into @p dst, with

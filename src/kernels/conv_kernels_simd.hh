@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Internal interface between the portable kernel dispatcher and the
+ * optional SIMD translation unit (conv_kernels_avx2.cc, compiled with
+ * -mavx2 only when the FLCNN_SIMD CMake option is ON). Keeping the
+ * vector code in its own TU means the rest of the library never emits
+ * AVX2 instructions, so a binary built with the option still runs on
+ * hosts without AVX2 — the resolver checks avx2Supported() at runtime
+ * and falls back to the portable kernels.
+ */
+
+#ifndef FLCNN_KERNELS_CONV_KERNELS_SIMD_HH
+#define FLCNN_KERNELS_CONV_KERNELS_SIMD_HH
+
+#include "kernels/conv_kernels.hh"
+
+namespace flcnn {
+namespace simd {
+
+/** True when the running CPU supports the AVX2 strip kernels. */
+bool avx2Supported();
+
+/**
+ * The AVX2 multi-filter strip variant for @p mr lanes and a
+ * (kernel, stride) pair, or nullptr when no vector variant exists
+ * (non-table kernel sizes and strides other than 1). The returned
+ * function honors the full determinism contract: 8-pixel vector
+ * blocks apply, per lane, exactly the scalar mul-then-add tap order
+ * (no FMA — the build never enables -mfma and intrinsics are not
+ * contracted), and sub-8-pixel remainders delegate to the portable
+ * generic path.
+ */
+ConvBlockStripFn blockFn(int mr, int kernel, int stride);
+
+} // namespace simd
+} // namespace flcnn
+
+#endif // FLCNN_KERNELS_CONV_KERNELS_SIMD_HH

@@ -1,0 +1,84 @@
+#include "kernels/weight_pack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+PackedWeights::PackedWeights(const FilterBank &fb, int groups, int m_tile)
+    : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel())
+{
+    FLCNN_ASSERT(groups >= 1 && m_ % groups == 0,
+                 "filters must divide evenly into groups");
+    FLCNN_ASSERT(m_tile >= 0, "m_tile must be non-negative");
+    mPerGroup = m_ / groups;
+
+    biases.resize(static_cast<size_t>(m_));
+    for (int m = 0; m < m_; m++)
+        biases[static_cast<size_t>(m)] = fb.bias(m);
+
+    // Enumerate blocks: the 4/2/1 lane ladder, restarted at every
+    // group boundary and (when tiling) every m_tile-th filter within
+    // a group.
+    const int tile = (m_tile > 0) ? std::min(m_tile, mPerGroup)
+                                  : mPerGroup;
+    blockOfM.resize(static_cast<size_t>(m_));
+    int64_t offset = 0;
+    const int64_t panel_taps = static_cast<int64_t>(n_) * k_ * k_;
+    for (int g = 0; g < groups; g++) {
+        for (int t0 = 0; t0 < mPerGroup; t0 += tile) {
+            int m = g * mPerGroup + t0;
+            int rem = std::min(tile, mPerGroup - t0);
+            while (rem > 0) {
+                int lanes = rem >= kConvBlockLanes ? kConvBlockLanes
+                            : rem >= 2             ? 2
+                                                   : 1;
+                const int bi = static_cast<int>(blks.size());
+                blks.push_back(PackedBlock{m, lanes, offset});
+                for (int f = 0; f < lanes; f++)
+                    blockOfM[static_cast<size_t>(m + f)] = bi;
+                offset += panel_taps * lanes;
+                m += lanes;
+                rem -= lanes;
+            }
+        }
+    }
+
+    // Fill the panels: (n, i, j, lane), values copied verbatim.
+    data.resize(static_cast<size_t>(offset));
+    for (const PackedBlock &b : blks) {
+        float *p = data.data() + b.offset;
+        for (int n = 0; n < n_; n++) {
+            for (int i = 0; i < k_; i++) {
+                for (int j = 0; j < k_; j++) {
+                    for (int f = 0; f < b.lanes; f++)
+                        *p++ = fb.w(b.m0 + f, n, i, j);
+                }
+            }
+        }
+    }
+}
+
+void
+convBlockRowTensor(const ConvBlockKernel &bk, const PackedWeights &pw,
+                   int bi, float *dst, int64_t dst_stride, int count,
+                   const Tensor &in, int y0, int x0)
+{
+    FLCNN_ASSERT(bk.k == pw.kernel(), "kernel mismatch with packed bank");
+    const Shape &s = in.shape();
+    int64_t row_off[kMaxConvKernel];
+    linearRowOffsets(row_off, bk.k, y0, s.w, x0);
+    const PackedBlock &b = pw.block(bi);
+    for (int f = 0; f < b.lanes; f++) {
+        const float bias = pw.bias(b.m0 + f);
+        float *d = dst + f * dst_stride;
+        for (int t = 0; t < count; t++)
+            d[t] = bias;
+    }
+    bk.run(b.lanes, dst, dst_stride, count, in.rowPtr(pw.nBase(bi), 0, 0),
+           static_cast<int64_t>(s.h) * s.w, row_off, pw.panel(bi),
+           pw.numChannels());
+}
+
+} // namespace flcnn

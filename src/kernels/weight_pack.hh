@@ -1,0 +1,151 @@
+/**
+ * @file
+ * Filter-interleaved packed weight panels for the multi-filter strip
+ * kernels.
+ *
+ * A FilterBank stores weights filter-major (m, n, i, j): the taps of
+ * one filter are contiguous, but the multi-filter kernels consume MR
+ * filters per pass and want each tap's MR lane weights adjacent.
+ * PackedWeights repacks a bank once into per-block panels laid out
+ * (n, i, j, m-lane): panel element ((n*K + i)*K + j)*lanes + f holds
+ * filter (m0 + f)'s tap (n, i, j), so the kernel's weight stream is a
+ * single contiguous walk. Blocks follow a 4/2/1 lane ladder and never
+ * straddle a group boundary (grouped convolutions must keep every
+ * lane's input-channel window identical) or an optional m-tile
+ * boundary (the baseline accelerator's Tm tiling).
+ *
+ * Packing is pure data movement — values are copied bit-for-bit, the
+ * accumulation order is untouched — so consumers stay bit-identical
+ * to the unpacked path. Executors cache one PackedWeights per conv
+ * layer through WeightPackCache (a one-time cost of one pass over the
+ * bank, amortized over every run).
+ */
+
+#ifndef FLCNN_KERNELS_WEIGHT_PACK_HH
+#define FLCNN_KERNELS_WEIGHT_PACK_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "kernels/conv_kernels.hh"
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+/** One filter block of a packed bank. */
+struct PackedBlock
+{
+    int m0 = 0;         //!< first filter of the block
+    int lanes = 0;      //!< filters in the block (4, 2, or 1)
+    int64_t offset = 0; //!< panel start within the packed buffer
+};
+
+/** A FilterBank repacked into filter-interleaved panels. */
+class PackedWeights
+{
+  public:
+    PackedWeights() = default;
+
+    /**
+     * Pack @p fb for @p groups-way grouped convolution. Blocks follow
+     * the 4/2/1 lane ladder within each group; when @p m_tile > 0 the
+     * ladder also restarts at every m_tile-th filter inside a group,
+     * so a tile [m0, m0 + m_tile) is always a whole number of blocks
+     * (the baseline accelerator's Tm loop needs this).
+     */
+    explicit PackedWeights(const FilterBank &fb, int groups = 1,
+                           int m_tile = 0);
+
+    int numBlocks() const { return static_cast<int>(blks.size()); }
+    const PackedBlock &
+    block(int bi) const
+    {
+        return blks[static_cast<size_t>(bi)];
+    }
+
+    /** Panel base pointer of block @p bi ((n, i, j, lane) layout). */
+    const float *
+    panel(int bi) const
+    {
+        return data.data() + block(bi).offset;
+    }
+
+    /** Index of the block containing filter @p m. */
+    int
+    blockOf(int m) const
+    {
+        return blockOfM[static_cast<size_t>(m)];
+    }
+
+    /** First input channel feeding block @p bi (its group's base). */
+    int
+    nBase(int bi) const
+    {
+        return (block(bi).m0 / mPerGroup) * n_;
+    }
+
+    /** Bias of filter @p m (copied from the bank at pack time). */
+    float bias(int m) const { return biases[static_cast<size_t>(m)]; }
+
+    int kernel() const { return k_; }
+    int numChannels() const { return n_; }
+    int numFilters() const { return m_; }
+
+    /** Packed buffer size in bytes (weights only). */
+    int64_t
+    bytes() const
+    {
+        return static_cast<int64_t>(data.size()) * 4;
+    }
+
+  private:
+    std::vector<PackedBlock> blks;
+    std::vector<int> blockOfM;  //!< filter index -> block index
+    std::vector<float> data;
+    std::vector<float> biases;
+    int m_ = 0, n_ = 0, k_ = 0;
+    int mPerGroup = 0;
+};
+
+/**
+ * Lazy per-layer cache of packed banks, hung off each executor: the
+ * first run packs, later runs reuse. Keys are caller-chosen (fused
+ * layer index, network layer index, ...). Not thread-safe — executors
+ * populate it from the serial portion of their run, outside any
+ * parallelFor region.
+ */
+class WeightPackCache
+{
+  public:
+    /** The packed form of @p fb under @p key, packing on first use. */
+    const PackedWeights &
+    get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0)
+    {
+        auto it = map.find(key);
+        if (it == map.end())
+            it = map.emplace(key, PackedWeights(fb, groups, m_tile))
+                     .first;
+        return it->second;
+    }
+
+  private:
+    std::unordered_map<int, PackedWeights> map;
+};
+
+/**
+ * Convenience wrapper for Tensor call sites: compute @p count output
+ * pixels of every filter in block @p bi into the rows
+ * dst + f * dst_stride, receptive fields at rows [y0, y0 + K) and
+ * columns x0 + t * stride of @p in. Each lane's row is initialized
+ * with its bias, then accumulated in canonical order — bit-identical
+ * to convPoint() per (filter, pixel).
+ */
+void convBlockRowTensor(const ConvBlockKernel &bk,
+                        const PackedWeights &pw, int bi, float *dst,
+                        int64_t dst_stride, int count, const Tensor &in,
+                        int y0, int x0);
+
+} // namespace flcnn
+
+#endif // FLCNN_KERNELS_WEIGHT_PACK_HH

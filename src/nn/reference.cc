@@ -7,6 +7,7 @@
 #include "common/mathutil.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "kernels/weight_pack.hh"
 
 namespace flcnn {
 
@@ -76,23 +77,28 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
 {
     Shape out_shape = spec.outShape(in.shape());
     Tensor out(out_shape);
-    const int m_per_group = spec.outChannels / spec.groups;
-    const int n_per_group = fb.numChannels();
-    const ConvKernel ks = resolveConvKernel(fb.kernel(), spec.stride);
-    // One (m, y) output row per work item: disjoint writes, and the
-    // per-pixel (bias, n, i, j) order inside the strip kernel matches
-    // convPoint exactly, so the result is bit-identical at every thread
-    // count. Op counts are tallied analytically to keep the parallel
-    // region race-free.
+    const ConvBlockKernel bk =
+        resolveConvBlockKernel(fb.kernel(), spec.stride);
+    // Repacked per call: one pass over the bank, negligible next to
+    // the out_h * out_w passes of compute (long-lived executors cache
+    // their packs instead; see kernels/weight_pack.hh).
+    const PackedWeights pw(fb, spec.groups);
+    const int nb = pw.numBlocks();
+    const int64_t plane = static_cast<int64_t>(out_shape.h) * out_shape.w;
+    // One (filter-block, y) output row group per work item: disjoint
+    // writes, and each (filter, pixel) accumulator inside the blocked
+    // kernel is fed in convPoint's (bias, n, i, j) order, so the
+    // result is bit-identical at every thread count. Op counts are
+    // tallied analytically to keep the parallel region race-free.
     parallelFor(
-        0, static_cast<int64_t>(out_shape.c) * out_shape.h,
+        0, static_cast<int64_t>(nb) * out_shape.h,
         [&](int64_t lo, int64_t hi) {
             for (int64_t w = lo; w < hi; w++) {
-                const int m = static_cast<int>(w / out_shape.h);
+                const int bi = static_cast<int>(w / out_shape.h);
                 const int y = static_cast<int>(w % out_shape.h);
-                const int n_base = (m / m_per_group) * n_per_group;
-                convRowTensor(ks, &out(m, y, 0), out_shape.w, in, fb, m,
-                              n_base, y * spec.stride, 0);
+                convBlockRowTensor(bk, pw, bi,
+                                   &out(pw.block(bi).m0, y, 0), plane,
+                                   out_shape.w, in, y * spec.stride, 0);
             }
         });
     if (ops) {

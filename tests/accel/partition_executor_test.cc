@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "accel/partition_executor.hh"
+#include "common/thread_pool.hh"
 #include "model/transfer.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
@@ -121,6 +122,46 @@ TEST(PartitionExecutor, WiderTipsStayCorrect)
                                partitionFromSizes({2, 2}, stages), tip);
         Tensor out = exec.run(input);
         EXPECT_TRUE(tensorsEqual(ref, out)) << "tip " << tip;
+    }
+}
+
+/** RAII: run a scope at a fixed global thread count, then restore the
+ *  default so other tests are unaffected. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n) { ThreadPool::setGlobalThreads(n); }
+    ~ScopedThreads() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(PartitionExecutor, BitExactAcrossThreadCounts)
+{
+    // Every pyramid delegates to the threaded FusedExecutor; the whole
+    // partition's output must be invariant to the pool width, bitwise,
+    // against a serial reference.
+    Network net = smallVggish();
+    int stages = static_cast<int>(net.stages().size());
+    Rng wrng(59);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(60);
+    input.fillRandom(irng);
+
+    Tensor ref;
+    {
+        ScopedThreads serial(1);
+        ref = runRange(net, weights, input, 0,
+                       net.stages().back().last);
+    }
+    for (int threads : {1, 2, 8}) {
+        ScopedThreads scope(threads);
+        for (const Partition &p :
+             {singletonPartition(stages), fullFusionPartition(stages)}) {
+            PartitionExecutor exec(net, weights, p);
+            Tensor out = exec.run(input);
+            ASSERT_TRUE(tensorsEqual(ref, out))
+                << partitionStr(p) << " threads=" << threads;
+        }
     }
 }
 

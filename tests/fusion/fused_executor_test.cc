@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/thread_pool.hh"
 #include "fusion/fused_executor.hh"
 #include "fusion/plan.hh"
 #include "nn/reference.hh"
@@ -248,6 +249,50 @@ TEST(FusedExecutor, InteriorGroup)
     FusedExecutor exec(net, weights, TilePlan(net, 1, 3, 1, 1));
     Tensor fused = exec.run(l0);
     EXPECT_TRUE(tensorsEqual(ref, fused));
+}
+
+/** RAII: run a scope at a fixed global thread count, then restore the
+ *  default so other tests are unaffected. */
+class ScopedThreads
+{
+  public:
+    explicit ScopedThreads(int n) { ThreadPool::setGlobalThreads(n); }
+    ~ScopedThreads() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(FusedExecutor, BitExactAcrossThreadCounts)
+{
+    // The pyramid executor threads each window's conv and pool stages
+    // across filter blocks and rows; disjoint writes plus the blocked
+    // kernel's private accumulators make the output invariant to the
+    // pool width — bitwise, against a serial reference.
+    Network net("vgg-threads", Shape{3, 36, 36});
+    net.addConvBlock("c11", 5, 3, 1, 1);
+    net.addConvBlock("c12", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c21", 6, 3, 1, 1);
+
+    Rng wrng(91);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(92);
+    input.fillRandom(irng);
+
+    Tensor ref;
+    {
+        ScopedThreads serial(1);
+        ref = runRange(net, weights, input, 0, net.numLayers() - 1);
+    }
+    for (int threads : {1, 2, 8}) {
+        ScopedThreads scope(threads);
+        FusedExecutor exec(
+            net, weights,
+            TilePlan(net, 0, net.numLayers() - 1, 4, 4));
+        Tensor fused = exec.run(input);
+        CompareResult cmp = compareTensors(ref, fused);
+        ASSERT_TRUE(cmp.match)
+            << "threads=" << threads << ": " << cmp.str();
+    }
 }
 
 class FusedExecutorRandom : public ::testing::TestWithParam<int>

@@ -1,0 +1,310 @@
+/**
+ * @file
+ * Multi-filter blocked strip kernels: bit-exact equivalence with the
+ * canonical scalar convPoint() and with the single-filter strips
+ * across the kernel/stride grid, filter-count and strip-width tails,
+ * SIMD-vs-generic dispatch, ring row tables, grouped convolution, and
+ * channel-range partial-sum chaining.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/conv_kernels.hh"
+#include "kernels/weight_pack.hh"
+#include "nn/reference.hh"
+
+namespace flcnn {
+namespace {
+
+/** Random input + multi-filter bank for one (K, stride) case. */
+struct BlockCase
+{
+    Tensor in;
+    FilterBank fb;
+    int stride;
+    int outW;
+
+    BlockCase(int k, int s, int channels, int filters, int out_w,
+              uint64_t seed)
+        : in(Shape{channels, k, s * (out_w - 1) + k}),
+          fb(filters, channels, k), stride(s), outW(out_w)
+    {
+        Rng irng(seed * 6151 + 3);
+        in.fillRandom(irng);
+        Rng wrng(seed * 13007 + 4);
+        fb.fillRandom(wrng);
+    }
+};
+
+/** Run every block of the packed bank over one output row. */
+std::vector<float>
+runBlocked(const BlockCase &c, const ConvBlockKernel &bk,
+           const PackedWeights &pw)
+{
+    std::vector<float> dst(
+        static_cast<size_t>(c.fb.numFilters()) * c.outW);
+    for (int bi = 0; bi < pw.numBlocks(); bi++) {
+        convBlockRowTensor(
+            bk, pw, bi,
+            dst.data() + static_cast<size_t>(pw.block(bi).m0) * c.outW,
+            c.outW, c.outW, c.in, 0, 0);
+    }
+    return dst;
+}
+
+/** Every (filter, pixel) must equal the scalar convPoint — bitwise. */
+void
+expectBlockedMatchesConvPoint(const BlockCase &c)
+{
+    const ConvBlockKernel bk =
+        resolveConvBlockKernel(c.fb.kernel(), c.stride);
+    const PackedWeights pw(c.fb);
+    std::vector<float> dst = runBlocked(c, bk, pw);
+    for (int m = 0; m < c.fb.numFilters(); m++) {
+        for (int x = 0; x < c.outW; x++) {
+            const float want =
+                convPoint(c.in, c.fb, m, 0, x * c.stride, 1,
+                          c.fb.numFilters(), nullptr);
+            ASSERT_EQ(dst[static_cast<size_t>(m) * c.outW + x], want)
+                << "k=" << c.fb.kernel() << " s=" << c.stride
+                << " m=" << m << " x=" << x;
+        }
+    }
+}
+
+TEST(ConvBlockKernels, SpecializedGridMatchesConvPoint)
+{
+    // The zoo's kernel/stride grid; 7 filters exercise the 4/2/1 lane
+    // ladder tail and width 37 the 8/4/2/1 pixel remainder ladder.
+    uint64_t seed = 0;
+    for (int k : {1, 3, 5, 7, 11}) {
+        for (int s : {1, 2, 4}) {
+            SCOPED_TRACE("k=" + std::to_string(k) +
+                         " s=" + std::to_string(s));
+            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+            for (int mr : {1, 2, 4})
+                EXPECT_TRUE(bk.specialized(mr)) << "mr=" << mr;
+            expectBlockedMatchesConvPoint(
+                BlockCase(k, s, 3, 7, 37, ++seed));
+        }
+    }
+}
+
+TEST(ConvBlockKernels, GenericFallbackMatchesConvPoint)
+{
+    // Shapes outside the specialization table run the runtime-(K,
+    // stride) multi-filter path — same contract, same bits.
+    uint64_t seed = 100;
+    const std::pair<int, int> cases[] = {{2, 1}, {4, 3}, {13, 1}, {3, 3}};
+    for (auto [k, s] : cases) {
+        SCOPED_TRACE("k=" + std::to_string(k) +
+                     " s=" + std::to_string(s));
+        const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+        EXPECT_FALSE(bk.specialized(4));
+        expectBlockedMatchesConvPoint(
+            BlockCase(k, s, 2, 5, 23, ++seed));
+    }
+}
+
+TEST(ConvBlockKernels, BlockedMatchesSingleFilterStrip)
+{
+    // The multi-filter block and the single-filter strip must agree
+    // bit for bit: both promise convPoint's canonical order.
+    for (int k : {1, 3, 5, 7, 11}) {
+        for (int s : {1, 2, 4}) {
+            BlockCase c(k, s, 3, 4, 29, 300 + k * 10 + s);
+            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+            const ConvKernel ks = resolveConvKernel(k, s);
+            const PackedWeights pw(c.fb);
+            std::vector<float> blocked = runBlocked(c, bk, pw);
+            std::vector<float> strip(static_cast<size_t>(c.outW));
+            for (int m = 0; m < c.fb.numFilters(); m++) {
+                convRowTensor(ks, strip.data(), c.outW, c.in, c.fb, m,
+                              0, 0, 0);
+                for (int x = 0; x < c.outW; x++)
+                    ASSERT_EQ(
+                        blocked[static_cast<size_t>(m) * c.outW + x],
+                        strip[static_cast<size_t>(x)])
+                        << "k=" << k << " s=" << s << " m=" << m
+                        << " x=" << x;
+            }
+        }
+    }
+}
+
+TEST(ConvBlockKernels, DispatchedAndGenericProduceIdenticalBits)
+{
+    // Whatever resolveConvBlockKernel dispatched to (the AVX2 variants
+    // in FLCNN_SIMD builds, the scalar specializations otherwise) must
+    // be bitwise identical to the portable runtime-(K, stride) block.
+    for (int k : {1, 3, 5, 7, 11}) {
+        for (int s : {1, 2, 4}) {
+            BlockCase c(k, s, 3, 7, 37, 400 + k * 10 + s);
+            const ConvBlockKernel fast =
+                resolveConvBlockKernel(k, s);
+            ConvBlockKernel generic = fast;
+            for (int mr = 0; mr <= kConvBlockLanes; mr++)
+                generic.fn[mr] = nullptr;
+            const PackedWeights pw(c.fb);
+            EXPECT_EQ(runBlocked(c, fast, pw),
+                      runBlocked(c, generic, pw))
+                << "k=" << k << " s=" << s;
+        }
+    }
+}
+
+TEST(ConvBlockKernels, StripWidthsCoverEveryRemainderPath)
+{
+    // Strip counts 1..19 hit every combination of the 8/4/2/1 pixel
+    // ladder, at a stride that exercises the strided vector loads.
+    BlockCase c(3, 2, 3, 4, 19, 77);
+    const ConvBlockKernel bk = resolveConvBlockKernel(3, 2);
+    const PackedWeights pw(c.fb);
+    for (int count = 1; count <= 19; count++) {
+        std::vector<float> dst(static_cast<size_t>(4) * count);
+        convBlockRowTensor(bk, pw, 0, dst.data(), count, count, c.in,
+                           0, 0);
+        for (int m = 0; m < 4; m++)
+            for (int x = 0; x < count; x++) {
+                const float want = convPoint(c.in, c.fb, m, 0, x * 2,
+                                             1, 4, nullptr);
+                ASSERT_EQ(dst[static_cast<size_t>(m) * count + x], want)
+                    << "count=" << count << " m=" << m << " x=" << x;
+            }
+    }
+}
+
+TEST(ConvBlockKernels, FilterCountsCoverEveryLaneTail)
+{
+    // 1..7 filters: every 4/2/1 ladder shape, including the mixed
+    // tails (5 = 4+1, 6 = 4+2, 7 = 4+2+1).
+    for (int filters = 1; filters <= 7; filters++) {
+        SCOPED_TRACE("filters=" + std::to_string(filters));
+        expectBlockedMatchesConvPoint(
+            BlockCase(3, 1, 3, filters, 13, 500 + filters));
+    }
+}
+
+TEST(ConvBlockKernels, RingRowOffsetsMatchLinearRows)
+{
+    // The line-buffer executor hands the blocked kernel modular ring
+    // rows via row_off; the result must match the linear-tensor call
+    // bit for bit.
+    const int k = 3, s = 1, cap = 4, channels = 3, out_w = 21;
+    const int in_h = 6;
+    Tensor in(Shape{channels, in_h, out_w + k - 1});
+    Rng irng(91);
+    in.fillRandom(irng);
+    FilterBank fb(5, channels, k);
+    Rng wrng(92);
+    fb.fillRandom(wrng);
+
+    const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+    const PackedWeights pw(fb);
+    const int64_t w = in.shape().w;
+
+    Tensor ring(Shape{channels, cap, static_cast<int>(w)});
+    const int y0 = 3;  // rows 3, 4, 5 -> ring rows 3, 0, 1: wraps
+    for (int n = 0; n < channels; n++)
+        for (int i = 0; i < k; i++)
+            for (int x = 0; x < w; x++)
+                ring(n, (y0 + i) % cap, x) = in(n, y0 + i, x);
+
+    int64_t ring_off[kMaxConvKernel];
+    for (int i = 0; i < k; i++)
+        ring_off[i] = static_cast<int64_t>((y0 + i) % cap) * w;
+
+    for (int bi = 0; bi < pw.numBlocks(); bi++) {
+        const PackedBlock &blk = pw.block(bi);
+        std::vector<float> got(
+            static_cast<size_t>(blk.lanes) * out_w);
+        for (int f = 0; f < blk.lanes; f++)
+            for (int x = 0; x < out_w; x++)
+                got[static_cast<size_t>(f) * out_w + x] =
+                    pw.bias(blk.m0 + f);
+        bk.run(blk.lanes, got.data(), out_w, out_w,
+               ring.rowPtr(0, 0, 0), static_cast<int64_t>(cap) * w,
+               ring_off, pw.panel(bi), channels);
+
+        std::vector<float> want(
+            static_cast<size_t>(blk.lanes) * out_w);
+        convBlockRowTensor(bk, pw, bi, want.data(), out_w, out_w, in,
+                           y0, 0);
+        EXPECT_EQ(got, want) << "bi=" << bi;
+    }
+}
+
+TEST(ConvBlockKernels, GroupedConvolutionMatchesConvPoint)
+{
+    // AlexNet-style two-group conv: blocks never straddle the group
+    // boundary and nBase selects the group's channel slice.
+    const int groups = 2, total_m = 6, n_per_group = 2, k = 5;
+    Tensor in(Shape{groups * n_per_group, k, 17});
+    Rng irng(61);
+    in.fillRandom(irng);
+    FilterBank fb(total_m, n_per_group, k);
+    Rng wrng(62);
+    fb.fillRandom(wrng);
+
+    const ConvBlockKernel bk = resolveConvBlockKernel(k, 1);
+    const PackedWeights pw(fb, groups);
+    const int out_w = in.shape().w - k + 1;
+    std::vector<float> dst(static_cast<size_t>(total_m) * out_w);
+    for (int bi = 0; bi < pw.numBlocks(); bi++) {
+        convBlockRowTensor(
+            bk, pw, bi,
+            dst.data() + static_cast<size_t>(pw.block(bi).m0) * out_w,
+            out_w, out_w, in, 0, 0);
+    }
+    for (int m = 0; m < total_m; m++)
+        for (int x = 0; x < out_w; x++) {
+            const float want =
+                convPoint(in, fb, m, 0, x, groups, total_m, nullptr);
+            ASSERT_EQ(dst[static_cast<size_t>(m) * out_w + x], want)
+                << "m=" << m << " x=" << x;
+        }
+}
+
+TEST(ConvBlockKernels, ChannelRangeChainingIsBitExact)
+{
+    // The baseline accelerator accumulates a tile over serial Tn
+    // channel blocks on top of the previous block's partial sums,
+    // addressing the panel sub-range at n0*K*K*lanes. Chained calls
+    // must reproduce the one-shot result bit for bit (same canonical
+    // order, just split).
+    const int k = 3, channels = 5, filters = 4, out_w = 15;
+    BlockCase c(k, 1, channels, filters, out_w, 83);
+    const ConvBlockKernel bk = resolveConvBlockKernel(k, 1);
+    const PackedWeights pw(c.fb);
+    const PackedBlock &blk = pw.block(0);
+    const Shape &sh = c.in.shape();
+    const int64_t ch_stride = static_cast<int64_t>(sh.h) * sh.w;
+    int64_t row_off[kMaxConvKernel];
+    linearRowOffsets(row_off, k, 0, sh.w);
+
+    std::vector<float> chained(
+        static_cast<size_t>(blk.lanes) * out_w);
+    for (int f = 0; f < blk.lanes; f++)
+        for (int x = 0; x < out_w; x++)
+            chained[static_cast<size_t>(f) * out_w + x] =
+                pw.bias(blk.m0 + f);
+    const int splits[][2] = {{0, 2}, {2, 3}};  // [n0, tnn]
+    for (auto [n0, tnn] : splits) {
+        bk.run(blk.lanes, chained.data(), out_w, out_w,
+               c.in.rowPtr(n0, 0, 0), ch_stride, row_off,
+               pw.panel(0) + static_cast<int64_t>(n0) * k * k *
+                                 blk.lanes,
+               tnn);
+    }
+
+    std::vector<float> oneshot(
+        static_cast<size_t>(blk.lanes) * out_w);
+    convBlockRowTensor(bk, pw, 0, oneshot.data(), out_w, out_w, c.in,
+                       0, 0);
+    EXPECT_EQ(chained, oneshot);
+}
+
+} // namespace
+} // namespace flcnn

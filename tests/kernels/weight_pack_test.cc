@@ -1,0 +1,131 @@
+/**
+ * @file
+ * PackedWeights: the filter-interleaved (n, i, j, m-lane) panel layout
+ * is a bit-exact permutation of the FilterBank, the 4/2/1 lane ladder
+ * restarts at group and m-tile boundaries, and the cache returns one
+ * packed bank per key.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "kernels/weight_pack.hh"
+#include "nn/reference.hh"
+
+namespace flcnn {
+namespace {
+
+FilterBank
+randomBank(int m, int n, int k, uint64_t seed)
+{
+    FilterBank fb(m, n, k);
+    Rng rng(seed);
+    fb.fillRandom(rng);
+    return fb;
+}
+
+TEST(WeightPack, PanelIsABitExactPermutationOfTheBank)
+{
+    // 7 filters: a 4-lane, a 2-lane, and a 1-lane block. Every weight
+    // must appear at panel index ((n*K + i)*K + j)*lanes + f, verbatim.
+    const int m = 7, n = 3, k = 3;
+    FilterBank fb = randomBank(m, n, k, 21);
+    PackedWeights pw(fb);
+
+    ASSERT_EQ(pw.numBlocks(), 3);
+    EXPECT_EQ(pw.block(0).m0, 0);
+    EXPECT_EQ(pw.block(0).lanes, 4);
+    EXPECT_EQ(pw.block(1).m0, 4);
+    EXPECT_EQ(pw.block(1).lanes, 2);
+    EXPECT_EQ(pw.block(2).m0, 6);
+    EXPECT_EQ(pw.block(2).lanes, 1);
+    EXPECT_EQ(pw.bytes(),
+              static_cast<int64_t>(m) * n * k * k * 4);
+
+    for (int bi = 0; bi < pw.numBlocks(); bi++) {
+        const PackedBlock &b = pw.block(bi);
+        const float *panel = pw.panel(bi);
+        for (int f = 0; f < b.lanes; f++) {
+            EXPECT_EQ(pw.blockOf(b.m0 + f), bi);
+            for (int ch = 0; ch < n; ch++)
+                for (int i = 0; i < k; i++)
+                    for (int j = 0; j < k; j++) {
+                        const int64_t idx =
+                            ((static_cast<int64_t>(ch) * k + i) * k + j) *
+                                b.lanes +
+                            f;
+                        ASSERT_EQ(panel[idx], fb.w(b.m0 + f, ch, i, j))
+                            << "bi=" << bi << " f=" << f << " n=" << ch
+                            << " i=" << i << " j=" << j;
+                    }
+        }
+    }
+    for (int f = 0; f < m; f++)
+        EXPECT_EQ(pw.bias(f), fb.bias(f));
+}
+
+TEST(WeightPack, LaneLadderRestartsAtGroupBoundaries)
+{
+    // 2 groups x 3 filters: each group must pack as 2+1 lanes (a block
+    // never straddles the boundary), and nBase must select the group's
+    // input-channel window.
+    const int m = 6, n = 2, k = 3, groups = 2;
+    FilterBank fb = randomBank(m, n, k, 22);
+    PackedWeights pw(fb, groups);
+
+    ASSERT_EQ(pw.numBlocks(), 4);
+    const int want_m0[] = {0, 2, 3, 5};
+    const int want_lanes[] = {2, 1, 2, 1};
+    const int want_nbase[] = {0, 0, n, n};
+    for (int bi = 0; bi < 4; bi++) {
+        EXPECT_EQ(pw.block(bi).m0, want_m0[bi]) << "bi=" << bi;
+        EXPECT_EQ(pw.block(bi).lanes, want_lanes[bi]) << "bi=" << bi;
+        EXPECT_EQ(pw.nBase(bi), want_nbase[bi]) << "bi=" << bi;
+    }
+}
+
+TEST(WeightPack, LaneLadderRestartsAtMTileBoundaries)
+{
+    // m_tile=3 over 8 filters: tiles [0,3), [3,6), [6,8) must each be a
+    // whole number of blocks (2+1, 2+1, 2), so the baseline
+    // accelerator's Tm loop can address a tile as [blockOf(m0),
+    // blockOf(m0+tm-1)].
+    const int m = 8, n = 2, k = 3;
+    FilterBank fb = randomBank(m, n, k, 23);
+    PackedWeights pw(fb, 1, 3);
+
+    ASSERT_EQ(pw.numBlocks(), 5);
+    const int want_m0[] = {0, 2, 3, 5, 6};
+    const int want_lanes[] = {2, 1, 2, 1, 2};
+    for (int bi = 0; bi < 5; bi++) {
+        EXPECT_EQ(pw.block(bi).m0, want_m0[bi]) << "bi=" << bi;
+        EXPECT_EQ(pw.block(bi).lanes, want_lanes[bi]) << "bi=" << bi;
+    }
+    // Tile ranges resolve to whole block spans.
+    EXPECT_EQ(pw.blockOf(0), 0);
+    EXPECT_EQ(pw.blockOf(2), 1);
+    EXPECT_EQ(pw.blockOf(3), 2);
+    EXPECT_EQ(pw.blockOf(5), 3);
+    EXPECT_EQ(pw.blockOf(7), 4);
+
+    // An m_tile wider than the group degenerates to the plain ladder.
+    PackedWeights wide(fb, 1, 100);
+    ASSERT_EQ(wide.numBlocks(), 2);
+    EXPECT_EQ(wide.block(0).lanes, 4);
+    EXPECT_EQ(wide.block(1).lanes, 4);
+}
+
+TEST(WeightPack, CachePacksOncePerKey)
+{
+    FilterBank fb = randomBank(4, 2, 3, 24);
+    WeightPackCache cache;
+    const PackedWeights &a = cache.get(7, fb);
+    const PackedWeights &b = cache.get(7, fb);
+    EXPECT_EQ(&a, &b);
+    const PackedWeights &c = cache.get(8, fb);
+    EXPECT_NE(&a, &c);
+}
+
+} // namespace
+} // namespace flcnn
