@@ -16,20 +16,38 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "accel/baseline_accel.hh"
 #include "accel/fused_accel.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
 #include "tensor/compare.hh"
 
 using namespace flcnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string metrics_path, trace_path;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--metrics-json") == 0 && a + 1 < argc)
+            metrics_path = argv[++a];
+        else if (std::strcmp(argv[a], "--trace-json") == 0 &&
+                 a + 1 < argc)
+            trace_path = argv[++a];
+        else
+            fatal("unknown argument '%s'", argv[a]);
+    }
+    const bool want_obs = !metrics_path.empty() || !trace_path.empty();
+
     std::printf("== Table I: AlexNet first two conv layers, fused vs "
                 "baseline ==\n\n");
     Network net = alexnetFusedPrefix();
@@ -47,12 +65,18 @@ main()
     BaselineConfig bcfg = optimizeBaseline(net, 2240);
     bcfg.tr = bcfg.tc = 16;
     BaselineAccelerator baseline(net, weights, bcfg);
+    MetricsRegistry breg;
+    if (want_obs)
+        baseline.setMetrics(&breg);
     AccelStats bs;
     Tensor bout = baseline.run(input, &bs);
 
     // Fused: pipeline balanced at the paper's 2401-DSP budget.
     FusedPipelineConfig fcfg = balanceFusedPipeline(net, 0, last, 2401);
     FusedAccelerator fused(net, weights, 0, last, fcfg);
+    MetricsRegistry freg;
+    if (want_obs)
+        fused.setMetrics(&freg);
     AccelStats fs;
     Tensor fout = fused.run(input, &fs);
 
@@ -96,5 +120,20 @@ main()
                 "analytically, so shapes (fused competitive with\n"
                 "baseline) matter rather than absolute values — see "
                 "EXPERIMENTS.md.\n");
+
+    if (!metrics_path.empty()) {
+        MetricsReport rep("table1_alexnet");
+        rep.addRun("baseline", bs, breg);
+        rep.addRun("fused", fs, freg);
+        if (rep.writeFile(metrics_path))
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (writeFusedTraceFile(trace_path, "table1_alexnet",
+                                fused.schedule(), fused.stageNames(),
+                                &freg, nullptr, nullptr,
+                                accelStatsArgs(fs)))
+            std::printf("wrote trace to %s\n", trace_path.c_str());
+    }
     return 0;
 }

@@ -11,19 +11,37 @@
  */
 
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "accel/baseline_accel.hh"
 #include "accel/fused_accel.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
 #include "tensor/compare.hh"
 
 using namespace flcnn;
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string metrics_path, trace_path;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--metrics-json") == 0 && a + 1 < argc)
+            metrics_path = argv[++a];
+        else if (std::strcmp(argv[a], "--trace-json") == 0 &&
+                 a + 1 < argc)
+            trace_path = argv[++a];
+        else
+            fatal("unknown argument '%s'", argv[a]);
+    }
+    const bool want_obs = !metrics_path.empty() || !trace_path.empty();
+
     std::printf("== Table II: VGGNet-E first five conv layers, fused vs "
                 "baseline ==\n\n");
     Network net = vggEPrefix(5);
@@ -41,12 +59,18 @@ main()
     BaselineConfig bcfg = optimizeBaseline(net, 2880);
     bcfg.tr = bcfg.tc = 16;
     BaselineAccelerator baseline(net, weights, bcfg);
+    MetricsRegistry breg;
+    if (want_obs)
+        baseline.setMetrics(&breg);
     AccelStats bs;
     Tensor bout = baseline.run(input, &bs);
 
     // Fused: balanced at the paper's 2987-DSP budget.
     FusedPipelineConfig fcfg = balanceFusedPipeline(net, 0, last, 2987);
     FusedAccelerator fused(net, weights, 0, last, fcfg);
+    MetricsRegistry freg;
+    if (want_obs)
+        fused.setMetrics(&freg);
     AccelStats fs;
     Tensor fout = fused.run(input, &fs);
 
@@ -90,5 +114,20 @@ main()
                 100.0 * (static_cast<double>(fs.bram) /
                              static_cast<double>(bs.bram) -
                          1.0));
+
+    if (!metrics_path.empty()) {
+        MetricsReport rep("table2_vgg");
+        rep.addRun("baseline", bs, breg);
+        rep.addRun("fused", fs, freg);
+        if (rep.writeFile(metrics_path))
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (writeFusedTraceFile(trace_path, "table2_vgg",
+                                fused.schedule(), fused.stageNames(),
+                                &freg, nullptr, nullptr,
+                                accelStatsArgs(fs)))
+            std::printf("wrote trace to %s\n", trace_path.c_str());
+    }
     return 0;
 }

@@ -6,23 +6,32 @@
  *
  * Usage:
  *   fused_inference [alexnet | vgg <num_convs>] [--fps N] [--threads N]
+ *                   [--metrics-json FILE] [--trace-json FILE]
  *
  * Defaults to the paper's headline configuration (VGG-E, 5 convs) and
  * FLCNN_THREADS (or all hardware threads) for the host-side executors.
+ * --metrics-json writes the per-layer/per-stage breakdown of both runs
+ * (schema flcnn-metrics-v1); --trace-json writes a Chrome trace of the
+ * fused run for chrome://tracing / ui.perfetto.dev.
  */
 
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "accel/baseline_accel.hh"
 #include "sim/throughput.hh"
+#include "sim/trace.hh"
 #include "accel/fused_accel.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
 #include "tensor/compare.hh"
 
 using namespace flcnn;
@@ -33,6 +42,7 @@ main(int argc, char **argv)
     std::string which = "vgg";
     int convs = 5;
     double fps = 50.0;
+    std::string metrics_path, trace_path;
     for (int a = 1; a < argc; a++) {
         if (std::strcmp(argv[a], "alexnet") == 0) {
             which = "alexnet";
@@ -45,10 +55,17 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--threads") == 0 &&
                    a + 1 < argc) {
             ThreadPool::setGlobalThreads(std::atoi(argv[++a]));
+        } else if (std::strcmp(argv[a], "--metrics-json") == 0 &&
+                   a + 1 < argc) {
+            metrics_path = argv[++a];
+        } else if (std::strcmp(argv[a], "--trace-json") == 0 &&
+                   a + 1 < argc) {
+            trace_path = argv[++a];
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }
     }
+    const bool want_obs = !metrics_path.empty() || !trace_path.empty();
 
     Network net =
         which == "alexnet" ? alexnetFusedPrefix() : vggEPrefix(convs);
@@ -67,12 +84,24 @@ main(int argc, char **argv)
     BaselineConfig bcfg = optimizeBaseline(net, dsp_budget);
     bcfg.tr = bcfg.tc = 16;
     BaselineAccelerator baseline(net, weights, bcfg);
+    MetricsRegistry breg;
+    if (want_obs)
+        baseline.setMetrics(&breg);
     AccelStats bs;
     Tensor bout = baseline.run(image, &bs);
 
     FusedPipelineConfig fcfg =
         balanceFusedPipeline(net, 0, last, dsp_budget + 110);
     FusedAccelerator fused(net, weights, 0, last, fcfg);
+    MetricsRegistry freg;
+    TraceRecorder rec(/*keep_log=*/!trace_path.empty());
+    std::unique_ptr<ThreadPoolTraceScope> pool;
+    if (want_obs)
+        fused.setMetrics(&freg);
+    if (!trace_path.empty()) {
+        fused.setTraceSink(rec.sink());
+        pool.reset(new ThreadPoolTraceScope());
+    }
     AccelStats fs;
     Tensor fout = fused.run(image, &fs);
 
@@ -112,5 +141,23 @@ main(int argc, char **argv)
                 "state (%.1f ms latency),\nsustained DRAM %.2f GB/s\n",
                 tp.imagesPerSecond, tp.latencySeconds * 1e3,
                 tp.dramBytesPerSecond / 1e9);
+
+    const std::string label =
+        "fused_inference " + which +
+        (which == "vgg" ? " " + std::to_string(convs) : "");
+    if (!metrics_path.empty()) {
+        MetricsReport rep(label);
+        rep.addRun("baseline", bs, breg);
+        rep.addRun("fused", fs, freg);
+        if (rep.writeFile(metrics_path))
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (writeFusedTraceFile(trace_path, label, fused.schedule(),
+                                fused.stageNames(), &freg, &rec,
+                                pool.get(), accelStatsArgs(fs)))
+            std::printf("wrote trace to %s (open in ui.perfetto.dev)\n",
+                        trace_path.c_str());
+    }
     return cmp.match ? 0 : 1;
 }

@@ -5,23 +5,45 @@
  * seeing how unroll balancing affects the pipeline.
  *
  * Usage:
- *   pipeline_viz [dsp_budget]
+ *   pipeline_viz [dsp_budget] [--metrics-json FILE] [--trace-json FILE]
+ *
+ * The trace renders the same schedule as the ASCII chart, but with
+ * exact cycle bounds per (pyramid, stage) cell — drop the file on
+ * ui.perfetto.dev to scrub through it.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
 
 #include "accel/fused_accel.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/timeline.hh"
 
 using namespace flcnn;
 
 int
 main(int argc, char **argv)
 {
-    int budget = argc > 1 ? std::atoi(argv[1]) : 200;
+    int budget = 200;
+    std::string metrics_path, trace_path;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--metrics-json") == 0 && a + 1 < argc)
+            metrics_path = argv[++a];
+        else if (std::strcmp(argv[a], "--trace-json") == 0 &&
+                 a + 1 < argc)
+            trace_path = argv[++a];
+        else if (argv[a][0] != '-')
+            budget = std::atoi(argv[a]);
+        else
+            fatal("unknown argument '%s'", argv[a]);
+    }
 
     Network net("viz", Shape{3, 20, 20});
     net.addConvBlock("conv1", 8, 3, 1, 1);
@@ -42,7 +64,11 @@ main(int argc, char **argv)
     std::printf(" (total %d DSPs)\n\n", cfg.totalDsp);
 
     FusedAccelerator accel(net, weights, 0, last, cfg);
-    accel.run(image);
+    MetricsRegistry reg;
+    if (!metrics_path.empty() || !trace_path.empty())
+        accel.setMetrics(&reg);
+    AccelStats stats;
+    accel.run(image, &stats);
     const PipelineSchedule &s = accel.schedule();
 
     std::vector<std::string> names{"Load"};
@@ -67,5 +93,20 @@ main(int argc, char **argv)
                 static_cast<long long>(s.numPyramids()));
     std::printf("try different budgets (e.g. 50, 500, 2000) to see the "
                 "pipeline re-balance.\n");
+
+    const std::string label = "pipeline_viz dsp=" + std::to_string(budget);
+    if (!metrics_path.empty()) {
+        MetricsReport rep(label);
+        rep.addRun("fused", stats, reg);
+        if (rep.writeFile(metrics_path))
+            std::printf("wrote metrics to %s\n", metrics_path.c_str());
+    }
+    if (!trace_path.empty()) {
+        if (writeFusedTraceFile(trace_path, label, s, names, &reg,
+                                nullptr, nullptr,
+                                accelStatsArgs(stats)))
+            std::printf("wrote trace to %s (open in ui.perfetto.dev)\n",
+                        trace_path.c_str());
+    }
     return 0;
 }

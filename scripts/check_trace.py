@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Validate the observability output files (CI gate).
+
+Usage:
+    scripts/check_trace.py FILE [FILE...]
+
+Each FILE is sniffed by shape:
+
+  - A Chrome trace ({"traceEvents": [...]}, what --trace-json writes):
+    checks that the JSON parses, that every event carries the required
+    keys for its phase ('X' spans need name/pid/tid/ts/dur, 'C'
+    counters need name/pid/ts/args, 'M' metadata needs name/pid/args),
+    and — when the producer attached AccelStats totals as otherData —
+    that the per-scope "dram/..." counter samples sum bit-exactly to
+    the dram_read_bytes / dram_write_bytes totals.
+
+  - A metrics report ("schema": "flcnn-metrics-v1", what --metrics-json
+    writes): checks that for every run the per-scope dram_read_bytes /
+    dram_write_bytes / compute_cycles sum bit-exactly to the run's
+    AccelStats totals.
+
+Exits nonzero with a per-file message on the first failure.
+"""
+
+import json
+import sys
+
+
+def fail(path, msg):
+    sys.exit(f"{path}: {msg}")
+
+
+def check_trace(path, doc):
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(path, "traceEvents missing or empty")
+
+    required = {
+        "X": ("name", "ph", "pid", "tid", "ts", "dur"),
+        "C": ("name", "ph", "pid", "ts", "args"),
+        "M": ("name", "ph", "pid", "args"),
+    }
+    dram_read = 0
+    dram_write = 0
+    for i, ev in enumerate(events):
+        ph = ev.get("ph")
+        if ph not in required:
+            fail(path, f"event {i}: unexpected phase {ph!r}")
+        for key in required[ph]:
+            if key not in ev:
+                fail(path, f"event {i} ({ph} {ev.get('name')!r}): "
+                           f"missing key {key!r}")
+        if ph == "X" and ev["dur"] < 0:
+            fail(path, f"event {i}: negative duration {ev['dur']}")
+        if ph == "C" and ev["name"].startswith("dram/"):
+            args = ev["args"]
+            if not isinstance(args.get("read_bytes"), int) or \
+               not isinstance(args.get("write_bytes"), int):
+                fail(path, f"event {i} ({ev['name']}): dram counter "
+                           "args must be integers")
+            dram_read += args["read_bytes"]
+            dram_write += args["write_bytes"]
+
+    other = doc.get("otherData", {})
+    n_scopes = sum(1 for ev in events
+                   if ev.get("ph") == "C" and
+                   ev.get("name", "").startswith("dram/"))
+    if "dram_read_bytes" in other:
+        if dram_read != other["dram_read_bytes"]:
+            fail(path, f"per-scope dram read counters sum to "
+                       f"{dram_read}, AccelStats total is "
+                       f"{other['dram_read_bytes']}")
+        if dram_write != other["dram_write_bytes"]:
+            fail(path, f"per-scope dram write counters sum to "
+                       f"{dram_write}, AccelStats total is "
+                       f"{other['dram_write_bytes']}")
+        print(f"{path}: OK ({len(events)} events; {n_scopes} dram "
+              f"scopes sum to {dram_read} read / {dram_write} written)")
+    else:
+        print(f"{path}: OK ({len(events)} events; no totals attached)")
+
+
+def check_metrics(path, doc):
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        fail(path, "runs missing or empty")
+    for run in runs:
+        name = run.get("name", "<unnamed>")
+        totals = run.get("totals")
+        metrics = run.get("metrics")
+        if not isinstance(totals, dict) or not isinstance(metrics, dict):
+            fail(path, f"run {name!r}: totals/metrics missing")
+        for field in ("dram_read_bytes", "dram_write_bytes",
+                      "compute_cycles"):
+            got = sum(scope[field] for scope in metrics.values()
+                      if isinstance(scope.get(field), int))
+            if got != totals.get(field):
+                fail(path, f"run {name!r}: per-scope {field} sums to "
+                           f"{got}, totals say {totals.get(field)}")
+        print(f"{path}: run {name!r} OK ({len(metrics)} scopes match "
+              "the AccelStats totals)")
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    for path in argv[1:]:
+        try:
+            with open(path) as f:
+                doc = json.load(f)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(path, f"not readable JSON: {exc}")
+        if isinstance(doc, dict) and "traceEvents" in doc:
+            check_trace(path, doc)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "flcnn-metrics-v1":
+            check_metrics(path, doc)
+        else:
+            fail(path, "neither a Chrome trace nor a "
+                       "flcnn-metrics-v1 report")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

@@ -57,21 +57,35 @@ def git_rev(repo):
         return "unknown"
 
 
-def bench_times(report):
-    """Map benchmark name -> real_time in nanoseconds.
+def bench_times(report, field="real_time"):
+    """Map benchmark name -> `field` in nanoseconds.
 
     Aggregate rows (mean/median/stddev from --benchmark_repetitions)
     are skipped so a plain run compares against a repeated one.
+
+    Malformed entries (unknown time_unit, missing field) abort the
+    run: silently dropping them would quietly exempt those cases from
+    the --compare regression gate.
     """
     times = {}
+    bad = []
     for b in report.get("benchmarks", []):
         if b.get("run_type") == "aggregate":
             continue
+        name = b.get("name", "<unnamed>")
         unit = b.get("time_unit", "ns")
         scale = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}.get(unit)
-        if scale is None or "real_time" not in b:
+        if scale is None:
+            bad.append(f"{name}: unknown time_unit {unit!r}")
             continue
-        times[b["name"]] = b["real_time"] * scale
+        if field not in b:
+            bad.append(f"{name}: missing {field}")
+            continue
+        times[name] = b[field] * scale
+    if bad:
+        sys.exit("malformed benchmark entries (refusing to silently "
+                 "drop them from the regression gate):\n  "
+                 + "\n  ".join(bad))
     return times
 
 
@@ -83,10 +97,14 @@ def fmt_ns(ns):
 
 
 def compare_reports(prev, cur, regression_pct):
-    """Print an old/new/speedup table; return names that regressed by
-    more than regression_pct percent in real time."""
+    """Print an old/new/speedup table (real and cpu time); return names
+    that regressed by more than regression_pct percent in real time.
+    The gate stays on real_time; cpu_time is informational (it
+    separates genuine slowdowns from scheduler noise)."""
     old = bench_times(prev)
     new = bench_times(cur)
+    old_cpu = bench_times(prev, "cpu_time")
+    new_cpu = bench_times(cur, "cpu_time")
     shared = [n for n in new if n in old]
     added = [n for n in new if n not in old]
     gone = [n for n in old if n not in new]
@@ -94,17 +112,21 @@ def compare_reports(prev, cur, regression_pct):
     print(f"\ncomparison vs {prev.get('git', '?')} "
           f"({prev.get('date', '?')}), threshold {regression_pct}%:")
     width = max((len(n) for n in shared), default=9)
-    print(f"  {'benchmark':<{width}}  {'old':>9}  {'new':>9}  speedup")
+    print(f"  {'benchmark':<{width}}  {'old':>9}  {'new':>9}  "
+          f"{'real':>8}  {'cpu':>8}")
     regressed = []
     for name in shared:
         ratio = old[name] / new[name] if new[name] > 0 else float("inf")
+        cpu_ratio = (old_cpu[name] / new_cpu[name]
+                     if new_cpu[name] > 0 else float("inf"))
         flag = ""
         # new > old * (1 + pct/100) counts as a regression.
         if ratio < 1.0 / (1.0 + regression_pct / 100.0):
             flag = "  REGRESSION"
             regressed.append(name)
         print(f"  {name:<{width}}  {fmt_ns(old[name]):>9}  "
-              f"{fmt_ns(new[name]):>9}  {ratio:6.2f}x{flag}")
+              f"{fmt_ns(new[name]):>9}  {ratio:7.2f}x {cpu_ratio:7.2f}x"
+              f"{flag}")
     for name in added:
         print(f"  {name:<{width}}  {'-':>9}  {fmt_ns(new[name]):>9}  "
               f"   new")
@@ -168,6 +190,7 @@ def main():
                  "quick": args.quick},
         "benchmarks": [],
         "tables": {},
+        "metrics": {},
     }
 
     # 1. google-benchmark microbenchmarks, JSON format.
@@ -192,10 +215,27 @@ def main():
         if not exe.exists():
             print(f"  skipping {name}: not built")
             continue
+        # The table benches emit their per-layer/per-stage breakdown
+        # (schema flcnn-metrics-v1); fold it into this report so the
+        # BENCH snapshot carries attribution, not just totals.
+        metrics_file = None
+        if name in ("table1_alexnet", "table2_vgg"):
+            metrics_file = bench_dir / f"{name}_metrics.json"
+            extra = extra + ["--metrics-json", str(metrics_file)]
         print(f"running {name}...")
         out, wall = run([str(exe)] + extra)
         report["tables"][name] = {"wall_s": round(wall, 3),
                                   "stdout": out}
+        if metrics_file is not None:
+            try:
+                doc = json.loads(metrics_file.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                sys.exit(f"{name} did not produce a readable metrics "
+                         f"file at {metrics_file}: {exc}")
+            if doc.get("schema") != "flcnn-metrics-v1":
+                sys.exit(f"{metrics_file}: unexpected schema "
+                         f"{doc.get('schema')!r}")
+            report["metrics"][name] = doc
         print(f"  done in {wall:.1f}s")
 
     out_path = Path(args.out) if args.out else repo / (

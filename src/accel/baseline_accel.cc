@@ -1,6 +1,7 @@
 #include "accel/baseline_accel.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include "common/logging.hh"
@@ -9,9 +10,22 @@
 #include "kernels/conv_kernels.hh"
 #include "model/resource.hh"
 #include "nn/reference.hh"
+#include "obs/metrics.hh"
 #include "sim/double_buffer.hh"
 
 namespace flcnn {
+
+namespace {
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 BaselineAccelerator::BaselineAccelerator(const Network &network,
                                          const NetworkWeights &w,
@@ -219,8 +233,13 @@ BaselineAccelerator::run(const Tensor &input, AccelStats *stats)
     for (int s = 0; s < nstages; s++) {
         const Stage &st = net.stages()[static_cast<size_t>(s)];
         const LayerSpec &w = net.layer(st.windowed);
+        const int stage_idx = s;  // s moves past a merged pool stage
+        const AccelStats before = cur;
+        const double t0 = metrics ? wallSeconds() : 0.0;
+        int64_t weight_bytes = 0;
         if (w.kind == LayerKind::Conv) {
             bool merged = false;
+            weight_bytes = net.weightBytesInRange(st.first, st.last);
             data = runConvStage(s, data, &merged);
             if (merged)
                 s++;  // the pool stage was consumed on chip
@@ -234,6 +253,33 @@ BaselineAccelerator::run(const Tensor &input, AccelStats *stats)
             }
             cur.dramWriteBytes += data.shape().bytes();
         }
+        if (metrics) {
+            const std::string scope =
+                MetricsRegistry::stageScope(stage_idx, w.name);
+            metrics->addCounter(scope, "dram_read_bytes",
+                                cur.dramReadBytes - before.dramReadBytes);
+            metrics->addCounter(
+                scope, "dram_write_bytes",
+                cur.dramWriteBytes - before.dramWriteBytes);
+            metrics->addCounter(scope, "weight_read_bytes",
+                                weight_bytes);
+            metrics->addCounter(scope, "compute_cycles",
+                                cur.computeCycles - before.computeCycles);
+            metrics->addCounter(
+                scope, "makespan_cycles",
+                cur.makespanCycles - before.makespanCycles);
+            metrics->addGauge(scope, "wall_seconds",
+                              wallSeconds() - t0);
+        }
+    }
+
+    if (metrics) {
+        metrics->addCounter("", "pack_hits",
+                            packCache.hits() - lastPackHits);
+        metrics->addCounter("", "pack_misses",
+                            packCache.misses() - lastPackMisses);
+        lastPackHits = packCache.hits();
+        lastPackMisses = packCache.misses();
     }
 
     ResourceUsage res = baselineResources(net, cfg);

@@ -27,6 +27,8 @@
 
 namespace flcnn {
 
+class MetricsRegistry;
+
 /** Executable baseline (layer-by-layer, tiled) accelerator. */
 class BaselineAccelerator
 {
@@ -44,6 +46,16 @@ class BaselineAccelerator
 
     const BaselineConfig &config() const { return cfg; }
 
+    /**
+     * Record per-stage breakdowns of subsequent runs into @p m (scopes
+     * "stage:<s>:<name>"): dram_read_bytes / dram_write_bytes /
+     * weight_read_bytes / compute_cycles / makespan_cycles /
+     * wall_seconds, plus run-level weight-pack hit/miss counters under
+     * "". A pool stage merged into its producing conv is attributed to
+     * the conv stage's scope. Pass nullptr to detach.
+     */
+    void setMetrics(MetricsRegistry *m) { metrics = m; }
+
   private:
     /** Run one conv stage (with trailing pool merged) from @p in. */
     Tensor runConvStage(int stage_idx, const Tensor &in, bool *merged_pool);
@@ -54,6 +66,9 @@ class BaselineAccelerator
     DramModel dram;
     AccelStats cur;
     WeightPackCache packCache;  //!< per-stage Tm-aligned packed banks
+    MetricsRegistry *metrics = nullptr;
+    int64_t lastPackHits = 0;
+    int64_t lastPackMisses = 0;
 };
 
 } // namespace flcnn

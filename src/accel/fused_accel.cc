@@ -5,6 +5,7 @@
 #include "common/logging.hh"
 #include "common/mathutil.hh"
 #include "model/resource.hh"
+#include "obs/metrics.hh"
 
 namespace flcnn {
 
@@ -103,12 +104,34 @@ FusedAccelerator::run(const Tensor &input, AccelStats *stats)
     hasSchedule = true;
 
     AccelStats res;
-    res.dramReadBytes =
-        fstats.loadedBytes + net.weightBytesInRange(first, last);
+    const int64_t weight_bytes = net.weightBytesInRange(first, last);
+    res.dramReadBytes = fstats.loadedBytes + weight_bytes;
     res.dramWriteBytes = fstats.storedBytes;
     for (int li = 0; li < n_layers; li++)
         res.computeCycles += sched.stageBusy(li + 1);
     res.makespanCycles = sched.makespan();
+
+    if (metrics) {
+        // The executor already attributed the feature-map DRAM bytes
+        // to its layer scopes; only the once-per-group weight stream
+        // and the schedule's timing remain, so one registry's sums
+        // still match AccelStats exactly.
+        metrics->addCounter("", "dram_read_bytes", weight_bytes);
+        metrics->addCounter("", "weight_read_bytes", weight_bytes);
+        metrics->addCounter("", "makespan_cycles", res.makespanCycles);
+        const std::vector<std::string> names = stageNames();
+        for (int s = 0; s < n_stages; s++) {
+            const std::string scope = MetricsRegistry::stageScope(
+                s, names[static_cast<size_t>(s)]);
+            metrics->addCounter(scope, "busy_cycles",
+                                sched.stageBusy(s));
+            if (s >= 1 && s <= n_layers)
+                metrics->addCounter(scope, "compute_cycles",
+                                    sched.stageBusy(s));
+            metrics->setGauge(scope, "utilization",
+                              sched.stageUtilization(s));
+        }
+    }
 
     ResourceUsage use = fusedResources(net, first, last, pcfg.unrolls);
     res.dsp = use.dsp;
@@ -127,6 +150,19 @@ FusedAccelerator::schedule() const
 {
     FLCNN_ASSERT(hasSchedule, "run() has not been called yet");
     return sched;
+}
+
+std::vector<std::string>
+FusedAccelerator::stageNames() const
+{
+    const TilePlan &plan = exec.plan();
+    std::vector<std::string> names;
+    names.reserve(static_cast<size_t>(plan.numFusedLayers()) + 2);
+    names.push_back("load");
+    for (int li = 0; li < plan.numFusedLayers(); li++)
+        names.push_back(net.layer(plan.geom(li).layerIdx).name);
+    names.push_back("store");
+    return names;
 }
 
 } // namespace flcnn

@@ -42,8 +42,33 @@ class FusedAccelerator
     /** Cycles stage @p li (fused-layer index) spends on pyramid (r,c). */
     int64_t stageCycles(int li, int r, int c) const;
 
+    /** Display names of the schedule's stages: "load", each fused
+     *  layer's name, "store". */
+    std::vector<std::string> stageNames() const;
+
     const FusedPipelineConfig &pipelineConfig() const { return pcfg; }
     const TilePlan &plan() const { return exec.plan(); }
+
+    /** Forward a DRAM trace sink to the underlying executor. */
+    void setTraceSink(TraceSink sink)
+    {
+        exec.setTraceSink(std::move(sink));
+    }
+
+    /**
+     * Record breakdowns of subsequent runs into @p m: the executor's
+     * per-fused-layer scopes (feature-map DRAM bytes, ops, wall time)
+     * plus per-pipeline-stage scopes "stage:<s>:<name>" (busy_cycles,
+     * compute_cycles for layer stages, utilization) and run-level
+     * weight-stream bytes under "". Summing dram_read_bytes /
+     * dram_write_bytes / compute_cycles across all scopes reproduces
+     * this accelerator's AccelStats exactly. Pass nullptr to detach.
+     */
+    void setMetrics(MetricsRegistry *m)
+    {
+        metrics = m;
+        exec.setMetrics(m);
+    }
 
   private:
     const Network &net;
@@ -53,6 +78,7 @@ class FusedAccelerator
     int first, last;
     PipelineSchedule sched{0, 1};
     bool hasSchedule = false;
+    MetricsRegistry *metrics = nullptr;
 };
 
 } // namespace flcnn

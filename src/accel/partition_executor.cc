@@ -1,6 +1,7 @@
 #include "accel/partition_executor.hh"
 
 #include "common/logging.hh"
+#include "obs/metrics.hh"
 
 namespace flcnn {
 
@@ -42,6 +43,16 @@ PartitionExecutor::run(const Tensor &input, PartitionRunStats *stats)
     if (stats)
         *stats = cur;
     return data;
+}
+
+void
+PartitionExecutor::setMetrics(MetricsRegistry *m)
+{
+    for (size_t g = 0; g < execs.size(); g++) {
+        execs[g].setMetrics(
+            m, m ? MetricsRegistry::groupPrefix(static_cast<int>(g))
+                 : std::string());
+    }
 }
 
 int64_t

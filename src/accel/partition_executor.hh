@@ -61,6 +61,15 @@ class PartitionExecutor
      *  under the executor's include-first-input convention). */
     int64_t reuseBufferBytes() const;
 
+    /**
+     * Record breakdowns of subsequent runs into @p m: every group's
+     * executor reports under a "group:<g>:" scope prefix (e.g.
+     * "group:1:layer:0:conv2"), so one registry's dram_read_bytes /
+     * dram_write_bytes sums cover the whole partition. Pass nullptr
+     * to detach.
+     */
+    void setMetrics(MetricsRegistry *m);
+
   private:
     const Network &net;
     Partition part;

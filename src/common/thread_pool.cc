@@ -1,5 +1,7 @@
 #include "common/thread_pool.hh"
 
+#include <cerrno>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -8,6 +10,27 @@
 namespace flcnn {
 
 namespace {
+
+/** Installed chunk observer; the flag makes the disabled path one
+ *  relaxed atomic load (no lock, no shared_ptr traffic). */
+std::atomic<bool> observer_installed{false};
+std::mutex observer_mu;
+std::shared_ptr<const ThreadPool::ChunkObserver> observer;
+
+std::shared_ptr<const ThreadPool::ChunkObserver>
+currentObserver()
+{
+    std::lock_guard<std::mutex> lk(observer_mu);
+    return observer;
+}
+
+double
+nowSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
 
 /** True while the current thread is executing a parallelFor chunk;
  *  nested parallelFor calls run inline instead of re-entering the pool
@@ -58,6 +81,16 @@ ThreadPool::runChunk(const RangeFn &body, int64_t begin, int64_t end,
         return;
     const bool saved = in_parallel_region;
     in_parallel_region = true;
+    if (observer_installed.load(std::memory_order_relaxed)) {
+        auto obs = currentObserver();
+        if (obs && *obs) {
+            const double t0 = nowSeconds();
+            body(lo, hi);
+            (*obs)(tid, lo, hi, t0, nowSeconds());
+            in_parallel_region = saved;
+            return;
+        }
+    }
     body(lo, hi);
     in_parallel_region = saved;
 }
@@ -106,10 +139,15 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, const RangeFn &body,
     int width = static_cast<int>(
         std::min<int64_t>(nthreads, (n + grain - 1) / grain));
     if (width <= 1 || in_parallel_region) {
-        const bool saved = in_parallel_region;
-        in_parallel_region = true;
+        if (!in_parallel_region) {
+            // Top-level single-chunk run: go through runChunk so the
+            // chunk observer still sees it (e.g. on one-core hosts).
+            runChunk(body, begin, end, 0, 1);
+            return;
+        }
+        // Nested call from inside a worker chunk: run inline,
+        // unobserved — the enclosing chunk already owns the span.
         body(begin, end);
-        in_parallel_region = saved;
         return;
     }
     {
@@ -128,16 +166,45 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, const RangeFn &body,
     fn = nullptr;
 }
 
+void
+ThreadPool::setChunkObserver(ChunkObserver obs)
+{
+    std::lock_guard<std::mutex> lk(observer_mu);
+    if (obs) {
+        observer =
+            std::make_shared<const ChunkObserver>(std::move(obs));
+        observer_installed.store(true, std::memory_order_relaxed);
+    } else {
+        observer.reset();
+        observer_installed.store(false, std::memory_order_relaxed);
+    }
+}
+
 int
 ThreadPool::defaultThreads()
 {
-    if (const char *env = std::getenv("FLCNN_THREADS")) {
-        int v = std::atoi(env);
-        if (v > 0)
-            return v;
-    }
     unsigned hw = std::thread::hardware_concurrency();
-    return hw > 0 ? static_cast<int>(hw) : 1;
+    const int fallback = hw > 0 ? static_cast<int>(hw) : 1;
+    const char *env = std::getenv("FLCNN_THREADS");
+    if (!env || *env == '\0')
+        return fallback;
+    // Strict parse: the whole string must be a positive decimal
+    // integer. atoi() would silently turn "abc" into 0, accept the
+    // "8" of "8garbage", and fold overflow into garbage values.
+    errno = 0;
+    char *end = nullptr;
+    long v = std::strtol(env, &end, 10);
+    if (errno != 0 || end == env || *end != '\0') {
+        warn("FLCNN_THREADS='%s' is not a valid integer; using %d "
+             "hardware threads", env, fallback);
+        return fallback;
+    }
+    if (v <= 0 || v > 1 << 20) {
+        warn("FLCNN_THREADS=%ld out of range (want 1..%d); using %d "
+             "hardware threads", v, 1 << 20, fallback);
+        return fallback;
+    }
+    return static_cast<int>(v);
 }
 
 ThreadPool &

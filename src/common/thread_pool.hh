@@ -21,9 +21,11 @@
 #ifndef FLCNN_COMMON_THREAD_POOL_HH
 #define FLCNN_COMMON_THREAD_POOL_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -58,8 +60,22 @@ class ThreadPool
                      int64_t grain = 1);
 
     /** FLCNN_THREADS if set to a positive integer, else
-     *  hardware_concurrency() (at least 1). */
+     *  hardware_concurrency() (at least 1). Non-numeric, zero,
+     *  negative, or trailing-garbage values are rejected with a
+     *  warning and fall back to hardware_concurrency(). */
     static int defaultThreads();
+
+    /**
+     * Observer invoked after every executed parallelFor chunk with the
+     * pool-thread id, the chunk's [begin, end) range, and the chunk's
+     * wall-clock start/end in seconds (steady-clock epoch). Called
+     * concurrently from worker threads — the observer must be
+     * thread-safe. Pass nullptr to uninstall. Process-wide; the cost
+     * with no observer installed is one relaxed atomic load per chunk.
+     */
+    using ChunkObserver = std::function<void(
+        int tid, int64_t begin, int64_t end, double t0_s, double t1_s)>;
+    static void setChunkObserver(ChunkObserver obs);
 
     /** The process-wide pool used by the executors. Constructed on
      *  first use with defaultThreads(). */

@@ -1,14 +1,28 @@
 #include "fusion/fused_executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "obs/metrics.hh"
 
 namespace flcnn {
+
+namespace {
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 FusedExecutor::FusedExecutor(const Network &network,
                              const NetworkWeights &w, TilePlan plan)
@@ -437,6 +451,16 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
     curStats = FusedRunStats{};
 
     const int n = tplan.numFusedLayers();
+    std::vector<double> layerWall;
+    std::vector<int64_t> layerLoaded, layerMults, layerAdds,
+        layerCompares;
+    if (metrics) {
+        layerWall.assign(static_cast<size_t>(n), 0.0);
+        layerLoaded.assign(static_cast<size_t>(n), 0);
+        layerMults.assign(static_cast<size_t>(n), 0);
+        layerAdds.assign(static_cast<size_t>(n), 0);
+        layerCompares.assign(static_cast<size_t>(n), 0);
+    }
     for (int li = 0; li < n; li++) {
         LayerState &st = states[static_cast<size_t>(li)];
         st.btBaseOld = 0;
@@ -494,6 +518,15 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
                     }
                     continue;
                 }
+                int64_t loaded0 = 0, mul0 = 0, add0 = 0, cmp0 = 0;
+                double t0 = 0.0;
+                if (metrics) {
+                    loaded0 = curStats.loadedBytes;
+                    mul0 = curStats.ops.mults;
+                    add0 = curStats.ops.adds;
+                    cmp0 = curStats.ops.compares;
+                    t0 = wallSeconds();
+                }
                 if (g.windowed) {
                     assembleTile(li, r, c);
                     saveReuse(li, r, c);
@@ -502,6 +535,14 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
                     runPad(li, r, c);
                 } else {
                     runPointwise(li, r, c);
+                }
+                if (metrics) {
+                    const size_t i = static_cast<size_t>(li);
+                    layerWall[i] += wallSeconds() - t0;
+                    layerLoaded[i] += curStats.loadedBytes - loaded0;
+                    layerMults[i] += curStats.ops.mults - mul0;
+                    layerAdds[i] += curStats.ops.adds - add0;
+                    layerCompares[i] += curStats.ops.compares - cmp0;
                 }
             }
 
@@ -532,6 +573,44 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
 
     curStats.reuseBytes = tplan.reuseBufferBytes();
     curStats.workingBytes = tplan.workingBufferBytes();
+
+    if (metrics) {
+        for (int li = 0; li < n; li++) {
+            const size_t i = static_cast<size_t>(li);
+            const LayerGeom &g = tplan.geom(li);
+            const LayerState &st = states[i];
+            const std::string scope =
+                metricsPrefix + MetricsRegistry::layerScope(
+                                    li, net.layer(g.layerIdx).name);
+            metrics->addCounter(scope, "dram_read_bytes",
+                                layerLoaded[i]);
+            // Every stored byte retires through the tail layer.
+            metrics->addCounter(scope, "dram_write_bytes",
+                                li == n - 1 ? curStats.storedBytes : 0);
+            metrics->addCounter(scope, "mults", layerMults[i]);
+            metrics->addCounter(scope, "adds", layerAdds[i]);
+            metrics->addCounter(scope, "compares", layerCompares[i]);
+            metrics->addGauge(scope, "wall_seconds", layerWall[i]);
+            metrics->setGauge(scope, "tile_bytes",
+                              static_cast<double>(st.tile.elems()) * 4);
+            metrics->setGauge(
+                scope, "reuse_bytes",
+                static_cast<double>(st.bl.elems() + st.bt.elems()) * 4);
+            metrics->setGauge(
+                scope, "fresh_bytes",
+                st.freshOwner == li
+                    ? static_cast<double>(st.fresh.elems()) * 4
+                    : 0.0);
+        }
+        metrics->addCounter(metricsPrefix, "pyramids",
+                            curStats.pyramids);
+        metrics->addCounter(metricsPrefix, "pack_hits",
+                            packCache.hits() - lastPackHits);
+        metrics->addCounter(metricsPrefix, "pack_misses",
+                            packCache.misses() - lastPackMisses);
+        lastPackHits = packCache.hits();
+        lastPackMisses = packCache.misses();
+    }
 
     if (trackCoverage) {
         coverageMsg.clear();

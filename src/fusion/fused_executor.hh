@@ -43,6 +43,8 @@
 
 namespace flcnn {
 
+class MetricsRegistry;
+
 /** Statistics from one fused run. */
 struct FusedRunStats
 {
@@ -83,6 +85,24 @@ class FusedExecutor
      *  (group-input reads and group-output writes; see sim/trace.hh
      *  for the address map). Pass nullptr to disable. */
     void setTraceSink(TraceSink sink) { traceSink = std::move(sink); }
+
+    /**
+     * Record per-fused-layer breakdowns of subsequent runs into @p m
+     * (scopes "layer:<i>:<name>"): dram_read_bytes /
+     * dram_write_bytes, mults / adds / compares, wall_seconds, and
+     * buffer-occupancy gauges, plus run-level pyramid and weight-pack
+     * hit/miss counters under the "" scope. @p scope_prefix is
+     * prepended to every scope (the partition executor passes
+     * "group:<g>:" so its groups stay distinguishable in one
+     * registry). Pass nullptr to detach. The registry must outlive
+     * the executor or the next setMetrics().
+     */
+    void
+    setMetrics(MetricsRegistry *m, std::string scope_prefix = "")
+    {
+        metrics = m;
+        metricsPrefix = std::move(scope_prefix);
+    }
 
   private:
     /** Per-fused-layer mutable state. */
@@ -135,6 +155,10 @@ class FusedExecutor
     bool trackCoverage = false;
     std::string coverageMsg;
     TraceSink traceSink;
+    MetricsRegistry *metrics = nullptr;
+    std::string metricsPrefix;   //!< prepended to every metric scope
+    int64_t lastPackHits = 0;    //!< packCache.hits() after the last run
+    int64_t lastPackMisses = 0;  //!< packCache.misses() likewise
 
     /** Emit one traced access when a sink is installed. */
     void

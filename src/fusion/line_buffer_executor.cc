@@ -1,11 +1,13 @@
 #include "fusion/line_buffer_executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "obs/metrics.hh"
 
 namespace flcnn {
 
@@ -129,6 +131,12 @@ LineBufferExecutor::drain(int li, Tensor &output)
             int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
             curStats.ops.mults += taps * row_elems * batch;
             curStats.ops.adds += taps * row_elems * batch;
+            if (metrics) {
+                layerOps[static_cast<size_t>(li)].mults +=
+                    taps * row_elems * batch;
+                layerOps[static_cast<size_t>(li)].adds +=
+                    taps * row_elems * batch;
+            }
         } else {
             // Disjoint (b, ch) output rows. One pass over the output
             // row per window tap (i, j), with the ring row pointer
@@ -187,6 +195,13 @@ LineBufferExecutor::drain(int li, Tensor &output)
                 curStats.ops.compares += win;
             else
                 curStats.ops.adds += win;
+            if (metrics) {
+                OpCount &lo_ = layerOps[static_cast<size_t>(li)];
+                if (spec.poolMode == PoolMode::Max)
+                    lo_.compares += win;
+                else
+                    lo_.adds += win;
+            }
         }
 
         st.nextOut += batch;
@@ -266,11 +281,15 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
             st.rowBuf[static_cast<size_t>(e)] =
                 std::max(0.0f, row_data[static_cast<size_t>(e)]);
         curStats.ops.compares += static_cast<int64_t>(in.c) * in.w;
+        if (metrics)
+            layerOps[static_cast<size_t>(li)].compares +=
+                static_cast<int64_t>(in.c) * in.w;
         pushRow(li + 1, y, st.rowBuf.data(), output);
         break;
       }
       case LayerKind::LRN: {
         const int half = spec.lrnSize / 2;
+        const OpCount ops0 = curStats.ops;
         for (int x = 0; x < in.w; x++) {
             for (int ch = 0; ch < in.c; ch++) {
                 float sum = 0.0f;
@@ -289,6 +308,8 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
                 curStats.ops.adds += (hi - lo + 1) + 1;
             }
         }
+        if (metrics)
+            layerOps[static_cast<size_t>(li)] += curStats.ops - ops0;
         pushRow(li + 1, y, st.rowBuf.data(), output);
         break;
       }
@@ -309,6 +330,13 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
         st.rowsIn = 0;
         st.nextOut = 0;
     }
+    double t_run0 = 0.0;
+    if (metrics) {
+        layerOps.assign(states.size(), OpCount{});
+        t_run0 = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now().time_since_epoch())
+                     .count();
+    }
 
     const Shape &in = input.shape();
     std::vector<float> row(static_cast<size_t>(in.c) * in.w);
@@ -320,6 +348,40 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
         }
         curStats.loadedBytes += static_cast<int64_t>(in.c) * in.w * 4;
         pushRow(0, y, row.data(), output);
+    }
+
+    if (metrics) {
+        const int n = last - first + 1;
+        for (int li = 0; li < n; li++) {
+            const size_t i = static_cast<size_t>(li);
+            const std::string scope = MetricsRegistry::layerScope(
+                li, net.layer(first + li).name);
+            metrics->addCounter(scope, "dram_read_bytes",
+                                li == 0 ? curStats.loadedBytes : 0);
+            metrics->addCounter(scope, "dram_write_bytes",
+                                li == n - 1 ? curStats.storedBytes : 0);
+            metrics->addCounter(scope, "mults", layerOps[i].mults);
+            metrics->addCounter(scope, "adds", layerOps[i].adds);
+            metrics->addCounter(scope, "compares",
+                                layerOps[i].compares);
+            metrics->setGauge(
+                scope, "ring_bytes",
+                states[i].ringRows > 0
+                    ? static_cast<double>(states[i].ring.shape().bytes())
+                    : 0.0);
+        }
+        metrics->addGauge(
+            "", "wall_seconds",
+            std::chrono::duration<double>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                    .count() -
+                t_run0);
+        metrics->addCounter("", "pack_hits",
+                            packCache.hits() - lastPackHits);
+        metrics->addCounter("", "pack_misses",
+                            packCache.misses() - lastPackMisses);
+        lastPackHits = packCache.hits();
+        lastPackMisses = packCache.misses();
     }
 
     if (stats)

@@ -29,6 +29,8 @@
 
 namespace flcnn {
 
+class MetricsRegistry;
+
 /** Statistics from one line-buffered run. */
 struct LineBufferStats
 {
@@ -61,6 +63,16 @@ class LineBufferExecutor
     /** Line-buffer capacity in bytes (K rows per windowed layer). */
     int64_t bufferBytes() const;
 
+    /**
+     * Record per-fused-layer breakdowns of subsequent runs into @p m
+     * (scopes "layer:<i>:<name>"): mults / adds / compares,
+     * dram_read_bytes (head) / dram_write_bytes (tail), and
+     * ring-buffer gauges. The row cascade interleaves layers, so wall
+     * time is recorded only as a run-level "" gauge, not per layer.
+     * Pass nullptr to detach.
+     */
+    void setMetrics(MetricsRegistry *m) { metrics = m; }
+
   private:
     struct LayerState
     {
@@ -85,6 +97,10 @@ class LineBufferExecutor
     std::vector<LayerState> states;
     LineBufferStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
+    MetricsRegistry *metrics = nullptr;
+    std::vector<OpCount> layerOps;  //!< per-layer tally (metrics only)
+    int64_t lastPackHits = 0;
+    int64_t lastPackMisses = 0;
 };
 
 } // namespace flcnn

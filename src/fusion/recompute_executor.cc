@@ -1,13 +1,27 @@
 #include "fusion/recompute_executor.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "obs/metrics.hh"
 
 namespace flcnn {
+
+namespace {
+
+double
+wallSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
 
 RecomputeExecutor::RecomputeExecutor(const Network &network,
                                      const NetworkWeights &w, TilePlan plan)
@@ -212,6 +226,14 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
 
     const LayerGeom &g0 = tplan.geom(0);
     const int n = tplan.numFusedLayers();
+    std::vector<double> layerWall;
+    std::vector<int64_t> layerMults, layerAdds, layerCompares;
+    if (metrics) {
+        layerWall.assign(static_cast<size_t>(n), 0.0);
+        layerMults.assign(static_cast<size_t>(n), 0);
+        layerAdds.assign(static_cast<size_t>(n), 0);
+        layerCompares.assign(static_cast<size_t>(n), 0);
+    }
 
     for (int r = 0; r < tplan.numPyramidRows(); r++) {
         for (int c = 0; c < tplan.numPyramidCols(); c++) {
@@ -230,8 +252,22 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
             curStats.loadedBytes += static_cast<int64_t>(g0.inPlane.c) *
                                     inTileY.width() * inTileX.width() * 4;
 
-            for (int li = 0; li < n; li++)
+            for (int li = 0; li < n; li++) {
+                if (!metrics) {
+                    computeLayer(li, r, c, input);
+                    continue;
+                }
+                const size_t i = static_cast<size_t>(li);
+                const int64_t mul0 = curStats.ops.mults;
+                const int64_t add0 = curStats.ops.adds;
+                const int64_t cmp0 = curStats.ops.compares;
+                const double t0 = wallSeconds();
                 computeLayer(li, r, c, input);
+                layerWall[i] += wallSeconds() - t0;
+                layerMults[i] += curStats.ops.mults - mul0;
+                layerAdds[i] += curStats.ops.adds - add0;
+                layerCompares[i] += curStats.ops.compares - cmp0;
+            }
 
             // Store the tip.
             const LayerGeom &gl = tplan.geom(n - 1);
@@ -250,6 +286,35 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
                                     oy.width() * ox.width() * 4;
             curStats.pyramids++;
         }
+    }
+
+    if (metrics) {
+        for (int li = 0; li < n; li++) {
+            const size_t i = static_cast<size_t>(li);
+            const LayerGeom &g = tplan.geom(li);
+            const std::string scope = MetricsRegistry::layerScope(
+                li, net.layer(g.layerIdx).name);
+            // The recompute model loads everything through the base
+            // tile (layer 0) and stores through the tip (layer n-1).
+            metrics->addCounter(scope, "dram_read_bytes",
+                                li == 0 ? curStats.loadedBytes : 0);
+            metrics->addCounter(scope, "dram_write_bytes",
+                                li == n - 1 ? curStats.storedBytes : 0);
+            metrics->addCounter(scope, "mults", layerMults[i]);
+            metrics->addCounter(scope, "adds", layerAdds[i]);
+            metrics->addCounter(scope, "compares", layerCompares[i]);
+            metrics->addGauge(scope, "wall_seconds", layerWall[i]);
+            metrics->setGauge(
+                scope, "tile_bytes",
+                static_cast<double>(tiles[i].shape().bytes()));
+        }
+        metrics->addCounter("", "pyramids", curStats.pyramids);
+        metrics->addCounter("", "pack_hits",
+                            packCache.hits() - lastPackHits);
+        metrics->addCounter("", "pack_misses",
+                            packCache.misses() - lastPackMisses);
+        lastPackHits = packCache.hits();
+        lastPackMisses = packCache.misses();
     }
 
     if (stats)

@@ -23,6 +23,8 @@
 
 namespace flcnn {
 
+class MetricsRegistry;
+
 /** Statistics from one recompute-model run. */
 struct RecomputeRunStats
 {
@@ -45,6 +47,11 @@ class RecomputeExecutor
 
     const TilePlan &plan() const { return tplan; }
 
+    /** Record per-fused-layer breakdowns of subsequent runs into @p m
+     *  (same scopes and names as FusedExecutor::setMetrics). Pass
+     *  nullptr to detach. */
+    void setMetrics(MetricsRegistry *m) { metrics = m; }
+
   private:
     void computeLayer(int li, int r, int c, const Tensor &input);
 
@@ -61,6 +68,9 @@ class RecomputeExecutor
     Span inTileY, inTileX;
     RecomputeRunStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
+    MetricsRegistry *metrics = nullptr;
+    int64_t lastPackHits = 0;
+    int64_t lastPackMisses = 0;
 };
 
 } // namespace flcnn

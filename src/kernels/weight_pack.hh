@@ -123,14 +123,24 @@ class WeightPackCache
     get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0)
     {
         auto it = map.find(key);
-        if (it == map.end())
+        if (it == map.end()) {
+            misses_++;
             it = map.emplace(key, PackedWeights(fb, groups, m_tile))
                      .first;
+        } else {
+            hits_++;
+        }
         return it->second;
     }
 
+    /** Lookups served from the cache / lookups that packed. */
+    int64_t hits() const { return hits_; }
+    int64_t misses() const { return misses_; }
+
   private:
     std::unordered_map<int, PackedWeights> map;
+    int64_t hits_ = 0;
+    int64_t misses_ = 0;
 };
 
 /**

@@ -1,0 +1,208 @@
+#include "obs/metrics.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+namespace {
+
+/** Escape a string for embedding in a JSON string literal. */
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+key(const std::string &scope, const std::string &name)
+{
+    return scope + '\n' + name;
+}
+
+} // namespace
+
+Metric &
+MetricsRegistry::fetch(const std::string &scope, const std::string &name,
+                       bool gauge)
+{
+    auto it = lookup.find(key(scope, name));
+    if (it == lookup.end()) {
+        Metric m;
+        m.scope = scope;
+        m.name = name;
+        m.isGauge = gauge;
+        lookup.emplace(key(scope, name), metrics.size());
+        metrics.push_back(std::move(m));
+        return metrics.back();
+    }
+    Metric &m = metrics[it->second];
+    FLCNN_ASSERT(m.isGauge == gauge,
+                 "metric reused with a different kind (counter vs gauge)");
+    return m;
+}
+
+void
+MetricsRegistry::addCounter(const std::string &scope,
+                            const std::string &name, int64_t delta)
+{
+    fetch(scope, name, false).count += delta;
+}
+
+void
+MetricsRegistry::addGauge(const std::string &scope,
+                          const std::string &name, double delta)
+{
+    fetch(scope, name, true).value += delta;
+}
+
+void
+MetricsRegistry::setGauge(const std::string &scope,
+                          const std::string &name, double value)
+{
+    fetch(scope, name, true).value = value;
+}
+
+int64_t
+MetricsRegistry::counter(const std::string &scope,
+                         const std::string &name) const
+{
+    auto it = lookup.find(key(scope, name));
+    if (it == lookup.end() || metrics[it->second].isGauge)
+        return 0;
+    return metrics[it->second].count;
+}
+
+double
+MetricsRegistry::gauge(const std::string &scope,
+                       const std::string &name) const
+{
+    auto it = lookup.find(key(scope, name));
+    if (it == lookup.end() || !metrics[it->second].isGauge)
+        return 0.0;
+    return metrics[it->second].value;
+}
+
+int64_t
+MetricsRegistry::sumCounters(const std::string &name) const
+{
+    int64_t sum = 0;
+    for (const Metric &m : metrics) {
+        if (!m.isGauge && m.name == name)
+            sum += m.count;
+    }
+    return sum;
+}
+
+double
+MetricsRegistry::sumGauges(const std::string &name) const
+{
+    double sum = 0.0;
+    for (const Metric &m : metrics) {
+        if (m.isGauge && m.name == name)
+            sum += m.value;
+    }
+    return sum;
+}
+
+void
+MetricsRegistry::clear()
+{
+    metrics.clear();
+    lookup.clear();
+}
+
+std::vector<std::string>
+MetricsRegistry::scopes() const
+{
+    std::vector<std::string> out;
+    for (const Metric &m : metrics) {
+        bool seen = false;
+        for (const std::string &s : out)
+            seen |= (s == m.scope);
+        if (!seen)
+            out.push_back(m.scope);
+    }
+    return out;
+}
+
+std::string
+MetricsRegistry::json(int indent) const
+{
+    const std::string pad(static_cast<size_t>(indent), ' ');
+    const std::string pad1 = pad + "  ";
+    const std::string pad2 = pad1 + "  ";
+    std::string out = "{";
+    bool first_scope = true;
+    for (const std::string &scope : scopes()) {
+        if (!first_scope)
+            out += ",";
+        first_scope = false;
+        out += "\n" + pad1 + "\"" + jsonEscape(scope) + "\": {";
+        bool first_metric = true;
+        for (const Metric &m : metrics) {
+            if (m.scope != scope)
+                continue;
+            if (!first_metric)
+                out += ",";
+            first_metric = false;
+            char buf[64];
+            if (m.isGauge) {
+                // Non-finite values are not valid JSON literals.
+                if (std::isfinite(m.value))
+                    std::snprintf(buf, sizeof(buf), "%.17g", m.value);
+                else
+                    std::snprintf(buf, sizeof(buf), "null");
+            } else
+                std::snprintf(buf, sizeof(buf), "%" PRId64, m.count);
+            out += "\n" + pad2 + "\"" + jsonEscape(m.name) +
+                   "\": " + buf;
+        }
+        out += "\n" + pad1 + "}";
+    }
+    out += "\n" + pad + "}";
+    return out;
+}
+
+std::string
+MetricsRegistry::layerScope(int index, const std::string &name)
+{
+    return "layer:" + std::to_string(index) + ":" + name;
+}
+
+std::string
+MetricsRegistry::stageScope(int index, const std::string &name)
+{
+    return "stage:" + std::to_string(index) + ":" + name;
+}
+
+std::string
+MetricsRegistry::groupPrefix(int index)
+{
+    return "group:" + std::to_string(index) + ":";
+}
+
+} // namespace flcnn

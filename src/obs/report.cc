@@ -1,0 +1,117 @@
+#include "obs/report.hh"
+
+#include <fstream>
+
+#include "accel/stats.hh"
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+
+namespace flcnn {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<TraceArg>
+accelStatsArgs(const AccelStats &stats)
+{
+    return {
+        {"compute_cycles", argI(stats.computeCycles)},
+        {"makespan_cycles", argI(stats.makespanCycles)},
+        {"dram_read_bytes", argI(stats.dramReadBytes)},
+        {"dram_write_bytes", argI(stats.dramWriteBytes)},
+        {"dram_total_bytes", argI(stats.totalDramBytes())},
+        {"buffer_bytes", argI(stats.bufferBytes)},
+        {"dsp", argI(stats.dsp)},
+        {"bram", argI(stats.bram)},
+        {"lut", argI(stats.lut)},
+        {"ff", argI(stats.ff)},
+    };
+}
+
+void
+MetricsReport::addRun(const std::string &name, const AccelStats &stats,
+                      const MetricsRegistry &reg)
+{
+    Run r;
+    r.name = name;
+    r.totals = accelStatsArgs(stats);
+    r.metrics_json = reg.json(6);
+    runs.push_back(std::move(r));
+}
+
+std::string
+MetricsReport::json() const
+{
+    std::string out = "{\n";
+    out += "  \"schema\": \"flcnn-metrics-v1\",\n";
+    out += "  \"label\": \"" + jsonEscape(label) + "\",\n";
+    out += "  \"runs\": [";
+    bool first = true;
+    for (const Run &r : runs) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n    {\n";
+        out += "      \"name\": \"" + jsonEscape(r.name) + "\",\n";
+        out += "      \"totals\": {";
+        bool f = true;
+        for (const TraceArg &a : r.totals) {
+            if (!f)
+                out += ",";
+            f = false;
+            out += "\n        \"" + jsonEscape(a.first) +
+                   "\": " + a.second;
+        }
+        out += "\n      },\n";
+        out += "      \"metrics\": " + r.metrics_json + "\n";
+        out += "    }";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+}
+
+bool
+MetricsReport::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot open metrics output '%s'", path.c_str());
+        return false;
+    }
+    f << json();
+    f.close();
+    if (!f) {
+        warn("failed writing metrics output '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flcnn

@@ -1,0 +1,234 @@
+#include "obs/timeline.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+
+namespace flcnn {
+
+namespace {
+
+std::string
+stageName(const std::vector<std::string> &names, int s)
+{
+    if (s >= 0 && static_cast<size_t>(s) < names.size())
+        return names[static_cast<size_t>(s)];
+    return "stage " + std::to_string(s);
+}
+
+/** Only one ThreadPoolTraceScope may own the process-wide observer. */
+bool scope_live = false;
+std::mutex scope_mu;
+
+} // namespace
+
+void
+appendScheduleTrace(ChromeTrace &tr, const PipelineSchedule &sched,
+                    const std::vector<std::string> &stage_names,
+                    int pid, const std::string &process_name,
+                    int64_t max_slot_events)
+{
+    tr.setProcessName(pid, process_name);
+    const int nstages = sched.numStages();
+    const int64_t npyr = sched.numPyramids();
+    for (int s = 0; s < nstages; s++)
+        tr.setThreadName(pid, s, stageName(stage_names, s));
+
+    const bool per_slot =
+        sched.slotsKept() && npyr * nstages <= max_slot_events;
+    if (per_slot) {
+        for (int64_t p = 0; p < npyr; p++) {
+            for (int s = 0; s < nstages; s++) {
+                const StageSlot &slot = sched.slot(p, s);
+                if (slot.end <= slot.start)
+                    continue;  // zero-duration pass-through cell
+                tr.completeEvent(
+                    "pyramid " + std::to_string(p), "pipeline", pid, s,
+                    static_cast<double>(slot.start),
+                    static_cast<double>(slot.end - slot.start),
+                    {{"pyramid", argI(p)}, {"stage", argI(s)}});
+            }
+        }
+        return;
+    }
+    // Big (or slot-free) schedule: one aggregate busy span per stage.
+    for (int s = 0; s < nstages; s++) {
+        const int64_t busy = sched.stageBusy(s);
+        if (busy <= 0)
+            continue;
+        tr.completeEvent(
+            stageName(stage_names, s) + " (aggregate)",
+            "pipeline-aggregate", pid, s, 0.0,
+            static_cast<double>(busy),
+            {{"busy_cycles", argI(busy)},
+             {"makespan_cycles", argI(sched.makespan())},
+             {"utilization", argF(sched.stageUtilization(s))},
+             {"pyramids", argI(npyr)}});
+    }
+}
+
+void
+appendDramCounterTrack(ChromeTrace &tr, const TraceRecorder &rec,
+                       int pid, const std::string &counter_name,
+                       size_t max_samples)
+{
+    const std::vector<DramAccess> &log = rec.log();
+    if (log.empty()) {
+        if (rec.numAccesses() > 0)
+            warn("DRAM counter track needs a TraceRecorder with "
+                 "keep_log; %lld accesses were not retained",
+                 static_cast<long long>(rec.numAccesses()));
+        return;
+    }
+    if (max_samples == 0)
+        max_samples = 1;
+    const size_t stride = (log.size() + max_samples - 1) / max_samples;
+    int64_t r = 0, w = 0;
+    for (size_t i = 0; i < log.size(); i++) {
+        if (log[i].write)
+            w += log[i].bytes;
+        else
+            r += log[i].bytes;
+        // Sample on the stride and always at the end, so the track
+        // closes on the exact cumulative totals.
+        if ((i + 1) % stride != 0 && i + 1 != log.size())
+            continue;
+        tr.counterEvent(counter_name, pid, static_cast<double>(i + 1),
+                        {{"read_bytes", argI(r)},
+                         {"write_bytes", argI(w)}});
+    }
+}
+
+void
+appendDramCounters(ChromeTrace &tr, const MetricsRegistry &reg, int pid)
+{
+    int64_t ordinal = 0;
+    for (const std::string &scope : reg.scopes()) {
+        const int64_t rb = reg.counter(scope, "dram_read_bytes");
+        const int64_t wb = reg.counter(scope, "dram_write_bytes");
+        if (rb == 0 && wb == 0)
+            continue;
+        const std::string label = scope.empty() ? "(run)" : scope;
+        tr.counterEvent("dram/" + label, pid,
+                        static_cast<double>(ordinal++),
+                        {{"read_bytes", argI(rb)},
+                         {"write_bytes", argI(wb)}});
+    }
+}
+
+bool
+writeFusedTraceFile(const std::string &path, const std::string &label,
+                    const PipelineSchedule &sched,
+                    const std::vector<std::string> &stage_names,
+                    const MetricsRegistry *reg, const TraceRecorder *rec,
+                    ThreadPoolTraceScope *pool,
+                    const std::vector<TraceArg> &other)
+{
+    ChromeTrace tr;
+    appendScheduleTrace(tr, sched, stage_names, 1,
+                        label + " pipeline (model cycles)");
+    if ((reg && !reg->empty()) || rec)
+        tr.setProcessName(2, "DRAM traffic");
+    if (reg && !reg->empty())
+        appendDramCounters(tr, *reg, 2);
+    if (rec)
+        appendDramCounterTrack(tr, *rec, 2, "dram cumulative");
+    if (pool)
+        pool->flush(tr, 3, "host thread pool (wall time)");
+    tr.setOther("label", argS(label));
+    for (const TraceArg &kv : other)
+        tr.setOther(kv.first, kv.second);
+    return tr.writeFile(path);
+}
+
+ThreadPoolTraceScope::ThreadPoolTraceScope(size_t max_events,
+                                           double min_dur_s)
+    : maxEvents(max_events), minDur(min_dur_s)
+{
+    {
+        std::lock_guard<std::mutex> lk(scope_mu);
+        FLCNN_ASSERT(!scope_live,
+                     "only one ThreadPoolTraceScope may be live");
+        scope_live = true;
+    }
+    installed = true;
+    chunks.reserve(std::min<size_t>(maxEvents, 4096));
+    ThreadPool::setChunkObserver(
+        [this](int tid, int64_t begin, int64_t end, double t0,
+               double t1) {
+            std::lock_guard<std::mutex> lk(mu);
+            if (t1 - t0 < minDur || chunks.size() >= maxEvents) {
+                nDropped++;
+                return;
+            }
+            chunks.push_back({tid, begin, end, t0, t1});
+        });
+}
+
+ThreadPoolTraceScope::~ThreadPoolTraceScope()
+{
+    uninstall();
+}
+
+void
+ThreadPoolTraceScope::uninstall()
+{
+    if (!installed)
+        return;
+    ThreadPool::setChunkObserver(nullptr);
+    installed = false;
+    std::lock_guard<std::mutex> lk(scope_mu);
+    scope_live = false;
+}
+
+size_t
+ThreadPoolTraceScope::numChunks() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return chunks.size();
+}
+
+int64_t
+ThreadPoolTraceScope::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return nDropped;
+}
+
+void
+ThreadPoolTraceScope::flush(ChromeTrace &tr, int pid,
+                            const std::string &process_name)
+{
+    uninstall();
+    std::lock_guard<std::mutex> lk(mu);
+    tr.setProcessName(pid, process_name);
+    if (chunks.empty())
+        return;
+    double t_base = chunks.front().t0;
+    int max_tid = 0;
+    for (const Chunk &c : chunks) {
+        t_base = std::min(t_base, c.t0);
+        max_tid = std::max(max_tid, c.tid);
+    }
+    for (int t = 0; t <= max_tid; t++)
+        tr.setThreadName(pid, t, "pool thread " + std::to_string(t));
+    for (const Chunk &c : chunks) {
+        tr.completeEvent(
+            "chunk [" + std::to_string(c.begin) + ", " +
+                std::to_string(c.end) + ")",
+            "threadpool", pid, c.tid, (c.t0 - t_base) * 1e6,
+            (c.t1 - c.t0) * 1e6,
+            {{"begin", argI(c.begin)},
+             {"end", argI(c.end)},
+             {"indices", argI(c.end - c.begin)}});
+    }
+    if (nDropped > 0)
+        tr.counterEvent("dropped_chunks", pid, 0.0,
+                        {{"dropped", argI(nDropped)}});
+}
+
+} // namespace flcnn

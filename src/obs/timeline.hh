@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Bridges from the simulator's data structures to Chrome trace tracks.
+ *
+ * Three producers, three time bases, three process tracks:
+ *
+ *  - appendScheduleTrace() renders a PipelineSchedule. Model cycles map
+ *    1:1 to trace microseconds. When the schedule kept its slots (small
+ *    nets, pipeline_viz) every (pyramid, stage) cell becomes a span on
+ *    the stage's thread track; otherwise each stage gets one aggregate
+ *    busy-time span so big runs (VGG: ~10^4 pyramids) stay viewable.
+ *
+ *  - ThreadPoolTraceScope records real wall-clock parallelFor chunks
+ *    via ThreadPool::setChunkObserver for its lifetime and flushes them
+ *    as per-thread spans. Event counts are bounded by a cap; overflow
+ *    is counted, never silently truncated.
+ *
+ *  - appendDramCounterTrack() replays a kept TraceRecorder log as a
+ *    cumulative read/write byte counter track. The "timestamp" of
+ *    sample i is the access ordinal, not time — the model has no DRAM
+ *    timing — and long logs are strided down to a sample budget (the
+ *    final cumulative sample is always emitted, so the track ends at
+ *    the exact totals).
+ *
+ *  - appendDramCounters() emits one counter sample per MetricsRegistry
+ *    scope holding dram_read_bytes / dram_write_bytes, which is what
+ *    the CI validator re-sums against the AccelStats totals.
+ */
+
+#ifndef FLCNN_OBS_TIMELINE_HH
+#define FLCNN_OBS_TIMELINE_HH
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace_event.hh"
+
+namespace flcnn {
+
+class MetricsRegistry;
+class PipelineSchedule;
+class TraceRecorder;
+
+/**
+ * Render @p sched onto process @p pid of @p tr (one thread track per
+ * stage). Slot-level spans are emitted when slots were kept and the
+ * schedule has at most @p max_slot_events cells; otherwise one
+ * aggregate busy span per stage (args: busy_cycles, makespan_cycles,
+ * utilization). @p stage_names may be empty ("stage N" fallback) or
+ * hold one name per stage.
+ */
+void appendScheduleTrace(ChromeTrace &tr, const PipelineSchedule &sched,
+                         const std::vector<std::string> &stage_names,
+                         int pid, const std::string &process_name,
+                         int64_t max_slot_events = 20000);
+
+/**
+ * Replay @p rec's kept access log as a cumulative counter track
+ * ("read_bytes" / "write_bytes" series) on process @p pid. Does
+ * nothing (and warns) when the recorder was constructed with
+ * keep_log = false but has recorded accesses. At most @p max_samples
+ * samples are emitted, evenly strided, final totals always included.
+ */
+void appendDramCounterTrack(ChromeTrace &tr, const TraceRecorder &rec,
+                            int pid, const std::string &counter_name,
+                            size_t max_samples = 2000);
+
+/**
+ * Emit one counter sample per scope of @p reg that holds a
+ * dram_read_bytes or dram_write_bytes counter (sample ts = scope
+ * ordinal). The per-scope samples sum exactly to the registry's
+ * sumCounters() totals.
+ */
+void appendDramCounters(ChromeTrace &tr, const MetricsRegistry &reg,
+                        int pid);
+
+class ThreadPoolTraceScope;
+
+/**
+ * Compose and write a complete trace file for one fused-accelerator
+ * run (what the --trace-json flags emit): schedule spans on pid 1,
+ * per-scope DRAM byte counters from @p reg plus the optional kept
+ * access log of @p rec on pid 2, and the optional host-thread chunks
+ * of @p pool on pid 3 (@p pool is flushed). @p reg, @p rec and @p pool
+ * may each be null. @p other entries land in otherData alongside the
+ * label — pass accelStatsArgs() so the run totals ride with the trace
+ * and validators can re-sum the counters against them. Returns false
+ * (with a warning) on I/O failure.
+ */
+bool writeFusedTraceFile(const std::string &path,
+                         const std::string &label,
+                         const PipelineSchedule &sched,
+                         const std::vector<std::string> &stage_names,
+                         const MetricsRegistry *reg,
+                         const TraceRecorder *rec,
+                         ThreadPoolTraceScope *pool,
+                         const std::vector<TraceArg> &other = {});
+
+/**
+ * RAII recorder of global ThreadPool chunk executions.
+ *
+ * Installs a process-wide chunk observer on construction and removes
+ * it on destruction (or flush()); at most one scope may be live at a
+ * time. flush() converts the recording into per-thread spans on
+ * process @p pid, timestamps rebased so the earliest chunk starts at
+ * ts 0. Chunks shorter than @p min_dur_s and chunks beyond
+ * @p max_events are dropped but counted (see dropped()), and the drop
+ * count is attached to the process via a trailing metadata-style
+ * counter argument.
+ */
+class ThreadPoolTraceScope
+{
+  public:
+    explicit ThreadPoolTraceScope(size_t max_events = 100000,
+                                  double min_dur_s = 0.0);
+    ~ThreadPoolTraceScope();
+
+    ThreadPoolTraceScope(const ThreadPoolTraceScope &) = delete;
+    ThreadPoolTraceScope &operator=(const ThreadPoolTraceScope &) = delete;
+
+    /** Chunks recorded so far (bounded by max_events). */
+    size_t numChunks() const;
+
+    /** Chunks dropped by the cap or the duration filter. */
+    int64_t dropped() const;
+
+    /** Uninstall the observer and render the recording onto @p pid of
+     *  @p tr. Safe to call once; the destructor only uninstalls. */
+    void flush(ChromeTrace &tr, int pid,
+               const std::string &process_name);
+
+  private:
+    struct Chunk
+    {
+        int tid;
+        int64_t begin, end;
+        double t0, t1;
+    };
+
+    void uninstall();
+
+    mutable std::mutex mu;
+    std::vector<Chunk> chunks;
+    int64_t nDropped = 0;
+    size_t maxEvents;
+    double minDur;
+    bool installed = false;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_OBS_TIMELINE_HH

@@ -1,0 +1,209 @@
+#include "obs/trace_event.hh"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+namespace {
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\r': out += "\\r"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c));
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+std::string
+fmtUs(double us)
+{
+    char buf[48];
+    if (!std::isfinite(us))
+        us = 0.0;
+    std::snprintf(buf, sizeof(buf), "%.3f", us);
+    return buf;
+}
+
+void
+appendArgs(std::string &out, const std::vector<TraceArg> &args)
+{
+    out += "\"args\":{";
+    bool first = true;
+    for (const TraceArg &a : args) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(a.first) + "\":" + a.second;
+    }
+    out += "}";
+}
+
+} // namespace
+
+std::string
+argI(int64_t v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    return buf;
+}
+
+std::string
+argF(double v)
+{
+    if (!std::isfinite(v))
+        return "null";
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+std::string
+argS(const std::string &v)
+{
+    return "\"" + jsonEscape(v) + "\"";
+}
+
+void
+ChromeTrace::setProcessName(int pid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.name = "process_name";
+    e.pid = pid;
+    e.args = {{"name", argS(name)}};
+    events.push_back(std::move(e));
+}
+
+void
+ChromeTrace::setThreadName(int pid, int tid, const std::string &name)
+{
+    Event e;
+    e.ph = 'M';
+    e.name = "thread_name";
+    e.pid = pid;
+    e.tid = tid;
+    e.args = {{"name", argS(name)}};
+    events.push_back(std::move(e));
+}
+
+void
+ChromeTrace::completeEvent(const std::string &name,
+                           const std::string &cat, int pid, int tid,
+                           double ts_us, double dur_us,
+                           std::vector<TraceArg> args)
+{
+    Event e;
+    e.ph = 'X';
+    e.name = name;
+    e.cat = cat;
+    e.pid = pid;
+    e.tid = tid;
+    e.ts = ts_us;
+    e.dur = dur_us;
+    e.args = std::move(args);
+    events.push_back(std::move(e));
+}
+
+void
+ChromeTrace::counterEvent(const std::string &name, int pid, double ts_us,
+                          std::vector<TraceArg> args)
+{
+    Event e;
+    e.ph = 'C';
+    e.name = name;
+    e.pid = pid;
+    e.ts = ts_us;
+    e.args = std::move(args);
+    events.push_back(std::move(e));
+}
+
+void
+ChromeTrace::setOther(const std::string &key,
+                      const std::string &json_value)
+{
+    other.emplace_back(key, json_value);
+}
+
+std::string
+ChromeTrace::json() const
+{
+    std::string out = "{\n\"traceEvents\": [";
+    bool first = true;
+    for (const Event &e : events) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\n{";
+        out += "\"name\":\"" + jsonEscape(e.name) + "\",";
+        out += std::string("\"ph\":\"") + e.ph + "\",";
+        if (!e.cat.empty())
+            out += "\"cat\":\"" + jsonEscape(e.cat) + "\",";
+        out += "\"pid\":" + std::to_string(e.pid) + ",";
+        if (e.ph != 'C')
+            out += "\"tid\":" + std::to_string(e.tid) + ",";
+        if (e.ph != 'M') {
+            out += "\"ts\":" + fmtUs(e.ts) + ",";
+            if (e.ph == 'X')
+                out += "\"dur\":" + fmtUs(e.dur) + ",";
+        }
+        appendArgs(out, e.args);
+        out += "}";
+    }
+    out += "\n],\n\"displayTimeUnit\": \"ms\"";
+    if (!other.empty()) {
+        out += ",\n\"otherData\": {";
+        bool f = true;
+        for (const TraceArg &a : other) {
+            if (!f)
+                out += ",";
+            f = false;
+            out += "\n\"" + jsonEscape(a.first) + "\": " + a.second;
+        }
+        out += "\n}";
+    }
+    out += "\n}\n";
+    return out;
+}
+
+bool
+ChromeTrace::writeFile(const std::string &path) const
+{
+    std::ofstream f(path);
+    if (!f) {
+        warn("cannot open trace output '%s'", path.c_str());
+        return false;
+    }
+    f << json();
+    f.close();
+    if (!f) {
+        warn("failed writing trace output '%s'", path.c_str());
+        return false;
+    }
+    return true;
+}
+
+} // namespace flcnn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Chrome trace-event JSON emitter.
+ *
+ * Produces the Trace Event Format consumed by chrome://tracing and
+ * Perfetto (ui.perfetto.dev): a {"traceEvents": [...]} object whose
+ * events are complete spans (ph "X"), counter samples (ph "C"), and
+ * process/thread naming metadata (ph "M"). Timestamps are microseconds
+ * as doubles; what a "microsecond" means is the producer's choice —
+ * the pipeline bridges map one model cycle to one microsecond, the
+ * thread-pool bridge uses real wall time — and each producer gets its
+ * own process (pid) so the two time bases never share a track.
+ *
+ * The emitter buffers everything and renders on demand; it performs no
+ * I/O of its own except writeFile(). Argument values are attached as
+ * pre-rendered JSON literals via argI/argF/argS so int64 byte counts
+ * survive the round trip exactly (the CI validator re-sums them
+ * against AccelStats).
+ */
+
+#ifndef FLCNN_OBS_TRACE_EVENT_HH
+#define FLCNN_OBS_TRACE_EVENT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace flcnn {
+
+/** One "args" entry: name plus a pre-rendered JSON literal. */
+using TraceArg = std::pair<std::string, std::string>;
+
+/** Render an int64 / double / string as a JSON literal for TraceArg. */
+std::string argI(int64_t v);
+std::string argF(double v);
+std::string argS(const std::string &v);
+
+/** Buffered Chrome trace-event stream. */
+class ChromeTrace
+{
+  public:
+    /** Name the process track @p pid ("M" metadata event). */
+    void setProcessName(int pid, const std::string &name);
+
+    /** Name thread @p tid of process @p pid. */
+    void setThreadName(int pid, int tid, const std::string &name);
+
+    /** Complete span: [ts_us, ts_us + dur_us) on (pid, tid). */
+    void completeEvent(const std::string &name, const std::string &cat,
+                       int pid, int tid, double ts_us, double dur_us,
+                       std::vector<TraceArg> args = {});
+
+    /** Counter sample: every args entry becomes one series of the
+     *  counter track @p name on @p pid. */
+    void counterEvent(const std::string &name, int pid, double ts_us,
+                      std::vector<TraceArg> args);
+
+    /** Top-level "otherData" entry (pre-rendered JSON literal). */
+    void setOther(const std::string &key, const std::string &json_value);
+
+    size_t numEvents() const { return events.size(); }
+
+    /** Render the full {"traceEvents": [...]} document. */
+    std::string json() const;
+
+    /** Write json() to @p path; returns false (with a warning) on I/O
+     *  failure. */
+    bool writeFile(const std::string &path) const;
+
+  private:
+    struct Event
+    {
+        char ph;  //!< 'X', 'C', or 'M'
+        std::string name;
+        std::string cat;
+        int pid = 0;
+        int tid = 0;
+        double ts = 0.0;
+        double dur = 0.0;
+        std::vector<TraceArg> args;
+    };
+
+    std::vector<Event> events;
+    std::vector<TraceArg> other;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_OBS_TRACE_EVENT_HH

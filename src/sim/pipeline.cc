@@ -42,6 +42,9 @@ PipelineSchedule::gantt(const std::vector<std::string> &stage_names,
     FLCNN_ASSERT(slotsKept(), "gantt requires kept slots");
     FLCNN_ASSERT(static_cast<int>(stage_names.size()) == nstages,
                  "one name per stage required");
+    // A non-positive width would otherwise wrap to a huge size_t in
+    // the line constructor below.
+    FLCNN_ASSERT(width >= 1, "gantt width must be positive");
     if (span == 0)
         return "(empty schedule)\n";
 

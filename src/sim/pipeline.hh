@@ -53,7 +53,8 @@ class PipelineSchedule
     const StageSlot &slot(int64_t pyramid, int stage) const;
     bool slotsKept() const { return !slots.empty(); }
 
-    /** ASCII Gantt chart (small schedules; requires kept slots). */
+    /** ASCII Gantt chart (small schedules; requires kept slots and a
+     *  positive @p width). */
     std::string gantt(const std::vector<std::string> &stage_names,
                       int width = 72) const;
 

@@ -14,12 +14,16 @@
 #include "accel/baseline_accel.hh"
 #include "accel/fused_accel.hh"
 #include "accel/partition_executor.hh"
+#include "common/thread_pool.hh"
 #include "fusion/line_buffer_executor.hh"
+#include "fusion/recompute_executor.hh"
 #include "hls/emitter.hh"
 #include "model/explorer.hh"
 #include "model/transfer.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "sim/trace.hh"
 #include "tensor/compare.hh"
 
 namespace flcnn {
@@ -192,6 +196,169 @@ TEST(EndToEnd, AlexNetWithLrnAndClassifierRuns)
     FusedExecutor fx(net, weights,
                      TilePlan(net, 0, stages.back().last));
     EXPECT_TRUE(tensorsEqual(pref, fx.run(input)));
+}
+
+/** Restores the global pool width when a test returns or fails. */
+struct ThreadCountGuard
+{
+    explicit ThreadCountGuard(int n) { ThreadPool::setGlobalThreads(n); }
+    ~ThreadCountGuard() { ThreadPool::setGlobalThreads(0); }
+};
+
+TEST(Observability, ExecutorMetricSumsMatchRunStats)
+{
+    // The registry's per-layer breakdown must reproduce the flat run
+    // statistics bit-exactly — at every thread count, since the
+    // tallies live outside the parallel regions.
+    Network net("obs1", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+
+    Rng wrng(95);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(96);
+    input.fillRandom(irng);
+    const int last = net.numLayers() - 1;
+
+    for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadCountGuard guard(threads);
+
+        // Reuse model: metrics, and the trace sink must agree with
+        // both the metrics and the counted stats.
+        FusedExecutor fx(net, weights, TilePlan(net, 0, last));
+        MetricsRegistry freg;
+        TraceRecorder rec(false);
+        fx.setMetrics(&freg);
+        fx.setTraceSink(rec.sink());
+        FusedRunStats fs;
+        fx.run(input, &fs);
+        EXPECT_EQ(freg.sumCounters("dram_read_bytes"), fs.loadedBytes);
+        EXPECT_EQ(freg.sumCounters("dram_write_bytes"), fs.storedBytes);
+        EXPECT_EQ(freg.sumCounters("mults"), fs.ops.mults);
+        EXPECT_EQ(freg.sumCounters("adds"), fs.ops.adds);
+        EXPECT_EQ(freg.sumCounters("compares"), fs.ops.compares);
+        EXPECT_EQ(rec.readBytes(), fs.loadedBytes);
+        EXPECT_EQ(rec.writeBytes(), fs.storedBytes);
+
+        // Recompute model.
+        RecomputeExecutor rx(net, weights, TilePlan(net, 0, last));
+        MetricsRegistry rreg;
+        rx.setMetrics(&rreg);
+        RecomputeRunStats rs;
+        rx.run(input, &rs);
+        EXPECT_EQ(rreg.sumCounters("dram_read_bytes"), rs.loadedBytes);
+        EXPECT_EQ(rreg.sumCounters("dram_write_bytes"), rs.storedBytes);
+        EXPECT_EQ(rreg.sumCounters("mults"), rs.ops.mults);
+        EXPECT_EQ(rreg.sumCounters("adds"), rs.ops.adds);
+        EXPECT_EQ(rreg.sumCounters("compares"), rs.ops.compares);
+
+        // Line buffer model (ops attributed at the tally sites).
+        LineBufferExecutor lb(net, weights, 0, last);
+        MetricsRegistry lreg;
+        lb.setMetrics(&lreg);
+        LineBufferStats ls;
+        lb.run(input, &ls);
+        EXPECT_EQ(lreg.sumCounters("dram_read_bytes"), ls.loadedBytes);
+        EXPECT_EQ(lreg.sumCounters("dram_write_bytes"), ls.storedBytes);
+        EXPECT_EQ(lreg.sumCounters("mults"), ls.ops.mults);
+        EXPECT_EQ(lreg.sumCounters("adds"), ls.ops.adds);
+        EXPECT_EQ(lreg.sumCounters("compares"), ls.ops.compares);
+    }
+}
+
+TEST(Observability, AcceleratorMetricSumsMatchAccelStats)
+{
+    // Accelerator models add the weight stream and schedule cycles on
+    // top of the executor's feature-map traffic; one registry must
+    // still sum to the AccelStats totals with no double counting.
+    Network net("obs2", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+
+    Rng wrng(97);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(98);
+    input.fillRandom(irng);
+    const int last = net.numLayers() - 1;
+
+    for (int threads : {1, 2, 8}) {
+        SCOPED_TRACE("threads=" + std::to_string(threads));
+        ThreadCountGuard guard(threads);
+
+        BaselineAccelerator base(net, weights,
+                                 BaselineConfig{2, 2, 8, 8});
+        MetricsRegistry breg;
+        base.setMetrics(&breg);
+        AccelStats bs;
+        base.run(input, &bs);
+        EXPECT_EQ(breg.sumCounters("dram_read_bytes"),
+                  bs.dramReadBytes);
+        EXPECT_EQ(breg.sumCounters("dram_write_bytes"),
+                  bs.dramWriteBytes);
+        EXPECT_EQ(breg.sumCounters("compute_cycles"),
+                  bs.computeCycles);
+
+        FusedPipelineConfig fcfg =
+            balanceFusedPipeline(net, 0, last, 100);
+        FusedAccelerator fused(net, weights, 0, last, fcfg);
+        MetricsRegistry areg;
+        fused.setMetrics(&areg);
+        AccelStats as;
+        fused.run(input, &as);
+        EXPECT_EQ(areg.sumCounters("dram_read_bytes"),
+                  as.dramReadBytes);
+        EXPECT_EQ(areg.sumCounters("dram_write_bytes"),
+                  as.dramWriteBytes);
+        EXPECT_EQ(areg.sumCounters("compute_cycles"),
+                  as.computeCycles);
+        EXPECT_EQ(areg.counter("", "makespan_cycles"),
+                  as.makespanCycles);
+    }
+}
+
+TEST(Observability, PartitionExecutorScopesMetricsByGroup)
+{
+    Network net("obs3", Shape{3, 24, 24});
+    net.addConvBlock("c1", 4, 3, 1, 1);
+    net.addMaxPool("p1", 2, 2);
+    net.addConvBlock("c2", 6, 3, 1, 1);
+
+    Rng wrng(99);
+    NetworkWeights weights(net, wrng);
+    Tensor input(net.inputShape());
+    Rng irng(100);
+    input.fillRandom(irng);
+
+    // Two groups: the first stage alone, then everything after it.
+    const auto &stages = net.stages();
+    ASSERT_GE(stages.size(), 2u);
+    Partition part{StageGroup{0, 0},
+                   StageGroup{1, static_cast<int>(stages.size()) - 1}};
+    PartitionExecutor exec(net, weights, part);
+    MetricsRegistry reg;
+    exec.setMetrics(&reg);
+    PartitionRunStats stats;
+    exec.run(input, &stats);
+
+    EXPECT_EQ(reg.sumCounters("dram_read_bytes"), stats.dramReadBytes);
+    EXPECT_EQ(reg.sumCounters("dram_write_bytes"),
+              stats.dramWriteBytes);
+    bool saw_g0 = false, saw_g1 = false;
+    for (const std::string &scope : reg.scopes()) {
+        if (scope.rfind("group:0:", 0) == 0)
+            saw_g0 = true;
+        if (scope.rfind("group:1:", 0) == 0)
+            saw_g1 = true;
+        EXPECT_TRUE(scope.rfind("group:", 0) == 0)
+            << "unprefixed scope: " << scope;
+    }
+    EXPECT_TRUE(saw_g0);
+    EXPECT_TRUE(saw_g1);
 }
 
 TEST(EndToEnd, AdvisorPickIsExecutable)

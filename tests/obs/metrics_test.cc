@@ -1,0 +1,100 @@
+/** @file MetricsRegistry: scoped counters/gauges and their JSON form. */
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(Metrics, CountersAccumulate)
+{
+    MetricsRegistry reg;
+    reg.addCounter("layer:0:c1", "dram_read_bytes", 100);
+    reg.addCounter("layer:0:c1", "dram_read_bytes", 28);
+    reg.addCounter("layer:1:c2", "dram_read_bytes", 7);
+    EXPECT_EQ(reg.counter("layer:0:c1", "dram_read_bytes"), 128);
+    EXPECT_EQ(reg.counter("layer:1:c2", "dram_read_bytes"), 7);
+    EXPECT_EQ(reg.sumCounters("dram_read_bytes"), 135);
+    EXPECT_EQ(reg.counter("layer:2:c3", "dram_read_bytes"), 0);
+    EXPECT_EQ(reg.sumCounters("no_such_counter"), 0);
+}
+
+TEST(Metrics, GaugesSetAndAdd)
+{
+    MetricsRegistry reg;
+    reg.addGauge("", "wall_seconds", 0.5);
+    reg.addGauge("", "wall_seconds", 0.25);
+    EXPECT_DOUBLE_EQ(reg.gauge("", "wall_seconds"), 0.75);
+    reg.setGauge("", "tile_bytes", 4096.0);
+    reg.setGauge("", "tile_bytes", 2048.0);
+    EXPECT_DOUBLE_EQ(reg.gauge("", "tile_bytes"), 2048.0);
+    EXPECT_DOUBLE_EQ(reg.sumGauges("wall_seconds"), 0.75);
+    EXPECT_DOUBLE_EQ(reg.gauge("missing", "wall_seconds"), 0.0);
+}
+
+TEST(MetricsDeath, MixedKindReusePanics)
+{
+    // A (scope, name) is one metric; reusing it with the other kind
+    // is a programming error, not a silent second value.
+    MetricsRegistry reg;
+    reg.addCounter("s", "x", 3);
+    EXPECT_DEATH(reg.setGauge("s", "x", 9.5), "kind");
+    MetricsRegistry reg2;
+    reg2.setGauge("s", "x", 9.5);
+    EXPECT_DEATH(reg2.addCounter("s", "x", 3), "kind");
+}
+
+TEST(Metrics, ScopesKeepFirstAppearanceOrder)
+{
+    MetricsRegistry reg;
+    reg.addCounter("b", "n", 1);
+    reg.addCounter("a", "n", 1);
+    reg.addCounter("b", "m", 1);
+    auto scopes = reg.scopes();
+    ASSERT_EQ(scopes.size(), 2u);
+    EXPECT_EQ(scopes[0], "b");
+    EXPECT_EQ(scopes[1], "a");
+}
+
+TEST(Metrics, CanonicalScopeFormats)
+{
+    EXPECT_EQ(MetricsRegistry::layerScope(3, "conv2"), "layer:3:conv2");
+    EXPECT_EQ(MetricsRegistry::stageScope(0, "load"), "stage:0:load");
+    EXPECT_EQ(MetricsRegistry::groupPrefix(2), "group:2:");
+}
+
+TEST(Metrics, JsonRendersCountersAsIntegers)
+{
+    MetricsRegistry reg;
+    // A value above 2^53 would lose bits through a double round trip.
+    reg.addCounter("layer:0:c1", "dram_read_bytes",
+                   (int64_t{1} << 53) + 1);
+    reg.setGauge("layer:0:c1", "wall_seconds", 1.5);
+    std::string js = reg.json();
+    EXPECT_NE(js.find("\"layer:0:c1\""), std::string::npos);
+    EXPECT_NE(js.find("9007199254740993"), std::string::npos);
+    EXPECT_NE(js.find("wall_seconds"), std::string::npos);
+}
+
+TEST(Metrics, JsonGuardsNonFiniteGauges)
+{
+    MetricsRegistry reg;
+    reg.setGauge("", "ratio", 1.0 / 0.0);
+    std::string js = reg.json();
+    EXPECT_EQ(js.find("inf"), std::string::npos);
+    EXPECT_NE(js.find("null"), std::string::npos);
+}
+
+TEST(Metrics, ClearEmpties)
+{
+    MetricsRegistry reg;
+    reg.addCounter("s", "n", 1);
+    EXPECT_FALSE(reg.empty());
+    reg.clear();
+    EXPECT_TRUE(reg.empty());
+    EXPECT_EQ(reg.counter("s", "n"), 0);
+}
+
+} // namespace
+} // namespace flcnn

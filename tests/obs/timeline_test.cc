@@ -1,0 +1,149 @@
+/** @file Bridges from simulator structures to Chrome trace tracks. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/thread_pool.hh"
+#include "obs/metrics.hh"
+#include "obs/timeline.hh"
+#include "sim/pipeline.hh"
+#include "sim/trace.hh"
+
+namespace flcnn {
+namespace {
+
+int
+countOccurrences(const std::string &hay, const std::string &needle)
+{
+    int n = 0;
+    for (size_t pos = hay.find(needle); pos != std::string::npos;
+         pos = hay.find(needle, pos + needle.size()))
+        n++;
+    return n;
+}
+
+TEST(Timeline, ScheduleWithSlotsEmitsPerCellSpans)
+{
+    auto sched = schedulePyramidPipeline(
+        3, 2, [](int64_t, int) { return int64_t{4}; }, true);
+    ChromeTrace tr;
+    appendScheduleTrace(tr, sched, {"load", "conv"}, 1, "pipeline");
+    std::string js = tr.json();
+    // 3 pyramids x 2 stages, all nonzero.
+    EXPECT_EQ(countOccurrences(js, "\"pyramid "), 6);
+    EXPECT_NE(js.find("\"load\""), std::string::npos);
+    EXPECT_NE(js.find("\"conv\""), std::string::npos);
+}
+
+TEST(Timeline, ScheduleOverBudgetFallsBackToAggregates)
+{
+    auto sched = schedulePyramidPipeline(
+        100, 2, [](int64_t, int) { return int64_t{4}; }, true);
+    ChromeTrace tr;
+    appendScheduleTrace(tr, sched, {}, 1, "pipeline",
+                        /*max_slot_events=*/10);
+    std::string js = tr.json();
+    EXPECT_EQ(countOccurrences(js, "\"pyramid "), 0);
+    EXPECT_EQ(countOccurrences(js, "(aggregate)"), 2);
+    EXPECT_NE(js.find("\"busy_cycles\":400"), std::string::npos);
+}
+
+TEST(Timeline, ScheduleWithoutSlotsUsesAggregates)
+{
+    auto sched = schedulePyramidPipeline(
+        5, 3, [](int64_t, int) { return int64_t{2}; }, false);
+    ChromeTrace tr;
+    appendScheduleTrace(tr, sched, {}, 1, "pipeline");
+    EXPECT_EQ(countOccurrences(tr.json(), "(aggregate)"), 3);
+}
+
+TEST(Timeline, DramCounterTrackEndsOnExactTotals)
+{
+    TraceRecorder rec;
+    for (int i = 0; i < 1000; i++)
+        rec.record(DramAccess{i % 3 == 0, 64u * static_cast<uint64_t>(i),
+                              i + 1});
+    ChromeTrace tr;
+    appendDramCounterTrack(tr, rec, 2, "dram", /*max_samples=*/7);
+    std::string js = tr.json();
+    // Strided down, but the last sample closes on the exact sums.
+    EXPECT_LE(countOccurrences(js, "\"read_bytes\""), 7);
+    EXPECT_NE(js.find("\"read_bytes\":" +
+                      std::to_string(rec.readBytes())),
+              std::string::npos);
+    EXPECT_NE(js.find("\"write_bytes\":" +
+                      std::to_string(rec.writeBytes())),
+              std::string::npos);
+}
+
+TEST(Timeline, DramCounterTrackWithoutLogWarnsAndEmitsNothing)
+{
+    TraceRecorder rec(false);
+    rec.record(DramAccess{false, 0, 8});
+    ChromeTrace tr;
+    appendDramCounterTrack(tr, rec, 2, "dram");
+    EXPECT_EQ(tr.numEvents(), 0u);
+}
+
+TEST(Timeline, DramCountersMirrorRegistrySums)
+{
+    MetricsRegistry reg;
+    reg.addCounter("layer:0:c1", "dram_read_bytes", 1000);
+    reg.addCounter("layer:1:c2", "dram_write_bytes", 500);
+    reg.addCounter("layer:2:c3", "mults", 99);  // not a dram scope
+    ChromeTrace tr;
+    appendDramCounters(tr, reg, 2);
+    std::string js = tr.json();
+    EXPECT_NE(js.find("dram/layer:0:c1"), std::string::npos);
+    EXPECT_NE(js.find("dram/layer:1:c2"), std::string::npos);
+    EXPECT_EQ(js.find("dram/layer:2:c3"), std::string::npos);
+    EXPECT_EQ(countOccurrences(js, "\"ph\":\"C\""), 2);
+}
+
+TEST(Timeline, ThreadPoolScopeRecordsChunks)
+{
+    std::vector<int> touched(64, 0);
+    ThreadPoolTraceScope scope;
+    parallelFor(0, 64, [&](int64_t lo, int64_t hi) {
+        for (int64_t i = lo; i < hi; i++)
+            touched[static_cast<size_t>(i)] = 1;
+    });
+    EXPECT_GT(scope.numChunks(), 0u);
+    ChromeTrace tr;
+    scope.flush(tr, 3, "pool");
+    std::string js = tr.json();
+    EXPECT_NE(js.find("\"chunk [0, "), std::string::npos);
+    EXPECT_NE(js.find("threadpool"), std::string::npos);
+    for (int v : touched)
+        EXPECT_EQ(v, 1);
+}
+
+TEST(Timeline, ThreadPoolScopeCapCountsDrops)
+{
+    ThreadPoolTraceScope scope(/*max_events=*/1);
+    for (int rep = 0; rep < 8; rep++)
+        parallelFor(0, 1000, [](int64_t, int64_t) {}, /*grain=*/1);
+    EXPECT_LE(scope.numChunks(), 1u);
+    EXPECT_GT(scope.dropped(), 0);
+    ChromeTrace tr;
+    scope.flush(tr, 3, "pool");
+    EXPECT_NE(tr.json().find("dropped_chunks"), std::string::npos);
+}
+
+TEST(Timeline, WriteFusedTraceFileComposesAllTracks)
+{
+    auto sched = schedulePyramidPipeline(
+        2, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    MetricsRegistry reg;
+    reg.addCounter("layer:0:c1", "dram_read_bytes", 77);
+    std::string path =
+        ::testing::TempDir() + "flcnn_timeline_test.json";
+    ASSERT_TRUE(writeFusedTraceFile(path, "unit", sched, {"a", "b"},
+                                    &reg, nullptr, nullptr,
+                                    {{"dram_read_bytes", argI(77)}}));
+    std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace flcnn

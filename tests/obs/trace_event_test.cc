@@ -1,0 +1,123 @@
+/** @file Chrome trace-event emitter: JSON shape and literal fidelity. */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/trace_event.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(TraceArgs, LiteralsRenderExactly)
+{
+    // int64 beyond 2^53 must survive as an integer literal.
+    EXPECT_EQ(argI((int64_t{1} << 53) + 1), "9007199254740993");
+    EXPECT_EQ(argI(-42), "-42");
+    EXPECT_EQ(argS("a \"b\"\n"), "\"a \\\"b\\\"\\n\"");
+    // Non-finite doubles are not valid JSON literals.
+    EXPECT_EQ(argF(1.0 / 0.0), "null");
+    EXPECT_EQ(argF(0.0 / 0.0), "null");
+    EXPECT_DOUBLE_EQ(std::stod(argF(0.5)), 0.5);
+}
+
+TEST(ChromeTrace, CompleteEventShape)
+{
+    ChromeTrace tr;
+    tr.setProcessName(1, "pipeline");
+    tr.setThreadName(1, 0, "load");
+    tr.completeEvent("pyramid 0", "pipeline", 1, 0, 10.0, 5.0,
+                     {{"pyramid", argI(0)}});
+    std::string js = tr.json();
+    EXPECT_NE(js.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(js.find("\"ph\":\"M\""), std::string::npos);
+    EXPECT_NE(js.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(js.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(js.find("\"pyramid 0\""), std::string::npos);
+    EXPECT_NE(js.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ChromeTrace, CounterEventOmitsTid)
+{
+    ChromeTrace tr;
+    tr.counterEvent("dram/layer:0:c1", 2, 0.0,
+                    {{"read_bytes", argI(128)},
+                     {"write_bytes", argI(0)}});
+    std::string js = tr.json();
+    EXPECT_NE(js.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(js.find("\"read_bytes\":128"), std::string::npos);
+    // Counter tracks belong to a process, not a thread.
+    EXPECT_EQ(js.find("\"tid\""), std::string::npos);
+}
+
+TEST(ChromeTrace, OtherDataAppearsWhenSet)
+{
+    ChromeTrace tr;
+    tr.completeEvent("e", "c", 1, 0, 0.0, 1.0);
+    EXPECT_EQ(tr.json().find("otherData"), std::string::npos);
+    tr.setOther("dram_read_bytes", argI(756992));
+    std::string js = tr.json();
+    EXPECT_NE(js.find("\"otherData\""), std::string::npos);
+    EXPECT_NE(js.find("\"dram_read_bytes\": 756992"), std::string::npos);
+}
+
+TEST(ChromeTrace, JsonIsStructurallyBalanced)
+{
+    ChromeTrace tr;
+    tr.setProcessName(1, "p \"quoted\"");
+    for (int i = 0; i < 10; i++)
+        tr.completeEvent("e" + std::to_string(i), "cat", 1, i % 3,
+                         i * 2.0, 1.0, {{"i", argI(i)}});
+    tr.counterEvent("cnt", 1, 0.0, {{"v", argF(0.25)}});
+    tr.setOther("label", argS("test"));
+    std::string js = tr.json();
+    int depth = 0;
+    bool in_str = false;
+    for (size_t i = 0; i < js.size(); i++) {
+        char c = js[i];
+        if (in_str) {
+            if (c == '\\')
+                i++;
+            else if (c == '"')
+                in_str = false;
+            continue;
+        }
+        if (c == '"')
+            in_str = true;
+        else if (c == '{' || c == '[')
+            depth++;
+        else if (c == '}' || c == ']') {
+            depth--;
+            EXPECT_GE(depth, 0);
+        }
+    }
+    EXPECT_EQ(depth, 0);
+    EXPECT_FALSE(in_str);
+}
+
+TEST(ChromeTrace, WriteFileRoundTrips)
+{
+    ChromeTrace tr;
+    tr.completeEvent("span", "cat", 1, 0, 0.0, 2.5);
+    std::string path = ::testing::TempDir() + "flcnn_trace_test.json";
+    ASSERT_TRUE(tr.writeFile(path));
+    std::ifstream f(path);
+    std::stringstream ss;
+    ss << f.rdbuf();
+    EXPECT_EQ(ss.str(), tr.json());
+    std::remove(path.c_str());
+}
+
+TEST(ChromeTrace, WriteFileToBadPathFails)
+{
+    ChromeTrace tr;
+    tr.completeEvent("span", "cat", 1, 0, 0.0, 1.0);
+    EXPECT_FALSE(tr.writeFile("/nonexistent-dir/trace.json"));
+}
+
+} // namespace
+} // namespace flcnn

@@ -104,6 +104,48 @@ TEST(PipelineDeath, SlotAccessWithoutKeepPanics)
     EXPECT_DEATH(sched.slot(0, 0), "without slots");
 }
 
+TEST(PipelineDeath, SlotIndexOutOfRangePanics)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    EXPECT_DEATH(sched.slot(4, 0), "out of range");
+    EXPECT_DEATH(sched.slot(-1, 0), "out of range");
+    EXPECT_DEATH(sched.slot(0, 2), "out of range");
+    EXPECT_DEATH(sched.slot(0, -1), "out of range");
+}
+
+TEST(PipelineDeath, GanttWithoutKeptSlotsPanics)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, false);
+    EXPECT_DEATH(sched.gantt({"a", "b"}), "kept slots");
+}
+
+TEST(PipelineDeath, GanttNamesArityChecked)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    EXPECT_DEATH(sched.gantt({"only-one"}), "one name per stage");
+}
+
+TEST(PipelineDeath, GanttNonPositiveWidthPanics)
+{
+    // Regression: width <= 0 used to wrap to a huge size_t in the
+    // line constructor (UB / bad_alloc) instead of a clear error.
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    EXPECT_DEATH(sched.gantt({"a", "b"}, 0), "width");
+    EXPECT_DEATH(sched.gantt({"a", "b"}, -7), "width");
+}
+
+TEST(Pipeline, GanttTinyWidthStillRenders)
+{
+    auto sched = schedulePyramidPipeline(
+        4, 2, [](int64_t, int) { return int64_t{3}; }, true);
+    std::string g = sched.gantt({"a", "b"}, 1);
+    EXPECT_EQ(std::count(g.begin(), g.end(), '\n'), 2);
+}
+
 TEST(Pipeline, SharedResourceSerializes)
 {
     // Two stages sharing one channel cannot overlap even across
