@@ -21,6 +21,7 @@
 #include <functional>
 #include <vector>
 
+#include "common/argparse.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "fusion/line_buffer_executor.hh"
@@ -196,11 +197,12 @@ main(int argc, char **argv)
     int vgg_scale = 112;  // 224 reproduces the paper's full input
     int keep = 1;
     for (int a = 1; a < argc; a++) {
-        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
-            threads = std::atoi(argv[++a]);
-        } else if (std::strcmp(argv[a], "--vgg-scale") == 0 &&
-                   a + 1 < argc) {
-            vgg_scale = std::atoi(argv[++a]);
+        if (std::strcmp(argv[a], "--threads") == 0) {
+            threads = parseIntArgI("--threads",
+                                   argValue(argc, argv, &a), 1, 1 << 20);
+        } else if (std::strcmp(argv[a], "--vgg-scale") == 0) {
+            vgg_scale = parseIntArgI(
+                "--vgg-scale", argValue(argc, argv, &a), 8, 1 << 14);
         } else {
             argv[keep++] = argv[a];
         }

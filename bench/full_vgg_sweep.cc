@@ -19,6 +19,8 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/argparse.hh"
+#include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
@@ -60,8 +62,11 @@ main(int argc, char **argv)
 {
     int threads = 0;  // 0 = FLCNN_THREADS or hardware concurrency
     for (int a = 1; a < argc; a++) {
-        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
-            threads = std::atoi(argv[++a]);
+        if (std::strcmp(argv[a], "--threads") == 0)
+            threads = parseIntArgI("--threads",
+                                   argValue(argc, argv, &a), 1, 1 << 20);
+        else
+            fatal("unknown argument '%s'", argv[a]);
     }
     ThreadPool::setGlobalThreads(threads);
 

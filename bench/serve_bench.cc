@@ -1,0 +1,437 @@
+/**
+ * @file
+ * serve_bench — load generator and latency reporter for the batched
+ * serving runtime (src/serve/).
+ *
+ * Two load models:
+ *
+ *  - closed loop (--concurrency N): N client threads each submit one
+ *    request, wait for it, and immediately submit the next. Blocking
+ *    on a full queue is the backpressure, so nothing is rejected and
+ *    the offered load self-regulates — the right model for "how fast
+ *    can this box serve".
+ *  - open loop (--qps X): one dispatcher submits on a deterministic
+ *    fixed-interval schedule (exactly 1/X seconds apart) regardless of
+ *    completions — the right model for "what does p99 look like at
+ *    this arrival rate". Under the Reject policy a saturated queue
+ *    sheds load, and the reject count is part of the result.
+ *
+ * Inputs are drawn from a small seeded pool so the run is
+ * reproducible. Unless --no-baseline is given, the same number of
+ * single-image runs is timed sequentially on one engine (the
+ * fused_inference deployment model) and the serve/sequential speedup
+ * is printed — the batched runtime with request-level parallelism
+ * should win on any multi-core host.
+ *
+ * Output: a human table, plus optional machine artifacts —
+ *   --json PATH          flcnn-serve-v1 result (latency percentiles,
+ *                        counts; folded into BENCH_<date>.json by
+ *                        scripts/run_bench.py and validated by
+ *                        scripts/check_trace.py)
+ *   --metrics-json PATH  flcnn-metrics-v1 report ("serve:*" scopes)
+ *   --trace-json PATH    Chrome trace with per-request queue/compute
+ *                        spans
+ *
+ * The histogram-count == completed-count invariant is asserted on
+ * every run; --expect-no-rejects additionally fails the run if any
+ * request was rejected (the CI closed-loop smoke).
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "accel/stats.hh"
+#include "common/argparse.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "nn/zoo.hh"
+#include "obs/metrics.hh"
+#include "obs/report.hh"
+#include "obs/trace_event.hh"
+#include "serve/server.hh"
+
+using namespace flcnn;
+
+namespace {
+
+struct Options
+{
+    std::string net = "alexnet";
+    int vggConvs = 5;
+    EngineKind engine = EngineKind::LineBuffer;
+    int workers = 0;          // 0 = auto
+    int requests = 32;
+    int concurrency = 4;      // closed loop unless --qps given
+    double qps = 0.0;         // > 0 selects open loop
+    int batchMax = 8;
+    int batchMin = 1;
+    double maxDelayMs = 0.0;
+    size_t queueCap = 256;
+    OverflowPolicy policy = OverflowPolicy::Block;
+    bool policySet = false;
+    double deadlineMs = 0.0;
+    int threads = 0;          // intra-op pool size (0 = default)
+    uint64_t seed = 1;
+    bool baseline = true;
+    bool expectNoRejects = false;
+    std::string jsonPath;
+    std::string metricsPath;
+    std::string tracePath;
+};
+
+Network
+makeNet(const Options &opt)
+{
+    if (opt.net == "alexnet")
+        return alexnetFusedPrefix();
+    if (opt.net == "vgg")
+        return vggEPrefix(opt.vggConvs);
+    if (opt.net == "tiny")
+        return tinyNet();
+    fatal("unknown --net '%s' (want alexnet | vgg | tiny)",
+          opt.net.c_str());
+}
+
+/** One latency histogram as a JSON object body. */
+void
+histJson(std::FILE *f, const char *key, const LatencyHistogram &h,
+         bool last)
+{
+    std::fprintf(f,
+                 "    \"%s\": {\"count\": %" PRId64
+                 ", \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
+                 "\"p99\": %.3f, \"max\": %.3f}%s\n",
+                 key, h.count(), h.mean(), h.quantile(0.50),
+                 h.quantile(0.95), h.quantile(0.99), h.max(),
+                 last ? "" : ",");
+}
+
+void
+writeServeJson(const Options &opt, const ServerStats &st, double wall_s,
+               double baseline_s, int workers)
+{
+    std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
+    if (!f)
+        fatal("cannot write %s", opt.jsonPath.c_str());
+    const LatencyHistogram total = st.totalLatency();
+    const LatencyHistogram queue = st.queueWait();
+    const LatencyHistogram compute = st.computeTime();
+    std::fprintf(f, "{\n  \"schema\": \"flcnn-serve-v1\",\n");
+    std::fprintf(f,
+                 "  \"config\": {\"net\": \"%s\", \"engine\": \"%s\", "
+                 "\"mode\": \"%s\", \"workers\": %d, \"requests\": %d, "
+                 "\"concurrency\": %d, \"qps\": %.3f, "
+                 "\"batch_max\": %d, \"batch_min\": %d, "
+                 "\"queue_capacity\": %zu, \"policy\": \"%s\", "
+                 "\"deadline_ms\": %.3f, \"seed\": %" PRIu64 "},\n",
+                 opt.net.c_str(), engineKindName(opt.engine),
+                 opt.qps > 0.0 ? "open" : "closed", workers,
+                 opt.requests, opt.concurrency, opt.qps, opt.batchMax,
+                 opt.batchMin, opt.queueCap,
+                 overflowPolicyName(opt.policy), opt.deadlineMs,
+                 opt.seed);
+    std::fprintf(f,
+                 "  \"counts\": {\"submitted\": %" PRId64
+                 ", \"admitted\": %" PRId64 ", \"rejected\": %" PRId64
+                 ", \"expired\": %" PRId64 ", \"cancelled\": %" PRId64
+                 ", \"completed\": %" PRId64 ", \"batches\": %" PRId64
+                 ", \"mean_batch\": %.3f, \"max_batch\": %.0f},\n",
+                 st.submitted(), st.admitted(), st.rejected(),
+                 st.expired(), st.cancelled(), st.completed(),
+                 st.batches(), st.meanBatch(), st.maxBatchSeen());
+    std::fprintf(f, "  \"latency_us\": {\n");
+    histJson(f, "total", total, false);
+    histJson(f, "queue_wait", queue, false);
+    histJson(f, "compute", compute, true);
+    std::fprintf(f, "  },\n");
+    std::fprintf(f,
+                 "  \"wall_s\": %.6f,\n  \"throughput_rps\": %.3f",
+                 wall_s,
+                 wall_s > 0.0 ? double(st.completed()) / wall_s : 0.0);
+    if (baseline_s > 0.0)
+        std::fprintf(f,
+                     ",\n  \"sequential_wall_s\": %.6f,\n"
+                     "  \"speedup_vs_sequential\": %.3f",
+                     baseline_s, baseline_s / wall_s);
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", opt.jsonPath.c_str());
+}
+
+double
+quantileMs(const LatencyHistogram &h, double q)
+{
+    return h.quantile(q) / 1000.0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt;
+    for (int a = 1; a < argc; a++) {
+        if (std::strcmp(argv[a], "--net") == 0) {
+            opt.net = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--convs") == 0) {
+            opt.vggConvs = parseIntArgI("--convs",
+                                        argValue(argc, argv, &a), 1, 16);
+        } else if (std::strcmp(argv[a], "--engine") == 0) {
+            opt.engine = engineKindFromName(argValue(argc, argv, &a));
+        } else if (std::strcmp(argv[a], "--workers") == 0) {
+            opt.workers = parseIntArgI("--workers",
+                                       argValue(argc, argv, &a), 1, 4096);
+        } else if (std::strcmp(argv[a], "--requests") == 0) {
+            opt.requests = parseIntArgI(
+                "--requests", argValue(argc, argv, &a), 1, 1 << 24);
+        } else if (std::strcmp(argv[a], "--concurrency") == 0) {
+            opt.concurrency = parseIntArgI(
+                "--concurrency", argValue(argc, argv, &a), 1, 4096);
+        } else if (std::strcmp(argv[a], "--qps") == 0) {
+            opt.qps = parseFloatArg("--qps", argValue(argc, argv, &a),
+                                    1e-3, 1e9);
+        } else if (std::strcmp(argv[a], "--batch-max") == 0) {
+            opt.batchMax = parseIntArgI("--batch-max",
+                                        argValue(argc, argv, &a), 1, 4096);
+        } else if (std::strcmp(argv[a], "--batch-min") == 0) {
+            opt.batchMin = parseIntArgI("--batch-min",
+                                        argValue(argc, argv, &a), 1, 4096);
+        } else if (std::strcmp(argv[a], "--max-delay-ms") == 0) {
+            opt.maxDelayMs = parseFloatArg(
+                "--max-delay-ms", argValue(argc, argv, &a), 0.0, 1e6);
+        } else if (std::strcmp(argv[a], "--queue-cap") == 0) {
+            opt.queueCap = static_cast<size_t>(parseIntArg(
+                "--queue-cap", argValue(argc, argv, &a), 1, 1 << 24));
+        } else if (std::strcmp(argv[a], "--policy") == 0) {
+            const char *p = argValue(argc, argv, &a);
+            if (std::strcmp(p, "block") == 0)
+                opt.policy = OverflowPolicy::Block;
+            else if (std::strcmp(p, "reject") == 0)
+                opt.policy = OverflowPolicy::Reject;
+            else
+                fatal("--policy wants block | reject (got '%s')", p);
+            opt.policySet = true;
+        } else if (std::strcmp(argv[a], "--deadline-ms") == 0) {
+            opt.deadlineMs = parseFloatArg(
+                "--deadline-ms", argValue(argc, argv, &a), 0.0, 1e6);
+        } else if (std::strcmp(argv[a], "--threads") == 0) {
+            opt.threads = parseIntArgI("--threads",
+                                       argValue(argc, argv, &a), 1,
+                                       1 << 20);
+        } else if (std::strcmp(argv[a], "--seed") == 0) {
+            opt.seed = static_cast<uint64_t>(parseIntArg(
+                "--seed", argValue(argc, argv, &a), 0, INT64_MAX));
+        } else if (std::strcmp(argv[a], "--no-baseline") == 0) {
+            opt.baseline = false;
+        } else if (std::strcmp(argv[a], "--expect-no-rejects") == 0) {
+            opt.expectNoRejects = true;
+        } else if (std::strcmp(argv[a], "--json") == 0) {
+            opt.jsonPath = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--metrics-json") == 0) {
+            opt.metricsPath = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--trace-json") == 0) {
+            opt.tracePath = argValue(argc, argv, &a);
+        } else {
+            fatal("unknown argument '%s'", argv[a]);
+        }
+    }
+
+    ThreadPool::setGlobalThreads(opt.threads);
+    const int hw = ThreadPool::global().numThreads();
+    const bool open_loop = opt.qps > 0.0;
+    if (!opt.policySet)
+        opt.policy = open_loop ? OverflowPolicy::Reject
+                               : OverflowPolicy::Block;
+    int workers = opt.workers;
+    if (workers == 0)
+        workers = open_loop ? std::max(1, hw / 2)
+                            : std::min(opt.concurrency, std::max(1, hw));
+
+    Network net = makeNet(opt);
+    Rng wrng(opt.seed);
+    NetworkWeights weights(net, wrng);
+
+    // Deterministic input pool: request i uses inputs[i % pool].
+    constexpr int kInputPool = 8;
+    std::vector<Tensor> inputs;
+    inputs.reserve(kInputPool);
+    Rng irng(opt.seed + 1);
+    for (int i = 0; i < kInputPool; i++) {
+        inputs.emplace_back(net.inputShape());
+        inputs.back().fillRandom(irng);
+    }
+
+    ServeConfig cfg;
+    cfg.workers = workers;
+    cfg.queueCapacity = opt.queueCap;
+    cfg.policy = opt.policy;
+    cfg.batch.maxBatch = opt.batchMax;
+    cfg.batch.minBatch = opt.batchMin;
+    cfg.batch.maxDelaySeconds = opt.maxDelayMs / 1000.0;
+    cfg.deadlineSeconds = opt.deadlineMs / 1000.0;
+    cfg.engine = opt.engine;
+
+    std::printf("== serve_bench: %s on %s, %s loop ==\n",
+                engineKindName(opt.engine), net.name().c_str(),
+                open_loop ? "open" : "closed");
+    std::printf("workers %d, queue %zu (%s), batch [%d, %d], "
+                "delay %.1f ms, deadline %s, %d requests, %s, "
+                "intra-op threads %d\n",
+                workers, opt.queueCap, overflowPolicyName(opt.policy),
+                opt.batchMin, opt.batchMax, opt.maxDelayMs,
+                opt.deadlineMs > 0.0
+                    ? (std::to_string(opt.deadlineMs) + " ms").c_str()
+                    : "none",
+                opt.requests,
+                open_loop
+                    ? (std::to_string(opt.qps) + " qps").c_str()
+                    : ("concurrency " + std::to_string(opt.concurrency))
+                          .c_str(),
+                hw);
+
+    InferenceServer server(cfg);
+    server.addModel(net.name(), net, weights);
+    server.start();
+
+    const double t0 = monotonicSeconds();
+    if (open_loop) {
+        std::vector<RequestHandlePtr> handles;
+        handles.reserve(static_cast<size_t>(opt.requests));
+        const double interval = 1.0 / opt.qps;
+        const auto start = std::chrono::steady_clock::now();
+        for (int i = 0; i < opt.requests; i++) {
+            std::this_thread::sleep_until(
+                start + std::chrono::duration<double>(i * interval));
+            handles.push_back(
+                server.submit(0, Tensor(inputs[i % kInputPool])).handle);
+        }
+        for (const RequestHandlePtr &h : handles)
+            h->wait();
+    } else {
+        std::atomic<int> next{0};
+        std::vector<std::thread> clients;
+        clients.reserve(static_cast<size_t>(opt.concurrency));
+        for (int c = 0; c < opt.concurrency; c++) {
+            clients.emplace_back([&] {
+                for (;;) {
+                    const int i =
+                        next.fetch_add(1, std::memory_order_relaxed);
+                    if (i >= opt.requests)
+                        return;
+                    SubmitResult r = server.submit(
+                        0, Tensor(inputs[i % kInputPool]));
+                    r.handle->wait();
+                }
+            });
+        }
+        for (std::thread &t : clients)
+            t.join();
+    }
+    server.drainAndStop();
+    const double wall = monotonicSeconds() - t0;
+
+    const ServerStats &st = server.stats();
+    const LatencyHistogram total = st.totalLatency();
+    const LatencyHistogram queue = st.queueWait();
+    const LatencyHistogram compute = st.computeTime();
+
+    // Invariant (also the CI smoke's check): every completion is
+    // recorded in every histogram exactly once.
+    if (total.count() != st.completed() ||
+        queue.count() != st.completed() ||
+        compute.count() != st.completed())
+        fatal("histogram count %" PRId64 "/%" PRId64 "/%" PRId64
+              " != completed %" PRId64,
+              total.count(), queue.count(), compute.count(),
+              st.completed());
+    if (st.admitted() != st.completed() + st.expired())
+        fatal("admitted %" PRId64 " != completed %" PRId64
+              " + expired %" PRId64,
+              st.admitted(), st.completed(), st.expired());
+    if (opt.expectNoRejects && st.rejected() > 0)
+        fatal("--expect-no-rejects, but %" PRId64 " rejected",
+              st.rejected());
+
+    std::printf("\n%" PRId64 " submitted, %" PRId64 " completed, %" PRId64
+                " rejected, %" PRId64 " expired; %" PRId64
+                " batches (mean %.2f, max %.0f)\n",
+                st.submitted(), st.completed(), st.rejected(),
+                st.expired(), st.batches(), st.meanBatch(),
+                st.maxBatchSeen());
+    std::printf("wall %.3f s, throughput %.1f req/s\n", wall,
+                wall > 0.0 ? double(st.completed()) / wall : 0.0);
+
+    Table t({"latency (ms)", "mean", "p50", "p95", "p99", "max"});
+    const struct
+    {
+        const char *name;
+        const LatencyHistogram *h;
+    } rows[] = {{"total", &total},
+                {"queue wait", &queue},
+                {"compute", &compute}};
+    for (const auto &row : rows) {
+        t.addRow({row.name, fmtF(row.h->mean() / 1000.0, 3),
+                  fmtF(quantileMs(*row.h, 0.50), 3),
+                  fmtF(quantileMs(*row.h, 0.95), 3),
+                  fmtF(quantileMs(*row.h, 0.99), 3),
+                  fmtF(row.h->max() / 1000.0, 3)});
+    }
+    t.print();
+
+    // Sequential baseline: N back-to-back single-image runs, each
+    // rebuilding the network, weights, plan, and executor from
+    // scratch — the cost profile of invoking fused_inference once per
+    // image (everything the server's pinned, pre-warmed engines
+    // amortize), minus process startup.
+    double baseline_s = 0.0;
+    if (opt.baseline) {
+        const double b0 = monotonicSeconds();
+        for (int i = 0; i < opt.requests; i++) {
+            Network bnet = makeNet(opt);
+            Rng brng(opt.seed);
+            NetworkWeights bweights(bnet, brng);
+            ModelSpec spec;
+            spec.name = bnet.name();
+            spec.net = &bnet;
+            spec.weights = &bweights;
+            spec.firstLayer = 0;
+            spec.lastLayer = bnet.numLayers() - 1;
+            ServeEngine eng(spec, opt.engine);
+            (void)eng.run(inputs[i % kInputPool]);
+        }
+        baseline_s = monotonicSeconds() - b0;
+        std::printf("\nsequential baseline (cold executor per run): "
+                    "%.3f s for %d runs "
+                    "(%.1f req/s); serve speedup %.2fx\n",
+                    baseline_s, opt.requests,
+                    baseline_s > 0.0 ? opt.requests / baseline_s : 0.0,
+                    wall > 0.0 ? baseline_s / wall : 0.0);
+    }
+
+    if (!opt.jsonPath.empty())
+        writeServeJson(opt, st, wall, baseline_s, workers);
+    if (!opt.metricsPath.empty()) {
+        MetricsRegistry reg;
+        server.registerMetrics(reg);
+        MetricsReport report("serve_bench " + opt.net);
+        report.addRun("serve", AccelStats{}, reg);
+        if (report.writeFile(opt.metricsPath))
+            std::printf("wrote %s\n", opt.metricsPath.c_str());
+    }
+    if (!opt.tracePath.empty()) {
+        ChromeTrace tr;
+        server.appendTrace(tr, 1);
+        if (tr.writeFile(opt.tracePath))
+            std::printf("wrote %s\n", opt.tracePath.c_str());
+    }
+    return 0;
+}

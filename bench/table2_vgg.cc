@@ -16,6 +16,7 @@
 
 #include "accel/baseline_accel.hh"
 #include "accel/fused_accel.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -32,11 +33,10 @@ main(int argc, char **argv)
 {
     std::string metrics_path, trace_path;
     for (int a = 1; a < argc; a++) {
-        if (std::strcmp(argv[a], "--metrics-json") == 0 && a + 1 < argc)
-            metrics_path = argv[++a];
-        else if (std::strcmp(argv[a], "--trace-json") == 0 &&
-                 a + 1 < argc)
-            trace_path = argv[++a];
+        if (std::strcmp(argv[a], "--metrics-json") == 0)
+            metrics_path = argValue(argc, argv, &a);
+        else if (std::strcmp(argv[a], "--trace-json") == 0)
+            trace_path = argValue(argc, argv, &a);
         else
             fatal("unknown argument '%s'", argv[a]);
     }

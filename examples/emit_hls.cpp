@@ -16,6 +16,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "hls/emitter.hh"
 #include "model/balance.hh"
@@ -37,7 +38,7 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "vgg") == 0) {
             which = "vgg";
             if (a + 1 < argc && argv[a + 1][0] != '-')
-                convs = std::atoi(argv[++a]);
+                convs = parseIntArgI("vgg conv count", argv[++a], 1, 16);
         } else if (out_path.empty()) {
             out_path = argv[a];
         } else {

@@ -14,6 +14,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -39,7 +40,7 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "vgg") == 0) {
             which = "vgg";
             if (a + 1 < argc && argv[a + 1][0] != '-')
-                convs = std::atoi(argv[++a]);
+                convs = parseIntArgI("vgg conv count", argv[++a], 1, 16);
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }

@@ -21,6 +21,7 @@
 #include <string>
 
 #include "accel/baseline_accel.hh"
+#include "common/argparse.hh"
 #include "sim/throughput.hh"
 #include "sim/trace.hh"
 #include "accel/fused_accel.hh"
@@ -49,18 +50,17 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "vgg") == 0) {
             which = "vgg";
             if (a + 1 < argc && argv[a + 1][0] != '-')
-                convs = std::atoi(argv[++a]);
-        } else if (std::strcmp(argv[a], "--fps") == 0 && a + 1 < argc) {
-            fps = std::atof(argv[++a]);
-        } else if (std::strcmp(argv[a], "--threads") == 0 &&
-                   a + 1 < argc) {
-            ThreadPool::setGlobalThreads(std::atoi(argv[++a]));
-        } else if (std::strcmp(argv[a], "--metrics-json") == 0 &&
-                   a + 1 < argc) {
-            metrics_path = argv[++a];
-        } else if (std::strcmp(argv[a], "--trace-json") == 0 &&
-                   a + 1 < argc) {
-            trace_path = argv[++a];
+                convs = parseIntArgI("vgg conv count", argv[++a], 1, 16);
+        } else if (std::strcmp(argv[a], "--fps") == 0) {
+            fps = parseFloatArg("--fps", argValue(argc, argv, &a), 1e-6,
+                                1e9);
+        } else if (std::strcmp(argv[a], "--threads") == 0) {
+            ThreadPool::setGlobalThreads(parseIntArgI(
+                "--threads", argValue(argc, argv, &a), 1, 1 << 20));
+        } else if (std::strcmp(argv[a], "--metrics-json") == 0) {
+            metrics_path = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--trace-json") == 0) {
+            trace_path = argValue(argc, argv, &a);
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }

@@ -12,6 +12,7 @@
 #include <cstring>
 #include <string>
 
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -29,7 +30,8 @@ main(int argc, char **argv)
                     "[alexnet | vgg <num_convs>]\n");
         return 1;
     }
-    double budget_kb = std::atof(argv[1]);
+    double budget_kb =
+        parseFloatArg("storage budget (KB)", argv[1], 0.0, 1e12);
     std::string which = "vgg";
     int convs = 5;
     for (int a = 2; a < argc; a++) {
@@ -38,7 +40,7 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "vgg") == 0) {
             which = "vgg";
             if (a + 1 < argc)
-                convs = std::atoi(argv[++a]);
+                convs = parseIntArgI("vgg conv count", argv[++a], 1, 16);
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }

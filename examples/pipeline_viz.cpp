@@ -18,6 +18,7 @@
 #include <string>
 
 #include "accel/fused_accel.hh"
+#include "common/argparse.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/units.hh"
@@ -34,13 +35,12 @@ main(int argc, char **argv)
     int budget = 200;
     std::string metrics_path, trace_path;
     for (int a = 1; a < argc; a++) {
-        if (std::strcmp(argv[a], "--metrics-json") == 0 && a + 1 < argc)
-            metrics_path = argv[++a];
-        else if (std::strcmp(argv[a], "--trace-json") == 0 &&
-                 a + 1 < argc)
-            trace_path = argv[++a];
+        if (std::strcmp(argv[a], "--metrics-json") == 0)
+            metrics_path = argValue(argc, argv, &a);
+        else if (std::strcmp(argv[a], "--trace-json") == 0)
+            trace_path = argValue(argc, argv, &a);
         else if (argv[a][0] != '-')
-            budget = std::atoi(argv[a]);
+            budget = parseIntArgI("dsp budget", argv[a], 1, 1000000);
         else
             fatal("unknown argument '%s'", argv[a]);
     }

@@ -19,6 +19,13 @@ Each FILE is sniffed by shape:
     dram_write_bytes / compute_cycles sum bit-exactly to the run's
     AccelStats totals.
 
+  - A serving result ("schema": "flcnn-serve-v1", what serve_bench
+    --json writes): checks the admission ledger (submitted = admitted
+    + rejected + cancelled; admitted = completed + expired), that
+    every latency histogram recorded exactly one entry per completed
+    request, and that each percentile row is monotone
+    (p50 <= p95 <= p99 <= max).
+
 Exits nonzero with a per-file message on the first failure.
 """
 
@@ -101,6 +108,48 @@ def check_metrics(path, doc):
               "the AccelStats totals)")
 
 
+def check_serve(path, doc):
+    counts = doc.get("counts")
+    lat = doc.get("latency_us")
+    if not isinstance(counts, dict) or not isinstance(lat, dict):
+        fail(path, "counts/latency_us missing")
+    for key in ("submitted", "admitted", "rejected", "expired",
+                "cancelled", "completed"):
+        if not isinstance(counts.get(key), int) or counts[key] < 0:
+            fail(path, f"counts.{key} missing or negative")
+
+    if counts["submitted"] != (counts["admitted"] + counts["rejected"]
+                               + counts["cancelled"]):
+        fail(path, f"admission ledger broken: submitted "
+                   f"{counts['submitted']} != admitted "
+                   f"{counts['admitted']} + rejected "
+                   f"{counts['rejected']} + cancelled "
+                   f"{counts['cancelled']}")
+    if counts["admitted"] != counts["completed"] + counts["expired"]:
+        fail(path, f"admitted {counts['admitted']} != completed "
+                   f"{counts['completed']} + expired "
+                   f"{counts['expired']}")
+
+    for kind in ("total", "queue_wait", "compute"):
+        h = lat.get(kind)
+        if not isinstance(h, dict):
+            fail(path, f"latency_us.{kind} missing")
+        if h.get("count") != counts["completed"]:
+            fail(path, f"latency_us.{kind}.count {h.get('count')} != "
+                       f"completed {counts['completed']} (a completion "
+                       "was recorded zero or twice)")
+        ordered = [h.get(k) for k in ("p50", "p95", "p99", "max")]
+        if any(not isinstance(v, (int, float)) or v < 0
+               for v in ordered):
+            fail(path, f"latency_us.{kind}: malformed percentiles")
+        if counts["completed"] > 0 and \
+                any(a > b for a, b in zip(ordered, ordered[1:])):
+            fail(path, f"latency_us.{kind}: percentiles not monotone "
+                       f"{ordered}")
+    print(f"{path}: OK ({counts['completed']} completed; ledger and "
+          "histogram counts consistent, percentiles monotone)")
+
+
 def main(argv):
     if len(argv) < 2:
         sys.exit(__doc__)
@@ -115,9 +164,12 @@ def main(argv):
         elif isinstance(doc, dict) and \
                 doc.get("schema") == "flcnn-metrics-v1":
             check_metrics(path, doc)
+        elif isinstance(doc, dict) and \
+                doc.get("schema") == "flcnn-serve-v1":
+            check_serve(path, doc)
         else:
-            fail(path, "neither a Chrome trace nor a "
-                       "flcnn-metrics-v1 report")
+            fail(path, "not a Chrome trace, flcnn-metrics-v1 report, "
+                       "or flcnn-serve-v1 result")
 
 
 if __name__ == "__main__":

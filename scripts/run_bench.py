@@ -12,7 +12,11 @@ Runs, in order:
      register-tiled conv strips, the explorer sweep, the executors);
   2. the table-mode paper benches (table1_alexnet, table2_vgg) and
      cpu_fusion_speedup with --benchmark_filter=NONE (its own E8 table
-     without re-running the gbench cases), capturing stdout + wall time.
+     without re-running the gbench cases), capturing stdout + wall time;
+  3. bench/serve_bench (closed loop on AlexNet's fused prefix; the
+     tiny net with --quick), folding its flcnn-serve-v1 result —
+     latency percentiles, counts, throughput — into the report's
+     "serve" section.
 
 The output file records the git revision, host info, every
 google-benchmark result, and the raw tables, so before/after runs can
@@ -23,7 +27,9 @@ With --compare PREV.json, the run is additionally diffed against a
 previous report: every google-benchmark case present in both files is
 printed as an old/new/speedup row, new and vanished cases are listed,
 and the script exits nonzero if any shared case regressed by more than
---regression-pct percent (default 20) in real time.
+--regression-pct percent (default 20) in real time. Serving latency
+percentiles (serve.latency_us.{total,queue_wait,compute}.{p50,p95,
+p99}) present in both reports go through the same gate.
 """
 
 import argparse
@@ -96,6 +102,41 @@ def fmt_ns(ns):
     return f"{ns:.3g} ns"
 
 
+def serve_percentiles(report):
+    """Map "total.p99" -> microseconds from a report's serve section
+    (empty if the report predates serve_bench)."""
+    out = {}
+    lat = report.get("serve", {}).get("latency_us", {})
+    for kind, fields in lat.items():
+        if not isinstance(fields, dict):
+            continue
+        for pct in ("p50", "p95", "p99"):
+            if isinstance(fields.get(pct), (int, float)):
+                out[f"{kind}.{pct}"] = fields[pct]
+    return out
+
+
+def compare_serve(prev, cur, regression_pct):
+    """Diff serving latency percentiles; return regressed field names."""
+    old = serve_percentiles(prev)
+    new = serve_percentiles(cur)
+    shared = [k for k in new if k in old]
+    if not shared:
+        return []
+    print("\nserving latency percentiles (us):")
+    width = max(len(k) for k in shared)
+    regressed = []
+    for key in shared:
+        ratio = old[key] / new[key] if new[key] > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 / (1.0 + regression_pct / 100.0):
+            flag = "  REGRESSION"
+            regressed.append(f"serve:{key}")
+        print(f"  {key:<{width}}  {old[key]:>10.1f}  {new[key]:>10.1f}  "
+              f"{ratio:7.2f}x{flag}")
+    return regressed
+
+
 def compare_reports(prev, cur, regression_pct):
     """Print an old/new/speedup table (real and cpu time); return names
     that regressed by more than regression_pct percent in real time.
@@ -133,6 +174,7 @@ def compare_reports(prev, cur, regression_pct):
     for name in gone:
         print(f"  {name:<{width}}  {fmt_ns(old[name]):>9}  {'-':>9}  "
               f"   vanished")
+    regressed += compare_serve(prev, cur, regression_pct)
     if regressed:
         print(f"{len(regressed)} benchmark(s) regressed by more than "
               f"{regression_pct}%: {', '.join(regressed)}")
@@ -237,6 +279,33 @@ def main():
                          f"{doc.get('schema')!r}")
             report["metrics"][name] = doc
         print(f"  done in {wall:.1f}s")
+
+    # 3. Serving runtime (closed loop; blocking admission, so zero
+    # rejects is an invariant, not luck).
+    serve = bench_dir / "serve_bench"
+    if serve.exists():
+        serve_json = bench_dir / "serve_bench_result.json"
+        net = "tiny" if args.quick else "alexnet"
+        requests = 16 if args.quick else 32
+        cmd = [str(serve), "--net", net, "--requests", str(requests),
+               "--concurrency", "4", "--batch-max", "4",
+               "--expect-no-rejects", "--json", str(serve_json)]
+        print("running serve_bench...")
+        out, wall = run(cmd)
+        report["tables"]["serve_bench"] = {"wall_s": round(wall, 3),
+                                           "stdout": out}
+        try:
+            doc = json.loads(serve_json.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.exit(f"serve_bench did not produce a readable result "
+                     f"at {serve_json}: {exc}")
+        if doc.get("schema") != "flcnn-serve-v1":
+            sys.exit(f"{serve_json}: unexpected schema "
+                     f"{doc.get('schema')!r}")
+        report["serve"] = doc
+        print(f"  done in {wall:.1f}s")
+    else:
+        print("  skipping serve_bench: not built")
 
     out_path = Path(args.out) if args.out else repo / (
         "BENCH_" + datetime.date.today().isoformat() + ".json")

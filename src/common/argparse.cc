@@ -1,0 +1,58 @@
+#include "common/argparse.hh"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+int64_t
+parseIntArg(const char *what, const char *text, int64_t min, int64_t max)
+{
+    if (!text || *text == '\0')
+        fatal("%s: empty value (want an integer in [%lld, %lld])", what,
+              static_cast<long long>(min), static_cast<long long>(max));
+    errno = 0;
+    char *end = nullptr;
+    long long v = std::strtoll(text, &end, 10);
+    if (errno != 0 || end == text || *end != '\0')
+        fatal("%s: '%s' is not a valid integer", what, text);
+    if (v < min || v > max)
+        fatal("%s: %lld out of range (want [%lld, %lld])", what, v,
+              static_cast<long long>(min), static_cast<long long>(max));
+    return static_cast<int64_t>(v);
+}
+
+int
+parseIntArgI(const char *what, const char *text, int64_t min, int64_t max)
+{
+    return static_cast<int>(parseIntArg(what, text, min, max));
+}
+
+double
+parseFloatArg(const char *what, const char *text, double min, double max)
+{
+    if (!text || *text == '\0')
+        fatal("%s: empty value (want a number in [%g, %g])", what, min,
+              max);
+    errno = 0;
+    char *end = nullptr;
+    double v = std::strtod(text, &end);
+    if (errno != 0 || end == text || *end != '\0' || !std::isfinite(v))
+        fatal("%s: '%s' is not a valid finite number", what, text);
+    if (v < min || v > max)
+        fatal("%s: %g out of range (want [%g, %g])", what, v, min, max);
+    return v;
+}
+
+const char *
+argValue(int argc, char **argv, int *a)
+{
+    if (*a + 1 >= argc)
+        fatal("%s requires a value", argv[*a]);
+    return argv[++*a];
+}
+
+} // namespace flcnn

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Strict command-line scalar parsing for the example and bench drivers.
+ *
+ * The drivers used to funnel user-typed numbers through std::atoi /
+ * std::atof, which silently turn "abc" into 0, accept the "8" of
+ * "8garbage", and fold overflow into arbitrary values — the exact
+ * failure modes the FLCNN_THREADS environment parsing already rejects.
+ * These helpers apply the same discipline at the CLI surface: the whole
+ * token must parse, it must lie in the stated range, and anything else
+ * is a user error that fatal()s with the offending flag and token.
+ *
+ * argValue() closes a second silent hole: a flag given as the last argv
+ * entry without its value used to fall through the `a + 1 < argc`
+ * guards and be ignored entirely. Drivers now fetch flag values through
+ * argValue(), which fatal()s when the value is missing.
+ */
+
+#ifndef FLCNN_COMMON_ARGPARSE_HH
+#define FLCNN_COMMON_ARGPARSE_HH
+
+#include <cstdint>
+
+namespace flcnn {
+
+/**
+ * Parse @p text as a decimal integer in [@p min, @p max]; fatal() with
+ * @p what (the flag or argument name) on malformed input, trailing
+ * garbage, overflow, or range violation.
+ */
+int64_t parseIntArg(const char *what, const char *text, int64_t min,
+                    int64_t max);
+
+/** parseIntArg() narrowed to int (range must fit). */
+int parseIntArgI(const char *what, const char *text, int64_t min,
+                 int64_t max);
+
+/**
+ * Parse @p text as a finite floating-point value in [@p min, @p max];
+ * fatal() with @p what on malformed input, trailing garbage, overflow,
+ * NaN/infinity, or range violation.
+ */
+double parseFloatArg(const char *what, const char *text, double min,
+                     double max);
+
+/**
+ * The value token of flag argv[*a]: advances *a and returns
+ * argv[*a + 1], or fatal()s when the flag is the last argv entry
+ * (instead of silently dropping the flag).
+ */
+const char *argValue(int argc, char **argv, int *a);
+
+} // namespace flcnn
+
+#endif // FLCNN_COMMON_ARGPARSE_HH

@@ -150,6 +150,10 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, const RangeFn &body,
         body(begin, end);
         return;
     }
+    // One top-level job at a time: concurrent external callers (e.g.
+    // serving workers sharing the global pool) queue here instead of
+    // clobbering each other's job state.
+    std::lock_guard<std::mutex> submit(submitMu);
     {
         std::lock_guard<std::mutex> lk(mu);
         fn = &body;
@@ -164,6 +168,16 @@ ThreadPool::parallelFor(int64_t begin, int64_t end, const RangeFn &body,
     std::unique_lock<std::mutex> lk(mu);
     cvDone.wait(lk, [&] { return pending == 0; });
     fn = nullptr;
+}
+
+ThreadPool::InlineScope::InlineScope() : saved(in_parallel_region)
+{
+    in_parallel_region = true;
+}
+
+ThreadPool::InlineScope::~InlineScope()
+{
+    in_parallel_region = saved;
 }
 
 void

@@ -54,7 +54,11 @@ class ThreadPool
      * calling thread executes chunk 0 and blocks until every chunk is
      * done. Ranges smaller than @p grain indices per thread use fewer
      * threads (still deterministically); nested calls from inside a
-     * pool worker run inline to avoid deadlock.
+     * pool worker run inline to avoid deadlock. Concurrent top-level
+     * calls from different external threads are safe: they serialize
+     * on an internal submission lock (serving workers that share the
+     * global pool take turns; each call's chunk boundaries stay a pure
+     * function of its own range).
      */
     void parallelFor(int64_t begin, int64_t end, const RangeFn &fn,
                      int64_t grain = 1);
@@ -81,6 +85,28 @@ class ThreadPool
      *  first use with defaultThreads(). */
     static ThreadPool &global();
 
+    /**
+     * RAII: while alive, parallelFor calls issued from the
+     * constructing thread run inline as one chunk instead of entering
+     * the pool. Serving workers use this so each request computes on
+     * its own thread — concurrency comes from running many requests at
+     * once — without contending for the shared pool. Inline runs stay
+     * bit-identical to pooled runs (the static-partition contract:
+     * outputs never depend on chunk boundaries). Scopes nest; the
+     * destructor restores the previous state.
+     */
+    class InlineScope
+    {
+      public:
+        InlineScope();
+        ~InlineScope();
+        InlineScope(const InlineScope &) = delete;
+        InlineScope &operator=(const InlineScope &) = delete;
+
+      private:
+        bool saved;
+    };
+
     /** Rebuild the global pool with @p num_threads (0 = default).
      *  Call from the main thread before running executors; the bench
      *  --threads knobs go through here. */
@@ -94,6 +120,7 @@ class ThreadPool
     int nthreads;
     std::vector<std::thread> workers;
 
+    std::mutex submitMu;  //!< serializes concurrent top-level jobs
     std::mutex mu;
     std::condition_variable cvWork;
     std::condition_variable cvDone;

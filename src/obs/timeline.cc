@@ -231,4 +231,42 @@ ThreadPoolTraceScope::flush(ChromeTrace &tr, int pid,
                         {{"dropped", argI(nDropped)}});
 }
 
+void
+appendSpanLanes(ChromeTrace &tr, int pid,
+                const std::string &process_name,
+                const std::string &lane_prefix,
+                std::vector<TimedSpan> spans)
+{
+    tr.setProcessName(pid, process_name);
+    if (spans.empty())
+        return;
+    std::stable_sort(spans.begin(), spans.end(),
+                     [](const TimedSpan &a, const TimedSpan &b) {
+                         return a.t0_us < b.t0_us;
+                     });
+    // First-fit interval packing for the auto-lane spans: lane ends
+    // hold the finish time of each auto lane's latest span.
+    std::vector<double> lane_ends;
+    int max_lane = -1;
+    for (TimedSpan &s : spans) {
+        int lane = s.lane;
+        if (lane < 0) {
+            size_t l = 0;
+            while (l < lane_ends.size() && lane_ends[l] > s.t0_us)
+                l++;
+            if (l == lane_ends.size())
+                lane_ends.push_back(0.0);
+            lane_ends[l] = std::max(s.t1_us, s.t0_us);
+            lane = static_cast<int>(l);
+        }
+        max_lane = std::max(max_lane, lane);
+        tr.completeEvent(s.name, "serve", pid, lane, s.t0_us,
+                         std::max(s.t1_us - s.t0_us, 0.0),
+                         std::move(s.args));
+    }
+    for (int l = 0; l <= max_lane; l++)
+        tr.setThreadName(pid, l,
+                         lane_prefix + " " + std::to_string(l));
+}
+
 } // namespace flcnn

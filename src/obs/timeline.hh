@@ -76,6 +76,30 @@ void appendDramCounterTrack(ChromeTrace &tr, const TraceRecorder &rec,
 void appendDramCounters(ChromeTrace &tr, const MetricsRegistry &reg,
                         int pid);
 
+/** One span destined for a lane (thread track) of a trace process. */
+struct TimedSpan
+{
+    int lane = -1;      //!< thread track; -1 = assign automatically
+    std::string name;
+    double t0_us = 0.0;
+    double t1_us = 0.0;
+    std::vector<TraceArg> args;
+};
+
+/**
+ * Render @p spans as complete events on process @p pid. Spans with
+ * lane >= 0 go to that thread track verbatim; spans with lane == -1
+ * are packed first-fit onto overlap-free lanes (sorted by start time,
+ * each span takes the lowest lane whose previous span has ended) —
+ * how the serving runtime renders concurrent queue-wait intervals
+ * without stacking overlapping events on one track. Lanes are named
+ * "<lane_prefix> <n>". Spans with t1 < t0 are clamped to zero length.
+ */
+void appendSpanLanes(ChromeTrace &tr, int pid,
+                     const std::string &process_name,
+                     const std::string &lane_prefix,
+                     std::vector<TimedSpan> spans);
+
 class ThreadPoolTraceScope;
 
 /**

@@ -1,0 +1,76 @@
+#include "serve/batcher.hh"
+
+#include <limits>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+DynamicBatcher::DynamicBatcher(RequestQueue &q, BatchPolicy policy,
+                               double deadline_s, ServerStats *st)
+    : queue(q), pol(policy), deadlineSeconds(deadline_s), stats(st)
+{
+    if (pol.maxBatch < 1)
+        fatal("batch max must be >= 1 (got %d)", pol.maxBatch);
+    if (pol.minBatch < 1 || pol.minBatch > pol.maxBatch)
+        fatal("batch min must be in [1, %d] (got %d)", pol.maxBatch,
+              pol.minBatch);
+    if (pol.maxDelaySeconds < 0)
+        fatal("batch delay must be >= 0 (got %g)", pol.maxDelaySeconds);
+}
+
+bool
+DynamicBatcher::nextBatch(Batch *out)
+{
+    std::lock_guard<std::mutex> form(formMu);
+    const size_t max = static_cast<size_t>(pol.maxBatch);
+    for (;;) {
+        int model = 0;
+        if (!queue.waitHead(&model))
+            return false;  // closed and drained
+
+        // Gather: first satisfy minBatch (no deadline — closing the
+        // queue is the only override), then let the delay budget try
+        // to fill the batch to maxBatch.
+        if (pol.minBatch > 1) {
+            queue.waitModel(model, static_cast<size_t>(pol.minBatch),
+                            std::numeric_limits<double>::infinity());
+        }
+        if (pol.maxDelaySeconds > 0 &&
+            queue.countModel(model) < max) {
+            queue.waitModel(model, max,
+                            monotonicSeconds() + pol.maxDelaySeconds);
+        }
+
+        std::vector<QueuedRequest> taken;
+        queue.popModel(model, max, &taken);
+        if (taken.empty())
+            continue;  // another former raced us to the head items
+
+        // Deadline enforcement: requests that already waited past
+        // their budget expire here instead of occupying batch slots.
+        Batch b;
+        b.model = model;
+        const double now = monotonicSeconds();
+        for (QueuedRequest &qr : taken) {
+            if (deadlineSeconds > 0 &&
+                now - qr.submitTime > deadlineSeconds) {
+                if (stats)
+                    stats->onExpired();
+                qr.handle->complete(RequestStatus::Expired, Tensor(),
+                                    now, now, -1, -1, 0);
+            } else {
+                b.items.push_back(std::move(qr));
+            }
+        }
+        if (b.items.empty())
+            continue;
+        b.id = nextId.fetch_add(1, std::memory_order_relaxed);
+        if (stats)
+            stats->onBatch(b.model, b.size());
+        *out = std::move(b);
+        return true;
+    }
+}
+
+} // namespace flcnn

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * DynamicBatcher: the coalescing policy between the request queue and
+ * the worker pool.
+ *
+ * A batch is a FIFO run of queued requests for one model, formed under
+ * a three-knob policy:
+ *
+ *  - maxBatch: hard size cap (the unroll of the serving loop);
+ *  - maxDelaySeconds: how long a partially filled batch may wait for
+ *    more same-model requests before dispatching (0 = dispatch
+ *    whatever is queued right now — the latency-first setting);
+ *  - minBatch: wait (without deadline) until at least this many
+ *    same-model requests are queued. minBatch == maxBatch gives
+ *    *deterministic* batch formation under a closed-loop generator
+ *    that submits a multiple of maxBatch requests: every batch is
+ *    exactly maxBatch, independent of scheduling timing — what the
+ *    differential tests rely on. A closed queue overrides minBatch so
+ *    shutdown drains partial batches.
+ *
+ * Batch formation is serialized across workers (one former at a time);
+ * execution is not. The batcher also owns deadline enforcement:
+ * requests whose queue wait already exceeds the request deadline are
+ * completed as Expired at formation time and never reach a worker.
+ */
+
+#ifndef FLCNN_SERVE_BATCHER_HH
+#define FLCNN_SERVE_BATCHER_HH
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "serve/request_queue.hh"
+#include "serve/server_stats.hh"
+
+namespace flcnn {
+
+/** Batch formation knobs. */
+struct BatchPolicy
+{
+    int maxBatch = 8;
+    double maxDelaySeconds = 0.0;
+    int minBatch = 1;
+};
+
+/** One dispatched batch: FIFO same-model requests. */
+struct Batch
+{
+    int64_t id = -1;
+    int model = 0;
+    std::vector<QueuedRequest> items;
+    int size() const { return static_cast<int>(items.size()); }
+};
+
+/** Coalesces queued requests into batches for the worker pool. */
+class DynamicBatcher
+{
+  public:
+    /**
+     * @param deadline_s per-request deadline (queue wait budget);
+     *   <= 0 disables expiry. @p stats may be null (no accounting).
+     */
+    DynamicBatcher(RequestQueue &queue, BatchPolicy policy,
+                   double deadline_s = 0.0, ServerStats *stats = nullptr);
+
+    /**
+     * Form the next batch (blocking). Returns false when the queue is
+     * closed and fully drained — the worker's exit signal. Batches are
+     * never empty.
+     */
+    bool nextBatch(Batch *out);
+
+    const BatchPolicy &policy() const { return pol; }
+
+  private:
+    RequestQueue &queue;
+    BatchPolicy pol;
+    double deadlineSeconds;
+    ServerStats *stats;
+    std::mutex formMu;               //!< one batch being formed at a time
+    std::atomic<int64_t> nextId{0};
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_BATCHER_HH

@@ -1,0 +1,87 @@
+#include "serve/engine.hh"
+
+#include "common/logging.hh"
+#include "nn/reference.hh"
+
+namespace flcnn {
+
+const char *
+engineKindName(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Reference:  return "reference";
+      case EngineKind::Fused:      return "fused";
+      case EngineKind::LineBuffer: return "linebuffer";
+      case EngineKind::Recompute:  return "recompute";
+    }
+    return "?";
+}
+
+EngineKind
+engineKindFromName(const std::string &name)
+{
+    if (name == "reference")
+        return EngineKind::Reference;
+    if (name == "fused")
+        return EngineKind::Fused;
+    if (name == "linebuffer")
+        return EngineKind::LineBuffer;
+    if (name == "recompute")
+        return EngineKind::Recompute;
+    fatal("unknown engine '%s' (want reference | fused | linebuffer | "
+          "recompute)",
+          name.c_str());
+}
+
+ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
+    : mspec(spec), knd(kind)
+{
+    FLCNN_ASSERT(spec.net && spec.weights, "model spec incomplete");
+    switch (knd) {
+      case EngineKind::Reference:
+        break;
+      case EngineKind::Fused:
+        fused = std::make_unique<FusedExecutor>(
+            *mspec.net, *mspec.weights,
+            TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
+                     mspec.tip, mspec.tip));
+        break;
+      case EngineKind::LineBuffer:
+        lineBuffer = std::make_unique<LineBufferExecutor>(
+            *mspec.net, *mspec.weights, mspec.firstLayer,
+            mspec.lastLayer);
+        break;
+      case EngineKind::Recompute:
+        recompute = std::make_unique<RecomputeExecutor>(
+            *mspec.net, *mspec.weights,
+            TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
+                     mspec.tip, mspec.tip));
+        break;
+    }
+}
+
+Tensor
+ServeEngine::run(const Tensor &input)
+{
+    switch (knd) {
+      case EngineKind::Reference:
+        return runRange(*mspec.net, *mspec.weights, input,
+                        mspec.firstLayer, mspec.lastLayer);
+      case EngineKind::Fused:
+        return fused->run(input);
+      case EngineKind::LineBuffer:
+        return lineBuffer->run(input);
+      case EngineKind::Recompute:
+        return recompute->run(input);
+    }
+    panic("unreachable engine kind");
+}
+
+void
+ServeEngine::warmup()
+{
+    Tensor zero(mspec.net->inShape(mspec.firstLayer));
+    (void)run(zero);
+}
+
+} // namespace flcnn

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * ServeEngine: one worker's pinned executor for one model.
+ *
+ * Every serving worker owns one engine per registered model, built
+ * once at startup. An engine wraps one of the repo's bit-exact
+ * evaluation strategies behind a uniform run() — the reuse-model
+ * pyramid executor, the row-streaming line buffer, the recompute
+ * executor, or the layer-by-layer reference — so the serving layer is
+ * agnostic to which dataflow the deployment picked. The fused and
+ * recompute engines build their TilePlan at construction; all
+ * windowed engines own a WeightPackCache that is populated by an
+ * explicit warmup() (one zero-image run) before the server starts
+ * taking traffic, so first requests do not pay the packing cost.
+ *
+ * All engines produce outputs bit-identical to nn::runRange over the
+ * same layer range — the property the serving differential tests
+ * assert batch-by-batch.
+ */
+
+#ifndef FLCNN_SERVE_ENGINE_HH
+#define FLCNN_SERVE_ENGINE_HH
+
+#include <memory>
+#include <string>
+
+#include "fusion/fused_executor.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "fusion/recompute_executor.hh"
+#include "nn/network.hh"
+#include "nn/weights.hh"
+
+namespace flcnn {
+
+/** Which executor realizes the model inside a serving worker. */
+enum class EngineKind
+{
+    Reference,   //!< layer-by-layer nn::runRange (golden baseline)
+    Fused,       //!< FusedExecutor (reuse model, pyramid dataflow)
+    LineBuffer,  //!< LineBufferExecutor (row-streaming dataflow)
+    Recompute,   //!< RecomputeExecutor (no reuse buffers)
+};
+
+const char *engineKindName(EngineKind k);
+
+/** Parse an engine name ("reference" | "fused" | "linebuffer" |
+ *  "recompute"); fatal()s on anything else. */
+EngineKind engineKindFromName(const std::string &name);
+
+/** One model as registered with the server. The referenced network
+ *  and weights must outlive every engine built from the spec. */
+struct ModelSpec
+{
+    std::string name;
+    const Network *net = nullptr;
+    const NetworkWeights *weights = nullptr;
+    int firstLayer = 0;
+    int lastLayer = 0;   //!< inclusive; set by the server at addModel
+    int tip = 1;         //!< pyramid tip for fused/recompute plans
+};
+
+/** A pinned per-worker executor instance for one model. */
+class ServeEngine
+{
+  public:
+    ServeEngine(const ModelSpec &spec, EngineKind kind);
+
+    /** Evaluate one image; bit-identical to the reference range. */
+    Tensor run(const Tensor &input);
+
+    /** One throwaway zero-image run: builds the weight-pack cache (and
+     *  touches every buffer) before traffic arrives. */
+    void warmup();
+
+    EngineKind kind() const { return knd; }
+    const ModelSpec &spec() const { return mspec; }
+
+  private:
+    ModelSpec mspec;
+    EngineKind knd;
+    // Exactly one of these is live, matching `knd` (Reference uses
+    // none — runRange has no persistent state).
+    std::unique_ptr<FusedExecutor> fused;
+    std::unique_ptr<LineBufferExecutor> lineBuffer;
+    std::unique_ptr<RecomputeExecutor> recompute;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_ENGINE_HH

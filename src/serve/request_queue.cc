@@ -1,0 +1,140 @@
+#include "serve/request_queue.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+const char *
+overflowPolicyName(OverflowPolicy p)
+{
+    return p == OverflowPolicy::Block ? "block" : "reject";
+}
+
+RequestQueue::RequestQueue(size_t capacity, OverflowPolicy policy)
+    : cap(capacity), pol(policy)
+{
+    if (capacity < 1)
+        fatal("request queue capacity must be >= 1 (got %zu)", capacity);
+}
+
+AdmitResult
+RequestQueue::push(QueuedRequest &&item)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    if (pol == OverflowPolicy::Block) {
+        cvNotFull.wait(lk,
+                       [&] { return isClosed || items.size() < cap; });
+    }
+    if (isClosed)
+        return AdmitResult::Closed;
+    if (items.size() >= cap)
+        return AdmitResult::Rejected;
+    items.push_back(std::move(item));
+    lk.unlock();
+    cvNotEmpty.notify_all();
+    return AdmitResult::Admitted;
+}
+
+bool
+RequestQueue::waitHead(int *model)
+{
+    std::unique_lock<std::mutex> lk(mu);
+    cvNotEmpty.wait(lk, [&] { return isClosed || !items.empty(); });
+    if (items.empty())
+        return false;  // closed and drained
+    if (model)
+        *model = items.front().model;
+    return true;
+}
+
+size_t
+RequestQueue::countModel(int model) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return static_cast<size_t>(
+        std::count_if(items.begin(), items.end(),
+                      [&](const QueuedRequest &q) {
+                          return q.model == model;
+                      }));
+}
+
+size_t
+RequestQueue::waitModel(int model, size_t target, double deadline)
+{
+    auto count = [&] {
+        return static_cast<size_t>(
+            std::count_if(items.begin(), items.end(),
+                          [&](const QueuedRequest &q) {
+                              return q.model == model;
+                          }));
+    };
+    std::unique_lock<std::mutex> lk(mu);
+    for (;;) {
+        const size_t n = count();
+        if (n >= target || isClosed)
+            return n;
+        if (std::isinf(deadline)) {
+            cvNotEmpty.wait(lk);  // no timeout: count or close wakes us
+            continue;
+        }
+        const double now = monotonicSeconds();
+        if (now >= deadline)
+            return n;
+        cvNotEmpty.wait_for(lk, std::chrono::duration<double>(
+                                    deadline - now));
+    }
+}
+
+size_t
+RequestQueue::popModel(int model, size_t max,
+                       std::vector<QueuedRequest> *out)
+{
+    size_t popped = 0;
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        for (auto it = items.begin();
+             it != items.end() && popped < max;) {
+            if (it->model == model) {
+                out->push_back(std::move(*it));
+                it = items.erase(it);
+                popped++;
+            } else {
+                ++it;
+            }
+        }
+    }
+    if (popped > 0)
+        cvNotFull.notify_all();
+    return popped;
+}
+
+void
+RequestQueue::close()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu);
+        isClosed = true;
+    }
+    cvNotEmpty.notify_all();
+    cvNotFull.notify_all();
+}
+
+bool
+RequestQueue::closed() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return isClosed;
+}
+
+size_t
+RequestQueue::size() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return items.size();
+}
+
+} // namespace flcnn

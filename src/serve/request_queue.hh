@@ -1,0 +1,107 @@
+/**
+ * @file
+ * RequestQueue: the bounded, thread-safe admission point of the
+ * serving runtime.
+ *
+ * Producers (the server's submit path) push requests subject to an
+ * explicit overflow policy:
+ *
+ *  - Reject: a full queue refuses the request immediately — the
+ *    backpressure signal an open-loop client needs to shed load;
+ *  - Block: the producer waits for space — the natural policy for
+ *    closed-loop clients, where blocking *is* the backpressure.
+ *
+ * The consumer side exposes the primitives the DynamicBatcher builds
+ * its coalescing policy from: wait for a head item, count / pop the
+ * FIFO run of items for one model, and wait (with deadline) for more
+ * items of that model to arrive. Popping preserves FIFO order both for
+ * the popped model and for the models left behind.
+ *
+ * close() transitions the queue to draining: pushes fail with Closed,
+ * consumers keep popping until empty, and every waiter wakes.
+ */
+
+#ifndef FLCNN_SERVE_REQUEST_QUEUE_HH
+#define FLCNN_SERVE_REQUEST_QUEUE_HH
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.hh"
+
+namespace flcnn {
+
+/** What a full queue does with a new request. */
+enum class OverflowPolicy
+{
+    Block,   //!< producer waits for space (closed-loop backpressure)
+    Reject,  //!< request refused immediately (open-loop load shedding)
+};
+
+const char *overflowPolicyName(OverflowPolicy p);
+
+/** Outcome of RequestQueue::push(). */
+enum class AdmitResult
+{
+    Admitted,
+    Rejected,  //!< full under the Reject policy
+    Closed,    //!< queue closed (server shutting down)
+};
+
+/** Bounded MPMC queue of inference requests. */
+class RequestQueue
+{
+  public:
+    /** @param capacity maximum queued requests (>= 1, validated). */
+    RequestQueue(size_t capacity, OverflowPolicy policy);
+
+    /** Admit @p item under the overflow policy. Block-policy pushes
+     *  wait until space frees or the queue closes. */
+    AdmitResult push(QueuedRequest &&item);
+
+    /**
+     * Wait until at least one item is queued (returning its model in
+     * @p model) or the queue is closed *and* empty (returns false —
+     * the consumer's termination signal).
+     */
+    bool waitHead(int *model);
+
+    /** Queued items of @p model right now (batcher planning). */
+    size_t countModel(int model) const;
+
+    /**
+     * Wait until countModel(model) >= @p target, the queue closes, or
+     * @p deadline (monotonicSeconds() value; <= 0 means no wait).
+     * Returns the count at wake-up.
+     */
+    size_t waitModel(int model, size_t target, double deadline);
+
+    /** Pop up to @p max items of @p model in FIFO order into @p out
+     *  (appended); other models keep their relative order. Returns the
+     *  number popped. */
+    size_t popModel(int model, size_t max, std::vector<QueuedRequest> *out);
+
+    /** Stop admitting; wake every producer and consumer. Idempotent. */
+    void close();
+
+    bool closed() const;
+    size_t size() const;
+    size_t capacity() const { return cap; }
+    OverflowPolicy policy() const { return pol; }
+
+  private:
+    const size_t cap;
+    const OverflowPolicy pol;
+
+    mutable std::mutex mu;
+    std::condition_variable cvNotEmpty;  //!< consumers / batcher waits
+    std::condition_variable cvNotFull;   //!< Block-policy producers
+    std::deque<QueuedRequest> items;
+    bool isClosed = false;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_REQUEST_QUEUE_HH

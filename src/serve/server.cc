@@ -1,0 +1,125 @@
+#include "serve/server.hh"
+
+#include <utility>
+
+#include "common/logging.hh"
+#include "obs/metrics.hh"
+#include "obs/trace_event.hh"
+
+namespace flcnn {
+
+InferenceServer::InferenceServer(ServeConfig config)
+    : cfg(config), statsHub(config.maxSpans),
+      queue(config.queueCapacity, config.policy),
+      batcher(queue, config.batch, config.deadlineSeconds, &statsHub)
+{
+    if (cfg.workers < 1)
+        fatal("server needs >= 1 workers (got %d)", cfg.workers);
+}
+
+InferenceServer::~InferenceServer()
+{
+    drainAndStop();
+}
+
+int
+InferenceServer::addModel(const std::string &name, const Network &net,
+                          const NetworkWeights &weights, int first_layer,
+                          int last_layer)
+{
+    FLCNN_ASSERT(!isStarted, "addModel() after start()");
+    if (last_layer < 0)
+        last_layer = net.numLayers() - 1;
+    if (first_layer < 0 || last_layer >= net.numLayers() ||
+        first_layer > last_layer)
+        fatal("model '%s': bad layer range [%d, %d] for a %d-layer "
+              "network",
+              name.c_str(), first_layer, last_layer, net.numLayers());
+    ModelSpec spec;
+    spec.name = name;
+    spec.net = &net;
+    spec.weights = &weights;
+    spec.firstLayer = first_layer;
+    spec.lastLayer = last_layer;
+    spec.tip = cfg.tip;
+    specs.push_back(std::move(spec));
+    return static_cast<int>(specs.size()) - 1;
+}
+
+void
+InferenceServer::start()
+{
+    FLCNN_ASSERT(!isStarted, "server already started");
+    if (specs.empty())
+        fatal("start() with no registered models");
+    workers = std::make_unique<WorkerPool>(
+        cfg.workers, cfg.engine, cfg.intraOp, cfg.warmup, specs,
+        batcher, statsHub);
+    workers->start();
+    workers->waitReady();
+    isStarted = true;
+}
+
+SubmitResult
+InferenceServer::submit(int model, Tensor input)
+{
+    FLCNN_ASSERT(isStarted, "submit() before start()");
+    if (model < 0 || model >= static_cast<int>(specs.size()))
+        fatal("submit(): unknown model id %d (%zu registered)", model,
+              specs.size());
+
+    SubmitResult res;
+    res.id = nextRequestId.fetch_add(1, std::memory_order_relaxed);
+    res.handle = std::make_shared<RequestHandle>();
+    statsHub.onSubmitted();
+
+    QueuedRequest qr;
+    qr.id = res.id;
+    qr.model = model;
+    qr.input = std::move(input);
+    qr.handle = res.handle;
+    qr.submitTime = monotonicSeconds();
+    res.handle->tSubmit = qr.submitTime;
+
+    res.admit = queue.push(std::move(qr));
+    switch (res.admit) {
+      case AdmitResult::Admitted:
+        statsHub.onAdmitted();
+        break;
+      case AdmitResult::Rejected:
+        statsHub.onRejected();
+        res.handle->complete(RequestStatus::Rejected, Tensor(), 0.0,
+                             0.0, -1, -1, 0);
+        break;
+      case AdmitResult::Closed:
+        statsHub.onCancelled();
+        res.handle->complete(RequestStatus::Cancelled, Tensor(), 0.0,
+                             0.0, -1, -1, 0);
+        break;
+    }
+    return res;
+}
+
+void
+InferenceServer::drainAndStop()
+{
+    if (!isStarted || isStopped)
+        return;
+    queue.close();
+    workers->join();
+    isStopped = true;
+}
+
+void
+InferenceServer::registerMetrics(MetricsRegistry &reg) const
+{
+    statsHub.registerInto(reg);
+}
+
+void
+InferenceServer::appendTrace(ChromeTrace &tr, int pid) const
+{
+    statsHub.appendRequestTrace(tr, pid, pid + 1);
+}
+
+} // namespace flcnn

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * InferenceServer: the batched serving runtime over the fused
+ * executors, assembled from the subsystem's four pieces:
+ *
+ *   submit() -> RequestQueue -> DynamicBatcher -> WorkerPool
+ *                     \________________________________/
+ *                                ServerStats
+ *
+ * Lifecycle: construct with a ServeConfig, addModel() for every
+ * network to serve (the server hosts several models; the batcher
+ * coalesces per model), start(), submit() from any number of client
+ * threads, then drainAndStop() — which closes the queue, lets the
+ * workers finish every admitted request, and joins them. Outputs are
+ * bit-identical to single-image runs of the underlying executor at
+ * every worker count and batch size: requests never share tensors,
+ * and each is evaluated by exactly one pinned executor whose
+ * arithmetic order is independent of batch composition.
+ */
+
+#ifndef FLCNN_SERVE_SERVER_HH
+#define FLCNN_SERVE_SERVER_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/batcher.hh"
+#include "serve/engine.hh"
+#include "serve/request_queue.hh"
+#include "serve/server_stats.hh"
+#include "serve/worker_pool.hh"
+
+namespace flcnn {
+
+class MetricsRegistry;
+class ChromeTrace;
+
+/** Serving runtime configuration. */
+struct ServeConfig
+{
+    int workers = 1;
+    size_t queueCapacity = 64;
+    OverflowPolicy policy = OverflowPolicy::Block;
+    BatchPolicy batch;
+    double deadlineSeconds = 0.0;   //!< <= 0: no deadline
+    EngineKind engine = EngineKind::LineBuffer;
+    IntraOpMode intraOp = IntraOpMode::Auto;
+    bool warmup = true;
+    int tip = 1;                    //!< pyramid tip (fused/recompute)
+    size_t maxSpans = 100000;       //!< per-request trace log cap
+};
+
+/** Outcome of a submit() call. */
+struct SubmitResult
+{
+    AdmitResult admit = AdmitResult::Rejected;
+    RequestHandlePtr handle;  //!< always non-null; terminal on reject
+    int64_t id = -1;
+};
+
+/** Batched inference server over the repo's bit-exact executors. */
+class InferenceServer
+{
+  public:
+    explicit InferenceServer(ServeConfig cfg);
+    ~InferenceServer();
+
+    InferenceServer(const InferenceServer &) = delete;
+    InferenceServer &operator=(const InferenceServer &) = delete;
+
+    /**
+     * Register a model covering layers [first_layer, last_layer] of
+     * @p net (-1 = last layer). Must be called before start();
+     * @p net and @p weights must outlive the server. Returns the
+     * model id submit() takes.
+     */
+    int addModel(const std::string &name, const Network &net,
+                 const NetworkWeights &weights, int first_layer = 0,
+                 int last_layer = -1);
+
+    /** Build and warm every worker's engines, then begin serving. */
+    void start();
+
+    /**
+     * Submit one image for @p model. Thread-safe. Blocks only under
+     * the Block overflow policy when the queue is full. Rejected /
+     * closed submissions return an already-completed handle.
+     */
+    SubmitResult submit(int model, Tensor input);
+
+    /** Close admission, finish every admitted request, join workers.
+     *  Idempotent; the destructor calls it. */
+    void drainAndStop();
+
+    const ServeConfig &config() const { return cfg; }
+    const ServerStats &stats() const { return statsHub; }
+    const std::vector<ModelSpec> &models() const { return specs; }
+    bool started() const { return isStarted; }
+
+    /** Publish serving stats into @p reg ("serve:*" scopes). */
+    void registerMetrics(MetricsRegistry &reg) const;
+
+    /** Render per-request queue/compute spans onto @p tr (pids
+     *  @p pid and @p pid + 1). */
+    void appendTrace(ChromeTrace &tr, int pid) const;
+
+  private:
+    ServeConfig cfg;
+    std::vector<ModelSpec> specs;
+    ServerStats statsHub;
+    RequestQueue queue;
+    DynamicBatcher batcher;
+    std::unique_ptr<WorkerPool> workers;
+    std::atomic<int64_t> nextRequestId{0};
+    bool isStarted = false;
+    bool isStopped = false;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_SERVER_HH

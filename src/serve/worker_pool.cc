@@ -1,0 +1,113 @@
+#include "serve/worker_pool.hh"
+
+#include <memory>
+#include <optional>
+
+#include "common/logging.hh"
+#include "common/thread_pool.hh"
+
+namespace flcnn {
+
+const char *
+intraOpModeName(IntraOpMode m)
+{
+    switch (m) {
+      case IntraOpMode::Auto:   return "auto";
+      case IntraOpMode::Inline: return "inline";
+      case IntraOpMode::Pool:   return "pool";
+    }
+    return "?";
+}
+
+WorkerPool::WorkerPool(int num_workers, EngineKind engine_kind,
+                       IntraOpMode intra_op, bool warmup,
+                       const std::vector<ModelSpec> &model_specs,
+                       DynamicBatcher &b, ServerStats &st)
+    : nWorkers(num_workers), engine(engine_kind), intraOp(intra_op),
+      doWarmup(warmup), models(model_specs), batcher(b), stats(st)
+{
+    if (num_workers < 1)
+        fatal("worker pool needs >= 1 workers (got %d)", num_workers);
+}
+
+void
+WorkerPool::start()
+{
+    FLCNN_ASSERT(threads.empty(), "worker pool already started");
+    if (models.empty())
+        fatal("no models registered; nothing to serve");
+    {
+        std::lock_guard<std::mutex> lock(readyMu);
+        nReady = 0;
+    }
+    threads.reserve(static_cast<size_t>(nWorkers));
+    for (int w = 0; w < nWorkers; w++)
+        threads.emplace_back([this, w] { workerMain(w); });
+}
+
+void
+WorkerPool::waitReady()
+{
+    std::unique_lock<std::mutex> lock(readyMu);
+    readyCv.wait(lock, [this] { return nReady == nWorkers; });
+}
+
+void
+WorkerPool::join()
+{
+    for (std::thread &t : threads)
+        t.join();
+    threads.clear();
+}
+
+void
+WorkerPool::workerMain(int wid)
+{
+    // Inline intra-op keeps workers off the shared pool (see header);
+    // the scope must cover engine construction and warmup too, so the
+    // pack caches are built with the same code paths requests will use.
+    const bool inline_compute =
+        intraOp == IntraOpMode::Inline ||
+        (intraOp == IntraOpMode::Auto && nWorkers > 1);
+    std::optional<ThreadPool::InlineScope> inliner;
+    if (inline_compute)
+        inliner.emplace();
+
+    std::vector<std::unique_ptr<ServeEngine>> engines;
+    engines.reserve(models.size());
+    for (const ModelSpec &spec : models) {
+        engines.push_back(std::make_unique<ServeEngine>(spec, engine));
+        if (doWarmup)
+            engines.back()->warmup();
+    }
+    {
+        std::lock_guard<std::mutex> lock(readyMu);
+        nReady++;
+    }
+    readyCv.notify_all();
+
+    Batch batch;
+    while (batcher.nextBatch(&batch)) {
+        ServeEngine &eng =
+            *engines[static_cast<size_t>(batch.model)];
+        for (QueuedRequest &qr : batch.items) {
+            const double t_start = monotonicSeconds();
+            Tensor out = eng.run(qr.input);
+            const double t_end = monotonicSeconds();
+            RequestSpan span;
+            span.id = qr.id;
+            span.model = qr.model;
+            span.worker = wid;
+            span.batch = batch.id;
+            span.tSubmit = qr.submitTime;
+            span.tStart = t_start;
+            span.tEnd = t_end;
+            stats.onCompleted(span);
+            qr.handle->complete(RequestStatus::Ok, std::move(out),
+                                t_start, t_end, wid, batch.id,
+                                batch.size());
+        }
+    }
+}
+
+} // namespace flcnn

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * WorkerPool: the serving workers that execute batches.
+ *
+ * Each worker is one std::thread that owns a pinned ServeEngine per
+ * registered model (executor + WeightPackCache built and warmed once
+ * at startup) and loops: form a batch via the DynamicBatcher, execute
+ * its requests back-to-back on the matching engine, fulfill the
+ * handles, record stats. Workers exit when the batcher reports the
+ * queue closed and drained.
+ *
+ * Intra-op parallelism policy: with several workers, each worker runs
+ * its executor inline (ThreadPool::InlineScope) — request-level
+ * concurrency is the parallelism, and workers never contend for the
+ * shared pool. A single worker instead uses the global pool, so one
+ * lone worker still spreads each image across every core. Either way
+ * the outputs are bit-identical (the pool's static-partition
+ * contract), which the differential tests verify at 1/2/8 workers.
+ */
+
+#ifndef FLCNN_SERVE_WORKER_POOL_HH
+#define FLCNN_SERVE_WORKER_POOL_HH
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hh"
+#include "serve/engine.hh"
+#include "serve/server_stats.hh"
+
+namespace flcnn {
+
+/** How a serving worker runs its executor's parallel loops. */
+enum class IntraOpMode
+{
+    Auto,    //!< Inline when workers > 1, Pool for a single worker
+    Inline,  //!< always inline (one core per request)
+    Pool,    //!< always through the global ThreadPool (serialized)
+};
+
+const char *intraOpModeName(IntraOpMode m);
+
+/** Fixed-size pool of serving workers over one batcher. */
+class WorkerPool
+{
+  public:
+    /**
+     * @param models one spec per registered model (index == the
+     *   QueuedRequest::model the batcher hands out). Referenced
+     *   networks/weights must outlive the pool.
+     */
+    WorkerPool(int num_workers, EngineKind engine, IntraOpMode intra_op,
+               bool warmup, const std::vector<ModelSpec> &models,
+               DynamicBatcher &batcher, ServerStats &stats);
+
+    /** Spawn the workers (each builds + warms its engines first). */
+    void start();
+
+    /** Block until every worker has built (and, if enabled, warmed)
+     *  its engines and is ready to take batches — so a server never
+     *  serves traffic on a cold executor. */
+    void waitReady();
+
+    /** Join all workers (returns once the queue is closed and every
+     *  admitted request completed). */
+    void join();
+
+    int numWorkers() const { return nWorkers; }
+    bool running() const { return !threads.empty(); }
+
+  private:
+    void workerMain(int wid);
+
+    const int nWorkers;
+    const EngineKind engine;
+    const IntraOpMode intraOp;
+    const bool doWarmup;
+    const std::vector<ModelSpec> &models;
+    DynamicBatcher &batcher;
+    ServerStats &stats;
+    std::vector<std::thread> threads;
+    std::mutex readyMu;
+    std::condition_variable readyCv;
+    int nReady = 0;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_WORKER_POOL_HH

@@ -1,0 +1,150 @@
+/** @file DynamicBatcher: batch formation, deadlines, drain. */
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hh"
+#include "serve/server_stats.hh"
+
+namespace flcnn {
+namespace {
+
+QueuedRequest
+req(int64_t id, int model = 0, double submit_time = -1.0)
+{
+    QueuedRequest q;
+    q.id = id;
+    q.model = model;
+    q.handle = std::make_shared<RequestHandle>();
+    q.submitTime = submit_time < 0.0 ? monotonicSeconds() : submit_time;
+    return q;
+}
+
+TEST(Batcher, SplitsAtMaxBatch)
+{
+    RequestQueue q(32, OverflowPolicy::Reject);
+    for (int i = 0; i < 7; i++)
+        q.push(req(i));
+    q.close();
+
+    BatchPolicy pol;
+    pol.maxBatch = 3;
+    DynamicBatcher b(q, pol);
+    Batch batch;
+    std::vector<size_t> sizes;
+    std::vector<int64_t> ids;
+    while (b.nextBatch(&batch)) {
+        sizes.push_back(batch.size());
+        for (const QueuedRequest &r : batch.items)
+            ids.push_back(r.id);
+    }
+    EXPECT_EQ(sizes, (std::vector<size_t>{3, 3, 1}));
+    EXPECT_EQ(ids, (std::vector<int64_t>{0, 1, 2, 3, 4, 5, 6}));
+}
+
+TEST(Batcher, MinBatchEqualsMaxIsDeterministic)
+{
+    // minBatch == maxBatch makes formation count-driven: the batcher
+    // waits for a full batch regardless of arrival timing.
+    RequestQueue q(32, OverflowPolicy::Reject);
+    BatchPolicy pol;
+    pol.maxBatch = 4;
+    pol.minBatch = 4;
+    DynamicBatcher b(q, pol);
+
+    Batch batch;
+    std::thread consumer([&] {
+        ASSERT_TRUE(b.nextBatch(&batch));
+    });
+    // Feed one request at a time; the batch must only form at 4.
+    for (int i = 0; i < 4; i++) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+        q.push(req(i));
+    }
+    consumer.join();
+    EXPECT_EQ(batch.size(), 4u);
+    for (int i = 0; i < 4; i++)
+        EXPECT_EQ(batch.items[i].id, i);
+}
+
+TEST(Batcher, ClosedQueueDrainsPartialBatch)
+{
+    RequestQueue q(32, OverflowPolicy::Reject);
+    q.push(req(0));
+    q.push(req(1));
+    q.close();
+
+    BatchPolicy pol;
+    pol.maxBatch = 8;
+    pol.minBatch = 8;  // unreachable; close() must override it
+    DynamicBatcher b(q, pol);
+    Batch batch;
+    ASSERT_TRUE(b.nextBatch(&batch));
+    EXPECT_EQ(batch.size(), 2u);
+    EXPECT_FALSE(b.nextBatch(&batch));
+}
+
+TEST(Batcher, BatchesCarryOneModelEach)
+{
+    RequestQueue q(32, OverflowPolicy::Reject);
+    q.push(req(0, 0));
+    q.push(req(1, 1));
+    q.push(req(2, 0));
+    q.close();
+
+    BatchPolicy pol;
+    pol.maxBatch = 8;
+    DynamicBatcher b(q, pol);
+    Batch batch;
+    ASSERT_TRUE(b.nextBatch(&batch));
+    EXPECT_EQ(batch.model, 0);
+    EXPECT_EQ(batch.size(), 2u);
+    ASSERT_TRUE(b.nextBatch(&batch));
+    EXPECT_EQ(batch.model, 1);
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_FALSE(b.nextBatch(&batch));
+}
+
+TEST(Batcher, ExpiredRequestsCompleteAsExpired)
+{
+    RequestQueue q(32, OverflowPolicy::Reject);
+    const double now = monotonicSeconds();
+    QueuedRequest stale = req(0, 0, now - 1.0);  // queued 1 s ago
+    RequestHandlePtr stale_handle = stale.handle;
+    q.push(std::move(stale));
+    q.push(req(1));
+    q.close();
+
+    ServerStats stats;
+    BatchPolicy pol;
+    pol.maxBatch = 8;
+    DynamicBatcher b(q, pol, /*deadline_s=*/0.1, &stats);
+    Batch batch;
+    ASSERT_TRUE(b.nextBatch(&batch));
+    EXPECT_EQ(batch.size(), 1u);
+    EXPECT_EQ(batch.items[0].id, 1);
+    EXPECT_EQ(stale_handle->wait(), RequestStatus::Expired);
+    EXPECT_EQ(stats.expired(), 1);
+}
+
+TEST(Batcher, BatchIdsIncrease)
+{
+    RequestQueue q(32, OverflowPolicy::Reject);
+    for (int i = 0; i < 6; i++)
+        q.push(req(i));
+    q.close();
+    BatchPolicy pol;
+    pol.maxBatch = 2;
+    DynamicBatcher b(q, pol);
+    Batch batch;
+    int64_t prev = -1;
+    while (b.nextBatch(&batch)) {
+        EXPECT_GT(batch.id, prev);
+        prev = batch.id;
+    }
+}
+
+} // namespace
+} // namespace flcnn

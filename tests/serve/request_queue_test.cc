@@ -1,0 +1,153 @@
+/** @file RequestQueue: admission control, FIFO order, close(). */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "serve/request_queue.hh"
+
+namespace flcnn {
+namespace {
+
+QueuedRequest
+req(int64_t id, int model = 0)
+{
+    QueuedRequest q;
+    q.id = id;
+    q.model = model;
+    q.handle = std::make_shared<RequestHandle>();
+    q.submitTime = monotonicSeconds();
+    return q;
+}
+
+TEST(RequestQueue, PushPopFifo)
+{
+    RequestQueue q(8, OverflowPolicy::Reject);
+    for (int i = 0; i < 5; i++)
+        EXPECT_EQ(q.push(req(i)), AdmitResult::Admitted);
+    EXPECT_EQ(q.size(), 5u);
+
+    int model = -1;
+    ASSERT_TRUE(q.waitHead(&model));
+    EXPECT_EQ(model, 0);
+    EXPECT_EQ(q.countModel(0), 5u);
+
+    std::vector<QueuedRequest> got;
+    EXPECT_EQ(q.popModel(0, 3, &got), 3u);
+    ASSERT_EQ(got.size(), 3u);
+    EXPECT_EQ(got[0].id, 0);
+    EXPECT_EQ(got[1].id, 1);
+    EXPECT_EQ(got[2].id, 2);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.popModel(0, 10, &got), 2u);
+    EXPECT_EQ(got.back().id, 4);
+    EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(RequestQueue, RejectPolicyShedsWhenFull)
+{
+    RequestQueue q(2, OverflowPolicy::Reject);
+    EXPECT_EQ(q.push(req(0)), AdmitResult::Admitted);
+    EXPECT_EQ(q.push(req(1)), AdmitResult::Admitted);
+    EXPECT_EQ(q.push(req(2)), AdmitResult::Rejected);
+    std::vector<QueuedRequest> got;
+    q.popModel(0, 1, &got);
+    EXPECT_EQ(q.push(req(3)), AdmitResult::Admitted);
+}
+
+TEST(RequestQueue, BlockPolicyWaitsForSpace)
+{
+    RequestQueue q(1, OverflowPolicy::Block);
+    EXPECT_EQ(q.push(req(0)), AdmitResult::Admitted);
+
+    std::atomic<bool> admitted{false};
+    std::thread producer([&] {
+        AdmitResult r = q.push(req(1));
+        EXPECT_EQ(r, AdmitResult::Admitted);
+        admitted = true;
+    });
+    // The producer must be blocked: the queue is full.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(admitted.load());
+
+    std::vector<QueuedRequest> got;
+    q.popModel(0, 1, &got);
+    producer.join();
+    EXPECT_TRUE(admitted.load());
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, PopModelPreservesOrderAcrossModels)
+{
+    RequestQueue q(16, OverflowPolicy::Reject);
+    q.push(req(0, 0));
+    q.push(req(1, 1));
+    q.push(req(2, 0));
+    q.push(req(3, 1));
+    q.push(req(4, 0));
+
+    EXPECT_EQ(q.countModel(0), 3u);
+    EXPECT_EQ(q.countModel(1), 2u);
+
+    // Pop model 0: its items come out FIFO, model 1 keeps its order.
+    std::vector<QueuedRequest> got;
+    EXPECT_EQ(q.popModel(0, 10, &got), 3u);
+    EXPECT_EQ(got[0].id, 0);
+    EXPECT_EQ(got[1].id, 2);
+    EXPECT_EQ(got[2].id, 4);
+
+    int model = -1;
+    ASSERT_TRUE(q.waitHead(&model));
+    EXPECT_EQ(model, 1);
+    got.clear();
+    EXPECT_EQ(q.popModel(1, 10, &got), 2u);
+    EXPECT_EQ(got[0].id, 1);
+    EXPECT_EQ(got[1].id, 3);
+}
+
+TEST(RequestQueue, CloseRefusesPushesAndDrains)
+{
+    RequestQueue q(8, OverflowPolicy::Block);
+    q.push(req(0));
+    q.push(req(1));
+    q.close();
+    EXPECT_TRUE(q.closed());
+    EXPECT_EQ(q.push(req(2)), AdmitResult::Closed);
+
+    // Consumers drain the remaining items, then waitHead reports done.
+    int model = -1;
+    ASSERT_TRUE(q.waitHead(&model));
+    std::vector<QueuedRequest> got;
+    EXPECT_EQ(q.popModel(0, 10, &got), 2u);
+    EXPECT_FALSE(q.waitHead(&model));
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducer)
+{
+    RequestQueue q(1, OverflowPolicy::Block);
+    q.push(req(0));
+    std::atomic<bool> woke{false};
+    std::thread producer([&] {
+        EXPECT_EQ(q.push(req(1)), AdmitResult::Closed);
+        woke = true;
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    q.close();
+    producer.join();
+    EXPECT_TRUE(woke.load());
+}
+
+TEST(RequestQueue, WaitModelDeadlineReturnsCurrentCount)
+{
+    RequestQueue q(8, OverflowPolicy::Reject);
+    q.push(req(0));
+    // Target unreachable; short deadline: returns with whatever is
+    // there instead of blocking forever.
+    const double deadline = monotonicSeconds() + 0.02;
+    EXPECT_EQ(q.waitModel(0, 5, deadline), 1u);
+}
+
+} // namespace
+} // namespace flcnn
