@@ -53,6 +53,7 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "nn/precision.hh"
 #include "nn/zoo.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
@@ -67,6 +68,7 @@ struct Options
 {
     std::string net = "alexnet";
     int vggConvs = 5;
+    Precision precision = Precision::Fp32;
     EngineKind engine = EngineKind::LineBuffer;
     int workers = 0;          // 0 = auto
     int requests = 32;
@@ -101,11 +103,18 @@ makeNet(const Options &opt)
           opt.net.c_str());
 }
 
-/** One latency histogram as a JSON object body. */
+/** One latency histogram as a JSON object body. An empty histogram has
+ *  no meaningful percentiles (quantile() returns NaN, which is not
+ *  valid JSON), so only the count is emitted. */
 void
 histJson(std::FILE *f, const char *key, const LatencyHistogram &h,
          bool last)
 {
+    if (h.count() == 0) {
+        std::fprintf(f, "    \"%s\": {\"count\": 0}%s\n", key,
+                     last ? "" : ",");
+        return;
+    }
     std::fprintf(f,
                  "    \"%s\": {\"count\": %" PRId64
                  ", \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
@@ -128,12 +137,14 @@ writeServeJson(const Options &opt, const ServerStats &st, double wall_s,
     std::fprintf(f, "{\n  \"schema\": \"flcnn-serve-v1\",\n");
     std::fprintf(f,
                  "  \"config\": {\"net\": \"%s\", \"engine\": \"%s\", "
+                 "\"precision\": \"%s\", "
                  "\"mode\": \"%s\", \"workers\": %d, \"requests\": %d, "
                  "\"concurrency\": %d, \"qps\": %.3f, "
                  "\"batch_max\": %d, \"batch_min\": %d, "
                  "\"queue_capacity\": %zu, \"policy\": \"%s\", "
                  "\"deadline_ms\": %.3f, \"seed\": %" PRIu64 "},\n",
                  opt.net.c_str(), engineKindName(opt.engine),
+                 precisionName(opt.precision),
                  opt.qps > 0.0 ? "open" : "closed", workers,
                  opt.requests, opt.concurrency, opt.qps, opt.batchMax,
                  opt.batchMin, opt.queueCap,
@@ -185,6 +196,8 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[a], "--convs") == 0) {
             opt.vggConvs = parseIntArgI("--convs",
                                         argValue(argc, argv, &a), 1, 16);
+        } else if (std::strcmp(argv[a], "--precision") == 0) {
+            opt.precision = precisionFromName(argValue(argc, argv, &a));
         } else if (std::strcmp(argv[a], "--engine") == 0) {
             opt.engine = engineKindFromName(argValue(argc, argv, &a));
         } else if (std::strcmp(argv[a], "--workers") == 0) {
@@ -260,6 +273,14 @@ main(int argc, char **argv)
     Rng wrng(opt.seed);
     NetworkWeights weights(net, wrng);
 
+    // Calibrate once; every worker engine (and the baseline) shares
+    // the same immutable precision state. fp32 passes nullptr — the
+    // historical bit-exact path, untouched.
+    NetPrecision prec =
+        NetPrecision::calibrate(net, weights, opt.precision);
+    const NetPrecision *precp =
+        opt.precision == Precision::Fp32 ? nullptr : &prec;
+
     // Deterministic input pool: request i uses inputs[i % pool].
     constexpr int kInputPool = 8;
     std::vector<Tensor> inputs;
@@ -280,8 +301,9 @@ main(int argc, char **argv)
     cfg.deadlineSeconds = opt.deadlineMs / 1000.0;
     cfg.engine = opt.engine;
 
-    std::printf("== serve_bench: %s on %s, %s loop ==\n",
+    std::printf("== serve_bench: %s on %s (%s), %s loop ==\n",
                 engineKindName(opt.engine), net.name().c_str(),
+                precisionName(opt.precision),
                 open_loop ? "open" : "closed");
     std::printf("workers %d, queue %zu (%s), batch [%d, %d], "
                 "delay %.1f ms, deadline %s, %d requests, %s, "
@@ -299,7 +321,7 @@ main(int argc, char **argv)
                 hw);
 
     InferenceServer server(cfg);
-    server.addModel(net.name(), net, weights);
+    server.addModel(net.name(), net, weights, 0, -1, precp);
     server.start();
 
     const double t0 = monotonicSeconds();
@@ -399,12 +421,17 @@ main(int argc, char **argv)
             Network bnet = makeNet(opt);
             Rng brng(opt.seed);
             NetworkWeights bweights(bnet, brng);
+            NetPrecision bprec = NetPrecision::calibrate(
+                bnet, bweights, opt.precision);
             ModelSpec spec;
             spec.name = bnet.name();
             spec.net = &bnet;
             spec.weights = &bweights;
             spec.firstLayer = 0;
             spec.lastLayer = bnet.numLayers() - 1;
+            spec.precision = opt.precision == Precision::Fp32
+                                 ? nullptr
+                                 : &bprec;
             ServeEngine eng(spec, opt.engine);
             (void)eng.run(inputs[i % kInputPool]);
         }

@@ -6,8 +6,12 @@
  *
  * Usage:
  *   explore_vgg [alexnet | vgg <num_convs> | googlenet] [--all-points]
+ *               [--precision fp32|fp16|int8]
  *
- * Defaults to the paper's VGGNet-E five-conv prefix.
+ * Defaults to the paper's VGGNet-E five-conv prefix. --precision
+ * re-prices every partition at that element size (fp16 halves, int8
+ * quarters all storage/transfer bytes), re-deriving the Pareto front
+ * for a quantized deployment.
  */
 
 #include <cstdio>
@@ -30,9 +34,12 @@ main(int argc, char **argv)
     bool all_points = false;
     std::string which = "vgg";
     int convs = 5;
+    Precision dtype = Precision::Fp32;
     for (int a = 1; a < argc; a++) {
         if (std::strcmp(argv[a], "--all-points") == 0) {
             all_points = true;
+        } else if (std::strcmp(argv[a], "--precision") == 0) {
+            dtype = precisionFromName(argValue(argc, argv, &a));
         } else if (std::strcmp(argv[a], "alexnet") == 0) {
             which = "alexnet";
         } else if (std::strcmp(argv[a], "googlenet") == 0) {
@@ -49,13 +56,16 @@ main(int argc, char **argv)
     Network net = which == "alexnet" ? alexnet()
                   : which == "googlenet" ? googlenetStem()
                                          : vggEPrefix(convs);
-    std::printf("exploring %s: %zu fusable stages, %lld partitions\n\n",
-                net.name().c_str(), net.stages().size(),
+    std::printf("exploring %s (%s): %zu fusable stages, %lld "
+                "partitions\n\n",
+                net.name().c_str(), precisionName(dtype),
+                net.stages().size(),
                 static_cast<long long>(countPartitions(
                     static_cast<int>(net.stages().size()))));
 
     ExploreOptions opt;
     opt.withRecompute = true;
+    opt.dtype = dtype;
     auto res = exploreFusionSpace(net, opt);
 
     Table t({"partition", "storage KB", "transfer MB",
@@ -78,11 +88,13 @@ main(int argc, char **argv)
     }
     t.print();
 
+    const int64_t lbl = layerByLayerTransferBytes(net) / 4 *
+                        precisionElemBytes(dtype);
     std::printf("\nlayer-by-layer: %s; best fusion: %s "
                 "(%.1fx less DRAM traffic)\n",
-                formatBytes(layerByLayerTransferBytes(net)).c_str(),
+                formatBytes(lbl).c_str(),
                 formatBytes(res.minTransfer().transferBytes).c_str(),
-                static_cast<double>(layerByLayerTransferBytes(net)) /
+                static_cast<double>(lbl) /
                     static_cast<double>(res.minTransfer().transferBytes));
     if (!all_points)
         std::printf("(showing Pareto-optimal rows; --all-points for "

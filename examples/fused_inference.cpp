@@ -6,7 +6,14 @@
  *
  * Usage:
  *   fused_inference [alexnet | vgg <num_convs>] [--fps N] [--threads N]
+ *                   [--precision fp32|fp16|int8]
  *                   [--metrics-json FILE] [--trace-json FILE]
+ *
+ * With --precision fp16 or int8, the host-side executors additionally
+ * run the fused range in that mode: the reference and every fused
+ * executor must agree bit-exactly within the mode, and the deviation
+ * from the fp32 reference plus the per-dtype weight/activation
+ * footprint are reported.
  *
  * Defaults to the paper's headline configuration (VGG-E, 5 convs) and
  * FLCNN_THREADS (or all hardware threads) for the host-side executors.
@@ -29,6 +36,11 @@
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "common/units.hh"
+#include "fusion/fused_executor.hh"
+#include "fusion/line_buffer_executor.hh"
+#include "fusion/recompute_executor.hh"
+#include "nn/precision.hh"
+#include "nn/reference.hh"
 #include "nn/zoo.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
@@ -43,6 +55,7 @@ main(int argc, char **argv)
     std::string which = "vgg";
     int convs = 5;
     double fps = 50.0;
+    Precision precision = Precision::Fp32;
     std::string metrics_path, trace_path;
     for (int a = 1; a < argc; a++) {
         if (std::strcmp(argv[a], "alexnet") == 0) {
@@ -51,6 +64,8 @@ main(int argc, char **argv)
             which = "vgg";
             if (a + 1 < argc && argv[a + 1][0] != '-')
                 convs = parseIntArgI("vgg conv count", argv[++a], 1, 16);
+        } else if (std::strcmp(argv[a], "--precision") == 0) {
+            precision = precisionFromName(argValue(argc, argv, &a));
         } else if (std::strcmp(argv[a], "--fps") == 0) {
             fps = parseFloatArg("--fps", argValue(argc, argv, &a), 1e-6,
                                 1e9);
@@ -159,5 +174,65 @@ main(int argc, char **argv)
             std::printf("wrote trace to %s (open in ui.perfetto.dev)\n",
                         trace_path.c_str());
     }
-    return cmp.match ? 0 : 1;
+
+    // Quantized host-side run: calibrate, evaluate the fused range in
+    // the requested mode on the reference and every fused executor
+    // (which must agree bit-exactly within the mode), and report the
+    // deviation from fp32 plus the per-dtype footprint.
+    bool prec_ok = true;
+    if (precision != Precision::Fp32) {
+        std::printf("\n== %s host executors ==\n",
+                    precisionName(precision));
+        NetPrecision prec =
+            NetPrecision::calibrate(net, weights, precision);
+        Tensor ref32 = runRange(net, weights, image, 0, last);
+        Tensor refp =
+            runRange(net, weights, image, 0, last, &prec);
+
+        FusedExecutor fexec(net, weights, TilePlan(net, 0, last, 2, 2));
+        fexec.setPrecision(&prec);
+        LineBufferExecutor lexec(net, weights, 0, last);
+        lexec.setPrecision(&prec);
+        RecomputeExecutor rexec(net, weights,
+                                TilePlan(net, 0, last, 2, 2));
+        rexec.setPrecision(&prec);
+        const struct
+        {
+            const char *name;
+            Tensor out;
+        } execs[] = {{"fused", fexec.run(image)},
+                     {"linebuffer", lexec.run(image)},
+                     {"recompute", rexec.run(image)}};
+        for (const auto &e : execs) {
+            const bool same = tensorsEqual(refp, e.out);
+            std::printf("%-10s vs %s reference: %s\n", e.name,
+                        precisionName(precision),
+                        same ? "bit-exact" : "MISMATCH");
+            prec_ok = prec_ok && same;
+        }
+        CompareResult dev = compareTensors(ref32, refp, 1.0, 0.0);
+        std::printf("deviation from fp32 reference: max abs %.3e, "
+                    "max rel %.3e\n",
+                    dev.maxAbsDiff, dev.maxRelDiff);
+
+        int64_t welems = 0, aelems = 0;
+        for (int li = 0; li <= last; li++) {
+            const LayerSpec &spec = net.layer(li);
+            if (spec.kind == LayerKind::Conv) {
+                const FilterBank &fb = weights.bank(net.convSlot(li));
+                welems += static_cast<int64_t>(fb.numFilters()) *
+                          fb.numChannels() * fb.kernel() * fb.kernel();
+                aelems += net.inShape(li).elems();
+            }
+        }
+        Table pt({"dtype", "conv weights", "conv activations"});
+        for (Precision p :
+             {Precision::Fp32, Precision::Fp16, Precision::Int8}) {
+            const int64_t eb = precisionElemBytes(p);
+            pt.addRow({precisionName(p), formatBytes(welems * eb),
+                       formatBytes(aelems * eb)});
+        }
+        pt.print();
+    }
+    return cmp.match && prec_ok ? 0 : 1;
 }

@@ -14,9 +14,10 @@ Runs, in order:
      cpu_fusion_speedup with --benchmark_filter=NONE (its own E8 table
      without re-running the gbench cases), capturing stdout + wall time;
   3. bench/serve_bench (closed loop on AlexNet's fused prefix; the
-     tiny net with --quick), folding its flcnn-serve-v1 result —
-     latency percentiles, counts, throughput — into the report's
-     "serve" section.
+     tiny net with --quick) once per precision mode (fp32, int8,
+     fp16), folding each flcnn-serve-v1 result — latency percentiles,
+     counts, throughput — into the report's "serve_precision" section
+     (the fp32 run also lands in the legacy "serve" section).
 
 The output file records the git revision, host info, every
 google-benchmark result, and the raw tables, so before/after runs can
@@ -29,7 +30,9 @@ printed as an old/new/speedup row, new and vanished cases are listed,
 and the script exits nonzero if any shared case regressed by more than
 --regression-pct percent (default 20) in real time. Serving latency
 percentiles (serve.latency_us.{total,queue_wait,compute}.{p50,p95,
-p99}) present in both reports go through the same gate.
+p99}) present in both reports go through the same gate; each precision
+mode's percentiles carry a dtype-prefixed key (e.g. "int8.total.p99")
+and gate independently.
 """
 
 import argparse
@@ -103,16 +106,27 @@ def fmt_ns(ns):
 
 
 def serve_percentiles(report):
-    """Map "total.p99" -> microseconds from a report's serve section
-    (empty if the report predates serve_bench)."""
+    """Map "total.p99" (fp32, legacy section) and "int8.total.p99"
+    (per-precision sections) -> microseconds. Empty if the report
+    predates serve_bench. Keeping the dtype in the key means each
+    precision's percentiles gate independently under --compare."""
     out = {}
-    lat = report.get("serve", {}).get("latency_us", {})
-    for kind, fields in lat.items():
-        if not isinstance(fields, dict):
-            continue
-        for pct in ("p50", "p95", "p99"):
-            if isinstance(fields.get(pct), (int, float)):
-                out[f"{kind}.{pct}"] = fields[pct]
+
+    def add(prefix, doc):
+        lat = doc.get("latency_us", {})
+        for kind, fields in lat.items():
+            if not isinstance(fields, dict):
+                continue
+            for pct in ("p50", "p95", "p99"):
+                if isinstance(fields.get(pct), (int, float)):
+                    out[f"{prefix}{kind}.{pct}"] = fields[pct]
+
+    add("", report.get("serve", {}))
+    for prec, doc in report.get("serve_precision", {}).items():
+        if prec == "fp32":
+            continue  # already present as the legacy unprefixed keys
+        if isinstance(doc, dict):
+            add(f"{prec}.", doc)
     return out
 
 
@@ -284,26 +298,33 @@ def main():
     # rejects is an invariant, not luck).
     serve = bench_dir / "serve_bench"
     if serve.exists():
-        serve_json = bench_dir / "serve_bench_result.json"
         net = "tiny" if args.quick else "alexnet"
         requests = 16 if args.quick else 32
-        cmd = [str(serve), "--net", net, "--requests", str(requests),
-               "--concurrency", "4", "--batch-max", "4",
-               "--expect-no-rejects", "--json", str(serve_json)]
-        print("running serve_bench...")
-        out, wall = run(cmd)
-        report["tables"]["serve_bench"] = {"wall_s": round(wall, 3),
-                                           "stdout": out}
-        try:
-            doc = json.loads(serve_json.read_text())
-        except (OSError, json.JSONDecodeError) as exc:
-            sys.exit(f"serve_bench did not produce a readable result "
-                     f"at {serve_json}: {exc}")
-        if doc.get("schema") != "flcnn-serve-v1":
-            sys.exit(f"{serve_json}: unexpected schema "
-                     f"{doc.get('schema')!r}")
-        report["serve"] = doc
-        print(f"  done in {wall:.1f}s")
+        report["serve_precision"] = {}
+        for prec in ("fp32", "int8", "fp16"):
+            serve_json = bench_dir / f"serve_bench_{prec}.json"
+            cmd = [str(serve), "--net", net, "--requests",
+                   str(requests), "--concurrency", "4", "--batch-max",
+                   "4", "--precision", prec, "--no-baseline",
+                   "--expect-no-rejects", "--json", str(serve_json)]
+            print(f"running serve_bench ({prec})...")
+            out, wall = run(cmd)
+            report["tables"][f"serve_bench_{prec}"] = {
+                "wall_s": round(wall, 3), "stdout": out}
+            try:
+                doc = json.loads(serve_json.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                sys.exit(f"serve_bench did not produce a readable "
+                         f"result at {serve_json}: {exc}")
+            if doc.get("schema") != "flcnn-serve-v1":
+                sys.exit(f"{serve_json}: unexpected schema "
+                         f"{doc.get('schema')!r}")
+            report["serve_precision"][prec] = doc
+            if prec == "fp32":
+                # Legacy location: older reports (and their --compare
+                # keys) know the fp32 numbers as the "serve" section.
+                report["serve"] = doc
+            print(f"  done in {wall:.1f}s")
     else:
         print("  skipping serve_bench: not built")
 

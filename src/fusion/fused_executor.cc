@@ -204,32 +204,108 @@ FusedExecutor::computeWindowed(int li, int r, int c)
     if (spec.kind == LayerKind::Conv) {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
         const int n_per_group = fb.numChannels();
-        const ConvBlockKernel bk = resolveConvBlockKernel(fb.kernel(), s);
-        const PackedWeights &pw = packCache.get(li, fb, spec.groups);
-        const int nb = pw.numBlocks();
         const int64_t plane = static_cast<int64_t>(st.fresh.shape().h) *
                               st.fresh.shape().w;
+        const int x0 = ox.begin * s - st.tileX.begin;
+        const Precision mode =
+            precision ? precision->mode() : Precision::Fp32;
         // One (filter-block, row) strip per work item: disjoint fresh
         // writes across filter blocks and rows, and the blocked kernel
         // keeps each (filter, pixel) accumulator private in convPoint's
         // (bias, n, i, j) order, so the fused pyramid stays
         // bit-identical to the reference at every thread count. The op
         // tally is analytic to keep the parallel region race-free.
-        parallelFor(
-            0, static_cast<int64_t>(nb) * oy.width(),
-            [&](int64_t lo, int64_t hi) {
-                for (int64_t w = lo; w < hi; w++) {
-                    const int bi = static_cast<int>(w / oy.width());
-                    const int gy =
-                        oy.begin + static_cast<int>(w % oy.width());
-                    convBlockRowTensor(
-                        bk, pw, bi,
-                        &st.fresh(pw.block(bi).m0, gy - oy.begin, 0),
-                        plane, ox.width(), st.tile,
-                        gy * s - st.tileY.begin,
-                        ox.begin * s - st.tileX.begin);
-                }
-            });
+        // Non-fp32 modes first stage the tile rows this pyramid reads
+        // (serial, elementwise, idempotent), then run the mode's
+        // drivers against the shared staging with the same parallel
+        // shape — precision state is identical to the precision
+        // reference's, so the bit-exactness argument carries over.
+        if (mode != Precision::Fp32) {
+            const int slot = net.convSlot(g.layerIdx);
+            const Shape &ts = st.tile.shape();
+            st.stage.configure(mode, ts.c, ts.h, ts.w);
+            const int r0 = oy.begin * s - st.tileY.begin;
+            const int r1 = std::min(
+                (oy.end - 1) * s - st.tileY.begin + spec.kernel, ts.h);
+            if (mode == Precision::Int8) {
+                const ActQuant &act = precision->actQuant(slot);
+                stageConvInputI8(st.stage, st.tile, act, r0, r1);
+                const ConvBlockKernelI8 bk =
+                    resolveConvBlockKernelI8(fb.kernel(), s);
+                const PackedWeightsI8 &pw = packCache.getI8(
+                    li, fb, spec.groups, precision->weightScales(slot),
+                    precision->scaleId());
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * oy.width(),
+                    [&](int64_t lo, int64_t hi) {
+                        for (int64_t w = lo; w < hi; w++) {
+                            const int bi =
+                                static_cast<int>(w / oy.width());
+                            const int gy =
+                                oy.begin +
+                                static_cast<int>(w % oy.width());
+                            int row_idx[kMaxConvKernel];
+                            for (int i = 0; i < bk.k; i++)
+                                row_idx[i] =
+                                    gy * s - st.tileY.begin + i;
+                            convBlockRowI8(
+                                bk, pw, bi,
+                                &st.fresh(pw.block(bi).m0,
+                                          gy - oy.begin, 0),
+                                plane, ox.width(), st.stage, row_idx,
+                                x0, act);
+                        }
+                    });
+            } else {
+                stageConvInputF16(st.stage, st.tile, r0, r1);
+                const ConvBlockKernel bk =
+                    resolveConvBlockKernel(fb.kernel(), s);
+                const PackedWeightsF16 &pw =
+                    packCache.getF16(li, fb, spec.groups);
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * oy.width(),
+                    [&](int64_t lo, int64_t hi) {
+                        for (int64_t w = lo; w < hi; w++) {
+                            const int bi =
+                                static_cast<int>(w / oy.width());
+                            const int gy =
+                                oy.begin +
+                                static_cast<int>(w % oy.width());
+                            int row_idx[kMaxConvKernel];
+                            for (int i = 0; i < bk.k; i++)
+                                row_idx[i] =
+                                    gy * s - st.tileY.begin + i;
+                            convBlockRowF16(
+                                bk, pw, bi,
+                                &st.fresh(pw.block(bi).m0,
+                                          gy - oy.begin, 0),
+                                plane, ox.width(), st.stage, row_idx,
+                                x0);
+                        }
+                    });
+            }
+        } else {
+            const ConvBlockKernel bk =
+                resolveConvBlockKernel(fb.kernel(), s);
+            const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+            const int nb = pw.numBlocks();
+            parallelFor(
+                0, static_cast<int64_t>(nb) * oy.width(),
+                [&](int64_t lo, int64_t hi) {
+                    for (int64_t w = lo; w < hi; w++) {
+                        const int bi = static_cast<int>(w / oy.width());
+                        const int gy =
+                            oy.begin + static_cast<int>(w % oy.width());
+                        convBlockRowTensor(
+                            bk, pw, bi,
+                            &st.fresh(pw.block(bi).m0, gy - oy.begin, 0),
+                            plane, ox.width(), st.tile,
+                            gy * s - st.tileY.begin, x0);
+                    }
+                });
+        }
         int64_t taps = static_cast<int64_t>(n_per_group) * fb.kernel() *
                        fb.kernel();
         int64_t points = static_cast<int64_t>(g.outPlane.c) *

@@ -36,7 +36,9 @@
 
 #include "common/opcount.hh"
 #include "fusion/plan.hh"
+#include "kernels/conv_layer.hh"
 #include "kernels/weight_pack.hh"
+#include "nn/precision.hh"
 #include "nn/reference.hh"
 #include "nn/weights.hh"
 #include "sim/trace.hh"
@@ -81,6 +83,17 @@ class FusedExecutor
     void setTrackCoverage(bool enable) { trackCoverage = enable; }
     std::string coverageReport() const;
 
+    /**
+     * Run subsequent pyramids under @p prec's precision mode: conv
+     * tiles are staged into the mode's compute format and the mode's
+     * kernels produce the fresh region (kernels/conv_layer.hh); every
+     * other layer computes in fp32 as always. Results are bit-identical
+     * to the precision reference (nn::runRange with the same @p prec).
+     * Pass nullptr (the default state) for plain fp32. The pointed-to
+     * state must outlive the executor.
+     */
+    void setPrecision(const NetPrecision *prec) { precision = prec; }
+
     /** Stream every DRAM access of subsequent runs to @p sink
      *  (group-input reads and group-output writes; see sim/trace.hh
      *  for the address map). Pass nullptr to disable. */
@@ -120,6 +133,9 @@ class FusedExecutor
         int btBaseNew = 0;   //!< global first row of strip being written
         int btWatermark = 0; //!< columns [0, watermark) hold new rows
 
+        // Staged conv-input tile for non-fp32 precision modes.
+        ConvStage stage;
+
         // Fresh output of this layer for the current pyramid. Pointwise
         // layers alias the producer's buffer (freshOwner picks whose).
         Tensor fresh;
@@ -152,6 +168,7 @@ class FusedExecutor
     Tensor *groupOutput = nullptr;
     FusedRunStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
+    const NetPrecision *precision = nullptr;
     bool trackCoverage = false;
     std::string coverageMsg;
     TraceSink traceSink;

@@ -84,20 +84,104 @@ LineBufferExecutor::drain(int li, Tensor &output)
             const FilterBank &fb =
                 weights.bank(net.convSlot(first + li));
             const int n_per_group = fb.numChannels();
-            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
-            const PackedWeights &pw =
-                packCache.get(li, fb, spec.groups);
-            const int nb = pw.numBlocks();
             FLCNN_ASSERT(k <= kMaxConvKernel,
                          "conv kernel exceeds the strip row table");
-            const int64_t ring_ch_stride =
-                static_cast<int64_t>(cap) * in.w;
+            const Precision mode =
+                precision ? precision->mode() : Precision::Fp32;
             // Each (filter-block, b) pair owns a disjoint set of output
             // row segments; the blocked kernel keeps every (filter,
             // pixel) accumulator private in the (bias, n, i, j) order,
             // so the result is bit-identical at every thread count. The
             // ring's modular row mapping goes through the kernel's
-            // row-offset table.
+            // row-offset / row-index table. Non-fp32 modes keep a
+            // staged shadow of the ring, refreshed incrementally: only
+            // the ring rows (re)written since the previous staging are
+            // re-converted, so each source row is quantized exactly
+            // once per image.
+            if (mode == Precision::Int8) {
+                const int slot = net.convSlot(first + li);
+                const ActQuant &act = precision->actQuant(slot);
+                st.stage.configure(mode, in.c, cap, in.w);
+                const int fresh =
+                    std::min(st.rowsIn - st.stagedIn, cap);
+                for (int y = st.rowsIn - fresh; y < st.rowsIn;) {
+                    const int rr = y % cap;
+                    const int len =
+                        std::min(st.rowsIn - y, cap - rr);
+                    stageConvInputI8(st.stage, st.ring, act, rr,
+                                     rr + len);
+                    y += len;
+                }
+                st.stagedIn = st.rowsIn;
+                const ConvBlockKernelI8 bk =
+                    resolveConvBlockKernelI8(k, s);
+                const PackedWeightsI8 &pw = packCache.getI8(
+                    li, fb, spec.groups, precision->weightScales(slot),
+                    precision->scaleId());
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * batch,
+                    [&](int64_t lo, int64_t hi) {
+                        int row_idx[kMaxConvKernel];
+                        for (int64_t w = lo; w < hi; w++) {
+                            const int bi = static_cast<int>(w / batch);
+                            const int b = static_cast<int>(w % batch);
+                            const int oy = oy0 + b;
+                            for (int i = 0; i < k; i++)
+                                row_idx[i] = (oy * s + i) % cap;
+                            float *dst =
+                                st.blockBuf.data() +
+                                static_cast<size_t>(b) * row_elems +
+                                static_cast<size_t>(pw.block(bi).m0) *
+                                    out.w;
+                            convBlockRowI8(bk, pw, bi, dst, out.w,
+                                           out.w, st.stage, row_idx, 0,
+                                           act);
+                        }
+                    });
+            } else if (mode == Precision::Fp16) {
+                st.stage.configure(mode, in.c, cap, in.w);
+                const int fresh =
+                    std::min(st.rowsIn - st.stagedIn, cap);
+                for (int y = st.rowsIn - fresh; y < st.rowsIn;) {
+                    const int rr = y % cap;
+                    const int len =
+                        std::min(st.rowsIn - y, cap - rr);
+                    stageConvInputF16(st.stage, st.ring, rr, rr + len);
+                    y += len;
+                }
+                st.stagedIn = st.rowsIn;
+                const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+                const PackedWeightsF16 &pw =
+                    packCache.getF16(li, fb, spec.groups);
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * batch,
+                    [&](int64_t lo, int64_t hi) {
+                        int row_idx[kMaxConvKernel];
+                        for (int64_t w = lo; w < hi; w++) {
+                            const int bi = static_cast<int>(w / batch);
+                            const int b = static_cast<int>(w % batch);
+                            const int oy = oy0 + b;
+                            for (int i = 0; i < k; i++)
+                                row_idx[i] = (oy * s + i) % cap;
+                            float *dst =
+                                st.blockBuf.data() +
+                                static_cast<size_t>(b) * row_elems +
+                                static_cast<size_t>(pw.block(bi).m0) *
+                                    out.w;
+                            convBlockRowF16(bk, pw, bi, dst, out.w,
+                                            out.w, st.stage, row_idx,
+                                            0);
+                        }
+                    });
+            } else {
+            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
+            const PackedWeights &pw =
+                packCache.get(li, fb, spec.groups);
+            const int nb = pw.numBlocks();
+            const int64_t ring_ch_stride =
+                static_cast<int64_t>(cap) * in.w;
             parallelFor(
                 0, static_cast<int64_t>(nb) * batch,
                 [&](int64_t lo, int64_t hi) {
@@ -128,6 +212,7 @@ LineBufferExecutor::drain(int li, Tensor &output)
                                n_per_group);
                     }
                 });
+            }
             int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
             curStats.ops.mults += taps * row_elems * batch;
             curStats.ops.adds += taps * row_elems * batch;
@@ -329,6 +414,7 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
     for (auto &st : states) {
         st.rowsIn = 0;
         st.nextOut = 0;
+        st.stagedIn = 0;
     }
     double t_run0 = 0.0;
     if (metrics) {

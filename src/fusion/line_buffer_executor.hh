@@ -22,8 +22,10 @@
 #include <vector>
 
 #include "common/opcount.hh"
+#include "kernels/conv_layer.hh"
 #include "kernels/weight_pack.hh"
 #include "nn/network.hh"
+#include "nn/precision.hh"
 #include "nn/weights.hh"
 #include "tensor/tensor.hh"
 
@@ -64,6 +66,15 @@ class LineBufferExecutor
     int64_t bufferBytes() const;
 
     /**
+     * Run subsequent rows under @p prec's precision mode: conv rings
+     * are staged into the mode's compute format before each drain and
+     * the mode's kernels emit the block (kernels/conv_layer.hh).
+     * Results are bit-identical to the precision reference. Pass
+     * nullptr for plain fp32. The state must outlive the executor.
+     */
+    void setPrecision(const NetPrecision *prec) { precision = prec; }
+
+    /**
      * Record per-fused-layer breakdowns of subsequent runs into @p m
      * (scopes "layer:<i>:<name>"): mults / adds / compares,
      * dram_read_bytes (head) / dram_write_bytes (tail), and
@@ -82,6 +93,8 @@ class LineBufferExecutor
         int nextOut = 0;    //!< next output row to emit
         std::vector<float> rowBuf;   //!< C x W staging for one out row
         std::vector<float> blockBuf; //!< C x B x W staging for a block
+        ConvStage stage;  //!< staged ring for non-fp32 conv modes
+        int stagedIn = 0; //!< input rows already staged into `stage`
     };
 
     /** Deliver input row @p y to fused layer @p li; cascade downstream. */
@@ -97,6 +110,7 @@ class LineBufferExecutor
     std::vector<LayerState> states;
     LineBufferStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
+    const NetPrecision *precision = nullptr;
     MetricsRegistry *metrics = nullptr;
     std::vector<OpCount> layerOps;  //!< per-layer tally (metrics only)
     int64_t lastPackHits = 0;

@@ -31,6 +31,7 @@ RecomputeExecutor::RecomputeExecutor(const Network &network,
     tiles.reserve(static_cast<size_t>(n));
     tileY.assign(static_cast<size_t>(n), Span{0, 0});
     tileX.assign(static_cast<size_t>(n), Span{0, 0});
+    stages.resize(static_cast<size_t>(n));
     int64_t working = 0;
     for (int li = 0; li < n; li++) {
         const LayerGeom &g = tplan.geom(li);
@@ -77,30 +78,100 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
       case LayerKind::Conv: {
         const FilterBank &fb = weights.bank(net.convSlot(g.layerIdx));
         const int oh = oy.width();
-        const ConvBlockKernel bk =
-            resolveConvBlockKernel(fb.kernel(), spec.stride);
-        const PackedWeights &pw = packCache.get(li, fb, spec.groups);
-        const int nb = pw.numBlocks();
         const int64_t plane = static_cast<int64_t>(out.shape().h) *
                               out.shape().w;
+        const int x0 = ox.begin * spec.stride - sx.begin;
+        const Precision mode =
+            precision ? precision->mode() : Precision::Fp32;
         // One (filter-block, row) strip per work item; the blocked
         // kernel keeps each (filter, pixel) accumulator private in
         // convPoint's (bias, n, i, j) order. Op counts are tallied
         // analytically below so the parallel region stays race-free.
-        parallelFor(
-            0, static_cast<int64_t>(nb) * oh,
-            [&](int64_t wlo, int64_t whi) {
-                for (int64_t w = wlo; w < whi; w++) {
-                    const int bi = static_cast<int>(w / oh);
-                    const int gy =
-                        oy.begin + static_cast<int>(w % oh);
-                    convBlockRowTensor(
-                        bk, pw, bi,
-                        &out(pw.block(bi).m0, gy - oy.begin, 0), plane,
-                        ox.width(), src, gy * spec.stride - sy.begin,
-                        ox.begin * spec.stride - sx.begin);
-                }
-            });
+        // Non-fp32 modes stage the source-tile rows this pyramid reads
+        // (serial, elementwise, idempotent) and run the mode's drivers
+        // against the shared staging — same precision state as the
+        // precision reference, so bit-exactness carries over.
+        if (mode != Precision::Fp32) {
+            const int slot = net.convSlot(g.layerIdx);
+            ConvStage &stage = stages[static_cast<size_t>(li)];
+            const Shape &ss = src.shape();
+            stage.configure(mode, ss.c, ss.h, ss.w);
+            const int r0 = oy.begin * spec.stride - sy.begin;
+            const int r1 = std::min(
+                (oy.end - 1) * spec.stride - sy.begin + spec.kernel,
+                ss.h);
+            if (mode == Precision::Int8) {
+                const ActQuant &act = precision->actQuant(slot);
+                stageConvInputI8(stage, src, act, r0, r1);
+                const ConvBlockKernelI8 bk =
+                    resolveConvBlockKernelI8(fb.kernel(), spec.stride);
+                const PackedWeightsI8 &pw = packCache.getI8(
+                    li, fb, spec.groups, precision->weightScales(slot),
+                    precision->scaleId());
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * oh,
+                    [&](int64_t wlo, int64_t whi) {
+                        for (int64_t w = wlo; w < whi; w++) {
+                            const int bi = static_cast<int>(w / oh);
+                            const int gy =
+                                oy.begin + static_cast<int>(w % oh);
+                            int row_idx[kMaxConvKernel];
+                            for (int i = 0; i < bk.k; i++)
+                                row_idx[i] =
+                                    gy * spec.stride - sy.begin + i;
+                            convBlockRowI8(
+                                bk, pw, bi,
+                                &out(pw.block(bi).m0, gy - oy.begin, 0),
+                                plane, ox.width(), stage, row_idx, x0,
+                                act);
+                        }
+                    });
+            } else {
+                stageConvInputF16(stage, src, r0, r1);
+                const ConvBlockKernel bk =
+                    resolveConvBlockKernel(fb.kernel(), spec.stride);
+                const PackedWeightsF16 &pw =
+                    packCache.getF16(li, fb, spec.groups);
+                const int nb = pw.numBlocks();
+                parallelFor(
+                    0, static_cast<int64_t>(nb) * oh,
+                    [&](int64_t wlo, int64_t whi) {
+                        for (int64_t w = wlo; w < whi; w++) {
+                            const int bi = static_cast<int>(w / oh);
+                            const int gy =
+                                oy.begin + static_cast<int>(w % oh);
+                            int row_idx[kMaxConvKernel];
+                            for (int i = 0; i < bk.k; i++)
+                                row_idx[i] =
+                                    gy * spec.stride - sy.begin + i;
+                            convBlockRowF16(
+                                bk, pw, bi,
+                                &out(pw.block(bi).m0, gy - oy.begin, 0),
+                                plane, ox.width(), stage, row_idx, x0);
+                        }
+                    });
+            }
+        } else {
+            const ConvBlockKernel bk =
+                resolveConvBlockKernel(fb.kernel(), spec.stride);
+            const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+            const int nb = pw.numBlocks();
+            parallelFor(
+                0, static_cast<int64_t>(nb) * oh,
+                [&](int64_t wlo, int64_t whi) {
+                    for (int64_t w = wlo; w < whi; w++) {
+                        const int bi = static_cast<int>(w / oh);
+                        const int gy =
+                            oy.begin + static_cast<int>(w % oh);
+                        convBlockRowTensor(
+                            bk, pw, bi,
+                            &out(pw.block(bi).m0, gy - oy.begin, 0),
+                            plane, ox.width(), src,
+                            gy * spec.stride - sy.begin, x0);
+                    }
+                });
+        }
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *
                        spec.kernel * spec.kernel;
         int64_t points =

@@ -15,9 +15,13 @@
 #ifndef FLCNN_FUSION_RECOMPUTE_EXECUTOR_HH
 #define FLCNN_FUSION_RECOMPUTE_EXECUTOR_HH
 
+#include <vector>
+
 #include "common/opcount.hh"
 #include "fusion/plan.hh"
+#include "kernels/conv_layer.hh"
 #include "kernels/weight_pack.hh"
+#include "nn/precision.hh"
 #include "nn/reference.hh"
 #include "nn/weights.hh"
 
@@ -47,6 +51,15 @@ class RecomputeExecutor
 
     const TilePlan &plan() const { return tplan; }
 
+    /**
+     * Run subsequent pyramids under @p prec's precision mode: conv
+     * source tiles are staged into the mode's compute format and the
+     * mode's kernels produce the output tile (kernels/conv_layer.hh).
+     * Results are bit-identical to the precision reference. Pass
+     * nullptr for plain fp32. The state must outlive the executor.
+     */
+    void setPrecision(const NetPrecision *prec) { precision = prec; }
+
     /** Record per-fused-layer breakdowns of subsequent runs into @p m
      *  (same scopes and names as FusedExecutor::setMetrics). Pass
      *  nullptr to detach. */
@@ -64,10 +77,12 @@ class RecomputeExecutor
      *  is the loaded input tile, stored in inTile. */
     std::vector<Tensor> tiles;
     std::vector<Span> tileY, tileX;
+    std::vector<ConvStage> stages;  //!< staged conv inputs (non-fp32)
     Tensor inTile;
     Span inTileY, inTileX;
     RecomputeRunStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
+    const NetPrecision *precision = nullptr;
     MetricsRegistry *metrics = nullptr;
     int64_t lastPackHits = 0;
     int64_t lastPackMisses = 0;

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Explicit AVX2 int8 multi-filter strip kernels (stride 1, table
+ * kernel sizes). Compiled with -mavx2 only when the FLCNN_SIMD CMake
+ * option is ON on an x86-64 target; entry points are reached only
+ * after a runtime avx2Supported() check.
+ *
+ * Pipeline per (channel, kernel-row, 4-tap group): one 16-byte load
+ * covers the 11 input bytes feeding 8 output pixels x 4 consecutive
+ * taps; a byte shuffle expands it to 8 pixels x 4 taps; maddubs
+ * (u8 x s8 -> pairwise i16) and madd-by-ones (i16 pairs -> i32) reduce
+ * each pixel's 4 products into one i32 added to the lane accumulator.
+ * The +/-63 weight clamp (kernels/quant.hh) bounds every pairwise i16
+ * sum by 255 * 63 * 2 = 32130 < 32767, so maddubs' saturating add
+ * never saturates and the result is the exact integer sum — bit-equal
+ * to the portable generic path. Remainders (< 8 pixels) delegate to it
+ * outright.
+ *
+ * Overread: the 16-byte tap load reaches up to column
+ * t0 + (K4 - 4) + 15 of a staged row; ConvStage's rows carry 48 bytes
+ * of zero padding past the image width, which covers it for every K
+ * the repo supports.
+ */
+
+#include "kernels/conv_kernels_simd.hh"
+
+#include <immintrin.h>
+
+#include "kernels/quant.hh"
+
+namespace flcnn {
+namespace simd {
+
+namespace {
+
+/** Shuffle mask turning 16 consecutive input bytes (broadcast to both
+ *  128-bit lanes) into [pixel 0..3 | pixel 4..7] x 4 consecutive taps. */
+inline __m256i
+pixelTapMask()
+{
+    return _mm256_setr_epi8(
+        // lane 0: pixels 0..3 each take 4 consecutive taps
+        0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6,
+        // lane 1: pixels 4..7
+        4, 5, 6, 7, 5, 6, 7, 8, 6, 7, 8, 9, 7, 8, 9, 10);
+}
+
+/** One MR x 8 int8 vector block (stride 1, compile-time K). */
+template <int MR, int K>
+inline void
+blockI8Avx2(int32_t *dst, int64_t dst_stride, const uint8_t *in,
+            int64_t ch_stride, const int64_t *row_off, const int8_t *wp,
+            int n_count)
+{
+    constexpr int JG = (K + 3) / 4;
+    constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
+    const __m256i mask = pixelTapMask();
+    const __m256i ones = _mm256_set1_epi16(1);
+    __m256i acc[MR];
+    for (int f = 0; f < MR; f++)
+        acc[f] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + f * dst_stride));
+    const uint8_t *chan = in;
+    const int8_t *wchan = wp;
+    for (int n = 0; n < n_count;
+         n++, chan += ch_stride, wchan += K * W_ROW) {
+        for (int i = 0; i < K; i++) {
+            const uint8_t *irow = chan + row_off[i];
+            const int8_t *wrow = wchan + i * W_ROW;
+            for (int jg = 0; jg < JG; jg++) {
+                const __m128i raw = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(irow + jg * 4));
+                const __m256i pix = _mm256_shuffle_epi8(
+                    _mm256_broadcastsi128_si256(raw), mask);
+                const int8_t *wtap = wrow + jg * MR * 4;
+                for (int f = 0; f < MR; f++) {
+                    int32_t wbits;
+                    __builtin_memcpy(&wbits, wtap + f * 4, 4);
+                    const __m256i wv = _mm256_set1_epi32(wbits);
+                    const __m256i p16 = _mm256_maddubs_epi16(pix, wv);
+                    acc[f] = _mm256_add_epi32(
+                        acc[f], _mm256_madd_epi16(p16, ones));
+                }
+            }
+        }
+    }
+    for (int f = 0; f < MR; f++)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + f * dst_stride), acc[f]);
+}
+
+/** Strip driver: vector 8-pixel blocks, portable generic remainder. */
+template <int MR, int K>
+void
+convBlockStripI8Avx2(int32_t *dst, int64_t dst_stride, int count,
+                     const uint8_t *in, int64_t ch_stride,
+                     const int64_t *row_off, const int8_t *wp,
+                     int n_count)
+{
+    while (count >= 8) {
+        blockI8Avx2<MR, K>(dst, dst_stride, in, ch_stride, row_off, wp,
+                           n_count);
+        dst += 8;
+        in += 8;  // stride 1
+        count -= 8;
+    }
+    if (count > 0) {
+        ConvBlockKernelI8::convBlockStripI8Generic(
+            MR, dst, dst_stride, count, in, ch_stride, row_off, wp,
+            n_count, K, 1);
+    }
+}
+
+struct I8Entry
+{
+    int mr;
+    int k;
+    ConvBlockStripI8Fn fn;
+};
+
+#define FLCNN_I8_ENTRY(K)                                               \
+    {1, K, &convBlockStripI8Avx2<1, K>},                                \
+    {2, K, &convBlockStripI8Avx2<2, K>},                                \
+    {4, K, &convBlockStripI8Avx2<4, K>}
+
+constexpr I8Entry kI8Table[] = {
+    FLCNN_I8_ENTRY(1), FLCNN_I8_ENTRY(3), FLCNN_I8_ENTRY(5),
+    FLCNN_I8_ENTRY(7), FLCNN_I8_ENTRY(11),
+};
+
+#undef FLCNN_I8_ENTRY
+
+} // namespace
+
+void
+quantizeRowI8(uint8_t *dst, const float *src, int count,
+              float inv_scale, int zp)
+{
+    const __m256 vinv = _mm256_set1_ps(inv_scale);
+    const __m256i vzp = _mm256_set1_epi32(zp);
+    int t = 0;
+    for (; t + 16 <= count; t += 16) {
+        const __m256i a = _mm256_add_epi32(
+            _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + t), vinv)),
+            vzp);
+        const __m256i b = _mm256_add_epi32(
+            _mm256_cvtps_epi32(
+                _mm256_mul_ps(_mm256_loadu_ps(src + t + 8), vinv)),
+            vzp);
+        // packus i32->u16 then i16->u8 saturates exactly like the
+        // scalar clamp(., 0, 255); both packs interleave 128-bit
+        // lanes, so one final dword permute restores element order.
+        const __m256i u16 = _mm256_packus_epi32(a, b);
+        const __m256i u8 =
+            _mm256_packus_epi16(u16, _mm256_setzero_si256());
+        const __m256i ordered = _mm256_permutevar8x32_epi32(
+            u8, _mm256_setr_epi32(0, 4, 1, 5, 0, 0, 0, 0));
+        _mm_storeu_si128(
+            reinterpret_cast<__m128i *>(dst + t),
+            _mm256_castsi256_si128(ordered));
+    }
+    for (; t < count; t++)
+        dst[t] = quantizeAct(src[t], inv_scale, zp);
+}
+
+void
+dequantRowI8(float *dst, const int32_t *acc, int count, float bias,
+             float scale, int32_t zp_term)
+{
+    const __m256i vz = _mm256_set1_epi32(zp_term);
+    const __m256 vs = _mm256_set1_ps(scale);
+    const __m256 vb = _mm256_set1_ps(bias);
+    int t = 0;
+    for (; t + 8 <= count; t += 8) {
+        const __m256 x = _mm256_cvtepi32_ps(_mm256_sub_epi32(
+            _mm256_loadu_si256(
+                reinterpret_cast<const __m256i *>(acc + t)),
+            vz));
+        _mm256_storeu_ps(dst + t,
+                         _mm256_add_ps(vb, _mm256_mul_ps(vs, x)));
+    }
+    for (; t < count; t++)
+        dst[t] = bias + scale * static_cast<float>(acc[t] - zp_term);
+}
+
+ConvBlockStripI8Fn
+blockFnI8(int mr, int kernel, int stride)
+{
+    if (stride != 1)
+        return nullptr;
+    for (const I8Entry &e : kI8Table) {
+        if (e.mr == mr && e.k == kernel)
+            return e.fn;
+    }
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace flcnn

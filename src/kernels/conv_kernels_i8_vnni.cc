@@ -1,0 +1,216 @@
+/**
+ * @file
+ * AVX-VNNI int8 strip kernels (stride 1, table kernel sizes). One
+ * vpdpbusd replaces the maddubs + madd + add triple of the plain AVX2
+ * pipeline: the instruction multiplies 4 adjacent u8 x s8 pairs,
+ * widens the products to i16 (always exact — 255 * 127 fits), sums
+ * the 4 into the i32 accumulator with *no* intermediate saturation
+ * (that is the vpdpbusds variant, which we never use). The result is
+ * therefore the exact integer sum for any weight values, bit-equal to
+ * the portable generic path — the determinism contract holds with no
+ * dependence on the +/-63 weight clamp at all.
+ *
+ * Compiled with -mavx2 -mavxvnni only when the compiler supports the
+ * flag (FLCNN_SIMD_AVXVNNI); entry points are reached only after a
+ * runtime avxVnniSupported() check, so FLCNN_SIMD=ON binaries still
+ * run on pre-VNNI hosts through the maddubs or generic paths.
+ *
+ * Input shuffle and panel layout are identical to the AVX2 TU; see
+ * conv_kernels_i8_avx2.cc for the overread argument (covered by
+ * ConvStage's 48-byte zero apron).
+ */
+
+#include "kernels/conv_kernels_simd.hh"
+
+#include <immintrin.h>
+
+namespace flcnn {
+namespace simd {
+
+namespace {
+
+/** Same 16-byte -> 8 pixels x 4 taps expansion as the AVX2 TU. */
+inline __m256i
+pixelTapMask()
+{
+    return _mm256_setr_epi8(
+        0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6,
+        4, 5, 6, 7, 5, 6, 7, 8, 6, 7, 8, 9, 7, 8, 9, 10);
+}
+
+/** One MR x 8 int8 vector block (stride 1, compile-time K). */
+template <int MR, int K>
+inline void
+blockI8Vnni(int32_t *dst, int64_t dst_stride, const uint8_t *in,
+            int64_t ch_stride, const int64_t *row_off, const int8_t *wp,
+            int n_count)
+{
+    constexpr int JG = (K + 3) / 4;
+    constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
+    const __m256i mask = pixelTapMask();
+    __m256i acc[MR];
+    for (int f = 0; f < MR; f++)
+        acc[f] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + f * dst_stride));
+    const uint8_t *chan = in;
+    const int8_t *wchan = wp;
+    for (int n = 0; n < n_count;
+         n++, chan += ch_stride, wchan += K * W_ROW) {
+        for (int i = 0; i < K; i++) {
+            const uint8_t *irow = chan + row_off[i];
+            const int8_t *wrow = wchan + i * W_ROW;
+            for (int jg = 0; jg < JG; jg++) {
+                const __m128i raw = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(irow + jg * 4));
+                const __m256i pix = _mm256_shuffle_epi8(
+                    _mm256_broadcastsi128_si256(raw), mask);
+                const int8_t *wtap = wrow + jg * MR * 4;
+                for (int f = 0; f < MR; f++) {
+                    int32_t wbits;
+                    __builtin_memcpy(&wbits, wtap + f * 4, 4);
+                    acc[f] = _mm256_dpbusd_avx_epi32(
+                        acc[f], pix, _mm256_set1_epi32(wbits));
+                }
+            }
+        }
+    }
+    for (int f = 0; f < MR; f++)
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + f * dst_stride), acc[f]);
+}
+
+/** One MR x 16 block: two pixel octets share each weight broadcast,
+ *  halving the load traffic that bounds the 8-pixel block (vpdpbusd
+ *  itself dual-issues; the broadcasts do not). */
+template <int MR, int K>
+inline void
+blockI8Vnni16(int32_t *dst, int64_t dst_stride, const uint8_t *in,
+              int64_t ch_stride, const int64_t *row_off,
+              const int8_t *wp, int n_count)
+{
+    constexpr int JG = (K + 3) / 4;
+    constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
+    const __m256i mask = pixelTapMask();
+    __m256i acc0[MR], acc1[MR];
+    for (int f = 0; f < MR; f++) {
+        acc0[f] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + f * dst_stride));
+        acc1[f] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(dst + f * dst_stride +
+                                              8));
+    }
+    const uint8_t *chan = in;
+    const int8_t *wchan = wp;
+    for (int n = 0; n < n_count;
+         n++, chan += ch_stride, wchan += K * W_ROW) {
+        for (int i = 0; i < K; i++) {
+            const uint8_t *irow = chan + row_off[i];
+            const int8_t *wrow = wchan + i * W_ROW;
+            for (int jg = 0; jg < JG; jg++) {
+                const __m128i raw0 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(irow + jg * 4));
+                const __m128i raw1 = _mm_loadu_si128(
+                    reinterpret_cast<const __m128i *>(irow + jg * 4 +
+                                                      8));
+                const __m256i pix0 = _mm256_shuffle_epi8(
+                    _mm256_broadcastsi128_si256(raw0), mask);
+                const __m256i pix1 = _mm256_shuffle_epi8(
+                    _mm256_broadcastsi128_si256(raw1), mask);
+                const int8_t *wtap = wrow + jg * MR * 4;
+                for (int f = 0; f < MR; f++) {
+                    int32_t wbits;
+                    __builtin_memcpy(&wbits, wtap + f * 4, 4);
+                    const __m256i wv = _mm256_set1_epi32(wbits);
+                    acc0[f] =
+                        _mm256_dpbusd_avx_epi32(acc0[f], pix0, wv);
+                    acc1[f] =
+                        _mm256_dpbusd_avx_epi32(acc1[f], pix1, wv);
+                }
+            }
+        }
+    }
+    for (int f = 0; f < MR; f++) {
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + f * dst_stride), acc0[f]);
+        _mm256_storeu_si256(
+            reinterpret_cast<__m256i *>(dst + f * dst_stride + 8),
+            acc1[f]);
+    }
+}
+
+/** Strip driver: 16- then 8-pixel vector blocks, portable generic
+ *  remainder. */
+template <int MR, int K>
+void
+convBlockStripI8Vnni(int32_t *dst, int64_t dst_stride, int count,
+                     const uint8_t *in, int64_t ch_stride,
+                     const int64_t *row_off, const int8_t *wp,
+                     int n_count)
+{
+    while (count >= 16) {
+        blockI8Vnni16<MR, K>(dst, dst_stride, in, ch_stride, row_off,
+                             wp, n_count);
+        dst += 16;
+        in += 16;  // stride 1
+        count -= 16;
+    }
+    while (count >= 8) {
+        blockI8Vnni<MR, K>(dst, dst_stride, in, ch_stride, row_off, wp,
+                           n_count);
+        dst += 8;
+        in += 8;
+        count -= 8;
+    }
+    if (count > 0) {
+        ConvBlockKernelI8::convBlockStripI8Generic(
+            MR, dst, dst_stride, count, in, ch_stride, row_off, wp,
+            n_count, K, 1);
+    }
+}
+
+struct VnniEntry
+{
+    int mr;
+    int k;
+    ConvBlockStripI8Fn fn;
+};
+
+#define FLCNN_VNNI_ENTRY(K)                                             \
+    {1, K, &convBlockStripI8Vnni<1, K>},                                \
+    {2, K, &convBlockStripI8Vnni<2, K>},                                \
+    {4, K, &convBlockStripI8Vnni<4, K>}
+
+constexpr VnniEntry kVnniTable[] = {
+    FLCNN_VNNI_ENTRY(1), FLCNN_VNNI_ENTRY(3), FLCNN_VNNI_ENTRY(5),
+    FLCNN_VNNI_ENTRY(7), FLCNN_VNNI_ENTRY(11),
+};
+
+#undef FLCNN_VNNI_ENTRY
+
+} // namespace
+
+bool
+avxVnniSupported()
+{
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+    return __builtin_cpu_supports("avx2") &&
+           __builtin_cpu_supports("avxvnni");
+#else
+    return false;
+#endif
+}
+
+ConvBlockStripI8Fn
+blockFnI8Vnni(int mr, int kernel, int stride)
+{
+    if (stride != 1)
+        return nullptr;
+    for (const VnniEntry &e : kVnniTable) {
+        if (e.mr == mr && e.k == kernel)
+            return e.fn;
+    }
+    return nullptr;
+}
+
+} // namespace simd
+} // namespace flcnn

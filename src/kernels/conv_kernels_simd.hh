@@ -13,6 +13,7 @@
 #define FLCNN_KERNELS_CONV_KERNELS_SIMD_HH
 
 #include "kernels/conv_kernels.hh"
+#include "kernels/conv_kernels_i8.hh"
 
 namespace flcnn {
 namespace simd {
@@ -31,6 +32,49 @@ bool avx2Supported();
  * generic path.
  */
 ConvBlockStripFn blockFn(int mr, int kernel, int stride);
+
+/**
+ * The AVX2 int8 multi-filter strip variant (maddubs u8 x s8 pipeline)
+ * for @p mr lanes and a (kernel, stride) pair, or nullptr when no
+ * vector variant exists (strides other than 1). Integer accumulation
+ * is exact and the +/-63 weight clamp rules out i16 saturation, so the
+ * returned function computes bit-identical accumulators to the
+ * portable generic; sub-8-pixel remainders delegate to it outright.
+ */
+ConvBlockStripI8Fn blockFnI8(int mr, int kernel, int stride);
+
+/** True when the running CPU supports the AVX-VNNI int8 kernels. */
+bool avxVnniSupported();
+
+/**
+ * The AVX-VNNI int8 strip variant (one vpdpbusd per 8 pixels x 4 taps
+ * x filter), or nullptr when none exists. vpdpbusd accumulates the
+ * exact 4-product integer sum with no intermediate saturation, so the
+ * returned function is bit-equal to the generic and maddubs paths.
+ * Only compiled when the toolchain has -mavxvnni (FLCNN_SIMD_AVXVNNI).
+ */
+ConvBlockStripI8Fn blockFnI8Vnni(int mr, int kernel, int stride);
+
+/**
+ * Vectorized activation quantization: dst[t] = clamp(rne(src[t] *
+ * inv_scale) + zp, 0, 255). Bit-equal to quantizeAct() per element —
+ * cvtps rounds to nearest-even exactly like lrintf under the default
+ * rounding mode, and the packus saturation chain implements the
+ * [0, 255] clamp. AVX2 TU; call only after avx2Supported().
+ */
+void quantizeRowI8(uint8_t *dst, const float *src, int count,
+                   float inv_scale, int zp);
+
+/**
+ * Vectorized int8 dequant epilogue: dst[t] = bias + scale *
+ * float(acc[t] - zp_term), with the subtraction in i32. Bit-equal to
+ * the scalar epilogue whenever the caller guarantees the difference
+ * fits i32 (see convBlockRowI8's tap-count gate). The multiply and
+ * add are separate instructions (the TU never enables FMA), so no
+ * contraction can split the result from the scalar path.
+ */
+void dequantRowI8(float *dst, const int32_t *acc, int count, float bias,
+                  float scale, int32_t zp_term);
 
 } // namespace simd
 } // namespace flcnn

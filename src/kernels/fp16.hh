@@ -1,0 +1,106 @@
+/**
+ * @file
+ * IEEE binary16 (half precision) conversion helpers.
+ *
+ * The fp16 precision mode stores conv weights as u16 half bits and
+ * rounds conv-input activations through half at the staging boundary;
+ * all arithmetic then happens in fp32 (half -> float conversion is
+ * exact). The converters here are pure integer bit manipulation with
+ * round-to-nearest-even, so they produce identical bits on every
+ * host, with or without hardware F16C support — which is what lets
+ * the fp16 mode inherit the fp32 kernels' bit-exactness contract
+ * across executors, thread counts, and SIMD configurations.
+ */
+
+#ifndef FLCNN_KERNELS_FP16_HH
+#define FLCNN_KERNELS_FP16_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace flcnn {
+
+/** Convert one float to half bits, round-to-nearest-even. Values
+ *  beyond the half range become +/-inf; NaN payload top bits are
+ *  preserved. */
+inline uint16_t
+floatToHalf(float f)
+{
+    const uint32_t x = std::bit_cast<uint32_t>(f);
+    const uint16_t sign = static_cast<uint16_t>((x >> 16) & 0x8000u);
+    const uint32_t exp32 = (x >> 23) & 0xffu;
+    uint32_t man = x & 0x7fffffu;
+
+    if (exp32 == 0xffu) {
+        // Inf / NaN: keep NaN-ness (force a nonzero mantissa).
+        uint16_t m = static_cast<uint16_t>(man >> 13);
+        if (man != 0 && m == 0)
+            m = 1;
+        return static_cast<uint16_t>(sign | 0x7c00u | m);
+    }
+
+    const int e = static_cast<int>(exp32) - 127 + 15;
+    if (e >= 31)
+        return static_cast<uint16_t>(sign | 0x7c00u);  // overflow -> inf
+    if (e <= 0) {
+        // Subnormal half (or underflow to zero).
+        if (e < -10)
+            return sign;
+        man |= 0x800000u;
+        const int shift = 14 - e;  // in [14, 24]
+        uint32_t half = man >> shift;
+        const uint32_t rem = man & ((1u << shift) - 1);
+        const uint32_t halfway = 1u << (shift - 1);
+        if (rem > halfway || (rem == halfway && (half & 1)))
+            half++;  // carry may promote to the smallest normal: correct
+        return static_cast<uint16_t>(sign | half);
+    }
+
+    uint32_t half = (static_cast<uint32_t>(e) << 10) | (man >> 13);
+    const uint32_t rem = man & 0x1fffu;
+    if (rem > 0x1000u || (rem == 0x1000u && (half & 1)))
+        half++;  // mantissa carry rolls into the exponent correctly;
+                 // e == 30 rounding up yields 0x7c00 == inf, as IEEE wants
+    return static_cast<uint16_t>(sign | half);
+}
+
+/** Convert half bits to float (exact). */
+inline float
+halfToFloat(uint16_t h)
+{
+    const uint32_t sign = static_cast<uint32_t>(h & 0x8000u) << 16;
+    uint32_t e = (h >> 10) & 0x1fu;
+    uint32_t m = h & 0x3ffu;
+    uint32_t x;
+    if (e == 0) {
+        if (m == 0) {
+            x = sign;  // signed zero
+        } else {
+            // Subnormal: renormalize into the float format.
+            e = 1;
+            while (!(m & 0x400u)) {
+                m <<= 1;
+                e--;
+            }
+            m &= 0x3ffu;
+            x = sign | ((e + 112u) << 23) | (m << 13);
+        }
+    } else if (e == 31) {
+        x = sign | 0x7f800000u | (m << 13);
+    } else {
+        x = sign | ((e + 112u) << 23) | (m << 13);
+    }
+    return std::bit_cast<float>(x);
+}
+
+/** Round a float through half and back: the value the fp16 compute
+ *  path actually consumes. */
+inline float
+roundToHalf(float f)
+{
+    return halfToFloat(floatToHalf(f));
+}
+
+} // namespace flcnn
+
+#endif // FLCNN_KERNELS_FP16_HH

@@ -25,10 +25,12 @@
 #define FLCNN_KERNELS_WEIGHT_PACK_HH
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "kernels/conv_kernels.hh"
+#include "tensor/precision.hh"
 #include "tensor/tensor.hh"
 
 namespace flcnn {
@@ -109,28 +111,233 @@ class PackedWeights
 };
 
 /**
+ * A FilterBank quantized to s8 and repacked for the int8 strip
+ * kernels (kernels/conv_kernels_i8.hh). Panels interleave filters like
+ * PackedWeights but group kernel columns in fours —
+ * ((n*K + i)*(K4/4) + jg) * (lanes*4) + f*4 + u, K4 = K rounded up to
+ * a multiple of 4, padded taps zero — matching the maddubs pipeline's
+ * 4-tap granularity. Per filter the pack records the symmetric weight
+ * scale it quantized with, the sum of the quantized weights (the
+ * activation zero-point correction term), and the original fp32 bias;
+ * the dequant epilogue in kernels/conv_layer.hh consumes all three.
+ */
+class PackedWeightsI8
+{
+  public:
+    PackedWeightsI8() = default;
+
+    /** Quantize and pack @p fb with per-filter scales @p w_scales
+     *  (size fb.numFilters(); see chooseWeightScale()). */
+    PackedWeightsI8(const FilterBank &fb, int groups,
+                    const std::vector<float> &w_scales);
+
+    int numBlocks() const { return static_cast<int>(blks.size()); }
+    const PackedBlock &
+    block(int bi) const
+    {
+        return blks[static_cast<size_t>(bi)];
+    }
+
+    /** Panel base pointer of block @p bi (j-group-of-4 layout). */
+    const int8_t *
+    panel(int bi) const
+    {
+        return data.data() + block(bi).offset;
+    }
+
+    int
+    blockOf(int m) const
+    {
+        return blockOfM[static_cast<size_t>(m)];
+    }
+
+    int
+    nBase(int bi) const
+    {
+        return (block(bi).m0 / mPerGroup) * n_;
+    }
+
+    float bias(int m) const { return biases[static_cast<size_t>(m)]; }
+
+    /** Symmetric weight scale filter @p m was quantized with. */
+    float scale(int m) const { return scales[static_cast<size_t>(m)]; }
+
+    /** Sum of filter @p m's quantized weights (zero-point term). */
+    int32_t wsum(int m) const { return wsums[static_cast<size_t>(m)]; }
+
+    int kernel() const { return k_; }
+    int kernel4() const { return k4_; }
+    int numChannels() const { return n_; }
+    int numFilters() const { return m_; }
+
+    /** Packed buffer size in bytes (weights only, 1 byte/element). */
+    int64_t
+    bytes() const
+    {
+        return static_cast<int64_t>(data.size());
+    }
+
+  private:
+    std::vector<PackedBlock> blks;
+    std::vector<int> blockOfM;
+    std::vector<int8_t> data;
+    std::vector<float> biases;
+    std::vector<float> scales;
+    std::vector<int32_t> wsums;
+    int m_ = 0, n_ = 0, k_ = 0, k4_ = 0;
+    int mPerGroup = 0;
+};
+
+/**
+ * A FilterBank rounded to IEEE binary16 and repacked for the fp16
+ * mode. Canonical storage is the u16 half bits (what bytes() reports
+ * and what a hardware implementation would keep); compute runs the
+ * ordinary fp32 strip kernels over a decoded fp32 shadow panel in the
+ * exact PackedWeights layout, which is lossless because half -> float
+ * conversion is exact. Biases are likewise rounded through half.
+ */
+class PackedWeightsF16
+{
+  public:
+    PackedWeightsF16() = default;
+
+    PackedWeightsF16(const FilterBank &fb, int groups);
+
+    int numBlocks() const { return static_cast<int>(blks.size()); }
+    const PackedBlock &
+    block(int bi) const
+    {
+        return blks[static_cast<size_t>(bi)];
+    }
+
+    /** Decoded fp32 panel of block @p bi ((n, i, j, lane) layout). */
+    const float *
+    panel(int bi) const
+    {
+        return decoded.data() + block(bi).offset;
+    }
+
+    /** Half-bit panel of block @p bi (same layout; storage form). */
+    const uint16_t *
+    panelBits(int bi) const
+    {
+        return bits.data() + block(bi).offset;
+    }
+
+    int
+    blockOf(int m) const
+    {
+        return blockOfM[static_cast<size_t>(m)];
+    }
+
+    int
+    nBase(int bi) const
+    {
+        return (block(bi).m0 / mPerGroup) * n_;
+    }
+
+    /** Bias of filter @p m, rounded through binary16. */
+    float bias(int m) const { return biases[static_cast<size_t>(m)]; }
+
+    int kernel() const { return k_; }
+    int numChannels() const { return n_; }
+    int numFilters() const { return m_; }
+
+    /** Packed storage size in bytes (2 bytes/element — the half bits;
+     *  the fp32 shadow is a software decode cache, not storage). */
+    int64_t
+    bytes() const
+    {
+        return static_cast<int64_t>(bits.size()) * 2;
+    }
+
+  private:
+    std::vector<PackedBlock> blks;
+    std::vector<int> blockOfM;
+    std::vector<uint16_t> bits;
+    std::vector<float> decoded;
+    std::vector<float> biases;
+    int m_ = 0, n_ = 0, k_ = 0;
+    int mPerGroup = 0;
+};
+
+/**
+ * Cache key: the caller's layer key plus the pack's dtype and — for
+ * int8 — the identity of the scale set it was quantized with. A server
+ * hosting the same model at two precisions (or two int8 calibrations)
+ * must never serve a pack built for one to a request for the other;
+ * folding dtype and scale-set identity into the key makes the
+ * collision impossible by construction.
+ */
+struct PackKey
+{
+    int layer = 0;
+    Precision dtype = Precision::Fp32;
+    uint64_t scaleId = 0;  //!< int8 scale-set identity; 0 otherwise
+
+    bool
+    operator==(const PackKey &o) const
+    {
+        return layer == o.layer && dtype == o.dtype &&
+               scaleId == o.scaleId;
+    }
+};
+
+struct PackKeyHash
+{
+    size_t
+    operator()(const PackKey &k) const
+    {
+        uint64_t h = static_cast<uint64_t>(k.layer) * 0x9e3779b97f4a7c15ull;
+        h ^= (static_cast<uint64_t>(k.dtype) + 1) * 0xff51afd7ed558ccdull;
+        h ^= k.scaleId * 0xc4ceb9fe1a85ec53ull;
+        return static_cast<size_t>(h ^ (h >> 32));
+    }
+};
+
+/**
  * Lazy per-layer cache of packed banks, hung off each executor: the
- * first run packs, later runs reuse. Keys are caller-chosen (fused
- * layer index, network layer index, ...). Not thread-safe — executors
- * populate it from the serial portion of their run, outside any
- * parallelFor region.
+ * first run packs, later runs reuse. Layer keys are caller-chosen
+ * (fused layer index, network layer index, ...) and are extended
+ * internally with the pack dtype and int8 scale-set identity — see
+ * PackKey. Not thread-safe — executors populate it from the serial
+ * portion of their run, outside any parallelFor region.
  */
 class WeightPackCache
 {
   public:
-    /** The packed form of @p fb under @p key, packing on first use. */
+    /** The fp32 packed form of @p fb under @p key, packing on first
+     *  use. */
     const PackedWeights &
     get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0)
     {
-        auto it = map.find(key);
-        if (it == map.end()) {
-            misses_++;
-            it = map.emplace(key, PackedWeights(fb, groups, m_tile))
-                     .first;
-        } else {
-            hits_++;
-        }
-        return it->second;
+        Entry &e = lookup(PackKey{key, Precision::Fp32, 0});
+        if (!e.fp32)
+            e.fp32 = std::make_unique<PackedWeights>(fb, groups, m_tile);
+        return *e.fp32;
+    }
+
+    /** The int8 packed form of @p fb quantized with @p w_scales, whose
+     *  identity is @p scale_id (see nn::NetPrecision::scaleId()). */
+    const PackedWeightsI8 &
+    getI8(int key, const FilterBank &fb, int groups,
+          const std::vector<float> &w_scales, uint64_t scale_id)
+    {
+        Entry &e = lookup(PackKey{key, Precision::Int8, scale_id});
+        if (!e.i8)
+            e.i8 = std::make_unique<PackedWeightsI8>(fb, groups,
+                                                     w_scales);
+        return *e.i8;
+    }
+
+    /** The fp16 packed form of @p fb under @p key. */
+    const PackedWeightsF16 &
+    getF16(int key, const FilterBank &fb, int groups)
+    {
+        Entry &e = lookup(PackKey{key, Precision::Fp16, 0});
+        if (!e.f16)
+            e.f16 = std::make_unique<PackedWeightsF16>(fb, groups);
+        return *e.f16;
     }
 
     /** Lookups served from the cache / lookups that packed. */
@@ -138,7 +345,27 @@ class WeightPackCache
     int64_t misses() const { return misses_; }
 
   private:
-    std::unordered_map<int, PackedWeights> map;
+    struct Entry
+    {
+        std::unique_ptr<PackedWeights> fp32;
+        std::unique_ptr<PackedWeightsI8> i8;
+        std::unique_ptr<PackedWeightsF16> f16;
+    };
+
+    Entry &
+    lookup(const PackKey &key)
+    {
+        auto it = map.find(key);
+        if (it == map.end()) {
+            misses_++;
+            it = map.emplace(key, Entry{}).first;
+        } else {
+            hits_++;
+        }
+        return it->second;
+    }
+
+    std::unordered_map<PackKey, Entry, PackKeyHash> map;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
 };

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Quantized / reduced-precision packed weight banks (declared in
+ * kernels/weight_pack.hh): int8 panels for the maddubs strip kernels
+ * and binary16 banks decoded to an fp32 shadow for the fp16 mode.
+ */
+
+#include "kernels/weight_pack.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "kernels/fp16.hh"
+#include "kernels/quant.hh"
+
+namespace flcnn {
+
+namespace {
+
+/**
+ * Enumerate the 4/2/1 lane ladder over @p m filters in @p groups
+ * groups (PackedWeights' ladder without the accelerator m-tile), with
+ * @p taps_per_lane panel elements per lane. Fills @p blks and
+ * @p block_of_m, returns total panel elements.
+ */
+int64_t
+ladderBlocks(int m, int groups, int64_t taps_per_lane,
+             std::vector<PackedBlock> &blks, std::vector<int> &block_of_m)
+{
+    const int m_per_group = m / groups;
+    block_of_m.resize(static_cast<size_t>(m));
+    int64_t offset = 0;
+    for (int g = 0; g < groups; g++) {
+        int mi = g * m_per_group;
+        int rem = m_per_group;
+        while (rem > 0) {
+            int lanes = rem >= kConvBlockLanes ? kConvBlockLanes
+                        : rem >= 2             ? 2
+                                               : 1;
+            const int bi = static_cast<int>(blks.size());
+            blks.push_back(PackedBlock{mi, lanes, offset});
+            for (int f = 0; f < lanes; f++)
+                block_of_m[static_cast<size_t>(mi + f)] = bi;
+            offset += taps_per_lane * lanes;
+            mi += lanes;
+            rem -= lanes;
+        }
+    }
+    return offset;
+}
+
+} // namespace
+
+PackedWeightsI8::PackedWeightsI8(const FilterBank &fb, int groups,
+                                 const std::vector<float> &w_scales)
+    : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel()),
+      k4_((fb.kernel() + 3) & ~3)
+{
+    FLCNN_ASSERT(groups >= 1 && m_ % groups == 0,
+                 "filters must divide evenly into groups");
+    FLCNN_ASSERT(static_cast<int>(w_scales.size()) == m_,
+                 "need one weight scale per filter");
+    mPerGroup = m_ / groups;
+
+    biases.resize(static_cast<size_t>(m_));
+    scales = w_scales;
+    wsums.assign(static_cast<size_t>(m_), 0);
+    for (int m = 0; m < m_; m++)
+        biases[static_cast<size_t>(m)] = fb.bias(m);
+
+    const int64_t taps_per_lane =
+        static_cast<int64_t>(n_) * k_ * k4_;
+    const int64_t total = ladderBlocks(m_, groups, taps_per_lane, blks,
+                                       blockOfM);
+    data.assign(static_cast<size_t>(total), 0);
+
+    // Fill the panels: ((n*K + i)*(K4/4) + jg) * (lanes*4) + f*4 + u,
+    // quantizing each tap with its filter's scale. Padded taps
+    // (jg*4 + u >= K) stay zero so the kernels can walk full 4-groups
+    // without edge tests.
+    const int jg_count = k4_ / 4;
+    for (const PackedBlock &b : blks) {
+        int8_t *p = data.data() + b.offset;
+        for (int n = 0; n < n_; n++) {
+            for (int i = 0; i < k_; i++) {
+                for (int jg = 0; jg < jg_count; jg++) {
+                    for (int f = 0; f < b.lanes; f++) {
+                        const int m = b.m0 + f;
+                        const float ws = scales[static_cast<size_t>(m)];
+                        for (int u = 0; u < 4; u++) {
+                            const int j = jg * 4 + u;
+                            int8_t q = 0;
+                            if (j < k_) {
+                                q = quantizeWeight(fb.w(m, n, i, j), ws);
+                                wsums[static_cast<size_t>(m)] += q;
+                            }
+                            *p++ = q;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+PackedWeightsF16::PackedWeightsF16(const FilterBank &fb, int groups)
+    : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel())
+{
+    FLCNN_ASSERT(groups >= 1 && m_ % groups == 0,
+                 "filters must divide evenly into groups");
+    mPerGroup = m_ / groups;
+
+    biases.resize(static_cast<size_t>(m_));
+    for (int m = 0; m < m_; m++)
+        biases[static_cast<size_t>(m)] =
+            roundToHalf(fb.bias(m));
+
+    const int64_t taps_per_lane =
+        static_cast<int64_t>(n_) * k_ * k_;
+    const int64_t total = ladderBlocks(m_, groups, taps_per_lane, blks,
+                                       blockOfM);
+    bits.resize(static_cast<size_t>(total));
+    decoded.resize(static_cast<size_t>(total));
+
+    // Fill the panels in the fp32 (n, i, j, lane) layout: the half
+    // bits are the storage form, the exact fp32 decode feeds the
+    // ordinary strip kernels.
+    for (const PackedBlock &b : blks) {
+        uint16_t *ph = bits.data() + b.offset;
+        float *pd = decoded.data() + b.offset;
+        for (int n = 0; n < n_; n++) {
+            for (int i = 0; i < k_; i++) {
+                for (int j = 0; j < k_; j++) {
+                    for (int f = 0; f < b.lanes; f++) {
+                        const uint16_t h =
+                            floatToHalf(fb.w(b.m0 + f, n, i, j));
+                        *ph++ = h;
+                        *pd++ = halfToFloat(h);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace flcnn

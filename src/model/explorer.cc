@@ -111,7 +111,7 @@ exploreFusionSpace(const Network &net, const ExploreOptions &opt)
     // any thread count.
     const GroupCostCache cache(
         net, GroupCostOptions{opt.exactStorage, opt.includeWeightStorage,
-                              opt.withRecompute});
+                              opt.withRecompute, opt.dtype});
     const int64_t count = countPartitions(stages);
     res.points.resize(static_cast<size_t>(count));
     parallelFor(

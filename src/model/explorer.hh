@@ -12,6 +12,7 @@
 
 #include "model/pareto.hh"
 #include "nn/network.hh"
+#include "tensor/precision.hh"
 
 namespace flcnn {
 
@@ -33,6 +34,12 @@ struct ExploreOptions
      * paying (the paper's motivation for targeting early layers).
      */
     bool includeWeightStorage = false;
+
+    /** Element type priced by the sweep (see GroupCostOptions::dtype):
+     *  storage and transfer scale to this dtype's element size, so the
+     *  Pareto front — and the best partition under a fixed on-chip
+     *  budget — is re-derived per precision. */
+    Precision dtype = Precision::Fp32;
 };
 
 /** A full exploration of one network. */

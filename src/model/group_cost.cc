@@ -44,6 +44,14 @@ GroupCostCache::GroupCostCache(const Network &net,
                         }
                     }
                     c.transfer = groupTransferBytes(net, g);
+                    // The storage/transfer models count fp32 bytes
+                    // (elements x 4, exactly); rescale to the priced
+                    // dtype. extra is mult-adds, not bytes.
+                    const int64_t eb = precisionElemBytes(opt_.dtype);
+                    if (eb != 4) {
+                        c.storage = c.storage / 4 * eb;
+                        c.transfer = c.transfer / 4 * eb;
+                    }
                 }
             }
         });

@@ -22,6 +22,7 @@
 #include "model/pareto.hh"
 #include "model/partition.hh"
 #include "nn/network.hh"
+#include "tensor/precision.hh"
 
 namespace flcnn {
 
@@ -36,6 +37,17 @@ struct GroupCostOptions
 
     /** Also tabulate the pairwise recompute-model extra mult-adds. */
     bool withRecompute = false;
+
+    /**
+     * Element type the accelerator stores and moves. Every storage and
+     * transfer byte count in the underlying models is elements x 4
+     * (fp32); the cache rescales both to this dtype's element size, so
+     * fusion partitions re-rank per precision (int8 quarters every
+     * byte cost while extraOps — arithmetic — is unchanged, shifting
+     * the storage/transfer Pareto front). Fp32 is byte-identical to
+     * the historical table.
+     */
+    Precision dtype = Precision::Fp32;
 };
 
 /**

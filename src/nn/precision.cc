@@ -1,0 +1,96 @@
+#include "nn/precision.hh"
+
+#include <atomic>
+#include <limits>
+
+#include "common/logging.hh"
+#include "common/rng.hh"
+#include "nn/reference.hh"
+
+namespace flcnn {
+
+namespace {
+
+std::atomic<uint64_t> nextScaleId{1};
+
+} // namespace
+
+NetPrecision
+NetPrecision::calibrate(const Network &net, const NetworkWeights &weights,
+                        Precision mode, int images, uint64_t seed)
+{
+    NetPrecision p;
+    p.mode_ = mode;
+    if (mode != Precision::Int8)
+        return p;
+
+    FLCNN_ASSERT(images >= 1, "calibration needs at least one image");
+    const int slots = static_cast<int>(net.convLayers().size());
+    std::vector<float> mn(static_cast<size_t>(slots),
+                          std::numeric_limits<float>::max());
+    std::vector<float> mx(static_cast<size_t>(slots),
+                          std::numeric_limits<float>::lowest());
+
+    // Observe each conv layer's fp32 input range over a few seeded
+    // synthetic images (a fork of the seed per image, matching the
+    // repo's deterministic-streams convention).
+    Rng rng(seed);
+    for (int img = 0; img < images; img++) {
+        Rng stream = rng.fork();
+        Tensor cur(net.inputShape());
+        cur.fillRandom(stream, -1.0f, 1.0f);
+        int fc_slot = 0;
+        for (int i = 0; i < net.numLayers(); i++) {
+            const LayerSpec &spec = net.layer(i);
+            const FilterBank *bank = nullptr;
+            const DenseWeights *dw = nullptr;
+            if (spec.kind == LayerKind::Conv) {
+                const int slot = net.convSlot(i);
+                const float *d = cur.data();
+                const int64_t elems = cur.elems();
+                float lo = mn[static_cast<size_t>(slot)];
+                float hi = mx[static_cast<size_t>(slot)];
+                for (int64_t e = 0; e < elems; e++) {
+                    const float v = d[e];
+                    lo = v < lo ? v : lo;
+                    hi = v > hi ? v : hi;
+                }
+                mn[static_cast<size_t>(slot)] = lo;
+                mx[static_cast<size_t>(slot)] = hi;
+                bank = &weights.bank(slot);
+            }
+            if (spec.kind == LayerKind::FullyConnected)
+                dw = &weights.dense(fc_slot++);
+            cur = runLayer(spec, cur, bank, dw, nullptr);
+        }
+    }
+
+    p.act_.resize(static_cast<size_t>(slots));
+    p.wScales_.resize(static_cast<size_t>(slots));
+    for (int s = 0; s < slots; s++) {
+        p.act_[static_cast<size_t>(s)] =
+            chooseActQuant(mn[static_cast<size_t>(s)],
+                           mx[static_cast<size_t>(s)]);
+        const FilterBank &fb = weights.bank(s);
+        std::vector<float> &ws = p.wScales_[static_cast<size_t>(s)];
+        ws.resize(static_cast<size_t>(fb.numFilters()));
+        for (int m = 0; m < fb.numFilters(); m++) {
+            float max_abs = 0.0f;
+            for (int n = 0; n < fb.numChannels(); n++) {
+                for (int i = 0; i < fb.kernel(); i++) {
+                    const float *row = fb.wRow(m, n, i);
+                    for (int j = 0; j < fb.kernel(); j++) {
+                        const float a =
+                            row[j] < 0 ? -row[j] : row[j];
+                        max_abs = a > max_abs ? a : max_abs;
+                    }
+                }
+            }
+            ws[static_cast<size_t>(m)] = chooseWeightScale(max_abs);
+        }
+    }
+    p.scaleId_ = nextScaleId.fetch_add(1, std::memory_order_relaxed);
+    return p;
+}
+
+} // namespace flcnn

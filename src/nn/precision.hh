@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Network-level precision state: the mode plus everything the conv
+ * layers need to run in it.
+ *
+ * For fp32 and fp16 that is just the mode — fp16 weight rounding
+ * happens at pack time and activation rounding at stage time, neither
+ * needs per-layer parameters. For int8 it also carries the calibrated
+ * per-conv-layer activation quantization (scale + zero point of the
+ * layer's *input*) and the per-filter symmetric weight scales, plus a
+ * process-unique scale-set identity that WeightPackCache folds into
+ * its keys so two calibrations of the same model can never share a
+ * pack.
+ *
+ * Calibration runs the fp32 reference over a few seeded synthetic
+ * images and records each conv layer's observed input range — the
+ * classic post-training min/max scheme. It is deterministic: the same
+ * network, weights, seed, and image count always produce the same
+ * scales on every platform.
+ */
+
+#ifndef FLCNN_NN_PRECISION_HH
+#define FLCNN_NN_PRECISION_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "kernels/quant.hh"
+#include "nn/network.hh"
+#include "nn/weights.hh"
+#include "tensor/precision.hh"
+
+namespace flcnn {
+
+/** Precision mode plus calibrated quantization state for one network
+ *  (weights pairing). Value type; share by const pointer. */
+class NetPrecision
+{
+  public:
+    /** Default: plain fp32 (no calibration state). */
+    NetPrecision() = default;
+
+    /**
+     * Build the precision state for @p mode. Fp32 and Fp16 need no
+     * calibration; Int8 runs @p images seeded synthetic images
+     * (inputs uniform in [-1, 1), seed @p seed) through the fp32
+     * reference and derives activation scales from the observed
+     * conv-input ranges and weight scales from the banks.
+     */
+    static NetPrecision calibrate(const Network &net,
+                                  const NetworkWeights &weights,
+                                  Precision mode, int images = 2,
+                                  uint64_t seed = 0x5eed);
+
+    Precision mode() const { return mode_; }
+
+    /** Activation quantization of conv slot @p slot's input (Int8). */
+    const ActQuant &
+    actQuant(int slot) const
+    {
+        return act_[static_cast<size_t>(slot)];
+    }
+
+    /** Per-filter weight scales of conv slot @p slot (Int8). */
+    const std::vector<float> &
+    weightScales(int slot) const
+    {
+        return wScales_[static_cast<size_t>(slot)];
+    }
+
+    /** Identity of this scale set (0 for fp32/fp16; process-unique
+     *  otherwise) — part of the weight-pack cache key. */
+    uint64_t scaleId() const { return scaleId_; }
+
+  private:
+    Precision mode_ = Precision::Fp32;
+    std::vector<ActQuant> act_;               //!< per conv slot
+    std::vector<std::vector<float>> wScales_; //!< per conv slot
+    uint64_t scaleId_ = 0;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_PRECISION_HH

@@ -7,6 +7,7 @@
 #include "common/mathutil.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "kernels/conv_layer.hh"
 #include "kernels/weight_pack.hh"
 
 namespace flcnn {
@@ -101,6 +102,77 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
                                    out_shape.w, in, y * spec.stride, 0);
             }
         });
+    if (ops) {
+        int64_t taps = static_cast<int64_t>(fb.numChannels()) *
+                       fb.kernel() * fb.kernel();
+        ops->mults += taps * out_shape.elems();
+        ops->adds += taps * out_shape.elems();
+    }
+    return out;
+}
+
+/**
+ * runConv() under a non-fp32 precision mode: stage the whole input
+ * once (scalar, O(elems) — negligible next to the O(elems * K^2 * M)
+ * kernel work), then run the mode's (filter-block, row) drivers with
+ * the same parallel shape as the fp32 path. Packing per call mirrors
+ * runConv(); long-lived executors cache through WeightPackCache.
+ */
+Tensor
+runConvPrec(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
+            const NetPrecision &prec, int slot, OpCount *ops)
+{
+    Shape out_shape = spec.outShape(in.shape());
+    Tensor out(out_shape);
+    const Shape &s = in.shape();
+    const int64_t plane = static_cast<int64_t>(out_shape.h) * out_shape.w;
+
+    ConvStage st;
+    st.configure(prec.mode(), s.c, s.h, s.w);
+
+    if (prec.mode() == Precision::Int8) {
+        const ActQuant &act = prec.actQuant(slot);
+        stageConvInputI8(st, in, act, 0, s.h);
+        const ConvBlockKernelI8 bk =
+            resolveConvBlockKernelI8(fb.kernel(), spec.stride);
+        const PackedWeightsI8 pw(fb, spec.groups,
+                                 prec.weightScales(slot));
+        const int nb = pw.numBlocks();
+        parallelFor(
+            0, static_cast<int64_t>(nb) * out_shape.h,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t w = lo; w < hi; w++) {
+                    const int bi = static_cast<int>(w / out_shape.h);
+                    const int y = static_cast<int>(w % out_shape.h);
+                    int row_idx[kMaxConvKernel];
+                    for (int i = 0; i < bk.k; i++)
+                        row_idx[i] = y * spec.stride + i;
+                    convBlockRowI8(bk, pw, bi,
+                                   &out(pw.block(bi).m0, y, 0), plane,
+                                   out_shape.w, st, row_idx, 0, act);
+                }
+            });
+    } else {
+        stageConvInputF16(st, in, 0, s.h);
+        const ConvBlockKernel bk =
+            resolveConvBlockKernel(fb.kernel(), spec.stride);
+        const PackedWeightsF16 pw(fb, spec.groups);
+        const int nb = pw.numBlocks();
+        parallelFor(
+            0, static_cast<int64_t>(nb) * out_shape.h,
+            [&](int64_t lo, int64_t hi) {
+                for (int64_t w = lo; w < hi; w++) {
+                    const int bi = static_cast<int>(w / out_shape.h);
+                    const int y = static_cast<int>(w % out_shape.h);
+                    int row_idx[kMaxConvKernel];
+                    for (int i = 0; i < bk.k; i++)
+                        row_idx[i] = y * spec.stride + i;
+                    convBlockRowF16(bk, pw, bi,
+                                    &out(pw.block(bi).m0, y, 0), plane,
+                                    out_shape.w, st, row_idx, 0);
+                }
+            });
+    }
     if (ops) {
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *
                        fb.kernel() * fb.kernel();
@@ -287,6 +359,41 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
         if (spec.kind == LayerKind::FullyConnected)
             dw = &weights.dense(fc_slot++);
         cur = runLayer(spec, cur, bank, dw, ops);
+    }
+    return cur;
+}
+
+Tensor
+runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
+         int first_layer, int last_layer, const NetPrecision *prec,
+         OpCount *ops)
+{
+    if (!prec || prec->mode() == Precision::Fp32)
+        return runRange(net, weights, in, first_layer, last_layer, ops);
+    FLCNN_ASSERT(first_layer >= 0 && last_layer < net.numLayers() &&
+                     first_layer <= last_layer,
+                 "invalid layer range");
+    FLCNN_ASSERT(in.shape() == net.inShape(first_layer),
+                 "input shape does not match the first layer");
+
+    Tensor cur = in;
+    int fc_slot = 0;
+    for (int i = 0; i < first_layer; i++) {
+        if (net.layer(i).kind == LayerKind::FullyConnected)
+            fc_slot++;
+    }
+    for (int i = first_layer; i <= last_layer; i++) {
+        const LayerSpec &spec = net.layer(i);
+        if (spec.kind == LayerKind::Conv) {
+            const int slot = net.convSlot(i);
+            cur = runConvPrec(spec, cur, weights.bank(slot), *prec, slot,
+                              ops);
+            continue;
+        }
+        const DenseWeights *dw = nullptr;
+        if (spec.kind == LayerKind::FullyConnected)
+            dw = &weights.dense(fc_slot++);
+        cur = runLayer(spec, cur, nullptr, dw, ops);
     }
     return cur;
 }

@@ -15,6 +15,7 @@
 
 #include "common/opcount.hh"
 #include "nn/network.hh"
+#include "nn/precision.hh"
 #include "nn/weights.hh"
 #include "tensor/tensor.hh"
 
@@ -53,6 +54,18 @@ Tensor runLayer(const LayerSpec &spec, const Tensor &in,
 Tensor runRange(const Network &net, const NetworkWeights &weights,
                 const Tensor &in, int first_layer, int last_layer,
                 OpCount *ops = nullptr);
+
+/**
+ * runRange() under a precision mode: conv layers stage their inputs
+ * and run the mode's kernels (kernels/conv_layer.hh), every other
+ * layer computes in fp32 as always. A null @p prec (or Fp32 mode)
+ * is exactly the plain fp32 path. This is the golden producer for the
+ * precision differential tests: fused executors at the same precision
+ * must match it bit for bit.
+ */
+Tensor runRange(const Network &net, const NetworkWeights &weights,
+                const Tensor &in, int first_layer, int last_layer,
+                const NetPrecision *prec, OpCount *ops = nullptr);
 
 /** Execute the entire network. */
 Tensor runNetwork(const Network &net, const NetworkWeights &weights,

@@ -45,17 +45,20 @@ ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
             *mspec.net, *mspec.weights,
             TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
                      mspec.tip, mspec.tip));
+        fused->setPrecision(mspec.precision);
         break;
       case EngineKind::LineBuffer:
         lineBuffer = std::make_unique<LineBufferExecutor>(
             *mspec.net, *mspec.weights, mspec.firstLayer,
             mspec.lastLayer);
+        lineBuffer->setPrecision(mspec.precision);
         break;
       case EngineKind::Recompute:
         recompute = std::make_unique<RecomputeExecutor>(
             *mspec.net, *mspec.weights,
             TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
                      mspec.tip, mspec.tip));
+        recompute->setPrecision(mspec.precision);
         break;
     }
 }
@@ -66,7 +69,8 @@ ServeEngine::run(const Tensor &input)
     switch (knd) {
       case EngineKind::Reference:
         return runRange(*mspec.net, *mspec.weights, input,
-                        mspec.firstLayer, mspec.lastLayer);
+                        mspec.firstLayer, mspec.lastLayer,
+                        mspec.precision);
       case EngineKind::Fused:
         return fused->run(input);
       case EngineKind::LineBuffer:

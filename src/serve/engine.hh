@@ -57,6 +57,9 @@ struct ModelSpec
     int firstLayer = 0;
     int lastLayer = 0;   //!< inclusive; set by the server at addModel
     int tip = 1;         //!< pyramid tip for fused/recompute plans
+    /** Precision state for non-fp32 serving (nullptr = fp32). Must be
+     *  calibrated for @p net + @p weights and outlive every engine. */
+    const NetPrecision *precision = nullptr;
 };
 
 /** A pinned per-worker executor instance for one model. */

@@ -25,7 +25,7 @@ InferenceServer::~InferenceServer()
 int
 InferenceServer::addModel(const std::string &name, const Network &net,
                           const NetworkWeights &weights, int first_layer,
-                          int last_layer)
+                          int last_layer, const NetPrecision *precision)
 {
     FLCNN_ASSERT(!isStarted, "addModel() after start()");
     if (last_layer < 0)
@@ -42,6 +42,7 @@ InferenceServer::addModel(const std::string &name, const Network &net,
     spec.firstLayer = first_layer;
     spec.lastLayer = last_layer;
     spec.tip = cfg.tip;
+    spec.precision = precision;
     specs.push_back(std::move(spec));
     return static_cast<int>(specs.size()) - 1;
 }

@@ -73,12 +73,15 @@ class InferenceServer
     /**
      * Register a model covering layers [first_layer, last_layer] of
      * @p net (-1 = last layer). Must be called before start();
-     * @p net and @p weights must outlive the server. Returns the
+     * @p net and @p weights must outlive the server. Pass a calibrated
+     * @p precision (which must also outlive the server) to serve the
+     * model in int8 or fp16; nullptr serves plain fp32. Returns the
      * model id submit() takes.
      */
     int addModel(const std::string &name, const Network &net,
                  const NetworkWeights &weights, int first_layer = 0,
-                 int last_layer = -1);
+                 int last_layer = -1,
+                 const NetPrecision *precision = nullptr);
 
     /** Build and warm every worker's engines, then begin serving. */
     void start();

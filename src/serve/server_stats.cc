@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hh"
 #include "obs/metrics.hh"
@@ -63,16 +64,24 @@ LatencyHistogram::record(double value)
 double
 LatencyHistogram::quantile(double q) const
 {
+    // An empty histogram has no quantiles. NaN (not 0) so a forgotten
+    // emptiness check is visible instead of reading as a great p99;
+    // exporters skip the gauges entirely (registerHistogram below).
     if (total == 0)
-        return 0.0;
+        return std::numeric_limits<double>::quiet_NaN();
     q = std::clamp(q, 0.0, 1.0);
     const int64_t rank =
         std::max<int64_t>(1, static_cast<int64_t>(std::ceil(q * total)));
     int64_t seen = 0;
     for (int i = 0; i < kBuckets; i++) {
         seen += buckets[static_cast<size_t>(i)];
-        if (seen >= rank)
-            return std::min(bucketUpper(i), maxSeen);
+        if (seen >= rank) {
+            // Clamp the bucket's upper edge into the recorded range:
+            // sub-resolution values (< 1 us) all land in the first
+            // occupied bucket, whose 2 us edge would otherwise be
+            // reported for a histogram that never saw 1 us.
+            return std::clamp(bucketUpper(i), minSeen, maxSeen);
+        }
     }
     return maxSeen;
 }
@@ -250,6 +259,11 @@ registerHistogram(MetricsRegistry &reg, const std::string &scope,
                   const LatencyHistogram &h)
 {
     reg.addCounter(scope, "count", h.count());
+    // Before the first completion there are no latencies: publishing
+    // 0 (or NaN) percentile gauges would read as a perfect server, so
+    // publish nothing but the zero count.
+    if (h.count() == 0)
+        return;
     reg.setGauge(scope, "p50_us", h.quantile(0.50));
     reg.setGauge(scope, "p95_us", h.quantile(0.95));
     reg.setGauge(scope, "p99_us", h.quantile(0.99));

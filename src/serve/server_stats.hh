@@ -69,8 +69,12 @@ class LatencyHistogram
 
     /**
      * Value at quantile @p q in [0, 1]: the upper edge of the first
-     * bucket whose cumulative count reaches ceil(q * count). 0 when
-     * empty. Deterministic (pure function of the recorded multiset).
+     * bucket whose cumulative count reaches ceil(q * count), clamped
+     * into [min(), max()] so sub-resolution recordings never report a
+     * bucket edge the histogram never saw. NaN when empty — an empty
+     * histogram has no quantiles, and callers (e.g. metric exporters)
+     * must check count() first. Deterministic (pure function of the
+     * recorded multiset).
      */
     double quantile(double q) const;
 

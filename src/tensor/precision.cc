@@ -1,0 +1,35 @@
+#include "tensor/precision.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+const char *
+precisionName(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32: return "fp32";
+      case Precision::Fp16: return "fp16";
+      case Precision::Int8: return "int8";
+    }
+    return "?";
+}
+
+Precision
+precisionFromName(const char *name)
+{
+    if (name) {
+        if (std::strcmp(name, "fp32") == 0)
+            return Precision::Fp32;
+        if (std::strcmp(name, "fp16") == 0)
+            return Precision::Fp16;
+        if (std::strcmp(name, "int8") == 0)
+            return Precision::Int8;
+    }
+    fatal("unknown precision '%s' (want fp32 | fp16 | int8)",
+          name ? name : "(null)");
+}
+
+} // namespace flcnn

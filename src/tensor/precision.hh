@@ -1,0 +1,63 @@
+/**
+ * @file
+ * The library's precision axis.
+ *
+ * Every functional path in the repository is parameterized by one of
+ * three precision modes:
+ *
+ *  - Fp32: the historical mode. Bit-exact across every executor,
+ *    thread count, and SIMD configuration (DESIGN.md invariant 1).
+ *  - Fp16: weights and conv-input activations are rounded to IEEE
+ *    binary16 (round-to-nearest-even) at the convolution boundary and
+ *    accumulated in fp32. Because fp16 -> fp32 conversion is exact,
+ *    the compute path is the fp32 kernel ladder over pre-rounded
+ *    operands: within-precision results stay bit-exact across
+ *    executors, thread counts, and SIMD on/off, and differ from fp32
+ *    only by the bounded operand-rounding error.
+ *  - Int8: conv inputs are quantized to asymmetric u8 (per-layer
+ *    scale + zero point from calibration), weights to symmetric s8 in
+ *    [-63, 63] per output channel, accumulated in exact int32 and
+ *    dequantized in a deterministic float epilogue. Integer
+ *    accumulation is exact, so within-precision results are likewise
+ *    bit-exact everywhere.
+ *
+ * Non-conv layers (pool, ReLU, pad, LRN, FC) always compute in fp32;
+ * interchange tensors between layers stay fp32. Precision is a
+ * conv-boundary transformation, which is what makes it composable
+ * with all four executors without touching their orchestration.
+ */
+
+#ifndef FLCNN_TENSOR_PRECISION_HH
+#define FLCNN_TENSOR_PRECISION_HH
+
+namespace flcnn {
+
+/** Numeric precision of conv weights and conv-input activations. */
+enum class Precision
+{
+    Fp32,  //!< single precision (bit-exact golden mode)
+    Fp16,  //!< binary16 storage, fp32 accumulation
+    Int8,  //!< u8 activations x s8 weights, int32 accumulation
+};
+
+/** Printable name ("fp32" | "fp16" | "int8"). */
+const char *precisionName(Precision p);
+
+/** Parse a precision name; fatal()s on anything else. */
+Precision precisionFromName(const char *name);
+
+/** Element bytes of the mode's conv storage format (4, 2, or 1). */
+inline int
+precisionElemBytes(Precision p)
+{
+    switch (p) {
+      case Precision::Fp32: return 4;
+      case Precision::Fp16: return 2;
+      case Precision::Int8: return 1;
+    }
+    return 4;
+}
+
+} // namespace flcnn
+
+#endif // FLCNN_TENSOR_PRECISION_HH

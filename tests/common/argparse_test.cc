@@ -1,0 +1,91 @@
+/** @file Strict CLI scalar parsing, including the non-finite rejects. */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/argparse.hh"
+
+namespace flcnn {
+namespace {
+
+TEST(ParseIntArg, AcceptsInRangeIntegers)
+{
+    EXPECT_EQ(parseIntArg("--n", "0", -10, 10), 0);
+    EXPECT_EQ(parseIntArg("--n", "-10", -10, 10), -10);
+    EXPECT_EQ(parseIntArg("--n", "10", -10, 10), 10);
+    EXPECT_EQ(parseIntArgI("--n", "7", 1, 100), 7);
+}
+
+TEST(ParseIntArgDeathTest, RejectsMalformedAndOutOfRange)
+{
+    EXPECT_DEATH(parseIntArg("--n", "abc", 0, 10), "not a valid integer");
+    EXPECT_DEATH(parseIntArg("--n", "8garbage", 0, 10),
+                 "not a valid integer");
+    EXPECT_DEATH(parseIntArg("--n", "", 0, 10), "empty value");
+    EXPECT_DEATH(parseIntArg("--n", "11", 0, 10), "out of range");
+}
+
+TEST(ParseFloatArg, AcceptsFiniteNumbers)
+{
+    EXPECT_DOUBLE_EQ(parseFloatArg("--qps", "2.5", 0.0, 10.0), 2.5);
+    EXPECT_DOUBLE_EQ(parseFloatArg("--qps", "1e-3", 0.0, 10.0), 1e-3);
+    EXPECT_DOUBLE_EQ(parseFloatArg("--qps", "0", 0.0, 10.0), 0.0);
+}
+
+TEST(ParseFloatArgDeathTest, RejectsInfinity)
+{
+    // An open-loop bench at "--qps inf" would spin submitting with
+    // zero inter-arrival delay; strtod happily parses every spelling,
+    // so the parser must reject them all.
+    for (const char *bad : {"inf", "Inf", "INF", "infinity", "-inf",
+                            "+inf", "1e999"}) {
+        EXPECT_DEATH(parseFloatArg("--qps", bad, 0.0, 1e18),
+                     "not a valid finite number")
+            << bad;
+    }
+}
+
+TEST(ParseFloatArgDeathTest, RejectsNaN)
+{
+    // NaN poisons every downstream comparison (deadlines, intervals)
+    // without tripping a range check: NaN < min and NaN > max are both
+    // false, so only the isfinite reject catches it.
+    for (const char *bad : {"nan", "NaN", "NAN", "-nan", "nan(2)"}) {
+        EXPECT_DEATH(parseFloatArg("--qps", bad, 0.0, 1e18),
+                     "not a valid finite number")
+            << bad;
+    }
+}
+
+TEST(ParseFloatArgDeathTest, RejectsMalformedAndOutOfRange)
+{
+    EXPECT_DEATH(parseFloatArg("--qps", "abc", 0.0, 10.0),
+                 "not a valid finite number");
+    EXPECT_DEATH(parseFloatArg("--qps", "2.5x", 0.0, 10.0),
+                 "not a valid finite number");
+    EXPECT_DEATH(parseFloatArg("--qps", "", 0.0, 10.0), "empty value");
+    EXPECT_DEATH(parseFloatArg("--qps", "11", 0.0, 10.0),
+                 "out of range");
+}
+
+TEST(ArgValueDeathTest, MissingValueIsFatal)
+{
+    char flag[] = "--qps";
+    char *argv[] = {flag};
+    int a = 0;
+    EXPECT_DEATH(argValue(1, argv, &a), "requires a value");
+}
+
+TEST(ArgValue, ReturnsNextTokenAndAdvances)
+{
+    char flag[] = "--qps";
+    char val[] = "3.5";
+    char *argv[] = {flag, val};
+    int a = 0;
+    EXPECT_STREQ(argValue(2, argv, &a), "3.5");
+    EXPECT_EQ(a, 1);
+}
+
+} // namespace
+} // namespace flcnn

@@ -123,8 +123,55 @@ TEST(WeightPack, CachePacksOncePerKey)
     const PackedWeights &a = cache.get(7, fb);
     const PackedWeights &b = cache.get(7, fb);
     EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cache.hits(), 1);
+    EXPECT_EQ(cache.misses(), 1);
     const PackedWeights &c = cache.get(8, fb);
     EXPECT_NE(&a, &c);
+    EXPECT_EQ(cache.misses(), 2);
+}
+
+TEST(WeightPack, CacheKeyIncludesDtype)
+{
+    // Regression: keyed on the layer index alone, the same fused layer
+    // served in fp32 and then fp16 would hand the second caller the
+    // first caller's bank (or, with typed slots, collide the slots).
+    // Every dtype under one layer key must be an independent entry.
+    FilterBank fb = randomBank(5, 3, 3, 25);
+    const std::vector<float> ws(5, 0.01f);
+    WeightPackCache cache;
+    const PackedWeights &f32 = cache.get(7, fb);
+    const PackedWeightsF16 &f16 = cache.getF16(7, fb, 1);
+    const PackedWeightsI8 &i8 = cache.getI8(7, fb, 1, ws, 1);
+    EXPECT_EQ(cache.misses(), 3);
+    EXPECT_EQ(cache.hits(), 0);
+    // Same keys again: served from cache, no repacking.
+    EXPECT_EQ(&cache.get(7, fb), &f32);
+    EXPECT_EQ(&cache.getF16(7, fb, 1), &f16);
+    EXPECT_EQ(&cache.getI8(7, fb, 1, ws, 1), &i8);
+    EXPECT_EQ(cache.hits(), 3);
+    EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(WeightPack, CacheKeyIncludesScaleSetIdentity)
+{
+    // Regression: two int8 calibrations of the same layer (different
+    // NetPrecision instances, e.g. two models sharing an executor's
+    // layer index) must not alias — the packed integers depend on the
+    // weight scales, so a collision silently serves wrong weights.
+    FilterBank fb = randomBank(4, 2, 3, 26);
+    const std::vector<float> coarse(4, 0.05f);
+    const std::vector<float> fine(4, 0.005f);
+    WeightPackCache cache;
+    const PackedWeightsI8 &a = cache.getI8(3, fb, 1, coarse, 1);
+    const PackedWeightsI8 &b = cache.getI8(3, fb, 1, fine, 2);
+    EXPECT_NE(&a, &b);
+    EXPECT_EQ(cache.misses(), 2);
+    // The two banks really quantized differently: a 10x finer scale
+    // changes the stored integers (scale is per entry, not shared).
+    EXPECT_NE(a.scale(0), b.scale(0));
+    // And the same scale id round-trips to the same bank.
+    EXPECT_EQ(&cache.getI8(3, fb, 1, coarse, 1), &a);
+    EXPECT_EQ(cache.hits(), 1);
 }
 
 } // namespace

@@ -141,5 +141,57 @@ TEST(GroupCostCache, ExplorerMatchesBruteForceSweep)
     }
 }
 
+TEST(GroupCostCache, DtypeScalesStorageAndTransferNotOps)
+{
+    // Every byte count in the model is elems * 4; a narrower element
+    // type rescales storage and transfer exactly (int8 / 4, fp16 / 2)
+    // and leaves the recompute mult-adds untouched.
+    Network net = vggEPrefix(4);
+    GroupCostOptions f32opt;
+    f32opt.withRecompute = true;
+    GroupCostOptions i8opt = f32opt, f16opt = f32opt;
+    i8opt.dtype = Precision::Int8;
+    f16opt.dtype = Precision::Fp16;
+    GroupCostCache f32(net, f32opt), i8(net, i8opt), f16(net, f16opt);
+    for (int a = 0; a < f32.numStages(); a++) {
+        for (int b = a; b < f32.numStages(); b++) {
+            EXPECT_EQ(i8.storageBytes(a, b), f32.storageBytes(a, b) / 4)
+                << a << ".." << b;
+            EXPECT_EQ(i8.transferBytes(a, b),
+                      f32.transferBytes(a, b) / 4);
+            EXPECT_EQ(f16.storageBytes(a, b),
+                      f32.storageBytes(a, b) / 2);
+            EXPECT_EQ(f16.transferBytes(a, b),
+                      f32.transferBytes(a, b) / 2);
+            EXPECT_EQ(i8.extraOps(a, b), f32.extraOps(a, b));
+            EXPECT_EQ(f16.extraOps(a, b), f32.extraOps(a, b));
+        }
+    }
+}
+
+TEST(Explorer, DtypeThreadsThroughExploration)
+{
+    // The explorer re-prices the whole space per dtype: every design
+    // point's byte costs shrink by the element width, so the int8
+    // sweep is the fp32 sweep scaled — same partitions, same ops.
+    Network net = vggEPrefix(4);
+    ExploreOptions f32opt;
+    ExploreOptions i8opt;
+    i8opt.dtype = Precision::Int8;
+    const ExplorationResult f32 = exploreFusionSpace(net, f32opt);
+    const ExplorationResult i8 = exploreFusionSpace(net, i8opt);
+    ASSERT_EQ(i8.points.size(), f32.points.size());
+    for (size_t i = 0; i < f32.points.size(); i++) {
+        EXPECT_EQ(i8.points[i].partition, f32.points[i].partition);
+        EXPECT_EQ(i8.points[i].storageBytes,
+                  f32.points[i].storageBytes / 4)
+            << i;
+        EXPECT_EQ(i8.points[i].transferBytes,
+                  f32.points[i].transferBytes / 4)
+            << i;
+        EXPECT_EQ(i8.points[i].extraOps, f32.points[i].extraOps);
+    }
+}
+
 } // namespace
 } // namespace flcnn

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * NetPrecision and the reference executor's precision modes:
+ * deterministic calibration, a bit-exact fp32 passthrough, thread-count
+ * invariance within int8/fp16, and bounded deviation from fp32.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/thread_pool.hh"
+#include "nn/precision.hh"
+#include "nn/reference.hh"
+#include "nn/zoo.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+/** Small conv/relu/pool/conv net: two conv slots, activations that go
+ *  through a nonlinearity between them. */
+Network
+probeNet()
+{
+    Network net("probe", Shape{3, 24, 24});
+    net.add(LayerSpec::conv("c1", 8, 3, 1));
+    net.add(LayerSpec::relu("r1"));
+    net.add(LayerSpec::pool("p1", 2, 2));
+    net.add(LayerSpec::conv("c2", 12, 3, 1));
+    net.add(LayerSpec::relu("r2"));
+    return net;
+}
+
+TEST(NetPrecision, CalibrationIsDeterministic)
+{
+    Network net = probeNet();
+    Rng wrng(5);
+    NetworkWeights w(net, wrng);
+
+    const NetPrecision a =
+        NetPrecision::calibrate(net, w, Precision::Int8);
+    const NetPrecision b =
+        NetPrecision::calibrate(net, w, Precision::Int8);
+    ASSERT_EQ(a.mode(), Precision::Int8);
+    for (int slot = 0; slot < 2; slot++) {
+        EXPECT_EQ(a.actQuant(slot).scale, b.actQuant(slot).scale)
+            << "slot=" << slot;
+        EXPECT_EQ(a.actQuant(slot).zp, b.actQuant(slot).zp);
+        EXPECT_EQ(a.weightScales(slot), b.weightScales(slot));
+        EXPECT_GT(a.actQuant(slot).scale, 0.0f);
+        EXPECT_TRUE(std::isfinite(a.actQuant(slot).scale));
+    }
+    // Identical scales, but never an identical identity: two
+    // calibrations must not alias in the weight-pack cache.
+    EXPECT_NE(a.scaleId(), b.scaleId());
+    EXPECT_NE(a.scaleId(), 0u);
+    // Weight scales cover every filter of each slot.
+    EXPECT_EQ(a.weightScales(0).size(), 8u);
+    EXPECT_EQ(a.weightScales(1).size(), 12u);
+}
+
+TEST(NetPrecision, Fp32AndFp16NeedNoCalibrationState)
+{
+    Network net = probeNet();
+    Rng wrng(5);
+    NetworkWeights w(net, wrng);
+    const NetPrecision f32 =
+        NetPrecision::calibrate(net, w, Precision::Fp32);
+    const NetPrecision f16 =
+        NetPrecision::calibrate(net, w, Precision::Fp16);
+    EXPECT_EQ(f32.mode(), Precision::Fp32);
+    EXPECT_EQ(f16.mode(), Precision::Fp16);
+    EXPECT_EQ(f32.scaleId(), 0u);
+    EXPECT_EQ(f16.scaleId(), 0u);
+}
+
+TEST(Reference, Fp32PrecisionPointerIsABitExactPassthrough)
+{
+    Network net = probeNet();
+    Rng wrng(5), irng(6);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape().c, net.inputShape().h, net.inputShape().w);
+    in.fillRandom(irng);
+
+    const int last = net.numLayers() - 1;
+    const Tensor plain = runRange(net, w, in, 0, last);
+    const NetPrecision f32 =
+        NetPrecision::calibrate(net, w, Precision::Fp32);
+    EXPECT_TRUE(tensorsEqual(plain, runRange(net, w, in, 0, last, &f32)));
+    EXPECT_TRUE(tensorsEqual(
+        plain, runRange(net, w, in, 0, last,
+                        static_cast<const NetPrecision *>(nullptr))));
+}
+
+TEST(Reference, PrecisionRunsAreThreadCountInvariant)
+{
+    Network net = probeNet();
+    Rng wrng(5), irng(6);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape().c, net.inputShape().h, net.inputShape().w);
+    in.fillRandom(irng);
+    const int last = net.numLayers() - 1;
+
+    for (Precision mode : {Precision::Int8, Precision::Fp16}) {
+        const NetPrecision prec =
+            NetPrecision::calibrate(net, w, mode);
+        ThreadPool::setGlobalThreads(1);
+        const Tensor serial = runRange(net, w, in, 0, last, &prec);
+        ThreadPool::setGlobalThreads(8);
+        const Tensor parallel = runRange(net, w, in, 0, last, &prec);
+        ThreadPool::setGlobalThreads(0);
+        EXPECT_TRUE(tensorsEqual(serial, parallel))
+            << precisionName(mode);
+    }
+}
+
+TEST(Reference, QuantizedRunsStayWithinDocumentedBounds)
+{
+    // The README's error-bound contract on this scale of network:
+    // int8 within 5e-2 absolute, fp16 within 5e-3 (the values here are
+    // O(1); the measured deviations are far smaller).
+    Network net = probeNet();
+    Rng wrng(5), irng(6);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape().c, net.inputShape().h, net.inputShape().w);
+    in.fillRandom(irng);
+    const int last = net.numLayers() - 1;
+    const Tensor f32 = runRange(net, w, in, 0, last);
+
+    const NetPrecision i8 =
+        NetPrecision::calibrate(net, w, Precision::Int8);
+    const CompareResult ci8 =
+        compareTensors(f32, runRange(net, w, in, 0, last, &i8), 0.0,
+                       5e-2);
+    EXPECT_TRUE(ci8.match) << "int8 maxAbsDiff=" << ci8.maxAbsDiff;
+    EXPECT_GT(ci8.maxAbsDiff, 0.0);  // it really quantized
+
+    const NetPrecision f16 =
+        NetPrecision::calibrate(net, w, Precision::Fp16);
+    const CompareResult cf16 =
+        compareTensors(f32, runRange(net, w, in, 0, last, &f16), 0.0,
+                       5e-3);
+    EXPECT_TRUE(cf16.match) << "fp16 maxAbsDiff=" << cf16.maxAbsDiff;
+}
+
+} // namespace
+} // namespace flcnn

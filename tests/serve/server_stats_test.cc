@@ -56,6 +56,47 @@ TEST(LatencyHistogram, SmallCountsWithinOneMicrosecond)
     EXPECT_DOUBLE_EQ(h.quantile(1.0), 5.0);  // clamped to max()
 }
 
+TEST(LatencyHistogram, EmptyHistogramHasNoQuantiles)
+{
+    // No recorded values means no quantiles: NaN, never a plausible
+    // latency like 0 that a dashboard would read as a perfect p99.
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_TRUE(std::isnan(h.quantile(q))) << "q=" << q;
+    EXPECT_DOUBLE_EQ(h.min(), 0.0);
+    EXPECT_DOUBLE_EQ(h.max(), 0.0);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, SingleValueReportsItselfAtEveryQuantile)
+{
+    LatencyHistogram h;
+    h.record(7.0);
+    EXPECT_EQ(h.count(), 1);
+    // One value below 64 us: its bucket's upper edge (8) clamps to
+    // the recorded maximum, so every quantile is exactly the value.
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0})
+        EXPECT_DOUBLE_EQ(h.quantile(q), 7.0) << "q=" << q;
+}
+
+TEST(LatencyHistogram, AllUnderflowStaysInRecordedRange)
+{
+    // Every value below the 1 us resolution floor: all land in the
+    // first occupied bucket, whose 2 us upper edge must not leak out
+    // as a quantile for a histogram that never saw 1 us.
+    LatencyHistogram h;
+    h.record(0.2);
+    h.record(0.4);
+    h.record(0.6);
+    EXPECT_EQ(h.count(), 3);
+    for (double q : {0.0, 0.5, 0.95, 0.99, 1.0}) {
+        const double v = h.quantile(q);
+        EXPECT_GE(v, 0.2) << "q=" << q;
+        EXPECT_LE(v, 0.6) << "q=" << q;
+    }
+}
+
 TEST(LatencyHistogram, QuantileClampsToMaxSeen)
 {
     LatencyHistogram h;
@@ -158,6 +199,23 @@ TEST(ServerStats, RegisterIntoPublishesServeScopes)
     EXPECT_EQ(reg.counter("serve:worker:0", "completed") +
                   reg.counter("serve:worker:1", "completed"),
               8);
+}
+
+TEST(ServerStats, NoPercentileGaugesBeforeFirstCompletion)
+{
+    // A server that has not completed a request publishes the zero
+    // counts but no latency gauges — neither 0 nor NaN p50/p95/p99.
+    ServerStats st;
+    st.onSubmitted();
+    st.onAdmitted();
+    MetricsRegistry reg;
+    st.registerInto(reg);
+    EXPECT_EQ(reg.counter("serve:latency:total", "count"), 0);
+    EXPECT_EQ(reg.counter("serve:latency:compute", "count"), 0);
+    for (const Metric &m : reg.items()) {
+        if (m.scope.rfind("serve:latency:", 0) == 0)
+            EXPECT_EQ(m.name, "count") << m.scope << ":" << m.name;
+    }
 }
 
 TEST(ServerStats, SpanLogIsBounded)
