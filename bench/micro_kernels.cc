@@ -20,6 +20,7 @@
 #include "model/explorer.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
+#include "tune/solver.hh"
 
 using namespace flcnn;
 
@@ -127,6 +128,23 @@ struct BlockFixture
     }
 };
 
+/** The planner's choice for a blocked-row fixture shape, as a bench
+ *  label — run_bench.py harvests this into the solver field of each
+ *  bench entry. */
+std::string
+solverLabel(const BlockFixture &f, bool fast_math)
+{
+    ConvQuery q;
+    q.shape = ConvShape{f.fb.kernel(), f.stride, f.in.shape().c,
+                        BlockFixture::kFilters, f.outW, 1, 1};
+    q.fastMath = fast_math;
+    const ConvPlan plan = planConv(q);
+    return "solver=" + plan.solver +
+           " mr=" + std::to_string(plan.cfg.mrCap) +
+           " seg=" + std::to_string(plan.cfg.segW) +
+           " grain=" + std::to_string(plan.cfg.grain);
+}
+
 void
 BM_ConvRowBlocked(benchmark::State &state)
 {
@@ -147,8 +165,44 @@ BM_ConvRowBlocked(benchmark::State &state)
     }
     state.SetItemsProcessed(state.iterations() * f.outW *
                             BlockFixture::kFilters);
+    state.SetLabel(solverLabel(f, false));
 }
 BENCHMARK(BM_ConvRowBlocked)
+    ->Args({1, 1})
+    ->Args({3, 1})
+    ->Args({3, 2})
+    ->Args({5, 1})
+    ->Args({7, 2})
+    ->Args({11, 4});
+
+void
+BM_ConvRowFast(benchmark::State &state)
+{
+    // The opt-in fast-math tier on the same blocked-row shape: FMA
+    // with two reordered accumulators per lane (ULP-bounded, not
+    // bit-exact). Compare items/s against BM_ConvRowBlocked for the
+    // tier's raw kernel speedup.
+    if (!convFmaEnabled()) {
+        state.SkipWithError("FMA kernels unavailable on this host");
+        return;
+    }
+    BlockFixture f(static_cast<int>(state.range(0)),
+                   static_cast<int>(state.range(1)));
+    const ConvBlockKernel bk =
+        resolveConvBlockKernelFast(f.fb.kernel(), f.stride);
+    const PackedWeights pw(f.fb);
+    std::vector<float> dst(
+        static_cast<size_t>(BlockFixture::kFilters) * f.outW);
+    for (auto _ : state) {
+        convBlockRowTensor(bk, pw, 0, dst.data(), f.outW, f.outW, f.in,
+                           0, 0);
+        benchmark::DoNotOptimize(dst.data());
+    }
+    state.SetItemsProcessed(state.iterations() * f.outW *
+                            BlockFixture::kFilters);
+    state.SetLabel(solverLabel(f, true));
+}
+BENCHMARK(BM_ConvRowFast)
     ->Args({1, 1})
     ->Args({3, 1})
     ->Args({3, 2})

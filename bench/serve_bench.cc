@@ -53,8 +53,10 @@
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
+#include "nn/autotune_net.hh"
 #include "nn/precision.hh"
 #include "nn/zoo.hh"
+#include "tune/autotune.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/trace_event.hh"
@@ -85,6 +87,8 @@ struct Options
     uint64_t seed = 1;
     bool baseline = true;
     bool expectNoRejects = false;
+    bool fastMath = false;    // opt-in ULP-bounded fp32 FMA tier
+    bool tune = false;        // autotune conv layers at warmup
     std::string jsonPath;
     std::string metricsPath;
     std::string tracePath;
@@ -247,6 +251,10 @@ main(int argc, char **argv)
             opt.baseline = false;
         } else if (std::strcmp(argv[a], "--expect-no-rejects") == 0) {
             opt.expectNoRejects = true;
+        } else if (std::strcmp(argv[a], "--fast-math") == 0) {
+            opt.fastMath = true;
+        } else if (std::strcmp(argv[a], "--tune") == 0) {
+            opt.tune = true;
         } else if (std::strcmp(argv[a], "--json") == 0) {
             opt.jsonPath = argValue(argc, argv, &a);
         } else if (std::strcmp(argv[a], "--metrics-json") == 0) {
@@ -280,6 +288,18 @@ main(int argc, char **argv)
         NetPrecision::calibrate(net, weights, opt.precision);
     const NetPrecision *precp =
         opt.precision == Precision::Fp32 ? nullptr : &prec;
+
+    // --tune: sweep the model's conv layers through the autotuner up
+    // front (what ServeEngine::warmup() would do with tuneAtWarmup)
+    // so the cold/warm split is visible in the output — the CI smoke
+    // greps for "0 newly tuned" on the warm run.
+    const bool fm = opt.fastMath && opt.precision == Precision::Fp32;
+    if (opt.tune) {
+        AutotuneSummary sum = autotuneQueries(convQueriesForRange(
+            net, 0, net.numLayers() - 1, opt.precision, fm));
+        std::printf("autotune: %d newly tuned, %d cached\n", sum.tuned,
+                    sum.cached);
+    }
 
     // Deterministic input pool: request i uses inputs[i % pool].
     constexpr int kInputPool = 8;
@@ -321,7 +341,7 @@ main(int argc, char **argv)
                 hw);
 
     InferenceServer server(cfg);
-    server.addModel(net.name(), net, weights, 0, -1, precp);
+    server.addModel(net.name(), net, weights, 0, -1, precp, fm);
     server.start();
 
     const double t0 = monotonicSeconds();
@@ -432,6 +452,7 @@ main(int argc, char **argv)
             spec.precision = opt.precision == Precision::Fp32
                                  ? nullptr
                                  : &bprec;
+            spec.fastMath = fm;
             ServeEngine eng(spec, opt.engine);
             (void)eng.run(inputs[i % kInputPool]);
         }

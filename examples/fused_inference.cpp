@@ -6,7 +6,7 @@
  *
  * Usage:
  *   fused_inference [alexnet | vgg <num_convs>] [--fps N] [--threads N]
- *                   [--precision fp32|fp16|int8]
+ *                   [--precision fp32|fp16|int8] [--tune] [--fast-math]
  *                   [--metrics-json FILE] [--trace-json FILE]
  *
  * With --precision fp16 or int8, the host-side executors additionally
@@ -14,6 +14,14 @@
  * executor must agree bit-exactly within the mode, and the deviation
  * from the fp32 reference plus the per-dtype weight/activation
  * footprint are reported.
+ *
+ * --tune autotunes every conv layer of the range first (winners
+ * persist to the per-machine tune cache; a warm cache reports
+ * "0 newly tuned") and prints the chosen solver + config per layer.
+ * --fast-math additionally runs the fp32 fused executors through the
+ * opt-in FMA tier and checks them against the always-exact reference
+ * under the tier's ULP-bounded contract, reporting the measured
+ * worst-case ULP distance.
  *
  * Defaults to the paper's headline configuration (VGG-E, 5 convs) and
  * FLCNN_THREADS (or all hardware threads) for the host-side executors.
@@ -39,9 +47,12 @@
 #include "fusion/fused_executor.hh"
 #include "fusion/line_buffer_executor.hh"
 #include "fusion/recompute_executor.hh"
+#include "kernels/conv_kernels.hh"
+#include "nn/autotune_net.hh"
 #include "nn/precision.hh"
 #include "nn/reference.hh"
 #include "nn/zoo.hh"
+#include "tune/autotune.hh"
 #include "obs/metrics.hh"
 #include "obs/report.hh"
 #include "obs/timeline.hh"
@@ -56,6 +67,7 @@ main(int argc, char **argv)
     int convs = 5;
     double fps = 50.0;
     Precision precision = Precision::Fp32;
+    bool do_tune = false, fast_math = false;
     std::string metrics_path, trace_path;
     for (int a = 1; a < argc; a++) {
         if (std::strcmp(argv[a], "alexnet") == 0) {
@@ -76,6 +88,10 @@ main(int argc, char **argv)
             metrics_path = argValue(argc, argv, &a);
         } else if (std::strcmp(argv[a], "--trace-json") == 0) {
             trace_path = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--tune") == 0) {
+            do_tune = true;
+        } else if (std::strcmp(argv[a], "--fast-math") == 0) {
+            fast_math = true;
         } else {
             fatal("unknown argument '%s'", argv[a]);
         }
@@ -93,6 +109,26 @@ main(int argc, char **argv)
     NetworkWeights weights(net, rng);
     Tensor image(net.inputShape());
     image.fillRandom(rng);
+
+    if (do_tune) {
+        const bool fm = fast_math && precision == Precision::Fp32;
+        AutotuneSummary sum = autotuneQueries(
+            convQueriesForRange(net, 0, last, precision, fm));
+        std::printf("autotune: %d newly tuned, %d cached\n", sum.tuned,
+                    sum.cached);
+        for (int li = 0; li <= last; li++) {
+            if (net.layer(li).kind != LayerKind::Conv)
+                continue;
+            const ConvQuery q = convLayerQuery(net, li, precision, fm);
+            const ConvPlan plan = planConv(q);
+            std::printf("  layer %2d %-14s -> %-12s mr=%d seg=%d "
+                        "grain=%d%s\n",
+                        li, net.layer(li).name.c_str(),
+                        plan.solver.c_str(), plan.cfg.mrCap,
+                        plan.cfg.segW, plan.cfg.grain,
+                        plan.tuned ? "" : " (default)");
+        }
+    }
 
     // Size both designs like the paper's Virtex-7 budgets.
     int dsp_budget = which == "alexnet" ? 2240 : 2880;
@@ -234,5 +270,46 @@ main(int argc, char **argv)
         }
         pt.print();
     }
-    return cmp.match && prec_ok ? 0 : 1;
+
+    // Opt-in fast-math tier: run the fp32 fused executors through the
+    // FMA kernels and hold them to the tier's accuracy contract. The
+    // deviation is a bounded-ULP reordering of each pixel's taps, so
+    // the gate is a generous relative tolerance plus the measured
+    // worst-case ULP distance for the log (strict per-kernel ULP
+    // bounds live in the kernel-level differential tests).
+    bool fm_ok = true;
+    if (fast_math && precision == Precision::Fp32) {
+        std::printf("\n== fast-math host executors (%s) ==\n",
+                    convFmaEnabled() ? "FMA kernels active"
+                                     : "FMA unavailable, exact tier");
+        Tensor ref = runRange(net, weights, image, 0, last);
+
+        FusedExecutor fexec(net, weights, TilePlan(net, 0, last, 2, 2));
+        fexec.setFastMath(true);
+        LineBufferExecutor lexec(net, weights, 0, last);
+        lexec.setFastMath(true);
+        RecomputeExecutor rexec(net, weights,
+                                TilePlan(net, 0, last, 2, 2));
+        rexec.setFastMath(true);
+        const struct
+        {
+            const char *name;
+            Tensor out;
+        } execs[] = {{"fused", fexec.run(image)},
+                     {"linebuffer", lexec.run(image)},
+                     {"recompute", rexec.run(image)}};
+        for (const auto &e : execs) {
+            CompareResult fm = compareTensors(ref, e.out, 5e-3, 5e-4);
+            const int64_t ulp = maxUlpDistance(ref, e.out);
+            std::printf("%-10s vs exact reference: %s, max ULP %lld\n",
+                        e.name, fm.match ? "within bound" : "OUT OF BOUND",
+                        static_cast<long long>(ulp));
+            fm_ok = fm_ok && fm.match;
+        }
+    } else if (fast_math) {
+        std::printf("\n--fast-math ignored: %s mode always runs the "
+                    "exact tier\n",
+                    precisionName(precision));
+    }
+    return cmp.match && prec_ok && fm_ok ? 0 : 1;
 }

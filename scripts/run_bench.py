@@ -98,6 +98,36 @@ def bench_times(report, field="real_time"):
     return times
 
 
+def harvest_solvers(report):
+    """Fold each benchmark's solver label into its entry.
+
+    The conv benches call SetLabel() with the planner's decision for
+    the benched shape ("solver=fp32.avx2 mr=4 seg=0 grain=1"); google-
+    benchmark surfaces that as the entry's "label" field. Parse it into
+    entry["solver"] = {"name", "mr", "seg", "grain"} and return a
+    {bench name: solver name} summary ("solvers" in the report), so a
+    before/after diff shows not just the time but which kernel tier and
+    config the autotuner picked for each shape.
+    """
+    chosen = {}
+    for b in report.get("benchmarks", []):
+        label = b.get("label", "")
+        if "solver=" not in label:
+            continue
+        fields = dict(part.split("=", 1) for part in label.split()
+                      if "=" in part)
+        solver = {"name": fields.get("solver", "?")}
+        for key in ("mr", "seg", "grain"):
+            if key in fields:
+                try:
+                    solver[key] = int(fields[key])
+                except ValueError:
+                    pass
+        b["solver"] = solver
+        chosen[b.get("name", "<unnamed>")] = solver["name"]
+    return chosen
+
+
 def fmt_ns(ns):
     for unit, div in (("s", 1e9), ("ms", 1e6), ("us", 1e3)):
         if ns >= div:
@@ -258,7 +288,13 @@ def main():
     report["context"] = gbench.get("context", {})
     report["benchmarks"] = gbench.get("benchmarks", [])
     report["tables"]["micro_kernels_wall_s"] = round(wall, 3)
+    report["solvers"] = harvest_solvers(report)
     print(f"  {len(report['benchmarks'])} cases in {wall:.1f}s")
+    if report["solvers"]:
+        print(f"  solver choices: {len(report['solvers'])} labeled "
+              "cases")
+        for name, solver in sorted(report["solvers"].items()):
+            print(f"    {name}: {solver}")
 
     # 2. Paper benches in table mode (plain stdout tables).
     paper = [("cpu_fusion_speedup",

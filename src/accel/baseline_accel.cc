@@ -9,6 +9,7 @@
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
 #include "model/resource.hh"
+#include "nn/autotune_net.hh"
 #include "nn/reference.hh"
 #include "obs/metrics.hh"
 #include "sim/double_buffer.hh"
@@ -68,9 +69,15 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
     const int n_per_group = ishape.c / conv.groups;
     // Filter-interleaved panels whose 4/2/1 lane ladder restarts at
     // every Tm tile boundary, so a tile's blocks never straddle it.
-    const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
-    const PackedWeights &pw =
-        packCache.get(st.windowed, fb, conv.groups, cfg.tm);
+    // The accelerator model always runs the exact tier (never
+    // fast-math: its contract is bit-equality with the reference) but
+    // picks up tuned mrCap/grain through the planner like every other
+    // dispatch point.
+    const ConvPlan plan = planConv(
+        convLayerQuery(conv, ishape, Precision::Fp32, false));
+    const ConvBlockKernel &bk = plan.bk;
+    const PackedWeights &pw = packCache.get(
+        st.windowed, fb, conv.groups, cfg.tm, plan.cfg.mrCap);
     const int tr = cfg.tr > 0 ? std::min(cfg.tr, oshape.h) : oshape.h;
     const int tc = cfg.tc > 0 ? std::min(cfg.tc, oshape.w) : oshape.w;
 
@@ -163,7 +170,8 @@ BaselineAccelerator::runConvStage(int stage_idx, const Tensor &in,
                                                    k * k * blk.lanes,
                                            tnn);
                                 }
-                            });
+                            },
+                            plan.cfg.grain);
                         // The engine occupies Tm x Tn lanes for the full
                         // tile regardless of ragged edges (ceil model).
                         ph.compute +=

@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
 
 namespace flcnn {
@@ -230,11 +231,10 @@ FusedExecutor::computeWindowed(int li, int r, int c)
             if (mode == Precision::Int8) {
                 const ActQuant &act = precision->actQuant(slot);
                 stageConvInputI8(st.stage, st.tile, act, r0, r1);
-                const ConvBlockKernelI8 bk =
-                    resolveConvBlockKernelI8(fb.kernel(), s);
+                const ConvBlockKernelI8 &bk = st.plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
                     li, fb, spec.groups, precision->weightScales(slot),
-                    precision->scaleId());
+                    precision->scaleId(), st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oy.width(),
@@ -256,13 +256,13 @@ FusedExecutor::computeWindowed(int li, int r, int c)
                                 plane, ox.width(), st.stage, row_idx,
                                 x0, act);
                         }
-                    });
+                    },
+                    st.plan.cfg.grain);
             } else {
                 stageConvInputF16(st.stage, st.tile, r0, r1);
-                const ConvBlockKernel bk =
-                    resolveConvBlockKernel(fb.kernel(), s);
-                const PackedWeightsF16 &pw =
-                    packCache.getF16(li, fb, spec.groups);
+                const ConvBlockKernel &bk = st.plan.bk;
+                const PackedWeightsF16 &pw = packCache.getF16(
+                    li, fb, spec.groups, st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oy.width(),
@@ -284,12 +284,13 @@ FusedExecutor::computeWindowed(int li, int r, int c)
                                 plane, ox.width(), st.stage, row_idx,
                                 x0);
                         }
-                    });
+                    },
+                    st.plan.cfg.grain);
             }
         } else {
-            const ConvBlockKernel bk =
-                resolveConvBlockKernel(fb.kernel(), s);
-            const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+            const ConvBlockKernel &bk = st.plan.bk;
+            const PackedWeights &pw = packCache.get(
+                li, fb, spec.groups, 0, st.plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             parallelFor(
                 0, static_cast<int64_t>(nb) * oy.width(),
@@ -304,7 +305,8 @@ FusedExecutor::computeWindowed(int li, int r, int c)
                             plane, ox.width(), st.tile,
                             gy * s - st.tileY.begin, x0);
                     }
-                });
+                },
+                st.plan.cfg.grain);
         }
         int64_t taps = static_cast<int64_t>(n_per_group) * fb.kernel() *
                        fb.kernel();
@@ -537,12 +539,24 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
         layerAdds.assign(static_cast<size_t>(n), 0);
         layerCompares.assign(static_cast<size_t>(n), 0);
     }
+    const Precision runMode =
+        precision ? precision->mode() : Precision::Fp32;
     for (int li = 0; li < n; li++) {
         LayerState &st = states[static_cast<size_t>(li)];
         st.btBaseOld = 0;
         st.btBaseNew = 0;
         st.btWatermark = 0;
         st.blX = Span{0, 0};
+        // Refresh each conv layer's plan once per run (the tune cache
+        // may have gained a winner since the last run); the pyramid
+        // loop then dispatches through st.plan with no planner cost.
+        if (tplan.geom(li).windowed &&
+            net.layer(tplan.geom(li).layerIdx).kind == LayerKind::Conv) {
+            st.plan = planConv(convLayerQuery(
+                net.layer(tplan.geom(li).layerIdx),
+                tplan.geom(li).inPlane, runMode,
+                fastMath && runMode == Precision::Fp32));
+        }
         bool counts_coverage =
             tplan.geom(li).windowed ||
             net.layer(tplan.geom(li).layerIdx).kind == LayerKind::Pad;

@@ -42,6 +42,7 @@
 #include "nn/reference.hh"
 #include "nn/weights.hh"
 #include "sim/trace.hh"
+#include "tune/solver.hh"
 
 namespace flcnn {
 
@@ -94,6 +95,15 @@ class FusedExecutor
      */
     void setPrecision(const NetPrecision *prec) { precision = prec; }
 
+    /**
+     * Opt in to the fast-math conv tier (tune/solver.hh) for
+     * subsequent fp32 runs: FMA kernels with reordered accumulators,
+     * ULP-bounded against the exact path rather than bit-identical.
+     * Off by default; never applies to int8/fp16 precision modes,
+     * which stay bit-exact regardless.
+     */
+    void setFastMath(bool enable) { fastMath = enable; }
+
     /** Stream every DRAM access of subsequent runs to @p sink
      *  (group-input reads and group-output writes; see sim/trace.hh
      *  for the address map). Pass nullptr to disable. */
@@ -136,6 +146,10 @@ class FusedExecutor
         // Staged conv-input tile for non-fp32 precision modes.
         ConvStage stage;
 
+        // Conv plan for this layer (solver + tuned config), refreshed
+        // at the top of every run from the planner.
+        ConvPlan plan;
+
         // Fresh output of this layer for the current pyramid. Pointwise
         // layers alias the producer's buffer (freshOwner picks whose).
         Tensor fresh;
@@ -169,6 +183,7 @@ class FusedExecutor
     FusedRunStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
     const NetPrecision *precision = nullptr;
+    bool fastMath = false;
     bool trackCoverage = false;
     std::string coverageMsg;
     TraceSink traceSink;

@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
 
 namespace flcnn {
@@ -113,11 +114,10 @@ LineBufferExecutor::drain(int li, Tensor &output)
                     y += len;
                 }
                 st.stagedIn = st.rowsIn;
-                const ConvBlockKernelI8 bk =
-                    resolveConvBlockKernelI8(k, s);
+                const ConvBlockKernelI8 &bk = st.plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
                     li, fb, spec.groups, precision->weightScales(slot),
-                    precision->scaleId());
+                    precision->scaleId(), st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * batch,
@@ -138,7 +138,8 @@ LineBufferExecutor::drain(int li, Tensor &output)
                                            out.w, st.stage, row_idx, 0,
                                            act);
                         }
-                    });
+                    },
+                    st.plan.cfg.grain);
             } else if (mode == Precision::Fp16) {
                 st.stage.configure(mode, in.c, cap, in.w);
                 const int fresh =
@@ -151,9 +152,9 @@ LineBufferExecutor::drain(int li, Tensor &output)
                     y += len;
                 }
                 st.stagedIn = st.rowsIn;
-                const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
-                const PackedWeightsF16 &pw =
-                    packCache.getF16(li, fb, spec.groups);
+                const ConvBlockKernel &bk = st.plan.bk;
+                const PackedWeightsF16 &pw = packCache.getF16(
+                    li, fb, spec.groups, st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * batch,
@@ -174,11 +175,12 @@ LineBufferExecutor::drain(int li, Tensor &output)
                                             out.w, st.stage, row_idx,
                                             0);
                         }
-                    });
+                    },
+                    st.plan.cfg.grain);
             } else {
-            const ConvBlockKernel bk = resolveConvBlockKernel(k, s);
-            const PackedWeights &pw =
-                packCache.get(li, fb, spec.groups);
+            const ConvBlockKernel &bk = st.plan.bk;
+            const PackedWeights &pw = packCache.get(
+                li, fb, spec.groups, 0, st.plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             const int64_t ring_ch_stride =
                 static_cast<int64_t>(cap) * in.w;
@@ -211,7 +213,8 @@ LineBufferExecutor::drain(int li, Tensor &output)
                                ring_ch_stride, row_off, pw.panel(bi),
                                n_per_group);
                     }
-                });
+                },
+                st.plan.cfg.grain);
             }
             int64_t taps = static_cast<int64_t>(n_per_group) * k * k;
             curStats.ops.mults += taps * row_elems * batch;
@@ -411,10 +414,21 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
     Tensor output(net.outShape(last));
     curStats = LineBufferStats{};
     curStats.bufferBytes = bufferBytes();
-    for (auto &st : states) {
+    const Precision runMode =
+        precision ? precision->mode() : Precision::Fp32;
+    for (size_t i = 0; i < states.size(); i++) {
+        LayerState &st = states[i];
         st.rowsIn = 0;
         st.nextOut = 0;
         st.stagedIn = 0;
+        // Refresh each conv layer's plan once per run; the row cascade
+        // then dispatches through st.plan with no planner cost.
+        const int layer = first + static_cast<int>(i);
+        if (net.layer(layer).kind == LayerKind::Conv) {
+            st.plan = planConv(convLayerQuery(
+                net, layer, runMode,
+                fastMath && runMode == Precision::Fp32));
+        }
     }
     double t_run0 = 0.0;
     if (metrics) {

@@ -28,6 +28,7 @@
 #include "nn/precision.hh"
 #include "nn/weights.hh"
 #include "tensor/tensor.hh"
+#include "tune/solver.hh"
 
 namespace flcnn {
 
@@ -75,6 +76,13 @@ class LineBufferExecutor
     void setPrecision(const NetPrecision *prec) { precision = prec; }
 
     /**
+     * Opt in to the fast-math conv tier (tune/solver.hh) for
+     * subsequent fp32 runs: FMA kernels, ULP-bounded rather than
+     * bit-identical. Off by default; int8/fp16 modes stay exact.
+     */
+    void setFastMath(bool enable) { fastMath = enable; }
+
+    /**
      * Record per-fused-layer breakdowns of subsequent runs into @p m
      * (scopes "layer:<i>:<name>"): mults / adds / compares,
      * dram_read_bytes (head) / dram_write_bytes (tail), and
@@ -95,6 +103,7 @@ class LineBufferExecutor
         std::vector<float> blockBuf; //!< C x B x W staging for a block
         ConvStage stage;  //!< staged ring for non-fp32 conv modes
         int stagedIn = 0; //!< input rows already staged into `stage`
+        ConvPlan plan;    //!< conv plan, refreshed at each run() start
     };
 
     /** Deliver input row @p y to fused layer @p li; cascade downstream. */
@@ -111,6 +120,7 @@ class LineBufferExecutor
     LineBufferStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
     const NetPrecision *precision = nullptr;
+    bool fastMath = false;
     MetricsRegistry *metrics = nullptr;
     std::vector<OpCount> layerOps;  //!< per-layer tally (metrics only)
     int64_t lastPackHits = 0;

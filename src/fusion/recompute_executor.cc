@@ -7,6 +7,7 @@
 #include "common/logging.hh"
 #include "common/thread_pool.hh"
 #include "kernels/conv_kernels.hh"
+#include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
 
 namespace flcnn {
@@ -103,11 +104,11 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
             if (mode == Precision::Int8) {
                 const ActQuant &act = precision->actQuant(slot);
                 stageConvInputI8(stage, src, act, r0, r1);
-                const ConvBlockKernelI8 bk =
-                    resolveConvBlockKernelI8(fb.kernel(), spec.stride);
+                const ConvPlan &plan = plans[static_cast<size_t>(li)];
+                const ConvBlockKernelI8 &bk = plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
                     li, fb, spec.groups, precision->weightScales(slot),
-                    precision->scaleId());
+                    precision->scaleId(), plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oh,
@@ -126,13 +127,14 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                                 plane, ox.width(), stage, row_idx, x0,
                                 act);
                         }
-                    });
+                    },
+                    plan.cfg.grain);
             } else {
                 stageConvInputF16(stage, src, r0, r1);
-                const ConvBlockKernel bk =
-                    resolveConvBlockKernel(fb.kernel(), spec.stride);
-                const PackedWeightsF16 &pw =
-                    packCache.getF16(li, fb, spec.groups);
+                const ConvPlan &plan = plans[static_cast<size_t>(li)];
+                const ConvBlockKernel &bk = plan.bk;
+                const PackedWeightsF16 &pw = packCache.getF16(
+                    li, fb, spec.groups, plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oh,
@@ -150,12 +152,14 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                                 &out(pw.block(bi).m0, gy - oy.begin, 0),
                                 plane, ox.width(), stage, row_idx, x0);
                         }
-                    });
+                    },
+                    plan.cfg.grain);
             }
         } else {
-            const ConvBlockKernel bk =
-                resolveConvBlockKernel(fb.kernel(), spec.stride);
-            const PackedWeights &pw = packCache.get(li, fb, spec.groups);
+            const ConvPlan &plan = plans[static_cast<size_t>(li)];
+            const ConvBlockKernel &bk = plan.bk;
+            const PackedWeights &pw = packCache.get(
+                li, fb, spec.groups, 0, plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             parallelFor(
                 0, static_cast<int64_t>(nb) * oh,
@@ -170,7 +174,8 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                             plane, ox.width(), src,
                             gy * spec.stride - sy.begin, x0);
                     }
-                });
+                },
+                plan.cfg.grain);
         }
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *
                        spec.kernel * spec.kernel;
@@ -297,6 +302,21 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
 
     const LayerGeom &g0 = tplan.geom(0);
     const int n = tplan.numFusedLayers();
+
+    // Refresh each conv layer's plan once per run; the pyramid loop
+    // then dispatches through plans[li] with no planner cost.
+    const Precision runMode =
+        precision ? precision->mode() : Precision::Fp32;
+    plans.assign(static_cast<size_t>(n), ConvPlan{});
+    for (int li = 0; li < n; li++) {
+        const LayerGeom &g = tplan.geom(li);
+        if (net.layer(g.layerIdx).kind == LayerKind::Conv) {
+            plans[static_cast<size_t>(li)] = planConv(convLayerQuery(
+                net.layer(g.layerIdx), g.inPlane, runMode,
+                fastMath && runMode == Precision::Fp32));
+        }
+    }
+
     std::vector<double> layerWall;
     std::vector<int64_t> layerMults, layerAdds, layerCompares;
     if (metrics) {

@@ -24,6 +24,7 @@
 #include "nn/precision.hh"
 #include "nn/reference.hh"
 #include "nn/weights.hh"
+#include "tune/solver.hh"
 
 namespace flcnn {
 
@@ -60,6 +61,13 @@ class RecomputeExecutor
      */
     void setPrecision(const NetPrecision *prec) { precision = prec; }
 
+    /**
+     * Opt in to the fast-math conv tier (tune/solver.hh) for
+     * subsequent fp32 runs: FMA kernels, ULP-bounded rather than
+     * bit-identical. Off by default; int8/fp16 modes stay exact.
+     */
+    void setFastMath(bool enable) { fastMath = enable; }
+
     /** Record per-fused-layer breakdowns of subsequent runs into @p m
      *  (same scopes and names as FusedExecutor::setMetrics). Pass
      *  nullptr to detach. */
@@ -78,11 +86,13 @@ class RecomputeExecutor
     std::vector<Tensor> tiles;
     std::vector<Span> tileY, tileX;
     std::vector<ConvStage> stages;  //!< staged conv inputs (non-fp32)
+    std::vector<ConvPlan> plans;    //!< conv plans, refreshed per run
     Tensor inTile;
     Span inTileY, inTileX;
     RecomputeRunStats curStats;
     WeightPackCache packCache;  //!< per-fused-layer packed conv banks
     const NetPrecision *precision = nullptr;
+    bool fastMath = false;
     MetricsRegistry *metrics = nullptr;
     int64_t lastPackHits = 0;
     int64_t lastPackMisses = 0;

@@ -395,8 +395,28 @@ convSimdEnabled()
 #endif
 }
 
+bool
+convFmaEnabled()
+{
+#ifdef FLCNN_SIMD_FMA
+    return simd::fmaSupported();
+#else
+    return false;
+#endif
+}
+
+bool
+convVnniEnabled()
+{
+#ifdef FLCNN_SIMD_AVXVNNI
+    return simd::avxVnniSupported();
+#else
+    return false;
+#endif
+}
+
 ConvBlockKernel
-resolveConvBlockKernel(int kernel, int stride)
+resolveConvBlockKernelScalar(int kernel, int stride)
 {
     FLCNN_ASSERT(kernel >= 1 && stride >= 1,
                  "conv kernel and stride must be positive");
@@ -411,6 +431,13 @@ resolveConvBlockKernel(int kernel, int stride)
             break;
         }
     }
+    return bk;
+}
+
+ConvBlockKernel
+resolveConvBlockKernel(int kernel, int stride)
+{
+    ConvBlockKernel bk = resolveConvBlockKernelScalar(kernel, stride);
 #ifdef FLCNN_SIMD_AVX2
     // Runtime dispatch: prefer the explicit vector variants when the
     // host supports them (per-lane operation order is identical to the
@@ -418,6 +445,25 @@ resolveConvBlockKernel(int kernel, int stride)
     if (simd::avx2Supported()) {
         for (int mr : {1, 2, 4}) {
             if (ConvBlockStripFn f = simd::blockFn(mr, kernel, stride))
+                bk.fn[mr] = f;
+        }
+    }
+#endif
+    return bk;
+}
+
+ConvBlockKernel
+resolveConvBlockKernelFast(int kernel, int stride)
+{
+    ConvBlockKernel bk = resolveConvBlockKernel(kernel, stride);
+#ifdef FLCNN_SIMD_FMA
+    // Explicit opt-in only: callers reach this resolver solely through
+    // the fast-math tier (tune/solver.hh). The default resolvers never
+    // return these pointers.
+    if (simd::fmaSupported()) {
+        for (int mr : {1, 2, 4}) {
+            if (ConvBlockStripFn f =
+                    simd::blockFnFma(mr, kernel, stride))
                 bk.fn[mr] = f;
         }
     }

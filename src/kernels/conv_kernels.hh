@@ -161,11 +161,16 @@ struct ConvBlockKernel
 {
     int k = 0;   //!< kernel size K
     int sx = 1;  //!< input step between adjacent output pixels
+    int seg = 0; //!< strip segment width (tunable), 0 = whole row
     ConvBlockStripFn fn[kConvBlockLanes + 1] = {};  //!< per lane count
 
     bool specialized(int mr) const { return fn[mr] != nullptr; }
 
-    /** Run the @p mr-lane strip kernel (specialized or generic). */
+    /** Run the @p mr-lane strip kernel (specialized or generic). When
+     *  a segment width is set the row is processed seg pixels at a
+     *  time — pixels are independent, so the split points are
+     *  invisible in the output bits; they only change how long a
+     *  panel walk stays resident per pass (the autotuner's knob). */
     void
     run(int mr, float *dst, int64_t dst_stride, int count,
         const float *in, int64_t ch_stride, const int64_t *row_off,
@@ -173,13 +178,19 @@ struct ConvBlockKernel
     {
         FLCNN_ASSERT(mr >= 1 && mr <= kConvBlockLanes,
                      "filter-block lane count out of range");
-        if (fn[mr])
-            fn[mr](dst, dst_stride, count, in, ch_stride, row_off, wp,
-                   n_count);
-        else
-            convBlockStripGeneric(mr, dst, dst_stride, count, in,
-                                  ch_stride, row_off, wp, n_count, k,
-                                  sx);
+        const int sw = (seg > 0 && seg < count) ? seg : count;
+        for (int t = 0; t < count; t += sw) {
+            const int c = count - t < sw ? count - t : sw;
+            float *d = dst + t;
+            const float *src = in + static_cast<int64_t>(t) * sx;
+            if (fn[mr])
+                fn[mr](d, dst_stride, c, src, ch_stride, row_off, wp,
+                       n_count);
+            else
+                convBlockStripGeneric(mr, d, dst_stride, c, src,
+                                      ch_stride, row_off, wp, n_count,
+                                      k, sx);
+        }
     }
 
     /** The generic (runtime-K/stride/lane) multi-filter path; exposed
@@ -202,9 +213,39 @@ struct ConvBlockKernel
  */
 ConvBlockKernel resolveConvBlockKernel(int kernel, int stride);
 
+/**
+ * Resolve the multi-filter kernels *without* the SIMD override: the
+ * compile-time-specialized scalar ladder (or generic fallback) only.
+ * This is what resolveConvBlockKernel() returns on a non-AVX2 host or
+ * an FLCNN_SIMD=OFF build; the solver registry exposes it as the
+ * always-applicable "fp32.scalar" solver.
+ */
+ConvBlockKernel resolveConvBlockKernelScalar(int kernel, int stride);
+
+/**
+ * Resolve the fast-math (FMA) multi-filter kernels: the bit-exact
+ * resolution of resolveConvBlockKernel() with stride-1 table sizes
+ * overridden by FMA variants that split each lane's accumulation into
+ * two interleaved partial sums (tap parity) recombined at the end.
+ * The reordering and the fused rounding break bit-exactness with the
+ * scalar path by a ULP-bounded amount (see the fast-math differential
+ * tests); callers opt in explicitly — nothing in the default path
+ * ever calls this. Falls back to resolveConvBlockKernel() when FMA is
+ * not compiled in or the CPU lacks it.
+ */
+ConvBlockKernel resolveConvBlockKernelFast(int kernel, int stride);
+
 /** True when the explicit SIMD strip path is compiled in and the CPU
  *  supports it at runtime (FLCNN_SIMD=ON build on an AVX2 host). */
 bool convSimdEnabled();
+
+/** True when the fast-math FMA strip kernels are compiled in and the
+ *  CPU supports them (never used unless explicitly requested). */
+bool convFmaEnabled();
+
+/** True when the AVX-VNNI int8 kernels are compiled in and the CPU
+ *  supports them. */
+bool convVnniEnabled();
 
 /**
  * Convenience wrapper for the common Tensor + FilterBank call sites:

@@ -92,12 +92,19 @@ ConvBlockKernelI8::convBlockStripI8Generic(int mr, int32_t *dst,
 }
 
 ConvBlockKernelI8
-resolveConvBlockKernelI8(int kernel, int stride)
+resolveConvBlockKernelI8Scalar(int kernel, int stride)
 {
     ConvBlockKernelI8 bk;
     bk.k = kernel;
     bk.k4 = (kernel + 3) & ~3;
     bk.sx = stride;
+    return bk;
+}
+
+ConvBlockKernelI8
+resolveConvBlockKernelI8(int kernel, int stride)
+{
+    ConvBlockKernelI8 bk = resolveConvBlockKernelI8Scalar(kernel, stride);
 #ifdef FLCNN_SIMD_AVX2
     if (simd::avx2Supported()) {
         for (int mr = 1; mr <= kConvBlockLanes; mr++)

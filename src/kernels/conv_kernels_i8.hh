@@ -71,11 +71,15 @@ struct ConvBlockKernelI8
     int k = 0;   //!< kernel size K
     int k4 = 0;  //!< K rounded up to a multiple of 4 (panel row taps)
     int sx = 1;  //!< input step between adjacent output pixels
+    int seg = 0; //!< strip segment width (tunable), 0 = whole row
     ConvBlockStripI8Fn fn[kConvBlockLanes + 1] = {};  //!< per lane count
 
     bool specialized(int mr) const { return fn[mr] != nullptr; }
 
-    /** Run the @p mr-lane strip kernel (vector or portable). */
+    /** Run the @p mr-lane strip kernel (vector or portable). When a
+     *  segment width is set the row is processed seg pixels at a time;
+     *  integer sums are exact regardless, the split only tunes how
+     *  long each panel walk stays cache-resident. */
     void
     run(int mr, int32_t *dst, int64_t dst_stride, int count,
         const uint8_t *in, int64_t ch_stride, const int64_t *row_off,
@@ -83,13 +87,19 @@ struct ConvBlockKernelI8
     {
         FLCNN_ASSERT(mr >= 1 && mr <= kConvBlockLanes,
                      "filter-block lane count out of range");
-        if (fn[mr])
-            fn[mr](dst, dst_stride, count, in, ch_stride, row_off, wp,
-                   n_count);
-        else
-            convBlockStripI8Generic(mr, dst, dst_stride, count, in,
-                                    ch_stride, row_off, wp, n_count, k,
-                                    sx);
+        const int sw = (seg > 0 && seg < count) ? seg : count;
+        for (int t = 0; t < count; t += sw) {
+            const int c = count - t < sw ? count - t : sw;
+            int32_t *d = dst + t;
+            const uint8_t *src = in + static_cast<int64_t>(t) * sx;
+            if (fn[mr])
+                fn[mr](d, dst_stride, c, src, ch_stride, row_off, wp,
+                       n_count);
+            else
+                convBlockStripI8Generic(mr, d, dst_stride, c, src,
+                                        ch_stride, row_off, wp, n_count,
+                                        k, sx);
+        }
     }
 
     /** The portable (runtime-K/stride/lane) int8 path; plain i32
@@ -106,11 +116,20 @@ struct ConvBlockKernelI8
 /**
  * Resolve the int8 multi-filter kernels for a (kernel, stride) pair.
  * When the build enables FLCNN_SIMD and the CPU supports AVX2,
- * stride-1 shapes of any K dispatch to the maddubs vector path;
- * everything else runs the portable generic (which produces identical
- * i32 accumulators).
+ * stride-1 shapes of any K and stride-4 table shapes (AlexNet's 11x11
+ * s4 conv1) dispatch to the maddubs vector path, upgraded to AVX-VNNI
+ * vpdpbusd when available; everything else runs the portable generic
+ * (which produces identical i32 accumulators).
  */
 ConvBlockKernelI8 resolveConvBlockKernelI8(int kernel, int stride);
+
+/**
+ * Resolve the int8 kernels *without* any vector override — the
+ * portable generic path only. Bit-identical accumulators to the vector
+ * variants (integer sums are exact); the solver registry exposes it as
+ * the always-applicable "i8.scalar" solver.
+ */
+ConvBlockKernelI8 resolveConvBlockKernelI8Scalar(int kernel, int stride);
 
 } // namespace flcnn
 

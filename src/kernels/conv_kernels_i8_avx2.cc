@@ -1,25 +1,30 @@
 /**
  * @file
- * Explicit AVX2 int8 multi-filter strip kernels (stride 1, table
- * kernel sizes). Compiled with -mavx2 only when the FLCNN_SIMD CMake
- * option is ON on an x86-64 target; entry points are reached only
- * after a runtime avx2Supported() check.
+ * Explicit AVX2 int8 multi-filter strip kernels (strides 1 and 4,
+ * table kernel sizes). Compiled with -mavx2 only when the FLCNN_SIMD
+ * CMake option is ON on an x86-64 target; entry points are reached
+ * only after a runtime avx2Supported() check.
  *
- * Pipeline per (channel, kernel-row, 4-tap group): one 16-byte load
- * covers the 11 input bytes feeding 8 output pixels x 4 consecutive
- * taps; a byte shuffle expands it to 8 pixels x 4 taps; maddubs
- * (u8 x s8 -> pairwise i16) and madd-by-ones (i16 pairs -> i32) reduce
- * each pixel's 4 products into one i32 added to the lane accumulator.
- * The +/-63 weight clamp (kernels/quant.hh) bounds every pairwise i16
- * sum by 255 * 63 * 2 = 32130 < 32767, so maddubs' saturating add
- * never saturates and the result is the exact integer sum — bit-equal
- * to the portable generic path. Remainders (< 8 pixels) delegate to it
- * outright.
+ * Pipeline per (channel, kernel-row, 4-tap group): at stride 1 one
+ * 16-byte load covers the 11 input bytes feeding 8 output pixels x 4
+ * consecutive taps and a byte shuffle expands it to 8 pixels x 4 taps.
+ * At stride 4 the layout aligns perfectly with the 4-tap grouping —
+ * pixel t's group-jg taps live at bytes (t + jg) * 4 — so the 8
+ * pixels' taps ARE the 8 dwords of one contiguous 32-byte load from
+ * irow + jg * 4, with no shuffle at all (this is the AlexNet conv1
+ * 11x11 s4 case). Either way, maddubs (u8 x s8 -> pairwise i16) and
+ * madd-by-ones (i16 pairs -> i32) reduce each pixel's 4 products into
+ * one i32 added to the lane accumulator. The +/-63 weight clamp
+ * (kernels/quant.hh) bounds every pairwise i16 sum by 255 * 63 * 2 =
+ * 32130 < 32767, so maddubs' saturating add never saturates and the
+ * result is the exact integer sum — bit-equal to the portable generic
+ * path. Remainders (< 8 pixels) delegate to it outright.
  *
- * Overread: the 16-byte tap load reaches up to column
+ * Overread: the stride-1 16-byte tap load reaches up to column
  * t0 + (K4 - 4) + 15 of a staged row; ConvStage's rows carry 48 bytes
  * of zero padding past the image width, which covers it for every K
- * the repo supports.
+ * the repo supports. The stride-4 32-byte load ends exactly at the
+ * last tap byte pixel 7 touches — no overread at all.
  */
 
 #include "kernels/conv_kernels_simd.hh"
@@ -45,8 +50,28 @@ pixelTapMask()
         4, 5, 6, 7, 5, 6, 7, 8, 6, 7, 8, 9, 7, 8, 9, 10);
 }
 
-/** One MR x 8 int8 vector block (stride 1, compile-time K). */
-template <int MR, int K>
+/** Load 8 pixels x 4 taps of group @p jg into dword-per-pixel order. */
+template <int SX>
+inline __m256i
+loadPixTaps(const uint8_t *irow, int jg)
+{
+    static_assert(SX == 1 || SX == 4, "unsupported int8 vector stride");
+    if constexpr (SX == 1) {
+        const __m128i raw = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(irow + jg * 4));
+        return _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(raw),
+                                   pixelTapMask());
+    } else {
+        // Stride 4: pixel t's group-jg taps are bytes (t + jg) * 4 ..
+        // + 3, so the 8 pixels' taps are exactly the 8 dwords of one
+        // contiguous 32-byte load.
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(irow + jg * 4));
+    }
+}
+
+/** One MR x 8 int8 vector block (compile-time K and stride). */
+template <int MR, int K, int SX>
 inline void
 blockI8Avx2(int32_t *dst, int64_t dst_stride, const uint8_t *in,
             int64_t ch_stride, const int64_t *row_off, const int8_t *wp,
@@ -54,7 +79,6 @@ blockI8Avx2(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 {
     constexpr int JG = (K + 3) / 4;
     constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
-    const __m256i mask = pixelTapMask();
     const __m256i ones = _mm256_set1_epi16(1);
     __m256i acc[MR];
     for (int f = 0; f < MR; f++)
@@ -68,10 +92,7 @@ blockI8Avx2(int32_t *dst, int64_t dst_stride, const uint8_t *in,
             const uint8_t *irow = chan + row_off[i];
             const int8_t *wrow = wchan + i * W_ROW;
             for (int jg = 0; jg < JG; jg++) {
-                const __m128i raw = _mm_loadu_si128(
-                    reinterpret_cast<const __m128i *>(irow + jg * 4));
-                const __m256i pix = _mm256_shuffle_epi8(
-                    _mm256_broadcastsi128_si256(raw), mask);
+                const __m256i pix = loadPixTaps<SX>(irow, jg);
                 const int8_t *wtap = wrow + jg * MR * 4;
                 for (int f = 0; f < MR; f++) {
                     int32_t wbits;
@@ -90,7 +111,7 @@ blockI8Avx2(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 }
 
 /** Strip driver: vector 8-pixel blocks, portable generic remainder. */
-template <int MR, int K>
+template <int MR, int K, int SX>
 void
 convBlockStripI8Avx2(int32_t *dst, int64_t dst_stride, int count,
                      const uint8_t *in, int64_t ch_stride,
@@ -98,16 +119,16 @@ convBlockStripI8Avx2(int32_t *dst, int64_t dst_stride, int count,
                      int n_count)
 {
     while (count >= 8) {
-        blockI8Avx2<MR, K>(dst, dst_stride, in, ch_stride, row_off, wp,
-                           n_count);
+        blockI8Avx2<MR, K, SX>(dst, dst_stride, in, ch_stride, row_off,
+                               wp, n_count);
         dst += 8;
-        in += 8;  // stride 1
+        in += 8 * SX;
         count -= 8;
     }
     if (count > 0) {
         ConvBlockKernelI8::convBlockStripI8Generic(
             MR, dst, dst_stride, count, in, ch_stride, row_off, wp,
-            n_count, K, 1);
+            n_count, K, SX);
     }
 }
 
@@ -115,17 +136,20 @@ struct I8Entry
 {
     int mr;
     int k;
+    int sx;
     ConvBlockStripI8Fn fn;
 };
 
-#define FLCNN_I8_ENTRY(K)                                               \
-    {1, K, &convBlockStripI8Avx2<1, K>},                                \
-    {2, K, &convBlockStripI8Avx2<2, K>},                                \
-    {4, K, &convBlockStripI8Avx2<4, K>}
+#define FLCNN_I8_ENTRY(K, SX)                                           \
+    {1, K, SX, &convBlockStripI8Avx2<1, K, SX>},                        \
+    {2, K, SX, &convBlockStripI8Avx2<2, K, SX>},                        \
+    {4, K, SX, &convBlockStripI8Avx2<4, K, SX>}
 
 constexpr I8Entry kI8Table[] = {
-    FLCNN_I8_ENTRY(1), FLCNN_I8_ENTRY(3), FLCNN_I8_ENTRY(5),
-    FLCNN_I8_ENTRY(7), FLCNN_I8_ENTRY(11),
+    FLCNN_I8_ENTRY(1, 1),  FLCNN_I8_ENTRY(3, 1), FLCNN_I8_ENTRY(5, 1),
+    FLCNN_I8_ENTRY(7, 1),  FLCNN_I8_ENTRY(11, 1),
+    FLCNN_I8_ENTRY(1, 4),  FLCNN_I8_ENTRY(3, 4), FLCNN_I8_ENTRY(5, 4),
+    FLCNN_I8_ENTRY(7, 4),  FLCNN_I8_ENTRY(11, 4),
 };
 
 #undef FLCNN_I8_ENTRY
@@ -187,10 +211,8 @@ dequantRowI8(float *dst, const int32_t *acc, int count, float bias,
 ConvBlockStripI8Fn
 blockFnI8(int mr, int kernel, int stride)
 {
-    if (stride != 1)
-        return nullptr;
     for (const I8Entry &e : kI8Table) {
-        if (e.mr == mr && e.k == kernel)
+        if (e.mr == mr && e.k == kernel && e.sx == stride)
             return e.fn;
     }
     return nullptr;

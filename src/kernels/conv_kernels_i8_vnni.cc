@@ -1,6 +1,7 @@
 /**
  * @file
- * AVX-VNNI int8 strip kernels (stride 1, table kernel sizes). One
+ * AVX-VNNI int8 strip kernels (strides 1 and 4, table kernel sizes).
+ * One
  * vpdpbusd replaces the maddubs + madd + add triple of the plain AVX2
  * pipeline: the instruction multiplies 4 adjacent u8 x s8 pairs,
  * widens the products to i16 (always exact — 255 * 127 fits), sums
@@ -15,7 +16,9 @@
  * runtime avxVnniSupported() check, so FLCNN_SIMD=ON binaries still
  * run on pre-VNNI hosts through the maddubs or generic paths.
  *
- * Input shuffle and panel layout are identical to the AVX2 TU; see
+ * Input shuffle and panel layout are identical to the AVX2 TU —
+ * including the stride-4 case, where the 4-tap grouping makes each
+ * pixel octet's taps one contiguous 32-byte load with no shuffle; see
  * conv_kernels_i8_avx2.cc for the overread argument (covered by
  * ConvStage's 48-byte zero apron).
  */
@@ -38,8 +41,26 @@ pixelTapMask()
         4, 5, 6, 7, 5, 6, 7, 8, 6, 7, 8, 9, 7, 8, 9, 10);
 }
 
-/** One MR x 8 int8 vector block (stride 1, compile-time K). */
-template <int MR, int K>
+/** Load 8 pixels x 4 taps of group @p jg into dword-per-pixel order
+ *  (same trick as the AVX2 TU: stride 4 is a straight 32-byte load). */
+template <int SX>
+inline __m256i
+loadPixTaps(const uint8_t *irow, int jg)
+{
+    static_assert(SX == 1 || SX == 4, "unsupported int8 vector stride");
+    if constexpr (SX == 1) {
+        const __m128i raw = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(irow + jg * 4));
+        return _mm256_shuffle_epi8(_mm256_broadcastsi128_si256(raw),
+                                   pixelTapMask());
+    } else {
+        return _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(irow + jg * 4));
+    }
+}
+
+/** One MR x 8 int8 vector block (compile-time K and stride). */
+template <int MR, int K, int SX>
 inline void
 blockI8Vnni(int32_t *dst, int64_t dst_stride, const uint8_t *in,
             int64_t ch_stride, const int64_t *row_off, const int8_t *wp,
@@ -47,7 +68,6 @@ blockI8Vnni(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 {
     constexpr int JG = (K + 3) / 4;
     constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
-    const __m256i mask = pixelTapMask();
     __m256i acc[MR];
     for (int f = 0; f < MR; f++)
         acc[f] = _mm256_loadu_si256(
@@ -60,10 +80,7 @@ blockI8Vnni(int32_t *dst, int64_t dst_stride, const uint8_t *in,
             const uint8_t *irow = chan + row_off[i];
             const int8_t *wrow = wchan + i * W_ROW;
             for (int jg = 0; jg < JG; jg++) {
-                const __m128i raw = _mm_loadu_si128(
-                    reinterpret_cast<const __m128i *>(irow + jg * 4));
-                const __m256i pix = _mm256_shuffle_epi8(
-                    _mm256_broadcastsi128_si256(raw), mask);
+                const __m256i pix = loadPixTaps<SX>(irow, jg);
                 const int8_t *wtap = wrow + jg * MR * 4;
                 for (int f = 0; f < MR; f++) {
                     int32_t wbits;
@@ -82,7 +99,7 @@ blockI8Vnni(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 /** One MR x 16 block: two pixel octets share each weight broadcast,
  *  halving the load traffic that bounds the 8-pixel block (vpdpbusd
  *  itself dual-issues; the broadcasts do not). */
-template <int MR, int K>
+template <int MR, int K, int SX>
 inline void
 blockI8Vnni16(int32_t *dst, int64_t dst_stride, const uint8_t *in,
               int64_t ch_stride, const int64_t *row_off,
@@ -90,7 +107,6 @@ blockI8Vnni16(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 {
     constexpr int JG = (K + 3) / 4;
     constexpr int64_t W_ROW = static_cast<int64_t>(JG) * MR * 4;
-    const __m256i mask = pixelTapMask();
     __m256i acc0[MR], acc1[MR];
     for (int f = 0; f < MR; f++) {
         acc0[f] = _mm256_loadu_si256(
@@ -107,15 +123,9 @@ blockI8Vnni16(int32_t *dst, int64_t dst_stride, const uint8_t *in,
             const uint8_t *irow = chan + row_off[i];
             const int8_t *wrow = wchan + i * W_ROW;
             for (int jg = 0; jg < JG; jg++) {
-                const __m128i raw0 = _mm_loadu_si128(
-                    reinterpret_cast<const __m128i *>(irow + jg * 4));
-                const __m128i raw1 = _mm_loadu_si128(
-                    reinterpret_cast<const __m128i *>(irow + jg * 4 +
-                                                      8));
-                const __m256i pix0 = _mm256_shuffle_epi8(
-                    _mm256_broadcastsi128_si256(raw0), mask);
-                const __m256i pix1 = _mm256_shuffle_epi8(
-                    _mm256_broadcastsi128_si256(raw1), mask);
+                const __m256i pix0 = loadPixTaps<SX>(irow, jg);
+                const __m256i pix1 =
+                    loadPixTaps<SX>(irow + 8 * SX, jg);
                 const int8_t *wtap = wrow + jg * MR * 4;
                 for (int f = 0; f < MR; f++) {
                     int32_t wbits;
@@ -140,7 +150,7 @@ blockI8Vnni16(int32_t *dst, int64_t dst_stride, const uint8_t *in,
 
 /** Strip driver: 16- then 8-pixel vector blocks, portable generic
  *  remainder. */
-template <int MR, int K>
+template <int MR, int K, int SX>
 void
 convBlockStripI8Vnni(int32_t *dst, int64_t dst_stride, int count,
                      const uint8_t *in, int64_t ch_stride,
@@ -148,23 +158,23 @@ convBlockStripI8Vnni(int32_t *dst, int64_t dst_stride, int count,
                      int n_count)
 {
     while (count >= 16) {
-        blockI8Vnni16<MR, K>(dst, dst_stride, in, ch_stride, row_off,
-                             wp, n_count);
+        blockI8Vnni16<MR, K, SX>(dst, dst_stride, in, ch_stride,
+                                 row_off, wp, n_count);
         dst += 16;
-        in += 16;  // stride 1
+        in += 16 * SX;
         count -= 16;
     }
     while (count >= 8) {
-        blockI8Vnni<MR, K>(dst, dst_stride, in, ch_stride, row_off, wp,
-                           n_count);
+        blockI8Vnni<MR, K, SX>(dst, dst_stride, in, ch_stride, row_off,
+                               wp, n_count);
         dst += 8;
-        in += 8;
+        in += 8 * SX;
         count -= 8;
     }
     if (count > 0) {
         ConvBlockKernelI8::convBlockStripI8Generic(
             MR, dst, dst_stride, count, in, ch_stride, row_off, wp,
-            n_count, K, 1);
+            n_count, K, SX);
     }
 }
 
@@ -172,17 +182,21 @@ struct VnniEntry
 {
     int mr;
     int k;
+    int sx;
     ConvBlockStripI8Fn fn;
 };
 
-#define FLCNN_VNNI_ENTRY(K)                                             \
-    {1, K, &convBlockStripI8Vnni<1, K>},                                \
-    {2, K, &convBlockStripI8Vnni<2, K>},                                \
-    {4, K, &convBlockStripI8Vnni<4, K>}
+#define FLCNN_VNNI_ENTRY(K, SX)                                         \
+    {1, K, SX, &convBlockStripI8Vnni<1, K, SX>},                        \
+    {2, K, SX, &convBlockStripI8Vnni<2, K, SX>},                        \
+    {4, K, SX, &convBlockStripI8Vnni<4, K, SX>}
 
 constexpr VnniEntry kVnniTable[] = {
-    FLCNN_VNNI_ENTRY(1), FLCNN_VNNI_ENTRY(3), FLCNN_VNNI_ENTRY(5),
-    FLCNN_VNNI_ENTRY(7), FLCNN_VNNI_ENTRY(11),
+    FLCNN_VNNI_ENTRY(1, 1),  FLCNN_VNNI_ENTRY(3, 1),
+    FLCNN_VNNI_ENTRY(5, 1),  FLCNN_VNNI_ENTRY(7, 1),
+    FLCNN_VNNI_ENTRY(11, 1), FLCNN_VNNI_ENTRY(1, 4),
+    FLCNN_VNNI_ENTRY(3, 4),  FLCNN_VNNI_ENTRY(5, 4),
+    FLCNN_VNNI_ENTRY(7, 4),  FLCNN_VNNI_ENTRY(11, 4),
 };
 
 #undef FLCNN_VNNI_ENTRY
@@ -203,10 +217,8 @@ avxVnniSupported()
 ConvBlockStripI8Fn
 blockFnI8Vnni(int mr, int kernel, int stride)
 {
-    if (stride != 1)
-        return nullptr;
     for (const VnniEntry &e : kVnniTable) {
-        if (e.mr == mr && e.k == kernel)
+        if (e.mr == mr && e.k == kernel && e.sx == stride)
             return e.fn;
     }
     return nullptr;

@@ -43,6 +43,22 @@ ConvBlockStripFn blockFn(int mr, int kernel, int stride);
  */
 ConvBlockStripI8Fn blockFnI8(int mr, int kernel, int stride);
 
+/** True when the running CPU supports the FMA fast-math kernels. */
+bool fmaSupported();
+
+/**
+ * The fast-math FMA multi-filter strip variant for @p mr lanes and a
+ * (kernel, stride) pair, or nullptr when none exists. Unlike every
+ * other resolver in this header, the returned function is NOT
+ * bit-identical to the scalar path: each lane accumulates two
+ * interleaved partial sums (split by tap parity) with vfmadd, then
+ * recombines — a ULP-bounded deviation verified by the fast-math
+ * differential tests. Compiled only when the toolchain has -mfma
+ * (FLCNN_SIMD_FMA), dispatched only through
+ * resolveConvBlockKernelFast().
+ */
+ConvBlockStripFn blockFnFma(int mr, int kernel, int stride);
+
 /** True when the running CPU supports the AVX-VNNI int8 kernels. */
 bool avxVnniSupported();
 

@@ -6,23 +6,27 @@
 
 namespace flcnn {
 
-PackedWeights::PackedWeights(const FilterBank &fb, int groups, int m_tile)
+PackedWeights::PackedWeights(const FilterBank &fb, int groups, int m_tile,
+                             int mr_cap)
     : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel())
 {
     FLCNN_ASSERT(groups >= 1 && m_ % groups == 0,
                  "filters must divide evenly into groups");
     FLCNN_ASSERT(m_tile >= 0, "m_tile must be non-negative");
+    FLCNN_ASSERT(mr_cap >= 1 && mr_cap <= kConvBlockLanes,
+                 "mr_cap out of ladder range");
     mPerGroup = m_ / groups;
 
     biases.resize(static_cast<size_t>(m_));
     for (int m = 0; m < m_; m++)
         biases[static_cast<size_t>(m)] = fb.bias(m);
 
-    // Enumerate blocks: the 4/2/1 lane ladder, restarted at every
-    // group boundary and (when tiling) every m_tile-th filter within
-    // a group.
+    // Enumerate blocks: the 4/2/1 lane ladder capped at mr_cap,
+    // restarted at every group boundary and (when tiling) every
+    // m_tile-th filter within a group.
     const int tile = (m_tile > 0) ? std::min(m_tile, mPerGroup)
                                   : mPerGroup;
+    const int cap = std::min(mr_cap, kConvBlockLanes);
     blockOfM.resize(static_cast<size_t>(m_));
     int64_t offset = 0;
     const int64_t panel_taps = static_cast<int64_t>(n_) * k_ * k_;
@@ -31,9 +35,10 @@ PackedWeights::PackedWeights(const FilterBank &fb, int groups, int m_tile)
             int m = g * mPerGroup + t0;
             int rem = std::min(tile, mPerGroup - t0);
             while (rem > 0) {
-                int lanes = rem >= kConvBlockLanes ? kConvBlockLanes
-                            : rem >= 2             ? 2
-                                                   : 1;
+                const int w = std::min(rem, cap);
+                int lanes = w >= kConvBlockLanes ? kConvBlockLanes
+                            : w >= 2             ? 2
+                                                 : 1;
                 const int bi = static_cast<int>(blks.size());
                 blks.push_back(PackedBlock{m, lanes, offset});
                 for (int f = 0; f < lanes; f++)

@@ -54,10 +54,15 @@ class PackedWeights
      * the 4/2/1 lane ladder within each group; when @p m_tile > 0 the
      * ladder also restarts at every m_tile-th filter inside a group,
      * so a tile [m0, m0 + m_tile) is always a whole number of blocks
-     * (the baseline accelerator's Tm loop needs this).
+     * (the baseline accelerator's Tm loop needs this). @p mr_cap
+     * limits the widest ladder rung (the autotuner's register-block
+     * knob): 4 is the full 4/2/1 ladder, 2 packs 2/1, 1 packs all
+     * singles. The cap changes the panel layout, never the values —
+     * consumers stay bit-identical at any cap.
      */
     explicit PackedWeights(const FilterBank &fb, int groups = 1,
-                           int m_tile = 0);
+                           int m_tile = 0,
+                           int mr_cap = kConvBlockLanes);
 
     int numBlocks() const { return static_cast<int>(blks.size()); }
     const PackedBlock &
@@ -127,9 +132,11 @@ class PackedWeightsI8
     PackedWeightsI8() = default;
 
     /** Quantize and pack @p fb with per-filter scales @p w_scales
-     *  (size fb.numFilters(); see chooseWeightScale()). */
+     *  (size fb.numFilters(); see chooseWeightScale()). @p mr_cap
+     *  limits the widest ladder rung, as in PackedWeights. */
     PackedWeightsI8(const FilterBank &fb, int groups,
-                    const std::vector<float> &w_scales);
+                    const std::vector<float> &w_scales,
+                    int mr_cap = kConvBlockLanes);
 
     int numBlocks() const { return static_cast<int>(blks.size()); }
     const PackedBlock &
@@ -201,7 +208,8 @@ class PackedWeightsF16
   public:
     PackedWeightsF16() = default;
 
-    PackedWeightsF16(const FilterBank &fb, int groups);
+    PackedWeightsF16(const FilterBank &fb, int groups,
+                     int mr_cap = kConvBlockLanes);
 
     int numBlocks() const { return static_cast<int>(blks.size()); }
     const PackedBlock &
@@ -302,18 +310,35 @@ struct PackKeyHash
  * internally with the pack dtype and int8 scale-set identity — see
  * PackKey. Not thread-safe — executors populate it from the serial
  * portion of their run, outside any parallelFor region.
+ *
+ * Stale-pack guard: a pack's panel layout depends on (m_tile, mr_cap).
+ * The tune cache can change a layer's mr_cap between runs (a newly
+ * stored autotune winner), which would make a cached pack's layout
+ * disagree with the kernel about lane widths — silently wrong results.
+ * Each entry therefore remembers the layout it was packed with; a
+ * lookup requesting a different layout evicts and repacks (counted in
+ * evictions()).
  */
 class WeightPackCache
 {
   public:
     /** The fp32 packed form of @p fb under @p key, packing on first
-     *  use. */
+     *  use and repacking if the cached layout differs. */
     const PackedWeights &
-    get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0)
+    get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0,
+        int mr_cap = kConvBlockLanes)
     {
         Entry &e = lookup(PackKey{key, Precision::Fp32, 0});
-        if (!e.fp32)
-            e.fp32 = std::make_unique<PackedWeights>(fb, groups, m_tile);
+        if (e.fp32 && (e.tile != m_tile || e.cap != mr_cap)) {
+            e.fp32.reset();
+            evictions_++;
+        }
+        if (!e.fp32) {
+            e.fp32 = std::make_unique<PackedWeights>(fb, groups, m_tile,
+                                                     mr_cap);
+            e.tile = m_tile;
+            e.cap = mr_cap;
+        }
         return *e.fp32;
     }
 
@@ -321,22 +346,37 @@ class WeightPackCache
      *  identity is @p scale_id (see nn::NetPrecision::scaleId()). */
     const PackedWeightsI8 &
     getI8(int key, const FilterBank &fb, int groups,
-          const std::vector<float> &w_scales, uint64_t scale_id)
+          const std::vector<float> &w_scales, uint64_t scale_id,
+          int mr_cap = kConvBlockLanes)
     {
         Entry &e = lookup(PackKey{key, Precision::Int8, scale_id});
-        if (!e.i8)
+        if (e.i8 && e.cap != mr_cap) {
+            e.i8.reset();
+            evictions_++;
+        }
+        if (!e.i8) {
             e.i8 = std::make_unique<PackedWeightsI8>(fb, groups,
-                                                     w_scales);
+                                                     w_scales, mr_cap);
+            e.cap = mr_cap;
+        }
         return *e.i8;
     }
 
     /** The fp16 packed form of @p fb under @p key. */
     const PackedWeightsF16 &
-    getF16(int key, const FilterBank &fb, int groups)
+    getF16(int key, const FilterBank &fb, int groups,
+           int mr_cap = kConvBlockLanes)
     {
         Entry &e = lookup(PackKey{key, Precision::Fp16, 0});
-        if (!e.f16)
-            e.f16 = std::make_unique<PackedWeightsF16>(fb, groups);
+        if (e.f16 && e.cap != mr_cap) {
+            e.f16.reset();
+            evictions_++;
+        }
+        if (!e.f16) {
+            e.f16 = std::make_unique<PackedWeightsF16>(fb, groups,
+                                                       mr_cap);
+            e.cap = mr_cap;
+        }
         return *e.f16;
     }
 
@@ -344,12 +384,18 @@ class WeightPackCache
     int64_t hits() const { return hits_; }
     int64_t misses() const { return misses_; }
 
+    /** Packs discarded because a lookup asked for a different panel
+     *  layout (m_tile or mr_cap) than the cached one. */
+    int64_t evictions() const { return evictions_; }
+
   private:
     struct Entry
     {
         std::unique_ptr<PackedWeights> fp32;
         std::unique_ptr<PackedWeightsI8> i8;
         std::unique_ptr<PackedWeightsF16> f16;
+        int tile = 0;                //!< m_tile the pack was built with
+        int cap = kConvBlockLanes;   //!< mr_cap the pack was built with
     };
 
     Entry &
@@ -368,6 +414,7 @@ class WeightPackCache
     std::unordered_map<PackKey, Entry, PackKeyHash> map;
     int64_t hits_ = 0;
     int64_t misses_ = 0;
+    int64_t evictions_ = 0;
 };
 
 /**

@@ -20,23 +20,26 @@ namespace {
 /**
  * Enumerate the 4/2/1 lane ladder over @p m filters in @p groups
  * groups (PackedWeights' ladder without the accelerator m-tile), with
- * @p taps_per_lane panel elements per lane. Fills @p blks and
- * @p block_of_m, returns total panel elements.
+ * @p taps_per_lane panel elements per lane and the widest rung capped
+ * at @p mr_cap. Fills @p blks and @p block_of_m, returns total panel
+ * elements.
  */
 int64_t
-ladderBlocks(int m, int groups, int64_t taps_per_lane,
+ladderBlocks(int m, int groups, int64_t taps_per_lane, int mr_cap,
              std::vector<PackedBlock> &blks, std::vector<int> &block_of_m)
 {
     const int m_per_group = m / groups;
+    const int cap = std::min(std::max(mr_cap, 1), kConvBlockLanes);
     block_of_m.resize(static_cast<size_t>(m));
     int64_t offset = 0;
     for (int g = 0; g < groups; g++) {
         int mi = g * m_per_group;
         int rem = m_per_group;
         while (rem > 0) {
-            int lanes = rem >= kConvBlockLanes ? kConvBlockLanes
-                        : rem >= 2             ? 2
-                                               : 1;
+            const int w = std::min(rem, cap);
+            int lanes = w >= kConvBlockLanes ? kConvBlockLanes
+                        : w >= 2             ? 2
+                                             : 1;
             const int bi = static_cast<int>(blks.size());
             blks.push_back(PackedBlock{mi, lanes, offset});
             for (int f = 0; f < lanes; f++)
@@ -52,7 +55,8 @@ ladderBlocks(int m, int groups, int64_t taps_per_lane,
 } // namespace
 
 PackedWeightsI8::PackedWeightsI8(const FilterBank &fb, int groups,
-                                 const std::vector<float> &w_scales)
+                                 const std::vector<float> &w_scales,
+                                 int mr_cap)
     : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel()),
       k4_((fb.kernel() + 3) & ~3)
 {
@@ -70,8 +74,8 @@ PackedWeightsI8::PackedWeightsI8(const FilterBank &fb, int groups,
 
     const int64_t taps_per_lane =
         static_cast<int64_t>(n_) * k_ * k4_;
-    const int64_t total = ladderBlocks(m_, groups, taps_per_lane, blks,
-                                       blockOfM);
+    const int64_t total = ladderBlocks(m_, groups, taps_per_lane,
+                                       mr_cap, blks, blockOfM);
     data.assign(static_cast<size_t>(total), 0);
 
     // Fill the panels: ((n*K + i)*(K4/4) + jg) * (lanes*4) + f*4 + u,
@@ -103,7 +107,8 @@ PackedWeightsI8::PackedWeightsI8(const FilterBank &fb, int groups,
     }
 }
 
-PackedWeightsF16::PackedWeightsF16(const FilterBank &fb, int groups)
+PackedWeightsF16::PackedWeightsF16(const FilterBank &fb, int groups,
+                                   int mr_cap)
     : m_(fb.numFilters()), n_(fb.numChannels()), k_(fb.kernel())
 {
     FLCNN_ASSERT(groups >= 1 && m_ % groups == 0,
@@ -117,8 +122,8 @@ PackedWeightsF16::PackedWeightsF16(const FilterBank &fb, int groups)
 
     const int64_t taps_per_lane =
         static_cast<int64_t>(n_) * k_ * k_;
-    const int64_t total = ladderBlocks(m_, groups, taps_per_lane, blks,
-                                       blockOfM);
+    const int64_t total = ladderBlocks(m_, groups, taps_per_lane,
+                                       mr_cap, blks, blockOfM);
     bits.resize(static_cast<size_t>(total));
     decoded.resize(static_cast<size_t>(total));
 

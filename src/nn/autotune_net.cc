@@ -1,0 +1,43 @@
+#include "nn/autotune_net.hh"
+
+#include "common/logging.hh"
+
+namespace flcnn {
+
+ConvQuery
+convLayerQuery(const LayerSpec &spec, const Shape &in_shape,
+               Precision dtype, bool fast_math)
+{
+    FLCNN_ASSERT(spec.kind == LayerKind::Conv,
+                 "conv query from a non-conv layer");
+    const Shape out = spec.outShape(in_shape);
+    ConvQuery q;
+    q.shape = ConvShape{spec.kernel,      spec.stride, in_shape.c,
+                        spec.outChannels, out.w,       out.h,
+                        spec.groups};
+    q.dtype = dtype;
+    q.fastMath = fast_math;
+    return q;
+}
+
+ConvQuery
+convLayerQuery(const Network &net, int layer_idx, Precision dtype,
+               bool fast_math)
+{
+    return convLayerQuery(net.layer(layer_idx), net.inShape(layer_idx),
+                          dtype, fast_math);
+}
+
+std::vector<ConvQuery>
+convQueriesForRange(const Network &net, int first_layer, int last_layer,
+                    Precision dtype, bool fast_math)
+{
+    std::vector<ConvQuery> out;
+    for (int i = first_layer; i <= last_layer; i++) {
+        if (net.layer(i).kind == LayerKind::Conv)
+            out.push_back(convLayerQuery(net, i, dtype, fast_math));
+    }
+    return out;
+}
+
+} // namespace flcnn

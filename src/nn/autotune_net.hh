@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Network-level glue for the tune layer. The tune library
+ * (tune/solver.hh, tune/autotune.hh) deliberately knows nothing about
+ * Network/LayerSpec — it plans single conv shapes — so the query
+ * construction lives here, one level up: executors build a ConvQuery
+ * per conv layer through convLayerQuery(), and warmup/tooling paths
+ * sweep a whole range with convQueriesForRange() feeding
+ * autotuneQueries().
+ */
+
+#ifndef FLCNN_NN_AUTOTUNE_NET_HH
+#define FLCNN_NN_AUTOTUNE_NET_HH
+
+#include <vector>
+
+#include "nn/network.hh"
+#include "tune/solver.hh"
+
+namespace flcnn {
+
+/** The planner query for one conv layer of @p net. */
+ConvQuery convLayerQuery(const Network &net, int layer_idx,
+                         Precision dtype, bool fast_math);
+
+/** Same, from a spec plus its input shape (call sites that carry the
+ *  spec but not the network index). */
+ConvQuery convLayerQuery(const LayerSpec &spec, const Shape &in_shape,
+                         Precision dtype, bool fast_math);
+
+/** Queries for every conv layer in [first_layer, last_layer] — the
+ *  autotuner's worklist for a network range. */
+std::vector<ConvQuery> convQueriesForRange(const Network &net,
+                                           int first_layer,
+                                           int last_layer,
+                                           Precision dtype,
+                                           bool fast_math);
+
+} // namespace flcnn
+
+#endif // FLCNN_NN_AUTOTUNE_NET_HH

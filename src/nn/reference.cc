@@ -9,6 +9,7 @@
 #include "kernels/conv_kernels.hh"
 #include "kernels/conv_layer.hh"
 #include "kernels/weight_pack.hh"
+#include "nn/autotune_net.hh"
 
 namespace flcnn {
 
@@ -78,12 +79,15 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
 {
     Shape out_shape = spec.outShape(in.shape());
     Tensor out(out_shape);
-    const ConvBlockKernel bk =
-        resolveConvBlockKernel(fb.kernel(), spec.stride);
+    // The reference is the golden baseline every executor is compared
+    // against, so it always plans exact (never fast-math); the tune
+    // cache can still pick bit-invariant configs for it.
+    const ConvPlan plan = planConv(
+        convLayerQuery(spec, in.shape(), Precision::Fp32, false));
     // Repacked per call: one pass over the bank, negligible next to
     // the out_h * out_w passes of compute (long-lived executors cache
     // their packs instead; see kernels/weight_pack.hh).
-    const PackedWeights pw(fb, spec.groups);
+    const PackedWeights pw(fb, spec.groups, 0, plan.cfg.mrCap);
     const int nb = pw.numBlocks();
     const int64_t plane = static_cast<int64_t>(out_shape.h) * out_shape.w;
     // One (filter-block, y) output row group per work item: disjoint
@@ -97,11 +101,12 @@ runConv(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
             for (int64_t w = lo; w < hi; w++) {
                 const int bi = static_cast<int>(w / out_shape.h);
                 const int y = static_cast<int>(w % out_shape.h);
-                convBlockRowTensor(bk, pw, bi,
+                convBlockRowTensor(plan.bk, pw, bi,
                                    &out(pw.block(bi).m0, y, 0), plane,
                                    out_shape.w, in, y * spec.stride, 0);
             }
-        });
+        },
+        plan.cfg.grain);
     if (ops) {
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *
                        fb.kernel() * fb.kernel();
@@ -133,10 +138,11 @@ runConvPrec(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
     if (prec.mode() == Precision::Int8) {
         const ActQuant &act = prec.actQuant(slot);
         stageConvInputI8(st, in, act, 0, s.h);
-        const ConvBlockKernelI8 bk =
-            resolveConvBlockKernelI8(fb.kernel(), spec.stride);
+        const ConvPlan plan = planConv(
+            convLayerQuery(spec, in.shape(), Precision::Int8, false));
+        const ConvBlockKernelI8 &bk = plan.bkI8;
         const PackedWeightsI8 pw(fb, spec.groups,
-                                 prec.weightScales(slot));
+                                 prec.weightScales(slot), plan.cfg.mrCap);
         const int nb = pw.numBlocks();
         parallelFor(
             0, static_cast<int64_t>(nb) * out_shape.h,
@@ -151,12 +157,14 @@ runConvPrec(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
                                    &out(pw.block(bi).m0, y, 0), plane,
                                    out_shape.w, st, row_idx, 0, act);
                 }
-            });
+            },
+            plan.cfg.grain);
     } else {
         stageConvInputF16(st, in, 0, s.h);
-        const ConvBlockKernel bk =
-            resolveConvBlockKernel(fb.kernel(), spec.stride);
-        const PackedWeightsF16 pw(fb, spec.groups);
+        const ConvPlan plan = planConv(
+            convLayerQuery(spec, in.shape(), Precision::Fp16, false));
+        const ConvBlockKernel &bk = plan.bk;
+        const PackedWeightsF16 pw(fb, spec.groups, plan.cfg.mrCap);
         const int nb = pw.numBlocks();
         parallelFor(
             0, static_cast<int64_t>(nb) * out_shape.h,
@@ -171,7 +179,8 @@ runConvPrec(const LayerSpec &spec, const Tensor &in, const FilterBank &fb,
                                     &out(pw.block(bi).m0, y, 0), plane,
                                     out_shape.w, st, row_idx, 0);
                 }
-            });
+            },
+            plan.cfg.grain);
     }
     if (ops) {
         int64_t taps = static_cast<int64_t>(fb.numChannels()) *

@@ -1,7 +1,9 @@
 #include "serve/engine.hh"
 
 #include "common/logging.hh"
+#include "nn/autotune_net.hh"
 #include "nn/reference.hh"
+#include "tune/autotune.hh"
 
 namespace flcnn {
 
@@ -46,12 +48,14 @@ ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
             TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
                      mspec.tip, mspec.tip));
         fused->setPrecision(mspec.precision);
+        fused->setFastMath(mspec.fastMath);
         break;
       case EngineKind::LineBuffer:
         lineBuffer = std::make_unique<LineBufferExecutor>(
             *mspec.net, *mspec.weights, mspec.firstLayer,
             mspec.lastLayer);
         lineBuffer->setPrecision(mspec.precision);
+        lineBuffer->setFastMath(mspec.fastMath);
         break;
       case EngineKind::Recompute:
         recompute = std::make_unique<RecomputeExecutor>(
@@ -59,6 +63,7 @@ ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
             TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
                      mspec.tip, mspec.tip));
         recompute->setPrecision(mspec.precision);
+        recompute->setFastMath(mspec.fastMath);
         break;
     }
 }
@@ -84,6 +89,14 @@ ServeEngine::run(const Tensor &input)
 void
 ServeEngine::warmup()
 {
+    if (mspec.tuneAtWarmup) {
+        const Precision mode = mspec.precision
+                                   ? mspec.precision->mode()
+                                   : Precision::Fp32;
+        autotuneQueries(convQueriesForRange(
+            *mspec.net, mspec.firstLayer, mspec.lastLayer, mode,
+            mspec.fastMath && mode == Precision::Fp32));
+    }
     Tensor zero(mspec.net->inShape(mspec.firstLayer));
     (void)run(zero);
 }

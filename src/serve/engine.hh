@@ -60,6 +60,16 @@ struct ModelSpec
     /** Precision state for non-fp32 serving (nullptr = fp32). Must be
      *  calibrated for @p net + @p weights and outlive every engine. */
     const NetPrecision *precision = nullptr;
+    /** Serve fp32 requests through the fast-math conv tier
+     *  (ULP-bounded, not bit-exact; see tune/solver.hh). Ignored by
+     *  non-fp32 precision modes and by the Reference engine — both
+     *  always stay exact. */
+    bool fastMath = false;
+    /** Autotune every conv layer of the range during warmup() (results
+     *  land in the process-wide tune cache, so the serving loop runs
+     *  tuned plans from the first request). Warm tune-cache entries
+     *  make this a no-op — tune once per machine, serve forever. */
+    bool tuneAtWarmup = false;
 };
 
 /** A pinned per-worker executor instance for one model. */

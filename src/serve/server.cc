@@ -25,7 +25,8 @@ InferenceServer::~InferenceServer()
 int
 InferenceServer::addModel(const std::string &name, const Network &net,
                           const NetworkWeights &weights, int first_layer,
-                          int last_layer, const NetPrecision *precision)
+                          int last_layer, const NetPrecision *precision,
+                          bool fast_math, bool tune_at_warmup)
 {
     FLCNN_ASSERT(!isStarted, "addModel() after start()");
     if (last_layer < 0)
@@ -43,6 +44,8 @@ InferenceServer::addModel(const std::string &name, const Network &net,
     spec.lastLayer = last_layer;
     spec.tip = cfg.tip;
     spec.precision = precision;
+    spec.fastMath = fast_math;
+    spec.tuneAtWarmup = tune_at_warmup;
     specs.push_back(std::move(spec));
     return static_cast<int>(specs.size()) - 1;
 }

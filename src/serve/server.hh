@@ -75,13 +75,17 @@ class InferenceServer
      * @p net (-1 = last layer). Must be called before start();
      * @p net and @p weights must outlive the server. Pass a calibrated
      * @p precision (which must also outlive the server) to serve the
-     * model in int8 or fp16; nullptr serves plain fp32. Returns the
-     * model id submit() takes.
+     * model in int8 or fp16; nullptr serves plain fp32. @p fast_math
+     * serves fp32 through the opt-in ULP-bounded FMA tier;
+     * @p tune_at_warmup autotunes the range's conv layers during
+     * worker warmup (see ModelSpec). Returns the model id submit()
+     * takes.
      */
     int addModel(const std::string &name, const Network &net,
                  const NetworkWeights &weights, int first_layer = 0,
                  int last_layer = -1,
-                 const NetPrecision *precision = nullptr);
+                 const NetPrecision *precision = nullptr,
+                 bool fast_math = false, bool tune_at_warmup = false);
 
     /** Build and warm every worker's engines, then begin serving. */
     void start();

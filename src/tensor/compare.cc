@@ -1,7 +1,10 @@
 #include "tensor/compare.hh"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 
 namespace flcnn {
 
@@ -78,6 +81,46 @@ bool
 tensorsClose(const Tensor &a, const Tensor &b, double relTol, double absTol)
 {
     return compareTensors(a, b, relTol, absTol).match;
+}
+
+namespace {
+
+/** Map a float's bit pattern to a monotone signed integer: the usual
+ *  sign-magnitude-to-two's-complement fold, under which consecutive
+ *  representable floats differ by exactly 1. */
+int64_t
+orderedBits(float v)
+{
+    int32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return bits >= 0 ? static_cast<int64_t>(bits)
+                     : -static_cast<int64_t>(bits & 0x7fffffff);
+}
+
+} // namespace
+
+int64_t
+ulpDistance(float a, float b)
+{
+    if (std::isnan(a) || std::isnan(b))
+        return std::numeric_limits<int64_t>::max();
+    const int64_t d = orderedBits(a) - orderedBits(b);
+    return d < 0 ? -d : d;
+}
+
+int64_t
+maxUlpDistance(const Tensor &a, const Tensor &b)
+{
+    if (!(a.shape() == b.shape()))
+        return std::numeric_limits<int64_t>::max();
+    int64_t worst = 0;
+    const Shape &s = a.shape();
+    for (int c = 0; c < s.c; c++)
+        for (int y = 0; y < s.h; y++)
+            for (int x = 0; x < s.w; x++)
+                worst = std::max(worst,
+                                 ulpDistance(a(c, y, x), b(c, y, x)));
+    return worst;
 }
 
 } // namespace flcnn

@@ -12,6 +12,7 @@
 #ifndef FLCNN_TENSOR_COMPARE_HH
 #define FLCNN_TENSOR_COMPARE_HH
 
+#include <cstdint>
 #include <string>
 
 #include "tensor/tensor.hh"
@@ -49,6 +50,21 @@ bool tensorsEqual(const Tensor &a, const Tensor &b);
 /** Convenience: equality within a relative tolerance. */
 bool tensorsClose(const Tensor &a, const Tensor &b, double relTol = 1e-5,
                   double absTol = 1e-6);
+
+/**
+ * Units-in-the-last-place between two finite floats: the number of
+ * representable binary32 values strictly between them (0 when equal).
+ * Values of opposite sign are measured through zero (the monotone
+ * integer mapping of the IEEE bit patterns), so e.g. -0.0f vs +0.0f is
+ * 0 and the smallest positive vs the smallest negative subnormal is 2.
+ * Returns INT64_MAX when either input is NaN. This is the metric the
+ * fast-math tier's accuracy bound is stated in (tune/solver.hh).
+ */
+int64_t ulpDistance(float a, float b);
+
+/** Largest ulpDistance over two same-shape tensors (INT64_MAX on
+ *  shape mismatch or any NaN pair). */
+int64_t maxUlpDistance(const Tensor &a, const Tensor &b);
 
 } // namespace flcnn
 

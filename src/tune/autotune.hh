@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Per-layer-shape kernel autotuner.
+ *
+ * For one conv query the tuner enumerates (solver x config) candidates
+ * — the default chain's plan always first — microbenchmarks each on a
+ * synthetic layer of exactly the queried shape, and persists the
+ * winner to the per-machine tune cache (tune/tune_cache.hh). Warm runs
+ * find the entry in the cache and skip measurement entirely; that is
+ * the "tune at compile, execute many" contract the serving engine's
+ * warmup relies on.
+ *
+ * Never-slower guarantee: the default plan is candidate zero and a
+ * challenger must beat its measured time strictly, so ties (and
+ * measurement noise at the margin) keep the default. Combined with
+ * planConv()'s fallback — no cache entry means the default chain —
+ * the tuned system can only match or improve on the hand-pinned
+ * defaults.
+ *
+ * Determinism: tuning *timing* is inherently noisy, but the chosen
+ * candidates are all bit-invariant for exact solvers (see
+ * tune/solver.hh), so tuning may change *when* the answer arrives,
+ * never *what* it is. The solver-selection determinism tests pin the
+ * complementary property: a fixed cache state plans identically across
+ * runs and thread counts.
+ */
+
+#ifndef FLCNN_TUNE_AUTOTUNE_HH
+#define FLCNN_TUNE_AUTOTUNE_HH
+
+#include <vector>
+
+#include "tune/solver.hh"
+#include "tune/tune_cache.hh"
+
+namespace flcnn {
+
+struct AutotuneOptions
+{
+    /** Minimum measured wall time per candidate (reps are scaled up
+     *  until one sample takes at least this long). */
+    double minSampleMs = 2.0;
+    /** Samples per candidate; the best (min) is kept. */
+    int samples = 3;
+    /** Tune even when the cache already has an entry. */
+    bool force = false;
+};
+
+struct AutotuneResult
+{
+    std::string shapeKey;
+    TuneEntry winner;
+    bool fromCache = false;   //!< cache hit — no measurement ran
+    int candidates = 0;       //!< candidates measured (0 on cache hit)
+};
+
+/** Tune one query (measuring only on a cache miss or opt.force) and
+ *  return the winning entry; stores through TuneCache::global(). */
+AutotuneResult autotuneConv(const ConvQuery &q,
+                            const AutotuneOptions &opt = {});
+
+/** Aggregate of an autotune sweep: what a CI smoke line reports. */
+struct AutotuneSummary
+{
+    int tuned = 0;   //!< queries measured this run
+    int cached = 0;  //!< queries served from the warm cache
+};
+
+/** Tune every query in @p qs; duplicates collapse onto the cache. */
+AutotuneSummary autotuneQueries(const std::vector<ConvQuery> &qs,
+                                const AutotuneOptions &opt = {});
+
+} // namespace flcnn
+
+#endif // FLCNN_TUNE_AUTOTUNE_HH

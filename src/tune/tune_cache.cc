@@ -1,0 +1,457 @@
+#include "tune/tune_cache.hh"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "tune/host_probe.hh"
+
+namespace flcnn {
+
+namespace {
+
+constexpr const char *kSchema = "flcnn-tune-v1";
+
+/**
+ * Minimal JSON reader covering exactly what the cache file contains:
+ * objects, strings, numbers, booleans, null, and (skipped) arrays. Any
+ * syntax error aborts the whole parse — a damaged file is ignored in
+ * full rather than half-applied.
+ */
+struct JsonParser
+{
+    const char *p;
+    const char *end;
+    bool ok = true;
+
+    explicit JsonParser(const std::string &text)
+        : p(text.data()), end(text.data() + text.size())
+    {
+    }
+
+    void
+    ws()
+    {
+        while (p < end && std::isspace(static_cast<unsigned char>(*p)))
+            p++;
+    }
+
+    bool
+    expect(char c)
+    {
+        ws();
+        if (p < end && *p == c) {
+            p++;
+            return true;
+        }
+        ok = false;
+        return false;
+    }
+
+    bool
+    peek(char c)
+    {
+        ws();
+        return p < end && *p == c;
+    }
+
+    std::string
+    parseString()
+    {
+        std::string s;
+        if (!expect('"'))
+            return s;
+        while (p < end && *p != '"') {
+            char c = *p++;
+            if (c == '\\' && p < end) {
+                char e = *p++;
+                switch (e) {
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case '/': s += '/'; break;
+                  default:
+                    // \uXXXX and friends never appear in keys we
+                    // write; reject rather than mis-decode.
+                    ok = false;
+                    return s;
+                }
+            } else {
+                s += c;
+            }
+        }
+        if (!expect('"'))
+            ok = false;
+        return s;
+    }
+
+    double
+    parseNumber()
+    {
+        ws();
+        char *out = nullptr;
+        double v = std::strtod(p, &out);
+        if (out == p) {
+            ok = false;
+            return 0.0;
+        }
+        p = out;
+        return v;
+    }
+
+    /** Skip any JSON value (used for unknown fields). */
+    void
+    skipValue()
+    {
+        ws();
+        if (p >= end) {
+            ok = false;
+            return;
+        }
+        switch (*p) {
+          case '"':
+            parseString();
+            return;
+          case '{':
+            p++;
+            if (peek('}')) {
+                p++;
+                return;
+            }
+            for (;;) {
+                parseString();
+                if (!expect(':'))
+                    return;
+                skipValue();
+                if (!ok)
+                    return;
+                ws();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                expect('}');
+                return;
+            }
+          case '[':
+            p++;
+            if (peek(']')) {
+                p++;
+                return;
+            }
+            for (;;) {
+                skipValue();
+                if (!ok)
+                    return;
+                ws();
+                if (p < end && *p == ',') {
+                    p++;
+                    continue;
+                }
+                expect(']');
+                return;
+            }
+          default:
+            if (std::strncmp(p, "true", 4) == 0 && p + 4 <= end) {
+                p += 4;
+                return;
+            }
+            if (std::strncmp(p, "false", 5) == 0 && p + 5 <= end) {
+                p += 5;
+                return;
+            }
+            if (std::strncmp(p, "null", 4) == 0 && p + 4 <= end) {
+                p += 4;
+                return;
+            }
+            parseNumber();
+        }
+    }
+
+    /** Parse one {"solver": ..., "mr": ..., ...} entry object. */
+    TuneEntry
+    parseEntry()
+    {
+        TuneEntry e;
+        if (!expect('{'))
+            return e;
+        if (peek('}')) {
+            p++;
+            return e;
+        }
+        for (;;) {
+            std::string k = parseString();
+            if (!expect(':'))
+                return e;
+            if (k == "solver")
+                e.solver = parseString();
+            else if (k == "mr")
+                e.mrCap = static_cast<int>(parseNumber());
+            else if (k == "seg")
+                e.segW = static_cast<int>(parseNumber());
+            else if (k == "grain")
+                e.grain = static_cast<int>(parseNumber());
+            else if (k == "gmacs")
+                e.gmacs = parseNumber();
+            else
+                skipValue();
+            if (!ok)
+                return e;
+            ws();
+            if (p < end && *p == ',') {
+                p++;
+                continue;
+            }
+            expect('}');
+            return e;
+        }
+    }
+};
+
+void
+appendJsonString(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default: out += c;
+        }
+    }
+    out += '"';
+}
+
+std::string
+resolveDefaultPath()
+{
+    if (const char *env = std::getenv("FLCNN_TUNE_CACHE"))
+        return env;  // may be "" = persistence disabled
+    if (const char *home = std::getenv("HOME")) {
+        if (*home)
+            return std::string(home) + "/.flcnn_tune.json";
+    }
+    return "";
+}
+
+} // namespace
+
+TuneCache::TuneCache(const std::string &file_path) : filePath(file_path)
+{
+    if (!filePath.empty())
+        load();
+}
+
+bool
+TuneCache::lookup(const std::string &shape_key, TuneEntry *out) const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto mit = machines.find(hostProfile().fingerprint());
+    if (mit == machines.end())
+        return false;
+    auto sit = mit->second.find(shape_key);
+    if (sit == mit->second.end())
+        return false;
+    if (out)
+        *out = sit->second;
+    return true;
+}
+
+void
+TuneCache::store(const std::string &shape_key, const TuneEntry &e)
+{
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        machines[hostProfile().fingerprint()][shape_key] = e;
+        rev++;
+    }
+    save();
+}
+
+int
+TuneCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    auto mit = machines.find(hostProfile().fingerprint());
+    return mit == machines.end() ? 0
+                                 : static_cast<int>(mit->second.size());
+}
+
+int64_t
+TuneCache::revision() const
+{
+    std::lock_guard<std::mutex> lock(mu);
+    return rev;
+}
+
+bool
+TuneCache::load()
+{
+    if (filePath.empty())
+        return false;
+    std::string text;
+    {
+        FILE *f = std::fopen(filePath.c_str(), "rb");
+        if (!f)
+            return false;
+        char buf[4096];
+        size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+    }
+
+    // Parse into a staging map; apply only a fully well-formed file.
+    std::map<std::string, ShapeMap> staged;
+    bool schema_ok = false;
+    JsonParser jp(text);
+    if (!jp.expect('{'))
+        return false;
+    if (!jp.peek('}')) {
+        for (;;) {
+            std::string key = jp.parseString();
+            if (!jp.expect(':'))
+                break;
+            if (key == "schema") {
+                schema_ok = (jp.parseString() == kSchema);
+            } else if (key == "machines") {
+                if (!jp.expect('{'))
+                    break;
+                if (jp.peek('}')) {
+                    jp.p++;
+                } else {
+                    for (;;) {
+                        std::string fp = jp.parseString();
+                        if (!jp.expect(':'))
+                            break;
+                        if (!jp.expect('{'))
+                            break;
+                        ShapeMap &sm = staged[fp];
+                        if (jp.peek('}')) {
+                            jp.p++;
+                        } else {
+                            for (;;) {
+                                std::string shape = jp.parseString();
+                                if (!jp.expect(':'))
+                                    break;
+                                sm[shape] = jp.parseEntry();
+                                if (!jp.ok)
+                                    break;
+                                jp.ws();
+                                if (jp.p < jp.end && *jp.p == ',') {
+                                    jp.p++;
+                                    continue;
+                                }
+                                jp.expect('}');
+                                break;
+                            }
+                        }
+                        if (!jp.ok)
+                            break;
+                        jp.ws();
+                        if (jp.p < jp.end && *jp.p == ',') {
+                            jp.p++;
+                            continue;
+                        }
+                        jp.expect('}');
+                        break;
+                    }
+                }
+            } else {
+                jp.skipValue();
+            }
+            if (!jp.ok)
+                break;
+            jp.ws();
+            if (jp.p < jp.end && *jp.p == ',') {
+                jp.p++;
+                continue;
+            }
+            jp.expect('}');
+            break;
+        }
+    } else {
+        jp.p++;
+    }
+    if (!jp.ok || !schema_ok)
+        return false;
+
+    std::lock_guard<std::mutex> lock(mu);
+    machines = std::move(staged);
+    rev++;
+    return true;
+}
+
+bool
+TuneCache::save() const
+{
+    if (filePath.empty())
+        return false;
+    std::string out;
+    {
+        std::lock_guard<std::mutex> lock(mu);
+        out += "{\n  \"schema\": \"";
+        out += kSchema;
+        out += "\",\n  \"machines\": {";
+        bool first_m = true;
+        for (const auto &[fp, sm] : machines) {
+            out += first_m ? "\n    " : ",\n    ";
+            first_m = false;
+            appendJsonString(out, fp);
+            out += ": {";
+            bool first_s = true;
+            for (const auto &[shape, e] : sm) {
+                out += first_s ? "\n      " : ",\n      ";
+                first_s = false;
+                appendJsonString(out, shape);
+                char buf[160];
+                std::snprintf(buf, sizeof(buf),
+                              ": {\"solver\": \"%s\", \"mr\": %d, "
+                              "\"seg\": %d, \"grain\": %d, "
+                              "\"gmacs\": %.3f}",
+                              e.solver.c_str(), e.mrCap, e.segW, e.grain,
+                              e.gmacs);
+                out += buf;
+            }
+            out += first_s ? "}" : "\n    }";
+        }
+        out += first_m ? "}\n}\n" : "\n  }\n}\n";
+    }
+    // Write-then-rename so a crash mid-write never leaves a torn file
+    // (a torn file would be ignored, but the old entries would be
+    // lost).
+    const std::string tmp = filePath + ".tmp";
+    FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool wrote =
+        std::fwrite(out.data(), 1, out.size(), f) == out.size();
+    std::fclose(f);
+    if (!wrote) {
+        std::remove(tmp.c_str());
+        return false;
+    }
+    return std::rename(tmp.c_str(), filePath.c_str()) == 0;
+}
+
+void
+TuneCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mu);
+    machines.clear();
+    rev++;
+}
+
+TuneCache &
+TuneCache::global()
+{
+    static TuneCache cache(resolveDefaultPath());
+    return cache;
+}
+
+} // namespace flcnn

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Persistent per-machine tune cache.
+ *
+ * The autotuner (tune/autotune.hh) measures kernel variants per conv
+ * layer shape and records the winner here; planConv() (tune/solver.hh)
+ * consults the cache on every dispatch so warm runs pay zero tuning
+ * cost. Entries are keyed twice: by the host fingerprint
+ * (tune/host_probe.hh) — a cache file copied to a different machine is
+ * ignored, not mis-applied — and by a conv shape key string built by
+ * the solver layer.
+ *
+ * On-disk format (versioned, hand-rolled minimal JSON — the repo takes
+ * no dependencies):
+ *
+ *   {
+ *     "schema": "flcnn-tune-v1",
+ *     "machines": {
+ *       "<fingerprint>": {
+ *         "<shape key>": {"solver": "fp32.avx2", "mr": 4, "seg": 0,
+ *                          "grain": 1, "gmacs": 23.1},
+ *         ...
+ *       }
+ *     }
+ *   }
+ *
+ * The file lives at $FLCNN_TUNE_CACHE when that is set (an empty value
+ * disables persistence), else $HOME/.flcnn_tune.json, else the cache is
+ * memory-only. A malformed or mismatched-schema file is ignored in full
+ * (never partially applied, never overwritten until the next store).
+ *
+ * Every successful store() bumps a revision counter; WeightPackCache
+ * consumers use the per-plan pack layout (not the revision) to evict
+ * stale packs, but the counter lets long-lived engines detect that
+ * re-planning may now return different configs.
+ */
+
+#ifndef FLCNN_TUNE_TUNE_CACHE_HH
+#define FLCNN_TUNE_TUNE_CACHE_HH
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace flcnn {
+
+/** One tuned decision: the winning solver and its performance config. */
+struct TuneEntry
+{
+    std::string solver;  //!< registered solver name (e.g. "fp32.avx2")
+    int mrCap = 4;       //!< filter-block lane cap (pack ladder width)
+    int segW = 0;        //!< strip segment width, 0 = whole row
+    int grain = 1;       //!< parallelFor thread-chunk grain
+    double gmacs = 0.0;  //!< measured G madds/s at tune time (info only)
+};
+
+/** Thread-safe tune-entry store with optional JSON persistence. */
+class TuneCache
+{
+  public:
+    /** Memory-only cache (tests, or persistence disabled). */
+    TuneCache() = default;
+
+    /** Cache backed by @p file_path; loads it if present. An empty
+     *  path means memory-only. */
+    explicit TuneCache(const std::string &file_path);
+
+    /** Entry for @p shape_key under the current host fingerprint.
+     *  Returns false (and leaves @p out alone) when absent. */
+    bool lookup(const std::string &shape_key, TuneEntry *out) const;
+
+    /** Record @p e for @p shape_key under the current host
+     *  fingerprint, then save the file (when persistent). */
+    void store(const std::string &shape_key, const TuneEntry &e);
+
+    /** Entries recorded for the current host fingerprint. */
+    int size() const;
+
+    /** Monotonic counter bumped by every store() and successful file
+     *  load. */
+    int64_t revision() const;
+
+    /** Resolved backing file ("" = memory-only). */
+    const std::string &path() const { return filePath; }
+
+    /** Re-read the backing file, replacing in-memory state. Returns
+     *  true when a well-formed file was applied. */
+    bool load();
+
+    /** Write the backing file. Returns true on success (false when
+     *  memory-only or the write failed). */
+    bool save() const;
+
+    /** Drop every entry (all machines). Does not touch the file. */
+    void clear();
+
+    /**
+     * The process-wide cache used by planConv(): backed by
+     * $FLCNN_TUNE_CACHE, else $HOME/.flcnn_tune.json, else memory-only
+     * (an empty FLCNN_TUNE_CACHE also means memory-only). The
+     * environment is read once, at first use.
+     */
+    static TuneCache &global();
+
+  private:
+    using ShapeMap = std::map<std::string, TuneEntry>;
+
+    mutable std::mutex mu;
+    std::map<std::string, ShapeMap> machines;  //!< fingerprint -> entries
+    std::string filePath;
+    int64_t rev = 0;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_TUNE_TUNE_CACHE_HH

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * ULP-bounded differential tests for the opt-in fast-math FMA tier.
+ *
+ * The fast kernels split each lane's accumulation into two tap-parity
+ * partial sums evaluated with FMA and recombined at the end. Both the
+ * reordering and the fused rounding move results off the canonical
+ * bits, but only by rounding-error amounts; these tests pin that bound
+ * in the two regimes that matter:
+ *
+ *   - all-positive data (no cancellation): the results must agree to
+ *     a small fixed ULP count regardless of shape, and
+ *   - mixed-sign data (cancellation possible): the absolute error must
+ *     stay under an eps-scaled bound built from the sum of |term|
+ *     magnitudes — the quantity the reassociation analysis bounds
+ *     against (ULP distance alone is meaningless next to a zero
+ *     crossing, which is why the network-level gate is relative).
+ *
+ * The default resolver must never hand out these kernels; that is
+ * asserted here too.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernels/conv_kernels.hh"
+#include "kernels/weight_pack.hh"
+#include "tensor/compare.hh"
+
+namespace flcnn {
+namespace {
+
+constexpr int kGrid[][2] = {{1, 1}, {3, 1}, {3, 2}, {5, 1},
+                            {7, 2}, {11, 4}};
+
+struct RowPair
+{
+    std::vector<float> exact;
+    std::vector<float> fast;
+    int count = 0;
+    int m = 0;
+};
+
+/** One output row of every filter through the exact and the fast
+ *  resolver, from identical inputs. */
+RowPair
+runBoth(int k, int stride, const Tensor &in, const FilterBank &fb)
+{
+    RowPair r;
+    r.m = fb.numFilters();
+    r.count = (in.shape().w - k) / stride + 1;
+    r.exact.assign(static_cast<size_t>(r.m) * r.count, 0.0f);
+    r.fast = r.exact;
+
+    const PackedWeights pw(fb);
+    const ConvBlockKernel exact = resolveConvBlockKernel(k, stride);
+    const ConvBlockKernel fast = resolveConvBlockKernelFast(k, stride);
+    for (int bi = 0; bi < pw.numBlocks(); bi++) {
+        const int64_t at =
+            static_cast<int64_t>(pw.block(bi).m0) * r.count;
+        convBlockRowTensor(exact, pw, bi, r.exact.data() + at, r.count,
+                           r.count, in, 0, 0);
+        convBlockRowTensor(fast, pw, bi, r.fast.data() + at, r.count,
+                           r.count, in, 0, 0);
+    }
+    return r;
+}
+
+TEST(FastMathUlp, PositiveDataStaysWithinAFewUlp)
+{
+    if (!convFmaEnabled())
+        GTEST_SKIP() << "FMA kernels unavailable on this host";
+
+    Rng rng(61);
+    for (const auto &ks : kGrid) {
+        const int k = ks[0], stride = ks[1], n = 3, count = 24;
+        Tensor in(n, k, (count - 1) * stride + k);
+        in.fillRandom(rng, 0.5f, 1.5f);
+        FilterBank fb(7, n, k);  // 4/2/1-lane blocks all exercised
+        for (int m = 0; m < 7; m++) {
+            fb.bias(m) = rng.uniformF(0.5f, 1.5f);
+            for (int ch = 0; ch < n; ch++)
+                for (int i = 0; i < k; i++)
+                    for (int j = 0; j < k; j++)
+                        fb.w(m, ch, i, j) = rng.uniformF(0.5f, 1.5f);
+        }
+
+        const RowPair r = runBoth(k, stride, in, fb);
+        int64_t worst = 0;
+        for (size_t e = 0; e < r.exact.size(); e++)
+            worst = std::max(worst,
+                             ulpDistance(r.exact[e], r.fast[e]));
+        // All terms positive, so no cancellation: splitting the sum in
+        // two and fusing the rounding perturbs each partial by at most
+        // half an ulp per term, and the recombined result lands within
+        // a handful of ulps even for the 3*11*11-tap case. 16 gives
+        // slack without admitting a wrong kernel (which would be off
+        // by orders of magnitude).
+        EXPECT_LE(worst, 16) << "k=" << k << " stride=" << stride;
+        EXPECT_GE(worst, 0);
+    }
+}
+
+TEST(FastMathUlp, MixedSignErrorIsBoundedByTermMagnitudes)
+{
+    if (!convFmaEnabled())
+        GTEST_SKIP() << "FMA kernels unavailable on this host";
+
+    Rng rng(67);
+    const float eps = std::numeric_limits<float>::epsilon();
+    for (const auto &ks : kGrid) {
+        const int k = ks[0], stride = ks[1], n = 3, count = 24;
+        Tensor in(n, k, (count - 1) * stride + k);
+        in.fillRandom(rng, -1.0f, 1.0f);
+        FilterBank fb(7, n, k);
+        fb.fillRandom(rng);
+
+        const RowPair r = runBoth(k, stride, in, fb);
+        for (int m = 0; m < r.m; m++) {
+            for (int t = 0; t < r.count; t++) {
+                // Σ|w * x| + |bias|: the magnitude the reassociation
+                // error analysis is relative to.
+                double mag = std::fabs(fb.bias(m));
+                for (int ch = 0; ch < n; ch++)
+                    for (int i = 0; i < k; i++)
+                        for (int j = 0; j < k; j++)
+                            mag += std::fabs(
+                                static_cast<double>(
+                                    fb.w(m, ch, i, j)) *
+                                in(ch, i, t * stride + j));
+                const size_t at =
+                    static_cast<size_t>(m) * r.count + t;
+                const double diff = std::fabs(
+                    static_cast<double>(r.exact[at]) - r.fast[at]);
+                EXPECT_LE(diff, 16.0 * eps * mag)
+                    << "k=" << k << " stride=" << stride << " m=" << m
+                    << " t=" << t;
+            }
+        }
+    }
+}
+
+TEST(FastMathUlp, DefaultResolverNeverReturnsTheFmaKernels)
+{
+    if (!convFmaEnabled())
+        GTEST_SKIP() << "FMA kernels unavailable on this host";
+
+    // Where a fast variant exists it must differ from the default
+    // pointer — otherwise the "opt-in" label would be meaningless and
+    // the bit-exact default chain would silently contract.
+    for (const auto &ks : kGrid) {
+        const ConvBlockKernel dflt =
+            resolveConvBlockKernel(ks[0], ks[1]);
+        const ConvBlockKernel fast =
+            resolveConvBlockKernelFast(ks[0], ks[1]);
+        for (int mr : {1, 2, 4}) {
+            ASSERT_NE(fast.fn[mr], nullptr);
+            EXPECT_NE(dflt.fn[mr], fast.fn[mr])
+                << "k=" << ks[0] << " s=" << ks[1] << " mr=" << mr;
+        }
+    }
+}
+
+} // namespace
+} // namespace flcnn

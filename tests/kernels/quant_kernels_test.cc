@@ -192,13 +192,52 @@ TEST(ConvKernelsI8, ResolvedMatchesGenericExactly)
     }
 }
 
+/** The stride-4 vector path (AlexNet conv1's k=11 s=4 shape, the
+ *  int8 serving regression's hot kernel) against the portable loop:
+ *  strided pixel gathers must produce the exact i32 sums. */
+TEST(ConvKernelsI8, Stride4ResolvedMatchesGenericExactly)
+{
+    Rng rng(53);
+    for (int k : {3, 11}) {
+        const int stride = 4, c = 3, h = k + 9, w = 4 * 9 + k;
+        Tensor src(c, h, w);
+        src.fillRandom(rng, -1.0f, 1.0f);
+        const ActQuant act = chooseActQuant(-1.0f, 1.0f);
+        ConvStage st;
+        st.configure(Precision::Int8, c, h, w);
+        stageConvInputI8(st, src, act, 0, h);
+
+        FilterBank fb(7, c, k);
+        fb.fillRandom(rng);
+        PackedWeightsI8 pw(fb, 1, filterScales(fb));
+        const ConvBlockKernelI8 bk = resolveConvBlockKernelI8(k, stride);
+        ASSERT_EQ(bk.sx, stride);
+
+        const int count = (w - k) / stride + 1;
+        for (int bi = 0; bi < pw.numBlocks(); bi++) {
+            const int mr = pw.block(bi).lanes;
+            int64_t row_off[kMaxConvKernel];
+            for (int i = 0; i < k; i++)
+                row_off[i] = static_cast<int64_t>(i) * st.stageW;
+            std::vector<int32_t> got(static_cast<size_t>(mr) * count, 0);
+            std::vector<int32_t> want(got);
+            bk.run(mr, got.data(), count, count, st.u8.data(),
+                   st.chStride(), row_off, pw.panel(bi), c);
+            ConvBlockKernelI8::convBlockStripI8Generic(
+                mr, want.data(), count, count, st.u8.data(),
+                st.chStride(), row_off, pw.panel(bi), c, k, stride);
+            EXPECT_EQ(got, want) << "k=" << k << " mr=" << mr;
+        }
+    }
+}
+
 /** The packed row driver against an independent naive evaluation of
  *  the same quantized conv: identical integer sums through the
  *  identical epilogue expression means bit-equal floats. */
 TEST(ConvKernelsI8, RowDriverMatchesNaiveQuantizedConvBitExactly)
 {
     Rng rng(43);
-    for (int stride : {1, 2}) {
+    for (int stride : {1, 2, 4}) {
         const int k = 3, c = 4, m = 6, h = 13, w = 19;
         Tensor src(c, h, w);
         src.fillRandom(rng, -2.0f, 2.0f);

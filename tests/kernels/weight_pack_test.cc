@@ -174,5 +174,63 @@ TEST(WeightPack, CacheKeyIncludesScaleSetIdentity)
     EXPECT_EQ(cache.hits(), 1);
 }
 
+/** Stale-pack guard: the tune cache can change a layer's mr_cap (or
+ *  the accelerator its m_tile) between runs. A cached pack built for a
+ *  different panel layout must be evicted and rebuilt — serving it
+ *  would make the kernel read lanes that are not there. */
+TEST(WeightPack, CacheEvictsWhenThePanelLayoutChanges)
+{
+    const int m = 7, n = 3, k = 3;
+    FilterBank fb = randomBank(m, n, k, 31);
+    WeightPackCache cache;
+
+    const PackedWeights &full = cache.get(0, fb);
+    EXPECT_EQ(full.block(0).lanes, 4);
+    EXPECT_EQ(cache.evictions(), 0);
+
+    // A tuned mr_cap of 2 narrows the ladder: same key, new layout.
+    const PackedWeights &capped = cache.get(0, fb, 1, 0, 2);
+    EXPECT_EQ(cache.evictions(), 1);
+    ASSERT_EQ(capped.numBlocks(), 4);  // 2/2/2/1
+    for (int bi = 0; bi < capped.numBlocks(); bi++)
+        EXPECT_LE(capped.block(bi).lanes, 2);
+
+    // The repacked panels still hold the exact bank values — eviction
+    // replaces layout, never arithmetic.
+    for (int bi = 0; bi < capped.numBlocks(); bi++) {
+        const PackedBlock &b = capped.block(bi);
+        const float *panel = capped.panel(bi);
+        for (int f = 0; f < b.lanes; f++)
+            for (int ch = 0; ch < n; ch++)
+                for (int i = 0; i < k; i++)
+                    for (int j = 0; j < k; j++)
+                        ASSERT_EQ(
+                            panel[((static_cast<int64_t>(ch) * k + i) *
+                                       k +
+                                   j) *
+                                      b.lanes +
+                                  f],
+                            fb.w(b.m0 + f, ch, i, j));
+    }
+
+    // Stable layout: no further eviction, the same pack is served.
+    EXPECT_EQ(&cache.get(0, fb, 1, 0, 2), &capped);
+    EXPECT_EQ(cache.evictions(), 1);
+
+    // m_tile changes (the accelerator's Tm knob) evict the same way.
+    (void)cache.get(0, fb, 1, 4, 2);
+    EXPECT_EQ(cache.evictions(), 2);
+
+    // The int8 and fp16 entries guard their caps independently.
+    const std::vector<float> ws(m, 0.05f);
+    (void)cache.getI8(0, fb, 1, ws, 1);
+    (void)cache.getI8(0, fb, 1, ws, 1, 2);
+    EXPECT_EQ(cache.evictions(), 3);
+    const PackedWeightsF16 &h16 = cache.getF16(0, fb, 1);
+    EXPECT_EQ(h16.block(0).lanes, 4);
+    (void)cache.getF16(0, fb, 1, 1);
+    EXPECT_EQ(cache.evictions(), 4);
+}
+
 } // namespace
 } // namespace flcnn

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
 #include "tensor/compare.hh"
 
 namespace flcnn {
@@ -70,6 +74,49 @@ TEST(Compare, SummaryStringMentionsLocation)
     b(0, 1, 1) = 2.0f;
     CompareResult r = compareTensors(a, b);
     EXPECT_NE(r.str().find("(0,1,1)"), std::string::npos);
+}
+
+TEST(Ulp, AdjacentFloatsAreOneApart)
+{
+    EXPECT_EQ(ulpDistance(1.0f, 1.0f), 0);
+    EXPECT_EQ(ulpDistance(1.0f, std::nextafter(1.0f, 2.0f)), 1);
+    EXPECT_EQ(ulpDistance(std::nextafter(1.0f, 2.0f), 1.0f), 1);
+    EXPECT_EQ(ulpDistance(-1.0f, std::nextafter(-1.0f, -2.0f)), 1);
+    // Two steps spanning an exponent boundary still count as two.
+    const float below = std::nextafter(2.0f, 1.0f);
+    EXPECT_EQ(ulpDistance(below, std::nextafter(2.0f, 3.0f)), 2);
+}
+
+TEST(Ulp, SignedZerosCoincideAndSignsMeasureThroughZero)
+{
+    EXPECT_EQ(ulpDistance(0.0f, -0.0f), 0);
+    // Opposite-sign values are |a - 0| + |0 - b| steps apart: the
+    // distance from the smallest positive to the smallest negative
+    // denormal is exactly 2.
+    const float tiny = std::nextafter(0.0f, 1.0f);
+    EXPECT_EQ(ulpDistance(tiny, -tiny), 2);
+    EXPECT_EQ(ulpDistance(tiny, 0.0f), 1);
+}
+
+TEST(Ulp, NaNIsInfinitelyFar)
+{
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    EXPECT_EQ(ulpDistance(nan, 1.0f), INT64_MAX);
+    EXPECT_EQ(ulpDistance(1.0f, nan), INT64_MAX);
+    EXPECT_EQ(ulpDistance(nan, nan), INT64_MAX);
+}
+
+TEST(Ulp, MaxUlpDistanceScansTheWholeTensor)
+{
+    Tensor a(2, 2, 2), b(2, 2, 2);
+    a.fillIota();
+    b.fillIota();
+    EXPECT_EQ(maxUlpDistance(a, b), 0);
+    b(1, 0, 1) = std::nextafter(b(1, 0, 1), 1e9f);
+    b(1, 1, 1) = std::nextafter(
+        std::nextafter(b(1, 1, 1), 1e9f), 1e9f);
+    EXPECT_EQ(maxUlpDistance(a, b), 2);
+    EXPECT_EQ(maxUlpDistance(a, Tensor(1, 2, 2)), INT64_MAX);
 }
 
 } // namespace

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Autotuner: cold queries measure and store, warm queries hit the
+ * cache with zero measurement, duplicate queries collapse, and the
+ * winner is bit-invariant — a tuned plan produces the exact bits of
+ * the default plan on the same inputs (tuning changes when the answer
+ * arrives, never what it is).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernels/weight_pack.hh"
+#include "tune/autotune.hh"
+#include "tune/tune_cache.hh"
+
+namespace flcnn {
+namespace {
+
+// Force the process-global cache memory-only before first use so the
+// tuner never writes a file outside the build tree.
+const bool kGlobalCacheDisabled = [] {
+    setenv("FLCNN_TUNE_CACHE", "", 1);
+    return true;
+}();
+
+/** Options that keep the microbenchmark cheap enough for CI. */
+AutotuneOptions
+fastOpts()
+{
+    AutotuneOptions opt;
+    opt.minSampleMs = 0.2;
+    opt.samples = 1;
+    return opt;
+}
+
+ConvQuery
+query(int k, int s, int out_w, Precision dtype = Precision::Fp32)
+{
+    ConvQuery q;
+    q.shape = ConvShape{k, s, 4, 8, out_w, 6, 1};
+    q.dtype = dtype;
+    return q;
+}
+
+TEST(Autotune, ColdRunMeasuresWarmRunHitsTheCache)
+{
+    ASSERT_TRUE(kGlobalCacheDisabled);
+    TuneCache::global().clear();
+    const ConvQuery q = query(3, 1, 24);
+
+    const AutotuneResult cold = autotuneConv(q, fastOpts());
+    EXPECT_FALSE(cold.fromCache);
+    EXPECT_GE(cold.candidates, 2);  // default plus at least one rival
+    EXPECT_EQ(cold.shapeKey, convShapeKey(q));
+    EXPECT_GT(cold.winner.gmacs, 0.0);
+
+    // The winner names a registered solver that accepts this query.
+    const ConvSolver *s = findConvSolver(cold.winner.solver);
+    ASSERT_NE(s, nullptr);
+    EXPECT_TRUE(s->isApplicable(q));
+
+    const AutotuneResult warm = autotuneConv(q, fastOpts());
+    EXPECT_TRUE(warm.fromCache);
+    EXPECT_EQ(warm.candidates, 0);
+    EXPECT_EQ(warm.winner.solver, cold.winner.solver);
+    EXPECT_EQ(warm.winner.mrCap, cold.winner.mrCap);
+    EXPECT_EQ(warm.winner.segW, cold.winner.segW);
+    EXPECT_EQ(warm.winner.grain, cold.winner.grain);
+    TuneCache::global().clear();
+}
+
+TEST(Autotune, SweepCountsTunedVsCachedAndCollapsesDuplicates)
+{
+    TuneCache::global().clear();
+    const ConvQuery qa = query(3, 1, 24);
+    const ConvQuery qb = query(5, 1, 20);
+
+    // qa appears twice: the second occurrence must ride the entry the
+    // first one just stored.
+    const AutotuneSummary s1 =
+        autotuneQueries({qa, qa, qb}, fastOpts());
+    EXPECT_EQ(s1.tuned, 2);
+    EXPECT_EQ(s1.cached, 1);
+
+    const AutotuneSummary s2 =
+        autotuneQueries({qa, qa, qb}, fastOpts());
+    EXPECT_EQ(s2.tuned, 0);
+    EXPECT_EQ(s2.cached, 3);
+    TuneCache::global().clear();
+}
+
+TEST(Autotune, ForceRetunesOverAWarmCache)
+{
+    TuneCache::global().clear();
+    const ConvQuery q = query(3, 1, 24);
+    (void)autotuneConv(q, fastOpts());
+
+    AutotuneOptions opt = fastOpts();
+    opt.force = true;
+    const AutotuneResult r = autotuneConv(q, opt);
+    EXPECT_FALSE(r.fromCache);
+    EXPECT_GE(r.candidates, 2);
+    TuneCache::global().clear();
+}
+
+/** The never-slower guarantee's bit half: whatever config wins, an
+ *  exact solver's output is bit-identical to the default plan's —
+ *  mrCap, segW and grain only re-partition independent work. */
+TEST(Autotune, WinningPlanIsBitIdenticalToTheDefaultPlan)
+{
+    TuneCache::global().clear();
+    const ConvQuery q = query(3, 1, 24);
+    (void)autotuneConv(q, fastOpts());
+
+    const ConvPlan tuned = planConv(q);
+    const ConvPlan dflt = planConvDefault(q);
+
+    Rng rng(29);
+    const int k = q.shape.kernel, n = q.shape.inC, m = q.shape.outC;
+    const int out_w = q.shape.outW;
+    Tensor in(n, k + 2, out_w + k - 1);
+    in.fillRandom(rng, -1.0f, 1.0f);
+    FilterBank fb(m, n, k);
+    fb.fillRandom(rng);
+
+    const PackedWeights pwT(fb, 1, 0, tuned.cfg.mrCap);
+    const PackedWeights pwD(fb, 1, 0, dflt.cfg.mrCap);
+    std::vector<float> got(static_cast<size_t>(m) * out_w);
+    std::vector<float> want(got);
+    for (int bi = 0; bi < pwT.numBlocks(); bi++)
+        convBlockRowTensor(tuned.bk, pwT, bi,
+                           got.data() +
+                               static_cast<size_t>(pwT.block(bi).m0) *
+                                   out_w,
+                           out_w, out_w, in, 1, 0);
+    for (int bi = 0; bi < pwD.numBlocks(); bi++)
+        convBlockRowTensor(dflt.bk, pwD, bi,
+                           want.data() +
+                               static_cast<size_t>(pwD.block(bi).m0) *
+                                   out_w,
+                           out_w, out_w, in, 1, 0);
+    EXPECT_EQ(got, want);
+    TuneCache::global().clear();
+}
+
+TEST(Autotune, Int8QueriesTuneThroughTheSameCache)
+{
+    TuneCache::global().clear();
+    const ConvQuery q = query(3, 1, 24, Precision::Int8);
+    const AutotuneResult r = autotuneConv(q, fastOpts());
+    EXPECT_FALSE(r.fromCache);
+    const ConvSolver *s = findConvSolver(r.winner.solver);
+    ASSERT_NE(s, nullptr);
+    EXPECT_EQ(s->dtype, Precision::Int8);
+    EXPECT_TRUE(autotuneConv(q, fastOpts()).fromCache);
+    TuneCache::global().clear();
+}
+
+} // namespace
+} // namespace flcnn

@@ -1,0 +1,188 @@
+/**
+ * @file
+ * TuneCache: in-memory round trips, JSON persistence, wholesale
+ * rejection of malformed files, and fingerprint isolation (a cache
+ * file from another machine is ignored, never mis-applied).
+ *
+ * File-backed cases use temporary files in the test's working
+ * directory (inside the build tree) and remove them on exit.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "tune/host_probe.hh"
+#include "tune/tune_cache.hh"
+
+namespace flcnn {
+namespace {
+
+TuneEntry
+entry(const std::string &solver, int mr, int seg, int grain,
+      double gmacs = 1.5)
+{
+    TuneEntry e;
+    e.solver = solver;
+    e.mrCap = mr;
+    e.segW = seg;
+    e.grain = grain;
+    e.gmacs = gmacs;
+    return e;
+}
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path);
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return ss.str();
+}
+
+/** A temp file in the CWD (the build tree), removed on destruction. */
+struct TempFile
+{
+    std::string path;
+    explicit TempFile(const std::string &name) : path(name) {}
+    ~TempFile() { std::remove(path.c_str()); }
+};
+
+TEST(TuneCache, MemoryOnlyRoundTrip)
+{
+    TuneCache c;
+    EXPECT_EQ(c.path(), "");
+    EXPECT_EQ(c.size(), 0);
+    EXPECT_FALSE(c.save());  // nothing to persist to
+
+    TuneEntry out;
+    EXPECT_FALSE(c.lookup("k3s1g1n4m8x24y8.f32", &out));
+
+    const int64_t rev0 = c.revision();
+    c.store("k3s1g1n4m8x24y8.f32", entry("fp32.avx2", 2, 16, 2, 7.25));
+    EXPECT_EQ(c.size(), 1);
+    EXPECT_GT(c.revision(), rev0);
+
+    ASSERT_TRUE(c.lookup("k3s1g1n4m8x24y8.f32", &out));
+    EXPECT_EQ(out.solver, "fp32.avx2");
+    EXPECT_EQ(out.mrCap, 2);
+    EXPECT_EQ(out.segW, 16);
+    EXPECT_EQ(out.grain, 2);
+    EXPECT_DOUBLE_EQ(out.gmacs, 7.25);
+
+    c.clear();
+    EXPECT_EQ(c.size(), 0);
+    EXPECT_FALSE(c.lookup("k3s1g1n4m8x24y8.f32", &out));
+}
+
+TEST(TuneCache, FileRoundTripAcrossInstances)
+{
+    TempFile f("tune_cache_test_roundtrip.json");
+    {
+        TuneCache a(f.path);
+        EXPECT_EQ(a.path(), f.path);
+        a.store("k3s1g1n4m8x24y8.f32", entry("fp32.avx2", 4, 0, 1));
+        a.store("k11s4g1n3m96x55y55.i8", entry("i8.scalar", 1, 32, 4));
+    }
+
+    // A fresh process (modeled by a fresh instance) sees both entries
+    // with every field intact.
+    TuneCache b(f.path);
+    EXPECT_EQ(b.size(), 2);
+    TuneEntry out;
+    ASSERT_TRUE(b.lookup("k3s1g1n4m8x24y8.f32", &out));
+    EXPECT_EQ(out.solver, "fp32.avx2");
+    EXPECT_EQ(out.mrCap, 4);
+    ASSERT_TRUE(b.lookup("k11s4g1n3m96x55y55.i8", &out));
+    EXPECT_EQ(out.solver, "i8.scalar");
+    EXPECT_EQ(out.segW, 32);
+    EXPECT_EQ(out.grain, 4);
+
+    // The file itself is versioned and keyed by this machine.
+    const std::string text = slurp(f.path);
+    EXPECT_NE(text.find("flcnn-tune-v1"), std::string::npos);
+    EXPECT_NE(text.find(hostProfile().fingerprint()),
+              std::string::npos);
+}
+
+TEST(TuneCache, MalformedFileIsIgnoredInFull)
+{
+    TempFile f("tune_cache_test_malformed.json");
+    {
+        std::ofstream out(f.path);
+        out << "{\"schema\": \"flcnn-tune-v1\", \"machines\": {";
+        // truncated mid-object: parse must fail, nothing applied
+    }
+    TuneCache c(f.path);
+    EXPECT_EQ(c.size(), 0);
+
+    // A store() replaces the broken file with a well-formed one.
+    c.store("k1s1g1n2m4x8y8.f32", entry("fp32.scalar", 1, 0, 1));
+    TuneCache d(f.path);
+    TuneEntry out;
+    EXPECT_TRUE(d.lookup("k1s1g1n2m4x8y8.f32", &out));
+
+    // Wrong schema string: same wholesale rejection.
+    {
+        std::ofstream o2(f.path);
+        o2 << "{\"schema\": \"flcnn-tune-v999\", \"machines\": {}}";
+    }
+    TuneCache e(f.path);
+    EXPECT_EQ(e.size(), 0);
+}
+
+TEST(TuneCache, ForeignFingerprintIsIgnoredNotMisapplied)
+{
+    TempFile f("tune_cache_test_this_machine.json");
+    TempFile g("tune_cache_test_other_machine.json");
+    {
+        TuneCache a(f.path);
+        a.store("k3s1g1n4m8x24y8.f32", entry("fp32.avx2", 4, 0, 1));
+    }
+
+    // Rewrite the machine key: the same entries now claim to belong
+    // to a different host. Loading must drop them for this host.
+    std::string text = slurp(f.path);
+    const std::string fp = hostProfile().fingerprint();
+    const size_t at = text.find(fp);
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, fp.size(), "some_other_machine;t64;none");
+    {
+        std::ofstream out(g.path);
+        out << text;
+    }
+
+    TuneCache b(g.path);
+    EXPECT_EQ(b.size(), 0);  // size() counts this host's entries
+    TuneEntry out;
+    EXPECT_FALSE(b.lookup("k3s1g1n4m8x24y8.f32", &out));
+
+    // Storing for this host must not clobber the foreign machine's
+    // section — both fingerprints coexist in the file afterwards.
+    b.store("k5s1g1n2m4x8y8.f32", entry("fp32.scalar", 1, 0, 1));
+    const std::string merged = slurp(g.path);
+    EXPECT_NE(merged.find("some_other_machine"), std::string::npos);
+    EXPECT_NE(merged.find(fp), std::string::npos);
+}
+
+TEST(TuneCache, ExplicitLoadPicksUpExternalWrites)
+{
+    TempFile f("tune_cache_test_reload.json");
+    TuneCache writer(f.path);
+    TuneCache reader(f.path);
+    EXPECT_EQ(reader.size(), 0);
+
+    writer.store("k7s2g1n4m8x16y16.f32", entry("fp32.avx2", 2, 0, 2));
+    const int64_t rev = reader.revision();
+    ASSERT_TRUE(reader.load());
+    EXPECT_GT(reader.revision(), rev);
+    TuneEntry out;
+    ASSERT_TRUE(reader.lookup("k7s2g1n4m8x16y16.f32", &out));
+    EXPECT_EQ(out.grain, 2);
+}
+
+} // namespace
+} // namespace flcnn
