@@ -14,20 +14,34 @@
  *    fixed-interval schedule (exactly 1/X seconds apart) regardless of
  *    completions — the right model for "what does p99 look like at
  *    this arrival rate". Under the Reject policy a saturated queue
- *    sheds load, and the reject count is part of the result.
+ *    sheds load, and the reject count is part of the result. A reaper
+ *    thread retires handles in submit order, so arena slots and
+ *    pooled handles recycle at the completion rate.
+ *
+ * Multi-tenant mode (--models a,b[,c...]): several models co-resident
+ * on one server, request i deterministically routed to model i mod M.
+ * --slo lc,be assigns SLO classes per model and --budget-ms gives
+ * latency-critical models a p99 budget; the report then breaks
+ * latency out per model and per class, and counts best-effort
+ * requests shed to defend the budget. The ledger invariant widens to
+ * submitted == admitted + rejected + cancelled + shed.
+ *
+ * Requests ride the zero-copy path: inputs are written straight into
+ * the server's arena (acquireInput/submit), outputs come back as
+ * arena views, and the arena/handle-pool fallback counters are part
+ * of the result — a steady-state run on a well-sized server reports
+ * zero for all of them.
  *
  * Inputs are drawn from a small seeded pool so the run is
- * reproducible. Unless --no-baseline is given, the same number of
- * single-image runs is timed sequentially on one engine (the
- * fused_inference deployment model) and the serve/sequential speedup
- * is printed — the batched runtime with request-level parallelism
- * should win on any multi-core host.
+ * reproducible. Unless --no-baseline is given (single-model runs
+ * only), the same number of single-image runs is timed sequentially
+ * on one engine and the serve/sequential speedup is printed.
  *
  * Output: a human table, plus optional machine artifacts —
  *   --json PATH          flcnn-serve-v1 result (latency percentiles,
- *                        counts; folded into BENCH_<date>.json by
- *                        scripts/run_bench.py and validated by
- *                        scripts/check_trace.py)
+ *                        counts, per-model breakdown; folded into
+ *                        BENCH_<date>.json by scripts/run_bench.py and
+ *                        validated by scripts/check_trace.py)
  *   --metrics-json PATH  flcnn-metrics-v1 report ("serve:*" scopes)
  *   --trace-json PATH    Chrome trace with per-request queue/compute
  *                        spans
@@ -41,9 +55,12 @@
 #include <atomic>
 #include <chrono>
 #include <cinttypes>
+#include <condition_variable>
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -68,7 +85,8 @@ namespace {
 
 struct Options
 {
-    std::string net = "alexnet";
+    std::vector<std::string> models;  // --models a,b (or single --net)
+    std::vector<SloClass> slos;       // parallel to models
     int vggConvs = 5;
     Precision precision = Precision::Fp32;
     EngineKind engine = EngineKind::LineBuffer;
@@ -83,6 +101,10 @@ struct Options
     OverflowPolicy policy = OverflowPolicy::Block;
     bool policySet = false;
     double deadlineMs = 0.0;
+    double budgetMs = 0.0;    // p99 budget for LC models (0 = none)
+    double shedHeadroom = 0.7;
+    bool pin = false;         // core-affinity worker placement
+    int arenaSlots = 32;      // per-worker output arena slots
     int threads = 0;          // intra-op pool size (0 = default)
     uint64_t seed = 1;
     bool baseline = true;
@@ -95,43 +117,83 @@ struct Options
 };
 
 Network
-makeNet(const Options &opt)
+makeNetByName(const std::string &name, int vgg_convs)
 {
-    if (opt.net == "alexnet")
+    if (name == "alexnet")
         return alexnetFusedPrefix();
-    if (opt.net == "vgg")
-        return vggEPrefix(opt.vggConvs);
-    if (opt.net == "tiny")
+    if (name == "vgg")
+        return vggEPrefix(vgg_convs);
+    if (name == "tiny")
         return tinyNet();
-    fatal("unknown --net '%s' (want alexnet | vgg | tiny)",
-          opt.net.c_str());
+    fatal("unknown model '%s' (want alexnet | vgg | tiny)",
+          name.c_str());
+}
+
+std::vector<std::string>
+splitCsv(const std::string &s)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= s.size()) {
+        const size_t comma = s.find(',', start);
+        const size_t end = comma == std::string::npos ? s.size() : comma;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
+    }
+    return out;
+}
+
+SloClass
+sloFromName(const std::string &s)
+{
+    if (s == "lc" || s == "latency_critical")
+        return SloClass::LatencyCritical;
+    if (s == "be" || s == "best_effort")
+        return SloClass::BestEffort;
+    fatal("unknown SLO class '%s' (want lc | be)", s.c_str());
 }
 
 /** One latency histogram as a JSON object body. An empty histogram has
  *  no meaningful percentiles (quantile() returns NaN, which is not
  *  valid JSON), so only the count is emitted. */
 void
-histJson(std::FILE *f, const char *key, const LatencyHistogram &h,
-         bool last)
+histJson(std::FILE *f, const char *indent, const char *key,
+         const LatencyHistogram &h, bool last)
 {
     if (h.count() == 0) {
-        std::fprintf(f, "    \"%s\": {\"count\": 0}%s\n", key,
+        std::fprintf(f, "%s\"%s\": {\"count\": 0}%s\n", indent, key,
                      last ? "" : ",");
         return;
     }
     std::fprintf(f,
-                 "    \"%s\": {\"count\": %" PRId64
+                 "%s\"%s\": {\"count\": %" PRId64
                  ", \"mean\": %.3f, \"p50\": %.3f, \"p95\": %.3f, "
                  "\"p99\": %.3f, \"max\": %.3f}%s\n",
-                 key, h.count(), h.mean(), h.quantile(0.50),
+                 indent, key, h.count(), h.mean(), h.quantile(0.50),
                  h.quantile(0.95), h.quantile(0.99), h.max(),
                  last ? "" : ",");
 }
 
-void
-writeServeJson(const Options &opt, const ServerStats &st, double wall_s,
-               double baseline_s, int workers)
+std::string
+joinNames(const std::vector<std::string> &names)
 {
+    std::string out;
+    for (size_t i = 0; i < names.size(); i++) {
+        if (i)
+            out += ",";
+        out += names[i];
+    }
+    return out;
+}
+
+void
+writeServeJson(const Options &opt, const InferenceServer &server,
+               double wall_s, double baseline_s, int workers)
+{
+    const ServerStats &st = server.stats();
     std::FILE *f = std::fopen(opt.jsonPath.c_str(), "w");
     if (!f)
         fatal("cannot write %s", opt.jsonPath.c_str());
@@ -146,28 +208,62 @@ writeServeJson(const Options &opt, const ServerStats &st, double wall_s,
                  "\"concurrency\": %d, \"qps\": %.3f, "
                  "\"batch_max\": %d, \"batch_min\": %d, "
                  "\"queue_capacity\": %zu, \"policy\": \"%s\", "
-                 "\"deadline_ms\": %.3f, \"seed\": %" PRIu64 "},\n",
-                 opt.net.c_str(), engineKindName(opt.engine),
+                 "\"deadline_ms\": %.3f, \"budget_ms\": %.3f, "
+                 "\"pin\": %s, \"seed\": %" PRIu64 "},\n",
+                 joinNames(opt.models).c_str(),
+                 engineKindName(opt.engine),
                  precisionName(opt.precision),
                  opt.qps > 0.0 ? "open" : "closed", workers,
                  opt.requests, opt.concurrency, opt.qps, opt.batchMax,
                  opt.batchMin, opt.queueCap,
                  overflowPolicyName(opt.policy), opt.deadlineMs,
-                 opt.seed);
+                 opt.budgetMs, opt.pin ? "true" : "false", opt.seed);
     std::fprintf(f,
                  "  \"counts\": {\"submitted\": %" PRId64
                  ", \"admitted\": %" PRId64 ", \"rejected\": %" PRId64
                  ", \"expired\": %" PRId64 ", \"cancelled\": %" PRId64
+                 ", \"shed\": %" PRId64
                  ", \"completed\": %" PRId64 ", \"batches\": %" PRId64
                  ", \"mean_batch\": %.3f, \"max_batch\": %.0f},\n",
                  st.submitted(), st.admitted(), st.rejected(),
-                 st.expired(), st.cancelled(), st.completed(),
-                 st.batches(), st.meanBatch(), st.maxBatchSeen());
+                 st.expired(), st.cancelled(), st.shed(),
+                 st.completed(), st.batches(), st.meanBatch(),
+                 st.maxBatchSeen());
     std::fprintf(f, "  \"latency_us\": {\n");
-    histJson(f, "total", total, false);
-    histJson(f, "queue_wait", queue, false);
-    histJson(f, "compute", compute, true);
+    histJson(f, "    ", "total", total, false);
+    histJson(f, "    ", "queue_wait", queue, false);
+    histJson(f, "    ", "compute", compute, true);
     std::fprintf(f, "  },\n");
+    // An array, not an object: --models may repeat a name (several
+    // tenants of the same network), and object keys would collide.
+    std::fprintf(f, "  \"models\": [\n");
+    for (size_t m = 0; m < opt.models.size(); m++) {
+        const LatencyHistogram h =
+            st.modelLatency(static_cast<int>(m));
+        std::fprintf(f, "    {\"name\": \"%s\", \"class\": \"%s\",\n",
+                     opt.models[m].c_str(),
+                     sloClassName(opt.slos[m]));
+        histJson(f, "      ", "total_us", h, true);
+        std::fprintf(f, "    }%s\n",
+                     m + 1 < opt.models.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"classes\": {\n");
+    histJson(f, "    ", "latency_critical",
+             st.classLatency(SloClass::LatencyCritical), false);
+    histJson(f, "    ", "best_effort",
+             st.classLatency(SloClass::BestEffort), true);
+    std::fprintf(f, "  },\n");
+    const ArenaStats in = server.inputArenaStats();
+    const ArenaStats out = server.outputArenaStats();
+    std::fprintf(f,
+                 "  \"arena\": {\"input_fallbacks\": %" PRId64
+                 ", \"output_fallbacks\": %" PRId64
+                 ", \"handle_heap_fallbacks\": %" PRId64
+                 ", \"pinned_workers\": %d},\n",
+                 in.exhaustedFallbacks + in.oversizedFallbacks,
+                 out.exhaustedFallbacks + out.oversizedFallbacks,
+                 server.handleHeapFallbacks(), server.pinnedWorkers());
     std::fprintf(f,
                  "  \"wall_s\": %.6f,\n  \"throughput_rps\": %.3f",
                  wall_s,
@@ -188,15 +284,46 @@ quantileMs(const LatencyHistogram &h, double q)
     return h.quantile(q) / 1000.0;
 }
 
+/** Fill-and-submit through the zero-copy path: the image is written
+ *  straight into the server's input arena, and downstream nothing
+ *  copies it again. */
+SubmitResult
+submitZeroCopy(InferenceServer &server, int model, const Tensor &image)
+{
+    InputSlot slot = server.acquireInput(model);
+    FLCNN_ASSERT(slot.tensor.elems() == image.elems(),
+                 "input pool / model shape mismatch");
+    std::memcpy(slot.tensor.data(), image.data(),
+                static_cast<size_t>(image.elems()) * sizeof(float));
+    return server.submit(std::move(slot));
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
     Options opt;
+    std::vector<std::string> sloNames;
+    std::string netArg;
     for (int a = 1; a < argc; a++) {
         if (std::strcmp(argv[a], "--net") == 0) {
-            opt.net = argValue(argc, argv, &a);
+            netArg = argValue(argc, argv, &a);
+        } else if (std::strcmp(argv[a], "--models") == 0) {
+            opt.models = splitCsv(argValue(argc, argv, &a));
+        } else if (std::strcmp(argv[a], "--slo") == 0) {
+            sloNames = splitCsv(argValue(argc, argv, &a));
+        } else if (std::strcmp(argv[a], "--budget-ms") == 0) {
+            opt.budgetMs = parseFloatArg(
+                "--budget-ms", argValue(argc, argv, &a), 0.0, 1e6);
+        } else if (std::strcmp(argv[a], "--shed-headroom") == 0) {
+            opt.shedHeadroom = parseFloatArg(
+                "--shed-headroom", argValue(argc, argv, &a), 1e-3, 10.0);
+        } else if (std::strcmp(argv[a], "--pin") == 0) {
+            opt.pin = true;
+        } else if (std::strcmp(argv[a], "--arena-slots") == 0) {
+            opt.arenaSlots = parseIntArgI(
+                "--arena-slots", argValue(argc, argv, &a), 0, 1 << 20);
         } else if (std::strcmp(argv[a], "--convs") == 0) {
             opt.vggConvs = parseIntArgI("--convs",
                                         argValue(argc, argv, &a), 1, 16);
@@ -265,6 +392,20 @@ main(int argc, char **argv)
             fatal("unknown argument '%s'", argv[a]);
         }
     }
+    if (opt.models.empty())
+        opt.models = {netArg.empty() ? "alexnet" : netArg};
+    else if (!netArg.empty())
+        fatal("--net and --models are mutually exclusive");
+    const int nModels = static_cast<int>(opt.models.size());
+    opt.slos.assign(opt.models.size(), SloClass::LatencyCritical);
+    if (!sloNames.empty()) {
+        if (sloNames.size() != opt.models.size())
+            fatal("--slo needs one class per model (%zu models, %zu "
+                  "classes)",
+                  opt.models.size(), sloNames.size());
+        for (size_t m = 0; m < sloNames.size(); m++)
+            opt.slos[m] = sloFromName(sloNames[m]);
+    }
 
     ThreadPool::setGlobalThreads(opt.threads);
     const int hw = ThreadPool::global().numThreads();
@@ -277,38 +418,51 @@ main(int argc, char **argv)
         workers = open_loop ? std::max(1, hw / 2)
                             : std::min(opt.concurrency, std::max(1, hw));
 
-    Network net = makeNet(opt);
-    Rng wrng(opt.seed);
-    NetworkWeights weights(net, wrng);
+    // Build every model: network, weights, precision calibration.
+    // Weight seeds differ per model so co-resident models are
+    // genuinely distinct tenants.
+    std::vector<Network> nets;
+    std::vector<NetworkWeights> weightSets;
+    std::vector<NetPrecision> precisions;
+    nets.reserve(opt.models.size());
+    weightSets.reserve(opt.models.size());
+    precisions.reserve(opt.models.size());
+    for (size_t m = 0; m < opt.models.size(); m++) {
+        nets.push_back(makeNetByName(opt.models[m], opt.vggConvs));
+        Rng wrng(opt.seed + m);
+        weightSets.emplace_back(nets.back(), wrng);
+        precisions.push_back(NetPrecision::calibrate(
+            nets.back(), weightSets.back(), opt.precision));
+    }
 
-    // Calibrate once; every worker engine (and the baseline) shares
-    // the same immutable precision state. fp32 passes nullptr — the
-    // historical bit-exact path, untouched.
-    NetPrecision prec =
-        NetPrecision::calibrate(net, weights, opt.precision);
-    const NetPrecision *precp =
-        opt.precision == Precision::Fp32 ? nullptr : &prec;
-
-    // --tune: sweep the model's conv layers through the autotuner up
+    // --tune: sweep the models' conv layers through the autotuner up
     // front (what ServeEngine::warmup() would do with tuneAtWarmup)
     // so the cold/warm split is visible in the output — the CI smoke
     // greps for "0 newly tuned" on the warm run.
     const bool fm = opt.fastMath && opt.precision == Precision::Fp32;
     if (opt.tune) {
-        AutotuneSummary sum = autotuneQueries(convQueriesForRange(
-            net, 0, net.numLayers() - 1, opt.precision, fm));
-        std::printf("autotune: %d newly tuned, %d cached\n", sum.tuned,
-                    sum.cached);
+        int tuned = 0, cached = 0;
+        for (const Network &net : nets) {
+            AutotuneSummary sum = autotuneQueries(convQueriesForRange(
+                net, 0, net.numLayers() - 1, opt.precision, fm));
+            tuned += sum.tuned;
+            cached += sum.cached;
+        }
+        std::printf("autotune: %d newly tuned, %d cached\n", tuned,
+                    cached);
     }
 
-    // Deterministic input pool: request i uses inputs[i % pool].
+    // Deterministic input pool per model: request i (for model
+    // i % nModels) uses pool entry (i / nModels) % kInputPool.
     constexpr int kInputPool = 8;
-    std::vector<Tensor> inputs;
-    inputs.reserve(kInputPool);
-    Rng irng(opt.seed + 1);
-    for (int i = 0; i < kInputPool; i++) {
-        inputs.emplace_back(net.inputShape());
-        inputs.back().fillRandom(irng);
+    std::vector<std::vector<Tensor>> inputs(opt.models.size());
+    for (size_t m = 0; m < opt.models.size(); m++) {
+        Rng irng(opt.seed + 1 + m);
+        inputs[m].reserve(kInputPool);
+        for (int i = 0; i < kInputPool; i++) {
+            inputs[m].emplace_back(nets[m].inputShape());
+            inputs[m].back().fillRandom(irng);
+        }
     }
 
     ServeConfig cfg;
@@ -320,16 +474,21 @@ main(int argc, char **argv)
     cfg.batch.maxDelaySeconds = opt.maxDelayMs / 1000.0;
     cfg.deadlineSeconds = opt.deadlineMs / 1000.0;
     cfg.engine = opt.engine;
+    cfg.pinWorkers = opt.pin;
+    cfg.outArenaSlots = opt.arenaSlots;
+    cfg.shedHeadroom = opt.shedHeadroom;
 
     std::printf("== serve_bench: %s on %s (%s), %s loop ==\n",
-                engineKindName(opt.engine), net.name().c_str(),
+                engineKindName(opt.engine),
+                joinNames(opt.models).c_str(),
                 precisionName(opt.precision),
                 open_loop ? "open" : "closed");
-    std::printf("workers %d, queue %zu (%s), batch [%d, %d], "
+    std::printf("workers %d%s, queue %zu (%s), batch [%d, %d], "
                 "delay %.1f ms, deadline %s, %d requests, %s, "
                 "intra-op threads %d\n",
-                workers, opt.queueCap, overflowPolicyName(opt.policy),
-                opt.batchMin, opt.batchMax, opt.maxDelayMs,
+                workers, opt.pin ? " (pinned)" : "", opt.queueCap,
+                overflowPolicyName(opt.policy), opt.batchMin,
+                opt.batchMax, opt.maxDelayMs,
                 opt.deadlineMs > 0.0
                     ? (std::to_string(opt.deadlineMs) + " ms").c_str()
                     : "none",
@@ -341,23 +500,65 @@ main(int argc, char **argv)
                 hw);
 
     InferenceServer server(cfg);
-    server.addModel(net.name(), net, weights, 0, -1, precp, fm);
+    for (size_t m = 0; m < opt.models.size(); m++) {
+        const NetPrecision *precp = opt.precision == Precision::Fp32
+                                        ? nullptr
+                                        : &precisions[m];
+        server.addModel(opt.models[m], nets[m], weightSets[m], 0, -1,
+                        precp, fm, false, opt.slos[m],
+                        opt.slos[m] == SloClass::LatencyCritical
+                            ? opt.budgetMs
+                            : 0.0);
+    }
     server.start();
 
     const double t0 = monotonicSeconds();
     if (open_loop) {
-        std::vector<RequestHandlePtr> handles;
-        handles.reserve(static_cast<size_t>(opt.requests));
+        // Reaper: retire handles in submit order so completed
+        // requests release their arena slots and pooled handles at
+        // the completion rate — an open-loop client that hoarded
+        // every handle would turn the bounded pools into heap
+        // fallbacks and measure the wrong thing.
+        std::mutex remu;
+        std::condition_variable recv;
+        std::deque<RequestHandlePtr> pending;
+        bool doneSubmitting = false;
+        std::thread reaper([&] {
+            for (;;) {
+                RequestHandlePtr h;
+                {
+                    std::unique_lock<std::mutex> lk(remu);
+                    recv.wait(lk, [&] {
+                        return !pending.empty() || doneSubmitting;
+                    });
+                    if (pending.empty())
+                        return;
+                    h = std::move(pending.front());
+                    pending.pop_front();
+                }
+                h->wait();
+            }
+        });
         const double interval = 1.0 / opt.qps;
         const auto start = std::chrono::steady_clock::now();
         for (int i = 0; i < opt.requests; i++) {
             std::this_thread::sleep_until(
                 start + std::chrono::duration<double>(i * interval));
-            handles.push_back(
-                server.submit(0, Tensor(inputs[i % kInputPool])).handle);
+            const int m = i % nModels;
+            SubmitResult r = submitZeroCopy(
+                server, m, inputs[m][(i / nModels) % kInputPool]);
+            {
+                std::lock_guard<std::mutex> lk(remu);
+                pending.push_back(std::move(r.handle));
+            }
+            recv.notify_one();
         }
-        for (const RequestHandlePtr &h : handles)
-            h->wait();
+        {
+            std::lock_guard<std::mutex> lk(remu);
+            doneSubmitting = true;
+        }
+        recv.notify_one();
+        reaper.join();
     } else {
         std::atomic<int> next{0};
         std::vector<std::thread> clients;
@@ -369,8 +570,10 @@ main(int argc, char **argv)
                         next.fetch_add(1, std::memory_order_relaxed);
                     if (i >= opt.requests)
                         return;
-                    SubmitResult r = server.submit(
-                        0, Tensor(inputs[i % kInputPool]));
+                    const int m = i % nModels;
+                    SubmitResult r = submitZeroCopy(
+                        server, m,
+                        inputs[m][(i / nModels) % kInputPool]);
                     r.handle->wait();
                 }
             });
@@ -386,8 +589,9 @@ main(int argc, char **argv)
     const LatencyHistogram queue = st.queueWait();
     const LatencyHistogram compute = st.computeTime();
 
-    // Invariant (also the CI smoke's check): every completion is
-    // recorded in every histogram exactly once.
+    // Invariants (also the CI smoke's checks): every completion is
+    // recorded in every histogram exactly once, and the admission
+    // ledger balances.
     if (total.count() != st.completed() ||
         queue.count() != st.completed() ||
         compute.count() != st.completed())
@@ -399,18 +603,37 @@ main(int argc, char **argv)
         fatal("admitted %" PRId64 " != completed %" PRId64
               " + expired %" PRId64,
               st.admitted(), st.completed(), st.expired());
+    if (st.submitted() != st.admitted() + st.rejected() +
+                              st.cancelled() + st.shed())
+        fatal("submitted %" PRId64 " != admitted %" PRId64
+              " + rejected %" PRId64 " + cancelled %" PRId64
+              " + shed %" PRId64,
+              st.submitted(), st.admitted(), st.rejected(),
+              st.cancelled(), st.shed());
     if (opt.expectNoRejects && st.rejected() > 0)
         fatal("--expect-no-rejects, but %" PRId64 " rejected",
               st.rejected());
 
     std::printf("\n%" PRId64 " submitted, %" PRId64 " completed, %" PRId64
-                " rejected, %" PRId64 " expired; %" PRId64
-                " batches (mean %.2f, max %.0f)\n",
+                " rejected, %" PRId64 " expired, %" PRId64
+                " shed; %" PRId64 " batches (mean %.2f, max %.0f)\n",
                 st.submitted(), st.completed(), st.rejected(),
-                st.expired(), st.batches(), st.meanBatch(),
+                st.expired(), st.shed(), st.batches(), st.meanBatch(),
                 st.maxBatchSeen());
     std::printf("wall %.3f s, throughput %.1f req/s\n", wall,
                 wall > 0.0 ? double(st.completed()) / wall : 0.0);
+    const ArenaStats ain = server.inputArenaStats();
+    const ArenaStats aout = server.outputArenaStats();
+    std::printf("arena: input %" PRId64 " acquires / %" PRId64
+                " fallbacks, output %" PRId64 " acquires / %" PRId64
+                " fallbacks, handle pool %" PRId64
+                " heap fallbacks, %d/%d workers pinned\n",
+                ain.acquires,
+                ain.exhaustedFallbacks + ain.oversizedFallbacks,
+                aout.acquires,
+                aout.exhaustedFallbacks + aout.oversizedFallbacks,
+                server.handleHeapFallbacks(), server.pinnedWorkers(),
+                workers);
 
     Table t({"latency (ms)", "mean", "p50", "p95", "p99", "max"});
     const struct
@@ -429,16 +652,42 @@ main(int argc, char **argv)
     }
     t.print();
 
+    // Per-model breakdown: the mixed-traffic story. p99 against the
+    // declared budget is the number the SLO experiment reads.
+    if (nModels > 1) {
+        std::printf("\n");
+        Table mt({"model", "class", "done", "mean ms", "p50", "p95",
+                  "p99", "budget"});
+        for (int m = 0; m < nModels; m++) {
+            const LatencyHistogram h = st.modelLatency(m);
+            const bool lc =
+                opt.slos[static_cast<size_t>(m)] ==
+                SloClass::LatencyCritical;
+            mt.addRow(
+                {opt.models[static_cast<size_t>(m)],
+                 lc ? "lc" : "be", fmtI(h.count()),
+                 h.count() ? fmtF(h.mean() / 1000.0, 3) : "-",
+                 h.count() ? fmtF(quantileMs(h, 0.50), 3) : "-",
+                 h.count() ? fmtF(quantileMs(h, 0.95), 3) : "-",
+                 h.count() ? fmtF(quantileMs(h, 0.99), 3) : "-",
+                 lc && opt.budgetMs > 0
+                     ? fmtF(opt.budgetMs, 1) + " ms"
+                     : "-"});
+        }
+        mt.print();
+    }
+
     // Sequential baseline: N back-to-back single-image runs, each
     // rebuilding the network, weights, plan, and executor from
     // scratch — the cost profile of invoking fused_inference once per
     // image (everything the server's pinned, pre-warmed engines
-    // amortize), minus process startup.
+    // amortize), minus process startup. Single-model runs only (the
+    // multi-tenant comparison is the serve run itself).
     double baseline_s = 0.0;
-    if (opt.baseline) {
+    if (opt.baseline && nModels == 1) {
         const double b0 = monotonicSeconds();
         for (int i = 0; i < opt.requests; i++) {
-            Network bnet = makeNet(opt);
+            Network bnet = makeNetByName(opt.models[0], opt.vggConvs);
             Rng brng(opt.seed);
             NetworkWeights bweights(bnet, brng);
             NetPrecision bprec = NetPrecision::calibrate(
@@ -454,7 +703,7 @@ main(int argc, char **argv)
                                  : &bprec;
             spec.fastMath = fm;
             ServeEngine eng(spec, opt.engine);
-            (void)eng.run(inputs[i % kInputPool]);
+            (void)eng.run(inputs[0][i % kInputPool]);
         }
         baseline_s = monotonicSeconds() - b0;
         std::printf("\nsequential baseline (cold executor per run): "
@@ -466,11 +715,11 @@ main(int argc, char **argv)
     }
 
     if (!opt.jsonPath.empty())
-        writeServeJson(opt, st, wall, baseline_s, workers);
+        writeServeJson(opt, server, wall, baseline_s, workers);
     if (!opt.metricsPath.empty()) {
         MetricsRegistry reg;
         server.registerMetrics(reg);
-        MetricsReport report("serve_bench " + opt.net);
+        MetricsReport report("serve_bench " + joinNames(opt.models));
         report.addRun("serve", AccelStats{}, reg);
         if (report.writeFile(opt.metricsPath))
             std::printf("wrote %s\n", opt.metricsPath.c_str());

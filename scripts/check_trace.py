@@ -21,10 +21,12 @@ Each FILE is sniffed by shape:
 
   - A serving result ("schema": "flcnn-serve-v1", what serve_bench
     --json writes): checks the admission ledger (submitted = admitted
-    + rejected + cancelled; admitted = completed + expired), that
+    + rejected + cancelled + shed; admitted = completed + expired —
+    "shed" defaults to 0 for results predating SLO classes), that
     every latency histogram recorded exactly one entry per completed
-    request, and that each percentile row is monotone
-    (p50 <= p95 <= p99 <= max).
+    request, that the per-model and per-class breakdowns (when
+    present) sum back to the completed count, and that each
+    percentile row is monotone (p50 <= p95 <= p99 <= max).
 
 Exits nonzero with a per-file message on the first failure.
 """
@@ -108,6 +110,25 @@ def check_metrics(path, doc):
               "the AccelStats totals)")
 
 
+def check_hist(path, label, h, expect_count=None):
+    """One latency histogram object: count present, percentiles (when
+    any sample was recorded) well-formed and monotone."""
+    if not isinstance(h, dict) or \
+            not isinstance(h.get("count"), int) or h["count"] < 0:
+        fail(path, f"{label}: count missing or negative")
+    if expect_count is not None and h["count"] != expect_count:
+        fail(path, f"{label}.count {h['count']} != expected "
+                   f"{expect_count} (a completion was recorded zero "
+                   "or twice)")
+    if h["count"] == 0:
+        return
+    ordered = [h.get(k) for k in ("p50", "p95", "p99", "max")]
+    if any(not isinstance(v, (int, float)) or v < 0 for v in ordered):
+        fail(path, f"{label}: malformed percentiles")
+    if any(a > b for a, b in zip(ordered, ordered[1:])):
+        fail(path, f"{label}: percentiles not monotone {ordered}")
+
+
 def check_serve(path, doc):
     counts = doc.get("counts")
     lat = doc.get("latency_us")
@@ -117,37 +138,63 @@ def check_serve(path, doc):
                 "cancelled", "completed"):
         if not isinstance(counts.get(key), int) or counts[key] < 0:
             fail(path, f"counts.{key} missing or negative")
+    # "shed" joined the schema with SLO classes; older results omit it.
+    shed = counts.get("shed", 0)
+    if not isinstance(shed, int) or shed < 0:
+        fail(path, "counts.shed not a non-negative integer")
 
     if counts["submitted"] != (counts["admitted"] + counts["rejected"]
-                               + counts["cancelled"]):
+                               + counts["cancelled"] + shed):
         fail(path, f"admission ledger broken: submitted "
                    f"{counts['submitted']} != admitted "
                    f"{counts['admitted']} + rejected "
                    f"{counts['rejected']} + cancelled "
-                   f"{counts['cancelled']}")
+                   f"{counts['cancelled']} + shed {shed}")
     if counts["admitted"] != counts["completed"] + counts["expired"]:
         fail(path, f"admitted {counts['admitted']} != completed "
                    f"{counts['completed']} + expired "
                    f"{counts['expired']}")
 
     for kind in ("total", "queue_wait", "compute"):
-        h = lat.get(kind)
-        if not isinstance(h, dict):
+        if not isinstance(lat.get(kind), dict):
             fail(path, f"latency_us.{kind} missing")
-        if h.get("count") != counts["completed"]:
-            fail(path, f"latency_us.{kind}.count {h.get('count')} != "
-                       f"completed {counts['completed']} (a completion "
-                       "was recorded zero or twice)")
-        ordered = [h.get(k) for k in ("p50", "p95", "p99", "max")]
-        if any(not isinstance(v, (int, float)) or v < 0
-               for v in ordered):
-            fail(path, f"latency_us.{kind}: malformed percentiles")
-        if counts["completed"] > 0 and \
-                any(a > b for a, b in zip(ordered, ordered[1:])):
-            fail(path, f"latency_us.{kind}: percentiles not monotone "
-                       f"{ordered}")
-    print(f"{path}: OK ({counts['completed']} completed; ledger and "
-          "histogram counts consistent, percentiles monotone)")
+        check_hist(path, f"latency_us.{kind}", lat[kind],
+                   expect_count=counts["completed"])
+
+    # Multi-tenant breakdowns (optional; added with --models): every
+    # completion belongs to exactly one model and one SLO class. The
+    # models section is an array — names may repeat (several tenants
+    # serving the same network).
+    models = doc.get("models")
+    if isinstance(models, list) and models:
+        total = 0
+        for i, entry in enumerate(models):
+            name = entry.get("name", f"#{i}")
+            if entry.get("class") not in ("latency_critical",
+                                          "best_effort"):
+                fail(path, f"models[{i}] ({name}): bad class "
+                           f"{entry.get('class')!r}")
+            check_hist(path, f"models[{i}] ({name}).total_us",
+                       entry.get("total_us"))
+            total += entry["total_us"]["count"]
+        if total != counts["completed"]:
+            fail(path, f"per-model counts sum to {total}, completed "
+                       f"is {counts['completed']}")
+    classes = doc.get("classes")
+    if isinstance(classes, dict) and classes:
+        total = 0
+        for name in ("latency_critical", "best_effort"):
+            if not isinstance(classes.get(name), dict):
+                fail(path, f"classes.{name} missing")
+            check_hist(path, f"classes.{name}", classes[name])
+            total += classes[name]["count"]
+        if total != counts["completed"]:
+            fail(path, f"per-class counts sum to {total}, completed "
+                       f"is {counts['completed']}")
+
+    print(f"{path}: OK ({counts['completed']} completed, {shed} shed; "
+          "ledger and histogram counts consistent, percentiles "
+          "monotone)")
 
 
 def main(argv):

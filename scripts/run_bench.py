@@ -17,7 +17,11 @@ Runs, in order:
      tiny net with --quick) once per precision mode (fp32, int8,
      fp16), folding each flcnn-serve-v1 result — latency percentiles,
      counts, throughput — into the report's "serve_precision" section
-     (the fp32 run also lands in the legacy "serve" section).
+     (the fp32 run also lands in the legacy "serve" section);
+  4. a multi-tenant serving run (--models with mixed lc/be SLO
+     classes; open-loop overload at full scale, a small closed loop
+     with --quick) into the "serve_mt" section, carrying per-model
+     and per-SLO-class latency percentiles plus the shed count.
 
 The output file records the git revision, host info, every
 google-benchmark result, and the raw tables, so before/after runs can
@@ -32,7 +36,10 @@ and the script exits nonzero if any shared case regressed by more than
 percentiles (serve.latency_us.{total,queue_wait,compute}.{p50,p95,
 p99}) present in both reports go through the same gate; each precision
 mode's percentiles carry a dtype-prefixed key (e.g. "int8.total.p99")
-and gate independently.
+and gate independently. The multi-tenant run's percentiles gate
+per SLO class ("mt.latency_critical.p99", "mt.best_effort.p95") and
+per model ("mt.m0.alexnet.p99"), so a change that helps the aggregate
+but blows the latency-critical tail still fails the gate.
 """
 
 import argparse
@@ -157,6 +164,28 @@ def serve_percentiles(report):
             continue  # already present as the legacy unprefixed keys
         if isinstance(doc, dict):
             add(f"{prec}.", doc)
+
+    # Multi-tenant run: gate each SLO class and each model separately.
+    # A per-model key carries the model's position (m0, m1, ...) as
+    # well as its name, since --models may repeat a name.
+    mt = report.get("serve_mt", {})
+    if isinstance(mt, dict):
+        for cls, fields in mt.get("classes", {}).items():
+            if not isinstance(fields, dict):
+                continue
+            for pct in ("p50", "p95", "p99"):
+                if isinstance(fields.get(pct), (int, float)):
+                    out[f"mt.{cls}.{pct}"] = fields[pct]
+        models = mt.get("models", [])
+        if isinstance(models, list):
+            for i, entry in enumerate(models):
+                hist = entry.get("total_us", {}) \
+                    if isinstance(entry, dict) else {}
+                name = entry.get("name", "?") \
+                    if isinstance(entry, dict) else "?"
+                for pct in ("p50", "p95", "p99"):
+                    if isinstance(hist.get(pct), (int, float)):
+                        out[f"mt.m{i}.{name}.{pct}"] = hist[pct]
     return out
 
 
@@ -361,6 +390,41 @@ def main():
                 # keys) know the fp32 numbers as the "serve" section.
                 report["serve"] = doc
             print(f"  done in {wall:.1f}s")
+
+        # 4. Multi-tenant mixed traffic: a latency-critical tenant
+        # with a p99 budget sharing the node with best-effort flood.
+        # Full scale drives open-loop overload so the shed path and
+        # the per-class tails are real; --quick keeps it to a small
+        # closed loop that still exercises the multi-model plumbing.
+        mt_json = bench_dir / "serve_bench_mt.json"
+        if args.quick:
+            mt_cmd = [str(serve), "--models", "tiny,tiny", "--slo",
+                      "lc,be", "--budget-ms", "5", "--requests", "32",
+                      "--concurrency", "4", "--batch-max", "4",
+                      "--no-baseline", "--json", str(mt_json)]
+        else:
+            mt_cmd = [str(serve), "--models",
+                      "alexnet,alexnet,alexnet", "--slo", "lc,be,be",
+                      "--budget-ms", "200", "--shed-headroom", "0.2",
+                      "--qps", "60", "--requests", "120", "--workers",
+                      "2", "--batch-max", "2", "--queue-cap", "512",
+                      "--policy", "block", "--no-baseline", "--json",
+                      str(mt_json)]
+        print("running serve_bench (multi-tenant mixed traffic)...")
+        out, wall = run(mt_cmd)
+        report["tables"]["serve_bench_mt"] = {
+            "wall_s": round(wall, 3), "stdout": out}
+        try:
+            doc = json.loads(mt_json.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            sys.exit(f"serve_bench did not produce a readable result "
+                     f"at {mt_json}: {exc}")
+        if doc.get("schema") != "flcnn-serve-v1":
+            sys.exit(f"{mt_json}: unexpected schema "
+                     f"{doc.get('schema')!r}")
+        report["serve_mt"] = doc
+        print(f"  done in {wall:.1f}s "
+              f"(shed {doc.get('counts', {}).get('shed', 0)})")
     else:
         print("  skipping serve_bench: not built")
 

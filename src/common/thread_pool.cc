@@ -5,6 +5,11 @@
 #include <cstdlib>
 #include <memory>
 
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
 #include "common/logging.hh"
 
 namespace flcnn {
@@ -235,6 +240,80 @@ ThreadPool::setGlobalThreads(int num_threads)
 {
     std::lock_guard<std::mutex> lk(global_mu);
     global_pool = std::make_unique<ThreadPool>(num_threads);
+}
+
+bool
+ThreadPool::inParallelRegion()
+{
+    return in_parallel_region;
+}
+
+bool
+ThreadPool::affinitySupported()
+{
+#if defined(__linux__)
+    return true;
+#else
+    return false;
+#endif
+}
+
+int
+ThreadPool::cpuCount()
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    if (sched_getaffinity(0, sizeof(set), &set) == 0) {
+        const int n = CPU_COUNT(&set);
+        if (n > 0)
+            return n;
+    }
+#endif
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+bool
+ThreadPool::pinCurrentThread(int cpu)
+{
+#if defined(__linux__)
+    // Map the logical index onto the n-th *set* bit of the process
+    // mask: containers and cpusets routinely hand out non-contiguous
+    // CPU ids, so CPU_SET(cpu) directly would miss or fail.
+    cpu_set_t avail;
+    CPU_ZERO(&avail);
+    if (sched_getaffinity(0, sizeof(avail), &avail) != 0)
+        return false;
+    const int n = CPU_COUNT(&avail);
+    if (n <= 0)
+        return false;
+    const int want = ((cpu % n) + n) % n;
+    int seen = 0, target = -1;
+    for (int c = 0; c < CPU_SETSIZE; c++) {
+        if (!CPU_ISSET(c, &avail))
+            continue;
+        if (seen == want) {
+            target = c;
+            break;
+        }
+        seen++;
+    }
+    if (target < 0)
+        return false;
+    cpu_set_t one;
+    CPU_ZERO(&one);
+    CPU_SET(target, &one);
+    return pthread_setaffinity_np(pthread_self(), sizeof(one), &one) == 0;
+#else
+    (void)cpu;
+    static std::atomic<bool> warned{false};
+    if (!warned.exchange(true)) {
+        warn("thread pinning is not supported on this platform; "
+             "worker placement hints are a no-op");
+    }
+    return false;
+#endif
 }
 
 void

@@ -112,6 +112,28 @@ class ThreadPool
      *  --threads knobs go through here. */
     static void setGlobalThreads(int num_threads);
 
+    /** True while the calling thread is inside a parallelFor chunk or
+     *  an InlineScope. Exposed so the header template overload of
+     *  parallelFor() can run the body directly — without constructing
+     *  a std::function — on that path. */
+    static bool inParallelRegion();
+
+    /** Logical CPUs available to this process (the affinity mask on
+     *  Linux, hardware_concurrency() elsewhere; at least 1). */
+    static int cpuCount();
+
+    /** True when this platform supports pinning threads to CPUs. */
+    static bool affinitySupported();
+
+    /**
+     * Pin the calling thread to the (@p cpu mod cpuCount())-th CPU of
+     * the process affinity mask. A placement *hint*, never a
+     * correctness requirement: on platforms without affinity support
+     * it logs a one-time notice and returns false; on failure it
+     * returns false and the thread keeps floating.
+     */
+    static bool pinCurrentThread(int cpu);
+
   private:
     void workerLoop(int tid);
     void runChunk(const RangeFn &fn, int64_t begin, int64_t end, int tid,
@@ -136,6 +158,29 @@ class ThreadPool
 /** parallelFor on the global pool (the executors' entry point). */
 void parallelFor(int64_t begin, int64_t end,
                  const ThreadPool::RangeFn &fn, int64_t grain = 1);
+
+/**
+ * Template overload taken by lambda call sites. When the calling
+ * thread is already in a parallel region (nested call, or a serving
+ * worker under InlineScope) the body runs directly — no std::function
+ * is ever constructed, which keeps the serving steady-state path
+ * allocation-free even for lambdas whose captures overflow the
+ * std::function small-buffer. Cold path forwards to the pool through
+ * std::ref, which the standard guarantees never heap-allocates.
+ */
+template <typename Fn>
+inline void
+parallelFor(int64_t begin, int64_t end, Fn &&body, int64_t grain = 1)
+{
+    if (end <= begin)
+        return;
+    if (ThreadPool::inParallelRegion()) {
+        body(begin, end);
+        return;
+    }
+    const ThreadPool::RangeFn f = std::ref(body);
+    ThreadPool::global().parallelFor(begin, end, f, grain);
+}
 
 } // namespace flcnn
 

@@ -10,6 +10,7 @@
 #include "kernels/conv_kernels.hh"
 #include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
+#include "tune/tune_cache.hh"
 
 namespace flcnn {
 
@@ -521,9 +522,21 @@ FusedExecutor::runPointwise(int li, int r, int c)
 Tensor
 FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
 {
+    Tensor output(tplan.groupOutput());
+    runInto(input, &output, stats);
+    return output;
+}
+
+void
+FusedExecutor::runInto(const Tensor &input, Tensor *out,
+                       FusedRunStats *stats)
+{
     FLCNN_ASSERT(input.shape() == tplan.groupInput(),
                  "input shape does not match the fusion plan");
-    Tensor output(tplan.groupOutput());
+    FLCNN_ASSERT(out != nullptr &&
+                     out->shape() == tplan.groupOutput(),
+                 "output shape does not match the fusion plan");
+    Tensor &output = *out;
     groupInput = &input;
     groupOutput = &output;
     curStats = FusedRunStats{};
@@ -541,16 +554,20 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
     }
     const Precision runMode =
         precision ? precision->mode() : Precision::Fp32;
+    // Refresh conv plans only when the tune cache has changed since
+    // they were last computed (or a setter invalidated them): planner
+    // lookups build shape-key strings, which would put a heap
+    // allocation on the serving steady-state path.
+    const int64_t tuneRev = TuneCache::global().revision();
+    const bool replan = tuneRev != plannedRev;
+    plannedRev = tuneRev;
     for (int li = 0; li < n; li++) {
         LayerState &st = states[static_cast<size_t>(li)];
         st.btBaseOld = 0;
         st.btBaseNew = 0;
         st.btWatermark = 0;
         st.blX = Span{0, 0};
-        // Refresh each conv layer's plan once per run (the tune cache
-        // may have gained a winner since the last run); the pyramid
-        // loop then dispatches through st.plan with no planner cost.
-        if (tplan.geom(li).windowed &&
+        if (replan && tplan.geom(li).windowed &&
             net.layer(tplan.geom(li).layerIdx).kind == LayerKind::Conv) {
             st.plan = planConv(convLayerQuery(
                 net.layer(tplan.geom(li).layerIdx),
@@ -744,7 +761,6 @@ FusedExecutor::run(const Tensor &input, FusedRunStats *stats)
     groupOutput = nullptr;
     if (stats)
         *stats = curStats;
-    return output;
 }
 
 std::string

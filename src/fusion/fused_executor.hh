@@ -74,6 +74,16 @@ class FusedExecutor
      *  full input plane). Returns the group output plane. */
     Tensor run(const Tensor &input, FusedRunStats *stats = nullptr);
 
+    /**
+     * As run(), but write the group output into @p out, whose shape
+     * must equal plan().groupOutput(). Every output element is
+     * produced by the run (the coverage tracker proves it), so @p out
+     * need not be zero-filled — on the serving hot path it is an
+     * arena-backed view and this call performs no output allocation.
+     */
+    void runInto(const Tensor &input, Tensor *out,
+                 FusedRunStats *stats = nullptr);
+
     const TilePlan &plan() const { return tplan; }
 
     /**
@@ -93,7 +103,12 @@ class FusedExecutor
      * Pass nullptr (the default state) for plain fp32. The pointed-to
      * state must outlive the executor.
      */
-    void setPrecision(const NetPrecision *prec) { precision = prec; }
+    void
+    setPrecision(const NetPrecision *prec)
+    {
+        precision = prec;
+        plannedRev = -1;
+    }
 
     /**
      * Opt in to the fast-math conv tier (tune/solver.hh) for
@@ -102,7 +117,12 @@ class FusedExecutor
      * Off by default; never applies to int8/fp16 precision modes,
      * which stay bit-exact regardless.
      */
-    void setFastMath(bool enable) { fastMath = enable; }
+    void
+    setFastMath(bool enable)
+    {
+        fastMath = enable;
+        plannedRev = -1;
+    }
 
     /** Stream every DRAM access of subsequent runs to @p sink
      *  (group-input reads and group-output writes; see sim/trace.hh
@@ -191,6 +211,11 @@ class FusedExecutor
     std::string metricsPrefix;   //!< prepended to every metric scope
     int64_t lastPackHits = 0;    //!< packCache.hits() after the last run
     int64_t lastPackMisses = 0;  //!< packCache.misses() likewise
+    int64_t plannedRev = -1;     //!< TuneCache revision the layer plans
+                                 //!< were computed at (-1 = never);
+                                 //!< keeps steady-state runs free of
+                                 //!< planner lookups and their string
+                                 //!< allocations
 
     /** Emit one traced access when a sink is installed. */
     void

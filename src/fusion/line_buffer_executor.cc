@@ -9,6 +9,7 @@
 #include "kernels/conv_kernels.hh"
 #include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
+#include "tune/tune_cache.hh"
 
 namespace flcnn {
 
@@ -409,22 +410,37 @@ LineBufferExecutor::pushRow(int li, int y, const float *row_data,
 Tensor
 LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
 {
+    Tensor output(net.outShape(last));
+    runInto(input, &output, stats);
+    return output;
+}
+
+void
+LineBufferExecutor::runInto(const Tensor &input, Tensor *out,
+                            LineBufferStats *stats)
+{
     FLCNN_ASSERT(input.shape() == net.inShape(first),
                  "input shape does not match the fused range");
-    Tensor output(net.outShape(last));
+    FLCNN_ASSERT(out != nullptr && out->shape() == net.outShape(last),
+                 "output shape does not match the fused range");
+    Tensor &output = *out;
     curStats = LineBufferStats{};
     curStats.bufferBytes = bufferBytes();
     const Precision runMode =
         precision ? precision->mode() : Precision::Fp32;
+    // Re-plan only when the tune cache changed (planner lookups build
+    // shape-key strings — a heap allocation the steady-state serving
+    // path must not pay).
+    const int64_t tuneRev = TuneCache::global().revision();
+    const bool replan = tuneRev != plannedRev;
+    plannedRev = tuneRev;
     for (size_t i = 0; i < states.size(); i++) {
         LayerState &st = states[i];
         st.rowsIn = 0;
         st.nextOut = 0;
         st.stagedIn = 0;
-        // Refresh each conv layer's plan once per run; the row cascade
-        // then dispatches through st.plan with no planner cost.
         const int layer = first + static_cast<int>(i);
-        if (net.layer(layer).kind == LayerKind::Conv) {
+        if (replan && net.layer(layer).kind == LayerKind::Conv) {
             st.plan = planConv(convLayerQuery(
                 net, layer, runMode,
                 fastMath && runMode == Precision::Fp32));
@@ -439,15 +455,17 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
     }
 
     const Shape &in = input.shape();
-    std::vector<float> row(static_cast<size_t>(in.c) * in.w);
+    if (inputRow.size() < static_cast<size_t>(in.c) * in.w)
+        inputRow.resize(static_cast<size_t>(in.c) * in.w);
+    float *row = inputRow.data();
     for (int y = 0; y < in.h; y++) {
         for (int ch = 0; ch < in.c; ch++) {
             const float *src = input.rowPtr(ch, y, 0);
             std::copy(src, src + in.w,
-                      row.data() + static_cast<size_t>(ch) * in.w);
+                      row + static_cast<size_t>(ch) * in.w);
         }
         curStats.loadedBytes += static_cast<int64_t>(in.c) * in.w * 4;
-        pushRow(0, y, row.data(), output);
+        pushRow(0, y, row, output);
     }
 
     if (metrics) {
@@ -486,7 +504,6 @@ LineBufferExecutor::run(const Tensor &input, LineBufferStats *stats)
 
     if (stats)
         *stats = curStats;
-    return output;
 }
 
 } // namespace flcnn

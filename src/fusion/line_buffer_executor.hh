@@ -63,6 +63,14 @@ class LineBufferExecutor
     /** Evaluate the fused range on @p input. */
     Tensor run(const Tensor &input, LineBufferStats *stats = nullptr);
 
+    /** As run(), but write the range output into @p out (shape must
+     *  equal net.outShape(last)). Every output row is emitted by the
+     *  cascade, so @p out need not be zero-filled — on the serving hot
+     *  path it is an arena-backed view and this call performs no
+     *  output allocation. */
+    void runInto(const Tensor &input, Tensor *out,
+                 LineBufferStats *stats = nullptr);
+
     /** Line-buffer capacity in bytes (K rows per windowed layer). */
     int64_t bufferBytes() const;
 
@@ -73,14 +81,24 @@ class LineBufferExecutor
      * Results are bit-identical to the precision reference. Pass
      * nullptr for plain fp32. The state must outlive the executor.
      */
-    void setPrecision(const NetPrecision *prec) { precision = prec; }
+    void
+    setPrecision(const NetPrecision *prec)
+    {
+        precision = prec;
+        plannedRev = -1;
+    }
 
     /**
      * Opt in to the fast-math conv tier (tune/solver.hh) for
      * subsequent fp32 runs: FMA kernels, ULP-bounded rather than
      * bit-identical. Off by default; int8/fp16 modes stay exact.
      */
-    void setFastMath(bool enable) { fastMath = enable; }
+    void
+    setFastMath(bool enable)
+    {
+        fastMath = enable;
+        plannedRev = -1;
+    }
 
     /**
      * Record per-fused-layer breakdowns of subsequent runs into @p m
@@ -123,8 +141,13 @@ class LineBufferExecutor
     bool fastMath = false;
     MetricsRegistry *metrics = nullptr;
     std::vector<OpCount> layerOps;  //!< per-layer tally (metrics only)
+    std::vector<float> inputRow;    //!< C x W staging for input rows,
+                                    //!< reused across runs (keeps the
+                                    //!< serving hot path allocation-free)
     int64_t lastPackHits = 0;
     int64_t lastPackMisses = 0;
+    int64_t plannedRev = -1;  //!< TuneCache revision of the layer plans
+                              //!< (-1 = never planned)
 };
 
 } // namespace flcnn

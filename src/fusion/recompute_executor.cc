@@ -9,6 +9,7 @@
 #include "kernels/conv_kernels.hh"
 #include "nn/autotune_net.hh"
 #include "obs/metrics.hh"
+#include "tune/tune_cache.hh"
 
 namespace flcnn {
 
@@ -293,9 +294,21 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
 Tensor
 RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
 {
+    Tensor output(tplan.groupOutput());
+    runInto(input, &output, stats);
+    return output;
+}
+
+void
+RecomputeExecutor::runInto(const Tensor &input, Tensor *out,
+                           RecomputeRunStats *stats)
+{
     FLCNN_ASSERT(input.shape() == tplan.groupInput(),
                  "input shape does not match the fusion plan");
-    Tensor output(tplan.groupOutput());
+    FLCNN_ASSERT(out != nullptr &&
+                     out->shape() == tplan.groupOutput(),
+                 "output shape does not match the fusion plan");
+    Tensor &output = *out;
     int64_t working = curStats.workingBytes;
     curStats = RecomputeRunStats{};
     curStats.workingBytes = working;
@@ -303,17 +316,22 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
     const LayerGeom &g0 = tplan.geom(0);
     const int n = tplan.numFusedLayers();
 
-    // Refresh each conv layer's plan once per run; the pyramid loop
-    // then dispatches through plans[li] with no planner cost.
+    // Refresh conv plans only when the tune cache changed (planner
+    // lookups build shape-key strings — a heap allocation the
+    // steady-state serving path must not pay).
     const Precision runMode =
         precision ? precision->mode() : Precision::Fp32;
-    plans.assign(static_cast<size_t>(n), ConvPlan{});
-    for (int li = 0; li < n; li++) {
-        const LayerGeom &g = tplan.geom(li);
-        if (net.layer(g.layerIdx).kind == LayerKind::Conv) {
-            plans[static_cast<size_t>(li)] = planConv(convLayerQuery(
-                net.layer(g.layerIdx), g.inPlane, runMode,
-                fastMath && runMode == Precision::Fp32));
+    const int64_t tuneRev = TuneCache::global().revision();
+    if (tuneRev != plannedRev) {
+        plannedRev = tuneRev;
+        plans.assign(static_cast<size_t>(n), ConvPlan{});
+        for (int li = 0; li < n; li++) {
+            const LayerGeom &g = tplan.geom(li);
+            if (net.layer(g.layerIdx).kind == LayerKind::Conv) {
+                plans[static_cast<size_t>(li)] = planConv(convLayerQuery(
+                    net.layer(g.layerIdx), g.inPlane, runMode,
+                    fastMath && runMode == Precision::Fp32));
+            }
         }
     }
 
@@ -410,7 +428,6 @@ RecomputeExecutor::run(const Tensor &input, RecomputeRunStats *stats)
 
     if (stats)
         *stats = curStats;
-    return output;
 }
 
 } // namespace flcnn

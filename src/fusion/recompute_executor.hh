@@ -50,6 +50,14 @@ class RecomputeExecutor
     /** Evaluate the fusion group on @p input. */
     Tensor run(const Tensor &input, RecomputeRunStats *stats = nullptr);
 
+    /** As run(), but write the group output into @p out (shape must
+     *  equal plan().groupOutput()). Every output element is stored by
+     *  some pyramid, so @p out need not be zero-filled — on the
+     *  serving hot path it is an arena-backed view and this call
+     *  performs no output allocation. */
+    void runInto(const Tensor &input, Tensor *out,
+                 RecomputeRunStats *stats = nullptr);
+
     const TilePlan &plan() const { return tplan; }
 
     /**
@@ -59,14 +67,24 @@ class RecomputeExecutor
      * Results are bit-identical to the precision reference. Pass
      * nullptr for plain fp32. The state must outlive the executor.
      */
-    void setPrecision(const NetPrecision *prec) { precision = prec; }
+    void
+    setPrecision(const NetPrecision *prec)
+    {
+        precision = prec;
+        plannedRev = -1;
+    }
 
     /**
      * Opt in to the fast-math conv tier (tune/solver.hh) for
      * subsequent fp32 runs: FMA kernels, ULP-bounded rather than
      * bit-identical. Off by default; int8/fp16 modes stay exact.
      */
-    void setFastMath(bool enable) { fastMath = enable; }
+    void
+    setFastMath(bool enable)
+    {
+        fastMath = enable;
+        plannedRev = -1;
+    }
 
     /** Record per-fused-layer breakdowns of subsequent runs into @p m
      *  (same scopes and names as FusedExecutor::setMetrics). Pass
@@ -96,6 +114,8 @@ class RecomputeExecutor
     MetricsRegistry *metrics = nullptr;
     int64_t lastPackHits = 0;
     int64_t lastPackMisses = 0;
+    int64_t plannedRev = -1;  //!< TuneCache revision of `plans`
+                              //!< (-1 = never planned)
 };
 
 } // namespace flcnn

@@ -26,6 +26,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -270,6 +271,126 @@ class PackedWeightsF16
 };
 
 /**
+ * Content fingerprint of a FilterBank: FNV-1a over its dimensions and
+ * the bit pattern of every weight and bias. Never returns 0 (the
+ * "not yet computed" sentinel in WeightPackCache). Banks with
+ * identical dimensions and bit-identical values fingerprint equal, so
+ * executors built from *different* NetworkWeights objects holding the
+ * same trained weights still resolve to one shared pack.
+ */
+uint64_t filterBankFingerprint(const FilterBank &fb);
+
+/**
+ * Process-wide, content-addressed registry of packed weight banks.
+ *
+ * Without it every executor owns private packs: a server running W
+ * workers over one model holds W copies of every panel, and two
+ * server instances hosting the same network hold 2W. The registry
+ * keys packs by {filter-bank content fingerprint, dtype, int8
+ * scale-set id, groups, m_tile, mr_cap} — everything that affects the
+ * packed bytes — and hands out shared_ptr references, so every
+ * executor serving the same weights shares one pack set. Layout knobs
+ * are part of the key, so a tune-cache change resolves to a different
+ * entry rather than corrupting a shared one (the per-executor
+ * stale-layout eviction in WeightPackCache still governs which layout
+ * an executor asks for).
+ *
+ * Thread-safe: serving workers build their engines concurrently.
+ * Packing runs outside the lock; when two threads race to insert the
+ * same key, the first insert wins and the loser adopts the winner's
+ * pack (counted as a shared hit — the packs are bit-identical by
+ * construction, pure data movement from the same bank).
+ *
+ * Eviction is refcount-safe by construction: purgeUnused() drops only
+ * entries no executor currently references; a live shared_ptr keeps
+ * its pack alive even after a purge, so tearing down one server never
+ * invalidates another's panels.
+ */
+class SharedPackRegistry
+{
+  public:
+    /** The process-wide registry every WeightPackCache resolves
+     *  through. */
+    static SharedPackRegistry &global();
+
+    std::shared_ptr<const PackedWeights> get(uint64_t content,
+                                             const FilterBank &fb,
+                                             int groups, int m_tile,
+                                             int mr_cap);
+    std::shared_ptr<const PackedWeightsI8>
+    getI8(uint64_t content, const FilterBank &fb, int groups,
+          const std::vector<float> &w_scales, uint64_t scale_id,
+          int mr_cap);
+    std::shared_ptr<const PackedWeightsF16> getF16(uint64_t content,
+                                                   const FilterBank &fb,
+                                                   int groups,
+                                                   int mr_cap);
+
+    /** Lookups resolved to an already-registered pack. */
+    int64_t sharedHits() const;
+
+    /** Lookups that had to pack (first sight of the key). */
+    int64_t builds() const;
+
+    /** Registered packs across all dtypes. */
+    int size() const;
+
+    /** Drop every pack no executor references; returns how many. */
+    int purgeUnused();
+
+  private:
+    /** Everything that determines the packed bytes, minus the dtype
+     *  (each dtype has its own map). */
+    struct Key
+    {
+        uint64_t content = 0;
+        uint64_t scaleId = 0;
+        int groups = 1;
+        int tile = 0;
+        int cap = 0;
+
+        bool
+        operator==(const Key &o) const
+        {
+            return content == o.content && scaleId == o.scaleId &&
+                   groups == o.groups && tile == o.tile && cap == o.cap;
+        }
+    };
+
+    struct KeyHash
+    {
+        size_t
+        operator()(const Key &k) const
+        {
+            uint64_t h = k.content * 0x9e3779b97f4a7c15ull;
+            h ^= k.scaleId * 0xff51afd7ed558ccdull;
+            h ^= (static_cast<uint64_t>(k.groups) << 42) ^
+                 (static_cast<uint64_t>(k.tile) << 21) ^
+                 static_cast<uint64_t>(k.cap);
+            h *= 0xc4ceb9fe1a85ec53ull;
+            return static_cast<size_t>(h ^ (h >> 32));
+        }
+    };
+
+    template <typename Map, typename Build>
+    typename Map::mapped_type lookupOrBuild(Map &map, const Key &key,
+                                            const Build &build);
+
+    mutable std::mutex mu;
+    std::unordered_map<Key, std::shared_ptr<const PackedWeights>,
+                       KeyHash>
+        fp32Map;
+    std::unordered_map<Key, std::shared_ptr<const PackedWeightsI8>,
+                       KeyHash>
+        i8Map;
+    std::unordered_map<Key, std::shared_ptr<const PackedWeightsF16>,
+                       KeyHash>
+        f16Map;
+    int64_t hits_ = 0;
+    int64_t builds_ = 0;
+};
+
+/**
  * Cache key: the caller's layer key plus the pack's dtype and — for
  * int8 — the identity of the scale set it was quantized with. A server
  * hosting the same model at two precisions (or two int8 calibrations)
@@ -305,11 +426,15 @@ struct PackKeyHash
 
 /**
  * Lazy per-layer cache of packed banks, hung off each executor: the
- * first run packs, later runs reuse. Layer keys are caller-chosen
- * (fused layer index, network layer index, ...) and are extended
- * internally with the pack dtype and int8 scale-set identity — see
- * PackKey. Not thread-safe — executors populate it from the serial
- * portion of their run, outside any parallelFor region.
+ * first run resolves through the process-wide SharedPackRegistry
+ * (packing only if no other executor has packed the same content at
+ * the same layout), later runs reuse the reference with no lock
+ * taken. Layer keys are caller-chosen (fused layer index, network
+ * layer index, ...) and are extended internally with the pack dtype
+ * and int8 scale-set identity — see PackKey. Not thread-safe itself —
+ * executors populate it from the serial portion of their run, outside
+ * any parallelFor region; cross-executor sharing is the registry's
+ * (locked) job.
  *
  * Stale-pack guard: a pack's panel layout depends on (m_tile, mr_cap).
  * The tune cache can change a layer's mr_cap between runs (a newly
@@ -322,8 +447,9 @@ struct PackKeyHash
 class WeightPackCache
 {
   public:
-    /** The fp32 packed form of @p fb under @p key, packing on first
-     *  use and repacking if the cached layout differs. */
+    /** The fp32 packed form of @p fb under @p key, resolving through
+     *  the shared registry on first use and re-resolving if the cached
+     *  layout differs. */
     const PackedWeights &
     get(int key, const FilterBank &fb, int groups = 1, int m_tile = 0,
         int mr_cap = kConvBlockLanes)
@@ -334,8 +460,10 @@ class WeightPackCache
             evictions_++;
         }
         if (!e.fp32) {
-            e.fp32 = std::make_unique<PackedWeights>(fb, groups, m_tile,
-                                                     mr_cap);
+            if (e.content == 0)
+                e.content = filterBankFingerprint(fb);
+            e.fp32 = SharedPackRegistry::global().get(
+                e.content, fb, groups, m_tile, mr_cap);
             e.tile = m_tile;
             e.cap = mr_cap;
         }
@@ -355,8 +483,10 @@ class WeightPackCache
             evictions_++;
         }
         if (!e.i8) {
-            e.i8 = std::make_unique<PackedWeightsI8>(fb, groups,
-                                                     w_scales, mr_cap);
+            if (e.content == 0)
+                e.content = filterBankFingerprint(fb);
+            e.i8 = SharedPackRegistry::global().getI8(
+                e.content, fb, groups, w_scales, scale_id, mr_cap);
             e.cap = mr_cap;
         }
         return *e.i8;
@@ -373,8 +503,10 @@ class WeightPackCache
             evictions_++;
         }
         if (!e.f16) {
-            e.f16 = std::make_unique<PackedWeightsF16>(fb, groups,
-                                                       mr_cap);
+            if (e.content == 0)
+                e.content = filterBankFingerprint(fb);
+            e.f16 = SharedPackRegistry::global().getF16(e.content, fb,
+                                                        groups, mr_cap);
             e.cap = mr_cap;
         }
         return *e.f16;
@@ -391,9 +523,10 @@ class WeightPackCache
   private:
     struct Entry
     {
-        std::unique_ptr<PackedWeights> fp32;
-        std::unique_ptr<PackedWeightsI8> i8;
-        std::unique_ptr<PackedWeightsF16> f16;
+        std::shared_ptr<const PackedWeights> fp32;
+        std::shared_ptr<const PackedWeightsI8> i8;
+        std::shared_ptr<const PackedWeightsF16> f16;
+        uint64_t content = 0;        //!< bank fingerprint (0 = unset)
         int tile = 0;                //!< m_tile the pack was built with
         int cap = kConvBlockLanes;   //!< mr_cap the pack was built with
     };

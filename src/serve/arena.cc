@@ -1,0 +1,251 @@
+#include "serve/arena.hh"
+
+#include <algorithm>
+#include <new>
+
+#include "common/logging.hh"
+#include "serve/request.hh"
+
+namespace flcnn {
+
+// ---------------------------------------------------------------------------
+// ArenaLease
+
+float *
+ArenaLease::data() const
+{
+    FLCNN_ASSERT(active(), "data() on an inactive arena lease");
+    return arena->storage.data() + static_cast<int64_t>(slot) *
+                                       arena->slotElems_;
+}
+
+void
+ArenaLease::release()
+{
+    if (slot >= 0) {
+        arena->releaseSlot(slot);
+        slot = -1;
+    }
+    arena.reset();
+}
+
+// ---------------------------------------------------------------------------
+// TensorArena
+
+TensorArena::TensorArena(int64_t slot_elems, int slots)
+    : slotElems_(slot_elems), nSlots(slots)
+{
+    FLCNN_ASSERT(slot_elems >= 1, "arena slot size must be positive");
+    FLCNN_ASSERT(slots >= 1, "arena must have at least one slot");
+    storage.resize(static_cast<size_t>(slot_elems) * slots);
+    freeList.reserve(static_cast<size_t>(slots));
+    // LIFO: slot 0 is handed out first, and the most recently released
+    // slot is reused next (warm in cache).
+    for (int s = slots - 1; s >= 0; s--)
+        freeList.push_back(s);
+}
+
+std::shared_ptr<TensorArena>
+TensorArena::create(int64_t slot_elems, int slots)
+{
+    return std::shared_ptr<TensorArena>(
+        new TensorArena(slot_elems, slots));
+}
+
+ArenaLease
+TensorArena::acquire(const Shape &s)
+{
+    FLCNN_ASSERT(s.valid(), "acquire() needs a valid shape");
+    if (s.elems() > slotElems_) {
+        std::lock_guard<std::mutex> lk(mu);
+        nOversized++;
+        return ArenaLease();
+    }
+    std::lock_guard<std::mutex> lk(mu);
+    if (freeList.empty()) {
+        nExhausted++;
+        return ArenaLease();
+    }
+    const int slot = freeList.back();
+    freeList.pop_back();
+    nAcquires++;
+    const int in_use = nSlots - static_cast<int>(freeList.size());
+    peak = std::max(peak, in_use);
+    return ArenaLease(shared_from_this(), slot);
+}
+
+Tensor
+TensorArena::acquireTensor(const Shape &s, ArenaLease *lease)
+{
+    *lease = acquire(s);
+    if (lease->active())
+        return Tensor::view(s, lease->data());
+    return Tensor(s);
+}
+
+void
+TensorArena::releaseSlot(int slot)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    FLCNN_ASSERT(slot >= 0 && slot < nSlots, "lease slot out of range");
+    freeList.push_back(slot);
+    nReleases++;
+}
+
+ArenaStats
+TensorArena::stats() const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    ArenaStats st;
+    st.acquires = nAcquires;
+    st.releases = nReleases;
+    st.exhaustedFallbacks = nExhausted;
+    st.oversizedFallbacks = nOversized;
+    st.slots = nSlots;
+    st.inUse = nSlots - static_cast<int>(freeList.size());
+    st.peakInUse = peak;
+    st.slotElems = slotElems_;
+    return st;
+}
+
+// ---------------------------------------------------------------------------
+// HandlePool
+
+namespace {
+
+/** Block size for one allocate_shared node (control block + handle).
+ *  Checked at runtime in allocate(); oversize falls back to the heap. */
+constexpr size_t kHandleBlockBytes = 512;
+
+} // namespace
+
+struct HandlePool::Slab
+{
+    explicit Slab(int capacity) : nBlocks(capacity)
+    {
+        FLCNN_ASSERT(capacity >= 1, "handle pool needs capacity >= 1");
+        bytes.resize(static_cast<size_t>(capacity) * kHandleBlockBytes);
+        freeList.reserve(static_cast<size_t>(capacity));
+        for (int b = capacity - 1; b >= 0; b--)
+            freeList.push_back(bytes.data() +
+                               static_cast<size_t>(b) *
+                                   kHandleBlockBytes);
+    }
+
+    void *
+    take(size_t n)
+    {
+        if (n > kHandleBlockBytes)
+            return nullptr;
+        std::lock_guard<std::mutex> lk(mu);
+        if (freeList.empty()) {
+            nHeapFallbacks++;
+            return nullptr;
+        }
+        void *p = freeList.back();
+        freeList.pop_back();
+        return p;
+    }
+
+    bool
+    give(void *p)
+    {
+        char *c = static_cast<char *>(p);
+        if (c < bytes.data() ||
+            c >= bytes.data() + bytes.size())
+            return false;
+        std::lock_guard<std::mutex> lk(mu);
+        freeList.push_back(c);
+        return true;
+    }
+
+    const int nBlocks;
+    // max_align_t-aligned via vector<max_align_t>-style guarantee:
+    // operator new alignment of the vector's buffer covers any
+    // RequestHandle member (mutex/condvar/doubles).
+    std::vector<char> bytes;
+    std::mutex mu;
+    std::vector<char *> freeList;
+    int64_t nHeapFallbacks = 0;
+};
+
+namespace {
+
+/** Allocator whose every instance co-owns the slab, so deallocate()
+ *  (run when the last shared_ptr to a handle dies, possibly after the
+ *  HandlePool itself) still finds the free list alive. */
+template <typename T> struct SlabAllocator
+{
+    using value_type = T;
+
+    explicit SlabAllocator(std::shared_ptr<HandlePool::Slab> s)
+        : slab(std::move(s))
+    {
+    }
+    template <typename U>
+    SlabAllocator(const SlabAllocator<U> &o) : slab(o.slab)
+    {
+    }
+
+    T *
+    allocate(size_t n)
+    {
+        if (n == 1) {
+            if (void *p = slab->take(sizeof(T)))
+                return static_cast<T *>(p);
+        }
+        return static_cast<T *>(::operator new(n * sizeof(T)));
+    }
+
+    void
+    deallocate(T *p, size_t n)
+    {
+        if (!slab->give(p))
+            ::operator delete(p);
+        (void)n;
+    }
+
+    template <typename U>
+    bool
+    operator==(const SlabAllocator<U> &o) const
+    {
+        return slab == o.slab;
+    }
+    template <typename U>
+    bool
+    operator!=(const SlabAllocator<U> &o) const
+    {
+        return !(*this == o);
+    }
+
+    std::shared_ptr<HandlePool::Slab> slab;
+};
+
+} // namespace
+
+HandlePool::HandlePool(int capacity)
+    : slab(std::make_shared<Slab>(capacity))
+{
+}
+
+std::shared_ptr<RequestHandle>
+HandlePool::acquire()
+{
+    return std::allocate_shared<RequestHandle>(
+        SlabAllocator<RequestHandle>(slab));
+}
+
+int64_t
+HandlePool::heapFallbacks() const
+{
+    std::lock_guard<std::mutex> lk(slab->mu);
+    return slab->nHeapFallbacks;
+}
+
+int
+HandlePool::capacity() const
+{
+    return slab->nBlocks;
+}
+
+} // namespace flcnn

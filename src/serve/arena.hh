@@ -1,0 +1,178 @@
+/**
+ * @file
+ * Allocation infrastructure for the steady-state serving hot path.
+ *
+ * Two pieces keep the admission-to-completion path off the heap:
+ *
+ *  - TensorArena: a fixed pool of equally sized float slabs handed out
+ *    as ArenaLease + Tensor::view pairs. Request inputs live in a
+ *    server-wide arena from acquireInput() until the worker consumes
+ *    them; request outputs live in per-worker arenas from compute
+ *    until the client drops its RequestHandle. Slots recycle across
+ *    batches; a shape too large for the slab or an exhausted pool
+ *    falls back to an ordinary heap Tensor, and the fallback is
+ *    counted so benchmarks can prove the steady state never takes it.
+ *
+ *  - HandlePool: a slab-backed allocator for the shared_ptr
+ *    control-block + RequestHandle node, so per-request handle churn
+ *    reuses a free list instead of malloc. The slab is owned by a
+ *    shared_ptr that every pooled handle's deleter also owns, so
+ *    handles outliving the server (or the pool) stay valid.
+ *
+ * Both are thread-safe: submit threads, workers, and client threads
+ * release leases/handles concurrently.
+ */
+
+#ifndef FLCNN_SERVE_ARENA_HH
+#define FLCNN_SERVE_ARENA_HH
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "tensor/tensor.hh"
+
+namespace flcnn {
+
+class TensorArena;
+
+/**
+ * RAII ownership of one arena slot. Movable, not copyable; releasing
+ * (or destroying) the lease returns the slot to the arena's free
+ * list. A default-constructed lease is inactive and releases nothing.
+ * The lease shares ownership of the arena, so a slot held by a
+ * long-lived RequestHandle stays valid after the server is torn down.
+ */
+class ArenaLease
+{
+  public:
+    ArenaLease() = default;
+    ArenaLease(ArenaLease &&o) noexcept
+        : arena(std::move(o.arena)), slot(o.slot)
+    {
+        o.slot = -1;
+    }
+    ArenaLease &
+    operator=(ArenaLease &&o) noexcept
+    {
+        if (this != &o) {
+            release();
+            arena = std::move(o.arena);
+            slot = o.slot;
+            o.slot = -1;
+        }
+        return *this;
+    }
+    ArenaLease(const ArenaLease &) = delete;
+    ArenaLease &operator=(const ArenaLease &) = delete;
+    ~ArenaLease() { release(); }
+
+    bool active() const { return slot >= 0; }
+
+    /** Start of the slot's float storage (active leases only). */
+    float *data() const;
+
+    /** Return the slot to the arena now (idempotent). */
+    void release();
+
+  private:
+    friend class TensorArena;
+    ArenaLease(std::shared_ptr<TensorArena> a, int s)
+        : arena(std::move(a)), slot(s)
+    {
+    }
+
+    std::shared_ptr<TensorArena> arena;
+    int slot = -1;
+};
+
+/** Counter snapshot of one arena (see TensorArena::stats). */
+struct ArenaStats
+{
+    int64_t acquires = 0;           //!< successful slot grabs
+    int64_t releases = 0;
+    int64_t exhaustedFallbacks = 0; //!< acquire failed: no free slot
+    int64_t oversizedFallbacks = 0; //!< acquire failed: shape > slot
+    int slots = 0;                  //!< pool capacity
+    int inUse = 0;                  //!< currently leased
+    int peakInUse = 0;
+    int64_t slotElems = 0;
+};
+
+/**
+ * Fixed pool of @p slots slabs of @p slot_elems floats each, recycled
+ * through a free list. Construct through create() — leases share
+ * ownership of the arena, so it must live in a shared_ptr.
+ */
+class TensorArena : public std::enable_shared_from_this<TensorArena>
+{
+  public:
+    static std::shared_ptr<TensorArena> create(int64_t slot_elems,
+                                               int slots);
+
+    /**
+     * Lease a slot big enough for @p s. Returns an inactive lease —
+     * and counts the reason — when @p s exceeds the slab size or the
+     * pool is exhausted; the caller then falls back to a heap Tensor.
+     */
+    ArenaLease acquire(const Shape &s);
+
+    /** Tensor view of a fresh slot for @p s, or an owning heap
+     *  Tensor (inactive @p lease) on fallback. The view aliases the
+     *  slot; it is NOT zero-filled — callers must fully overwrite. */
+    Tensor acquireTensor(const Shape &s, ArenaLease *lease);
+
+    ArenaStats stats() const;
+
+    int64_t slotElems() const { return slotElems_; }
+
+  private:
+    friend class ArenaLease;
+    TensorArena(int64_t slot_elems, int slots);
+
+    void releaseSlot(int slot);
+
+    const int64_t slotElems_;
+    const int nSlots;
+    std::vector<float> storage;   //!< nSlots * slotElems_ floats
+    mutable std::mutex mu;
+    std::vector<int> freeList;    //!< LIFO of free slot indices
+    int64_t nAcquires = 0;
+    int64_t nReleases = 0;
+    int64_t nExhausted = 0;
+    int64_t nOversized = 0;
+    int peak = 0;
+};
+
+class RequestHandle;
+
+/**
+ * Slab-backed allocator for RequestHandle shared_ptr nodes. acquire()
+ * is std::allocate_shared over a free list of fixed-size blocks; once
+ * the slab's blocks are all live, further acquires fall back to the
+ * heap (counted). Handles may outlive the pool object: the slab is
+ * freed only when the pool AND every pooled handle are gone.
+ */
+class HandlePool
+{
+  public:
+    explicit HandlePool(int capacity);
+
+    /** A fresh pooled RequestHandle. */
+    std::shared_ptr<RequestHandle> acquire();
+
+    int64_t heapFallbacks() const;
+    int capacity() const;
+
+    /** Implementation detail (defined in arena.cc; public only so the
+     *  allocator shim there can name it). */
+    struct Slab;
+
+  private:
+    std::shared_ptr<Slab> slab;
+};
+
+} // namespace flcnn
+
+#endif // FLCNN_SERVE_ARENA_HH

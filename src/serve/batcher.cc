@@ -24,6 +24,10 @@ DynamicBatcher::nextBatch(Batch *out)
 {
     std::lock_guard<std::mutex> form(formMu);
     const size_t max = static_cast<size_t>(pol.maxBatch);
+    // The caller reuses one Batch across calls; clearing keeps the
+    // items vector's capacity, so steady-state formation allocates
+    // nothing.
+    out->items.clear();
     for (;;) {
         int model = 0;
         if (!queue.waitHead(&model))
@@ -42,33 +46,39 @@ DynamicBatcher::nextBatch(Batch *out)
                             monotonicSeconds() + pol.maxDelaySeconds);
         }
 
-        std::vector<QueuedRequest> taken;
-        queue.popModel(model, max, &taken);
-        if (taken.empty())
+        queue.popModel(model, max, &out->items);
+        if (out->items.empty())
             continue;  // another former raced us to the head items
 
         // Deadline enforcement: requests that already waited past
         // their budget expire here instead of occupying batch slots.
-        Batch b;
-        b.model = model;
+        // Compaction is in place — survivors shift down, the vector
+        // only shrinks.
         const double now = monotonicSeconds();
-        for (QueuedRequest &qr : taken) {
+        size_t keep = 0;
+        for (size_t r = 0; r < out->items.size(); r++) {
+            QueuedRequest &qr = out->items[r];
             if (deadlineSeconds > 0 &&
                 now - qr.submitTime > deadlineSeconds) {
                 if (stats)
                     stats->onExpired();
+                qr.inputLease.release();
                 qr.handle->complete(RequestStatus::Expired, Tensor(),
-                                    now, now, -1, -1, 0);
+                                    ArenaLease(), now, now, -1, -1, 0);
+                qr.handle.reset();
             } else {
-                b.items.push_back(std::move(qr));
+                if (keep != r)
+                    out->items[keep] = std::move(qr);
+                keep++;
             }
         }
-        if (b.items.empty())
+        out->items.resize(keep);
+        if (out->items.empty())
             continue;
-        b.id = nextId.fetch_add(1, std::memory_order_relaxed);
+        out->model = model;
+        out->id = nextId.fetch_add(1, std::memory_order_relaxed);
         if (stats)
-            stats->onBatch(b.model, b.size());
-        *out = std::move(b);
+            stats->onBatch(out->model, out->size());
         return true;
     }
 }

@@ -87,6 +87,25 @@ ServeEngine::run(const Tensor &input)
 }
 
 void
+ServeEngine::runInto(const Tensor &input, Tensor *out)
+{
+    switch (knd) {
+      case EngineKind::Fused:
+        fused->runInto(input, out);
+        return;
+      case EngineKind::LineBuffer:
+        lineBuffer->runInto(input, out);
+        return;
+      case EngineKind::Recompute:
+        recompute->runInto(input, out);
+        return;
+      case EngineKind::Reference:
+        break;
+    }
+    panic("runInto() on an engine without in-place output support");
+}
+
+void
 ServeEngine::warmup()
 {
     if (mspec.tuneAtWarmup) {

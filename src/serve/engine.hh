@@ -29,6 +29,7 @@
 #include "fusion/recompute_executor.hh"
 #include "nn/network.hh"
 #include "nn/weights.hh"
+#include "serve/request.hh"
 
 namespace flcnn {
 
@@ -70,6 +71,13 @@ struct ModelSpec
      *  tuned plans from the first request). Warm tune-cache entries
      *  make this a no-op — tune once per machine, serve forever. */
     bool tuneAtWarmup = false;
+    /** Service class: latency-critical models batch first and carry a
+     *  p99 budget; best-effort models are shed at admission when the
+     *  projected LC backlog threatens that budget. */
+    SloClass slo = SloClass::LatencyCritical;
+    /** p99 latency budget in milliseconds (latency-critical models;
+     *  0 = unspecified, disables shedding on this model's behalf). */
+    double p99BudgetMs = 0.0;
 };
 
 /** A pinned per-worker executor instance for one model. */
@@ -80,6 +88,22 @@ class ServeEngine
 
     /** Evaluate one image; bit-identical to the reference range. */
     Tensor run(const Tensor &input);
+
+    /** As run(), but store into @p out (shape must be outShape()).
+     *  Every element is written, so @p out may be an unzeroed arena
+     *  view — the zero-copy serving path. Only valid when
+     *  producesInto() (the Reference engine returns by value). */
+    void runInto(const Tensor &input, Tensor *out);
+
+    /** Whether runInto() is available (all executor-backed engines;
+     *  the Reference baseline is exempt from the zero-copy path). */
+    bool producesInto() const { return knd != EngineKind::Reference; }
+
+    /** Output shape of the served layer range. */
+    Shape outShape() const { return mspec.net->outShape(mspec.lastLayer); }
+
+    /** Input shape the served range expects. */
+    Shape inShape() const { return mspec.net->inShape(mspec.firstLayer); }
 
     /** One throwaway zero-image run: builds the weight-pack cache (and
      *  touches every buffer) before traffic arrives. */

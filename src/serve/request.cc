@@ -15,6 +15,17 @@ requestStatusName(RequestStatus s)
       case RequestStatus::Rejected:  return "rejected";
       case RequestStatus::Expired:   return "expired";
       case RequestStatus::Cancelled: return "cancelled";
+      case RequestStatus::Shed:      return "shed";
+    }
+    return "?";
+}
+
+const char *
+sloClassName(SloClass c)
+{
+    switch (c) {
+      case SloClass::LatencyCritical: return "latency_critical";
+      case SloClass::BestEffort:      return "best_effort";
     }
     return "?";
 }
@@ -36,8 +47,8 @@ RequestHandle::done() const
 
 void
 RequestHandle::complete(RequestStatus status, Tensor result,
-                        double t_start, double t_end, int worker_id,
-                        int64_t batch_id, int batch_size)
+                        ArenaLease lease, double t_start, double t_end,
+                        int worker_id, int64_t batch_id, int batch_size)
 {
     FLCNN_ASSERT(status != RequestStatus::Pending,
                  "complete() needs a terminal status");
@@ -47,6 +58,7 @@ RequestHandle::complete(RequestStatus status, Tensor result,
                      "request completed twice");
         st = status;
         out = std::move(result);
+        outLease = std::move(lease);
         tStart = t_start;
         tEnd = t_end;
         worker = worker_id;

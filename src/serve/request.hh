@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 
+#include "serve/arena.hh"
 #include "tensor/tensor.hh"
 
 namespace flcnn {
@@ -31,9 +32,26 @@ enum class RequestStatus
     Rejected,   //!< refused at admission (queue full, Reject policy)
     Expired,    //!< missed its deadline before compute started
     Cancelled,  //!< server shut down before execution
+    Shed,       //!< best-effort request dropped to protect LC budgets
 };
 
 const char *requestStatusName(RequestStatus s);
+
+/**
+ * Service class of a registered model. Latency-critical models batch
+ * first and carry a p99 latency budget; best-effort models fill the
+ * remaining capacity and are shed at admission when the projected
+ * latency-critical backlog threatens that budget.
+ */
+enum class SloClass
+{
+    LatencyCritical = 0,
+    BestEffort = 1,
+};
+
+constexpr int kNumSloClasses = 2;
+
+const char *sloClassName(SloClass c);
 
 /**
  * Completion handle for one submitted request. The submitter keeps a
@@ -49,8 +67,20 @@ class RequestHandle
     /** Non-blocking probe. */
     bool done() const;
 
-    /** Output tensor (Ok requests only; empty otherwise). */
+    /** Output tensor (Ok requests only; empty otherwise). On the
+     *  zero-copy path this is a view into a worker output arena; the
+     *  backing slot is held by this handle and recycles when the
+     *  handle is destroyed (or releaseOutput() is called). */
     const Tensor &output() const { return out; }
+
+    /** Drop the output and return its arena slot (if any) to the
+     *  worker's pool now, instead of at handle destruction. */
+    void
+    releaseOutput()
+    {
+        out = Tensor();
+        outLease.release();
+    }
 
     RequestStatus status() const { return st; }
     double submitSeconds() const { return tSubmit; }
@@ -68,15 +98,17 @@ class RequestHandle
     friend class WorkerPool;
     friend class DynamicBatcher;
 
-    /** Fulfill with @p status; Ok moves @p result in. Wakes waiters. */
-    void complete(RequestStatus status, Tensor result, double t_start,
-                  double t_end, int worker_id, int64_t batch_id,
-                  int batch_size);
+    /** Fulfill with @p status; Ok moves @p result (and the arena
+     *  lease backing it, if any) in. Wakes waiters. */
+    void complete(RequestStatus status, Tensor result, ArenaLease lease,
+                  double t_start, double t_end, int worker_id,
+                  int64_t batch_id, int batch_size);
 
     mutable std::mutex mu;
     std::condition_variable cv;
     RequestStatus st = RequestStatus::Pending;
     Tensor out;
+    ArenaLease outLease;  //!< arena slot `out` views (inactive if heap)
     double tSubmit = 0.0;
     double tStart = 0.0;
     double tEnd = 0.0;
@@ -92,9 +124,10 @@ struct QueuedRequest
 {
     int64_t id = -1;         //!< server-assigned, monotonically increasing
     int model = 0;           //!< index of the registered model
-    Tensor input;
+    Tensor input;            //!< arena view (zero-copy path) or owned
     RequestHandlePtr handle;
     double submitTime = 0.0; //!< monotonicSeconds() at admission
+    ArenaLease inputLease;   //!< slot `input` views; released post-run
 };
 
 /** Steady-clock seconds (the serving runtime's shared time base). */

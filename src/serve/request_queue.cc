@@ -1,12 +1,18 @@
 #include "serve/request_queue.hh"
 
-#include <algorithm>
 #include <chrono>
 #include <cmath>
 
 #include "common/logging.hh"
 
 namespace flcnn {
+
+namespace {
+
+/** Sanity bound on model ids (the ring table is indexed by id). */
+constexpr int kMaxModels = 4096;
+
+} // namespace
 
 const char *
 overflowPolicyName(OverflowPolicy p)
@@ -21,19 +27,46 @@ RequestQueue::RequestQueue(size_t capacity, OverflowPolicy policy)
         fatal("request queue capacity must be >= 1 (got %zu)", capacity);
 }
 
+RequestQueue::SubQueue &
+RequestQueue::ensureModel(int model)
+{
+    if (model < 0 || model >= kMaxModels)
+        fatal("model id %d out of range [0, %d)", model, kMaxModels);
+    if (static_cast<size_t>(model) >= subs.size())
+        subs.resize(static_cast<size_t>(model) + 1);
+    SubQueue &sq = subs[static_cast<size_t>(model)];
+    if (sq.ring.empty())
+        sq.ring.resize(cap);  // one-time; capacity bounds any model
+    return sq;
+}
+
+void
+RequestQueue::setModelClass(int model, SloClass cls)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    SubQueue &sq = ensureModel(model);
+    FLCNN_ASSERT(sq.count == 0,
+                 "setModelClass() with requests already queued");
+    sq.cls = cls;
+}
+
 AdmitResult
 RequestQueue::push(QueuedRequest &&item)
 {
     std::unique_lock<std::mutex> lk(mu);
-    if (pol == OverflowPolicy::Block) {
-        cvNotFull.wait(lk,
-                       [&] { return isClosed || items.size() < cap; });
-    }
+    if (pol == OverflowPolicy::Block)
+        cvNotFull.wait(lk, [&] { return isClosed || total < cap; });
     if (isClosed)
         return AdmitResult::Closed;
-    if (items.size() >= cap)
+    if (total >= cap)
         return AdmitResult::Rejected;
-    items.push_back(std::move(item));
+    SubQueue &sq = ensureModel(item.model);
+    Slot &s = sq.ring[(sq.head + sq.count) % cap];
+    s.req = std::move(item);
+    s.seq = nextSeq++;
+    sq.count++;
+    total++;
+    classCount[static_cast<int>(sq.cls)]++;
     lk.unlock();
     cvNotEmpty.notify_all();
     return AdmitResult::Admitted;
@@ -43,11 +76,29 @@ bool
 RequestQueue::waitHead(int *model)
 {
     std::unique_lock<std::mutex> lk(mu);
-    cvNotEmpty.wait(lk, [&] { return isClosed || !items.empty(); });
-    if (items.empty())
+    cvNotEmpty.wait(lk, [&] { return isClosed || total > 0; });
+    if (total == 0)
         return false;  // closed and drained
+    // Highest class present wins; within it, the globally oldest
+    // request (min sequence number) picks the model.
+    int best = -1;
+    int bestCls = kNumSloClasses;
+    uint64_t bestSeq = 0;
+    for (size_t m = 0; m < subs.size(); m++) {
+        const SubQueue &sq = subs[m];
+        if (sq.count == 0)
+            continue;
+        const int cls = static_cast<int>(sq.cls);
+        const uint64_t seq = sq.ring[sq.head].seq;
+        if (cls < bestCls || (cls == bestCls && seq < bestSeq)) {
+            best = static_cast<int>(m);
+            bestCls = cls;
+            bestSeq = seq;
+        }
+    }
+    FLCNN_ASSERT(best >= 0, "non-empty queue with no head");
     if (model)
-        *model = items.front().model;
+        *model = best;
     return true;
 }
 
@@ -55,22 +106,25 @@ size_t
 RequestQueue::countModel(int model) const
 {
     std::lock_guard<std::mutex> lk(mu);
-    return static_cast<size_t>(
-        std::count_if(items.begin(), items.end(),
-                      [&](const QueuedRequest &q) {
-                          return q.model == model;
-                      }));
+    if (model < 0 || static_cast<size_t>(model) >= subs.size())
+        return 0;
+    return subs[static_cast<size_t>(model)].count;
+}
+
+size_t
+RequestQueue::countClass(SloClass cls) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return classCount[static_cast<int>(cls)];
 }
 
 size_t
 RequestQueue::waitModel(int model, size_t target, double deadline)
 {
-    auto count = [&] {
-        return static_cast<size_t>(
-            std::count_if(items.begin(), items.end(),
-                          [&](const QueuedRequest &q) {
-                              return q.model == model;
-                          }));
+    auto count = [&]() -> size_t {
+        if (model < 0 || static_cast<size_t>(model) >= subs.size())
+            return 0;
+        return subs[static_cast<size_t>(model)].count;
     };
     std::unique_lock<std::mutex> lk(mu);
     for (;;) {
@@ -96,15 +150,18 @@ RequestQueue::popModel(int model, size_t max,
     size_t popped = 0;
     {
         std::lock_guard<std::mutex> lk(mu);
-        for (auto it = items.begin();
-             it != items.end() && popped < max;) {
-            if (it->model == model) {
-                out->push_back(std::move(*it));
-                it = items.erase(it);
-                popped++;
-            } else {
-                ++it;
-            }
+        if (model < 0 || static_cast<size_t>(model) >= subs.size())
+            return 0;
+        SubQueue &sq = subs[static_cast<size_t>(model)];
+        while (sq.count > 0 && popped < max) {
+            Slot &s = sq.ring[sq.head];
+            out->push_back(std::move(s.req));
+            s.req = QueuedRequest();  // drop handle/lease refs now
+            sq.head = (sq.head + 1) % cap;
+            sq.count--;
+            total--;
+            classCount[static_cast<int>(sq.cls)]--;
+            popped++;
         }
     }
     if (popped > 0)
@@ -134,7 +191,7 @@ size_t
 RequestQueue::size() const
 {
     std::lock_guard<std::mutex> lk(mu);
-    return items.size();
+    return total;
 }
 
 } // namespace flcnn

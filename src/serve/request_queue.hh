@@ -11,11 +11,18 @@
  *  - Block: the producer waits for space — the natural policy for
  *    closed-loop clients, where blocking *is* the backpressure.
  *
+ * Internally the queue keeps one preallocated ring per model, so the
+ * steady-state push/pop path is a couple of index updates — no deque
+ * node churn, no scans. A global sequence counter stamped at admission
+ * preserves FIFO order across models of the same SLO class.
+ *
  * The consumer side exposes the primitives the DynamicBatcher builds
  * its coalescing policy from: wait for a head item, count / pop the
  * FIFO run of items for one model, and wait (with deadline) for more
- * items of that model to arrive. Popping preserves FIFO order both for
- * the popped model and for the models left behind.
+ * items of that model to arrive. waitHead() is SLO-aware: among
+ * non-empty models it reports the oldest request of the *highest*
+ * class present (latency-critical before best-effort), so LC batches
+ * always form first; within a class, cross-model order is strict FIFO.
  *
  * close() transitions the queue to draining: pushes fail with Closed,
  * consumers keep popping until empty, and every waiter wakes.
@@ -25,7 +32,7 @@
 #define FLCNN_SERVE_REQUEST_QUEUE_HH
 
 #include <condition_variable>
-#include <deque>
+#include <cstdint>
 #include <mutex>
 #include <vector>
 
@@ -42,12 +49,14 @@ enum class OverflowPolicy
 
 const char *overflowPolicyName(OverflowPolicy p);
 
-/** Outcome of RequestQueue::push(). */
+/** Outcome of RequestQueue::push() (Shed is produced by the server's
+ *  admission control, never by the queue itself). */
 enum class AdmitResult
 {
     Admitted,
     Rejected,  //!< full under the Reject policy
     Closed,    //!< queue closed (server shutting down)
+    Shed,      //!< best-effort request dropped to protect LC budget
 };
 
 /** Bounded MPMC queue of inference requests. */
@@ -57,19 +66,28 @@ class RequestQueue
     /** @param capacity maximum queued requests (>= 1, validated). */
     RequestQueue(size_t capacity, OverflowPolicy policy);
 
+    /** Declare @p model's SLO class (default LatencyCritical) and
+     *  preallocate its ring. Call before serving traffic; not
+     *  thread-safe against concurrent push/pop. */
+    void setModelClass(int model, SloClass cls);
+
     /** Admit @p item under the overflow policy. Block-policy pushes
      *  wait until space frees or the queue closes. */
     AdmitResult push(QueuedRequest &&item);
 
     /**
-     * Wait until at least one item is queued (returning its model in
-     * @p model) or the queue is closed *and* empty (returns false —
-     * the consumer's termination signal).
+     * Wait until at least one item is queued or the queue is closed
+     * *and* empty (returns false — the consumer's termination
+     * signal). @p model receives the model whose request should batch
+     * next: the oldest of the highest SLO class present.
      */
     bool waitHead(int *model);
 
     /** Queued items of @p model right now (batcher planning). */
     size_t countModel(int model) const;
+
+    /** Queued items across all models of @p cls (shed predicate). */
+    size_t countClass(SloClass cls) const;
 
     /**
      * Wait until countModel(model) >= @p target, the queue closes, or
@@ -92,13 +110,35 @@ class RequestQueue
     OverflowPolicy policy() const { return pol; }
 
   private:
+    /** Ring slot: the request plus its admission sequence number. */
+    struct Slot
+    {
+        QueuedRequest req;
+        uint64_t seq = 0;
+    };
+
+    /** Per-model FIFO ring, `cap` slots, preallocated on first use. */
+    struct SubQueue
+    {
+        std::vector<Slot> ring;
+        size_t head = 0;
+        size_t count = 0;
+        SloClass cls = SloClass::LatencyCritical;
+    };
+
+    /** Ring for @p model, growing the table on first sight (locked). */
+    SubQueue &ensureModel(int model);
+
     const size_t cap;
     const OverflowPolicy pol;
 
     mutable std::mutex mu;
     std::condition_variable cvNotEmpty;  //!< consumers / batcher waits
     std::condition_variable cvNotFull;   //!< Block-policy producers
-    std::deque<QueuedRequest> items;
+    std::vector<SubQueue> subs;          //!< indexed by model
+    size_t total = 0;                    //!< items across all models
+    size_t classCount[kNumSloClasses] = {0, 0};
+    uint64_t nextSeq = 0;
     bool isClosed = false;
 };
 

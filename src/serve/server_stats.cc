@@ -116,7 +116,34 @@ LatencyHistogram::clear()
 // ---------------------------------------------------------------------
 // ServerStats
 
-ServerStats::ServerStats(size_t max_spans) : maxSpans(max_spans) {}
+ServerStats::ServerStats(size_t max_spans) : maxSpans(max_spans)
+{
+    // One up-front reservation keeps onCompleted() reallocation-free
+    // for the life of the log.
+    spanLog.reserve(maxSpans);
+}
+
+void
+ServerStats::setModels(const std::vector<std::string> &names,
+                       const std::vector<SloClass> &classes)
+{
+    FLCNN_ASSERT(names.size() == classes.size(),
+                 "one class per model name");
+    std::lock_guard<std::mutex> lk(mu);
+    modelNames = names;
+    modelClasses = classes;
+    modelTotal.assign(names.size(), LatencyHistogram());
+}
+
+void
+ServerStats::setWorkers(int n)
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (n > static_cast<int>(workerCompleted.size())) {
+        workerCompleted.resize(static_cast<size_t>(n), 0);
+        workerBusySeconds.resize(static_cast<size_t>(n), 0.0);
+    }
+}
 
 void
 ServerStats::onSubmitted()
@@ -154,6 +181,13 @@ ServerStats::onCancelled()
 }
 
 void
+ServerStats::onShed()
+{
+    std::lock_guard<std::mutex> lk(mu);
+    nShed++;
+}
+
+void
 ServerStats::onBatch(int model, int size)
 {
     (void)model;
@@ -171,6 +205,21 @@ ServerStats::onCompleted(const RequestSpan &span)
     histTotal.record((span.tEnd - span.tSubmit) * 1e6);
     histQueue.record((span.tStart - span.tSubmit) * 1e6);
     histCompute.record((span.tEnd - span.tStart) * 1e6);
+    if (span.model >= 0 &&
+        static_cast<size_t>(span.model) < modelTotal.size()) {
+        modelTotal[static_cast<size_t>(span.model)].record(
+            (span.tEnd - span.tSubmit) * 1e6);
+        const int cls = static_cast<int>(
+            modelClasses[static_cast<size_t>(span.model)]);
+        classTotal[static_cast<size_t>(cls)].record(
+            (span.tEnd - span.tSubmit) * 1e6);
+        // EMA of one request's compute time, alpha 0.2: reacts within
+        // a few batches yet smooths per-batch jitter — the cost basis
+        // of the shed predicate.
+        const double c = span.tEnd - span.tStart;
+        double &ema = classEma[static_cast<size_t>(cls)];
+        ema = ema == 0.0 ? c : 0.8 * ema + 0.2 * c;
+    }
     if (span.worker >= 0) {
         const size_t w = static_cast<size_t>(span.worker);
         if (workerCompleted.size() <= w) {
@@ -198,6 +247,7 @@ FLCNN_STATS_GET(admitted, nAdmitted)
 FLCNN_STATS_GET(rejected, nRejected)
 FLCNN_STATS_GET(expired, nExpired)
 FLCNN_STATS_GET(cancelled, nCancelled)
+FLCNN_STATS_GET(shed, nShed)
 FLCNN_STATS_GET(completed, nCompleted)
 FLCNN_STATS_GET(batches, nBatches)
 
@@ -236,6 +286,29 @@ ServerStats::computeTime() const
 {
     std::lock_guard<std::mutex> lk(mu);
     return histCompute;
+}
+
+LatencyHistogram
+ServerStats::modelLatency(int model) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    if (model < 0 || static_cast<size_t>(model) >= modelTotal.size())
+        return LatencyHistogram();
+    return modelTotal[static_cast<size_t>(model)];
+}
+
+LatencyHistogram
+ServerStats::classLatency(SloClass cls) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return classTotal[static_cast<size_t>(static_cast<int>(cls))];
+}
+
+double
+ServerStats::classComputeEmaSeconds(SloClass cls) const
+{
+    std::lock_guard<std::mutex> lk(mu);
+    return classEma[static_cast<size_t>(static_cast<int>(cls))];
 }
 
 std::vector<RequestSpan>
@@ -282,6 +355,7 @@ ServerStats::registerInto(MetricsRegistry &reg) const
     reg.addCounter("serve:queue", "rejected", nRejected);
     reg.addCounter("serve:queue", "expired", nExpired);
     reg.addCounter("serve:queue", "cancelled", nCancelled);
+    reg.addCounter("serve:queue", "shed", nShed);
     reg.addCounter("serve:queue", "completed", nCompleted);
     reg.addCounter("serve:batch", "batches", nBatches);
     reg.setGauge("serve:batch", "mean_size",
@@ -291,6 +365,21 @@ ServerStats::registerInto(MetricsRegistry &reg) const
     registerHistogram(reg, "serve:latency:total", histTotal);
     registerHistogram(reg, "serve:latency:queue_wait", histQueue);
     registerHistogram(reg, "serve:latency:compute", histCompute);
+    for (size_t m = 0; m < modelTotal.size(); m++) {
+        registerHistogram(reg, "serve:model:" + modelNames[m],
+                          modelTotal[m]);
+    }
+    for (int c = 0; c < kNumSloClasses; c++) {
+        const LatencyHistogram &h =
+            classTotal[static_cast<size_t>(c)];
+        if (h.count() == 0)
+            continue;
+        registerHistogram(
+            reg,
+            std::string("serve:class:") +
+                sloClassName(static_cast<SloClass>(c)),
+            h);
+    }
     for (size_t w = 0; w < workerCompleted.size(); w++) {
         const std::string scope = "serve:worker:" + std::to_string(w);
         reg.addCounter(scope, "completed", workerCompleted[w]);

@@ -36,6 +36,8 @@
 #include <string>
 #include <vector>
 
+#include "serve/request.hh"
+
 namespace flcnn {
 
 class ChromeTrace;
@@ -112,8 +114,19 @@ class ServerStats
 {
   public:
     /** @param max_spans per-request span log cap (overflow counted,
-     *  never silently dropped). */
+     *  never silently dropped). The log is reserved up front so the
+     *  record path never reallocates. */
     explicit ServerStats(size_t max_spans = 100000);
+
+    /** Declare the registered models (name + SLO class per index).
+     *  Enables per-model and per-class latency breakdowns; call
+     *  before traffic (not thread-safe against recording). */
+    void setModels(const std::vector<std::string> &names,
+                   const std::vector<SloClass> &classes);
+
+    /** Presize the per-worker tallies (avoids resizes on the record
+     *  path). Recording still auto-grows for unseen worker ids. */
+    void setWorkers(int n);
 
     // -- recording (called by server / batcher / workers) ------------
     void onSubmitted();
@@ -121,6 +134,7 @@ class ServerStats
     void onRejected();
     void onExpired();
     void onCancelled();
+    void onShed();
     void onBatch(int model, int size);
     /** One executed request: updates the three latency histograms, the
      *  completed counter, per-worker tallies, and the span log. */
@@ -132,6 +146,7 @@ class ServerStats
     int64_t rejected() const;
     int64_t expired() const;
     int64_t cancelled() const;
+    int64_t shed() const;
     int64_t completed() const;
     int64_t batches() const;
     double maxBatchSeen() const;
@@ -141,6 +156,18 @@ class ServerStats
     LatencyHistogram totalLatency() const;
     LatencyHistogram queueWait() const;
     LatencyHistogram computeTime() const;
+
+    /** Per-model total-latency histogram (empty histogram when the
+     *  model was never declared via setModels or has no traffic). */
+    LatencyHistogram modelLatency(int model) const;
+
+    /** Per-class total-latency histogram (see setModels). */
+    LatencyHistogram classLatency(SloClass cls) const;
+
+    /** Exponential moving average of one request's compute seconds
+     *  for @p cls (0 before the first completion) — the load-shedding
+     *  predicate's cost estimate. */
+    double classComputeEmaSeconds(SloClass cls) const;
 
     /** Span log snapshot (bounded by max_spans) + drop count. */
     std::vector<RequestSpan> spans() const;
@@ -173,6 +200,7 @@ class ServerStats
     int64_t nRejected = 0;
     int64_t nExpired = 0;
     int64_t nCancelled = 0;
+    int64_t nShed = 0;
     int64_t nCompleted = 0;
     int64_t nBatches = 0;
     int64_t batchItems = 0;
@@ -180,6 +208,11 @@ class ServerStats
     LatencyHistogram histTotal;   //!< microseconds
     LatencyHistogram histQueue;
     LatencyHistogram histCompute;
+    std::vector<std::string> modelNames;       //!< set by setModels
+    std::vector<SloClass> modelClasses;
+    std::vector<LatencyHistogram> modelTotal;  //!< per-model latency
+    std::array<LatencyHistogram, kNumSloClasses> classTotal;
+    std::array<double, kNumSloClasses> classEma{};  //!< compute s
     std::vector<int64_t> workerCompleted;
     std::vector<double> workerBusySeconds;
     std::vector<RequestSpan> spanLog;

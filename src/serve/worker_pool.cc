@@ -1,6 +1,6 @@
 #include "serve/worker_pool.hh"
 
-#include <memory>
+#include <algorithm>
 #include <optional>
 
 #include "common/logging.hh"
@@ -19,15 +19,15 @@ intraOpModeName(IntraOpMode m)
     return "?";
 }
 
-WorkerPool::WorkerPool(int num_workers, EngineKind engine_kind,
-                       IntraOpMode intra_op, bool warmup,
+WorkerPool::WorkerPool(const WorkerPoolOptions &options,
                        const std::vector<ModelSpec> &model_specs,
                        DynamicBatcher &b, ServerStats &st)
-    : nWorkers(num_workers), engine(engine_kind), intraOp(intra_op),
-      doWarmup(warmup), models(model_specs), batcher(b), stats(st)
+    : opt(options), models(model_specs), batcher(b), stats(st)
 {
-    if (num_workers < 1)
-        fatal("worker pool needs >= 1 workers (got %d)", num_workers);
+    if (opt.numWorkers < 1)
+        fatal("worker pool needs >= 1 workers (got %d)", opt.numWorkers);
+    if (opt.outArenaSlots < 0)
+        fatal("outArenaSlots must be >= 0 (got %d)", opt.outArenaSlots);
 }
 
 void
@@ -39,9 +39,11 @@ WorkerPool::start()
     {
         std::lock_guard<std::mutex> lock(readyMu);
         nReady = 0;
+        nPinned = 0;
     }
-    threads.reserve(static_cast<size_t>(nWorkers));
-    for (int w = 0; w < nWorkers; w++)
+    outArenas.assign(static_cast<size_t>(opt.numWorkers), nullptr);
+    threads.reserve(static_cast<size_t>(opt.numWorkers));
+    for (int w = 0; w < opt.numWorkers; w++)
         threads.emplace_back([this, w] { workerMain(w); });
 }
 
@@ -49,7 +51,7 @@ void
 WorkerPool::waitReady()
 {
     std::unique_lock<std::mutex> lock(readyMu);
-    readyCv.wait(lock, [this] { return nReady == nWorkers; });
+    readyCv.wait(lock, [this] { return nReady == opt.numWorkers; });
 }
 
 void
@@ -60,28 +62,79 @@ WorkerPool::join()
     threads.clear();
 }
 
+ArenaStats
+WorkerPool::outputArenaStats() const
+{
+    ArenaStats sum;
+    for (const auto &a : outArenas) {
+        if (!a)
+            continue;
+        const ArenaStats st = a->stats();
+        sum.acquires += st.acquires;
+        sum.releases += st.releases;
+        sum.exhaustedFallbacks += st.exhaustedFallbacks;
+        sum.oversizedFallbacks += st.oversizedFallbacks;
+        sum.slots += st.slots;
+        sum.inUse += st.inUse;
+        sum.peakInUse += st.peakInUse;
+        sum.slotElems = std::max(sum.slotElems, st.slotElems);
+    }
+    return sum;
+}
+
+int
+WorkerPool::pinnedWorkers() const
+{
+    std::lock_guard<std::mutex> lock(readyMu);
+    return nPinned;
+}
+
 void
 WorkerPool::workerMain(int wid)
 {
+    // Placement first: engines built after the pin allocate their
+    // buffers from the pinned core's NUMA node where that matters.
+    if (opt.pinWorkers && ThreadPool::pinCurrentThread(wid)) {
+        std::lock_guard<std::mutex> lock(readyMu);
+        nPinned++;
+    }
+
     // Inline intra-op keeps workers off the shared pool (see header);
     // the scope must cover engine construction and warmup too, so the
     // pack caches are built with the same code paths requests will use.
     const bool inline_compute =
-        intraOp == IntraOpMode::Inline ||
-        (intraOp == IntraOpMode::Auto && nWorkers > 1);
+        opt.intraOp == IntraOpMode::Inline ||
+        (opt.intraOp == IntraOpMode::Auto && opt.numWorkers > 1);
     std::optional<ThreadPool::InlineScope> inliner;
     if (inline_compute)
         inliner.emplace();
 
     std::vector<std::unique_ptr<ServeEngine>> engines;
     engines.reserve(models.size());
+    int64_t maxOutElems = 0;
+    bool anyInto = false;
     for (const ModelSpec &spec : models) {
-        engines.push_back(std::make_unique<ServeEngine>(spec, engine));
-        if (doWarmup)
+        engines.push_back(
+            std::make_unique<ServeEngine>(spec, opt.engine));
+        if (opt.warmup)
             engines.back()->warmup();
+        if (engines.back()->producesInto()) {
+            anyInto = true;
+            maxOutElems = std::max(
+                maxOutElems, engines.back()->outShape().elems());
+        }
     }
+
+    // One output arena per worker, sized to the largest model output:
+    // requests of every co-resident model share the same recycled
+    // slots, so slot count — not model count — bounds memory.
+    std::shared_ptr<TensorArena> arena;
+    if (anyInto && opt.outArenaSlots > 0)
+        arena = TensorArena::create(maxOutElems, opt.outArenaSlots);
+
     {
         std::lock_guard<std::mutex> lock(readyMu);
+        outArenas[static_cast<size_t>(wid)] = arena;
         nReady++;
     }
     readyCv.notify_all();
@@ -92,7 +145,21 @@ WorkerPool::workerMain(int wid)
             *engines[static_cast<size_t>(batch.model)];
         for (QueuedRequest &qr : batch.items) {
             const double t_start = monotonicSeconds();
-            Tensor out = eng.run(qr.input);
+            Tensor out;
+            ArenaLease lease;
+            if (eng.producesInto()) {
+                if (arena)
+                    out = arena->acquireTensor(eng.outShape(), &lease);
+                else
+                    out = Tensor(eng.outShape());
+                eng.runInto(qr.input, &out);
+            } else {
+                out = eng.run(qr.input);
+            }
+            // The input slot frees the moment compute is done — the
+            // submit-side arena only has to cover queued + in-flight
+            // requests, not completed ones.
+            qr.inputLease.release();
             const double t_end = monotonicSeconds();
             RequestSpan span;
             span.id = qr.id;
@@ -104,8 +171,9 @@ WorkerPool::workerMain(int wid)
             span.tEnd = t_end;
             stats.onCompleted(span);
             qr.handle->complete(RequestStatus::Ok, std::move(out),
-                                t_start, t_end, wid, batch.id,
-                                batch.size());
+                                std::move(lease), t_start, t_end, wid,
+                                batch.id, batch.size());
+            qr.handle.reset();
         }
     }
 }

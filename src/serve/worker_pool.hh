@@ -16,16 +16,30 @@
  * lone worker still spreads each image across every core. Either way
  * the outputs are bit-identical (the pool's static-partition
  * contract), which the differential tests verify at 1/2/8 workers.
+ *
+ * Zero-copy output path: each worker owns a TensorArena sized to the
+ * largest model output; request outputs are written straight into an
+ * arena slot via ServeEngine::runInto and handed to the caller as a
+ * view whose slot recycles when the RequestHandle is dropped. The
+ * Reference engine (golden baseline) keeps returning heap tensors.
+ *
+ * Placement: with pinWorkers set, worker w pins itself to the w-th
+ * allowed CPU (ThreadPool::pinCurrentThread), so co-resident models'
+ * workers stop migrating across cores and evicting each other's
+ * packed weights. On platforms without affinity support the hint
+ * degrades to a logged no-op.
  */
 
 #ifndef FLCNN_SERVE_WORKER_POOL_HH
 #define FLCNN_SERVE_WORKER_POOL_HH
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "serve/arena.hh"
 #include "serve/batcher.hh"
 #include "serve/engine.hh"
 #include "serve/server_stats.hh"
@@ -42,6 +56,21 @@ enum class IntraOpMode
 
 const char *intraOpModeName(IntraOpMode m);
 
+/** Construction knobs for a WorkerPool. */
+struct WorkerPoolOptions
+{
+    int numWorkers = 1;
+    EngineKind engine = EngineKind::LineBuffer;
+    IntraOpMode intraOp = IntraOpMode::Auto;
+    bool warmup = true;
+    /** Pin worker w to the w-th allowed CPU (no-op where
+     *  unsupported; see ThreadPool::pinCurrentThread). */
+    bool pinWorkers = false;
+    /** Per-worker output-arena slots; 0 disables the output arena
+     *  (every output is then a heap tensor). */
+    int outArenaSlots = 32;
+};
+
 /** Fixed-size pool of serving workers over one batcher. */
 class WorkerPool
 {
@@ -51,8 +80,8 @@ class WorkerPool
      *   QueuedRequest::model the batcher hands out). Referenced
      *   networks/weights must outlive the pool.
      */
-    WorkerPool(int num_workers, EngineKind engine, IntraOpMode intra_op,
-               bool warmup, const std::vector<ModelSpec> &models,
+    WorkerPool(const WorkerPoolOptions &options,
+               const std::vector<ModelSpec> &models,
                DynamicBatcher &batcher, ServerStats &stats);
 
     /** Spawn the workers (each builds + warms its engines first). */
@@ -67,23 +96,29 @@ class WorkerPool
      *  admitted request completed). */
     void join();
 
-    int numWorkers() const { return nWorkers; }
+    int numWorkers() const { return opt.numWorkers; }
     bool running() const { return !threads.empty(); }
+
+    /** Summed output-arena counters across workers (valid after
+     *  waitReady(); the arenas outlive the pool through leases). */
+    ArenaStats outputArenaStats() const;
+
+    /** Workers that actually got pinned (0 where unsupported). */
+    int pinnedWorkers() const;
 
   private:
     void workerMain(int wid);
 
-    const int nWorkers;
-    const EngineKind engine;
-    const IntraOpMode intraOp;
-    const bool doWarmup;
+    const WorkerPoolOptions opt;
     const std::vector<ModelSpec> &models;
     DynamicBatcher &batcher;
     ServerStats &stats;
     std::vector<std::thread> threads;
-    std::mutex readyMu;
+    std::vector<std::shared_ptr<TensorArena>> outArenas;  //!< per worker
+    mutable std::mutex readyMu;
     std::condition_variable readyCv;
     int nReady = 0;
+    int nPinned = 0;
 };
 
 } // namespace flcnn

@@ -16,9 +16,71 @@ Tensor::Tensor(Shape s) : shp(s)
 {
     FLCNN_ASSERT(s.valid(), "tensor shape must be positive");
     buf.assign(static_cast<size_t>(s.elems()), 0.0f);
+    p = buf.data();
 }
 
 Tensor::Tensor(int c, int h, int w) : Tensor(Shape{c, h, w}) {}
+
+Tensor::Tensor(const Tensor &o) : shp(o.shp)
+{
+    // Deep copy regardless of the source's ownership: a copy of a view
+    // must not extend the borrow.
+    if (o.p && shp.valid())
+        buf.assign(o.p, o.p + shp.elems());
+    p = buf.data();
+}
+
+Tensor &
+Tensor::operator=(const Tensor &o)
+{
+    if (this == &o)
+        return *this;
+    shp = o.shp;
+    if (o.p && shp.valid())
+        buf.assign(o.p, o.p + shp.elems());
+    else
+        buf.clear();
+    p = buf.data();
+    borrowed = false;
+    return *this;
+}
+
+Tensor::Tensor(Tensor &&o) noexcept
+    : shp(o.shp), buf(std::move(o.buf)), borrowed(o.borrowed)
+{
+    p = borrowed ? o.p : buf.data();
+    o.shp = Shape{};
+    o.p = nullptr;
+    o.borrowed = false;
+}
+
+Tensor &
+Tensor::operator=(Tensor &&o) noexcept
+{
+    if (this == &o)
+        return *this;
+    shp = o.shp;
+    buf = std::move(o.buf);
+    borrowed = o.borrowed;
+    p = borrowed ? o.p : buf.data();
+    o.shp = Shape{};
+    o.buf.clear();
+    o.p = nullptr;
+    o.borrowed = false;
+    return *this;
+}
+
+Tensor
+Tensor::view(Shape s, float *storage)
+{
+    FLCNN_ASSERT(s.valid(), "view shape must be positive");
+    FLCNN_ASSERT(storage != nullptr, "view needs storage");
+    Tensor t;
+    t.shp = s;
+    t.p = storage;
+    t.borrowed = true;
+    return t;
+}
 
 float &
 Tensor::at(int c, int y, int x)
@@ -27,7 +89,7 @@ Tensor::at(int c, int y, int x)
         panic("tensor index (%d,%d,%d) out of bounds for shape %s",
               c, y, x, shp.str().c_str());
     }
-    return buf[idx(c, y, x)];
+    return p[idx(c, y, x)];
 }
 
 float
@@ -37,21 +99,23 @@ Tensor::at(int c, int y, int x) const
         panic("tensor index (%d,%d,%d) out of bounds for shape %s",
               c, y, x, shp.str().c_str());
     }
-    return buf[idx(c, y, x)];
+    return p[idx(c, y, x)];
 }
 
 void
 Tensor::fill(float v)
 {
-    for (auto &e : buf)
-        e = v;
+    const int64_t n = shp.elems();
+    for (int64_t i = 0; i < n; i++)
+        p[i] = v;
 }
 
 void
 Tensor::fillRandom(Rng &rng, float lo, float hi)
 {
-    for (auto &e : buf)
-        e = rng.uniformF(lo, hi);
+    const int64_t n = shp.elems();
+    for (int64_t i = 0; i < n; i++)
+        p[i] = rng.uniformF(lo, hi);
 }
 
 void
@@ -60,8 +124,9 @@ Tensor::fillIota(float scale)
     // Keep values small so deep stacks of convolutions stay in a sane
     // floating-point range while remaining index-dependent (placement
     // bugs shift values and are caught by exact comparison).
-    for (size_t i = 0; i < buf.size(); i++)
-        buf[i] = scale * (static_cast<float>(i % 1009) - 504.0f) / 1009.0f;
+    const int64_t n = shp.elems();
+    for (int64_t i = 0; i < n; i++)
+        p[i] = scale * (static_cast<float>(i % 1009) - 504.0f) / 1009.0f;
 }
 
 FilterBank::FilterBank(int m, int n, int k) : m_(m), n_(n), k_(k)

@@ -55,6 +55,15 @@ struct Shape
  *
  * Indexing is bounds-checked through at(); the unchecked operator() is
  * provided for inner loops. Data is zero-initialized on construction.
+ *
+ * A tensor either *owns* its storage (the default: a private buffer,
+ * zero-filled at construction) or *borrows* it (view(): the tensor
+ * aliases caller-provided memory, e.g. an arena slot on the serving
+ * hot path). The two are indistinguishable to readers and writers;
+ * ownership only matters for lifetime. Copying any tensor — view or
+ * not — deep-copies into an owning tensor (a copy never silently
+ * extends a borrow); moving preserves the aliasing, so a view can be
+ * handed across threads without touching the feature-map bytes.
  */
 class Tensor
 {
@@ -68,6 +77,23 @@ class Tensor
     /** Construct a zero-filled tensor of c x h x w. */
     Tensor(int c, int h, int w);
 
+    Tensor(const Tensor &o);
+    Tensor &operator=(const Tensor &o);
+    Tensor(Tensor &&o) noexcept;
+    Tensor &operator=(Tensor &&o) noexcept;
+    ~Tensor() = default;
+
+    /**
+     * A non-owning tensor aliasing @p storage (s.elems() floats,
+     * NOT zero-filled — the caller is about to write every element).
+     * The storage must outlive the view and every tensor moved from
+     * it; copies are deep (owning) and safe to keep.
+     */
+    static Tensor view(Shape s, float *storage);
+
+    /** True when this tensor owns its storage (false for live views). */
+    bool ownsStorage() const { return !borrowed; }
+
     /** The tensor's shape. */
     const Shape &shape() const { return shp; }
 
@@ -78,13 +104,13 @@ class Tensor
     float &
     operator()(int c, int y, int x)
     {
-        return buf[idx(c, y, x)];
+        return p[idx(c, y, x)];
     }
 
     float
     operator()(int c, int y, int x) const
     {
-        return buf[idx(c, y, x)];
+        return p[idx(c, y, x)];
     }
 
     /** Bounds-checked element access; panics on out-of-range. */
@@ -103,7 +129,7 @@ class Tensor
     float
     atOrZero(int c, int y, int x) const
     {
-        return inBounds(c, y, x) ? buf[idx(c, y, x)] : 0.0f;
+        return inBounds(c, y, x) ? p[idx(c, y, x)] : 0.0f;
     }
 
     /** Fill with a constant. */
@@ -117,14 +143,14 @@ class Tensor
     void fillIota(float scale = 1.0f);
 
     /** Raw storage access. */
-    float *data() { return buf.data(); }
-    const float *data() const { return buf.data(); }
+    float *data() { return p; }
+    const float *data() const { return p; }
 
     /** Pointer to the row (c, y), starting at column x (unchecked). */
     const float *
     rowPtr(int c, int y, int x = 0) const
     {
-        return buf.data() + idx(c, y, x);
+        return p + idx(c, y, x);
     }
 
     /** Linear index for (c, y, x). */
@@ -136,7 +162,9 @@ class Tensor
 
   private:
     Shape shp;
-    std::vector<float> buf;
+    std::vector<float> buf;      //!< backing store when owning
+    float *p = nullptr;          //!< element base: buf.data() or borrowed
+    bool borrowed = false;
 };
 
 /**

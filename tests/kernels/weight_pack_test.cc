@@ -125,9 +125,78 @@ TEST(WeightPack, CachePacksOncePerKey)
     EXPECT_EQ(&a, &b);
     EXPECT_EQ(cache.hits(), 1);
     EXPECT_EQ(cache.misses(), 1);
+    // A different layer key is a cache miss — but the bank content is
+    // identical, so the shared registry resolves it to the *same* pack
+    // (content-addressed dedup across layers, executors, and pools).
     const PackedWeights &c = cache.get(8, fb);
-    EXPECT_NE(&a, &c);
+    EXPECT_EQ(&a, &c);
     EXPECT_EQ(cache.misses(), 2);
+    // Different content under yet another key must not collide.
+    FilterBank other = randomBank(4, 2, 3, 77);
+    const PackedWeights &d = cache.get(9, other);
+    EXPECT_NE(&a, &d);
+    EXPECT_EQ(cache.misses(), 3);
+}
+
+TEST(WeightPack, SharedRegistryDedupsAcrossCaches)
+{
+    // Two executors (or two serving pools) each own a private
+    // WeightPackCache; identical bank content at the same layout must
+    // resolve to one shared pack, and the second resolve must be a
+    // registry hit, not a rebuild.
+    FilterBank fb = randomBank(6, 3, 3, 31);
+    SharedPackRegistry &reg = SharedPackRegistry::global();
+    WeightPackCache pool_a, pool_b;
+    const int64_t hits0 = reg.sharedHits();
+    const int64_t builds0 = reg.builds();
+    const PackedWeights &a = pool_a.get(0, fb, 1, 0, 4);
+    EXPECT_EQ(reg.builds(), builds0 + 1);
+    const PackedWeights &b = pool_b.get(0, fb, 1, 0, 4);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(reg.sharedHits(), hits0 + 1);
+    EXPECT_EQ(reg.builds(), builds0 + 1);
+    // A different layout (mr_cap) is a different panel byte layout —
+    // it must be a separate entry, never served from the first.
+    const PackedWeights &narrow = pool_b.get(1, fb, 1, 0, 1);
+    EXPECT_NE(&a, &narrow);
+    EXPECT_EQ(reg.builds(), builds0 + 2);
+}
+
+TEST(WeightPack, SharedRegistryPurgeRespectsLiveReferences)
+{
+    FilterBank fb = randomBank(4, 2, 3, 32);
+    SharedPackRegistry &reg = SharedPackRegistry::global();
+    auto live = std::make_unique<WeightPackCache>();
+    const PackedWeights &held = live->get(0, fb);
+    const float first = held.panel(0)[0];
+    // The live cache's reference keeps the entry out of the purge.
+    reg.purgeUnused();
+    const PackedWeights &again = live->get(0, fb);
+    EXPECT_EQ(&held, &again);
+    EXPECT_EQ(again.panel(0)[0], first);
+    // Once the last reference drops, the entry becomes purgeable and a
+    // fresh resolve rebuilds (the refcount made the eviction safe).
+    live.reset();
+    EXPECT_GE(reg.purgeUnused(), 1);
+    WeightPackCache later;
+    const PackedWeights &rebuilt = later.get(0, fb);
+    EXPECT_EQ(rebuilt.panel(0)[0], first);
+}
+
+TEST(WeightPack, FingerprintTracksContent)
+{
+    FilterBank fb = randomBank(4, 2, 3, 33);
+    FilterBank same = randomBank(4, 2, 3, 33);
+    FilterBank diff = randomBank(4, 2, 3, 34);
+    EXPECT_EQ(filterBankFingerprint(fb), filterBankFingerprint(same));
+    EXPECT_NE(filterBankFingerprint(fb), filterBankFingerprint(diff));
+    // A single-bit weight change must change the fingerprint.
+    same.w(3, 1, 2, 2) = std::nextafter(same.w(3, 1, 2, 2), 2.0f);
+    EXPECT_NE(filterBankFingerprint(fb), filterBankFingerprint(same));
+    // So must a bias-only change.
+    FilterBank biased = randomBank(4, 2, 3, 33);
+    biased.bias(0) += 1.0f;
+    EXPECT_NE(filterBankFingerprint(fb), filterBankFingerprint(biased));
 }
 
 TEST(WeightPack, CacheKeyIncludesDtype)

@@ -1,0 +1,238 @@
+/**
+ * @file
+ * Multi-tenant SLO machinery: class-priority dequeue order, load
+ * shedding of best-effort traffic when a latency-critical budget is
+ * threatened, core-affinity worker placement, and weight-pack
+ * deduplication across co-resident servers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hh"
+#include "kernels/weight_pack.hh"
+#include "nn/zoo.hh"
+#include "serve/request_queue.hh"
+#include "serve/server.hh"
+
+namespace flcnn {
+namespace {
+
+QueuedRequest
+req(int64_t id, int model)
+{
+    QueuedRequest q;
+    q.id = id;
+    q.model = model;
+    q.handle = std::make_shared<RequestHandle>();
+    q.submitTime = monotonicSeconds();
+    return q;
+}
+
+TEST(RequestQueueSlo, LatencyCriticalDequeuesFirst)
+{
+    RequestQueue q(16, OverflowPolicy::Reject);
+    q.setModelClass(0, SloClass::BestEffort);
+    q.setModelClass(1, SloClass::LatencyCritical);
+
+    // BE arrives first, LC second — the batcher must still see LC.
+    ASSERT_EQ(q.push(req(0, 0)), AdmitResult::Admitted);
+    ASSERT_EQ(q.push(req(1, 0)), AdmitResult::Admitted);
+    ASSERT_EQ(q.push(req(2, 1)), AdmitResult::Admitted);
+    EXPECT_EQ(q.countClass(SloClass::LatencyCritical), 1u);
+    EXPECT_EQ(q.countClass(SloClass::BestEffort), 2u);
+
+    int model = -1;
+    ASSERT_TRUE(q.waitHead(&model));
+    EXPECT_EQ(model, 1);
+
+    std::vector<QueuedRequest> got;
+    EXPECT_EQ(q.popModel(1, 8, &got), 1u);
+    EXPECT_EQ(got[0].id, 2);
+    EXPECT_EQ(q.countClass(SloClass::LatencyCritical), 0u);
+
+    // LC drained: best-effort flows again, in FIFO order. popModel
+    // appends (the batcher reuses one vector across batches).
+    ASSERT_TRUE(q.waitHead(&model));
+    EXPECT_EQ(model, 0);
+    got.clear();
+    EXPECT_EQ(q.popModel(0, 8, &got), 2u);
+    EXPECT_EQ(got[0].id, 0);
+    EXPECT_EQ(got[1].id, 1);
+}
+
+TEST(RequestQueueSlo, SameClassKeepsCrossModelFifo)
+{
+    RequestQueue q(16, OverflowPolicy::Reject);
+    q.setModelClass(0, SloClass::LatencyCritical);
+    q.setModelClass(1, SloClass::LatencyCritical);
+
+    ASSERT_EQ(q.push(req(0, 1)), AdmitResult::Admitted);
+    ASSERT_EQ(q.push(req(1, 0)), AdmitResult::Admitted);
+
+    // Equal priority: the oldest submission picks the model, exactly
+    // as the single-class queue behaved before SLO classes existed.
+    int model = -1;
+    ASSERT_TRUE(q.waitHead(&model));
+    EXPECT_EQ(model, 1);
+}
+
+/** Deterministic shed: after one latency-critical completion primes
+ *  the compute EMA, a vanishingly small LC budget makes every
+ *  best-effort admission a threat, so it sheds — and the ledger
+ *  stays balanced. */
+TEST(ServeSlo, BestEffortShedsWhenBudgetThreatened)
+{
+    Network net = tinyNet();
+    Rng wrng(3);
+    NetworkWeights weights(net, wrng);
+
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 16;
+    InferenceServer server(cfg);
+    const int lc = server.addModel("lc", net, weights, 0, -1, nullptr,
+                                   false, false,
+                                   SloClass::LatencyCritical,
+                                   /*p99_budget_ms=*/1e-6);
+    const int be = server.addModel("be", net, weights, 0, -1, nullptr,
+                                   false, false, SloClass::BestEffort);
+    server.start();
+
+    Tensor image(net.inputShape());
+    Rng irng(5);
+    image.fillRandom(irng);
+
+    // Before any LC completion there is no EMA to project from, so
+    // best-effort is admitted normally.
+    SubmitResult early = server.submit(be, Tensor(image));
+    EXPECT_EQ(early.admit, AdmitResult::Admitted);
+    EXPECT_EQ(early.handle->wait(), RequestStatus::Ok);
+
+    SubmitResult first = server.submit(lc, Tensor(image));
+    EXPECT_EQ(first.handle->wait(), RequestStatus::Ok);
+
+    // EMA primed, budget microscopic: best-effort now sheds at
+    // admission with an already-terminal handle.
+    SubmitResult shed = server.submit(be, Tensor(image));
+    EXPECT_EQ(shed.admit, AdmitResult::Shed);
+    EXPECT_EQ(shed.handle->wait(), RequestStatus::Shed);
+    EXPECT_EQ(shed.handle->output().elems(), 0);
+
+    // Latency-critical traffic is never shed.
+    SubmitResult more = server.submit(lc, Tensor(image));
+    EXPECT_EQ(more.admit, AdmitResult::Admitted);
+    EXPECT_EQ(more.handle->wait(), RequestStatus::Ok);
+
+    server.drainAndStop();
+    const ServerStats &st = server.stats();
+    EXPECT_EQ(st.shed(), 1);
+    EXPECT_EQ(st.completed(), 3);
+    EXPECT_EQ(st.submitted(), st.admitted() + st.rejected() +
+                                  st.cancelled() + st.shed());
+    EXPECT_EQ(st.admitted(), st.completed() + st.expired());
+    EXPECT_EQ(st.classLatency(SloClass::LatencyCritical).count(), 2);
+    EXPECT_EQ(st.classLatency(SloClass::BestEffort).count(), 1);
+    EXPECT_GT(
+        st.classComputeEmaSeconds(SloClass::LatencyCritical), 0.0);
+}
+
+/** Models without a declared budget never trigger shedding, however
+ *  loaded the queue gets. */
+TEST(ServeSlo, NoBudgetMeansNoShedding)
+{
+    Network net = tinyNet();
+    Rng wrng(3);
+    NetworkWeights weights(net, wrng);
+
+    ServeConfig cfg;
+    cfg.workers = 1;
+    cfg.queueCapacity = 64;
+    InferenceServer server(cfg);
+    server.addModel("lc", net, weights);  // LC, budget 0
+    const int be = server.addModel("be", net, weights, 0, -1, nullptr,
+                                   false, false, SloClass::BestEffort);
+    server.start();
+
+    Tensor image(net.inputShape());
+    Rng irng(5);
+    image.fillRandom(irng);
+    std::vector<RequestHandlePtr> handles;
+    for (int i = 0; i < 16; i++)
+        handles.push_back(server.submit(be, Tensor(image)).handle);
+    for (auto &h : handles)
+        EXPECT_EQ(h->wait(), RequestStatus::Ok);
+    server.drainAndStop();
+    EXPECT_EQ(server.stats().shed(), 0);
+}
+
+/** Pinning is best-effort placement: every worker pinned where the
+ *  platform supports affinity, a logged no-op (pinnedWorkers() == 0)
+ *  where it doesn't — never an error either way. */
+TEST(ServeSlo, WorkerPinningReportsPlacement)
+{
+    Network net = tinyNet();
+    Rng wrng(3);
+    NetworkWeights weights(net, wrng);
+
+    ServeConfig cfg;
+    cfg.workers = 2;
+    cfg.pinWorkers = true;
+    InferenceServer server(cfg);
+    server.addModel("tiny", net, weights);
+    server.start();
+
+    EXPECT_GE(server.pinnedWorkers(), 0);
+    EXPECT_LE(server.pinnedWorkers(), cfg.workers);
+#if defined(__linux__)
+    EXPECT_EQ(server.pinnedWorkers(), cfg.workers);
+#endif
+
+    Tensor image(net.inputShape());
+    Rng irng(5);
+    image.fillRandom(irng);
+    SubmitResult r = server.submit(0, std::move(image));
+    EXPECT_EQ(r.handle->wait(), RequestStatus::Ok);
+    server.drainAndStop();
+}
+
+/** Two servers hosting the same network content share one weight-pack
+ *  set through the content-addressed SharedPackRegistry — N resident
+ *  model pools, one copy of the packed weights. */
+TEST(ServeSlo, CoResidentServersShareWeightPacks)
+{
+    Network net = tinyNet();
+    Rng wrng(3);
+    NetworkWeights weights(net, wrng);
+    Tensor image(net.inputShape());
+    Rng irng(5);
+    image.fillRandom(irng);
+
+    ServeConfig cfg;
+    cfg.workers = 1;
+
+    const int64_t hits0 = SharedPackRegistry::global().sharedHits();
+
+    InferenceServer a(cfg);
+    a.addModel("tenant-a", net, weights);
+    a.start();
+    SubmitResult ra = a.submit(0, Tensor(image));
+    EXPECT_EQ(ra.handle->wait(), RequestStatus::Ok);
+
+    InferenceServer b(cfg);
+    b.addModel("tenant-b", net, weights);
+    b.start();
+    SubmitResult rb = b.submit(0, Tensor(image));
+    EXPECT_EQ(rb.handle->wait(), RequestStatus::Ok);
+
+    // Server b's engines found a's packs in the registry.
+    EXPECT_GT(SharedPackRegistry::global().sharedHits(), hits0);
+
+    a.drainAndStop();
+    b.drainAndStop();
+}
+
+} // namespace
+} // namespace flcnn
