@@ -13,12 +13,17 @@ Runs, in order:
   2. the table-mode paper benches (table1_alexnet, table2_vgg) and
      cpu_fusion_speedup with --benchmark_filter=NONE (its own E8 table
      without re-running the gbench cases), capturing stdout + wall time;
-  3. bench/serve_bench (closed loop on AlexNet's fused prefix; the
+  3. examples/plan_compile --json (schema flcnn-plan-v1): the fusion-
+     plan compile time for every zoo network x engine combination,
+     folded into the "plans" section (and asserted to report zero
+     rejects and zero silent fallbacks), so plan-compile cost
+     regressions show up in BENCH diffs;
+  4. bench/serve_bench (closed loop on AlexNet's fused prefix; the
      tiny net with --quick) once per precision mode (fp32, int8,
      fp16), folding each flcnn-serve-v1 result — latency percentiles,
      counts, throughput — into the report's "serve_precision" section
      (the fp32 run also lands in the legacy "serve" section);
-  4. a multi-tenant serving run (--models with mixed lc/be SLO
+  5. a multi-tenant serving run (--models with mixed lc/be SLO
      classes; open-loop overload at full scale, a small closed loop
      with --quick) into the "serve_mt" section, carrying per-model
      and per-SLO-class latency percentiles plus the shed count.
@@ -359,7 +364,36 @@ def main():
             report["metrics"][name] = doc
         print(f"  done in {wall:.1f}s")
 
-    # 3. Serving runtime (closed loop; blocking admission, so zero
+    # 3. Fusion-plan compile times: every zoo network x engine through
+    # plan_compile --json. Compile cost is part of the serving story
+    # (warmup latency), so it rides the BENCH snapshot and its diffs;
+    # the contract counters double as a smoke check here.
+    plan_tool = build / "examples" / "plan_compile"
+    if plan_tool.exists():
+        print("running plan_compile...")
+        out, wall = run([str(plan_tool), "--json"])
+        try:
+            doc = json.loads(out)
+        except json.JSONDecodeError as exc:
+            sys.exit(f"plan_compile emitted unparseable JSON: {exc}")
+        if doc.get("schema") != "flcnn-plan-v1":
+            sys.exit(f"plan_compile: unexpected schema "
+                     f"{doc.get('schema')!r}")
+        if doc.get("silent_fallbacks") != 0 or \
+                doc.get("compile_rejected") != 0:
+            sys.exit("plan_compile reported rejected or silently "
+                     "fallen-back plans on known-supported networks")
+        report["plans"] = doc
+        report["tables"]["plan_compile_wall_s"] = round(wall, 3)
+        slowest = max(doc.get("plans", []),
+                      key=lambda p: p.get("compile_ms", 0), default=None)
+        print(f"  {len(doc.get('plans', []))} plans in {wall:.1f}s"
+              + (f" (slowest: {slowest['net']}/{slowest['engine']} "
+                 f"{slowest['compile_ms']:.0f} ms)" if slowest else ""))
+    else:
+        print("  skipping plan_compile: not built")
+
+    # 4. Serving runtime (closed loop; blocking admission, so zero
     # rejects is an invariant, not luck).
     serve = bench_dir / "serve_bench"
     if serve.exists():
@@ -391,7 +425,7 @@ def main():
                 report["serve"] = doc
             print(f"  done in {wall:.1f}s")
 
-        # 4. Multi-tenant mixed traffic: a latency-critical tenant
+        # 5. Multi-tenant mixed traffic: a latency-critical tenant
         # with a p99 budget sharing the node with best-effort flood.
         # Full scale drives open-loop overload so the shed path and
         # the per-class tails are real; --quick keeps it to a small

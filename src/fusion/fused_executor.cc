@@ -234,7 +234,7 @@ FusedExecutor::computeWindowed(int li, int r, int c)
                 stageConvInputI8(st.stage, st.tile, act, r0, r1);
                 const ConvBlockKernelI8 &bk = st.plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
-                    li, fb, spec.groups, precision->weightScales(slot),
+                    g.layerIdx, fb, spec.groups, precision->weightScales(slot),
                     precision->scaleId(), st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
@@ -263,7 +263,7 @@ FusedExecutor::computeWindowed(int li, int r, int c)
                 stageConvInputF16(st.stage, st.tile, r0, r1);
                 const ConvBlockKernel &bk = st.plan.bk;
                 const PackedWeightsF16 &pw = packCache.getF16(
-                    li, fb, spec.groups, st.plan.cfg.mrCap);
+                    g.layerIdx, fb, spec.groups, st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oy.width(),
@@ -291,7 +291,7 @@ FusedExecutor::computeWindowed(int li, int r, int c)
         } else {
             const ConvBlockKernel &bk = st.plan.bk;
             const PackedWeights &pw = packCache.get(
-                li, fb, spec.groups, 0, st.plan.cfg.mrCap);
+                g.layerIdx, fb, spec.groups, 0, st.plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             parallelFor(
                 0, static_cast<int64_t>(nb) * oy.width(),

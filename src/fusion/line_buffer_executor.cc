@@ -117,7 +117,7 @@ LineBufferExecutor::drain(int li, Tensor &output)
                 st.stagedIn = st.rowsIn;
                 const ConvBlockKernelI8 &bk = st.plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
-                    li, fb, spec.groups, precision->weightScales(slot),
+                    first + li, fb, spec.groups, precision->weightScales(slot),
                     precision->scaleId(), st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
@@ -155,7 +155,7 @@ LineBufferExecutor::drain(int li, Tensor &output)
                 st.stagedIn = st.rowsIn;
                 const ConvBlockKernel &bk = st.plan.bk;
                 const PackedWeightsF16 &pw = packCache.getF16(
-                    li, fb, spec.groups, st.plan.cfg.mrCap);
+                    first + li, fb, spec.groups, st.plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * batch,
@@ -181,7 +181,7 @@ LineBufferExecutor::drain(int li, Tensor &output)
             } else {
             const ConvBlockKernel &bk = st.plan.bk;
             const PackedWeights &pw = packCache.get(
-                li, fb, spec.groups, 0, st.plan.cfg.mrCap);
+                first + li, fb, spec.groups, 0, st.plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             const int64_t ring_ch_stride =
                 static_cast<int64_t>(cap) * in.w;

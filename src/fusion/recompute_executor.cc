@@ -108,7 +108,7 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                 const ConvPlan &plan = plans[static_cast<size_t>(li)];
                 const ConvBlockKernelI8 &bk = plan.bkI8;
                 const PackedWeightsI8 &pw = packCache.getI8(
-                    li, fb, spec.groups, precision->weightScales(slot),
+                    g.layerIdx, fb, spec.groups, precision->weightScales(slot),
                     precision->scaleId(), plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
@@ -135,7 +135,7 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
                 const ConvPlan &plan = plans[static_cast<size_t>(li)];
                 const ConvBlockKernel &bk = plan.bk;
                 const PackedWeightsF16 &pw = packCache.getF16(
-                    li, fb, spec.groups, plan.cfg.mrCap);
+                    g.layerIdx, fb, spec.groups, plan.cfg.mrCap);
                 const int nb = pw.numBlocks();
                 parallelFor(
                     0, static_cast<int64_t>(nb) * oh,
@@ -160,7 +160,7 @@ RecomputeExecutor::computeLayer(int li, int r, int c, const Tensor &input)
             const ConvPlan &plan = plans[static_cast<size_t>(li)];
             const ConvBlockKernel &bk = plan.bk;
             const PackedWeights &pw = packCache.get(
-                li, fb, spec.groups, 0, plan.cfg.mrCap);
+                g.layerIdx, fb, spec.groups, 0, plan.cfg.mrCap);
             const int nb = pw.numBlocks();
             parallelFor(
                 0, static_cast<int64_t>(nb) * oh,

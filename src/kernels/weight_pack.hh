@@ -429,9 +429,12 @@ struct PackKeyHash
  * first run resolves through the process-wide SharedPackRegistry
  * (packing only if no other executor has packed the same content at
  * the same layout), later runs reuse the reference with no lock
- * taken. Layer keys are caller-chosen (fused layer index, network
- * layer index, ...) and are extended internally with the pack dtype
- * and int8 scale-set identity — see PackKey. Not thread-safe itself —
+ * taken. Layer keys are caller-chosen and are extended internally
+ * with the pack dtype and int8 scale-set identity — see PackKey.
+ * Every in-tree executor keys with the *absolute* network layer
+ * index (not a range-relative one), so two compiled plans over
+ * different ranges of one network can never alias distinct layers
+ * onto the same entry. Not thread-safe itself —
  * executors populate it from the serial portion of their run, outside
  * any parallelFor region; cross-executor sharing is the registry's
  * (locked) job.

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "fusion/fusion_plan.hh"
 #include "model/pareto.hh"
 #include "model/partition.hh"
 #include "nn/network.hh"
@@ -101,6 +102,16 @@ class GroupCostCache
     {
         return cell(first, last).extra;
     }
+
+    /**
+     * Price a path-shaped fusion plan: the Cell of the stage range the
+     * plan's layer range covers — the *same* table entry a sweep
+     * visiting the equivalent StageGroup reads, so plan-based and
+     * range-based pipelines price bit-identically. The plan (compiled
+     * or not) must span whole stages of @p net, the network this cache
+     * was built over; panics otherwise.
+     */
+    const Cell &planCell(const Network &net, const FusionPlan &plan) const;
 
     /**
      * Price a whole partition by table lookups, filling @p d's

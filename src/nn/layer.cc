@@ -16,6 +16,8 @@ layerKindName(LayerKind kind)
       case LayerKind::Pad: return "pad";
       case LayerKind::LRN: return "lrn";
       case LayerKind::FullyConnected: return "fc";
+      case LayerKind::Add: return "add";
+      case LayerKind::Concat: return "concat";
     }
     return "?";
 }
@@ -83,6 +85,24 @@ LayerSpec::fullyConnected(std::string name, int units)
     return spec;
 }
 
+LayerSpec
+LayerSpec::eltwiseAdd(std::string name)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::Add;
+    spec.name = std::move(name);
+    return spec;
+}
+
+LayerSpec
+LayerSpec::depthConcat(std::string name)
+{
+    LayerSpec spec;
+    spec.kind = LayerKind::Concat;
+    spec.name = std::move(name);
+    return spec;
+}
+
 Shape
 LayerSpec::outShape(const Shape &in) const
 {
@@ -106,8 +126,32 @@ LayerSpec::outShape(const Shape &in) const
         return Shape{in.c, in.h + 2 * pad, in.w + 2 * pad};
       case LayerKind::FullyConnected:
         return Shape{outChannels, 1, 1};
+      case LayerKind::Add:
+      case LayerKind::Concat:
+        // Single-edge form: validate() above already rejected these.
+        break;
     }
     panic("unhandled layer kind");
+}
+
+Shape
+LayerSpec::outShapeMulti(const std::vector<Shape> &ins) const
+{
+    std::string err = validateMulti(ins);
+    if (!err.empty())
+        panic("layer '%s': %s", name.c_str(), err.c_str());
+    switch (kind) {
+      case LayerKind::Add:
+        return ins.front();
+      case LayerKind::Concat: {
+        Shape out = ins.front();
+        for (size_t i = 1; i < ins.size(); i++)
+            out.c += ins[i].c;
+        return out;
+      }
+      default:
+        return outShape(ins.front());
+    }
 }
 
 std::string
@@ -144,8 +188,47 @@ LayerSpec::validate(const Shape &in) const
         if (outChannels <= 0)
             return "fully connected needs positive output units";
         return "";
+      case LayerKind::Add:
+      case LayerKind::Concat:
+        return std::string(layerKindName(kind)) +
+               " joins >= 2 input edges; append it with "
+               "Network::addNode, not add()";
     }
     return "unknown layer kind";
+}
+
+std::string
+LayerSpec::validateMulti(const std::vector<Shape> &ins) const
+{
+    if (ins.empty())
+        return "layer has no input edges";
+    for (const Shape &s : ins) {
+        if (!s.valid())
+            return "input shape is invalid";
+    }
+    switch (kind) {
+      case LayerKind::Add:
+        if (ins.size() < 2)
+            return "add needs >= 2 input edges";
+        for (size_t i = 1; i < ins.size(); i++) {
+            if (!(ins[i] == ins.front()))
+                return "add inputs must have identical shapes";
+        }
+        return "";
+      case LayerKind::Concat:
+        if (ins.size() < 2)
+            return "concat needs >= 2 input edges";
+        for (size_t i = 1; i < ins.size(); i++) {
+            if (ins[i].h != ins.front().h || ins[i].w != ins.front().w)
+                return "concat inputs must share spatial dims";
+        }
+        return "";
+      default:
+        if (ins.size() != 1)
+            return std::string(layerKindName(kind)) +
+                   " takes exactly one input edge";
+        return validate(ins.front());
+    }
 }
 
 std::string
@@ -176,6 +259,12 @@ LayerSpec::str() const
       case LayerKind::FullyConnected:
         std::snprintf(buf, sizeof(buf), "%s: fc units=%d", name.c_str(),
                       outChannels);
+        break;
+      case LayerKind::Add:
+        std::snprintf(buf, sizeof(buf), "%s: add", name.c_str());
+        break;
+      case LayerKind::Concat:
+        std::snprintf(buf, sizeof(buf), "%s: concat", name.c_str());
         break;
       default:
         std::snprintf(buf, sizeof(buf), "%s: ?", name.c_str());

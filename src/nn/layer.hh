@@ -14,6 +14,7 @@
 #define FLCNN_NN_LAYER_HH
 
 #include <string>
+#include <vector>
 
 #include "tensor/tensor.hh"
 
@@ -27,6 +28,8 @@ enum class LayerKind {
     Pad,             //!< symmetric spatial zero-padding
     LRN,             //!< local response normalization (AlexNet)
     FullyConnected,  //!< dense classifier layer
+    Add,             //!< elementwise sum of >= 2 inputs (ResNet skips)
+    Concat,          //!< depth (channel) concatenation (GoogLeNet)
 };
 
 /** Pooling flavor. */
@@ -74,6 +77,14 @@ struct LayerSpec
     /** Construct a fully connected spec. */
     static LayerSpec fullyConnected(std::string name, int units);
 
+    /** Construct an elementwise-add spec (>= 2 identically shaped
+     *  inputs; the DAG join of a residual skip connection). */
+    static LayerSpec eltwiseAdd(std::string name);
+
+    /** Construct a depth-concatenation spec (>= 2 inputs with equal
+     *  spatial dims; output channels are the sum — inception joins). */
+    static LayerSpec depthConcat(std::string name);
+
     /** True for layers with a spatial sliding window (Conv, Pool):
      *  the units the pyramid recursion steps across. */
     bool
@@ -90,19 +101,38 @@ struct LayerSpec
         return kind == LayerKind::ReLU || kind == LayerKind::LRN;
     }
 
-    /** True for layers a fusion pyramid may contain. */
+    /** True for layers a fusion pyramid may contain. Multi-input
+     *  joins (Add, Concat) are excluded: the chain pyramids cannot
+     *  express them (see ROADMAP item 4 / DeCoILFNet in PAPERS.md). */
     bool
     fusable() const
     {
         return windowed() || pointwise() || kind == LayerKind::Pad;
     }
 
+    /** True for layers that join several predecessor edges (Add,
+     *  Concat) — the only kinds a DAG node may have in-degree > 1. */
+    bool
+    multiInput() const
+    {
+        return kind == LayerKind::Add || kind == LayerKind::Concat;
+    }
+
     /** Output shape produced from @p in; panics if incompatible. */
     Shape outShape(const Shape &in) const;
+
+    /** Output shape produced from several input edges (multi-input
+     *  kinds; single-input kinds require ins.size() == 1). Panics if
+     *  incompatible. */
+    Shape outShapeMulti(const std::vector<Shape> &ins) const;
 
     /** Validate the spec against an input shape; returns an error
      *  message, or the empty string when valid. */
     std::string validate(const Shape &in) const;
+
+    /** Validate the spec against its input edges (the multi-input
+     *  form of validate()). */
+    std::string validateMulti(const std::vector<Shape> &ins) const;
 
     /** One-line human-readable description. */
     std::string str() const;

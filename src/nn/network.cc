@@ -1,5 +1,6 @@
 #include "nn/network.hh"
 
+#include <algorithm>
 #include <cstdio>
 
 #include "common/logging.hh"
@@ -10,25 +11,62 @@ Network::Network(std::string name, Shape input_shape)
     : netName(std::move(name)), input(input_shape)
 {
     FLCNN_ASSERT(input.valid(), "network input shape must be positive");
-    shapes.push_back(input);
 }
 
 Network &
 Network::add(LayerSpec spec)
 {
-    const Shape &in = shapes.back();
-    std::string err = spec.validate(in);
-    if (!err.empty()) {
-        fatal("network '%s', layer '%s' (#%zu): %s", netName.c_str(),
-              spec.name.c_str(), specs.size(), err.c_str());
-    }
-    Shape out = spec.outShape(in);
-    if (spec.kind == LayerKind::Conv)
-        convIdx.push_back(static_cast<int>(specs.size()));
-    specs.push_back(std::move(spec));
-    shapes.push_back(out);
-    rebuildStages();
+    int pred = specs.empty() ? kInputNode : numLayers() - 1;
+    addNode(std::move(spec), {pred});
     return *this;
+}
+
+int
+Network::addNode(LayerSpec spec, const std::vector<int> &inputs)
+{
+    int idx = numLayers();
+    if (inputs.empty()) {
+        fatal("network '%s', layer '%s' (#%d): no input edges",
+              netName.c_str(), spec.name.c_str(), idx);
+    }
+    std::vector<Shape> in_shapes;
+    in_shapes.reserve(inputs.size());
+    for (size_t e = 0; e < inputs.size(); e++) {
+        int p = inputs[e];
+        if (p < kInputNode || p >= idx) {
+            fatal("network '%s', layer '%s' (#%d): input edge %zu refers to "
+                  "node %d, which does not exist yet (nodes must be added in "
+                  "topological order)",
+                  netName.c_str(), spec.name.c_str(), idx, e, p);
+        }
+        for (size_t f = 0; f < e; f++) {
+            if (inputs[f] == p) {
+                fatal("network '%s', layer '%s' (#%d): duplicate input edge "
+                      "from node %d",
+                      netName.c_str(), spec.name.c_str(), idx, p);
+            }
+        }
+        in_shapes.push_back(predShape(p));
+    }
+    if (inputs.size() > 1 && !spec.multiInput()) {
+        fatal("network '%s', layer '%s' (#%d): %s takes exactly one input "
+              "edge (%zu given)",
+              netName.c_str(), spec.name.c_str(), idx,
+              layerKindName(spec.kind), inputs.size());
+    }
+    std::string err = spec.validateMulti(in_shapes);
+    if (!err.empty()) {
+        fatal("network '%s', layer '%s' (#%d): %s", netName.c_str(),
+              spec.name.c_str(), idx, err.c_str());
+    }
+    Shape out = spec.outShapeMulti(in_shapes);
+    if (spec.kind == LayerKind::Conv)
+        convIdx.push_back(idx);
+    specs.push_back(std::move(spec));
+    outShapes.push_back(out);
+    preds.push_back(inputs);
+    rebuildStages();
+    return idx;
 }
 
 Network &
@@ -56,24 +94,121 @@ Network::layer(int i) const
     return specs[static_cast<size_t>(i)];
 }
 
+const std::vector<int> &
+Network::predecessors(int i) const
+{
+    FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
+    return preds[static_cast<size_t>(i)];
+}
+
+std::vector<int>
+Network::successors(int i) const
+{
+    FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
+    std::vector<int> succ;
+    for (int j = i + 1; j < numLayers(); j++) {
+        const std::vector<int> &pj = preds[static_cast<size_t>(j)];
+        if (std::find(pj.begin(), pj.end(), i) != pj.end())
+            succ.push_back(j);
+    }
+    return succ;
+}
+
+int
+Network::soleInput(int i) const
+{
+    const std::vector<int> &p = predecessors(i);
+    if (p.size() != 1) {
+        panic("layer %d ('%s') of network '%s' joins %zu input edges; "
+              "callers that need a single predecessor must reject joins",
+              i, specs[static_cast<size_t>(i)].name.c_str(), netName.c_str(),
+              p.size());
+    }
+    return p.front();
+}
+
+int
+Network::fanOut(int i) const
+{
+    return static_cast<int>(successors(i).size());
+}
+
+bool
+Network::isPathRange(int first, int last) const
+{
+    if (first < 0 || last >= numLayers() || first > last)
+        return false;
+    if (predecessors(first).size() != 1)
+        return false;
+    for (int i = first + 1; i <= last; i++) {
+        const std::vector<int> &p = predecessors(i);
+        if (p.size() != 1 || p.front() != i - 1)
+            return false;
+    }
+    // No interior output may escape the range: a consumer outside
+    // [first, last] would need the intermediate materialized.
+    for (int i = first; i < last; i++) {
+        for (int s : successors(i)) {
+            if (s > last)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+Network::isChain() const
+{
+    return numLayers() == 0 || isPathRange(0, numLayers() - 1);
+}
+
+std::vector<int>
+Network::topoOrder() const
+{
+    std::vector<int> order(static_cast<size_t>(numLayers()));
+    for (int i = 0; i < numLayers(); i++)
+        order[static_cast<size_t>(i)] = i;
+    return order;
+}
+
+const Shape &
+Network::predShape(int p) const
+{
+    if (p == kInputNode)
+        return input;
+    FLCNN_ASSERT(p >= 0 && p < numLayers(), "predecessor index out of range");
+    return outShapes[static_cast<size_t>(p)];
+}
+
 const Shape &
 Network::inShape(int i) const
 {
     FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
-    return shapes[static_cast<size_t>(i)];
+    return predShape(preds[static_cast<size_t>(i)].front());
+}
+
+std::vector<Shape>
+Network::inShapes(int i) const
+{
+    const std::vector<int> &p = predecessors(i);
+    std::vector<Shape> shapes;
+    shapes.reserve(p.size());
+    for (int e : p)
+        shapes.push_back(predShape(e));
+    return shapes;
 }
 
 const Shape &
 Network::outShape(int i) const
 {
     FLCNN_ASSERT(i >= 0 && i < numLayers(), "layer index out of range");
-    return shapes[static_cast<size_t>(i) + 1];
+    return outShapes[static_cast<size_t>(i)];
 }
 
 const Shape &
 Network::outputShape() const
 {
-    return shapes.back();
+    return specs.empty() ? input : outShapes.back();
 }
 
 int
@@ -94,14 +229,29 @@ Network::rebuildStages()
     int pending_first = -1;  // start of an unattached Pad run
     for (int i = 0; i < numLayers(); i++) {
         const LayerSpec &spec = specs[static_cast<size_t>(i)];
-        if (!spec.fusable()) {
-            // Fusion applies only to the windowed prefix of the network;
-            // stop at the first non-fusable layer (e.g. FullyConnected).
+        const std::vector<int> &p = preds[static_cast<size_t>(i)];
+        // Fusion applies only to the leading path prefix: stop at the
+        // first non-fusable layer (e.g. FullyConnected), the first
+        // multi-input join, and the first node fed by something other
+        // than its index predecessor (a branch rejoining).
+        if (!spec.fusable())
             break;
+        if (p.size() != 1 || p.front() != i - 1)
+            break;
+        // A fan-out node ends the prefix *after* itself: its output is
+        // materialized for the side branch, so later stages can't be
+        // fused past it. The node's own stage is still recorded below.
+        bool branches = false;
+        for (int j = i + 1; j < numLayers(); j++) {
+            const std::vector<int> &pj = preds[static_cast<size_t>(j)];
+            if (std::count(pj.begin(), pj.end(), i) > 0 && j != i + 1)
+                branches = true;
         }
         if (spec.kind == LayerKind::Pad) {
             if (pending_first < 0)
                 pending_first = i;
+            if (branches)
+                break;
             continue;
         }
         if (spec.windowed()) {
@@ -111,6 +261,8 @@ Network::rebuildStages()
             st.last = i;
             stageList.push_back(st);
             pending_first = -1;
+            if (branches)
+                break;
             continue;
         }
         // Pointwise layer: attach to the preceding stage when one exists.
@@ -118,6 +270,8 @@ Network::rebuildStages()
             stageList.back().last == i - 1 && pending_first < 0) {
             stageList.back().last = i;
         }
+        if (branches)
+            break;
     }
 }
 
@@ -153,10 +307,20 @@ Network::str() const
 {
     std::string out = netName + " (input " + input.str() + ")\n";
     for (int i = 0; i < numLayers(); i++) {
-        char buf[200];
-        std::snprintf(buf, sizeof(buf), "  %2d. %-40s -> %s\n", i,
+        const std::vector<int> &p = preds[static_cast<size_t>(i)];
+        std::string from;
+        if (p.size() != 1 || p.front() != i - 1) {
+            from = " <- [";
+            for (size_t e = 0; e < p.size(); e++) {
+                from += e ? "," : "";
+                from += p[e] == kInputNode ? "in" : std::to_string(p[e]);
+            }
+            from += "]";
+        }
+        char buf[240];
+        std::snprintf(buf, sizeof(buf), "  %2d. %-40s -> %s%s\n", i,
                       specs[static_cast<size_t>(i)].str().c_str(),
-                      outShape(i).str().c_str());
+                      outShape(i).str().c_str(), from.c_str());
         out += buf;
     }
     return out;

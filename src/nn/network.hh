@@ -1,16 +1,31 @@
 /**
  * @file
- * Network container: an ordered list of layers with shape inference,
+ * Network container: a general layer DAG with shape inference,
  * validation, and extraction of the "fusable stages" that the paper's
  * partitioning operates on.
  *
- * A *stage* is one windowed layer (convolution or pooling) together with
- * its companion layers: any Pad layer(s) immediately before it and any
- * pointwise layers (ReLU, LRN) immediately after it. The paper's
+ * Nodes carry LayerSpec ops (conv, pool, activation, pad, elementwise
+ * add, depth concat, ...); edges carry tensor shapes. Nodes are stored
+ * in insertion order, which is a topological order by construction
+ * (addNode() only accepts already-present predecessors), so every
+ * historical chain caller — which indexes layers 0..n-1 and assumes
+ * layer i feeds layer i+1 — keeps working unchanged on networks built
+ * with add(): a chain is simply the path graph where node i's sole
+ * predecessor is node i-1. Callers that must assume a path shape
+ * (runRange, TilePlan, the executors) verify it with the explicit
+ * predecessor queries below instead of implicit `i - 1` arithmetic.
+ *
+ * A *stage* is one windowed layer (convolution or pooling) together
+ * with its companion layers: any Pad layer(s) immediately before it and
+ * any pointwise layers (ReLU, LRN) immediately after it. The paper's
  * partition space for a network with l stages is the 2^(l-1) ways of
- * splitting the stage sequence into contiguous fused groups (Section V-B:
- * AlexNet's 5 conv + 3 pool stages give 128 options; VGGNet-E's first
- * 5 conv + 2 pool stages give 64).
+ * splitting the stage sequence into contiguous fused groups (Section
+ * V-B: AlexNet's 5 conv + 3 pool stages give 128 options; VGGNet-E's
+ * first 5 conv + 2 pool stages give 64). Stages are extracted from the
+ * network's leading *path prefix* only: extraction stops at the first
+ * non-fusable op, the first multi-input join, and the first fan-out
+ * (an intermediate a later branch also consumes cannot be kept
+ * unmaterialized inside a pyramid).
  */
 
 #ifndef FLCNN_NN_NETWORK_HH
@@ -23,6 +38,9 @@
 #include "tensor/tensor.hh"
 
 namespace flcnn {
+
+/** Predecessor id of a node fed directly by the network input. */
+constexpr int kInputNode = -1;
 
 /**
  * One fusable stage: layer indices [first, last] into the network, with
@@ -41,15 +59,26 @@ struct Stage
     }
 };
 
-/** A feed-forward network: named sequence of layers over an input shape. */
+/** A feed-forward network: named DAG of layers over an input shape. */
 class Network
 {
   public:
     /** Construct an empty network over the given input shape. */
     Network(std::string name, Shape input);
 
-    /** Append a layer; fatal() on shape/parameter mismatch. */
+    /** Append a layer to the chain (its sole predecessor is the last
+     *  node added, or the network input); fatal() on shape/parameter
+     *  mismatch. */
     Network &add(LayerSpec spec);
+
+    /**
+     * Append a layer as a DAG node fed by @p inputs (node indices, or
+     * kInputNode for the network input; order defines Concat channel
+     * order). Multi-edge input lists are only legal for multiInput()
+     * kinds. Returns the new node's index. fatal() on bad predecessor
+     * ids, duplicate edges, or shape mismatch.
+     */
+    int addNode(LayerSpec spec, const std::vector<int> &inputs);
 
     /** Convenience: append Pad(p) + Conv + ReLU as three layers. */
     Network &addConvBlock(const std::string &base, int m, int k, int s,
@@ -65,13 +94,51 @@ class Network
     const LayerSpec &layer(int i) const;
     const std::vector<LayerSpec> &layers() const { return specs; }
 
-    /** Input shape of layer @p i. */
+    /** Predecessor node ids of layer @p i (kInputNode = the network
+     *  input). Size 1 for everything but Add/Concat joins. */
+    const std::vector<int> &predecessors(int i) const;
+
+    /** Successor node ids of layer @p i, ascending. */
+    std::vector<int> successors(int i) const;
+
+    /** The sole predecessor of layer @p i (kInputNode for a node fed
+     *  by the network input); panics on a multi-input join. This is
+     *  the explicit query chain-shaped callers use instead of
+     *  assuming `i - 1`. */
+    int soleInput(int i) const;
+
+    /** Out-degree of layer @p i (successor count; the last node's
+     *  output is additionally the network output). */
+    int fanOut(int i) const;
+
+    /**
+     * True when layers [first, last] form a path: layer first has a
+     * single input edge, every later layer's sole predecessor is its
+     * index predecessor, and no interior layer fans out to a node
+     * outside the range. This is the shape runRange and the fusion
+     * executors require; they check it explicitly.
+     */
+    bool isPathRange(int first, int last) const;
+
+    /** True when the whole network is one path graph (every network
+     *  built exclusively with add() is). */
+    bool isChain() const;
+
+    /** Node indices in a topological order. Insertion order is
+     *  topological by construction, so this is 0..n-1. */
+    std::vector<int> topoOrder() const;
+
+    /** Input shape of layer @p i (its first input edge; every edge of
+     *  an Add join carries this shape — see inShapes() for joins). */
     const Shape &inShape(int i) const;
+
+    /** Shapes of every input edge of layer @p i, in edge order. */
+    std::vector<Shape> inShapes(int i) const;
 
     /** Output shape of layer @p i. */
     const Shape &outShape(int i) const;
 
-    /** Output shape of the whole network. */
+    /** Output shape of the whole network (the last node added). */
     const Shape &outputShape() const;
 
     /** Indices of convolution layers, in network order (weight slots). */
@@ -82,8 +149,10 @@ class Network
     int convSlot(int layer_idx) const;
 
     /**
-     * Fusable stages of the network prefix: stage extraction stops at the
-     * first layer that cannot participate in fusion (e.g. FullyConnected).
+     * Fusable stages of the network's leading path prefix: stage
+     * extraction stops at the first layer that cannot participate in
+     * fusion (e.g. FullyConnected, a multi-input join, or a fan-out
+     * branch point).
      */
     const std::vector<Stage> &stages() const { return stageList; }
 
@@ -99,10 +168,15 @@ class Network
   private:
     void rebuildStages();
 
+    /** Shape carried by predecessor id @p p (the network input for
+     *  kInputNode). */
+    const Shape &predShape(int p) const;
+
     std::string netName;
     Shape input;
     std::vector<LayerSpec> specs;
-    std::vector<Shape> shapes;     //!< shapes[i] = output of layer i-1
+    std::vector<Shape> outShapes;          //!< outShapes[i] = output of i
+    std::vector<std::vector<int>> preds;   //!< input edges per node
     std::vector<int> convIdx;
     std::vector<Stage> stageList;
 };

@@ -339,8 +339,63 @@ runLayer(const LayerSpec &spec, const Tensor &in, const FilterBank *bank,
       case LayerKind::FullyConnected:
         FLCNN_ASSERT(dw != nullptr, "fc layer needs dense weights");
         return runFc(spec, in, *dw, ops);
+      case LayerKind::Add:
+      case LayerKind::Concat:
+        panic("layer '%s' (%s) joins several inputs; evaluate it with "
+              "runGraph(), not runLayer()",
+              spec.name.c_str(), layerKindName(spec.kind));
     }
     panic("unhandled layer kind");
+}
+
+Tensor
+runJoin(const LayerSpec &spec, const std::vector<const Tensor *> &ins,
+        OpCount *ops)
+{
+    FLCNN_ASSERT(!ins.empty(), "join layer needs input tensors");
+    std::vector<Shape> shapes;
+    shapes.reserve(ins.size());
+    for (const Tensor *t : ins)
+        shapes.push_back(t->shape());
+    Shape out_shape = spec.outShapeMulti(shapes);
+    Tensor out(out_shape);
+    if (spec.kind == LayerKind::Add) {
+        const Shape &s = out_shape;
+        parallelFor(
+            0, s.c,
+            [&](int64_t clo, int64_t chi) {
+                for (int c = static_cast<int>(clo); c < chi; c++) {
+                    for (int y = 0; y < s.h; y++) {
+                        for (int x = 0; x < s.w; x++) {
+                            // Edge order defines the summation order
+                            // (bit-exactness contract, DESIGN.md).
+                            float acc = (*ins[0])(c, y, x);
+                            for (size_t e = 1; e < ins.size(); e++)
+                                acc += (*ins[e])(c, y, x);
+                            out(c, y, x) = acc;
+                        }
+                    }
+                }
+            },
+            /*grain=*/4);
+        if (ops) {
+            ops->adds += static_cast<int64_t>(ins.size() - 1) *
+                         out_shape.elems();
+        }
+        return out;
+    }
+    FLCNN_ASSERT(spec.kind == LayerKind::Concat,
+                 "runJoin handles Add and Concat only");
+    int c_base = 0;
+    for (const Tensor *t : ins) {
+        const Shape &s = t->shape();
+        for (int c = 0; c < s.c; c++)
+            for (int y = 0; y < s.h; y++)
+                for (int x = 0; x < s.w; x++)
+                    out(c_base + c, y, x) = (*t)(c, y, x);
+        c_base += s.c;
+    }
+    return out;
 }
 
 Tensor
@@ -350,6 +405,9 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
     FLCNN_ASSERT(first_layer >= 0 && last_layer < net.numLayers() &&
                      first_layer <= last_layer,
                  "invalid layer range");
+    FLCNN_ASSERT(net.isPathRange(first_layer, last_layer),
+                 "runRange needs a path-shaped layer range (joins and "
+                 "branch-outs take runGraph)");
     FLCNN_ASSERT(in.shape() == net.inShape(first_layer),
                  "input shape does not match the first layer");
 
@@ -360,6 +418,11 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
             fc_slot++;
     }
     for (int i = first_layer; i <= last_layer; i++) {
+        // `cur` holds the output of this layer's sole predecessor:
+        // guaranteed by the isPathRange check above, asserted here
+        // rather than assumed from index adjacency.
+        FLCNN_ASSERT(i == first_layer || net.soleInput(i) == i - 1,
+                     "path range invariant violated");
         const LayerSpec &spec = net.layer(i);
         const FilterBank *bank = nullptr;
         const DenseWeights *dw = nullptr;
@@ -382,6 +445,9 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
     FLCNN_ASSERT(first_layer >= 0 && last_layer < net.numLayers() &&
                      first_layer <= last_layer,
                  "invalid layer range");
+    FLCNN_ASSERT(net.isPathRange(first_layer, last_layer),
+                 "runRange needs a path-shaped layer range (joins and "
+                 "branch-outs take runGraph)");
     FLCNN_ASSERT(in.shape() == net.inShape(first_layer),
                  "input shape does not match the first layer");
 
@@ -392,6 +458,8 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
             fc_slot++;
     }
     for (int i = first_layer; i <= last_layer; i++) {
+        FLCNN_ASSERT(i == first_layer || net.soleInput(i) == i - 1,
+                     "path range invariant violated");
         const LayerSpec &spec = net.layer(i);
         if (spec.kind == LayerKind::Conv) {
             const int slot = net.convSlot(i);
@@ -408,16 +476,84 @@ runRange(const Network &net, const NetworkWeights &weights, const Tensor &in,
 }
 
 Tensor
+runGraph(const Network &net, const NetworkWeights &weights, const Tensor &in,
+         OpCount *ops)
+{
+    FLCNN_ASSERT(net.numLayers() > 0, "cannot run an empty network");
+    FLCNN_ASSERT(in.shape() == net.inputShape(),
+                 "input shape does not match the network");
+
+    // Evaluate in topological order (= insertion order), dropping each
+    // intermediate after its last consumer so peak footprint matches a
+    // conventional scheduler's. FC slots are assigned in node order,
+    // consistent with runRange.
+    std::vector<Tensor> outs(static_cast<size_t>(net.numLayers()));
+    std::vector<int> remaining(static_cast<size_t>(net.numLayers()), 0);
+    for (int i = 0; i < net.numLayers(); i++) {
+        for (int p : net.predecessors(i)) {
+            if (p != kInputNode)
+                remaining[static_cast<size_t>(p)]++;
+        }
+    }
+    int fc_slot = 0;
+    for (int i = 0; i < net.numLayers(); i++) {
+        const LayerSpec &spec = net.layer(i);
+        const std::vector<int> &p = net.predecessors(i);
+        if (spec.multiInput()) {
+            std::vector<const Tensor *> srcs;
+            srcs.reserve(p.size());
+            for (int e : p)
+                srcs.push_back(e == kInputNode
+                                   ? &in
+                                   : &outs[static_cast<size_t>(e)]);
+            outs[static_cast<size_t>(i)] = runJoin(spec, srcs, ops);
+        } else {
+            const Tensor &src =
+                p.front() == kInputNode
+                    ? in
+                    : outs[static_cast<size_t>(p.front())];
+            const FilterBank *bank = nullptr;
+            const DenseWeights *dw = nullptr;
+            if (spec.kind == LayerKind::Conv)
+                bank = &weights.bank(net.convSlot(i));
+            if (spec.kind == LayerKind::FullyConnected)
+                dw = &weights.dense(fc_slot++);
+            outs[static_cast<size_t>(i)] = runLayer(spec, src, bank, dw, ops);
+        }
+        for (int e : p) {
+            if (e == kInputNode)
+                continue;
+            if (--remaining[static_cast<size_t>(e)] == 0 &&
+                e != net.numLayers() - 1) {
+                outs[static_cast<size_t>(e)] = Tensor();
+            }
+        }
+    }
+    return outs.back();
+}
+
+Tensor
 runNetwork(const Network &net, const NetworkWeights &weights,
            const Tensor &in, OpCount *ops)
 {
-    return runRange(net, weights, in, 0, net.numLayers() - 1, ops);
+    if (net.isChain())
+        return runRange(net, weights, in, 0, net.numLayers() - 1, ops);
+    return runGraph(net, weights, in, ops);
 }
 
 OpCount
 layerOpCount(const LayerSpec &spec, const Shape &in)
 {
     OpCount ops;
+    if (spec.kind == LayerKind::Add) {
+        // Two-input form (in = the shared edge shape): one add per
+        // output element per extra edge. Wider joins tally through
+        // runJoin's OpCount parameter.
+        ops.adds = in.elems();
+        return ops;
+    }
+    if (spec.kind == LayerKind::Concat)
+        return ops;  // pure data movement
     Shape out = spec.outShape(in);
     switch (spec.kind) {
       case LayerKind::Conv: {
@@ -458,6 +594,9 @@ layerOpCount(const LayerSpec &spec, const Shape &in)
         ops.mults = static_cast<int64_t>(spec.outChannels) * in.elems();
         ops.adds = ops.mults;
         break;
+      case LayerKind::Add:
+      case LayerKind::Concat:
+        break;  // handled before the switch
     }
     return ops;
 }

@@ -41,15 +41,25 @@ float poolPoint(const Tensor &in, int c, int y0, int x0, int kernel,
                 PoolMode mode, OpCount *ops);
 
 /** Execute a single layer on @p in, producing a fresh output tensor.
- *  @p bank must be non-null for Conv layers, @p dw for FC layers. */
+ *  @p bank must be non-null for Conv layers, @p dw for FC layers.
+ *  Multi-input kinds (Add, Concat) panic — use runJoin(). */
 Tensor runLayer(const LayerSpec &spec, const Tensor &in,
                 const FilterBank *bank, const DenseWeights *dw,
                 OpCount *ops);
 
+/** Execute a multi-input join layer (Add, Concat) over its predecessor
+ *  outputs, in edge order (which fixes Add's summation order and
+ *  Concat's channel order). */
+Tensor runJoin(const LayerSpec &spec,
+               const std::vector<const Tensor *> &ins, OpCount *ops);
+
 /**
  * Execute layers [first, last] of @p net on @p in, layer by layer,
  * materializing every intermediate tensor (the conventional evaluation
- * strategy the paper's baseline accelerator implements).
+ * strategy the paper's baseline accelerator implements). The range must
+ * be a path (Network::isPathRange): each layer's sole predecessor is
+ * queried explicitly, so joins and branch-outs are rejected up front
+ * instead of silently reading the wrong intermediate.
  */
 Tensor runRange(const Network &net, const NetworkWeights &weights,
                 const Tensor &in, int first_layer, int last_layer,
@@ -67,7 +77,17 @@ Tensor runRange(const Network &net, const NetworkWeights &weights,
                 const Tensor &in, int first_layer, int last_layer,
                 const NetPrecision *prec, OpCount *ops = nullptr);
 
-/** Execute the entire network. */
+/**
+ * Execute an arbitrary network DAG on @p in: evaluate every node in
+ * topological order, keeping each intermediate alive until its last
+ * consumer, joining Add/Concat nodes over their predecessor outputs.
+ * On a chain this computes exactly what runRange(0, n-1) computes.
+ */
+Tensor runGraph(const Network &net, const NetworkWeights &weights,
+                const Tensor &in, OpCount *ops = nullptr);
+
+/** Execute the entire network: runRange() on a chain, runGraph()
+ *  otherwise. */
 Tensor runNetwork(const Network &net, const NetworkWeights &weights,
                   const Tensor &in, OpCount *ops = nullptr);
 

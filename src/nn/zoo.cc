@@ -164,6 +164,42 @@ googlenetStem()
 }
 
 Network
+residualBlock()
+{
+    // A basic ResNet-style block: 3x3 conv / relu / 3x3 conv on the
+    // trunk, identity skip, elementwise add, final relu. Small enough
+    // for exhaustive differential tests; channel count preserved so
+    // the identity skip needs no projection.
+    Network net("residual-block", Shape{4, 14, 14});
+    int trunk_in = net.addNode(LayerSpec::padding("conv1_pad", 1),
+                               {kInputNode});
+    int c1 = net.addNode(LayerSpec::conv("conv1", 4, 3, 1), {trunk_in});
+    int r1 = net.addNode(LayerSpec::relu("relu1"), {c1});
+    int p2 = net.addNode(LayerSpec::padding("conv2_pad", 1), {r1});
+    int c2 = net.addNode(LayerSpec::conv("conv2", 4, 3, 1), {p2});
+    int join = net.addNode(LayerSpec::eltwiseAdd("add"), {c2, kInputNode});
+    net.addNode(LayerSpec::relu("relu_out"), {join});
+    return net;
+}
+
+Network
+inceptionJoin()
+{
+    // An inception-style split/join: a shared 1x1 stem fans out into a
+    // 1x1 branch and a padded 3x3 branch whose outputs concatenate
+    // along channels (GoogLeNet's depth-concat idiom).
+    Network net("inception-join", Shape{3, 12, 12});
+    int stem = net.addNode(LayerSpec::conv("stem", 8, 1, 1), {kInputNode});
+    int b1 = net.addNode(LayerSpec::conv("branch1x1", 4, 1, 1), {stem});
+    int b1r = net.addNode(LayerSpec::relu("branch1x1_relu"), {b1});
+    int b3p = net.addNode(LayerSpec::padding("branch3x3_pad", 1), {stem});
+    int b3 = net.addNode(LayerSpec::conv("branch3x3", 6, 3, 1), {b3p});
+    int b3r = net.addNode(LayerSpec::relu("branch3x3_relu"), {b3});
+    net.addNode(LayerSpec::depthConcat("concat"), {b1r, b3r});
+    return net;
+}
+
+Network
 tinyNet()
 {
     // The two-layer example of the paper's Figure 3: N input maps,

@@ -59,6 +59,19 @@ Network vggEPrefix(int num_convs);
  */
 Network googlenetStem();
 
+/**
+ * A basic ResNet-style residual block (pad+conv+relu+pad+conv trunk,
+ * identity skip, elementwise Add join, output relu): the smallest DAG
+ * with a fan-out and a multi-input join, for graph-executor tests.
+ */
+Network residualBlock();
+
+/**
+ * An inception-style split/join: a 1x1 stem fanning out into a 1x1
+ * branch and a padded 3x3 branch whose outputs depth-concatenate.
+ */
+Network inceptionJoin();
+
 /** A tiny 2-conv network used in the quickstart documentation. */
 Network tinyNet();
 

@@ -1,9 +1,6 @@
 #include "serve/engine.hh"
 
 #include "common/logging.hh"
-#include "nn/autotune_net.hh"
-#include "nn/reference.hh"
-#include "tune/autotune.hh"
 
 namespace flcnn {
 
@@ -35,89 +32,84 @@ engineKindFromName(const std::string &name)
           name.c_str());
 }
 
-ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
-    : mspec(spec), knd(kind)
+PlanEngine
+planEngineForKind(EngineKind k)
+{
+    switch (k) {
+      case EngineKind::Reference:  return PlanEngine::Reference;
+      case EngineKind::Fused:      return PlanEngine::Fused;
+      case EngineKind::LineBuffer: return PlanEngine::LineBuffer;
+      case EngineKind::Recompute:  return PlanEngine::Recompute;
+    }
+    panic("unreachable engine kind");
+}
+
+namespace {
+
+/** The engine's private plan: a copy of the registered template when
+ *  one exists (addModel already check()ed it), otherwise a fresh
+ *  declaration of the spec's layer range. */
+FusionPlan
+makeEnginePlan(const ModelSpec &spec)
 {
     FLCNN_ASSERT(spec.net && spec.weights, "model spec incomplete");
-    switch (knd) {
-      case EngineKind::Reference:
-        break;
-      case EngineKind::Fused:
-        fused = std::make_unique<FusedExecutor>(
-            *mspec.net, *mspec.weights,
-            TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
-                     mspec.tip, mspec.tip));
-        fused->setPrecision(mspec.precision);
-        fused->setFastMath(mspec.fastMath);
-        break;
-      case EngineKind::LineBuffer:
-        lineBuffer = std::make_unique<LineBufferExecutor>(
-            *mspec.net, *mspec.weights, mspec.firstLayer,
-            mspec.lastLayer);
-        lineBuffer->setPrecision(mspec.precision);
-        lineBuffer->setFastMath(mspec.fastMath);
-        break;
-      case EngineKind::Recompute:
-        recompute = std::make_unique<RecomputeExecutor>(
-            *mspec.net, *mspec.weights,
-            TilePlan(*mspec.net, mspec.firstLayer, mspec.lastLayer,
-                     mspec.tip, mspec.tip));
-        recompute->setPrecision(mspec.precision);
-        recompute->setFastMath(mspec.fastMath);
-        break;
+    if (spec.plan)
+        return *spec.plan;  // copies the declaration, not compiled state
+    FusionPlan plan(*spec.net, *spec.weights);
+    plan.addRange(spec.firstLayer, spec.lastLayer);
+    return plan;
+}
+
+} // namespace
+
+ServeEngine::ServeEngine(const ModelSpec &spec, EngineKind kind)
+    : mspec(spec), knd(kind), fplan(makeEnginePlan(spec))
+{
+}
+
+void
+ServeEngine::compileNow()
+{
+    PlanCompileOptions opt;
+    opt.engine = planEngineForKind(knd);
+    opt.tip = mspec.tip;
+    opt.precision = mspec.precision;
+    opt.fastMath = mspec.fastMath;
+    opt.tuneFirst = mspec.tuneAtWarmup;
+    CompileStatus st = fplan.compile(opt);
+    if (st != CompileStatus::Ok) {
+        fatal("model '%s': fusion plan does not compile onto the %s "
+              "engine (%s)",
+              mspec.name.c_str(), engineKindName(knd),
+              fplan.diagnostic().c_str());
     }
 }
 
 Tensor
 ServeEngine::run(const Tensor &input)
 {
-    switch (knd) {
-      case EngineKind::Reference:
-        return runRange(*mspec.net, *mspec.weights, input,
-                        mspec.firstLayer, mspec.lastLayer,
-                        mspec.precision);
-      case EngineKind::Fused:
-        return fused->run(input);
-      case EngineKind::LineBuffer:
-        return lineBuffer->run(input);
-      case EngineKind::Recompute:
-        return recompute->run(input);
+    if (!fplan.compiled()) {
+        lazyCount++;
+        compileNow();
     }
-    panic("unreachable engine kind");
+    return fplan.execute(input);
 }
 
 void
 ServeEngine::runInto(const Tensor &input, Tensor *out)
 {
-    switch (knd) {
-      case EngineKind::Fused:
-        fused->runInto(input, out);
-        return;
-      case EngineKind::LineBuffer:
-        lineBuffer->runInto(input, out);
-        return;
-      case EngineKind::Recompute:
-        recompute->runInto(input, out);
-        return;
-      case EngineKind::Reference:
-        break;
+    if (!fplan.compiled()) {
+        lazyCount++;
+        compileNow();
     }
-    panic("runInto() on an engine without in-place output support");
+    fplan.executeInto(input, out);
 }
 
 void
 ServeEngine::warmup()
 {
-    if (mspec.tuneAtWarmup) {
-        const Precision mode = mspec.precision
-                                   ? mspec.precision->mode()
-                                   : Precision::Fp32;
-        autotuneQueries(convQueriesForRange(
-            *mspec.net, mspec.firstLayer, mspec.lastLayer, mode,
-            mspec.fastMath && mode == Precision::Fp32));
-    }
-    Tensor zero(mspec.net->inShape(mspec.firstLayer));
-    (void)run(zero);
+    if (!fplan.compiled())
+        compileNow();
 }
 
 } // namespace flcnn

@@ -1,17 +1,21 @@
 /**
  * @file
- * ServeEngine: one worker's pinned executor for one model.
+ * ServeEngine: one worker's pinned fusion plan for one model.
  *
- * Every serving worker owns one engine per registered model, built
- * once at startup. An engine wraps one of the repo's bit-exact
- * evaluation strategies behind a uniform run() — the reuse-model
- * pyramid executor, the row-streaming line buffer, the recompute
- * executor, or the layer-by-layer reference — so the serving layer is
- * agnostic to which dataflow the deployment picked. The fused and
- * recompute engines build their TilePlan at construction; all
- * windowed engines own a WeightPackCache that is populated by an
- * explicit warmup() (one zero-image run) before the server starts
- * taking traffic, so first requests do not pay the packing cost.
+ * Every serving worker owns one engine per registered model. An engine
+ * wraps a FusionPlan (fusion/fusion_plan.hh) compiled onto one of the
+ * repo's bit-exact evaluation strategies — the reuse-model pyramid
+ * executor, the row-streaming line buffer, the recompute executor, or
+ * the layer-by-layer reference — so the serving layer is agnostic to
+ * which dataflow the deployment picked.
+ *
+ * The boundary is compile-once / execute-many: addModel() validates a
+ * plan template against the supported-fusions table (a typed
+ * CompileStatus fatal at registration, never a silent fallback),
+ * warmup() compiles each worker's private copy (solver resolution,
+ * executor build, weight pre-packing, optional autotune), and the
+ * steady-state request loop only calls execute(). A run() before any
+ * warmup compiles lazily, once, and is counted (lazyCompiles()).
  *
  * All engines produce outputs bit-identical to nn::runRange over the
  * same layer range — the property the serving differential tests
@@ -24,9 +28,7 @@
 #include <memory>
 #include <string>
 
-#include "fusion/fused_executor.hh"
-#include "fusion/line_buffer_executor.hh"
-#include "fusion/recompute_executor.hh"
+#include "fusion/fusion_plan.hh"
 #include "nn/network.hh"
 #include "nn/weights.hh"
 #include "serve/request.hh"
@@ -48,6 +50,10 @@ const char *engineKindName(EngineKind k);
  *  "recompute"); fatal()s on anything else. */
 EngineKind engineKindFromName(const std::string &name);
 
+/** The fusion-plan engine realizing an EngineKind (serve's enum maps
+ *  onto fusion's — fusion/ cannot depend on serve/). */
+PlanEngine planEngineForKind(EngineKind k);
+
 /** One model as registered with the server. The referenced network
  *  and weights must outlive every engine built from the spec. */
 struct ModelSpec
@@ -66,10 +72,11 @@ struct ModelSpec
      *  non-fp32 precision modes and by the Reference engine — both
      *  always stay exact. */
     bool fastMath = false;
-    /** Autotune every conv layer of the range during warmup() (results
-     *  land in the process-wide tune cache, so the serving loop runs
-     *  tuned plans from the first request). Warm tune-cache entries
-     *  make this a no-op — tune once per machine, serve forever. */
+    /** Autotune every conv layer of the range when the plan compiles
+     *  (results land in the process-wide tune cache, so the serving
+     *  loop runs tuned plans from the first request). Warm tune-cache
+     *  entries make this a no-op — tune once per machine, serve
+     *  forever. */
     bool tuneAtWarmup = false;
     /** Service class: latency-critical models batch first and carry a
      *  p99 budget; best-effort models are shed at admission when the
@@ -78,15 +85,22 @@ struct ModelSpec
     /** p99 latency budget in milliseconds (latency-critical models;
      *  0 = unspecified, disables shedding on this model's behalf). */
     double p99BudgetMs = 0.0;
+    /** Plan template registered by addModel(): the op sequence,
+     *  already check()ed against the server's engine kind. Uncompiled
+     *  (compiled plans pin per-worker executors); every worker engine
+     *  copies it and compiles privately at warmup. Null = the engine
+     *  declares its own plan from [firstLayer, lastLayer]. */
+    std::shared_ptr<const FusionPlan> plan;
 };
 
-/** A pinned per-worker executor instance for one model. */
+/** A pinned per-worker fusion plan instance for one model. */
 class ServeEngine
 {
   public:
     ServeEngine(const ModelSpec &spec, EngineKind kind);
 
-    /** Evaluate one image; bit-identical to the reference range. */
+    /** Evaluate one image; bit-identical to the reference range.
+     *  Compiles the plan lazily (counted) if warmup() was skipped. */
     Tensor run(const Tensor &input);
 
     /** As run(), but store into @p out (shape must be outShape()).
@@ -105,21 +119,29 @@ class ServeEngine
     /** Input shape the served range expects. */
     Shape inShape() const { return mspec.net->inShape(mspec.firstLayer); }
 
-    /** One throwaway zero-image run: builds the weight-pack cache (and
-     *  touches every buffer) before traffic arrives. */
+    /** Compile the plan: resolve solvers (autotuning first when the
+     *  spec asks), build the executor, pre-pack weights. Idempotent;
+     *  fatal()s with the typed status if the plan does not compile. */
     void warmup();
 
     EngineKind kind() const { return knd; }
     const ModelSpec &spec() const { return mspec; }
 
+    /** The engine's pinned plan (compiled after warmup() or the first
+     *  run()). */
+    const FusionPlan &plan() const { return fplan; }
+
+    /** Number of run()/runInto() calls that had to compile lazily
+     *  because warmup() was skipped (0 on the compile-once path). */
+    int lazyCompiles() const { return lazyCount; }
+
   private:
+    void compileNow();
+
     ModelSpec mspec;
     EngineKind knd;
-    // Exactly one of these is live, matching `knd` (Reference uses
-    // none — runRange has no persistent state).
-    std::unique_ptr<FusedExecutor> fused;
-    std::unique_ptr<LineBufferExecutor> lineBuffer;
-    std::unique_ptr<RecomputeExecutor> recompute;
+    FusionPlan fplan;
+    int lazyCount = 0;
 };
 
 } // namespace flcnn

@@ -54,6 +54,27 @@ InferenceServer::addModel(const std::string &name, const Network &net,
     spec.tuneAtWarmup = tune_at_warmup;
     spec.slo = slo;
     spec.p99BudgetMs = p99_budget_ms;
+
+    // Register the fusion-plan template and validate it against the
+    // supported-fusions table now, so an unsupported combination is a
+    // typed error at registration — not a surprise inside a worker
+    // thread, and never a silent fallback to another engine.
+    auto plan = std::make_shared<FusionPlan>(net, weights);
+    plan->addRange(first_layer, last_layer);
+    PlanCompileOptions popt;
+    popt.engine = planEngineForKind(cfg.engine);
+    popt.tip = cfg.tip;
+    popt.precision = precision;
+    popt.fastMath = fast_math;
+    CompileStatus st = plan->check(popt);
+    if (st != CompileStatus::Ok) {
+        fatal("model '%s': fusion plan rejected for the %s engine "
+              "(%s)",
+              name.c_str(), engineKindName(cfg.engine),
+              plan->diagnostic().c_str());
+    }
+    spec.plan = std::move(plan);
+
     specs.push_back(std::move(spec));
     return static_cast<int>(specs.size()) - 1;
 }

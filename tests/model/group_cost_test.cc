@@ -193,5 +193,58 @@ TEST(Explorer, DtypeThreadsThroughExploration)
     }
 }
 
+
+TEST(GroupCost, PlanCellPricesLikeTheStageGroup)
+{
+    // A path-shaped fusion plan spanning whole stages reads the exact
+    // table entry the equivalent StageGroup reads — plan-based and
+    // range-based pipelines price bit-identically.
+    Network net = vggEPrefix(5);
+    NetworkWeights w(net);
+    GroupCostCache cache(net);
+    const int stages = cache.numStages();
+    ASSERT_GE(stages, 2);
+    for (int a = 0; a < stages; a++) {
+        for (int b = a; b < stages; b++) {
+            FusionPlan plan(net, w);
+            plan.addRange(net.stages()[static_cast<size_t>(a)].first,
+                          net.stages()[static_cast<size_t>(b)].last);
+            const GroupCostCache::Cell &pc = cache.planCell(net, plan);
+            const GroupCostCache::Cell &gc = cache.cell(a, b);
+            EXPECT_EQ(&pc, &gc) << a << ".." << b;
+        }
+    }
+}
+
+TEST(GroupCost, PlanCellWorksOnACompiledPlan)
+{
+    Network net = alexnetFusedPrefix();
+    Rng rng(3);
+    NetworkWeights w(net, rng);
+    GroupCostCache cache(net);
+    FusionPlan plan(net, w);
+    plan.addRange(net.stages().front().first,
+                  net.stages().back().last);
+    PlanCompileOptions opt;
+    opt.engine = PlanEngine::LineBuffer;
+    ASSERT_EQ(plan.compile(opt), CompileStatus::Ok)
+        << plan.diagnostic();
+    const GroupCostCache::Cell &c = cache.planCell(net, plan);
+    EXPECT_EQ(&c, &cache.cell(0, cache.numStages() - 1));
+}
+
+TEST(GroupCostDeath, PlanCellRejectsStageMisalignedPlans)
+{
+    Network net = vggEPrefix(5);
+    NetworkWeights w(net);
+    GroupCostCache cache(net);
+    const Stage &s0 = net.stages().front();
+    ASSERT_GT(s0.last, s0.first);  // conv block: pad + conv + relu
+    FusionPlan plan(net, w);
+    plan.addRange(s0.first, s0.last - 1);  // stops mid-stage
+    EXPECT_DEATH((void)cache.planCell(net, plan),
+                 "does not span whole stages");
+}
+
 } // namespace
 } // namespace flcnn

@@ -146,5 +146,166 @@ TEST(Network, DescriptionMentionsEveryLayer)
     EXPECT_NE(s.find("layer2"), std::string::npos);
 }
 
+
+// ---------------------------------------------------------------------
+// DAG graph API
+// ---------------------------------------------------------------------
+
+TEST(NetworkGraph, ChainIsAPathGraph)
+{
+    Network net = tinyNet();
+    EXPECT_TRUE(net.isChain());
+    EXPECT_TRUE(net.isPathRange(0, net.numLayers() - 1));
+    EXPECT_EQ(net.predecessors(0), std::vector<int>{kInputNode});
+    EXPECT_EQ(net.predecessors(1), std::vector<int>{0});
+    EXPECT_EQ(net.soleInput(0), kInputNode);
+    EXPECT_EQ(net.soleInput(1), 0);
+    EXPECT_EQ(net.successors(0), std::vector<int>{1});
+    EXPECT_TRUE(net.successors(1).empty());
+    EXPECT_EQ(net.fanOut(0), 1);
+    EXPECT_EQ(net.fanOut(1), 0);
+}
+
+TEST(NetworkGraph, SingleNodeGraph)
+{
+    // Regression for the chain-only predecessor sweep: a 1-node graph
+    // has no layer i-1 to implicitly index.
+    Network net("one", Shape{2, 5, 5});
+    net.add(LayerSpec::conv("only", 3, 3, 1));
+    EXPECT_TRUE(net.isChain());
+    EXPECT_TRUE(net.isPathRange(0, 0));
+    EXPECT_EQ(net.soleInput(0), kInputNode);
+    EXPECT_TRUE(net.successors(0).empty());
+    EXPECT_EQ(net.inShape(0), (Shape{2, 5, 5}));
+    EXPECT_EQ(net.outputShape(), (Shape{3, 3, 3}));
+}
+
+TEST(NetworkGraph, TwoNodeGraphBuiltWithAddNode)
+{
+    Network net("two", Shape{2, 5, 5});
+    int a = net.addNode(LayerSpec::conv("a", 3, 3, 1), {kInputNode});
+    int b = net.addNode(LayerSpec::relu("b"), {a});
+    EXPECT_EQ(a, 0);
+    EXPECT_EQ(b, 1);
+    EXPECT_TRUE(net.isChain());
+    EXPECT_EQ(net.soleInput(b), a);
+    EXPECT_EQ(net.inShape(b), net.outShape(a));
+}
+
+TEST(NetworkGraph, TopoOrderIsInsertionOrder)
+{
+    Network net = residualBlock();
+    std::vector<int> order = net.topoOrder();
+    ASSERT_EQ(static_cast<int>(order.size()), net.numLayers());
+    for (int i = 0; i < net.numLayers(); i++) {
+        EXPECT_EQ(order[static_cast<size_t>(i)], i);
+        for (int p : net.predecessors(i))
+            EXPECT_LT(p, i);
+    }
+}
+
+TEST(NetworkGraph, ResidualBlockShapesAndJoin)
+{
+    Network net = residualBlock();
+    EXPECT_FALSE(net.isChain());
+    // The Add node joins the trunk output and the network input.
+    int join = -1;
+    for (int i = 0; i < net.numLayers(); i++) {
+        if (net.layer(i).kind == LayerKind::Add)
+            join = i;
+    }
+    ASSERT_GE(join, 0);
+    EXPECT_EQ(net.predecessors(join).size(), 2u);
+    EXPECT_EQ(net.outShape(join), net.inputShape());
+    EXPECT_EQ(net.outputShape(), net.inputShape());
+}
+
+TEST(NetworkGraph, ConcatSumsChannels)
+{
+    Network net = inceptionJoin();
+    EXPECT_FALSE(net.isChain());
+    EXPECT_EQ(net.outputShape(), (Shape{10, 12, 12}));
+    // The stem fans out to both branches.
+    EXPECT_EQ(net.fanOut(0), 2);
+}
+
+TEST(NetworkGraph, PathRangeRejectsJoinAndEscape)
+{
+    Network net = residualBlock();
+    // Whole network contains a join -> not a path.
+    EXPECT_FALSE(net.isPathRange(0, net.numLayers() - 1));
+    // The trunk [0, 4] is a path: the skip edge the Add consumes comes
+    // from the network input, not from an interior trunk node.
+    EXPECT_TRUE(net.isPathRange(0, 4));
+    // inceptionJoin: the stem (node 0) fans out to node 1 and node 3,
+    // so any interior range ending between them leaks an intermediate.
+    Network inc = inceptionJoin();
+    EXPECT_FALSE(inc.isPathRange(0, 2));
+    EXPECT_TRUE(inc.isPathRange(1, 2));
+}
+
+TEST(NetworkGraph, StagesStopAtJoinAndFanOut)
+{
+    // Chain prefix stages keep working; extraction stops at the first
+    // fan-out / join so no stage range crosses a DAG feature.
+    Network net = residualBlock();
+    for (const Stage &st : net.stages()) {
+        EXPECT_TRUE(net.isPathRange(st.first, st.last));
+        for (int i = st.first; i <= st.last; i++)
+            EXPECT_FALSE(net.layer(i).multiInput());
+    }
+    Network inc = inceptionJoin();
+    // The stem's stage may survive, but nothing beyond the fan-out.
+    for (const Stage &st : inc.stages())
+        EXPECT_LE(st.last, 0);
+}
+
+TEST(NetworkGraphDeath, AddRejectsMultiInputKinds)
+{
+    Network net("j", Shape{2, 4, 4});
+    net.add(LayerSpec::relu("r"));
+    EXPECT_EXIT(net.add(LayerSpec::eltwiseAdd("a")),
+                ::testing::ExitedWithCode(1), "input edges");
+}
+
+TEST(NetworkGraphDeath, AddNodeValidatesEdges)
+{
+    Network net("j", Shape{2, 4, 4});
+    int r = net.addNode(LayerSpec::relu("r"), {kInputNode});
+    EXPECT_EXIT(net.addNode(LayerSpec::relu("fwd"), {5}),
+                ::testing::ExitedWithCode(1), "does not exist");
+    EXPECT_EXIT(net.addNode(LayerSpec::eltwiseAdd("dup"), {r, r}),
+                ::testing::ExitedWithCode(1), "duplicate input edge");
+    EXPECT_EXIT(
+        net.addNode(LayerSpec::conv("two-in", 2, 3, 1), {r, kInputNode}),
+        ::testing::ExitedWithCode(1), "exactly one input");
+}
+
+TEST(NetworkGraphDeath, SoleInputPanicsOnJoin)
+{
+    Network net("j", Shape{2, 4, 4});
+    int r = net.addNode(LayerSpec::relu("r"), {kInputNode});
+    int a = net.addNode(LayerSpec::eltwiseAdd("a"), {r, kInputNode});
+    EXPECT_DEATH((void)net.soleInput(a), "joins");
+}
+
+TEST(NetworkGraphDeath, AddNodeShapeMismatchIsFatal)
+{
+    Network net("j", Shape{2, 4, 4});
+    int c = net.addNode(LayerSpec::conv("c", 3, 3, 1), {kInputNode});
+    // Add of {3,2,2} and the {2,4,4} input: shapes differ.
+    EXPECT_EXIT(
+        net.addNode(LayerSpec::eltwiseAdd("bad"), {c, kInputNode}),
+        ::testing::ExitedWithCode(1), "identical shapes");
+}
+
+TEST(NetworkGraph, StrShowsNonChainEdges)
+{
+    Network net = residualBlock();
+    std::string s = net.str();
+    EXPECT_NE(s.find("<- ["), std::string::npos);
+    EXPECT_NE(s.find("in"), std::string::npos);
+}
+
 } // namespace
 } // namespace flcnn

@@ -231,5 +231,172 @@ TEST(ReferenceDeath, MissingWeightsPanics)
                  "filter bank");
 }
 
+
+// ---------------------------------------------------------------------
+// DAG evaluation: runJoin / runGraph / runNetwork routing
+// ---------------------------------------------------------------------
+
+TEST(ReferenceGraph, RunGraphMatchesManualResidualComposition)
+{
+    Network net = residualBlock();
+    Rng wrng(7);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape());
+    Rng irng(8);
+    in.fillRandom(irng);
+
+    // Hand-compose: trunk path [0, 4], then the Add join over
+    // {trunk, input} in edge order, then the output ReLU.
+    Tensor trunk = runRange(net, w, in, 0, 4);
+    Tensor sum = runJoin(net.layer(5), {&trunk, &in}, nullptr);
+    Tensor expect = runLayer(net.layer(6), sum, nullptr, nullptr,
+                             nullptr);
+
+    Tensor got = runGraph(net, w, in);
+    EXPECT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < got.elems(); i++)
+        ASSERT_EQ(got.data()[i], expect.data()[i]) << "elem " << i;
+}
+
+TEST(ReferenceGraph, RunGraphMatchesManualInceptionComposition)
+{
+    Network net = inceptionJoin();
+    Rng wrng(11);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape());
+    Rng irng(12);
+    in.fillRandom(irng);
+
+    Tensor stem = runRange(net, w, in, 0, 0);
+    Tensor b1 = runRange(net, w, stem, 1, 2);
+    Tensor b3 = runRange(net, w, stem, 3, 5);
+    Tensor expect = runJoin(net.layer(6), {&b1, &b3}, nullptr);
+
+    Tensor got = runGraph(net, w, in);
+    ASSERT_EQ(got.shape(), (Shape{10, 12, 12}));
+    ASSERT_EQ(got.shape(), expect.shape());
+    for (int64_t i = 0; i < got.elems(); i++)
+        ASSERT_EQ(got.data()[i], expect.data()[i]) << "elem " << i;
+}
+
+TEST(ReferenceGraph, RunJoinAddSumsInEdgeOrder)
+{
+    LayerSpec add = LayerSpec::eltwiseAdd("a");
+    Tensor a(1, 2, 2), b(1, 2, 2), c(1, 2, 2);
+    a.fill(1.0f);
+    b.fill(2.0f);
+    c.fill(4.0f);
+    OpCount ops;
+    Tensor out = runJoin(add, {&a, &b, &c}, &ops);
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 7.0f);
+    EXPECT_FLOAT_EQ(out(0, 1, 1), 7.0f);
+    // (nins - 1) adds per element.
+    EXPECT_EQ(ops.adds, 2 * out.elems());
+}
+
+TEST(ReferenceGraph, RunJoinConcatStacksChannelBlocks)
+{
+    LayerSpec cat = LayerSpec::depthConcat("c");
+    Tensor a(2, 2, 2), b(3, 2, 2);
+    a.fill(1.0f);
+    b.fill(2.0f);
+    Tensor out = runJoin(cat, {&a, &b}, nullptr);
+    ASSERT_EQ(out.shape(), (Shape{5, 2, 2}));
+    EXPECT_FLOAT_EQ(out(0, 0, 0), 1.0f);
+    EXPECT_FLOAT_EQ(out(1, 1, 1), 1.0f);
+    EXPECT_FLOAT_EQ(out(2, 0, 0), 2.0f);
+    EXPECT_FLOAT_EQ(out(4, 1, 1), 2.0f);
+}
+
+TEST(ReferenceGraph, RunGraphOnChainEqualsRunRange)
+{
+    Network net = tinyNet();
+    Rng wrng(21);
+    NetworkWeights w(net, wrng);
+    Tensor in(net.inputShape());
+    Rng irng(22);
+    in.fillRandom(irng);
+
+    Tensor ranged = runRange(net, w, in, 0, net.numLayers() - 1);
+    Tensor graphed = runGraph(net, w, in);
+    ASSERT_EQ(graphed.shape(), ranged.shape());
+    for (int64_t i = 0; i < graphed.elems(); i++)
+        ASSERT_EQ(graphed.data()[i], ranged.data()[i]);
+}
+
+TEST(ReferenceGraph, RunNetworkRoutesChainAndGraph)
+{
+    // Chain: runNetwork must be bit-identical to runRange.
+    Network chain = tinyNet();
+    Rng r1(31);
+    NetworkWeights wc(chain, r1);
+    Tensor cin(chain.inputShape());
+    Rng r2(32);
+    cin.fillRandom(r2);
+    Tensor via_net = runNetwork(chain, wc, cin);
+    Tensor via_range = runRange(chain, wc, cin, 0,
+                                chain.numLayers() - 1);
+    for (int64_t i = 0; i < via_net.elems(); i++)
+        ASSERT_EQ(via_net.data()[i], via_range.data()[i]);
+
+    // DAG: runNetwork must be bit-identical to runGraph.
+    Network dag = residualBlock();
+    Rng r3(33);
+    NetworkWeights wd(dag, r3);
+    Tensor din(dag.inputShape());
+    Rng r4(34);
+    din.fillRandom(r4);
+    Tensor g1 = runNetwork(dag, wd, din);
+    Tensor g2 = runGraph(dag, wd, din);
+    for (int64_t i = 0; i < g1.elems(); i++)
+        ASSERT_EQ(g1.data()[i], g2.data()[i]);
+}
+
+TEST(ReferenceGraph, RunRangeOnOneAndTwoNodeGraphs)
+{
+    // Regression for the chain-only predecessor sweep: ranges at the
+    // very front of a graph have no layer i-1 to implicitly index.
+    Network one("one", Shape{2, 5, 5});
+    one.add(LayerSpec::conv("c", 3, 3, 1));
+    Rng r1(41);
+    NetworkWeights w1(one, r1);
+    Tensor in1(one.inputShape());
+    Rng r2(42);
+    in1.fillRandom(r2);
+    Tensor o1 = runRange(one, w1, in1, 0, 0);
+    EXPECT_EQ(o1.shape(), one.outputShape());
+
+    Network two("two", Shape{2, 5, 5});
+    two.add(LayerSpec::conv("c", 3, 3, 1));
+    two.add(LayerSpec::relu("r"));
+    Rng r3(43);
+    NetworkWeights w2(two, r3);
+    Tensor o2 = runRange(two, w2, in1, 0, 1);
+    EXPECT_EQ(o2.shape(), two.outputShape());
+    // And the suffix [1, 1] alone, whose predecessor is layer 0.
+    Tensor mid = runRange(two, w2, in1, 0, 0);
+    Tensor o3 = runRange(two, w2, mid, 1, 1);
+    for (int64_t i = 0; i < o2.elems(); i++)
+        ASSERT_EQ(o2.data()[i], o3.data()[i]);
+}
+
+TEST(ReferenceGraphDeath, RunLayerRejectsJoins)
+{
+    LayerSpec add = LayerSpec::eltwiseAdd("a");
+    Tensor in(1, 2, 2);
+    EXPECT_DEATH(runLayer(add, in, nullptr, nullptr, nullptr),
+                 "runGraph");
+}
+
+TEST(ReferenceGraphDeath, RunRangeRejectsNonPathRanges)
+{
+    Network net = residualBlock();
+    Rng rng(51);
+    NetworkWeights w(net, rng);
+    Tensor in(net.inputShape());
+    EXPECT_DEATH(runRange(net, w, in, 0, net.numLayers() - 1),
+                 "path-shaped");
+}
+
 } // namespace
 } // namespace flcnn
