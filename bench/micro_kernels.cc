@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "dse/sweep.hh"
 #include "fusion/fused_executor.hh"
 #include "fusion/line_buffer_executor.hh"
 #include "fusion/recompute_executor.hh"
@@ -280,6 +281,59 @@ BENCHMARK(BM_ExploreFusionSpace)
     ->Args({10, 0})  // 13 stages, 4096 partitions: the group-cost
                      // cache case (one model eval per range, not per
                      // partition)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DseChainSweep(benchmark::State &state)
+{
+    // The schedule-space engine restricted to the paper's chain space:
+    // same 2^(l-1) enumeration as BM_ExploreFusionSpace but pricing the
+    // full latency/energy/buffer surface per partition.
+    Network net = vggEPrefix(static_cast<int>(state.range(0)));
+    dse::SweepOptions opt;
+    opt.space = dse::Space::Chain;
+    opt.cost.withRecompute = true;
+    int64_t visited = 0;
+    for (auto _ : state) {
+        dse::SweepResult res = runSweep(net, opt);
+        visited = res.pointsVisited;
+        benchmark::DoNotOptimize(res.front.size());
+    }
+    state.counters["points"] = static_cast<double>(visited);
+    state.counters["points_per_s"] = benchmark::Counter(
+        static_cast<double>(visited) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DseChainSweep)
+    ->Arg(5)   // 7 stages, 64 partitions
+    ->Arg(10)  // 13 stages, 4096 partitions
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_DseLoopTreeSweep(benchmark::State &state)
+{
+    // The enlarged LoopTree space under a fixed point budget: prefix
+    // DP over per-range schedule variants (tile heights, retain
+    // ladders, alternate dataflows) plus the exact chain DP.
+    Network net = vggEPrefix(static_cast<int>(state.range(0)));
+    dse::SweepOptions opt;
+    opt.space = dse::Space::LoopTree;
+    opt.cost.withRecompute = true;
+    opt.pointBudget = state.range(1);
+    int64_t visited = 0;
+    for (auto _ : state) {
+        dse::SweepResult res = runSweep(net, opt);
+        visited = res.pointsVisited;
+        benchmark::DoNotOptimize(res.front.size());
+    }
+    state.counters["points"] = static_cast<double>(visited);
+    state.counters["points_per_s"] = benchmark::Counter(
+        static_cast<double>(visited) * state.iterations(),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DseLoopTreeSweep)
+    ->Args({5, 50'000})
+    ->Args({10, 200'000})
     ->Unit(benchmark::kMillisecond);
 
 void

@@ -26,7 +26,13 @@ Runs, in order:
   5. a multi-tenant serving run (--models with mixed lc/be SLO
      classes; open-loop overload at full scale, a small closed loop
      with --quick) into the "serve_mt" section, carrying per-model
-     and per-SLO-class latency percentiles plus the shed count.
+     and per-SLO-class latency percentiles plus the shed count;
+  6. the design-space sweep engine (examples/explore_vgg
+     --pareto-json, schema flcnn-pareto-v1) once per space — the
+     chain space (full VGGNet-E, 2^20 partitions; a 13-stage prefix
+     with --quick) and the enlarged LoopTree space — folding each
+     sweep's points visited, wall seconds, points/sec throughput and
+     frontier sizes into the "dse" section.
 
 The output file records the git revision, host info, every
 google-benchmark result, and the raw tables, so before/after runs can
@@ -44,7 +50,12 @@ mode's percentiles carry a dtype-prefixed key (e.g. "int8.total.p99")
 and gate independently. The multi-tenant run's percentiles gate
 per SLO class ("mt.latency_critical.p99", "mt.best_effort.p95") and
 per model ("mt.m0.alexnet.p99"), so a change that helps the aggregate
-but blows the latency-critical tail still fails the gate.
+but blows the latency-critical tail still fails the gate. The dse
+section's sweep throughput ("dse.chain.points_per_sec",
+"dse.looptree.points_per_sec") gates as a rate: a drop beyond the
+threshold fails, so a pricer or pruning change that quietly slows
+the 10^6-point sweeps shows up in CI-adjacent runs, not in a user's
+ten-minute exploration.
 """
 
 import argparse
@@ -215,6 +226,40 @@ def compare_serve(prev, cur, regression_pct):
     return regressed
 
 
+def dse_rates(report):
+    """Map "dse.<space>.points_per_sec" -> sweep throughput. Empty if
+    the report predates the dse section. Rates gate inverted relative
+    to latencies: lower is worse."""
+    out = {}
+    for space, doc in report.get("dse", {}).items():
+        if isinstance(doc, dict) and \
+                isinstance(doc.get("points_per_sec"), (int, float)):
+            out[f"dse.{space}.points_per_sec"] = doc["points_per_sec"]
+    return out
+
+
+def compare_dse(prev, cur, regression_pct):
+    """Diff sweep throughput; return regressed field names."""
+    old = dse_rates(prev)
+    new = dse_rates(cur)
+    shared = [k for k in new if k in old]
+    if not shared:
+        return []
+    print("\ndse sweep throughput (points/s):")
+    width = max(len(k) for k in shared)
+    regressed = []
+    for key in shared:
+        # A rate: new/old < 1 means we got slower.
+        ratio = new[key] / old[key] if old[key] > 0 else float("inf")
+        flag = ""
+        if ratio < 1.0 / (1.0 + regression_pct / 100.0):
+            flag = "  REGRESSION"
+            regressed.append(key)
+        print(f"  {key:<{width}}  {old[key]:>12.0f}  {new[key]:>12.0f}  "
+              f"{ratio:7.2f}x{flag}")
+    return regressed
+
+
 def compare_reports(prev, cur, regression_pct):
     """Print an old/new/speedup table (real and cpu time); return names
     that regressed by more than regression_pct percent in real time.
@@ -253,6 +298,7 @@ def compare_reports(prev, cur, regression_pct):
         print(f"  {name:<{width}}  {fmt_ns(old[name]):>9}  {'-':>9}  "
               f"   vanished")
     regressed += compare_serve(prev, cur, regression_pct)
+    regressed += compare_dse(prev, cur, regression_pct)
     if regressed:
         print(f"{len(regressed)} benchmark(s) regressed by more than "
               f"{regression_pct}%: {', '.join(regressed)}")
@@ -461,6 +507,51 @@ def main():
               f"(shed {doc.get('counts', {}).get('shed', 0)})")
     else:
         print("  skipping serve_bench: not built")
+
+    # 6. Design-space sweeps: one run per space through the explorer
+    # example's JSON emitter. Only the summary numbers ride the report
+    # (the frontier itself is hundreds of points); the gate watches
+    # points/sec so sweep-throughput regressions fail --compare.
+    explore = build / "examples" / "explore_vgg"
+    if explore.exists():
+        dse_net = ["vgg", "10"] if args.quick else ["vgge"]
+        runs = [("chain", []),
+                ("looptree",
+                 [] if args.quick else
+                 ["--tile-heights", "1,2,3,4,6,8,12,16,24,32",
+                  "--budget", "4000000"])]
+        report["dse"] = {}
+        for space, extra in runs:
+            dse_json = bench_dir / f"dse_{space}.json"
+            print(f"running explore_vgg --space {space}...")
+            out, wall = run([str(explore)] + dse_net +
+                            ["--space", space, "--pareto-json",
+                             str(dse_json)] + extra)
+            report["tables"][f"dse_{space}"] = {
+                "wall_s": round(wall, 3), "stdout": out}
+            try:
+                doc = json.loads(dse_json.read_text())
+            except (OSError, json.JSONDecodeError) as exc:
+                sys.exit(f"explore_vgg did not produce a readable "
+                         f"surface at {dse_json}: {exc}")
+            if doc.get("schema") != "flcnn-pareto-v1":
+                sys.exit(f"{dse_json}: unexpected schema "
+                         f"{doc.get('schema')!r}")
+            report["dse"][space] = {
+                "net": doc.get("net"),
+                "stages": doc.get("stages"),
+                "points_visited": doc.get("points_visited"),
+                "seconds": doc.get("seconds"),
+                "points_per_sec": doc.get("points_per_sec"),
+                "frontier_size": len(doc.get("frontier", [])),
+                "chain_front_size": len(doc.get("chain_front", [])),
+            }
+            print(f"  {space}: {doc.get('points_visited')} points in "
+                  f"{doc.get('seconds'):.3f}s "
+                  f"({doc.get('points_per_sec'):.0f}/s), frontier "
+                  f"{len(doc.get('frontier', []))}")
+    else:
+        print("  skipping explore_vgg: not built")
 
     out_path = Path(args.out) if args.out else repo / (
         "BENCH_" + datetime.date.today().isoformat() + ".json")

@@ -49,6 +49,41 @@ std::vector<DesignPoint> paretoFront(std::vector<DesignPoint> points);
 std::vector<size_t>
 paretoFrontIndices(const std::vector<DesignPoint> &points);
 
+/** A point in a three-objective (minimize, minimize, minimize) space —
+ *  the latency/energy/buffer surface of the schedule explorer. */
+struct ParetoPoint3
+{
+    int64_t x = 0;
+    int64_t y = 0;
+    int64_t z = 0;
+
+    /** Weak dominance: <= on every axis. Combined with "not equal on
+     *  all axes" this is strict Pareto dominance. */
+    bool
+    weaklyDominates(const ParetoPoint3 &o) const
+    {
+        return x <= o.x && y <= o.y && z <= o.z;
+    }
+};
+
+/**
+ * Indices of the three-objective Pareto-optimal subset, sorted by
+ * ascending (x, y, z); equal-coordinate duplicates keep the
+ * lowest-index representative. Every input point is weakly dominated
+ * by some returned point (itself when it survives) — the property the
+ * frontier-comparison tooling relies on.
+ *
+ * Large inputs run a bucketed prefilter first. Unlike the 2-objective
+ * case, per-axis prefix minima over buckets are *not* sound dominators
+ * in >= 3 dimensions (the minima of y and z may come from different
+ * points, and a point tying on two axes can still win on the third),
+ * so the prefilter compares against real representative points per
+ * bucket and drops only on weak (y, z) dominance from a strictly
+ * lower x-bucket — which is strict dominance overall.
+ */
+std::vector<size_t>
+paretoFrontIndices3(const std::vector<ParetoPoint3> &points);
+
 } // namespace flcnn
 
 #endif // FLCNN_MODEL_PARETO_HH

@@ -73,9 +73,6 @@ recomputeExtraMultAdds(const Network &net, int first_layer, int last_layer)
     return rec.multAdds() - ref.multAdds();
 }
 
-namespace {
-
-/** Per-point mult-add cost of the layer that produced plane values. */
 int64_t
 producerPointMultAdds(const Network &net, int layer_idx)
 {
@@ -91,7 +88,22 @@ producerPointMultAdds(const Network &net, int layer_idx)
     }
 }
 
-} // namespace
+int
+recomputeProducerLayer(const Network &net, int first_layer, int w)
+{
+    // Walk back from w's input through companion layers to the
+    // nearest value-producing layer inside the group.
+    int p = w - 1;
+    while (p >= first_layer && (net.layer(p).kind == LayerKind::Pad ||
+                                net.layer(p).pointwise())) {
+        if (net.layer(p).kind == LayerKind::LRN)
+            break;  // LRN produces new values; price it directly
+        p--;
+    }
+    if (p < first_layer)
+        return -1;  // w consumes the group input (loaded, not computed)
+    return p;
+}
 
 int64_t
 pairwiseRecomputeExtraMultAdds(const Network &net, int first_layer,
@@ -103,17 +115,9 @@ pairwiseRecomputeExtraMultAdds(const Network &net, int first_layer,
         if (!spec.windowed())
             continue;
 
-        // Walk back from w's input through companion layers to the
-        // nearest value-producing layer inside the group.
-        int p = w - 1;
-        while (p >= first_layer && (net.layer(p).kind == LayerKind::Pad ||
-                                    net.layer(p).pointwise())) {
-            if (net.layer(p).kind == LayerKind::LRN)
-                break;  // LRN produces new values; price it directly
-            p--;
-        }
-        if (p < first_layer)
-            continue;  // w consumes the group input (loaded, not computed)
+        int p = recomputeProducerLayer(net, first_layer, w);
+        if (p < 0)
+            continue;
 
         int64_t cost = producerPointMultAdds(net, p);
         if (cost == 0)

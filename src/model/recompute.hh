@@ -46,6 +46,22 @@ int64_t recomputeExtraMultAdds(const Network &net, int first_layer,
 int64_t pairwiseRecomputeExtraMultAdds(const Network &net, int first_layer,
                                        int last_layer);
 
+/** Per-point mult-add cost of the layer that produced plane values
+ *  (conv and LRN produce; pool/relu/pad cost no mult-adds). The
+ *  per-boundary building block of the pairwise model, exposed for the
+ *  schedule pricer's per-layer retain-vs-recompute choice. */
+int64_t producerPointMultAdds(const Network &net, int layer_idx);
+
+/**
+ * Nearest value-producing layer feeding windowed layer @p w from
+ * inside [@p first_layer, w), walking back through Pad and pointwise
+ * companions (stopping at LRN, which produces new values); -1 when the
+ * halo comes from the group input. The other half of the pairwise
+ * model's boundary walk, shared with the schedule pricer so both
+ * price the same producer.
+ */
+int recomputeProducerLayer(const Network &net, int first_layer, int w);
+
 /** Pairwise extra mult-adds summed over a partition's groups. */
 int64_t partitionPairwiseRecomputeExtraMultAdds(const Network &net,
                                                 const Partition &p);
